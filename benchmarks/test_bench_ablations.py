@@ -1,0 +1,144 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+These are not paper figures; they quantify the contribution of individual
+design decisions of this implementation:
+
+* reduction stacking order (the paper's three-stage pipeline vs. single-stage
+  variants);
+* heuristic seeding of the exact search vs. a cold start;
+* heuristic strategy mix (degree / colorful degree / colorful core);
+* vertex-ordering strategy for the branch-and-bound.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_SCALE, write_report
+
+from repro.bounds.stacks import get_stack
+from repro.datasets.registry import get_dataset
+from repro.experiments.reporting import format_table
+from repro.heuristic.colorful_core_greedy import colorful_core_greedy_fair_clique
+from repro.heuristic.colorful_degree_greedy import colorful_degree_greedy_fair_clique
+from repro.heuristic.degree_greedy import degree_greedy_fair_clique
+from repro.reduction.pipeline import ReductionPipeline
+from repro.search.maxrfc import MaxRFC, MaxRFCConfig
+from repro.search.ordering import OrderingStrategy
+
+DATASET = "Flixster"
+
+
+def _load():
+    spec = get_dataset(DATASET)
+    return spec, spec.load(BENCH_SCALE)
+
+
+def test_bench_ablation_reduction_order(benchmark, results_dir):
+    """Compare the full pipeline against single-stage and reordered variants."""
+    spec, graph = _load()
+    k = spec.default_k
+    variants = {
+        "EnColorfulCore only": ("EnColorfulCore",),
+        "ColorfulSup only": ("ColorfulSup",),
+        "EnColorfulSup only": ("EnColorfulSup",),
+        "paper order (core, sup, en-sup)": ("EnColorfulCore", "ColorfulSup", "EnColorfulSup"),
+        "support first": ("EnColorfulSup", "EnColorfulCore"),
+    }
+
+    def run():
+        rows = []
+        for label, stages in variants.items():
+            result = ReductionPipeline(stages).run(graph, k)
+            rows.append(
+                {
+                    "variant": label,
+                    "vertices_after": result.vertices_after,
+                    "edges_after": result.edges_after,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    full = next(row for row in rows if row["variant"].startswith("paper order"))
+    for row in rows:
+        assert full["edges_after"] <= row["edges_after"]
+    write_report(results_dir, "ablation_reduction_order",
+                 format_table(rows, title="Ablation — reduction stage composition"))
+
+
+def test_bench_ablation_heuristic_seeding(benchmark, results_dir):
+    """Exact search with vs. without the HeurRFC incumbent seed."""
+    spec, graph = _load()
+    k, delta = spec.default_k, spec.default_delta
+
+    def run():
+        rows = []
+        for label, use_heuristic in (("cold start", False), ("HeurRFC seed", True)):
+            config = MaxRFCConfig(bound_stack=get_stack("ubAD+ubcd"),
+                                  use_heuristic=use_heuristic, time_limit=120.0)
+            result = MaxRFC(config).solve(graph, k, delta)
+            rows.append(
+                {
+                    "variant": label,
+                    "clique_size": result.size,
+                    "branches": result.stats.branches_explored,
+                    "runtime_us": int(result.stats.total_seconds * 1e6),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    cold, seeded = rows
+    assert cold["clique_size"] == seeded["clique_size"]
+    assert seeded["branches"] <= cold["branches"]
+    write_report(results_dir, "ablation_heuristic_seeding",
+                 format_table(rows, title="Ablation — heuristic seeding of MaxRFC"))
+
+
+def test_bench_ablation_heuristic_strategies(benchmark, results_dir):
+    """Quality of the three greedy strategies in isolation."""
+    spec, graph = _load()
+    k, delta = spec.default_k, spec.default_delta
+    strategies = {
+        "DegHeur": degree_greedy_fair_clique,
+        "ColorfulDegHeur": colorful_degree_greedy_fair_clique,
+        "ColorfulCoreHeur": colorful_core_greedy_fair_clique,
+    }
+
+    def run():
+        return [
+            {"strategy": name, "clique_size": len(function(graph, k, delta, 4))}
+            for name, function in strategies.items()
+        ]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert max(row["clique_size"] for row in rows) >= 2 * k
+    write_report(results_dir, "ablation_heuristic_strategies",
+                 format_table(rows, title="Ablation — greedy strategy quality"))
+
+
+def test_bench_ablation_vertex_ordering(benchmark, results_dir):
+    """Branch counts of the exact search under different vertex orderings."""
+    spec, graph = _load()
+    k, delta = spec.default_k, spec.default_delta
+
+    def run():
+        rows = []
+        for strategy in (OrderingStrategy.COLORFUL_CORE, OrderingStrategy.CORE,
+                         OrderingStrategy.DEGREE, OrderingStrategy.NATURAL):
+            config = MaxRFCConfig(bound_stack=get_stack("ubAD"), use_heuristic=True,
+                                  ordering=strategy, time_limit=120.0)
+            result = MaxRFC(config).solve(graph, k, delta)
+            rows.append(
+                {
+                    "ordering": strategy.value,
+                    "clique_size": result.size,
+                    "branches": result.stats.branches_explored,
+                    "runtime_us": int(result.stats.total_seconds * 1e6),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len({row["clique_size"] for row in rows}) == 1
+    write_report(results_dir, "ablation_vertex_ordering",
+                 format_table(rows, title="Ablation — vertex ordering for the search"))

@@ -1,0 +1,32 @@
+"""Benchmark: Fig. 4 — graph reduction comparison on the generated-attribute datasets.
+
+Regenerates, for every generated-attribute stand-in and every ``k`` in its
+sweep, the number of vertices and edges remaining after EnColorfulCore,
+ColorfulSup, and EnColorfulSup.  The benchmark time is the cost of the whole
+sweep; the per-(dataset, k) rows are written to ``results/fig4.txt``.
+
+Expected shape (as in the paper): each stage keeps at most what the previous
+stage kept, and remaining counts shrink as ``k`` grows.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_SCALE, GENERATED_DATASETS, write_report
+
+from repro.experiments.reduction_experiment import (
+    format_reduction_report,
+    reduction_monotonicity_holds,
+    run_reduction_experiment,
+)
+
+
+def test_bench_fig4_reduction(benchmark, results_dir):
+    rows = benchmark.pedantic(
+        run_reduction_experiment,
+        kwargs={"datasets": GENERATED_DATASETS, "scale": BENCH_SCALE},
+        rounds=1,
+        iterations=1,
+    )
+    assert rows
+    assert reduction_monotonicity_holds(rows)
+    write_report(results_dir, "fig4", format_reduction_report(rows))

@@ -1,0 +1,27 @@
+"""Benchmark: Fig. 5 — graph reduction comparison on the Aminer stand-in.
+
+Same sweep as Fig. 4 but on the dataset with (simulated) real gender
+attributes.  Rows are written to ``results/fig5.txt``.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_SCALE, REAL_ATTRIBUTE_DATASETS, write_report
+
+from repro.experiments.reduction_experiment import (
+    format_reduction_report,
+    reduction_monotonicity_holds,
+    run_reduction_experiment,
+)
+
+
+def test_bench_fig5_reduction_aminer(benchmark, results_dir):
+    rows = benchmark.pedantic(
+        run_reduction_experiment,
+        kwargs={"datasets": REAL_ATTRIBUTE_DATASETS, "scale": BENCH_SCALE},
+        rounds=1,
+        iterations=1,
+    )
+    assert rows
+    assert reduction_monotonicity_holds(rows)
+    write_report(results_dir, "fig5", format_reduction_report(rows))

@@ -1,0 +1,31 @@
+"""Benchmark: Fig. 7 — the three exact-search configurations on Aminer.
+
+Same comparison as Fig. 6 but on the stand-in with gender-like attributes,
+varying ``k`` (Fig. 7a) and ``delta`` (Fig. 7b).
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_SCALE, write_report
+
+from repro.experiments.search_experiment import (
+    format_search_report,
+    run_search_experiment,
+)
+
+
+def test_bench_fig7_search_aminer(benchmark, results_dir):
+    def run():
+        rows = run_search_experiment(datasets=("Aminer",), scale=BENCH_SCALE,
+                                     vary="k", time_limit=120.0)
+        rows += run_search_experiment(datasets=("Aminer",), scale=BENCH_SCALE,
+                                      vary="delta", time_limit=120.0)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert rows
+    sizes = {(row["k"], row["delta"]): set() for row in rows}
+    for row in rows:
+        sizes[(row["k"], row["delta"])].add(row["clique_size"])
+    assert all(len(values) == 1 for values in sizes.values())
+    write_report(results_dir, "fig7", format_search_report(rows))

@@ -1,0 +1,27 @@
+"""Benchmark: Fig. 9 — scalability over 20%-100% vertex and edge samples (Flixster).
+
+Builds the random subgraphs the paper uses for its scalability test and runs
+the three exact-search configurations on each sample.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_SCALE, write_report
+
+from repro.experiments.scalability_experiment import (
+    format_scalability_report,
+    run_scalability_experiment,
+)
+
+
+def test_bench_fig9_scalability(benchmark, results_dir):
+    rows = benchmark.pedantic(
+        run_scalability_experiment,
+        kwargs={"dataset": "Flixster", "scale": BENCH_SCALE,
+                "fractions": (0.2, 0.4, 0.6, 0.8, 1.0), "time_limit": 120.0},
+        rounds=1,
+        iterations=1,
+    )
+    assert rows
+    assert {row["sampled"] for row in rows} == {"vertices", "edges"}
+    write_report(results_dir, "fig9", format_scalability_report(rows))

@@ -1,0 +1,81 @@
+"""Micro-benchmarks for the core primitives.
+
+These are conventional pytest-benchmark timings (multiple rounds) for the
+building blocks every experiment relies on: greedy coloring, colorful core
+decomposition, the two support-based reductions, the colorful-path DP, the
+heuristic, and the full exact search on a mid-size stand-in.  They make
+regressions in the hot paths visible independently of the figure-level runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import BENCH_SCALE
+
+from repro.bounds.colorful_path import longest_colorful_path
+from repro.coloring.greedy import greedy_coloring
+from repro.cores.colorful import colorful_core_numbers
+from repro.cores.kcore import core_numbers
+from repro.datasets.registry import get_dataset
+from repro.heuristic.heur_rfc import HeurRFC
+from repro.reduction.colorful_support import colorful_support_reduction
+from repro.reduction.enhanced_support import enhanced_colorful_support_reduction
+from repro.search.maxrfc import find_maximum_fair_clique
+
+
+@pytest.fixture(scope="module")
+def dblp_graph():
+    return get_dataset("DBLP").load(BENCH_SCALE)
+
+
+@pytest.fixture(scope="module")
+def dblp_spec():
+    return get_dataset("DBLP")
+
+
+def test_bench_greedy_coloring(benchmark, dblp_graph):
+    coloring = benchmark(greedy_coloring, dblp_graph)
+    assert len(coloring) == dblp_graph.num_vertices
+
+
+def test_bench_core_numbers(benchmark, dblp_graph):
+    cores = benchmark(core_numbers, dblp_graph)
+    assert len(cores) == dblp_graph.num_vertices
+
+
+def test_bench_colorful_core_numbers(benchmark, dblp_graph):
+    cores = benchmark(colorful_core_numbers, dblp_graph)
+    assert len(cores) == dblp_graph.num_vertices
+
+
+def test_bench_colorful_support_reduction(benchmark, dblp_graph, dblp_spec):
+    result = benchmark(colorful_support_reduction, dblp_graph, dblp_spec.default_k)
+    assert result.edges_after <= result.edges_before
+
+
+def test_bench_enhanced_support_reduction(benchmark, dblp_graph, dblp_spec):
+    result = benchmark(enhanced_colorful_support_reduction, dblp_graph, dblp_spec.default_k)
+    assert result.edges_after <= result.edges_before
+
+
+def test_bench_colorful_path_dp(benchmark, dblp_graph):
+    length = benchmark(longest_colorful_path, dblp_graph, list(dblp_graph.vertices()))
+    assert length >= 1
+
+
+def test_bench_heur_rfc(benchmark, dblp_graph, dblp_spec):
+    result = benchmark(HeurRFC().solve, dblp_graph,
+                       dblp_spec.default_k, dblp_spec.default_delta)
+    assert result.size >= 0
+
+
+def test_bench_full_exact_search(benchmark, dblp_graph, dblp_spec):
+    result = benchmark.pedantic(
+        find_maximum_fair_clique,
+        args=(dblp_graph, dblp_spec.default_k, dblp_spec.default_delta),
+        kwargs={"time_limit": 120.0},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.size >= 2 * dblp_spec.default_k

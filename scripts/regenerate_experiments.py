@@ -1,0 +1,80 @@
+"""Regenerate every paper experiment and write a consolidated markdown report.
+
+This is the "one command" path for refreshing the measured side of
+EXPERIMENTS.md after a code change::
+
+    python scripts/regenerate_experiments.py --scale 0.35 --output experiments_report.md
+
+It runs the full battery from ``repro.experiments.runner`` (Figs. 4-9,
+Table II, and the case studies), prints each formatted table as it completes,
+and writes a single markdown file containing every table plus the dataset
+summary, so paper-vs-measured comparisons can be made without re-running
+anything.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.datasets.registry import dataset_table
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import experiment_ids, run_experiment
+
+
+def build_report(scale: float, experiments: list[str]) -> str:
+    """Run the requested experiments and return the consolidated markdown text."""
+    sections = ["# Regenerated experiment report", ""]
+    sections.append(f"Dataset scale factor: {scale}")
+    sections.append("")
+    sections.append("## Dataset stand-ins")
+    sections.append("")
+    sections.append("```")
+    sections.append(format_table(
+        dataset_table(scale=scale),
+        columns=["dataset", "n", "m", "d_max", "attributes"],
+    ))
+    sections.append("```")
+    for experiment in experiments:
+        started = time.perf_counter()
+        outcome = run_experiment(experiment, scale=scale)
+        elapsed = time.perf_counter() - started
+        print(f"[{experiment}] finished in {elapsed:.1f}s "
+              f"({len(outcome.rows)} rows)", file=sys.stderr)
+        sections.append("")
+        sections.append(f"## {experiment}")
+        sections.append("")
+        sections.append(f"Wall time: {elapsed:.1f}s")
+        sections.append("")
+        sections.append("```")
+        sections.append(outcome.report)
+        sections.append("```")
+    return "\n".join(sections) + "\n"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.35,
+                        help="dataset scale factor (default matches the benchmark harness)")
+    parser.add_argument("--output", default="experiments_report.md",
+                        help="path of the markdown report to write")
+    parser.add_argument("--experiments", nargs="*", default=None,
+                        help=f"subset of experiments to run (default: all of {experiment_ids()})")
+    args = parser.parse_args(argv)
+
+    experiments = list(args.experiments or experiment_ids())
+    unknown = [name for name in experiments if name not in experiment_ids()]
+    if unknown:
+        parser.error(f"unknown experiment(s): {unknown}")
+
+    report = build_report(args.scale, experiments)
+    output = Path(args.output)
+    output.write_text(report, encoding="utf-8")
+    print(f"report written to {output}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

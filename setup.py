@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The environment this reproduction targets is fully offline, so editable
+installs cannot fetch ``wheel`` for PEP 660 builds.  Keeping a minimal
+``setup.py`` lets ``pip install -e . --no-build-isolation --no-use-pep517``
+(and plain ``python setup.py develop``) work with nothing but setuptools.
+All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

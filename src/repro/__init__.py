@@ -1,0 +1,72 @@
+"""repro — maximum relative fair clique search over attributed graphs.
+
+A from-scratch Python reproduction of *"Efficient Maximum Fair Clique Search
+over Large Networks"* (ICDE 2025).  The package provides:
+
+* :class:`~repro.graph.AttributedGraph` and synthetic workload generators;
+* the reduction pipeline (EnColorfulCore, ColorfulSup, EnColorfulSup);
+* the upper bounds of Section IV and the MaxRFC branch-and-bound;
+* the linear-time HeurRFC heuristic;
+* baselines, dataset stand-ins, and the experiment harness reproducing the
+  paper's tables and figures.
+
+Quickstart
+----------
+>>> from repro import AttributedGraph, find_maximum_fair_clique
+>>> from repro.graph import paper_example_graph
+>>> result = find_maximum_fair_clique(paper_example_graph(), k=3, delta=1)
+>>> result.size
+7
+"""
+
+from repro.baselines import brute_force_maximum_fair_clique, enumerate_maximal_cliques
+from repro.bounds import BoundStack, get_stack, stack_names
+from repro.exceptions import (
+    AttributeCountError,
+    DatasetError,
+    GraphError,
+    InvalidParameterError,
+    ReproError,
+    SearchError,
+)
+from repro.graph import AttributedGraph, from_edge_list, paper_example_graph
+from repro.heuristic import HeurRFC, heuristic_fair_clique
+from repro.reduction import ReductionPipeline, reduce_graph
+from repro.search import (
+    MaxRFC,
+    MaxRFCConfig,
+    SearchResult,
+    find_maximum_fair_clique,
+    is_relative_fair_clique,
+    maximum_fair_clique_size,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AttributedGraph",
+    "from_edge_list",
+    "paper_example_graph",
+    "find_maximum_fair_clique",
+    "maximum_fair_clique_size",
+    "is_relative_fair_clique",
+    "MaxRFC",
+    "MaxRFCConfig",
+    "SearchResult",
+    "HeurRFC",
+    "heuristic_fair_clique",
+    "ReductionPipeline",
+    "reduce_graph",
+    "BoundStack",
+    "get_stack",
+    "stack_names",
+    "brute_force_maximum_fair_clique",
+    "enumerate_maximal_cliques",
+    "ReproError",
+    "GraphError",
+    "AttributeCountError",
+    "InvalidParameterError",
+    "SearchError",
+    "DatasetError",
+    "__version__",
+]

@@ -1,0 +1,8 @@
+"""Allow ``python -m repro ...`` to behave like the installed console script."""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,37 @@
+"""Descriptive statistics and fairness metrics for attributed graphs and cliques."""
+
+from repro.analysis.fairness_metrics import (
+    CliqueReport,
+    attribute_assortativity,
+    balance_ratio,
+    count_gap,
+    describe_clique,
+    fairness_satisfaction,
+)
+from repro.analysis.graph_stats import (
+    GraphSummary,
+    average_clustering_coefficient,
+    average_degree,
+    degree_histogram,
+    density,
+    local_clustering_coefficient,
+    summarize_graph,
+    triangle_count,
+)
+
+__all__ = [
+    "CliqueReport",
+    "attribute_assortativity",
+    "balance_ratio",
+    "count_gap",
+    "describe_clique",
+    "fairness_satisfaction",
+    "GraphSummary",
+    "average_clustering_coefficient",
+    "average_degree",
+    "degree_histogram",
+    "density",
+    "local_clustering_coefficient",
+    "summarize_graph",
+    "triangle_count",
+]

@@ -1,0 +1,116 @@
+"""Fairness metrics for vertex sets and for whole attributed graphs.
+
+The case studies of the paper argue qualitatively that the returned teams are
+"balanced"; these helpers make that quantitative so reports and examples can
+state the balance of a clique, the attribute mixing of a graph, and how close
+a vertex set comes to satisfying a (k, delta) requirement.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.graph.attributed_graph import AttributedGraph, Vertex
+from repro.graph.validation import validate_parameters
+
+
+def balance_ratio(graph: AttributedGraph, vertices: Iterable[Vertex]) -> float:
+    """Return ``min count / max count`` over attribute values present in the set.
+
+    1.0 means perfectly balanced; 0.0 means at least one attribute value of
+    the graph is absent from the set.  An empty set scores 0.0.
+    """
+    members = list(vertices)
+    if not members:
+        return 0.0
+    histogram = graph.attribute_histogram(members)
+    counts = [histogram.get(value, 0) for value in graph.attribute_values()]
+    if not counts or min(counts) == 0:
+        return 0.0
+    return min(counts) / max(counts)
+
+
+def count_gap(graph: AttributedGraph, vertices: Iterable[Vertex]) -> int:
+    """Return ``max count - min count`` over the graph's attribute values."""
+    members = list(vertices)
+    histogram = graph.attribute_histogram(members)
+    counts = [histogram.get(value, 0) for value in graph.attribute_values()]
+    if not counts:
+        return 0
+    return max(counts) - min(counts)
+
+
+def fairness_satisfaction(
+    graph: AttributedGraph,
+    vertices: Iterable[Vertex],
+    k: int,
+    delta: int,
+) -> dict:
+    """Diagnose how a vertex set fares against a (k, delta) requirement.
+
+    Returns a dictionary with per-attribute counts, the shortfall of each
+    attribute against ``k``, the count gap against ``delta``, and an overall
+    ``satisfied`` flag.  Useful for explaining *why* a candidate team fails.
+    """
+    validate_parameters(k, delta)
+    members = list(vertices)
+    histogram = graph.attribute_histogram(members)
+    values = graph.attribute_values()
+    counts = {value: histogram.get(value, 0) for value in values}
+    shortfalls = {value: max(0, k - count) for value, count in counts.items()}
+    gap = count_gap(graph, members)
+    return {
+        "counts": counts,
+        "shortfalls": shortfalls,
+        "gap": gap,
+        "gap_excess": max(0, gap - delta),
+        "satisfied": all(value == 0 for value in shortfalls.values()) and gap <= delta,
+    }
+
+
+def attribute_assortativity(graph: AttributedGraph) -> float:
+    """Fraction of edges joining two vertices of the *same* attribute value.
+
+    0.5 is the expectation for a random balanced binary assignment; values
+    near 1.0 mean the attribute is highly clustered (which makes fair cliques
+    scarcer), values near 0.0 mean the graph is close to multipartite by
+    attribute.
+    """
+    if graph.num_edges == 0:
+        return 0.0
+    same = sum(1 for u, v in graph.edges() if graph.attribute(u) == graph.attribute(v))
+    return same / graph.num_edges
+
+
+@dataclass(frozen=True)
+class CliqueReport:
+    """A human-readable summary of one (fair) clique."""
+
+    size: int
+    counts: dict
+    balance: float
+    gap: int
+    is_clique: bool
+
+    def as_dict(self) -> dict:
+        """Flat dictionary (for table/CSV reporting)."""
+        return {
+            "size": self.size,
+            "counts": self.counts,
+            "balance": round(self.balance, 3),
+            "gap": self.gap,
+            "is_clique": self.is_clique,
+        }
+
+
+def describe_clique(graph: AttributedGraph, vertices: Iterable[Vertex]) -> CliqueReport:
+    """Build a :class:`CliqueReport` for an arbitrary vertex set."""
+    members = list(dict.fromkeys(vertices))
+    return CliqueReport(
+        size=len(members),
+        counts=graph.attribute_histogram(members),
+        balance=balance_ratio(graph, members),
+        gap=count_gap(graph, members),
+        is_clique=graph.is_clique(members),
+    )

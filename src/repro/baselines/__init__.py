@@ -1,0 +1,21 @@
+"""Baseline algorithms: maximal-clique enumeration and brute-force fair clique search."""
+
+from repro.baselines.bron_kerbosch import (
+    enumerate_maximal_cliques,
+    maximum_clique,
+    maximum_clique_size,
+)
+from repro.baselines.enumeration import (
+    brute_force_maximum_fair_clique,
+    count_fair_cliques,
+    enumerate_fair_cliques,
+)
+
+__all__ = [
+    "enumerate_maximal_cliques",
+    "maximum_clique",
+    "maximum_clique_size",
+    "brute_force_maximum_fair_clique",
+    "count_fair_cliques",
+    "enumerate_fair_cliques",
+]

@@ -1,0 +1,100 @@
+"""Enumeration-based baselines for the maximum relative fair clique problem.
+
+Two baselines live here:
+
+* :func:`brute_force_maximum_fair_clique` — the "enumerate everything"
+  approach the paper's introduction argues against.  Every maximal clique is
+  enumerated with Bron–Kerbosch and its best fair subset is extracted; the
+  result is provably optimal because (a) every clique lies inside some maximal
+  clique and (b) any subset of a clique is again a clique, so the best fair
+  subset of the enclosing maximal clique is at least as large as any fair
+  clique it contains.  This serves as the correctness oracle for MaxRFC in the
+  test suite and as the slow baseline in the benchmarks.
+
+* :func:`enumerate_fair_cliques` — yields one maximal relative fair clique per
+  maximal clique of the graph (the best fair trim of that maximal clique).
+  This is a representative sample of the fair-clique enumeration problem
+  studied by the earlier papers, not a complete enumeration: two different
+  fair cliques inside the same maximal clique are reported once.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterator
+
+from repro.baselines.bron_kerbosch import enumerate_maximal_cliques
+from repro.graph.attributed_graph import AttributedGraph
+from repro.graph.validation import validate_parameters
+from repro.search.result import SearchResult
+from repro.search.statistics import SearchStats
+from repro.search.verification import best_fair_subset, fairness_satisfied
+
+
+def brute_force_maximum_fair_clique(
+    graph: AttributedGraph,
+    k: int,
+    delta: int,
+) -> SearchResult:
+    """Optimal maximum fair clique via exhaustive maximal-clique enumeration."""
+    validate_parameters(k, delta)
+    started = time.monotonic()
+    stats = SearchStats()
+    best: frozenset = frozenset()
+    if len(graph.attribute_values()) == 2:
+        for maximal in enumerate_maximal_cliques(graph):
+            stats.branches_explored += 1
+            candidate = best_fair_subset(graph, maximal, k, delta)
+            if len(candidate) > len(best):
+                best = candidate
+                stats.solutions_found += 1
+    stats.search_seconds = time.monotonic() - started
+    return SearchResult(
+        clique=best,
+        k=k,
+        delta=delta,
+        stats=stats,
+        algorithm="BruteForceEnum",
+        optimal=True,
+    )
+
+
+def enumerate_fair_cliques(
+    graph: AttributedGraph,
+    k: int,
+    delta: int,
+) -> Iterator[frozenset]:
+    """Yield maximal relative fair cliques of ``graph``, one per maximal clique.
+
+    The enumeration walks all maximal cliques and, for each one whose
+    attribute counts admit a fair subset, yields the largest fair subset
+    obtained by trimming the majority attribute.  Every yielded set is a
+    genuine fair clique that cannot be fairly extended *within its enclosing
+    maximal clique*; distinct fair cliques living inside the same maximal
+    clique are reported once.  Intentionally simple — it exists as a baseline
+    and as a test oracle, not as a complete enumerator.
+    """
+    validate_parameters(k, delta)
+    if len(graph.attribute_values()) != 2:
+        return
+    seen: set[frozenset] = set()
+    attribute_a, attribute_b = graph.attribute_pair()
+    for maximal in enumerate_maximal_cliques(graph):
+        members_a = sorted((v for v in maximal if graph.attribute(v) == attribute_a), key=str)
+        members_b = sorted((v for v in maximal if graph.attribute(v) == attribute_b), key=str)
+        count_a, count_b = len(members_a), len(members_b)
+        if count_a < k or count_b < k:
+            continue
+        keep_a = min(count_a, count_b + delta)
+        keep_b = min(count_b, count_a + delta)
+        candidate = frozenset(members_a[:keep_a] + members_b[:keep_b])
+        if candidate in seen:
+            continue
+        if fairness_satisfied(graph, candidate, k, delta):
+            seen.add(candidate)
+            yield candidate
+
+
+def count_fair_cliques(graph: AttributedGraph, k: int, delta: int) -> int:
+    """Count the maximal fair cliques produced by :func:`enumerate_fair_cliques`."""
+    return sum(1 for _ in enumerate_fair_cliques(graph, k, delta))

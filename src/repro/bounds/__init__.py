@@ -1,0 +1,85 @@
+"""Upper bounds on the maximum relative fair clique size (Lemmas 5-14)."""
+
+from repro.bounds.base import (
+    BoundContext,
+    BoundStack,
+    UpperBound,
+    bound_value,
+    make_context,
+)
+from repro.bounds.colorful_bounds import (
+    UB_COLORFUL_DEGENERACY,
+    UB_COLORFUL_H_INDEX,
+    colorful_degeneracy_bound,
+    colorful_h_index_bound,
+)
+from repro.bounds.colorful_path import (
+    UB_COLORFUL_PATH,
+    build_color_dag,
+    colorful_path_bound,
+    longest_colorful_path,
+)
+from repro.bounds.simple import (
+    ADVANCED_GROUP,
+    UB_ATTRIBUTE,
+    UB_ATTRIBUTE_COLOR,
+    UB_COLOR,
+    UB_ENHANCED_ATTRIBUTE_COLOR,
+    UB_SIZE,
+    attribute_bound,
+    attribute_color_bound,
+    color_bound,
+    enhanced_attribute_color_bound,
+    size_bound,
+)
+from repro.bounds.stacks import (
+    ALL_BOUNDS,
+    DEFAULT_STACK_NAME,
+    STACK_CONFIGURATIONS,
+    get_bound,
+    get_stack,
+    stack_names,
+)
+from repro.bounds.structural import (
+    UB_DEGENERACY,
+    UB_H_INDEX,
+    degeneracy_bound,
+    h_index_bound,
+)
+
+__all__ = [
+    "BoundContext",
+    "BoundStack",
+    "UpperBound",
+    "bound_value",
+    "make_context",
+    "UB_COLORFUL_DEGENERACY",
+    "UB_COLORFUL_H_INDEX",
+    "colorful_degeneracy_bound",
+    "colorful_h_index_bound",
+    "UB_COLORFUL_PATH",
+    "build_color_dag",
+    "colorful_path_bound",
+    "longest_colorful_path",
+    "ADVANCED_GROUP",
+    "UB_ATTRIBUTE",
+    "UB_ATTRIBUTE_COLOR",
+    "UB_COLOR",
+    "UB_ENHANCED_ATTRIBUTE_COLOR",
+    "UB_SIZE",
+    "attribute_bound",
+    "attribute_color_bound",
+    "color_bound",
+    "enhanced_attribute_color_bound",
+    "size_bound",
+    "ALL_BOUNDS",
+    "DEFAULT_STACK_NAME",
+    "STACK_CONFIGURATIONS",
+    "get_bound",
+    "get_stack",
+    "stack_names",
+    "UB_DEGENERACY",
+    "UB_H_INDEX",
+    "degeneracy_bound",
+    "h_index_bound",
+]

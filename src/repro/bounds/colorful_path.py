@@ -1,0 +1,83 @@
+"""The colorful-path-based upper bound (Definition 11, Algorithm 4, Lemma 14).
+
+Orient every edge of the colored instance subgraph ``G'`` from the lower- to
+the higher-ranked endpoint under the total order "(color, vertex id)"; the
+result is a DAG because the order is total and adjacent vertices never share a
+color (the coloring is proper).  Every directed path therefore visits strictly
+increasing colors, i.e. every path is a *colorful path*.  A clique's vertices,
+sorted by this order, form one such path of length ``|clique|``, so the longest
+path in the DAG — computable by a linear-time DP over a topological order —
+upper-bounds the maximum (fair) clique size.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.bounds.base import BoundContext, UpperBound
+from repro.coloring.greedy import Coloring, greedy_coloring
+from repro.graph.attributed_graph import AttributedGraph, Vertex
+
+
+def total_order_key(coloring: Coloring, vertex: Vertex) -> tuple[int, str]:
+    """The paper's total order ``≺``: compare by color first, then by vertex id."""
+    return (coloring[vertex], str(vertex))
+
+
+def build_color_dag(
+    graph: AttributedGraph,
+    coloring: Coloring,
+    vertices: Iterable[Vertex],
+) -> tuple[list[Vertex], dict[Vertex, list[Vertex]]]:
+    """Build the DAG of Definition 11 restricted to ``vertices``.
+
+    Returns the vertices in topological (total-order) sequence plus the map of
+    *incoming* neighbours of each vertex, which is what the DP consumes.
+    """
+    scope = set(vertices)
+    ordered = sorted(scope, key=lambda v: total_order_key(coloring, v))
+    rank = {vertex: index for index, vertex in enumerate(ordered)}
+    incoming: dict[Vertex, list[Vertex]] = {vertex: [] for vertex in ordered}
+    for vertex in ordered:
+        for neighbor in graph.neighbors(vertex):
+            if neighbor in scope and rank[neighbor] < rank[vertex]:
+                incoming[vertex].append(neighbor)
+    return ordered, incoming
+
+
+def longest_colorful_path(
+    graph: AttributedGraph,
+    vertices: Iterable[Vertex],
+    coloring: Coloring | None = None,
+) -> int:
+    """Length (vertex count) of the longest colorful path in the induced subgraph.
+
+    Implements ColorfulPathDP (Algorithm 4): ``f(v) = 1 + max f(u)`` over
+    incoming neighbours ``u``, evaluated in topological order.
+    """
+    scope = list(vertices)
+    if not scope:
+        return 0
+    if coloring is None:
+        coloring = greedy_coloring(graph, scope)
+    ordered, incoming = build_color_dag(graph, coloring, scope)
+    best: dict[Vertex, int] = {}
+    longest = 0
+    for vertex in ordered:
+        value = 1
+        for predecessor in incoming[vertex]:
+            candidate = best[predecessor] + 1
+            if candidate > value:
+                value = candidate
+        best[vertex] = value
+        if value > longest:
+            longest = value
+    return longest
+
+
+def colorful_path_bound(context: BoundContext) -> int:
+    """Lemma 14: ``ub_cp`` = longest colorful path of the instance subgraph."""
+    return longest_colorful_path(context.graph, context.scope, context.coloring())
+
+
+UB_COLORFUL_PATH = UpperBound("ubcp", colorful_path_bound, cost_rank=9)

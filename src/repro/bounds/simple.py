@@ -1,0 +1,91 @@
+"""The intuitive upper bounds of Section IV-B (Lemmas 5-9).
+
+These five bounds — size, attribute, color, attribute-color, and enhanced
+attribute-color — are cheap to evaluate (linear in ``|R ∪ C|`` once the shared
+coloring exists) and together form the ``ubAD`` ("advanced") group used as the
+default pruning stack in the paper's experiments.
+"""
+
+from __future__ import annotations
+
+from repro.bounds.base import BoundContext, UpperBound
+from repro.cores.enhanced import balanced_split_value
+
+
+def size_bound(context: BoundContext) -> int:
+    """Lemma 5: ``ub_s = |R| + |C|`` — a fair clique uses at most every vertex."""
+    return len(context.clique) + len(context.candidates)
+
+
+def attribute_bound(context: BoundContext) -> int:
+    """Lemma 6: cap by attribute counts and by the fairness gap ``delta``.
+
+    ``s_a <= cnt(a)``, ``s_b <= cnt(b)`` and ``s <= 2*min(s_a, s_b) + delta``,
+    hence ``ub_a = min(cnt(a) + cnt(b), 2*min(cnt(a), cnt(b)) + delta)``.
+    """
+    count_a, count_b = context.attribute_counts()
+    return min(count_a + count_b, 2 * min(count_a, count_b) + context.delta)
+
+
+def color_bound(context: BoundContext) -> int:
+    """Lemma 7: ``ub_c`` = number of colors of ``R ∪ C`` (clique vertices have distinct colors)."""
+    coloring = context.coloring()
+    return len({coloring[v] for v in context.scope})
+
+
+def attribute_color_bound(context: BoundContext) -> int:
+    """Lemma 8: like the attribute bound but counting *colors* per attribute.
+
+    ``s_a`` is at most the number of colors used by attribute-``a`` vertices,
+    so ``ub_ac = min(col(a) + col(b), 2*min(col(a), col(b)) + delta)``.
+    """
+    coloring = context.coloring()
+    colors_a: set[int] = set()
+    colors_b: set[int] = set()
+    for vertex in context.scope:
+        if context.graph.attribute(vertex) == context.attribute_a:
+            colors_a.add(coloring[vertex])
+        else:
+            colors_b.add(coloring[vertex])
+    return min(len(colors_a) + len(colors_b),
+               2 * min(len(colors_a), len(colors_b)) + context.delta)
+
+
+def enhanced_attribute_color_bound(context: BoundContext) -> int:
+    """Lemma 9: assign each color to a single attribute before counting.
+
+    Colors of ``R ∪ C`` are split into *only-a*, *only-b*, and *mixed* groups;
+    a clique can use a mixed color for only one attribute, so with
+    ``bsv = balanced_split_value(c_a, c_b, c_m)``:
+
+    ``ub_eac = min(c_a + c_b + c_m, 2*bsv + delta)``.
+    """
+    coloring = context.coloring()
+    colors_a: set[int] = set()
+    colors_b: set[int] = set()
+    for vertex in context.scope:
+        if context.graph.attribute(vertex) == context.attribute_a:
+            colors_a.add(coloring[vertex])
+        else:
+            colors_b.add(coloring[vertex])
+    mixed = colors_a & colors_b
+    count_a = len(colors_a - mixed)
+    count_b = len(colors_b - mixed)
+    count_mixed = len(mixed)
+    total = count_a + count_b + count_mixed
+    return min(total, 2 * balanced_split_value(count_a, count_b, count_mixed) + context.delta)
+
+
+UB_SIZE = UpperBound("ubs", size_bound, cost_rank=0)
+UB_ATTRIBUTE = UpperBound("uba", attribute_bound, cost_rank=1)
+UB_COLOR = UpperBound("ubc", color_bound, cost_rank=2)
+UB_ATTRIBUTE_COLOR = UpperBound("ubac", attribute_color_bound, cost_rank=3)
+UB_ENHANCED_ATTRIBUTE_COLOR = UpperBound("ubeac", enhanced_attribute_color_bound, cost_rank=4)
+
+ADVANCED_GROUP: tuple[UpperBound, ...] = (
+    UB_SIZE,
+    UB_ATTRIBUTE,
+    UB_COLOR,
+    UB_ATTRIBUTE_COLOR,
+    UB_ENHANCED_ATTRIBUTE_COLOR,
+)

@@ -1,0 +1,79 @@
+"""Pre-assembled bound stacks matching the configurations of Table II.
+
+The paper groups the five cheap bounds of Section IV-B into an "advanced"
+group ``ubAD`` and then evaluates six configurations of MaxRFC:
+
+``ubAD``, ``ubAD + ub_△``, ``ubAD + ub_h``, ``ubAD + ub_cd``,
+``ubAD + ub_ch``, ``ubAD + ub_cp``.
+
+:func:`get_stack` resolves a configuration name to a ready-to-use
+:class:`~repro.bounds.base.BoundStack`.
+"""
+
+from __future__ import annotations
+
+from repro.bounds.base import BoundStack, UpperBound
+from repro.bounds.colorful_bounds import UB_COLORFUL_DEGENERACY, UB_COLORFUL_H_INDEX
+from repro.bounds.colorful_path import UB_COLORFUL_PATH
+from repro.bounds.simple import (
+    ADVANCED_GROUP,
+    UB_ATTRIBUTE,
+    UB_ATTRIBUTE_COLOR,
+    UB_COLOR,
+    UB_ENHANCED_ATTRIBUTE_COLOR,
+    UB_SIZE,
+)
+from repro.bounds.structural import UB_DEGENERACY, UB_H_INDEX
+
+ALL_BOUNDS: dict[str, UpperBound] = {
+    bound.name: bound
+    for bound in (
+        UB_SIZE,
+        UB_ATTRIBUTE,
+        UB_COLOR,
+        UB_ATTRIBUTE_COLOR,
+        UB_ENHANCED_ATTRIBUTE_COLOR,
+        UB_DEGENERACY,
+        UB_H_INDEX,
+        UB_COLORFUL_DEGENERACY,
+        UB_COLORFUL_H_INDEX,
+        UB_COLORFUL_PATH,
+    )
+}
+
+STACK_CONFIGURATIONS: dict[str, tuple[UpperBound, ...]] = {
+    "ubAD": ADVANCED_GROUP,
+    "ubAD+ub_deg": ADVANCED_GROUP + (UB_DEGENERACY,),
+    "ubAD+ub_h": ADVANCED_GROUP + (UB_H_INDEX,),
+    "ubAD+ubcd": ADVANCED_GROUP + (UB_COLORFUL_DEGENERACY,),
+    "ubAD+ubch": ADVANCED_GROUP + (UB_COLORFUL_H_INDEX,),
+    "ubAD+ubcp": ADVANCED_GROUP + (UB_COLORFUL_PATH,),
+}
+
+DEFAULT_STACK_NAME = "ubAD"
+
+
+def stack_names() -> tuple[str, ...]:
+    """Names of every predefined bound-stack configuration (Table II columns)."""
+    return tuple(STACK_CONFIGURATIONS)
+
+
+def get_stack(name: str = DEFAULT_STACK_NAME) -> BoundStack:
+    """Return the :class:`BoundStack` for a Table II configuration name."""
+    try:
+        bounds = STACK_CONFIGURATIONS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown bound stack {name!r}; available: {sorted(STACK_CONFIGURATIONS)}"
+        ) from None
+    return BoundStack(bounds)
+
+
+def get_bound(name: str) -> UpperBound:
+    """Return a single named bound (``"ubs"``, ``"ubcd"``, ``"ubcp"``…)."""
+    try:
+        return ALL_BOUNDS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown bound {name!r}; available: {sorted(ALL_BOUNDS)}"
+        ) from None

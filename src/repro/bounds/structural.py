@@ -1,0 +1,31 @@
+"""Degeneracy- and h-index-based upper bounds (Lemmas 10-11).
+
+Any clique of ``s`` vertices forces every member to have degree at least
+``s - 1`` inside the instance subgraph ``G'``, hence
+
+* ``s <= degeneracy(G') + 1``  (the classic degeneracy bound), and
+* ``s <= h(G') + 1``           where ``h`` is the graph h-index.
+
+The paper states these without the ``+1``; the corrected versions here are the
+standard sound forms (a triangle has degeneracy 2 and h-index 2 but clique
+number 3).
+"""
+
+from __future__ import annotations
+
+from repro.bounds.base import BoundContext, UpperBound
+from repro.cores.kcore import degeneracy, graph_h_index
+
+
+def degeneracy_bound(context: BoundContext) -> int:
+    """Lemma 10 (corrected): ``ub_△ = degeneracy(G') + 1``."""
+    return degeneracy(context.graph, context.scope) + 1
+
+
+def h_index_bound(context: BoundContext) -> int:
+    """Lemma 11 (corrected): ``ub_h = h(G') + 1``."""
+    return graph_h_index(context.graph, context.scope) + 1
+
+
+UB_DEGENERACY = UpperBound("ub_deg", degeneracy_bound, cost_rank=6)
+UB_H_INDEX = UpperBound("ub_h", h_index_bound, cost_rank=5)

@@ -1,0 +1,209 @@
+"""Command-line interface.
+
+The subcommands cover the library's main entry points::
+
+    repro-fairclique search         --edges g.edges --attributes g.attrs -k 3 -d 1
+    repro-fairclique reduce         --dataset Themarker -k 6
+    repro-fairclique stats          --dataset DBLP
+    repro-fairclique compare-models --dataset Aminer -k 4 -d 2
+    repro-fairclique reproduce fig4 --scale 0.5
+    repro-fairclique datasets
+
+``python -m repro ...`` is equivalent to the installed console script.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.bounds.stacks import stack_names
+from repro.datasets.registry import dataset_names, dataset_table, load_dataset
+from repro.experiments.reporting import format_table, rows_to_csv
+from repro.experiments.runner import experiment_ids, run_experiment
+from repro.graph.io import read_edge_list, write_clique_report
+from repro.reduction.pipeline import reduce_graph
+from repro.search.maxrfc import find_maximum_fair_clique
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-fairclique",
+        description="Maximum relative fair clique search (ICDE 2025 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    search = subparsers.add_parser("search", help="find the maximum fair clique of a graph")
+    source = search.add_mutually_exclusive_group(required=True)
+    source.add_argument("--dataset", choices=dataset_names(), help="use a built-in dataset stand-in")
+    source.add_argument("--edges", help="edge-list file (one 'u v' pair per line)")
+    search.add_argument("--attributes", help="attribute file (one 'v attr' pair per line)")
+    search.add_argument("-k", type=int, required=True, help="minimum vertices per attribute")
+    search.add_argument("-d", "--delta", type=int, required=True, help="maximum attribute-count gap")
+    search.add_argument("--bound", default="ubAD", choices=list(stack_names()) + ["none"],
+                        help="upper-bound stack used for pruning")
+    search.add_argument("--no-heuristic", action="store_true", help="disable HeurRFC seeding")
+    search.add_argument("--time-limit", type=float, default=None, help="seconds before giving up")
+    search.add_argument("--scale", type=float, default=1.0, help="dataset scale factor")
+    search.add_argument("--report", help="write the clique membership report to this path")
+
+    reduce_cmd = subparsers.add_parser("reduce", help="run the reduction pipeline and report sizes")
+    reduce_source = reduce_cmd.add_mutually_exclusive_group(required=True)
+    reduce_source.add_argument("--dataset", choices=dataset_names())
+    reduce_source.add_argument("--edges")
+    reduce_cmd.add_argument("--attributes")
+    reduce_cmd.add_argument("-k", type=int, required=True)
+    reduce_cmd.add_argument("--scale", type=float, default=1.0)
+
+    stats = subparsers.add_parser("stats", help="print structural and fairness statistics")
+    stats_source = stats.add_mutually_exclusive_group(required=True)
+    stats_source.add_argument("--dataset", choices=dataset_names())
+    stats_source.add_argument("--edges")
+    stats.add_argument("--attributes")
+    stats.add_argument("--scale", type=float, default=1.0)
+
+    compare = subparsers.add_parser(
+        "compare-models",
+        help="solve the weak, relative, and strong fair clique models side by side",
+    )
+    compare_source = compare.add_mutually_exclusive_group(required=True)
+    compare_source.add_argument("--dataset", choices=dataset_names())
+    compare_source.add_argument("--edges")
+    compare.add_argument("--attributes")
+    compare.add_argument("-k", type=int, required=True)
+    compare.add_argument("-d", "--delta", type=int, required=True)
+    compare.add_argument("--scale", type=float, default=1.0)
+    compare.add_argument("--time-limit", type=float, default=None)
+
+    reproduce = subparsers.add_parser("reproduce", help="re-run a paper table or figure")
+    reproduce.add_argument("experiment", choices=experiment_ids())
+    reproduce.add_argument("--scale", type=float, default=1.0,
+                           help="dataset scale factor (smaller = faster)")
+    reproduce.add_argument("--csv", help="also write the raw rows as CSV to this path")
+
+    subparsers.add_parser("datasets", help="list the built-in dataset stand-ins")
+    return parser
+
+
+def _load_graph(args: argparse.Namespace):
+    if getattr(args, "dataset", None):
+        return load_dataset(args.dataset, scale=args.scale)
+    if not args.attributes:
+        raise SystemExit("--attributes is required when --edges is used")
+    return read_edge_list(args.edges, args.attributes)
+
+
+def _command_search(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    bound = None if args.bound == "none" else args.bound
+    result = find_maximum_fair_clique(
+        graph, args.k, args.delta,
+        bound_stack=bound,
+        use_heuristic=not args.no_heuristic,
+        time_limit=args.time_limit,
+    )
+    print(result.summary())
+    if result.found:
+        balance = result.attribute_balance(graph)
+        print(f"attribute balance: {balance}")
+        for vertex in sorted(result.clique, key=str):
+            print(f"  {vertex}\t{graph.attribute(vertex)}\t{graph.label(vertex)}")
+        if args.report:
+            write_clique_report(graph, result.clique, args.report)
+            print(f"report written to {args.report}")
+    else:
+        print("no relative fair clique satisfies the given (k, delta)")
+    return 0
+
+
+def _command_reduce(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    result = reduce_graph(graph, args.k)
+    print(f"input: |V|={graph.num_vertices} |E|={graph.num_edges}")
+    print(result.summary())
+    return 0
+
+
+def _command_stats(args: argparse.Namespace) -> int:
+    from repro.analysis import attribute_assortativity, summarize_graph
+
+    graph = _load_graph(args)
+    summary = summarize_graph(graph).as_dict()
+    summary["attribute_assortativity"] = round(attribute_assortativity(graph), 4)
+    width = max(len(key) for key in summary)
+    for key, value in summary.items():
+        print(f"{key.ljust(width)}  {value}")
+    return 0
+
+
+def _command_compare_models(args: argparse.Namespace) -> int:
+    from repro.analysis import describe_clique
+    from repro.variants import model_comparison
+
+    graph = _load_graph(args)
+    results = model_comparison(graph, args.k, args.delta, time_limit=args.time_limit)
+    rows = []
+    for model in ("weak", "relative", "strong"):
+        result = results[model]
+        report = describe_clique(graph, result.clique)
+        rows.append(
+            {
+                "model": model,
+                "size": result.size,
+                "counts": report.counts,
+                "gap": report.gap,
+                "seconds": round(result.stats.total_seconds, 3),
+            }
+        )
+    print(format_table(rows, title=f"Fair clique models (k={args.k}, delta={args.delta})"))
+    return 0
+
+
+def _command_reproduce(args: argparse.Namespace) -> int:
+    from repro.experiments.figures import runtime_chart_from_rows
+
+    outcome = run_experiment(args.experiment, scale=args.scale)
+    print(outcome.report)
+    if outcome.rows and "runtime_us" in outcome.rows[0] and "configuration" in outcome.rows[0]:
+        print()
+        print(runtime_chart_from_rows(
+            outcome.rows,
+            title=f"{args.experiment}: runtime (log-scale bars)",
+        ))
+    if args.csv:
+        with open(args.csv, "w", encoding="utf-8") as handle:
+            handle.write(rows_to_csv(outcome.rows))
+        print(f"rows written to {args.csv}")
+    return 0
+
+
+def _command_datasets() -> int:
+    rows = dataset_table(scale=1.0)
+    print(format_table(rows, columns=["dataset", "n", "m", "d_max", "attributes", "description"],
+                       title="Built-in dataset stand-ins (Table I analogue)"))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "search":
+        return _command_search(args)
+    if args.command == "reduce":
+        return _command_reduce(args)
+    if args.command == "stats":
+        return _command_stats(args)
+    if args.command == "compare-models":
+        return _command_compare_models(args)
+    if args.command == "reproduce":
+        return _command_reproduce(args)
+    if args.command == "datasets":
+        return _command_datasets()
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

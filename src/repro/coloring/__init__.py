@@ -1,0 +1,27 @@
+"""Greedy vertex coloring used by the reductions and upper bounds."""
+
+from repro.coloring.greedy import (
+    Coloring,
+    ColoringOrder,
+    attribute_color_counts,
+    color_classes,
+    color_sequence,
+    degree_ordering,
+    greedy_coloring,
+    num_colors,
+    smallest_last_ordering,
+    verify_proper_coloring,
+)
+
+__all__ = [
+    "Coloring",
+    "ColoringOrder",
+    "attribute_color_counts",
+    "color_classes",
+    "color_sequence",
+    "degree_ordering",
+    "greedy_coloring",
+    "num_colors",
+    "smallest_last_ordering",
+    "verify_proper_coloring",
+]

@@ -1,0 +1,47 @@
+"""Core decompositions: classic, colorful, and enhanced colorful."""
+
+from repro.cores.colorful import (
+    colorful_core_numbers,
+    colorful_degeneracy,
+    colorful_degrees,
+    colorful_h_index,
+    colorful_k_core,
+    min_colorful_degrees,
+)
+from repro.cores.enhanced import (
+    balanced_split_value,
+    color_groups_for_vertex,
+    enhanced_colorful_degree,
+    enhanced_colorful_degrees,
+    enhanced_colorful_k_core,
+)
+from repro.cores.kcore import (
+    core_numbers,
+    degeneracy,
+    degeneracy_ordering,
+    graph_h_index,
+    h_index_of_values,
+    k_core,
+    k_core_subgraph,
+)
+
+__all__ = [
+    "colorful_core_numbers",
+    "colorful_degeneracy",
+    "colorful_degrees",
+    "colorful_h_index",
+    "colorful_k_core",
+    "min_colorful_degrees",
+    "balanced_split_value",
+    "color_groups_for_vertex",
+    "enhanced_colorful_degree",
+    "enhanced_colorful_degrees",
+    "enhanced_colorful_k_core",
+    "core_numbers",
+    "degeneracy",
+    "degeneracy_ordering",
+    "graph_h_index",
+    "h_index_of_values",
+    "k_core",
+    "k_core_subgraph",
+]

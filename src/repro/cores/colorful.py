@@ -1,0 +1,206 @@
+"""Colorful degrees, colorful k-core, colorful core numbers, colorful h-index.
+
+These are the color-and-attribute-aware analogues of degree, k-core,
+degeneracy, and h-index introduced by the fair-clique line of work and reused
+throughout the paper:
+
+* **colorful degree** ``D_a(u, G)`` (Definition 2) — the number of *distinct
+  colors* among ``u``'s neighbours whose attribute is ``a``;
+* **colorful k-core** (Definition 3) — maximal subgraph in which every vertex
+  has ``min(D_a, D_b) >= k``; any relative fair clique with parameter ``k``
+  lives inside the colorful ``(k-1)``-core (Lemma 1);
+* **colorful core number / colorful degeneracy** (Definitions 8-9) — backbone
+  of the ``ub_cd`` upper bound (Lemma 12);
+* **colorful h-index** (Definition 10) — backbone of ``ub_ch`` (Lemma 13).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.coloring.greedy import Coloring, greedy_coloring
+from repro.cores.kcore import h_index_of_values
+from repro.graph.attributed_graph import AttributedGraph, Vertex
+from repro.graph.validation import validate_binary_attributes
+
+
+def colorful_degrees(
+    graph: AttributedGraph,
+    coloring: Coloring,
+    vertices: Iterable[Vertex] | None = None,
+) -> dict[Vertex, dict[str, int]]:
+    """Compute ``D_a(u)`` and ``D_b(u)`` for every vertex in scope.
+
+    Returns ``{u: {attribute: distinct-color count}}``.  Attributes with no
+    neighbouring vertex are reported as 0 so callers can index unconditionally.
+    """
+    attribute_a, attribute_b = validate_binary_attributes(graph)
+    scope = set(graph.vertices()) if vertices is None else set(vertices)
+    result: dict[Vertex, dict[str, int]] = {}
+    for vertex in scope:
+        seen: dict[str, set[int]] = {attribute_a: set(), attribute_b: set()}
+        for neighbor in graph.neighbors(vertex):
+            if neighbor in scope:
+                seen[graph.attribute(neighbor)].add(coloring[neighbor])
+        result[vertex] = {attribute_a: len(seen[attribute_a]),
+                          attribute_b: len(seen[attribute_b])}
+    return result
+
+
+def min_colorful_degrees(
+    graph: AttributedGraph,
+    coloring: Coloring,
+    vertices: Iterable[Vertex] | None = None,
+) -> dict[Vertex, int]:
+    """Compute ``D_min(u) = min(D_a(u), D_b(u))`` for every vertex in scope."""
+    degrees = colorful_degrees(graph, coloring, vertices)
+    return {vertex: min(per_attribute.values()) for vertex, per_attribute in degrees.items()}
+
+
+def colorful_k_core(
+    graph: AttributedGraph,
+    k: int,
+    coloring: Coloring | None = None,
+    vertices: Iterable[Vertex] | None = None,
+) -> set[Vertex]:
+    """Return the vertex set of the colorful k-core (Definition 3).
+
+    Peels vertices whose ``D_min`` falls below ``k``, recomputing colorful
+    degrees of the affected neighbours incrementally.
+    """
+    attribute_a, attribute_b = validate_binary_attributes(graph)
+    scope = set(graph.vertices()) if vertices is None else set(vertices)
+    if coloring is None:
+        coloring = greedy_coloring(graph, scope)
+    # Per-vertex, per-attribute multiset of neighbour colors (color -> count),
+    # so removals can decrement without rescanning neighbourhoods.
+    color_count: dict[Vertex, dict[str, dict[int, int]]] = {}
+    for vertex in scope:
+        per_attribute: dict[str, dict[int, int]] = {attribute_a: {}, attribute_b: {}}
+        for neighbor in graph.neighbors(vertex):
+            if neighbor in scope:
+                bucket = per_attribute[graph.attribute(neighbor)]
+                color = coloring[neighbor]
+                bucket[color] = bucket.get(color, 0) + 1
+        color_count[vertex] = per_attribute
+
+    def min_degree(vertex: Vertex) -> int:
+        per_attribute = color_count[vertex]
+        return min(len(per_attribute[attribute_a]), len(per_attribute[attribute_b]))
+
+    queue = [vertex for vertex in scope if min_degree(vertex) < k]
+    removed: set[Vertex] = set()
+    while queue:
+        vertex = queue.pop()
+        if vertex in removed:
+            continue
+        removed.add(vertex)
+        vertex_attribute = graph.attribute(vertex)
+        vertex_color = coloring[vertex]
+        for neighbor in graph.neighbors(vertex):
+            if neighbor in scope and neighbor not in removed:
+                bucket = color_count[neighbor][vertex_attribute]
+                count = bucket.get(vertex_color, 0)
+                if count <= 1:
+                    bucket.pop(vertex_color, None)
+                    if min_degree(neighbor) < k:
+                        queue.append(neighbor)
+                else:
+                    bucket[vertex_color] = count - 1
+    return scope - removed
+
+
+def colorful_core_numbers(
+    graph: AttributedGraph,
+    coloring: Coloring | None = None,
+    vertices: Iterable[Vertex] | None = None,
+) -> dict[Vertex, int]:
+    """Compute ``ccore(v)`` — the largest k whose colorful k-core contains v (Definition 8).
+
+    Uses the standard generalized-core peeling: repeatedly remove a vertex of
+    minimum current ``D_min``; its core number is the running maximum of the
+    minimum degrees seen so far.
+    """
+    attribute_a, attribute_b = validate_binary_attributes(graph)
+    scope = set(graph.vertices()) if vertices is None else set(vertices)
+    if coloring is None:
+        coloring = greedy_coloring(graph, scope)
+    color_count: dict[Vertex, dict[str, dict[int, int]]] = {}
+    for vertex in scope:
+        per_attribute: dict[str, dict[int, int]] = {attribute_a: {}, attribute_b: {}}
+        for neighbor in graph.neighbors(vertex):
+            if neighbor in scope:
+                bucket = per_attribute[graph.attribute(neighbor)]
+                color = coloring[neighbor]
+                bucket[color] = bucket.get(color, 0) + 1
+        color_count[vertex] = per_attribute
+
+    def min_degree(vertex: Vertex) -> int:
+        per_attribute = color_count[vertex]
+        return min(len(per_attribute[attribute_a]), len(per_attribute[attribute_b]))
+
+    remaining = set(scope)
+    degrees = {vertex: min_degree(vertex) for vertex in scope}
+    core: dict[Vertex, int] = {}
+    max_degree = max(degrees.values(), default=0)
+    buckets: list[set[Vertex]] = [set() for _ in range(max_degree + 2)]
+    for vertex, degree in degrees.items():
+        buckets[degree].add(vertex)
+    current_level = 0
+    current = 0
+    while remaining:
+        while current <= max_degree and not buckets[current]:
+            current += 1
+        if current > max_degree:
+            break
+        vertex = buckets[current].pop()
+        if vertex not in remaining:
+            continue
+        remaining.discard(vertex)
+        current_level = max(current_level, degrees[vertex])
+        core[vertex] = current_level
+        vertex_attribute = graph.attribute(vertex)
+        vertex_color = coloring[vertex]
+        for neighbor in graph.neighbors(vertex):
+            if neighbor in remaining:
+                bucket = color_count[neighbor][vertex_attribute]
+                count = bucket.get(vertex_color, 0)
+                if count <= 1:
+                    bucket.pop(vertex_color, None)
+                    new_degree = min_degree(neighbor)
+                    if new_degree != degrees[neighbor]:
+                        buckets[degrees[neighbor]].discard(neighbor)
+                        degrees[neighbor] = new_degree
+                        buckets[new_degree].add(neighbor)
+                        if new_degree < current:
+                            current = new_degree
+                elif count > 1:
+                    bucket[vertex_color] = count - 1
+    return core
+
+
+def colorful_degeneracy(
+    graph: AttributedGraph,
+    coloring: Coloring | None = None,
+    vertices: Iterable[Vertex] | None = None,
+) -> int:
+    """Return the colorful degeneracy ``△(G) = max_v ccore(v)`` (Definition 9)."""
+    cores = colorful_core_numbers(graph, coloring, vertices)
+    return max(cores.values(), default=0)
+
+
+def colorful_h_index(
+    graph: AttributedGraph,
+    coloring: Coloring | None = None,
+    vertices: Iterable[Vertex] | None = None,
+) -> int:
+    """Return the colorful h-index of the graph (Definition 10).
+
+    The maximum ``h`` such that at least ``h`` vertices have
+    ``D_min(v, G) >= h``.
+    """
+    scope = set(graph.vertices()) if vertices is None else set(vertices)
+    if coloring is None:
+        coloring = greedy_coloring(graph, scope)
+    minima = min_colorful_degrees(graph, coloring, scope)
+    return h_index_of_values(minima.values())

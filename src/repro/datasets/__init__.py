@@ -1,0 +1,35 @@
+"""Dataset stand-ins mirroring the paper's evaluation graphs and case studies."""
+
+from repro.datasets.case_studies import (
+    CASE_STUDIES,
+    CaseStudySpec,
+    build_case_study_graph,
+    case_study_names,
+    get_case_study,
+)
+from repro.datasets.registry import (
+    DATASETS,
+    GENERATED_ATTRIBUTE_DATASETS,
+    REAL_ATTRIBUTE_DATASETS,
+    DatasetSpec,
+    dataset_names,
+    dataset_table,
+    get_dataset,
+    load_dataset,
+)
+
+__all__ = [
+    "CASE_STUDIES",
+    "CaseStudySpec",
+    "build_case_study_graph",
+    "case_study_names",
+    "get_case_study",
+    "DATASETS",
+    "GENERATED_ATTRIBUTE_DATASETS",
+    "REAL_ATTRIBUTE_DATASETS",
+    "DatasetSpec",
+    "dataset_names",
+    "dataset_table",
+    "get_dataset",
+    "load_dataset",
+]

@@ -1,0 +1,61 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All errors raised by the library derive from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still
+distinguishing more specific failure modes when they need to.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class GraphError(ReproError):
+    """Raised for structural problems in a graph (missing vertex, bad edge)."""
+
+
+class VertexNotFoundError(GraphError):
+    """Raised when an operation references a vertex that is not in the graph."""
+
+    def __init__(self, vertex: int) -> None:
+        super().__init__(f"vertex {vertex!r} is not in the graph")
+        self.vertex = vertex
+
+
+class EdgeNotFoundError(GraphError):
+    """Raised when an operation references an edge that is not in the graph."""
+
+    def __init__(self, u: int, v: int) -> None:
+        super().__init__(f"edge ({u!r}, {v!r}) is not in the graph")
+        self.edge = (u, v)
+
+
+class AttributeCountError(GraphError):
+    """Raised when a graph does not carry exactly the two expected attributes.
+
+    The relative fair clique model of the paper is defined for binary
+    attributes ``A = {a, b}``.  Operations that rely on this assumption raise
+    this error when a graph carries fewer or more attribute values.
+    """
+
+
+class InvalidParameterError(ReproError):
+    """Raised when a search / reduction parameter (``k``, ``delta``…) is invalid."""
+
+
+class ColoringError(ReproError):
+    """Raised when a vertex coloring is inconsistent with the graph."""
+
+
+class SearchError(ReproError):
+    """Raised for failures inside the branch-and-bound or heuristic search."""
+
+
+class DatasetError(ReproError):
+    """Raised when a dataset cannot be generated, loaded, or parsed."""
+
+
+class ExperimentError(ReproError):
+    """Raised when an experiment driver is misconfigured."""

@@ -1,0 +1,84 @@
+"""Experiment drivers reproducing every table and figure of Section VI."""
+
+from repro.experiments.bounds_experiment import (
+    all_sizes_agree,
+    best_stack_per_dataset,
+    format_bounds_report,
+    run_bounds_experiment,
+)
+from repro.experiments.case_study_experiment import (
+    format_case_study_report,
+    run_case_study_experiment,
+)
+from repro.experiments.heuristic_experiment import (
+    format_heuristic_report,
+    max_gap,
+    run_heuristic_experiment,
+)
+from repro.experiments.reduction_experiment import (
+    format_reduction_report,
+    reduction_monotonicity_holds,
+    run_reduction_experiment,
+)
+from repro.experiments.figures import (
+    reduction_chart_from_rows,
+    render_series_chart,
+    runtime_chart_from_rows,
+)
+from repro.experiments.reporting import format_series, format_table, rows_to_csv, speedup
+from repro.experiments.runner import (
+    EXPERIMENTS,
+    ExperimentOutcome,
+    experiment_ids,
+    run_all,
+    run_experiment,
+)
+from repro.experiments.scalability_experiment import (
+    format_scalability_report,
+    run_scalability_experiment,
+    runtime_grows_with_size,
+)
+from repro.experiments.search_experiment import (
+    PAPER_BEST_STACK,
+    augmented_never_slower_by_much,
+    format_search_report,
+    run_search_experiment,
+)
+from repro.experiments.timing import Timer, stopwatch, time_call
+
+__all__ = [
+    "all_sizes_agree",
+    "best_stack_per_dataset",
+    "format_bounds_report",
+    "run_bounds_experiment",
+    "format_case_study_report",
+    "run_case_study_experiment",
+    "format_heuristic_report",
+    "max_gap",
+    "run_heuristic_experiment",
+    "format_reduction_report",
+    "reduction_monotonicity_holds",
+    "run_reduction_experiment",
+    "reduction_chart_from_rows",
+    "render_series_chart",
+    "runtime_chart_from_rows",
+    "format_series",
+    "format_table",
+    "rows_to_csv",
+    "speedup",
+    "EXPERIMENTS",
+    "ExperimentOutcome",
+    "experiment_ids",
+    "run_all",
+    "run_experiment",
+    "format_scalability_report",
+    "run_scalability_experiment",
+    "runtime_grows_with_size",
+    "PAPER_BEST_STACK",
+    "augmented_never_slower_by_much",
+    "format_search_report",
+    "run_search_experiment",
+    "Timer",
+    "stopwatch",
+    "time_call",
+]

@@ -1,0 +1,62 @@
+"""Experiment: case studies (Section VI-C).
+
+Runs the exact search on the four labelled case-study graphs (Aminer, DBAI,
+NBA, IMDB) with the paper's parameters and reports the discovered team: its
+size, its attribute balance, and its member labels.  The qualitative claims
+being reproduced are that (a) the returned set is a genuine clique, (b) both
+attribute groups are represented with at least ``k`` members, and (c) the
+balance gap does not exceed ``delta`` — i.e. the model surfaces large,
+well-connected, demographically balanced teams rather than the raw maximum
+clique (which in every stand-in is deliberately unbalanced).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.datasets.case_studies import build_case_study_graph, case_study_names, get_case_study
+from repro.experiments.reporting import format_table
+from repro.search.maxrfc import find_maximum_fair_clique
+from repro.search.verification import is_relative_fair_clique
+
+
+def run_case_study_experiment(
+    names: Sequence[str] | None = None,
+    seed: int = 0,
+) -> list[dict]:
+    """Run all case studies; one row per case study."""
+    rows: list[dict] = []
+    for name in names or case_study_names():
+        spec = get_case_study(name)
+        graph = build_case_study_graph(name, seed=seed)
+        result = find_maximum_fair_clique(graph, spec.k, spec.delta)
+        balance = result.attribute_balance(graph)
+        members = sorted(graph.label(vertex) for vertex in result.clique)
+        rows.append(
+            {
+                "case_study": spec.name,
+                "k": spec.k,
+                "delta": spec.delta,
+                "n": graph.num_vertices,
+                "m": graph.num_edges,
+                "team_size": result.size,
+                "attribute_a": spec.attribute_a,
+                "count_a": balance.get(spec.attribute_a, 0),
+                "attribute_b": spec.attribute_b,
+                "count_b": balance.get(spec.attribute_b, 0),
+                "balanced": is_relative_fair_clique(graph, result.clique, spec.k, spec.delta)
+                if result.found else False,
+                "members": "; ".join(members),
+            }
+        )
+    return rows
+
+
+def format_case_study_report(rows: list[dict]) -> str:
+    """Aligned text table of the case-study teams (member lists omitted for width)."""
+    columns = [key for key in rows[0] if key != "members"] if rows else None
+    return format_table(
+        rows,
+        columns=columns,
+        title="Section VI-C — case-study maximum fair cliques",
+    )

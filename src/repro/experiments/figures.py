@@ -1,0 +1,101 @@
+"""Text rendering of figure series (log-scale bar charts in plain ASCII).
+
+The paper's figures plot runtimes and remaining-graph sizes on log axes.  The
+helpers here turn experiment rows into compact text charts so that
+``repro-fairclique reproduce fig6`` output can be eyeballed the same way the
+figures are, without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+
+
+def _bar(value: float, lower: float, upper: float, width: int) -> str:
+    """Map ``value`` onto a log-scaled bar of at most ``width`` characters."""
+    if value <= 0:
+        return ""
+    if upper <= lower:
+        return "#" * width
+    position = (math.log10(value) - lower) / (upper - lower)
+    position = min(max(position, 0.0), 1.0)
+    return "#" * max(1, int(round(position * width)))
+
+
+def render_series_chart(
+    title: str,
+    series: Mapping[str, Sequence[tuple]],
+    value_label: str = "value",
+    width: int = 40,
+) -> str:
+    """Render ``{series name: [(x, value), ...]}`` as a log-scale ASCII chart.
+
+    Every ``(x, value)`` pair becomes one bar; series are stacked one block
+    after another so different configurations can be compared line by line.
+    Zero or negative values render as an empty bar (they cannot sit on a log
+    axis).
+    """
+    values = [value for points in series.values() for _, value in points if value > 0]
+    if not values:
+        return f"{title}\n(no positive values to plot)"
+    lower = math.log10(min(values))
+    upper = math.log10(max(values))
+    lines = [title]
+    x_width = max(
+        (len(str(x)) for points in series.values() for x, _ in points),
+        default=1,
+    )
+    for name, points in series.items():
+        lines.append(f"  {name}:")
+        for x, value in points:
+            bar = _bar(value, lower, upper, width)
+            lines.append(f"    {str(x).rjust(x_width)} | {bar} {value} {value_label}")
+    return "\n".join(lines)
+
+
+def runtime_chart_from_rows(
+    rows: Sequence[Mapping],
+    x_key: str = "k",
+    series_key: str = "configuration",
+    value_key: str = "runtime_us",
+    title: str | None = None,
+) -> str:
+    """Build a runtime chart (one series per configuration) from experiment rows.
+
+    Works directly on the row dictionaries produced by
+    :func:`repro.experiments.run_search_experiment` and
+    :func:`repro.experiments.run_bounds_experiment`.
+    """
+    series: dict[str, list[tuple]] = {}
+    for row in rows:
+        series.setdefault(str(row[series_key]), []).append((row[x_key], row[value_key]))
+    for points in series.values():
+        points.sort(key=lambda pair: str(pair[0]))
+    chart_title = title or f"{value_key} vs {x_key}"
+    return render_series_chart(chart_title, series, value_label="us")
+
+
+def reduction_chart_from_rows(
+    rows: Sequence[Mapping],
+    dataset: str,
+    kind: str = "edges",
+    width: int = 40,
+) -> str:
+    """Build a remaining-|V|/|E| chart for one dataset from Fig. 4/5 rows."""
+    stages = ("original", "EnColorfulCore", "ColorfulSup", "EnColorfulSup")
+    series: dict[str, list[tuple]] = {stage: [] for stage in stages}
+    for row in rows:
+        if row["dataset"] != dataset:
+            continue
+        for stage in stages:
+            key = f"{stage}_{kind}" if stage != "original" else f"original_{kind}"
+            series[stage].append((row["k"], row[key]))
+    for points in series.values():
+        points.sort()
+    return render_series_chart(
+        f"{dataset}: remaining {kind} after each reduction (vary k)",
+        series,
+        value_label=kind,
+        width=width,
+    )

@@ -1,0 +1,79 @@
+"""Plain-text table and series formatting for experiment output.
+
+The experiment drivers return structured rows (lists of dictionaries); the
+helpers here turn them into aligned text tables comparable, line by line, with
+the tables and figure series printed in the paper.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+
+def format_table(
+    rows: Sequence[Mapping],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render rows as an aligned monospace table.
+
+    ``columns`` selects and orders the columns; by default the keys of the
+    first row are used.  Values are stringified with ``str`` (floats keep
+    their repr, so format them before calling if a precision matters).
+    """
+    if not rows:
+        return f"{title}\n(no data)" if title else "(no data)"
+    keys = list(columns) if columns else list(rows[0].keys())
+    table = [[str(key) for key in keys]]
+    for row in rows:
+        table.append([str(row.get(key, "")) for key in keys])
+    widths = [max(len(line[index]) for line in table) for index in range(len(keys))]
+    rendered_lines = []
+    if title:
+        rendered_lines.append(title)
+    header, *body = table
+    rendered_lines.append("  ".join(cell.ljust(width) for cell, width in zip(header, widths)))
+    rendered_lines.append("  ".join("-" * width for width in widths))
+    for line in body:
+        rendered_lines.append("  ".join(cell.ljust(width) for cell, width in zip(line, widths)))
+    return "\n".join(rendered_lines)
+
+
+def format_series(
+    label: str,
+    x_values: Iterable,
+    y_values: Iterable,
+    x_name: str = "x",
+    y_name: str = "y",
+) -> str:
+    """Render one figure series (e.g. runtime vs. k) as a compact text block."""
+    pairs = list(zip(x_values, y_values))
+    lines = [f"{label} ({x_name} -> {y_name}):"]
+    for x, y in pairs:
+        lines.append(f"  {x_name}={x}: {y}")
+    return "\n".join(lines)
+
+
+def rows_to_csv(rows: Sequence[Mapping], columns: Sequence[str] | None = None) -> str:
+    """Render rows as CSV text (no external dependencies, no quoting surprises)."""
+    if not rows:
+        return ""
+    keys = list(columns) if columns else list(rows[0].keys())
+
+    def sanitize(value) -> str:
+        text = str(value)
+        if "," in text or '"' in text or "\n" in text:
+            text = '"' + text.replace('"', '""') + '"'
+        return text
+
+    lines = [",".join(keys)]
+    for row in rows:
+        lines.append(",".join(sanitize(row.get(key, "")) for key in keys))
+    return "\n".join(lines)
+
+
+def speedup(baseline_seconds: float, improved_seconds: float) -> float:
+    """Return how many times faster ``improved`` is than ``baseline`` (inf-safe)."""
+    if improved_seconds <= 0:
+        return float("inf")
+    return baseline_seconds / improved_seconds

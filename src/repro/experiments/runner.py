@@ -1,0 +1,120 @@
+"""Top-level experiment orchestration.
+
+``run_experiment`` resolves an experiment id (``"fig4"``, ``"table2"``,
+``"fig6"``…) to its driver, runs it with sensible small-scale defaults, and
+returns both the structured rows and the formatted report.  ``run_all`` runs
+the complete battery; the CLI (``python -m repro reproduce <id>``) and the
+EXPERIMENTS.md regeneration script are thin wrappers around these functions.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from repro.exceptions import ExperimentError
+from repro.experiments.bounds_experiment import format_bounds_report, run_bounds_experiment
+from repro.experiments.case_study_experiment import (
+    format_case_study_report,
+    run_case_study_experiment,
+)
+from repro.experiments.heuristic_experiment import (
+    format_heuristic_report,
+    run_heuristic_experiment,
+)
+from repro.experiments.reduction_experiment import (
+    format_reduction_report,
+    run_reduction_experiment,
+)
+from repro.experiments.scalability_experiment import (
+    format_scalability_report,
+    run_scalability_experiment,
+)
+from repro.experiments.search_experiment import format_search_report, run_search_experiment
+
+GENERATED = ("Themarker", "Google", "DBLP", "Flixster", "Pokec")
+
+
+@dataclass
+class ExperimentOutcome:
+    """Rows plus a formatted report for one experiment run."""
+
+    experiment: str
+    rows: list[dict]
+    report: str
+
+
+def _fig4(scale: float) -> ExperimentOutcome:
+    rows = run_reduction_experiment(datasets=GENERATED, scale=scale)
+    return ExperimentOutcome("fig4", rows, format_reduction_report(rows))
+
+
+def _fig5(scale: float) -> ExperimentOutcome:
+    rows = run_reduction_experiment(datasets=("Aminer",), scale=scale)
+    return ExperimentOutcome("fig5", rows, format_reduction_report(rows))
+
+
+def _table2(scale: float) -> ExperimentOutcome:
+    rows = run_bounds_experiment(scale=scale, vary="k")
+    rows += run_bounds_experiment(scale=scale, vary="delta")
+    return ExperimentOutcome("table2", rows, format_bounds_report(rows))
+
+
+def _fig6(scale: float) -> ExperimentOutcome:
+    rows = run_search_experiment(datasets=GENERATED, scale=scale, vary="k")
+    rows += run_search_experiment(datasets=GENERATED, scale=scale, vary="delta")
+    return ExperimentOutcome("fig6", rows, format_search_report(rows))
+
+
+def _fig7(scale: float) -> ExperimentOutcome:
+    rows = run_search_experiment(datasets=("Aminer",), scale=scale, vary="k")
+    rows += run_search_experiment(datasets=("Aminer",), scale=scale, vary="delta")
+    return ExperimentOutcome("fig7", rows, format_search_report(rows))
+
+
+def _fig8(scale: float) -> ExperimentOutcome:
+    rows = run_heuristic_experiment(scale=scale)
+    return ExperimentOutcome("fig8", rows, format_heuristic_report(rows))
+
+
+def _fig9(scale: float) -> ExperimentOutcome:
+    rows = run_scalability_experiment(dataset="Flixster", scale=scale)
+    return ExperimentOutcome("fig9", rows, format_scalability_report(rows))
+
+
+def _case_studies(scale: float) -> ExperimentOutcome:
+    rows = run_case_study_experiment()
+    return ExperimentOutcome("case-studies", rows, format_case_study_report(rows))
+
+
+EXPERIMENTS: dict[str, Callable[[float], ExperimentOutcome]] = {
+    "fig4": _fig4,
+    "fig5": _fig5,
+    "table2": _table2,
+    "fig6": _fig6,
+    "fig7": _fig7,
+    "fig8": _fig8,
+    "fig9": _fig9,
+    "case-studies": _case_studies,
+}
+
+
+def experiment_ids() -> tuple[str, ...]:
+    """Identifiers of every reproducible table/figure."""
+    return tuple(EXPERIMENTS)
+
+
+def run_experiment(experiment: str, scale: float = 1.0) -> ExperimentOutcome:
+    """Run one experiment by id and return its rows + formatted report."""
+    try:
+        driver = EXPERIMENTS[experiment]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {experiment!r}; available: {sorted(EXPERIMENTS)}"
+        ) from None
+    return driver(scale)
+
+
+def run_all(scale: float = 1.0, experiments: Sequence[str] | None = None) -> list[ExperimentOutcome]:
+    """Run the full battery (or a subset) and return every outcome."""
+    return [run_experiment(name, scale) for name in (experiments or experiment_ids())]

@@ -1,0 +1,97 @@
+"""Experiment: scalability on vertex / edge samples (Fig. 9).
+
+The paper builds four subgraphs of each dataset by sampling 20%-80% of the
+vertices (resp. edges) uniformly at random and reports the runtime of the
+three exact-search configurations on each sample, with Flixster shown in the
+figure.  The driver reproduces the same two sweeps on any stand-in
+(Flixster by default) and reports runtimes per sample fraction.
+
+Expected shape: the plain ``MaxRFC`` curve rises steeply with sample size
+while ``MaxRFC+ub`` and ``MaxRFC+ub+HeurRFC`` rise gently.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.bounds.stacks import get_stack
+from repro.datasets.registry import get_dataset
+from repro.experiments.reporting import format_table
+from repro.experiments.search_experiment import PAPER_BEST_STACK, _build_config
+from repro.graph.generators import sample_edges, sample_vertices
+from repro.search.maxrfc import MaxRFC
+
+DEFAULT_FRACTIONS: tuple[float, ...] = (0.2, 0.4, 0.6, 0.8, 1.0)
+CONFIGURATIONS: tuple[str, ...] = ("MaxRFC", "MaxRFC+ub", "MaxRFC+ub+HeurRFC")
+
+
+def run_scalability_experiment(
+    dataset: str = "Flixster",
+    scale: float = 1.0,
+    fractions: Sequence[float] = DEFAULT_FRACTIONS,
+    configurations: Sequence[str] = CONFIGURATIONS,
+    time_limit: float | None = 120.0,
+    seed: int = 0,
+) -> list[dict]:
+    """Run the Fig. 9 sweep; one row per (sample kind, fraction, configuration)."""
+    spec = get_dataset(dataset)
+    graph = spec.load(scale)
+    stack_name = PAPER_BEST_STACK.get(spec.name, "ubAD")
+    k, delta = spec.default_k, spec.default_delta
+    rows: list[dict] = []
+    for kind in ("vertices", "edges"):
+        for fraction in fractions:
+            if fraction >= 1.0:
+                sample = graph
+            elif kind == "vertices":
+                sample = sample_vertices(graph, fraction, seed=seed)
+            else:
+                sample = sample_edges(graph, fraction, seed=seed)
+            for configuration in configurations:
+                config = _build_config(configuration, stack_name, time_limit)
+                result = MaxRFC(config).solve(sample, k, delta)
+                rows.append(
+                    {
+                        "dataset": spec.name,
+                        "sampled": kind,
+                        "fraction": fraction,
+                        "n": sample.num_vertices,
+                        "m": sample.num_edges,
+                        "configuration": configuration,
+                        "runtime_us": int(round(result.stats.total_seconds * 1_000_000)),
+                        "clique_size": result.size,
+                        "optimal": result.optimal,
+                    }
+                )
+    return rows
+
+
+def format_scalability_report(rows: list[dict]) -> str:
+    """Aligned text table of the scalability sweep (Fig. 9)."""
+    return format_table(
+        rows,
+        columns=["dataset", "sampled", "fraction", "n", "m",
+                 "configuration", "runtime_us", "clique_size", "optimal"],
+        title="Fig. 9 — scalability over vertex/edge samples",
+    )
+
+
+def runtime_grows_with_size(rows: list[dict], configuration: str = "MaxRFC") -> bool:
+    """Soft shape check: larger samples do not get *dramatically cheaper* to solve.
+
+    Random sampling occasionally removes the hard structure, so strict
+    monotonicity is not expected; the check only flags a configuration whose
+    full-graph runtime is lower than half its smallest-sample runtime.
+    """
+    by_kind: dict[str, list[tuple[float, int]]] = {}
+    for row in rows:
+        if row["configuration"] != configuration:
+            continue
+        by_kind.setdefault(row["sampled"], []).append((row["fraction"], row["runtime_us"]))
+    for series in by_kind.values():
+        series.sort()
+        smallest = series[0][1]
+        largest = series[-1][1]
+        if largest < smallest / 2:
+            return False
+    return True

@@ -1,0 +1,79 @@
+"""Attributed-graph substrate: data structure, builders, generators, I/O."""
+
+from repro.graph.attributed_graph import AttributedGraph, Edge, Vertex
+from repro.graph.builders import (
+    complete_graph,
+    from_adjacency,
+    from_edge_list,
+    paper_example_graph,
+    planted_fair_clique_graph,
+)
+from repro.graph.components import (
+    component_subgraphs,
+    connected_component,
+    connected_components,
+    is_connected,
+    largest_component,
+    num_components,
+)
+from repro.graph.generators import (
+    alternating_attributes,
+    barabasi_albert_graph,
+    community_graph,
+    erdos_renyi_graph,
+    planted_fair_cliques_graph,
+    powerlaw_cluster_graph,
+    quasi_clique_blobs,
+    sample_edges,
+    sample_vertices,
+    skewed_attributes,
+    uniform_attributes,
+)
+from repro.graph.io import (
+    read_combined,
+    read_edge_list,
+    write_clique_report,
+    write_combined,
+    write_edge_list,
+)
+from repro.graph.validation import (
+    graph_supports_fair_clique,
+    validate_binary_attributes,
+    validate_parameters,
+)
+
+__all__ = [
+    "AttributedGraph",
+    "Edge",
+    "Vertex",
+    "complete_graph",
+    "from_adjacency",
+    "from_edge_list",
+    "paper_example_graph",
+    "planted_fair_clique_graph",
+    "component_subgraphs",
+    "connected_component",
+    "connected_components",
+    "is_connected",
+    "largest_component",
+    "num_components",
+    "alternating_attributes",
+    "barabasi_albert_graph",
+    "community_graph",
+    "erdos_renyi_graph",
+    "planted_fair_cliques_graph",
+    "powerlaw_cluster_graph",
+    "quasi_clique_blobs",
+    "sample_edges",
+    "sample_vertices",
+    "skewed_attributes",
+    "uniform_attributes",
+    "read_combined",
+    "read_edge_list",
+    "write_clique_report",
+    "write_combined",
+    "write_edge_list",
+    "graph_supports_fair_clique",
+    "validate_binary_attributes",
+    "validate_parameters",
+]

@@ -1,0 +1,288 @@
+"""The attributed graph substrate used by every algorithm in the package.
+
+The paper works on an undirected, unweighted attributed graph
+``G = (V, E, A)`` where every vertex carries one of two attribute values
+(``A = {a, b}``).  :class:`AttributedGraph` stores such a graph with an
+adjacency-set representation which gives O(1) expected-time edge queries and
+O(min(deg(u), deg(v))) common-neighbour enumeration — the two operations the
+reduction and search algorithms lean on most heavily.
+
+Vertices are arbitrary hashable identifiers (the library uses ``int`` ids in
+generated workloads and either ints or strings in case-study graphs).  An
+optional human-readable label can be attached to each vertex for the case
+studies of Section VI-C.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator, Mapping
+from typing import Optional
+
+from repro.exceptions import (
+    AttributeCountError,
+    EdgeNotFoundError,
+    GraphError,
+    VertexNotFoundError,
+)
+
+Vertex = Hashable
+Edge = tuple[Vertex, Vertex]
+
+
+class AttributedGraph:
+    """An undirected graph whose vertices carry a categorical attribute.
+
+    Parameters
+    ----------
+    vertices:
+        Optional iterable of ``(vertex, attribute)`` pairs to add up front.
+    edges:
+        Optional iterable of ``(u, v)`` pairs to add after the vertices.
+
+    Examples
+    --------
+    >>> g = AttributedGraph()
+    >>> g.add_vertex(1, "a")
+    >>> g.add_vertex(2, "b")
+    >>> g.add_edge(1, 2)
+    >>> g.num_vertices, g.num_edges
+    (2, 1)
+    >>> sorted(g.neighbors(1))
+    [2]
+    """
+
+    __slots__ = ("_adj", "_attr", "_labels", "_num_edges")
+
+    def __init__(
+        self,
+        vertices: Optional[Iterable[tuple[Vertex, str]]] = None,
+        edges: Optional[Iterable[Edge]] = None,
+    ) -> None:
+        self._adj: dict[Vertex, set[Vertex]] = {}
+        self._attr: dict[Vertex, str] = {}
+        self._labels: dict[Vertex, str] = {}
+        self._num_edges = 0
+        if vertices is not None:
+            for vertex, attribute in vertices:
+                self.add_vertex(vertex, attribute)
+        if edges is not None:
+            for u, v in edges:
+                self.add_edge(u, v)
+
+    # ------------------------------------------------------------------ #
+    # Construction / mutation
+    # ------------------------------------------------------------------ #
+    def add_vertex(self, vertex: Vertex, attribute: str, label: Optional[str] = None) -> None:
+        """Add ``vertex`` with the given ``attribute`` (idempotent on re-add).
+
+        Re-adding an existing vertex updates its attribute and label but keeps
+        its incident edges.
+        """
+        if vertex not in self._adj:
+            self._adj[vertex] = set()
+        self._attr[vertex] = attribute
+        if label is not None:
+            self._labels[vertex] = label
+
+    def add_edge(self, u: Vertex, v: Vertex) -> None:
+        """Add the undirected edge ``(u, v)``.
+
+        Both endpoints must already exist.  Self-loops are rejected because a
+        clique never contains one and they would corrupt degree bookkeeping.
+        Adding an existing edge is a no-op.
+        """
+        if u == v:
+            raise GraphError(f"self-loop on vertex {u!r} is not allowed")
+        if u not in self._adj:
+            raise VertexNotFoundError(u)
+        if v not in self._adj:
+            raise VertexNotFoundError(v)
+        if v in self._adj[u]:
+            return
+        self._adj[u].add(v)
+        self._adj[v].add(u)
+        self._num_edges += 1
+
+    def remove_edge(self, u: Vertex, v: Vertex) -> None:
+        """Remove the undirected edge ``(u, v)``; raise if it does not exist."""
+        if u not in self._adj or v not in self._adj[u]:
+            raise EdgeNotFoundError(u, v)
+        self._adj[u].discard(v)
+        self._adj[v].discard(u)
+        self._num_edges -= 1
+
+    def remove_vertex(self, vertex: Vertex) -> None:
+        """Remove ``vertex`` and all its incident edges."""
+        if vertex not in self._adj:
+            raise VertexNotFoundError(vertex)
+        neighbors = self._adj.pop(vertex)
+        for other in neighbors:
+            self._adj[other].discard(vertex)
+        self._num_edges -= len(neighbors)
+        del self._attr[vertex]
+        self._labels.pop(vertex, None)
+
+    def remove_vertices(self, vertices: Iterable[Vertex]) -> None:
+        """Remove a batch of vertices (ignoring ones already absent)."""
+        for vertex in vertices:
+            if vertex in self._adj:
+                self.remove_vertex(vertex)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices, ``|V|``."""
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges, ``|E|``."""
+        return self._num_edges
+
+    def vertices(self) -> Iterator[Vertex]:
+        """Iterate over all vertices."""
+        return iter(self._adj)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over each undirected edge exactly once."""
+        seen: set[Vertex] = set()
+        for u, neighbors in self._adj.items():
+            for v in neighbors:
+                if v not in seen:
+                    yield (u, v)
+            seen.add(u)
+
+    def has_vertex(self, vertex: Vertex) -> bool:
+        """Return True if ``vertex`` is in the graph."""
+        return vertex in self._adj
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        """Return True if the undirected edge ``(u, v)`` is present."""
+        return u in self._adj and v in self._adj[u]
+
+    def neighbors(self, vertex: Vertex) -> set[Vertex]:
+        """Return the neighbour set ``N(v)`` (a live set — do not mutate)."""
+        try:
+            return self._adj[vertex]
+        except KeyError:
+            raise VertexNotFoundError(vertex) from None
+
+    def degree(self, vertex: Vertex) -> int:
+        """Return ``deg(v)``."""
+        return len(self.neighbors(vertex))
+
+    def max_degree(self) -> int:
+        """Return ``d_max``, the maximum vertex degree (0 for an empty graph)."""
+        if not self._adj:
+            return 0
+        return max(len(neighbors) for neighbors in self._adj.values())
+
+    def common_neighbors(self, u: Vertex, v: Vertex) -> set[Vertex]:
+        """Return ``N(u) ∩ N(v)``, iterating over the smaller neighbourhood."""
+        nu, nv = self.neighbors(u), self.neighbors(v)
+        if len(nu) > len(nv):
+            nu, nv = nv, nu
+        return {w for w in nu if w in nv}
+
+    def attribute(self, vertex: Vertex) -> str:
+        """Return ``A(v)``, the attribute value of ``vertex``."""
+        try:
+            return self._attr[vertex]
+        except KeyError:
+            raise VertexNotFoundError(vertex) from None
+
+    def attributes(self) -> Mapping[Vertex, str]:
+        """Return a read-only view of the vertex → attribute mapping."""
+        return dict(self._attr)
+
+    def attribute_values(self) -> tuple[str, ...]:
+        """Return the distinct attribute values present, sorted for determinism."""
+        return tuple(sorted(set(self._attr.values()), key=str))
+
+    def attribute_pair(self) -> tuple[str, str]:
+        """Return the two attribute values ``(a, b)`` of a binary-attributed graph.
+
+        Raises
+        ------
+        AttributeCountError
+            If the graph does not carry exactly two distinct attribute values.
+        """
+        values = self.attribute_values()
+        if len(values) != 2:
+            raise AttributeCountError(
+                f"expected exactly 2 attribute values, found {len(values)}: {values!r}"
+            )
+        return values[0], values[1]
+
+    def label(self, vertex: Vertex) -> str:
+        """Return the human-readable label of ``vertex`` (defaults to ``str(vertex)``)."""
+        if vertex not in self._adj:
+            raise VertexNotFoundError(vertex)
+        return self._labels.get(vertex, str(vertex))
+
+    def attribute_count(self, vertices: Iterable[Vertex], attribute: str) -> int:
+        """Return ``cnt_S(attribute)`` for the vertex set ``S = vertices``."""
+        return sum(1 for v in vertices if self._attr[v] == attribute)
+
+    def attribute_histogram(self, vertices: Optional[Iterable[Vertex]] = None) -> dict[str, int]:
+        """Return a histogram of attribute values over ``vertices`` (default: all)."""
+        histogram: dict[str, int] = {}
+        source = self._attr.values() if vertices is None else (self._attr[v] for v in vertices)
+        for value in source:
+            histogram[value] = histogram.get(value, 0) + 1
+        return histogram
+
+    # ------------------------------------------------------------------ #
+    # Derived graphs
+    # ------------------------------------------------------------------ #
+    def copy(self) -> "AttributedGraph":
+        """Return a deep copy (independent adjacency and attribute storage)."""
+        clone = AttributedGraph()
+        clone._adj = {v: set(neighbors) for v, neighbors in self._adj.items()}
+        clone._attr = dict(self._attr)
+        clone._labels = dict(self._labels)
+        clone._num_edges = self._num_edges
+        return clone
+
+    def subgraph(self, vertices: Iterable[Vertex]) -> "AttributedGraph":
+        """Return the subgraph induced by ``vertices`` (attributes and labels kept)."""
+        keep = set(vertices)
+        missing = [v for v in keep if v not in self._adj]
+        if missing:
+            raise VertexNotFoundError(missing[0])
+        induced = AttributedGraph()
+        for vertex in keep:
+            induced.add_vertex(vertex, self._attr[vertex], self._labels.get(vertex))
+        for vertex in keep:
+            for neighbor in self._adj[vertex]:
+                if neighbor in keep and not induced.has_edge(vertex, neighbor):
+                    induced.add_edge(vertex, neighbor)
+        return induced
+
+    def is_clique(self, vertices: Iterable[Vertex]) -> bool:
+        """Return True if ``vertices`` induce a complete subgraph."""
+        members = list(dict.fromkeys(vertices))
+        for i, u in enumerate(members):
+            neighbors = self.neighbors(u)
+            for v in members[i + 1:]:
+                if v not in neighbors:
+                    return False
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Dunder helpers
+    # ------------------------------------------------------------------ #
+    def __contains__(self, vertex: Vertex) -> bool:
+        return vertex in self._adj
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def __repr__(self) -> str:
+        histogram = self.attribute_histogram()
+        return (
+            f"AttributedGraph(n={self.num_vertices}, m={self.num_edges}, "
+            f"attributes={histogram})"
+        )

@@ -1,0 +1,78 @@
+"""Connected-component utilities.
+
+``MaxRFC`` (Algorithm 2 in the paper) runs the branch-and-bound search on each
+connected component of the reduced graph independently, so the search layer
+needs a fast component decomposition.  The helpers here operate on
+:class:`~repro.graph.attributed_graph.AttributedGraph` without copying edges
+unless an induced subgraph is explicitly requested.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable, Iterator
+
+from repro.graph.attributed_graph import AttributedGraph, Vertex
+
+
+def connected_component(graph: AttributedGraph, start: Vertex) -> set[Vertex]:
+    """Return the vertex set of the connected component containing ``start``."""
+    visited = {start}
+    queue: deque[Vertex] = deque([start])
+    while queue:
+        current = queue.popleft()
+        for neighbor in graph.neighbors(current):
+            if neighbor not in visited:
+                visited.add(neighbor)
+                queue.append(neighbor)
+    return visited
+
+
+def connected_components(graph: AttributedGraph) -> Iterator[set[Vertex]]:
+    """Yield the vertex set of every connected component (arbitrary order)."""
+    seen: set[Vertex] = set()
+    for vertex in graph.vertices():
+        if vertex in seen:
+            continue
+        component = connected_component(graph, vertex)
+        seen.update(component)
+        yield component
+
+
+def component_subgraphs(graph: AttributedGraph) -> Iterator[AttributedGraph]:
+    """Yield each connected component as an induced :class:`AttributedGraph`."""
+    for component in connected_components(graph):
+        yield graph.subgraph(component)
+
+
+def largest_component(graph: AttributedGraph) -> set[Vertex]:
+    """Return the vertex set of the largest connected component (empty graph → empty set)."""
+    best: set[Vertex] = set()
+    for component in connected_components(graph):
+        if len(component) > len(best):
+            best = component
+    return best
+
+
+def is_connected(graph: AttributedGraph) -> bool:
+    """Return True if the graph has at most one connected component."""
+    iterator = connected_components(graph)
+    first = next(iterator, None)
+    if first is None:
+        return True
+    return next(iterator, None) is None
+
+
+def num_components(graph: AttributedGraph) -> int:
+    """Return the number of connected components."""
+    return sum(1 for _ in connected_components(graph))
+
+
+def components_containing(graph: AttributedGraph, vertices: Iterable[Vertex]) -> set[Vertex]:
+    """Return the union of components that contain at least one of ``vertices``."""
+    result: set[Vertex] = set()
+    for vertex in vertices:
+        if vertex in result:
+            continue
+        result.update(connected_component(graph, vertex))
+    return result

@@ -1,0 +1,23 @@
+"""Linear-time heuristics for finding a large relative fair clique (Section V)."""
+
+from repro.heuristic.colorful_core_greedy import colorful_core_greedy_fair_clique
+from repro.heuristic.colorful_degree_greedy import colorful_degree_greedy_fair_clique
+from repro.heuristic.degree_greedy import degree_greedy_fair_clique
+from repro.heuristic.greedy_core import (
+    finalize_fair_clique,
+    greedy_fair_clique,
+    greedy_grow_clique,
+)
+from repro.heuristic.heur_rfc import HeuristicOutcome, HeurRFC, heuristic_fair_clique
+
+__all__ = [
+    "colorful_core_greedy_fair_clique",
+    "colorful_degree_greedy_fair_clique",
+    "degree_greedy_fair_clique",
+    "finalize_fair_clique",
+    "greedy_fair_clique",
+    "greedy_grow_clique",
+    "HeuristicOutcome",
+    "HeurRFC",
+    "heuristic_fair_clique",
+]

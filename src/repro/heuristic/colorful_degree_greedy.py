@@ -1,0 +1,33 @@
+"""ColorfulDegHeur — the colorful-degree-based greedy heuristic (Section V).
+
+Identical growth loop to ``DegHeur`` but vertices are scored by
+``min(D_a(v), D_b(v))`` — the minimum over the two attributes of the number of
+distinct neighbour colors — which rewards vertices whose neighbourhood can
+supply *both* attributes with many mutually non-adjacent-free (distinctly
+colored) vertices, a better proxy for fair-clique potential than raw degree.
+"""
+
+from __future__ import annotations
+
+from repro.coloring.greedy import greedy_coloring
+from repro.cores.colorful import min_colorful_degrees
+from repro.graph.attributed_graph import AttributedGraph
+from repro.heuristic.greedy_core import greedy_fair_clique
+
+
+def colorful_degree_greedy_fair_clique(
+    graph: AttributedGraph,
+    k: int,
+    delta: int,
+    restarts: int = 1,
+) -> frozenset:
+    """Return the fair clique found by the colorful-degree greedy (possibly empty)."""
+    if graph.num_vertices == 0:
+        return frozenset()
+    coloring = greedy_coloring(graph)
+    minima = min_colorful_degrees(graph, coloring)
+    return greedy_fair_clique(
+        graph, k, delta,
+        score=lambda vertex: minima.get(vertex, 0),
+        restarts=restarts,
+    )

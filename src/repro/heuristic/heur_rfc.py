@@ -1,0 +1,121 @@
+"""HeurRFC — the combined heuristic framework (Algorithm 6).
+
+``HeurRFC`` runs the greedy procedures and keeps the largest result, using the
+intermediate clique to prune the graph between the runs:
+
+1. ``R* ← DegHeur(G)``;
+2. restrict ``G`` to its ``(|R*| - 1)``-core — a larger fair clique must live
+   there because every member of an ``s``-clique has degree at least
+   ``s - 1``;
+3. ``R̂ ← ColorfulDegHeur(G)``; keep the larger of ``R*`` and ``R̂`` and
+   re-prune;
+4. (extension) repeat step 3 with the colorful-core-number greedy, which is
+   far harder to mislead by dense-but-cliqueless regions;
+5. recolor the surviving graph; the number of colors is a global upper bound
+   on the maximum fair clique size.
+
+The returned object carries the clique, that color upper bound, and the final
+coloring — exactly the triple Algorithm 6 outputs — so the exact search can
+reuse all three.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.coloring.greedy import Coloring, greedy_coloring, num_colors
+from repro.cores.kcore import k_core
+from repro.graph.attributed_graph import AttributedGraph
+from repro.graph.validation import validate_parameters
+from repro.heuristic.colorful_core_greedy import colorful_core_greedy_fair_clique
+from repro.heuristic.colorful_degree_greedy import colorful_degree_greedy_fair_clique
+from repro.heuristic.degree_greedy import degree_greedy_fair_clique
+from repro.search.result import SearchResult
+from repro.search.statistics import SearchStats
+
+
+@dataclass
+class HeuristicOutcome:
+    """The triple returned by Algorithm 6: clique, color upper bound, coloring."""
+
+    clique: frozenset
+    upper_bound: int
+    coloring: Coloring
+    pruned_graph: AttributedGraph
+    seconds: float
+
+    @property
+    def size(self) -> int:
+        """Size of the heuristic fair clique."""
+        return len(self.clique)
+
+
+class HeurRFC:
+    """The heuristic framework combining DegHeur and ColorfulDegHeur.
+
+    ``restarts`` controls how many top-scoring start vertices each greedy
+    procedure tries (the paper uses a single start; a handful of restarts is a
+    cheap robustness extension and remains linear time per restart).
+    """
+
+    def __init__(self, restarts: int = 4) -> None:
+        self.restarts = restarts
+
+    def run(self, graph: AttributedGraph, k: int, delta: int) -> HeuristicOutcome:
+        """Execute Algorithm 6 (plus the colorful-core strategy) and return the triple."""
+        validate_parameters(k, delta)
+        started = time.monotonic()
+        working = graph
+        best = degree_greedy_fair_clique(working, k, delta, self.restarts)
+        if best:
+            working = self._core_prune(graph, len(best))
+        for strategy in (colorful_degree_greedy_fair_clique, colorful_core_greedy_fair_clique):
+            challenger = (
+                strategy(working, k, delta, self.restarts)
+                if working.num_vertices
+                else frozenset()
+            )
+            if len(challenger) > len(best):
+                best = challenger
+                working = self._core_prune(graph, len(best))
+        coloring = greedy_coloring(working) if working.num_vertices else {}
+        upper_bound = num_colors(coloring)
+        return HeuristicOutcome(
+            clique=best,
+            upper_bound=upper_bound,
+            coloring=coloring,
+            pruned_graph=working,
+            seconds=time.monotonic() - started,
+        )
+
+    def solve(self, graph: AttributedGraph, k: int, delta: int) -> SearchResult:
+        """Run the heuristic and wrap the outcome as a :class:`SearchResult`."""
+        outcome = self.run(graph, k, delta)
+        stats = SearchStats(heuristic_seconds=outcome.seconds)
+        stats.extra["color_upper_bound"] = outcome.upper_bound
+        return SearchResult(
+            clique=outcome.clique,
+            k=k,
+            delta=delta,
+            stats=stats,
+            algorithm="HeurRFC",
+            optimal=False,
+        )
+
+    def _core_prune(self, graph: AttributedGraph, clique_size: int) -> AttributedGraph:
+        """Restrict to the ``(clique_size - 1)``-core, where any larger fair clique must live."""
+        if clique_size <= 1:
+            return graph
+        survivors = k_core(graph, clique_size - 1)
+        return graph.subgraph(survivors)
+
+
+def heuristic_fair_clique(
+    graph: AttributedGraph,
+    k: int,
+    delta: int,
+    restarts: int = 1,
+) -> SearchResult:
+    """Convenience wrapper: run :class:`HeurRFC` and return its :class:`SearchResult`."""
+    return HeurRFC(restarts=restarts).solve(graph, k, delta)

@@ -1,0 +1,47 @@
+"""Graph reduction techniques: colorful core, colorful support, and pipeline."""
+
+from repro.reduction.colorful_support import (
+    colorful_support_reduction,
+    colorful_supports,
+    edge_key,
+    support_thresholds,
+)
+from repro.reduction.core_reduction import (
+    ReductionResult,
+    colorful_core_reduction,
+    drop_isolated_vertices,
+    enhanced_colorful_core_reduction,
+)
+from repro.reduction.enhanced_support import (
+    edge_satisfies_enhanced_support,
+    enhanced_colorful_support_reduction,
+    enhanced_colorful_supports,
+    enhanced_supports_for_groups,
+)
+from repro.reduction.pipeline import (
+    DEFAULT_STAGES,
+    STAGE_REGISTRY,
+    PipelineResult,
+    ReductionPipeline,
+    reduce_graph,
+)
+
+__all__ = [
+    "colorful_support_reduction",
+    "colorful_supports",
+    "edge_key",
+    "support_thresholds",
+    "ReductionResult",
+    "colorful_core_reduction",
+    "drop_isolated_vertices",
+    "enhanced_colorful_core_reduction",
+    "edge_satisfies_enhanced_support",
+    "enhanced_colorful_support_reduction",
+    "enhanced_colorful_supports",
+    "enhanced_supports_for_groups",
+    "DEFAULT_STAGES",
+    "STAGE_REGISTRY",
+    "PipelineResult",
+    "ReductionPipeline",
+    "reduce_graph",
+]

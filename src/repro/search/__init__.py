@@ -1,0 +1,41 @@
+"""Exact maximum relative fair clique search (MaxRFC) and supporting utilities."""
+
+from repro.search.maxrfc import (
+    MaxRFC,
+    MaxRFCConfig,
+    assert_valid_result,
+    find_maximum_fair_clique,
+    maximum_fair_clique_size,
+)
+from repro.search.ordering import (
+    OrderingStrategy,
+    colorful_core_ordering,
+    compute_ordering,
+)
+from repro.search.result import SearchResult
+from repro.search.statistics import SearchStats
+from repro.search.verification import (
+    best_fair_subset,
+    best_fair_subset_size,
+    fairness_satisfied,
+    is_maximal_fair_clique,
+    is_relative_fair_clique,
+)
+
+__all__ = [
+    "MaxRFC",
+    "MaxRFCConfig",
+    "assert_valid_result",
+    "find_maximum_fair_clique",
+    "maximum_fair_clique_size",
+    "OrderingStrategy",
+    "colorful_core_ordering",
+    "compute_ordering",
+    "SearchResult",
+    "SearchStats",
+    "best_fair_subset",
+    "best_fair_subset_size",
+    "fairness_satisfied",
+    "is_maximal_fair_clique",
+    "is_relative_fair_clique",
+]

@@ -1,0 +1,336 @@
+"""MaxRFC — the exact maximum relative fair clique search (Algorithms 2-3).
+
+The solver follows the paper's architecture:
+
+1. **Reduce** the graph with the staged pipeline
+   ``EnColorfulCore → ColorfulSup → EnColorfulSup`` (Algorithm 2, lines 1-3).
+2. Optionally **seed the incumbent** with the linear-time heuristic
+   ``HeurRFC`` (Section V) so the very first branches already prune hard.
+3. For every connected component of the reduced graph, compute the
+   colorful-core vertex ordering ``CalColorOD`` and run a **branch-and-bound**
+   enumeration of cliques in increasing-order fashion, pruning with
+   (a) size / incumbent arguments, (b) per-attribute feasibility,
+   (c) the fairness-gap argument, and (d) a configurable stack of the
+   Section IV upper bounds.
+
+Implementation note: Algorithm 3 in the paper interleaves a strict
+attribute-alternation rule with the vertex-ordering filter; taken literally
+the two interact so that cliques whose order-sorted attribute pattern does not
+alternate would never be assembled.  This implementation keeps the ordering
+filter (each clique is generated exactly once, by adding vertices in
+increasing rank) and keeps fairness as *pruning* rather than as a hard
+branching restriction, which preserves exactness; the attribute-driven
+selection survives as a candidate-ordering heuristic.  The exact search is
+validated against an independent Bron–Kerbosch-based oracle in the test suite.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.bounds.base import BoundStack, make_context
+from repro.cores.kcore import degeneracy
+from repro.exceptions import SearchError
+from repro.graph.attributed_graph import AttributedGraph, Vertex
+from repro.graph.components import connected_components
+from repro.graph.validation import validate_binary_attributes, validate_parameters
+from repro.reduction.pipeline import DEFAULT_STAGES, ReductionPipeline
+from repro.search.ordering import OrderingStrategy, compute_ordering
+from repro.search.result import SearchResult
+from repro.search.statistics import SearchStats
+from repro.search.verification import fairness_satisfied
+
+
+@dataclass
+class MaxRFCConfig:
+    """Tunable knobs of the exact search.
+
+    Attributes
+    ----------
+    bound_stack:
+        Stack of upper bounds used for branch pruning; ``None`` disables
+        bound-based pruning (the plain ``MaxRFC`` baseline of Figs. 6-7).
+    use_reduction:
+        Run the reduction pipeline before searching (Algorithm 2, lines 1-3).
+    reduction_stages:
+        Stage names for the pipeline (defaults to the paper's three stages).
+    use_heuristic:
+        Seed the incumbent with ``HeurRFC`` before branching.
+    bound_depth:
+        Apply the bound stack to branches at depth strictly less than this
+        value.  ``2`` reproduces the paper's "when selecting vertices to be
+        added to R for the first time" (the bound is evaluated once per
+        first-vertex branch); larger values trade bound evaluations for extra
+        pruning, ``0`` disables bound evaluation entirely.
+    ordering:
+        Vertex-ordering strategy (CalColorOD by default).
+    time_limit:
+        Wall-clock budget in seconds (``None`` = unlimited).  When exceeded the
+        search stops and the result is flagged non-optimal.
+    branch_limit:
+        Optional cap on explored branches, useful in benchmarks.
+    """
+
+    bound_stack: BoundStack | None = None
+    use_reduction: bool = True
+    reduction_stages: Sequence[str] = DEFAULT_STAGES
+    use_heuristic: bool = False
+    bound_depth: int = 2
+    ordering: OrderingStrategy = OrderingStrategy.COLORFUL_CORE
+    time_limit: float | None = None
+    branch_limit: int | None = None
+    algorithm_name: str = field(default="MaxRFC")
+
+
+class _TimeBudgetExceeded(Exception):
+    """Internal signal: stop the recursion, keep the incumbent."""
+
+
+class MaxRFC:
+    """Exact maximum relative fair clique solver."""
+
+    def __init__(self, config: MaxRFCConfig | None = None) -> None:
+        self.config = config or MaxRFCConfig()
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def solve(self, graph: AttributedGraph, k: int, delta: int) -> SearchResult:
+        """Find a maximum relative fair clique of ``graph`` for ``(k, delta)``."""
+        validate_parameters(k, delta)
+        config = self.config
+        stats = SearchStats()
+        best: frozenset = frozenset()
+        deadline = None if config.time_limit is None else time.monotonic() + config.time_limit
+
+        try:
+            validate_binary_attributes(graph)
+        except Exception:
+            # Fewer than two attribute values: no fair clique can exist.
+            return SearchResult(frozenset(), k, delta, stats, config.algorithm_name, True)
+
+        working = graph
+        if config.use_reduction:
+            started = time.monotonic()
+            pipeline = ReductionPipeline(config.reduction_stages)
+            reduced = pipeline.run(graph, k)
+            stats.reduction_seconds = time.monotonic() - started
+            stats.extra["reduction"] = [stage.summary() for stage in reduced.stages]
+            working = reduced.graph
+
+        if config.use_heuristic and working.num_vertices > 0:
+            started = time.monotonic()
+            best = self._heuristic_seed(working, k, delta)
+            stats.heuristic_seconds = time.monotonic() - started
+            stats.extra["heuristic_size"] = len(best)
+
+        started = time.monotonic()
+        timed_out = False
+        try:
+            best = self._search_components(working, k, delta, best, stats, deadline)
+        except _TimeBudgetExceeded:
+            timed_out = True
+        stats.search_seconds = time.monotonic() - started
+        stats.timed_out = timed_out
+
+        return SearchResult(
+            clique=best,
+            k=k,
+            delta=delta,
+            stats=stats,
+            algorithm=config.algorithm_name,
+            optimal=not timed_out,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _heuristic_seed(self, graph: AttributedGraph, k: int, delta: int) -> frozenset:
+        """Run HeurRFC on the reduced graph and return its clique (possibly empty)."""
+        from repro.heuristic.heur_rfc import HeurRFC
+
+        result = HeurRFC().solve(graph, k, delta)
+        return result.clique
+
+    def _search_components(
+        self,
+        graph: AttributedGraph,
+        k: int,
+        delta: int,
+        best: frozenset,
+        stats: SearchStats,
+        deadline: float | None,
+    ) -> frozenset:
+        attribute_a, attribute_b = graph.attribute_pair() if graph.num_vertices else ("a", "b")
+        minimum_size = 2 * k
+        # Recursion can go as deep as the largest clique; give it headroom.
+        sys.setrecursionlimit(max(sys.getrecursionlimit(), graph.num_vertices + 1000))
+        # Search the most promising components first (highest degeneracy — the
+        # only place a big clique can hide), so the incumbent grows early and
+        # the remaining components are pruned cheaply.
+        components = sorted(
+            connected_components(graph),
+            key=lambda component: degeneracy(graph, component),
+            reverse=True,
+        )
+        for component in components:
+            if len(component) < minimum_size or len(component) <= len(best):
+                continue
+            histogram = graph.attribute_histogram(component)
+            if histogram.get(attribute_a, 0) < k or histogram.get(attribute_b, 0) < k:
+                continue
+            rank = compute_ordering(graph, component, self.config.ordering)
+            ordered = sorted(component, key=lambda v: rank[v])
+            best = self._branch(
+                graph, frozenset(), ordered, k, delta,
+                attribute_a, attribute_b, best, stats, deadline, depth=0,
+            )
+        return best
+
+    def _check_budget(self, stats: SearchStats, deadline: float | None) -> None:
+        if deadline is not None and stats.branches_explored % 64 == 0:
+            if time.monotonic() > deadline:
+                raise _TimeBudgetExceeded()
+        if (
+            self.config.branch_limit is not None
+            and stats.branches_explored > self.config.branch_limit
+        ):
+            raise _TimeBudgetExceeded()
+
+    def _branch(
+        self,
+        graph: AttributedGraph,
+        clique: frozenset,
+        candidates: list[Vertex],
+        k: int,
+        delta: int,
+        attribute_a: str,
+        attribute_b: str,
+        best: frozenset,
+        stats: SearchStats,
+        deadline: float | None,
+        depth: int,
+    ) -> frozenset:
+        """Recursive branch step: ``clique`` is R, ``candidates`` is C sorted by rank."""
+        stats.branches_explored += 1
+        self._check_budget(stats, deadline)
+
+        count_r_a = sum(1 for v in clique if graph.attribute(v) == attribute_a)
+        count_r_b = len(clique) - count_r_a
+
+        # R itself is always a clique; record it whenever it is fair and larger.
+        if (
+            len(clique) > len(best)
+            and count_r_a >= k
+            and count_r_b >= k
+            and abs(count_r_a - count_r_b) <= delta
+        ):
+            best = clique
+            stats.solutions_found += 1
+
+        if not candidates:
+            return best
+
+        target = max(2 * k, len(best) + 1)
+        if len(clique) + len(candidates) < target:
+            stats.pruned_by_size += 1
+            return best
+
+        count_c_a = sum(1 for v in candidates if graph.attribute(v) == attribute_a)
+        count_c_b = len(candidates) - count_c_a
+        if count_r_a + count_c_a < k or count_r_b + count_c_b < k:
+            stats.pruned_by_attribute_feasibility += 1
+            return best
+        if count_r_a > count_r_b + count_c_b + delta or count_r_b > count_r_a + count_c_a + delta:
+            stats.pruned_by_fairness_gap += 1
+            return best
+
+        stack = self.config.bound_stack
+        if stack is not None and depth < self.config.bound_depth:
+            stats.bound_evaluations += 1
+            context = make_context(graph, clique, candidates, k, delta)
+            if stack.prunes(context, max(2 * k - 1, len(best))):
+                stats.pruned_by_bound += 1
+                return best
+
+        # At the root the candidates are iterated in *descending* rank order:
+        # high-rank vertices (large colorful core numbers, where the biggest
+        # fair cliques live) are explored first, so the incumbent becomes
+        # large quickly and the remaining low-rank roots are pruned cheaply.
+        # Deeper levels keep ascending order so the early-exit size argument
+        # below stays valid for the suffix that is yet to be explored.
+        positions = range(len(candidates))
+        if depth == 0:
+            positions = reversed(positions)
+        for index in positions:
+            vertex = candidates[index]
+            remaining = len(candidates) - index
+            if len(clique) + remaining < max(2 * k, len(best) + 1):
+                stats.pruned_by_incumbent += 1
+                if depth == 0:
+                    continue
+                break
+            neighbors = graph.neighbors(vertex)
+            new_candidates = [v for v in candidates[index + 1:] if v in neighbors]
+            best = self._branch(
+                graph, clique | {vertex}, new_candidates, k, delta,
+                attribute_a, attribute_b, best, stats, deadline, depth + 1,
+            )
+        return best
+
+
+def find_maximum_fair_clique(
+    graph: AttributedGraph,
+    k: int,
+    delta: int,
+    bound_stack: BoundStack | str | None = "ubAD",
+    use_reduction: bool = True,
+    use_heuristic: bool = True,
+    time_limit: float | None = None,
+    ordering: OrderingStrategy = OrderingStrategy.COLORFUL_CORE,
+) -> SearchResult:
+    """High-level convenience API for the exact search.
+
+    Parameters mirror :class:`MaxRFCConfig`; ``bound_stack`` additionally
+    accepts a Table II configuration name (``"ubAD"``, ``"ubAD+ubcp"``…).
+
+    Examples
+    --------
+    >>> from repro.graph import paper_example_graph
+    >>> result = find_maximum_fair_clique(paper_example_graph(), k=3, delta=1)
+    >>> result.size
+    7
+    """
+    if isinstance(bound_stack, str):
+        from repro.bounds.stacks import get_stack
+
+        bound_stack = get_stack(bound_stack)
+    config = MaxRFCConfig(
+        bound_stack=bound_stack,
+        use_reduction=use_reduction,
+        use_heuristic=use_heuristic,
+        time_limit=time_limit,
+        ordering=ordering,
+        algorithm_name="MaxRFC" if bound_stack is None else "MaxRFC+ub",
+    )
+    if use_heuristic and bound_stack is not None:
+        config.algorithm_name = "MaxRFC+ub+HeurRFC"
+    return MaxRFC(config).solve(graph, k, delta)
+
+
+def maximum_fair_clique_size(graph: AttributedGraph, k: int, delta: int) -> int:
+    """Return just the size of the maximum relative fair clique (0 when none exists)."""
+    return find_maximum_fair_clique(graph, k, delta).size
+
+
+def assert_valid_result(graph: AttributedGraph, result: SearchResult) -> None:
+    """Raise :class:`SearchError` if ``result``'s clique is not a valid fair clique."""
+    if not result.found:
+        return
+    if not graph.is_clique(result.clique):
+        raise SearchError("search returned a vertex set that is not a clique")
+    if not fairness_satisfied(graph, result.clique, result.k, result.delta):
+        raise SearchError("search returned a clique violating the fairness constraints")

@@ -1,0 +1,59 @@
+"""Result objects returned by the exact and heuristic searches."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.graph.attributed_graph import AttributedGraph
+from repro.search.statistics import SearchStats
+
+
+@dataclass
+class SearchResult:
+    """Outcome of a maximum-fair-clique search.
+
+    Attributes
+    ----------
+    clique:
+        The best relative fair clique found (empty when none exists).
+    k, delta:
+        The fairness parameters the search ran with.
+    stats:
+        Counters and timings collected during the run.
+    algorithm:
+        Human-readable name of the configuration (``"MaxRFC"``,
+        ``"MaxRFC+ub"``, ``"HeurRFC"``…), used by experiment reports.
+    optimal:
+        True when the result is provably optimal (exact search that finished
+        within its limits), False for heuristic or truncated runs.
+    """
+
+    clique: frozenset
+    k: int
+    delta: int
+    stats: SearchStats = field(default_factory=SearchStats)
+    algorithm: str = "MaxRFC"
+    optimal: bool = True
+
+    @property
+    def size(self) -> int:
+        """Number of vertices in the returned clique (0 when none was found)."""
+        return len(self.clique)
+
+    @property
+    def found(self) -> bool:
+        """True if a relative fair clique satisfying the constraints was found."""
+        return bool(self.clique)
+
+    def attribute_balance(self, graph: AttributedGraph) -> dict[str, int]:
+        """Histogram of attribute values inside the returned clique."""
+        return graph.attribute_histogram(self.clique) if self.clique else {}
+
+    def summary(self) -> str:
+        """One-line report used by the CLI and the experiment harness."""
+        status = "optimal" if self.optimal else "heuristic/truncated"
+        return (
+            f"{self.algorithm}: size={self.size} (k={self.k}, delta={self.delta}, "
+            f"{status}, {self.stats.total_seconds:.3f}s, "
+            f"{self.stats.branches_explored} branches)"
+        )

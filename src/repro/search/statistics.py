@@ -1,0 +1,77 @@
+"""Search statistics collected by MaxRFC and the heuristics.
+
+The experiment harness reports these counters alongside runtimes so the
+effect of every pruning rule (Figs. 6-7, Table II) can be attributed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SearchStats:
+    """Counters accumulated during one search run."""
+
+    branches_explored: int = 0
+    solutions_found: int = 0
+    pruned_by_size: int = 0
+    pruned_by_attribute_feasibility: int = 0
+    pruned_by_fairness_gap: int = 0
+    pruned_by_incumbent: int = 0
+    pruned_by_bound: int = 0
+    bound_evaluations: int = 0
+    reduction_seconds: float = 0.0
+    heuristic_seconds: float = 0.0
+    search_seconds: float = 0.0
+    timed_out: bool = False
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def total_pruned(self) -> int:
+        """Total number of branches cut by any rule."""
+        return (
+            self.pruned_by_size
+            + self.pruned_by_attribute_feasibility
+            + self.pruned_by_fairness_gap
+            + self.pruned_by_incumbent
+            + self.pruned_by_bound
+        )
+
+    @property
+    def total_seconds(self) -> float:
+        """End-to-end wall time (reduction + heuristic + branch-and-bound)."""
+        return self.reduction_seconds + self.heuristic_seconds + self.search_seconds
+
+    def merge(self, other: "SearchStats") -> None:
+        """Accumulate another run's counters into this one (used across components)."""
+        self.branches_explored += other.branches_explored
+        self.solutions_found += other.solutions_found
+        self.pruned_by_size += other.pruned_by_size
+        self.pruned_by_attribute_feasibility += other.pruned_by_attribute_feasibility
+        self.pruned_by_fairness_gap += other.pruned_by_fairness_gap
+        self.pruned_by_incumbent += other.pruned_by_incumbent
+        self.pruned_by_bound += other.pruned_by_bound
+        self.bound_evaluations += other.bound_evaluations
+        self.reduction_seconds += other.reduction_seconds
+        self.heuristic_seconds += other.heuristic_seconds
+        self.search_seconds += other.search_seconds
+        self.timed_out = self.timed_out or other.timed_out
+
+    def as_dict(self) -> dict:
+        """Flat dictionary representation for table/CSV reporting."""
+        return {
+            "branches_explored": self.branches_explored,
+            "solutions_found": self.solutions_found,
+            "pruned_by_size": self.pruned_by_size,
+            "pruned_by_attribute_feasibility": self.pruned_by_attribute_feasibility,
+            "pruned_by_fairness_gap": self.pruned_by_fairness_gap,
+            "pruned_by_incumbent": self.pruned_by_incumbent,
+            "pruned_by_bound": self.pruned_by_bound,
+            "bound_evaluations": self.bound_evaluations,
+            "reduction_seconds": self.reduction_seconds,
+            "heuristic_seconds": self.heuristic_seconds,
+            "search_seconds": self.search_seconds,
+            "total_seconds": self.total_seconds,
+            "timed_out": self.timed_out,
+        }

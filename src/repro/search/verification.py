@@ -1,0 +1,121 @@
+"""Verification predicates for (relative) fair cliques.
+
+Used by tests as ground-truth checks, by the search to validate candidate
+solutions, and by the baselines to score maximal cliques.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.graph.attributed_graph import AttributedGraph, Vertex
+from repro.graph.validation import validate_parameters
+
+
+def fairness_satisfied(
+    graph: AttributedGraph,
+    vertices: Iterable[Vertex],
+    k: int,
+    delta: int,
+) -> bool:
+    """Check condition (i) of Definition 1 on an arbitrary vertex set.
+
+    Both attributes must appear at least ``k`` times and the counts may differ
+    by at most ``delta``.
+    """
+    validate_parameters(k, delta)
+    attribute_a, attribute_b = graph.attribute_pair()
+    count_a = 0
+    count_b = 0
+    for vertex in vertices:
+        if graph.attribute(vertex) == attribute_a:
+            count_a += 1
+        else:
+            count_b += 1
+    return count_a >= k and count_b >= k and abs(count_a - count_b) <= delta
+
+
+def is_relative_fair_clique(
+    graph: AttributedGraph,
+    vertices: Iterable[Vertex],
+    k: int,
+    delta: int,
+) -> bool:
+    """Return True if ``vertices`` induce a clique satisfying the fairness condition.
+
+    Note this checks conditions (i) of Definition 1 plus the clique property;
+    maximality (condition ii) is checked separately by
+    :func:`is_maximal_fair_clique` because the *maximum* fair clique is
+    automatically maximal.
+    """
+    members = list(dict.fromkeys(vertices))
+    return graph.is_clique(members) and fairness_satisfied(graph, members, k, delta)
+
+
+def is_maximal_fair_clique(
+    graph: AttributedGraph,
+    vertices: Iterable[Vertex],
+    k: int,
+    delta: int,
+) -> bool:
+    """Return True if ``vertices`` form a fair clique with no fair-clique superset.
+
+    A superset clique violates maximality only if it *also* satisfies the
+    fairness condition (Definition 1, condition ii).
+    """
+    members = set(vertices)
+    if not is_relative_fair_clique(graph, members, k, delta):
+        return False
+    # Candidate extensions must be adjacent to every member.
+    common: set[Vertex] | None = None
+    for vertex in members:
+        neighborhood = {u for u in graph.neighbors(vertex) if u not in members}
+        common = neighborhood if common is None else (common & neighborhood)
+        if not common:
+            break
+    return not any(
+        fairness_satisfied(graph, members | {extra}, k, delta) for extra in (common or ())
+    )
+
+
+def best_fair_subset_size(count_a: int, count_b: int, k: int, delta: int) -> int:
+    """Largest fair vertex-count achievable from a clique with the given attribute counts.
+
+    Any subset of a clique is a clique, so from a clique with ``count_a``
+    attribute-``a`` members and ``count_b`` attribute-``b`` members one can
+    keep ``s_a <= count_a`` and ``s_b <= count_b`` vertices.  The best total
+    subject to ``s_a, s_b >= k`` and ``|s_a - s_b| <= delta`` is returned,
+    or 0 when no fair subset exists.
+    """
+    validate_parameters(k, delta)
+    if count_a < k or count_b < k:
+        return 0
+    keep_a = min(count_a, count_b + delta)
+    keep_b = min(count_b, count_a + delta)
+    return keep_a + keep_b
+
+
+def best_fair_subset(
+    graph: AttributedGraph,
+    clique: Iterable[Vertex],
+    k: int,
+    delta: int,
+) -> frozenset:
+    """Return an actual maximum fair subset of ``clique`` (empty frozenset if none).
+
+    The subset keeps every vertex of the minority attribute and trims the
+    majority attribute down to ``minority + delta`` vertices, which realises
+    the size computed by :func:`best_fair_subset_size`.
+    """
+    attribute_a, attribute_b = graph.attribute_pair()
+    members = list(clique)
+    members_a = [v for v in members if graph.attribute(v) == attribute_a]
+    members_b = [v for v in members if graph.attribute(v) == attribute_b]
+    size = best_fair_subset_size(len(members_a), len(members_b), k, delta)
+    if size == 0:
+        return frozenset()
+    keep_a = min(len(members_a), len(members_b) + delta)
+    keep_b = min(len(members_b), len(members_a) + delta)
+    members_a.sort(key=str)
+    members_b.sort(key=str)
+    return frozenset(members_a[:keep_a] + members_b[:keep_b])

@@ -1,0 +1,33 @@
+"""Fair clique model variants: weak, strong, and multi-attribute weak models."""
+
+from repro.variants.multi_attribute import (
+    MultiAttributeSearchResult,
+    MultiAttributeWeakFairCliqueSearch,
+    brute_force_maximum_multi_weak_fair_clique,
+    find_maximum_multi_weak_fair_clique,
+    greedy_multi_weak_fair_clique,
+    is_multi_attribute_weak_fair_clique,
+)
+from repro.variants.weak_strong import (
+    brute_force_maximum_weak_fair_clique,
+    find_maximum_strong_fair_clique,
+    find_maximum_weak_fair_clique,
+    is_strong_fair_clique,
+    is_weak_fair_clique,
+    model_comparison,
+)
+
+__all__ = [
+    "MultiAttributeSearchResult",
+    "MultiAttributeWeakFairCliqueSearch",
+    "brute_force_maximum_multi_weak_fair_clique",
+    "find_maximum_multi_weak_fair_clique",
+    "greedy_multi_weak_fair_clique",
+    "is_multi_attribute_weak_fair_clique",
+    "brute_force_maximum_weak_fair_clique",
+    "find_maximum_strong_fair_clique",
+    "find_maximum_weak_fair_clique",
+    "is_strong_fair_clique",
+    "is_weak_fair_clique",
+    "model_comparison",
+]

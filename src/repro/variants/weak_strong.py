@@ -1,0 +1,114 @@
+"""Weak and strong fair clique models (the predecessors of the relative model).
+
+The paper's related work traces the fair-clique line back to two earlier
+models on binary-attributed graphs:
+
+* a **weak fair clique** requires at least ``k`` vertices of *each* attribute
+  (no cap on the imbalance);
+* a **strong fair clique** additionally requires the two counts to be exactly
+  equal.
+
+Both are limiting cases of the relative fair clique this package is built
+around: the weak model is the relative model with an unbounded ``delta`` and
+the strong model is the relative model with ``delta = 0``.  The functions here
+expose maximum-search and verification for both models by delegating to the
+relative-model machinery, so downstream users can compare the three models on
+the same graph (see ``examples/fairness_model_comparison.py``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.baselines.bron_kerbosch import enumerate_maximal_cliques
+from repro.graph.attributed_graph import AttributedGraph, Vertex
+from repro.graph.validation import validate_parameters
+from repro.search.maxrfc import find_maximum_fair_clique
+from repro.search.result import SearchResult
+from repro.search.verification import fairness_satisfied
+
+
+def _unbounded_delta(graph: AttributedGraph) -> int:
+    """A delta value no feasible clique can exceed (the vertex count)."""
+    return max(graph.num_vertices, 1)
+
+
+def is_weak_fair_clique(graph: AttributedGraph, vertices: Iterable[Vertex], k: int) -> bool:
+    """Return True if ``vertices`` form a clique with >= k members of each attribute."""
+    members = list(dict.fromkeys(vertices))
+    return graph.is_clique(members) and fairness_satisfied(
+        graph, members, k, _unbounded_delta(graph)
+    )
+
+
+def is_strong_fair_clique(graph: AttributedGraph, vertices: Iterable[Vertex], k: int) -> bool:
+    """Return True if ``vertices`` form a clique with equal attribute counts, each >= k."""
+    members = list(dict.fromkeys(vertices))
+    return graph.is_clique(members) and fairness_satisfied(graph, members, k, 0)
+
+
+def find_maximum_weak_fair_clique(
+    graph: AttributedGraph,
+    k: int,
+    **search_options,
+) -> SearchResult:
+    """Find a maximum weak fair clique (relative model with unbounded delta).
+
+    Extra keyword arguments are forwarded to
+    :func:`repro.search.maxrfc.find_maximum_fair_clique`.
+    """
+    validate_parameters(k, 0)
+    result = find_maximum_fair_clique(graph, k, _unbounded_delta(graph), **search_options)
+    result.algorithm = f"MaxWeakFC[{result.algorithm}]"
+    return result
+
+
+def find_maximum_strong_fair_clique(
+    graph: AttributedGraph,
+    k: int,
+    **search_options,
+) -> SearchResult:
+    """Find a maximum strong fair clique (relative model with ``delta = 0``)."""
+    validate_parameters(k, 0)
+    result = find_maximum_fair_clique(graph, k, 0, **search_options)
+    result.algorithm = f"MaxStrongFC[{result.algorithm}]"
+    return result
+
+
+def brute_force_maximum_weak_fair_clique(graph: AttributedGraph, k: int) -> frozenset:
+    """Exhaustive oracle for the weak model (used by tests).
+
+    A maximal clique is itself the best weak-fair subset of its vertex set
+    (dropping vertices can only lower attribute counts), so the optimum is the
+    largest maximal clique whose attribute counts all reach ``k``.
+    """
+    validate_parameters(k, 0)
+    if len(graph.attribute_values()) != 2:
+        return frozenset()
+    best: frozenset = frozenset()
+    for clique in enumerate_maximal_cliques(graph):
+        histogram = graph.attribute_histogram(clique)
+        if len(clique) > len(best) and all(
+            histogram.get(value, 0) >= k for value in graph.attribute_values()
+        ):
+            best = clique
+    return best
+
+
+def model_comparison(
+    graph: AttributedGraph,
+    k: int,
+    delta: int,
+    **search_options,
+) -> dict[str, SearchResult]:
+    """Solve the weak, relative, and strong models on the same graph.
+
+    Returns a mapping from model name to its :class:`SearchResult`; by
+    construction ``strong <= relative <= weak`` in clique size.
+    """
+    validate_parameters(k, delta)
+    return {
+        "weak": find_maximum_weak_fair_clique(graph, k, **search_options),
+        "relative": find_maximum_fair_clique(graph, k, delta, **search_options),
+        "strong": find_maximum_strong_fair_clique(graph, k, **search_options),
+    }

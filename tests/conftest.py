@@ -1,0 +1,50 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graph.attributed_graph import AttributedGraph
+from repro.graph.builders import complete_graph, from_edge_list, paper_example_graph
+from repro.graph.generators import community_graph, erdos_renyi_graph
+
+
+@pytest.fixture
+def triangle_graph() -> AttributedGraph:
+    """A 3-clique with two 'a' vertices and one 'b' vertex."""
+    return from_edge_list(
+        [(1, 2), (2, 3), (1, 3)],
+        {1: "a", 2: "a", 3: "b"},
+    )
+
+
+@pytest.fixture
+def paper_graph() -> AttributedGraph:
+    """The running example of Fig. 1 (15 vertices)."""
+    return paper_example_graph()
+
+
+@pytest.fixture
+def balanced_clique() -> AttributedGraph:
+    """A complete graph on 8 vertices, 4 of each attribute."""
+    return complete_graph({i: ("a" if i % 2 == 0 else "b") for i in range(8)})
+
+
+@pytest.fixture
+def small_random_graph() -> AttributedGraph:
+    """A deterministic 20-vertex Erdős–Rényi graph with balanced attributes."""
+    return erdos_renyi_graph(20, 0.4, seed=7)
+
+
+@pytest.fixture
+def community_fixture() -> AttributedGraph:
+    """A community graph with dense blocks (used by integration tests)."""
+    return community_graph(4, 10, intra_probability=0.85, inter_edges=2, seed=3)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A seeded random generator for tests that need extra randomness."""
+    return random.Random(12345)

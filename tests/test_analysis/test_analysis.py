@@ -1,0 +1,117 @@
+"""Tests for the analysis module (graph statistics and fairness metrics)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.fairness_metrics import (
+    attribute_assortativity,
+    balance_ratio,
+    count_gap,
+    describe_clique,
+    fairness_satisfaction,
+)
+from repro.analysis.graph_stats import (
+    average_clustering_coefficient,
+    average_degree,
+    degree_histogram,
+    density,
+    local_clustering_coefficient,
+    summarize_graph,
+    triangle_count,
+)
+from repro.graph.attributed_graph import AttributedGraph
+from repro.graph.builders import complete_graph, from_edge_list
+from repro.graph.generators import erdos_renyi_graph
+
+
+class TestGraphStats:
+    def test_degree_histogram(self, triangle_graph):
+        assert degree_histogram(triangle_graph) == {2: 3}
+
+    def test_average_degree_and_density(self, triangle_graph):
+        assert average_degree(triangle_graph) == 2.0
+        assert density(triangle_graph) == 1.0
+        assert average_degree(AttributedGraph()) == 0.0
+        assert density(AttributedGraph()) == 0.0
+
+    def test_triangle_count(self):
+        clique4 = complete_graph({i: "a" for i in range(4)})
+        assert triangle_count(clique4) == 4
+        path = from_edge_list([(1, 2), (2, 3)], {1: "a", 2: "a", 3: "b"})
+        assert triangle_count(path) == 0
+
+    def test_triangle_count_on_subset(self, balanced_clique):
+        assert triangle_count(balanced_clique, vertices=[0, 1, 2]) == 1
+
+    def test_clustering_coefficients(self, triangle_graph):
+        assert local_clustering_coefficient(triangle_graph, 1) == 1.0
+        assert average_clustering_coefficient(triangle_graph) == 1.0
+        star = from_edge_list([(0, 1), (0, 2), (0, 3)],
+                              {0: "a", 1: "b", 2: "b", 3: "b"})
+        assert local_clustering_coefficient(star, 0) == 0.0
+        assert local_clustering_coefficient(star, 1) == 0.0
+
+    def test_summary(self, paper_graph):
+        summary = summarize_graph(paper_graph)
+        assert summary.num_vertices == 15
+        assert summary.num_edges == 45
+        assert summary.num_components == 1
+        row = summary.as_dict()
+        assert row["n"] == 15
+        assert row["attributes"] == {"a": 9, "b": 6}
+        # An 8-clique alone contributes C(8,3) = 56 triangles.
+        assert summary.triangles >= 56
+
+    @given(n=st.integers(min_value=2, max_value=20), seed=st.integers(min_value=0, max_value=5))
+    @settings(max_examples=20, deadline=None)
+    def test_density_bounds(self, n, seed):
+        graph = erdos_renyi_graph(n, 0.5, seed=seed)
+        assert 0.0 <= density(graph) <= 1.0
+        assert 0.0 <= average_clustering_coefficient(graph) <= 1.0
+
+
+class TestFairnessMetrics:
+    def test_balance_ratio(self, balanced_clique):
+        assert balance_ratio(balanced_clique, balanced_clique.vertices()) == 1.0
+        members = [v for v in balanced_clique.vertices() if balanced_clique.attribute(v) == "a"]
+        assert balance_ratio(balanced_clique, members) == 0.0
+        assert balance_ratio(balanced_clique, []) == 0.0
+
+    def test_count_gap(self, paper_graph):
+        assert count_gap(paper_graph, [7, 8, 10, 11]) == 0
+        assert count_gap(paper_graph, [10, 11, 12, 7]) == 2
+
+    def test_fairness_satisfaction_diagnostics(self, paper_graph):
+        report = fairness_satisfaction(paper_graph, [7, 8, 10, 11, 12], 3, 1)
+        assert report["counts"] == {"a": 3, "b": 2}
+        assert report["shortfalls"] == {"a": 0, "b": 1}
+        assert report["gap"] == 1
+        assert not report["satisfied"]
+        good = fairness_satisfaction(paper_graph, [7, 8, 14, 10, 11, 12], 3, 1)
+        assert good["satisfied"]
+
+    def test_fairness_satisfaction_validates_parameters(self, paper_graph):
+        from repro.exceptions import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError):
+            fairness_satisfaction(paper_graph, [], 0, 0)
+
+    def test_attribute_assortativity(self):
+        same = from_edge_list([(1, 2)], {1: "a", 2: "a", 3: "b"})
+        mixed = from_edge_list([(1, 3)], {1: "a", 2: "a", 3: "b"})
+        assert attribute_assortativity(same) == 1.0
+        assert attribute_assortativity(mixed) == 0.0
+        assert attribute_assortativity(AttributedGraph()) == 0.0
+
+    def test_describe_clique(self, paper_graph):
+        report = describe_clique(paper_graph, [7, 8, 10, 12])
+        assert report.size == 4
+        assert report.is_clique
+        assert report.gap == 0
+        assert report.balance == 1.0
+        assert report.as_dict()["size"] == 4
+        non_clique = describe_clique(paper_graph, [1, 2, 3, 9, 7])
+        assert not non_clique.is_clique

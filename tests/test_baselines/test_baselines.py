@@ -1,0 +1,115 @@
+"""Tests for the Bron–Kerbosch enumeration and the brute-force fair-clique baseline."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.bron_kerbosch import (
+    enumerate_maximal_cliques,
+    maximum_clique,
+    maximum_clique_size,
+)
+from repro.baselines.enumeration import (
+    brute_force_maximum_fair_clique,
+    count_fair_cliques,
+    enumerate_fair_cliques,
+)
+from repro.graph.builders import complete_graph, from_edge_list
+from repro.graph.generators import erdos_renyi_graph
+from repro.search.verification import is_relative_fair_clique
+
+
+class TestBronKerbosch:
+    def test_complete_graph_single_maximal_clique(self):
+        graph = complete_graph({i: "a" for i in range(5)})
+        cliques = list(enumerate_maximal_cliques(graph))
+        assert cliques == [frozenset(range(5))]
+
+    def test_triangle_plus_pendant(self):
+        graph = from_edge_list(
+            [(1, 2), (2, 3), (1, 3), (3, 4)], {1: "a", 2: "a", 3: "b", 4: "b"}
+        )
+        cliques = set(enumerate_maximal_cliques(graph))
+        assert cliques == {frozenset({1, 2, 3}), frozenset({3, 4})}
+
+    def test_cycle_of_four(self):
+        graph = from_edge_list(
+            [(1, 2), (2, 3), (3, 4), (4, 1)], {1: "a", 2: "b", 3: "a", 4: "b"}
+        )
+        cliques = set(enumerate_maximal_cliques(graph))
+        assert cliques == {frozenset({1, 2}), frozenset({2, 3}),
+                           frozenset({3, 4}), frozenset({4, 1})}
+
+    def test_empty_graph(self):
+        from repro.graph.attributed_graph import AttributedGraph
+
+        assert list(enumerate_maximal_cliques(AttributedGraph())) == []
+        assert maximum_clique(AttributedGraph()) == frozenset()
+
+    def test_maximum_clique_on_paper_example(self, paper_graph):
+        assert maximum_clique_size(paper_graph) == 8
+        assert maximum_clique(paper_graph) == frozenset({7, 8, 10, 11, 12, 13, 14, 15})
+
+    def test_enumeration_on_subset(self, paper_graph):
+        cliques = list(enumerate_maximal_cliques(paper_graph, vertices={7, 8, 10, 11}))
+        assert cliques == [frozenset({7, 8, 10, 11})]
+
+    @given(seed=st.integers(min_value=0, max_value=20))
+    @settings(max_examples=20, deadline=None)
+    def test_every_enumerated_clique_is_maximal(self, seed):
+        graph = erdos_renyi_graph(15, 0.4, seed=seed)
+        for clique in enumerate_maximal_cliques(graph):
+            assert graph.is_clique(clique)
+            # No vertex outside the clique is adjacent to all members.
+            for vertex in graph.vertices():
+                if vertex in clique:
+                    continue
+                assert not clique <= graph.neighbors(vertex) | {vertex}
+
+    @given(seed=st.integers(min_value=0, max_value=20))
+    @settings(max_examples=20, deadline=None)
+    def test_enumeration_is_duplicate_free(self, seed):
+        graph = erdos_renyi_graph(14, 0.5, seed=seed)
+        cliques = list(enumerate_maximal_cliques(graph))
+        assert len(cliques) == len(set(cliques))
+
+
+class TestBruteForceFairClique:
+    def test_paper_example(self, paper_graph):
+        result = brute_force_maximum_fair_clique(paper_graph, 3, 1)
+        assert result.size == 7
+        assert result.optimal
+        assert result.algorithm == "BruteForceEnum"
+        assert is_relative_fair_clique(paper_graph, result.clique, 3, 1)
+
+    def test_infeasible_parameters(self, paper_graph):
+        assert brute_force_maximum_fair_clique(paper_graph, 7, 0).size == 0
+
+    def test_single_attribute_graph(self):
+        graph = complete_graph({i: "a" for i in range(5)})
+        assert brute_force_maximum_fair_clique(graph, 1, 0).size == 0
+
+    def test_returned_clique_is_valid(self, community_fixture):
+        result = brute_force_maximum_fair_clique(community_fixture, 2, 1)
+        if result.found:
+            assert is_relative_fair_clique(community_fixture, result.clique, 2, 1)
+
+
+class TestFairCliqueEnumeration:
+    def test_balanced_clique_yields_single_fair_clique(self, balanced_clique):
+        fair = list(enumerate_fair_cliques(balanced_clique, 2, 1))
+        assert fair == [frozenset(balanced_clique.vertices())]
+
+    def test_counts_match_enumeration(self, community_fixture):
+        fair = list(enumerate_fair_cliques(community_fixture, 2, 1))
+        assert count_fair_cliques(community_fixture, 2, 1) == len(fair)
+        for clique in fair:
+            assert is_relative_fair_clique(community_fixture, clique, 2, 1)
+
+    def test_no_fair_cliques_when_infeasible(self, balanced_clique):
+        assert count_fair_cliques(balanced_clique, 5, 0) == 0
+
+    def test_single_attribute_graph_yields_nothing(self):
+        graph = complete_graph({i: "a" for i in range(4)})
+        assert list(enumerate_fair_cliques(graph, 1, 0)) == []

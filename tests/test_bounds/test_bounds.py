@@ -1,0 +1,184 @@
+"""Tests for the upper bounds of Section IV (Lemmas 5-14).
+
+The central property, checked both on hand-built instances and with
+hypothesis-generated random graphs, is *soundness*: every bound evaluated on
+an instance ``(R, C)`` must be at least the size of the maximum relative fair
+clique inside ``R ∪ C``.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.enumeration import brute_force_maximum_fair_clique
+from repro.bounds.base import BoundStack, bound_value, make_context
+from repro.bounds.colorful_path import build_color_dag, longest_colorful_path
+from repro.bounds.simple import ADVANCED_GROUP
+from repro.bounds.stacks import ALL_BOUNDS, STACK_CONFIGURATIONS, get_bound, get_stack, stack_names
+from repro.coloring.greedy import greedy_coloring
+from repro.graph.builders import complete_graph, from_edge_list
+from repro.graph.generators import erdos_renyi_graph
+
+
+class TestSimpleBoundsOnCliques:
+    def test_size_bound(self, balanced_clique):
+        bound = get_bound("ubs")
+        assert bound_value(bound, balanced_clique, [], balanced_clique.vertices(), 2, 1) == 8
+
+    def test_attribute_bound_balanced(self, balanced_clique):
+        bound = get_bound("uba")
+        assert bound_value(bound, balanced_clique, [], balanced_clique.vertices(), 2, 1) == 8
+
+    def test_attribute_bound_skewed(self):
+        graph = complete_graph({0: "a", 1: "a", 2: "a", 3: "a", 4: "a", 5: "b", 6: "b"})
+        bound = get_bound("uba")
+        # 5 a's, 2 b's, delta=1 -> at most 2*2+1 = 5.
+        assert bound_value(bound, graph, [], graph.vertices(), 2, 1) == 5
+
+    def test_color_bound_on_clique(self, balanced_clique):
+        bound = get_bound("ubc")
+        assert bound_value(bound, balanced_clique, [], balanced_clique.vertices(), 2, 1) == 8
+
+    def test_color_bound_on_bipartite(self):
+        # A complete bipartite graph is 2-colorable, so ubc = 2 regardless of size.
+        edges = [(i, j) for i in range(4) for j in range(4, 8)]
+        graph = from_edge_list(edges, {i: ("a" if i < 4 else "b") for i in range(8)})
+        bound = get_bound("ubc")
+        assert bound_value(bound, graph, [], graph.vertices(), 1, 0) == 2
+
+    def test_attribute_color_bounds_tighten_their_base_bounds(self, paper_graph):
+        context = make_context(paper_graph, [], paper_graph.vertices(), 3, 1)
+        # Colors per attribute never exceed vertex counts per attribute, and
+        # the enhanced variant never exceeds the plain color count.
+        assert get_bound("ubac")(context) <= get_bound("uba")(context)
+        assert get_bound("ubeac")(context) <= get_bound("ubc")(context)
+        assert get_bound("ubeac")(context) <= get_bound("ubac")(context)
+
+
+class TestStructuralBounds:
+    def test_degeneracy_bound_on_triangle(self, triangle_graph):
+        bound = get_bound("ub_deg")
+        assert bound_value(bound, triangle_graph, [], triangle_graph.vertices(), 1, 0) == 3
+
+    def test_h_index_bound_on_triangle(self, triangle_graph):
+        bound = get_bound("ub_h")
+        assert bound_value(bound, triangle_graph, [], triangle_graph.vertices(), 1, 0) == 3
+
+    def test_degeneracy_le_h_index_bound(self, paper_graph):
+        context = make_context(paper_graph, [], paper_graph.vertices(), 3, 1)
+        assert get_bound("ub_deg")(context) <= get_bound("ub_h")(context)
+
+
+class TestColorfulBounds:
+    def test_colorful_degeneracy_bound_clique(self, balanced_clique):
+        context = make_context(balanced_clique, [], balanced_clique.vertices(), 2, 0)
+        # colorful degeneracy is 3, so the bound is 2*(3+1)+0 = 8 = |clique|.
+        assert get_bound("ubcd")(context) == 8
+
+    def test_colorful_h_index_bound_clique(self, balanced_clique):
+        context = make_context(balanced_clique, [], balanced_clique.vertices(), 2, 0)
+        assert get_bound("ubch")(context) == 8
+
+    def test_colorful_path_bound_clique(self, balanced_clique):
+        context = make_context(balanced_clique, [], balanced_clique.vertices(), 2, 0)
+        assert get_bound("ubcp")(context) == 8
+
+    def test_colorful_path_dp_on_disconnected(self):
+        graph = from_edge_list([(1, 2), (3, 4)], {1: "a", 2: "b", 3: "a", 4: "b"})
+        assert longest_colorful_path(graph, graph.vertices()) == 2
+
+    def test_colorful_path_empty(self):
+        from repro.graph.attributed_graph import AttributedGraph
+
+        assert longest_colorful_path(AttributedGraph(), []) == 0
+
+    def test_color_dag_is_acyclic_and_ordered(self, paper_graph):
+        coloring = greedy_coloring(paper_graph)
+        ordered, incoming = build_color_dag(paper_graph, coloring, paper_graph.vertices())
+        rank = {vertex: index for index, vertex in enumerate(ordered)}
+        for vertex, predecessors in incoming.items():
+            for predecessor in predecessors:
+                assert rank[predecessor] < rank[vertex]
+                # edge endpoints never share a color (proper coloring)
+                assert coloring[predecessor] != coloring[vertex]
+
+
+class TestSoundness:
+    """Every bound must dominate the true maximum fair clique size."""
+
+    @pytest.mark.parametrize("bound_name", sorted(ALL_BOUNDS))
+    def test_bounds_sound_on_paper_example(self, paper_graph, bound_name):
+        k, delta = 3, 1
+        optimum = brute_force_maximum_fair_clique(paper_graph, k, delta).size
+        bound = get_bound(bound_name)
+        value = bound_value(bound, paper_graph, [], paper_graph.vertices(), k, delta)
+        assert value >= optimum
+
+    @given(seed=st.integers(min_value=0, max_value=20),
+           k=st.integers(min_value=1, max_value=3),
+           delta=st.integers(min_value=0, max_value=2))
+    @settings(max_examples=30, deadline=None)
+    def test_bounds_sound_on_random_graphs(self, seed, k, delta):
+        graph = erdos_renyi_graph(18, 0.5, seed=seed)
+        optimum = brute_force_maximum_fair_clique(graph, k, delta).size
+        if optimum == 0:
+            return
+        for bound in ALL_BOUNDS.values():
+            value = bound_value(bound, graph, [], graph.vertices(), k, delta)
+            assert value >= optimum, f"{bound.name} = {value} < optimum {optimum}"
+
+    @given(seed=st.integers(min_value=0, max_value=10))
+    @settings(max_examples=10, deadline=None)
+    def test_bounds_sound_on_partial_instances(self, seed):
+        """Soundness also holds when R is non-empty (mid-search instances)."""
+        graph = erdos_renyi_graph(16, 0.6, seed=seed)
+        k, delta = 2, 1
+        # Pick a seed edge as R and its common neighbourhood as C.
+        edges = list(graph.edges())
+        if not edges:
+            return
+        u, v = edges[0]
+        clique = {u, v}
+        candidates = graph.common_neighbors(u, v)
+        scope = clique | candidates
+        optimum = brute_force_maximum_fair_clique(graph.subgraph(scope), k, delta).size
+        if optimum == 0:
+            return
+        for bound in ALL_BOUNDS.values():
+            value = bound_value(bound, graph, clique, candidates, k, delta)
+            assert value >= optimum
+
+
+class TestStacks:
+    def test_stack_names_match_table2(self):
+        assert set(stack_names()) == set(STACK_CONFIGURATIONS)
+        assert "ubAD" in stack_names()
+        assert len(stack_names()) == 6
+
+    def test_unknown_stack_rejected(self):
+        with pytest.raises(KeyError):
+            get_stack("nope")
+        with pytest.raises(KeyError):
+            get_bound("nope")
+
+    def test_stack_evaluates_to_minimum(self, paper_graph):
+        stack = get_stack("ubAD+ubcp")
+        context = make_context(paper_graph, [], paper_graph.vertices(), 3, 1)
+        individual = [bound(context) for bound in stack.bounds]
+        assert stack.evaluate(context) == min(individual)
+
+    def test_stack_prunes_threshold(self, paper_graph):
+        stack = get_stack("ubAD")
+        context = make_context(paper_graph, [], paper_graph.vertices(), 3, 1)
+        value = stack.evaluate(context)
+        assert stack.prunes(context, value)
+        assert not stack.prunes(context, value - 1)
+
+    def test_empty_stack_rejected(self):
+        with pytest.raises(ValueError):
+            BoundStack([])
+
+    def test_advanced_group_has_five_bounds(self):
+        assert len(ADVANCED_GROUP) == 5

@@ -1,0 +1,52 @@
+"""Tests for the stats and compare-models CLI subcommands."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.graph.builders import paper_example_graph
+from repro.graph.io import write_edge_list
+
+
+@pytest.fixture
+def paper_files(tmp_path):
+    graph = paper_example_graph()
+    edge_path = tmp_path / "g.edges"
+    attr_path = tmp_path / "g.attrs"
+    write_edge_list(graph, edge_path, attr_path)
+    return str(edge_path), str(attr_path)
+
+
+class TestStatsCommand:
+    def test_stats_on_edge_list(self, paper_files, capsys):
+        edges, attrs = paper_files
+        assert main(["stats", "--edges", edges, "--attributes", attrs]) == 0
+        out = capsys.readouterr().out
+        assert "n " in out and "15" in out
+        assert "attribute_assortativity" in out
+
+    def test_stats_on_dataset(self, capsys):
+        assert main(["stats", "--dataset", "Aminer", "--scale", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "triangles" in out
+        assert "components" in out
+
+
+class TestCompareModelsCommand:
+    def test_compare_models_on_paper_example(self, paper_files, capsys):
+        edges, attrs = paper_files
+        exit_code = main([
+            "compare-models", "--edges", edges, "--attributes", attrs,
+            "-k", "3", "--delta", "1",
+        ])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "weak" in out and "relative" in out and "strong" in out
+        # Weak model ignores delta, so it reaches the full 8-vertex community.
+        assert "8" in out
+
+    def test_compare_models_requires_parameters(self, paper_files):
+        edges, attrs = paper_files
+        with pytest.raises(SystemExit):
+            main(["compare-models", "--edges", edges, "--attributes", attrs])

@@ -1,0 +1,113 @@
+"""Tests for greedy coloring and its helper utilities, including property tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coloring.greedy import (
+    ColoringOrder,
+    attribute_color_counts,
+    color_classes,
+    color_sequence,
+    degree_ordering,
+    greedy_coloring,
+    num_colors,
+    smallest_last_ordering,
+    verify_proper_coloring,
+)
+from repro.graph.builders import complete_graph
+from repro.graph.generators import erdos_renyi_graph
+
+
+class TestGreedyColoring:
+    def test_complete_graph_needs_n_colors(self):
+        graph = complete_graph({i: "a" for i in range(6)})
+        coloring = greedy_coloring(graph)
+        assert num_colors(coloring) == 6
+        assert verify_proper_coloring(graph, coloring)
+
+    def test_empty_graph(self):
+        from repro.graph.attributed_graph import AttributedGraph
+
+        assert greedy_coloring(AttributedGraph()) == {}
+        assert num_colors({}) == 0
+
+    def test_triangle(self, triangle_graph):
+        coloring = greedy_coloring(triangle_graph)
+        assert num_colors(coloring) == 3
+        assert verify_proper_coloring(triangle_graph, coloring)
+
+    def test_subset_scope_only_considers_internal_edges(self, paper_graph):
+        # Color only two adjacent vertices plus one far-away vertex.
+        coloring = greedy_coloring(paper_graph, vertices=[7, 8, 1])
+        assert set(coloring) == {7, 8, 1}
+        assert coloring[7] != coloring[8]
+        assert verify_proper_coloring(paper_graph, coloring, vertices=[7, 8, 1])
+
+    @pytest.mark.parametrize("order", list(ColoringOrder))
+    def test_all_orderings_produce_proper_colorings(self, paper_graph, order):
+        coloring = greedy_coloring(paper_graph, order=order, seed=3)
+        assert verify_proper_coloring(paper_graph, coloring)
+        assert set(coloring) == set(paper_graph.vertices())
+
+    def test_paper_graph_color_count_at_least_clique_number(self, paper_graph):
+        # The graph contains an 8-clique, so any proper coloring needs >= 8 colors.
+        coloring = greedy_coloring(paper_graph)
+        assert num_colors(coloring) >= 8
+
+    @given(n=st.integers(min_value=1, max_value=30),
+           p=st.floats(min_value=0.0, max_value=1.0),
+           seed=st.integers(min_value=0, max_value=5))
+    @settings(max_examples=25, deadline=None)
+    def test_random_graphs_always_properly_colored(self, n, p, seed):
+        graph = erdos_renyi_graph(n, p, seed=seed)
+        coloring = greedy_coloring(graph)
+        assert verify_proper_coloring(graph, coloring)
+        assert num_colors(coloring) <= graph.max_degree() + 1
+
+
+class TestOrderings:
+    def test_degree_ordering_is_non_increasing(self, paper_graph):
+        ordering = degree_ordering(paper_graph)
+        degrees = [paper_graph.degree(v) for v in ordering]
+        assert degrees == sorted(degrees, reverse=True)
+
+    def test_smallest_last_ordering_covers_all_vertices(self, paper_graph):
+        ordering = smallest_last_ordering(paper_graph)
+        assert sorted(map(str, ordering)) == sorted(map(str, paper_graph.vertices()))
+
+    def test_smallest_last_bounds_colors_by_degeneracy(self):
+        graph = erdos_renyi_graph(40, 0.2, seed=9)
+        from repro.cores.kcore import degeneracy
+
+        coloring = greedy_coloring(graph, order=ColoringOrder.DEGENERACY)
+        assert num_colors(coloring) <= degeneracy(graph) + 1
+
+
+class TestHelpers:
+    def test_color_classes_partition(self, paper_graph):
+        coloring = greedy_coloring(paper_graph)
+        classes = color_classes(coloring)
+        total = sum(len(members) for members in classes.values())
+        assert total == paper_graph.num_vertices
+        for color, members in classes.items():
+            for vertex in members:
+                assert coloring[vertex] == color
+
+    def test_attribute_color_counts(self, paper_graph):
+        coloring = greedy_coloring(paper_graph)
+        per_attribute = attribute_color_counts(paper_graph, coloring)
+        assert set(per_attribute) == {"a", "b"}
+        for colors in per_attribute.values():
+            assert colors <= set(coloring.values())
+
+    def test_color_sequence(self, triangle_graph):
+        coloring = greedy_coloring(triangle_graph)
+        assert color_sequence(coloring, [1, 2, 3]) == [coloring[1], coloring[2], coloring[3]]
+
+    def test_verify_rejects_bad_coloring(self, triangle_graph):
+        assert not verify_proper_coloring(triangle_graph, {1: 0, 2: 0, 3: 1})
+        # An incomplete coloring fails when checked against an explicit scope.
+        assert not verify_proper_coloring(triangle_graph, {1: 0, 2: 1}, vertices=[1, 2, 3])

@@ -1,0 +1,158 @@
+"""Tests for colorful degrees, colorful k-core, colorful degeneracy/h-index,
+and their enhanced variants."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coloring.greedy import greedy_coloring
+from repro.cores.colorful import (
+    colorful_core_numbers,
+    colorful_degeneracy,
+    colorful_degrees,
+    colorful_h_index,
+    colorful_k_core,
+    min_colorful_degrees,
+)
+from repro.cores.enhanced import (
+    balanced_split_value,
+    enhanced_colorful_degree,
+    enhanced_colorful_degrees,
+    enhanced_colorful_k_core,
+)
+from repro.exceptions import AttributeCountError
+from repro.graph.builders import complete_graph, from_edge_list
+from repro.graph.generators import erdos_renyi_graph
+
+
+class TestColorfulDegrees:
+    def test_balanced_clique_degrees(self, balanced_clique):
+        coloring = greedy_coloring(balanced_clique)
+        degrees = colorful_degrees(balanced_clique, coloring)
+        # In an 8-clique with 4 a's and 4 b's every vertex sees 4 or 3 distinct
+        # colors per attribute (own attribute contributes one fewer neighbour).
+        for vertex, per_attribute in degrees.items():
+            own = balanced_clique.attribute(vertex)
+            other = "b" if own == "a" else "a"
+            assert per_attribute[own] == 3
+            assert per_attribute[other] == 4
+
+    def test_min_colorful_degrees(self, balanced_clique):
+        coloring = greedy_coloring(balanced_clique)
+        minima = min_colorful_degrees(balanced_clique, coloring)
+        assert all(value == 3 for value in minima.values())
+
+    def test_colorful_degree_counts_distinct_colors_not_vertices(self):
+        # Star: centre 0 with 4 leaves of attribute 'a'; leaves are pairwise
+        # non-adjacent so greedy coloring may reuse one color for all of them.
+        graph = from_edge_list(
+            [(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)],
+            {0: "b", 1: "a", 2: "a", 3: "a", 4: "a", 5: "b"},
+        )
+        coloring = greedy_coloring(graph)
+        degrees = colorful_degrees(graph, coloring)
+        assert degrees[0]["a"] == 1  # all leaves share a color
+        assert degrees[0]["b"] == 1
+
+    def test_requires_two_attributes(self):
+        graph = from_edge_list([(1, 2)], {1: "a", 2: "a"})
+        with pytest.raises(AttributeCountError):
+            colorful_degrees(graph, greedy_coloring(graph))
+
+
+class TestColorfulKCore:
+    def test_paper_example_core_keeps_fair_clique_community(self, paper_graph):
+        # The dense right-hand community of Fig. 1 (which holds the maximum
+        # fair clique) must survive the colorful 2-core.
+        core = colorful_k_core(paper_graph, 2)
+        assert {7, 8, 10, 11, 12, 13, 14, 15} <= core
+
+    def test_high_k_empties_graph(self, paper_graph):
+        assert colorful_k_core(paper_graph, 10) == set()
+
+    def test_core_contains_planted_clique(self, balanced_clique):
+        assert colorful_k_core(balanced_clique, 3) == set(balanced_clique.vertices())
+
+    def test_core_monotone_in_k(self, community_fixture):
+        previous = set(community_fixture.vertices())
+        for k in range(1, 6):
+            current = colorful_k_core(community_fixture, k)
+            assert current <= previous
+            previous = current
+
+    @given(seed=st.integers(min_value=0, max_value=8), k=st.integers(min_value=1, max_value=4))
+    @settings(max_examples=20, deadline=None)
+    def test_every_member_meets_threshold(self, seed, k):
+        graph = erdos_renyi_graph(25, 0.4, seed=seed)
+        coloring = greedy_coloring(graph)
+        core = colorful_k_core(graph, k, coloring)
+        if core:
+            degrees = colorful_degrees(graph, coloring, core)
+            for per_attribute in degrees.values():
+                assert min(per_attribute.values()) >= k
+
+
+class TestColorfulCoreNumbers:
+    def test_core_numbers_consistent_with_core_extraction(self, community_fixture):
+        coloring = greedy_coloring(community_fixture)
+        numbers = colorful_core_numbers(community_fixture, coloring)
+        for k in range(1, max(numbers.values(), default=0) + 1):
+            core = colorful_k_core(community_fixture, k, coloring)
+            by_number = {v for v, value in numbers.items() if value >= k}
+            assert core == by_number
+
+    def test_colorful_degeneracy_balanced_clique(self, balanced_clique):
+        assert colorful_degeneracy(balanced_clique) == 3
+
+    def test_colorful_h_index_balanced_clique(self, balanced_clique):
+        assert colorful_h_index(balanced_clique) == 3
+
+    def test_h_index_at_least_degeneracy(self, community_fixture):
+        coloring = greedy_coloring(community_fixture)
+        assert colorful_h_index(community_fixture, coloring) >= colorful_degeneracy(
+            community_fixture, coloring
+        )
+
+
+class TestEnhancedColorful:
+    def test_balanced_split_value(self):
+        assert balanced_split_value(0, 0, 0) == 0
+        assert balanced_split_value(3, 3, 0) == 3
+        assert balanced_split_value(0, 0, 4) == 2
+        assert balanced_split_value(1, 5, 2) == 3
+        assert balanced_split_value(5, 1, 2) == 3
+        assert balanced_split_value(0, 10, 2) == 2
+
+    def test_enhanced_degree_never_exceeds_plain_min(self, community_fixture):
+        coloring = greedy_coloring(community_fixture)
+        plain = min_colorful_degrees(community_fixture, coloring)
+        enhanced = enhanced_colorful_degrees(community_fixture, coloring)
+        for vertex in plain:
+            assert enhanced[vertex] <= plain[vertex]
+
+    def test_enhanced_degree_single_vertex(self, balanced_clique):
+        coloring = greedy_coloring(balanced_clique)
+        value = enhanced_colorful_degree(balanced_clique, coloring, 0)
+        assert value == 3
+
+    def test_enhanced_core_subset_of_colorful_core(self, community_fixture):
+        coloring = greedy_coloring(community_fixture)
+        for k in range(1, 5):
+            enhanced = enhanced_colorful_k_core(community_fixture, k, coloring)
+            plain = colorful_k_core(community_fixture, k, coloring)
+            assert enhanced <= plain
+
+    def test_enhanced_core_members_meet_threshold(self, community_fixture):
+        coloring = greedy_coloring(community_fixture)
+        core = enhanced_colorful_k_core(community_fixture, 2, coloring)
+        if core:
+            degrees = enhanced_colorful_degrees(community_fixture, coloring, core)
+            assert all(value >= 2 for value in degrees.values())
+
+    def test_paper_example_enhanced_core_keeps_fair_clique_community(self, paper_graph):
+        # The community holding the maximum fair clique survives the enhanced
+        # colorful 2-core as well.
+        core = enhanced_colorful_k_core(paper_graph, 2)
+        assert {7, 8, 10, 11, 12, 13, 14, 15} <= core

@@ -1,0 +1,101 @@
+"""Tests for classic k-core decomposition, degeneracy, and h-index."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cores.kcore import (
+    core_numbers,
+    degeneracy,
+    degeneracy_ordering,
+    graph_h_index,
+    h_index_of_values,
+    k_core,
+    k_core_subgraph,
+)
+from repro.graph.builders import complete_graph, from_edge_list
+from repro.graph.generators import erdos_renyi_graph
+
+
+class TestCoreNumbers:
+    def test_clique_core_numbers(self):
+        graph = complete_graph({i: "a" for i in range(5)})
+        cores = core_numbers(graph)
+        assert all(value == 4 for value in cores.values())
+        assert degeneracy(graph) == 4
+
+    def test_path_graph(self):
+        graph = from_edge_list([(1, 2), (2, 3), (3, 4)], {i: "a" for i in range(1, 5)})
+        cores = core_numbers(graph)
+        assert all(value == 1 for value in cores.values())
+
+    def test_clique_with_pendant(self):
+        attributes = {i: "a" for i in range(6)}
+        graph = complete_graph({i: "a" for i in range(5)})
+        graph.add_vertex(5, "a")
+        graph.add_edge(5, 0)
+        cores = core_numbers(graph)
+        assert cores[5] == 1
+        assert cores[0] == 4
+        assert degeneracy(graph) == 4
+        assert attributes  # silence unused warning
+
+    def test_empty_graph(self):
+        from repro.graph.attributed_graph import AttributedGraph
+
+        assert core_numbers(AttributedGraph()) == {}
+        assert degeneracy(AttributedGraph()) == 0
+
+    def test_core_numbers_on_subset(self, paper_graph):
+        subset = {7, 8, 10, 11, 12}
+        cores = core_numbers(paper_graph, subset)
+        assert set(cores) == subset
+        assert all(value == 4 for value in cores.values())
+
+    @given(n=st.integers(min_value=1, max_value=30), seed=st.integers(min_value=0, max_value=5))
+    @settings(max_examples=20, deadline=None)
+    def test_core_number_at_most_degree(self, n, seed):
+        graph = erdos_renyi_graph(n, 0.3, seed=seed)
+        cores = core_numbers(graph)
+        for vertex, core in cores.items():
+            assert core <= graph.degree(vertex)
+
+
+class TestKCoreExtraction:
+    def test_k_core_vertices(self):
+        graph = complete_graph({i: "a" for i in range(5)})
+        graph.add_vertex(10, "a")
+        graph.add_edge(10, 0)
+        assert k_core(graph, 4) == {0, 1, 2, 3, 4}
+        assert k_core(graph, 5) == set()
+        sub = k_core_subgraph(graph, 2)
+        assert sub.num_vertices == 5
+
+    def test_degeneracy_ordering_peels_weakest_first(self, paper_graph):
+        ordering = degeneracy_ordering(paper_graph)
+        assert len(ordering) == paper_graph.num_vertices
+        assert len(set(ordering)) == paper_graph.num_vertices
+
+
+class TestHIndex:
+    def test_h_index_of_values(self):
+        assert h_index_of_values([]) == 0
+        assert h_index_of_values([0, 0, 0]) == 0
+        assert h_index_of_values([5, 5, 5, 5, 5]) == 5
+        assert h_index_of_values([10, 8, 5, 4, 3]) == 4
+        assert h_index_of_values([1]) == 1
+
+    def test_graph_h_index_clique(self):
+        graph = complete_graph({i: "a" for i in range(6)})
+        assert graph_h_index(graph) == 5
+
+    def test_graph_h_index_bounded_by_degeneracy_relation(self, paper_graph):
+        # degeneracy <= h-index always holds.
+        assert degeneracy(paper_graph) <= graph_h_index(paper_graph)
+
+    @given(n=st.integers(min_value=2, max_value=25), seed=st.integers(min_value=0, max_value=5))
+    @settings(max_examples=20, deadline=None)
+    def test_degeneracy_le_h_index_random(self, n, seed):
+        graph = erdos_renyi_graph(n, 0.4, seed=seed)
+        assert degeneracy(graph) <= graph_h_index(graph)

@@ -1,0 +1,181 @@
+"""Tests for the experiment drivers (run at tiny scale so they stay fast)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.bounds_experiment import (
+    all_sizes_agree,
+    best_stack_per_dataset,
+    format_bounds_report,
+    run_bounds_experiment,
+)
+from repro.experiments.case_study_experiment import (
+    format_case_study_report,
+    run_case_study_experiment,
+)
+from repro.experiments.heuristic_experiment import (
+    format_heuristic_report,
+    max_gap,
+    run_heuristic_experiment,
+)
+from repro.experiments.reduction_experiment import (
+    format_reduction_report,
+    reduction_monotonicity_holds,
+    run_reduction_experiment,
+)
+from repro.experiments.reporting import format_series, format_table, rows_to_csv, speedup
+from repro.experiments.runner import experiment_ids, run_all, run_experiment
+from repro.experiments.scalability_experiment import (
+    format_scalability_report,
+    run_scalability_experiment,
+)
+from repro.experiments.search_experiment import (
+    augmented_never_slower_by_much,
+    format_search_report,
+    run_search_experiment,
+)
+from repro.experiments.timing import Timer, stopwatch, time_call
+
+SCALE = 0.2
+FAST_DATASETS = ("DBLP", "Aminer")
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        rows = [{"a": 1, "b": "xx"}, {"a": 22, "b": "y"}]
+        text = format_table(rows, title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_empty(self):
+        assert "(no data)" in format_table([], title="T")
+
+    def test_format_series(self):
+        text = format_series("runtime", [2, 3], [10, 20], x_name="k", y_name="us")
+        assert "k=2: 10" in text
+
+    def test_rows_to_csv_quoting(self):
+        rows = [{"a": 'needs "quotes", yes', "b": 1}]
+        text = rows_to_csv(rows)
+        assert text.splitlines()[0] == "a,b"
+        assert '""quotes""' in text
+
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == 5.0
+        assert speedup(1.0, 0.0) == float("inf")
+
+    def test_timer(self):
+        timer = Timer()
+        timer.start()
+        timer.stop()
+        assert timer.elapsed >= 0
+        assert timer.microseconds >= 0
+        with stopwatch() as running:
+            pass
+        assert running.elapsed >= 0
+        value, seconds = time_call(lambda x: x + 1, 1)
+        assert value == 2 and seconds >= 0
+
+
+class TestReductionExperiment:
+    def test_rows_and_monotonicity(self):
+        rows = run_reduction_experiment(datasets=FAST_DATASETS, scale=SCALE, k_values=[3, 5])
+        assert len(rows) == len(FAST_DATASETS) * 2
+        assert reduction_monotonicity_holds(rows)
+        report = format_reduction_report(rows)
+        assert "EnColorfulSup" in report
+
+    def test_larger_k_never_keeps_more_edges(self):
+        rows = run_reduction_experiment(datasets=("DBLP",), scale=SCALE, k_values=[3, 6])
+        by_k = {row["k"]: row for row in rows}
+        assert by_k[6]["EnColorfulSup_edges"] <= by_k[3]["EnColorfulSup_edges"]
+
+
+class TestBoundsExperiment:
+    def test_table2_grid(self):
+        rows = run_bounds_experiment(
+            datasets=("Aminer",), scale=SCALE,
+            stack_names_to_run=("ubAD", "ubAD+ubcd"), vary="k", time_limit=30.0,
+        )
+        assert {row["stack"] for row in rows} == {"ubAD", "ubAD+ubcd"}
+        assert all_sizes_agree(rows)
+        best = best_stack_per_dataset(rows)
+        assert set(best) == {"Aminer"}
+        assert "Table II" in format_bounds_report(rows)
+
+    def test_vary_delta(self):
+        rows = run_bounds_experiment(
+            datasets=("Aminer",), scale=SCALE,
+            stack_names_to_run=("ubAD",), vary="delta", time_limit=30.0,
+        )
+        assert {row["delta"] for row in rows} == {1, 2, 3, 4, 5}
+
+
+class TestSearchExperiment:
+    def test_fig6_rows(self):
+        rows = run_search_experiment(datasets=("DBLP",), scale=SCALE, vary="k",
+                                     time_limit=30.0)
+        configurations = {row["configuration"] for row in rows}
+        assert configurations == {"MaxRFC", "MaxRFC+ub", "MaxRFC+ub+HeurRFC"}
+        sizes = {(row["k"], row["configuration"]): row["clique_size"] for row in rows}
+        # All configurations agree on the optimum for every k.
+        for k in {key[0] for key in sizes}:
+            values = {sizes[(k, conf)] for conf in configurations}
+            assert len(values) == 1
+        assert "Fig. 6" in format_search_report(rows)
+        assert augmented_never_slower_by_much(rows, tolerance=25.0)
+
+
+class TestHeuristicExperiment:
+    def test_fig8_rows(self):
+        rows = run_heuristic_experiment(datasets=FAST_DATASETS, scale=SCALE, time_limit=30.0)
+        assert len(rows) == 2
+        for row in rows:
+            assert row["heur_rfc_size"] <= row["mrfc_size"]
+            assert row["gap"] == row["mrfc_size"] - row["heur_rfc_size"]
+        assert max_gap(rows) <= 6
+        assert "Fig. 8" in format_heuristic_report(rows)
+
+
+class TestScalabilityExperiment:
+    def test_fig9_rows(self):
+        rows = run_scalability_experiment(dataset="DBLP", scale=SCALE,
+                                          fractions=(0.5, 1.0), time_limit=30.0)
+        assert {row["sampled"] for row in rows} == {"vertices", "edges"}
+        assert {row["fraction"] for row in rows} == {0.5, 1.0}
+        assert "Fig. 9" in format_scalability_report(rows)
+
+
+class TestCaseStudyExperiment:
+    def test_case_study_rows(self):
+        rows = run_case_study_experiment(names=("NBA", "IMDB"))
+        assert len(rows) == 2
+        for row in rows:
+            assert row["balanced"]
+            assert row["team_size"] >= 2 * row["k"]
+        assert "case-study" in format_case_study_report(rows).lower()
+
+
+class TestRunner:
+    def test_experiment_ids_cover_all_tables_and_figures(self):
+        assert set(experiment_ids()) == {
+            "fig4", "fig5", "table2", "fig6", "fig7", "fig8", "fig9", "case-studies",
+        }
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(ExperimentError):
+            run_experiment("fig99")
+
+    def test_run_single_experiment(self):
+        outcome = run_experiment("fig5", scale=SCALE)
+        assert outcome.experiment == "fig5"
+        assert outcome.rows
+        assert outcome.report
+
+    def test_run_all_subset(self):
+        outcomes = run_all(scale=SCALE, experiments=["fig5", "case-studies"])
+        assert [outcome.experiment for outcome in outcomes] == ["fig5", "case-studies"]

@@ -1,0 +1,88 @@
+"""Tests for the ASCII figure rendering helpers."""
+
+from __future__ import annotations
+
+from repro.experiments.figures import (
+    reduction_chart_from_rows,
+    render_series_chart,
+    runtime_chart_from_rows,
+)
+
+
+class TestRenderSeriesChart:
+    def test_basic_chart_structure(self):
+        chart = render_series_chart(
+            "Runtime",
+            {"MaxRFC": [(2, 100), (3, 10)], "MaxRFC+ub": [(2, 50)]},
+            value_label="us",
+        )
+        lines = chart.splitlines()
+        assert lines[0] == "Runtime"
+        assert any("MaxRFC:" in line for line in lines)
+        assert any("MaxRFC+ub:" in line for line in lines)
+        assert any("100 us" in line for line in lines)
+
+    def test_larger_values_get_longer_bars(self):
+        chart = render_series_chart("t", {"s": [(1, 10), (2, 10000)]})
+        lines = [line for line in chart.splitlines() if "|" in line]
+        small_bar = lines[0].split("|")[1].strip().split(" ")[0]
+        large_bar = lines[1].split("|")[1].strip().split(" ")[0]
+        assert len(large_bar) > len(small_bar)
+
+    def test_no_positive_values(self):
+        chart = render_series_chart("empty", {"s": [(1, 0)]})
+        assert "no positive values" in chart
+
+    def test_zero_values_render_empty_bars(self):
+        chart = render_series_chart("t", {"s": [(1, 0), (2, 100)]})
+        assert "100" in chart
+
+
+class TestChartsFromRows:
+    def test_runtime_chart_from_search_rows(self):
+        rows = [
+            {"k": 2, "configuration": "MaxRFC", "runtime_us": 1000},
+            {"k": 3, "configuration": "MaxRFC", "runtime_us": 500},
+            {"k": 2, "configuration": "MaxRFC+ub", "runtime_us": 400},
+        ]
+        chart = runtime_chart_from_rows(rows, title="Fig. 6 style")
+        assert "Fig. 6 style" in chart
+        assert "MaxRFC:" in chart
+        assert "MaxRFC+ub:" in chart
+
+    def test_reduction_chart_from_rows(self):
+        rows = [
+            {
+                "dataset": "DBLP", "k": 3,
+                "original_edges": 1000, "EnColorfulCore_edges": 800,
+                "ColorfulSup_edges": 300, "EnColorfulSup_edges": 290,
+                "original_vertices": 100, "EnColorfulCore_vertices": 90,
+                "ColorfulSup_vertices": 40, "EnColorfulSup_vertices": 40,
+            },
+            {
+                "dataset": "Other", "k": 3,
+                "original_edges": 999, "EnColorfulCore_edges": 999,
+                "ColorfulSup_edges": 999, "EnColorfulSup_edges": 999,
+                "original_vertices": 10, "EnColorfulCore_vertices": 10,
+                "ColorfulSup_vertices": 10, "EnColorfulSup_vertices": 10,
+            },
+        ]
+        chart = reduction_chart_from_rows(rows, "DBLP", kind="edges")
+        assert "DBLP" in chart
+        assert "EnColorfulSup" in chart
+        assert "290" in chart
+        assert "999" not in chart  # other datasets excluded
+
+    def test_reduction_chart_vertices(self):
+        rows = [
+            {
+                "dataset": "DBLP", "k": 5,
+                "original_edges": 1000, "EnColorfulCore_edges": 800,
+                "ColorfulSup_edges": 300, "EnColorfulSup_edges": 290,
+                "original_vertices": 120, "EnColorfulCore_vertices": 90,
+                "ColorfulSup_vertices": 40, "EnColorfulSup_vertices": 39,
+            },
+        ]
+        chart = reduction_chart_from_rows(rows, "DBLP", kind="vertices")
+        assert "vertices" in chart
+        assert "39" in chart

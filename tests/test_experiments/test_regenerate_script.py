@@ -1,0 +1,37 @@
+"""Tests for the experiment-report regeneration script."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+SCRIPTS_DIR = Path(__file__).resolve().parents[2] / "scripts"
+sys.path.insert(0, str(SCRIPTS_DIR))
+
+import regenerate_experiments  # noqa: E402  (path set up above)
+
+
+class TestBuildReport:
+    def test_report_contains_requested_sections(self):
+        report = regenerate_experiments.build_report(0.2, ["fig5"])
+        assert "# Regenerated experiment report" in report
+        assert "## Dataset stand-ins" in report
+        assert "## fig5" in report
+        assert "EnColorfulSup" in report
+
+    def test_main_writes_output_file(self, tmp_path):
+        output = tmp_path / "report.md"
+        exit_code = regenerate_experiments.main(
+            ["--scale", "0.2", "--output", str(output), "--experiments", "fig5"]
+        )
+        assert exit_code == 0
+        assert output.exists()
+        assert "fig5" in output.read_text()
+
+    def test_main_rejects_unknown_experiment(self, tmp_path):
+        with pytest.raises(SystemExit):
+            regenerate_experiments.main(
+                ["--output", str(tmp_path / "r.md"), "--experiments", "fig99"]
+            )

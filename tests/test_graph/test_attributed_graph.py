@@ -1,0 +1,165 @@
+"""Unit tests for the AttributedGraph data structure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import (
+    AttributeCountError,
+    EdgeNotFoundError,
+    GraphError,
+    VertexNotFoundError,
+)
+from repro.graph.attributed_graph import AttributedGraph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        graph = AttributedGraph()
+        assert graph.num_vertices == 0
+        assert graph.num_edges == 0
+        assert list(graph.vertices()) == []
+        assert list(graph.edges()) == []
+
+    def test_constructor_with_vertices_and_edges(self):
+        graph = AttributedGraph(
+            vertices=[(1, "a"), (2, "b"), (3, "a")],
+            edges=[(1, 2), (2, 3)],
+        )
+        assert graph.num_vertices == 3
+        assert graph.num_edges == 2
+        assert graph.attribute(1) == "a"
+
+    def test_add_vertex_idempotent(self):
+        graph = AttributedGraph()
+        graph.add_vertex(1, "a")
+        graph.add_vertex(2, "b")
+        graph.add_edge(1, 2)
+        graph.add_vertex(1, "b")  # re-add updates attribute, keeps edges
+        assert graph.attribute(1) == "b"
+        assert graph.has_edge(1, 2)
+        assert graph.num_vertices == 2
+
+    def test_add_edge_requires_vertices(self):
+        graph = AttributedGraph()
+        graph.add_vertex(1, "a")
+        with pytest.raises(VertexNotFoundError):
+            graph.add_edge(1, 99)
+
+    def test_self_loop_rejected(self):
+        graph = AttributedGraph()
+        graph.add_vertex(1, "a")
+        with pytest.raises(GraphError):
+            graph.add_edge(1, 1)
+
+    def test_duplicate_edge_is_noop(self):
+        graph = AttributedGraph(vertices=[(1, "a"), (2, "b")])
+        graph.add_edge(1, 2)
+        graph.add_edge(1, 2)
+        graph.add_edge(2, 1)
+        assert graph.num_edges == 1
+
+    def test_labels(self):
+        graph = AttributedGraph()
+        graph.add_vertex(1, "a", label="Alice")
+        graph.add_vertex(2, "b")
+        assert graph.label(1) == "Alice"
+        assert graph.label(2) == "2"
+        with pytest.raises(VertexNotFoundError):
+            graph.label(3)
+
+
+class TestMutation:
+    def test_remove_edge(self):
+        graph = AttributedGraph(vertices=[(1, "a"), (2, "b")], edges=[(1, 2)])
+        graph.remove_edge(1, 2)
+        assert graph.num_edges == 0
+        assert not graph.has_edge(1, 2)
+
+    def test_remove_missing_edge_raises(self):
+        graph = AttributedGraph(vertices=[(1, "a"), (2, "b")])
+        with pytest.raises(EdgeNotFoundError):
+            graph.remove_edge(1, 2)
+
+    def test_remove_vertex_removes_incident_edges(self, triangle_graph):
+        triangle_graph.remove_vertex(1)
+        assert triangle_graph.num_vertices == 2
+        assert triangle_graph.num_edges == 1
+        assert not triangle_graph.has_vertex(1)
+
+    def test_remove_missing_vertex_raises(self, triangle_graph):
+        with pytest.raises(VertexNotFoundError):
+            triangle_graph.remove_vertex(99)
+
+    def test_remove_vertices_batch_ignores_missing(self, triangle_graph):
+        triangle_graph.remove_vertices([1, 99, 2])
+        assert triangle_graph.num_vertices == 1
+        assert triangle_graph.num_edges == 0
+
+
+class TestQueries:
+    def test_degree_and_max_degree(self, triangle_graph):
+        assert triangle_graph.degree(1) == 2
+        assert triangle_graph.max_degree() == 2
+        assert AttributedGraph().max_degree() == 0
+
+    def test_neighbors(self, triangle_graph):
+        assert triangle_graph.neighbors(1) == {2, 3}
+        with pytest.raises(VertexNotFoundError):
+            triangle_graph.neighbors(99)
+
+    def test_common_neighbors(self, triangle_graph):
+        assert triangle_graph.common_neighbors(1, 2) == {3}
+
+    def test_edges_yields_each_edge_once(self, triangle_graph):
+        edges = list(triangle_graph.edges())
+        assert len(edges) == 3
+        normalized = {frozenset(edge) for edge in edges}
+        assert len(normalized) == 3
+
+    def test_attribute_queries(self, triangle_graph):
+        assert triangle_graph.attribute(3) == "b"
+        assert triangle_graph.attribute_values() == ("a", "b")
+        assert triangle_graph.attribute_pair() == ("a", "b")
+        assert triangle_graph.attribute_count([1, 2, 3], "a") == 2
+        assert triangle_graph.attribute_histogram() == {"a": 2, "b": 1}
+        assert triangle_graph.attribute_histogram([3]) == {"b": 1}
+
+    def test_attribute_pair_requires_two_values(self):
+        graph = AttributedGraph(vertices=[(1, "a"), (2, "a")])
+        with pytest.raises(AttributeCountError):
+            graph.attribute_pair()
+
+    def test_contains_and_len(self, triangle_graph):
+        assert 1 in triangle_graph
+        assert 99 not in triangle_graph
+        assert len(triangle_graph) == 3
+
+    def test_repr_mentions_counts(self, triangle_graph):
+        text = repr(triangle_graph)
+        assert "n=3" in text
+        assert "m=3" in text
+
+
+class TestDerivedGraphs:
+    def test_copy_is_independent(self, triangle_graph):
+        clone = triangle_graph.copy()
+        clone.remove_vertex(1)
+        assert triangle_graph.has_vertex(1)
+        assert triangle_graph.num_edges == 3
+
+    def test_subgraph(self, paper_graph):
+        sub = paper_graph.subgraph([7, 8, 10, 12])
+        assert sub.num_vertices == 4
+        assert sub.is_clique([7, 8, 10, 12])
+        assert sub.attribute(7) == paper_graph.attribute(7)
+
+    def test_subgraph_missing_vertex_raises(self, triangle_graph):
+        with pytest.raises(VertexNotFoundError):
+            triangle_graph.subgraph([1, 99])
+
+    def test_is_clique(self, paper_graph):
+        assert paper_graph.is_clique([7, 8, 10])
+        assert not paper_graph.is_clique([1, 2, 9, 6])
+        assert paper_graph.is_clique([5])
+        assert paper_graph.is_clique([])

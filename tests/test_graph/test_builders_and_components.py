@@ -1,0 +1,123 @@
+"""Tests for graph builders, connected components, and validation helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import AttributeCountError, GraphError, InvalidParameterError
+from repro.graph.builders import (
+    complete_graph,
+    from_adjacency,
+    from_edge_list,
+    paper_example_graph,
+    planted_fair_clique_graph,
+)
+from repro.graph.components import (
+    component_subgraphs,
+    connected_component,
+    connected_components,
+    is_connected,
+    largest_component,
+    num_components,
+)
+from repro.graph.validation import (
+    graph_supports_fair_clique,
+    validate_binary_attributes,
+    validate_parameters,
+)
+
+
+class TestBuilders:
+    def test_from_edge_list(self):
+        graph = from_edge_list([(1, 2)], {1: "a", 2: "b", 3: "a"})
+        assert graph.num_vertices == 3
+        assert graph.num_edges == 1
+        assert graph.degree(3) == 0
+
+    def test_from_edge_list_missing_attribute_raises(self):
+        with pytest.raises(GraphError):
+            from_edge_list([(1, 2)], {1: "a"})
+
+    def test_from_adjacency(self):
+        graph = from_adjacency({1: [2, 3], 2: [3]}, {1: "a", 2: "b", 3: "a"})
+        assert graph.num_edges == 3
+        assert graph.is_clique([1, 2, 3])
+
+    def test_complete_graph(self):
+        graph = complete_graph({i: "a" if i < 3 else "b" for i in range(6)})
+        assert graph.num_edges == 15
+        assert graph.is_clique(list(range(6)))
+
+    def test_paper_example_graph_shape(self):
+        graph = paper_example_graph()
+        assert graph.num_vertices == 15
+        assert graph.attribute_histogram() == {"a": 9, "b": 6}
+        # The right-hand community of Fig. 1 is a clique of 8 vertices.
+        assert graph.is_clique([7, 8, 10, 11, 12, 13, 14, 15])
+
+    def test_planted_fair_clique_graph(self):
+        graph = planted_fair_clique_graph(4, 3, noise_vertices=10, seed=1)
+        clique = list(range(7))
+        assert graph.is_clique(clique)
+        assert graph.attribute_count(clique, "a") == 4
+        assert graph.attribute_count(clique, "b") == 3
+        assert graph.num_vertices == 17
+
+
+class TestComponents:
+    def test_single_component(self, triangle_graph):
+        assert is_connected(triangle_graph)
+        assert num_components(triangle_graph) == 1
+        assert connected_component(triangle_graph, 1) == {1, 2, 3}
+
+    def test_multiple_components(self):
+        graph = from_edge_list(
+            [(1, 2), (3, 4)], {1: "a", 2: "b", 3: "a", 4: "b", 5: "a"}
+        )
+        components = list(connected_components(graph))
+        assert len(components) == 3
+        assert not is_connected(graph)
+        assert largest_component(graph) in ({1, 2}, {3, 4})
+        assert {5} in components
+
+    def test_component_subgraphs(self):
+        graph = from_edge_list([(1, 2), (3, 4)], {1: "a", 2: "b", 3: "a", 4: "b"})
+        subgraphs = list(component_subgraphs(graph))
+        assert sorted(sub.num_vertices for sub in subgraphs) == [2, 2]
+        assert all(sub.num_edges == 1 for sub in subgraphs)
+
+    def test_empty_graph_components(self):
+        from repro.graph.attributed_graph import AttributedGraph
+
+        graph = AttributedGraph()
+        assert is_connected(graph)
+        assert num_components(graph) == 0
+        assert largest_component(graph) == set()
+
+
+class TestValidation:
+    def test_validate_parameters_accepts_valid(self):
+        validate_parameters(1, 0)
+        validate_parameters(5, 3)
+
+    @pytest.mark.parametrize("k,delta", [(0, 1), (-1, 0), (2, -1), (True, 1), (2, 1.5)])
+    def test_validate_parameters_rejects_invalid(self, k, delta):
+        with pytest.raises(InvalidParameterError):
+            validate_parameters(k, delta)
+
+    def test_validate_binary_attributes(self, triangle_graph):
+        assert validate_binary_attributes(triangle_graph) == ("a", "b")
+
+    def test_validate_binary_attributes_rejects_single(self):
+        graph = from_edge_list([(1, 2)], {1: "a", 2: "a"})
+        with pytest.raises(AttributeCountError):
+            validate_binary_attributes(graph)
+
+    def test_graph_supports_fair_clique(self, balanced_clique):
+        assert graph_supports_fair_clique(balanced_clique, 2, 1)
+        assert graph_supports_fair_clique(balanced_clique, 4, 0)
+        assert not graph_supports_fair_clique(balanced_clique, 5, 0)
+
+    def test_graph_supports_fair_clique_single_attribute(self):
+        graph = from_edge_list([(1, 2)], {1: "a", 2: "a"})
+        assert not graph_supports_fair_clique(graph, 1, 0)

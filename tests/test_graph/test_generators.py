@@ -1,0 +1,148 @@
+"""Tests for the synthetic graph generators, including property-based checks."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import InvalidParameterError
+from repro.graph.generators import (
+    alternating_attributes,
+    barabasi_albert_graph,
+    community_graph,
+    erdos_renyi_graph,
+    planted_fair_cliques_graph,
+    powerlaw_cluster_graph,
+    quasi_clique_blobs,
+    sample_edges,
+    sample_vertices,
+    skewed_attributes,
+    uniform_attributes,
+)
+
+
+class TestAttributeAssigners:
+    def test_uniform_attributes_range_check(self):
+        with pytest.raises(InvalidParameterError):
+            uniform_attributes(probability_a=1.5)
+
+    def test_alternating_attributes(self):
+        import random
+
+        assign = alternating_attributes()
+        rng = random.Random(0)
+        assert assign(rng, 0) == "a"
+        assert assign(rng, 1) == "b"
+
+    def test_skewed_attributes_extreme(self):
+        import random
+
+        assign = skewed_attributes(1.0, "x", "y")
+        rng = random.Random(0)
+        assert all(assign(rng, i) == "x" for i in range(20))
+
+
+class TestErdosRenyi:
+    def test_determinism(self):
+        first = erdos_renyi_graph(30, 0.3, seed=5)
+        second = erdos_renyi_graph(30, 0.3, seed=5)
+        assert first.num_edges == second.num_edges
+        assert set(first.edges()) == set(second.edges())
+
+    def test_extreme_probabilities(self):
+        empty = erdos_renyi_graph(10, 0.0, seed=1)
+        full = erdos_renyi_graph(10, 1.0, seed=1)
+        assert empty.num_edges == 0
+        assert full.num_edges == 45
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            erdos_renyi_graph(-1, 0.5)
+        with pytest.raises(InvalidParameterError):
+            erdos_renyi_graph(10, 1.5)
+
+    @given(n=st.integers(min_value=0, max_value=40), seed=st.integers(min_value=0, max_value=10))
+    @settings(max_examples=20, deadline=None)
+    def test_vertex_count_property(self, n, seed):
+        graph = erdos_renyi_graph(n, 0.2, seed=seed)
+        assert graph.num_vertices == n
+        assert 0 <= graph.num_edges <= n * (n - 1) // 2
+
+
+class TestPreferentialAttachment:
+    def test_barabasi_albert_basic(self):
+        graph = barabasi_albert_graph(50, 3, seed=2)
+        assert graph.num_vertices == 50
+        # Seed clique (4 choose 2 = 6 edges) plus 3 per additional vertex.
+        assert graph.num_edges == 6 + 3 * 46
+        assert min(graph.degree(v) for v in graph.vertices()) >= 3
+
+    def test_barabasi_albert_invalid(self):
+        with pytest.raises(InvalidParameterError):
+            barabasi_albert_graph(3, 5)
+        with pytest.raises(InvalidParameterError):
+            barabasi_albert_graph(10, 0)
+
+    def test_powerlaw_cluster_graph(self):
+        graph = powerlaw_cluster_graph(60, 4, 0.7, seed=3)
+        assert graph.num_vertices == 60
+        assert graph.num_edges > 0
+        with pytest.raises(InvalidParameterError):
+            powerlaw_cluster_graph(60, 4, 1.5)
+
+
+class TestCommunityAndPlanted:
+    def test_community_graph_structure(self):
+        graph = community_graph(3, 8, intra_probability=1.0, inter_edges=0, seed=1)
+        assert graph.num_vertices == 24
+        # Three complete communities of 8 vertices.
+        assert graph.num_edges == 3 * 28
+        for start in (0, 8, 16):
+            assert graph.is_clique(list(range(start, start + 8)))
+
+    def test_community_graph_invalid(self):
+        with pytest.raises(InvalidParameterError):
+            community_graph(0, 5)
+
+    def test_planted_fair_cliques(self):
+        background = erdos_renyi_graph(20, 0.1, seed=4)
+        graph = planted_fair_cliques_graph(background, [(5, 4), (3, 3)], seed=4)
+        assert graph.num_vertices == 20 + 9 + 6
+        planted_first = list(range(20, 29))
+        assert graph.is_clique(planted_first)
+        assert graph.attribute_count(planted_first, "a") == 5
+        assert graph.attribute_count(planted_first, "b") == 4
+
+    def test_quasi_clique_blobs(self):
+        background = erdos_renyi_graph(10, 0.2, seed=5)
+        graph = quasi_clique_blobs(background, num_blobs=2, blob_size=20, seed=5)
+        assert graph.num_vertices == 50
+        assert graph.num_edges > background.num_edges
+        with pytest.raises(InvalidParameterError):
+            quasi_clique_blobs(background, num_blobs=-1, blob_size=5)
+
+
+class TestSampling:
+    def test_sample_vertices_fraction(self, small_random_graph):
+        sample = sample_vertices(small_random_graph, 0.5, seed=1)
+        assert sample.num_vertices == 10
+        for u, v in sample.edges():
+            assert small_random_graph.has_edge(u, v)
+
+    def test_sample_edges_fraction(self, small_random_graph):
+        sample = sample_edges(small_random_graph, 0.5, seed=1)
+        assert sample.num_vertices == small_random_graph.num_vertices
+        assert sample.num_edges == round(small_random_graph.num_edges * 0.5)
+
+    def test_sample_full_fraction_identity(self, small_random_graph):
+        sample = sample_vertices(small_random_graph, 1.0, seed=1)
+        assert sample.num_vertices == small_random_graph.num_vertices
+        assert sample.num_edges == small_random_graph.num_edges
+
+    @pytest.mark.parametrize("fraction", [0.0, -0.5, 1.5])
+    def test_invalid_fractions(self, small_random_graph, fraction):
+        with pytest.raises(InvalidParameterError):
+            sample_vertices(small_random_graph, fraction)
+        with pytest.raises(InvalidParameterError):
+            sample_edges(small_random_graph, fraction)

@@ -1,0 +1,109 @@
+"""Tests for graph I/O (edge-list, attribute, and combined file formats)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.graph.builders import paper_example_graph
+from repro.graph.io import (
+    read_combined,
+    read_edge_list,
+    write_clique_report,
+    write_combined,
+    write_edge_list,
+)
+
+
+class TestEdgeListRoundTrip:
+    def test_round_trip_preserves_graph(self, tmp_path, paper_graph):
+        edge_path = tmp_path / "graph.edges"
+        attr_path = tmp_path / "graph.attrs"
+        write_edge_list(paper_graph, edge_path, attr_path)
+        loaded = read_edge_list(edge_path, attr_path)
+        assert loaded.num_vertices == paper_graph.num_vertices
+        assert loaded.num_edges == paper_graph.num_edges
+        for vertex in paper_graph.vertices():
+            assert loaded.attribute(vertex) == paper_graph.attribute(vertex)
+        assert set(map(frozenset, loaded.edges())) == set(map(frozenset, paper_graph.edges()))
+
+    def test_comments_and_blank_lines_ignored(self, tmp_path):
+        edge_path = tmp_path / "g.edges"
+        attr_path = tmp_path / "g.attrs"
+        edge_path.write_text("# comment\n\n1 2\n2 3\n")
+        attr_path.write_text("# vertex attr\n1 a\n2 b\n3 a\n")
+        graph = read_edge_list(edge_path, attr_path)
+        assert graph.num_edges == 2
+
+    def test_missing_attribute_uses_default(self, tmp_path):
+        edge_path = tmp_path / "g.edges"
+        attr_path = tmp_path / "g.attrs"
+        edge_path.write_text("1 2\n")
+        attr_path.write_text("1 a\n")
+        graph = read_edge_list(edge_path, attr_path, default_attribute="b")
+        assert graph.attribute(2) == "b"
+
+    def test_missing_attribute_without_default_raises(self, tmp_path):
+        edge_path = tmp_path / "g.edges"
+        attr_path = tmp_path / "g.attrs"
+        edge_path.write_text("1 2\n")
+        attr_path.write_text("1 a\n")
+        with pytest.raises(DatasetError):
+            read_edge_list(edge_path, attr_path)
+
+    def test_malformed_attribute_line_raises(self, tmp_path):
+        edge_path = tmp_path / "g.edges"
+        attr_path = tmp_path / "g.attrs"
+        edge_path.write_text("1 2\n")
+        attr_path.write_text("1 a extra-token\n2 b\n")
+        with pytest.raises(DatasetError):
+            read_edge_list(edge_path, attr_path)
+
+    def test_malformed_edge_line_raises(self, tmp_path):
+        edge_path = tmp_path / "g.edges"
+        attr_path = tmp_path / "g.attrs"
+        edge_path.write_text("1\n")
+        attr_path.write_text("1 a\n")
+        with pytest.raises(DatasetError):
+            read_edge_list(edge_path, attr_path)
+
+    def test_self_loops_skipped(self, tmp_path):
+        edge_path = tmp_path / "g.edges"
+        attr_path = tmp_path / "g.attrs"
+        edge_path.write_text("1 1\n1 2\n")
+        attr_path.write_text("1 a\n2 b\n")
+        graph = read_edge_list(edge_path, attr_path)
+        assert graph.num_edges == 1
+
+    def test_string_vertex_ids(self, tmp_path):
+        edge_path = tmp_path / "g.edges"
+        attr_path = tmp_path / "g.attrs"
+        edge_path.write_text("alice bob\n")
+        attr_path.write_text("alice a\nbob b\n")
+        graph = read_edge_list(edge_path, attr_path)
+        assert graph.has_edge("alice", "bob")
+
+
+class TestCombinedFormat:
+    def test_round_trip(self, tmp_path):
+        graph = paper_example_graph()
+        path = tmp_path / "graph.txt"
+        write_combined(graph, path)
+        loaded = read_combined(path)
+        assert loaded.num_vertices == graph.num_vertices
+        assert loaded.num_edges == graph.num_edges
+
+    def test_unknown_record_raises(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("V 1 a\nX 1 2\n")
+        with pytest.raises(DatasetError):
+            read_combined(path)
+
+
+class TestCliqueReport:
+    def test_report_contents(self, tmp_path, paper_graph):
+        path = tmp_path / "clique.txt"
+        write_clique_report(paper_graph, [7, 8, 10], path)
+        text = path.read_text()
+        assert "size 3" in text
+        assert "7" in text and "10" in text

@@ -1,0 +1,143 @@
+"""Tests for DegHeur, ColorfulDegHeur, and the HeurRFC framework."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.enumeration import brute_force_maximum_fair_clique
+from repro.graph.builders import complete_graph, planted_fair_clique_graph
+from repro.graph.generators import community_graph, erdos_renyi_graph
+from repro.heuristic.colorful_degree_greedy import colorful_degree_greedy_fair_clique
+from repro.heuristic.degree_greedy import degree_greedy_fair_clique
+from repro.heuristic.greedy_core import (
+    finalize_fair_clique,
+    greedy_fair_clique,
+    greedy_grow_clique,
+)
+from repro.heuristic.heur_rfc import HeurRFC, heuristic_fair_clique
+from repro.search.verification import is_relative_fair_clique
+
+
+class TestGreedyCore:
+    def test_grow_from_clique_vertex(self, balanced_clique):
+        grown = greedy_grow_clique(balanced_clique, 0, 2, 1, balanced_clique.degree)
+        assert balanced_clique.is_clique(grown)
+        assert len(grown) == 8
+
+    def test_finalize_trims_majority(self):
+        graph = complete_graph({i: ("a" if i < 6 else "b") for i in range(9)})
+        trimmed = finalize_fair_clique(graph, frozenset(graph.vertices()), 2, 1)
+        assert len(trimmed) == 7
+        assert is_relative_fair_clique(graph, trimmed, 2, 1)
+
+    def test_finalize_returns_empty_when_infeasible(self):
+        graph = complete_graph({0: "a", 1: "a", 2: "a", 3: "b"})
+        assert finalize_fair_clique(graph, frozenset(graph.vertices()), 2, 0) == frozenset()
+
+    def test_greedy_fair_clique_empty_graph(self):
+        from repro.graph.attributed_graph import AttributedGraph
+
+        assert greedy_fair_clique(AttributedGraph(), 2, 1, score=lambda v: 0) == frozenset()
+
+    def test_restarts_never_hurt(self, community_fixture):
+        single = greedy_fair_clique(community_fixture, 2, 1,
+                                    score=community_fixture.degree, restarts=1)
+        several = greedy_fair_clique(community_fixture, 2, 1,
+                                     score=community_fixture.degree, restarts=5)
+        assert len(several) >= len(single)
+
+
+class TestDegreeGreedy:
+    def test_finds_fair_clique_on_paper_example(self, paper_graph):
+        clique = degree_greedy_fair_clique(paper_graph, 3, 1)
+        assert is_relative_fair_clique(paper_graph, clique, 3, 1) or clique == frozenset()
+        assert len(clique) >= 6
+
+    def test_finds_planted_clique(self):
+        graph = planted_fair_clique_graph(7, 6, noise_vertices=20, seed=2)
+        clique = degree_greedy_fair_clique(graph, 4, 2, restarts=3)
+        assert len(clique) >= 10
+        assert is_relative_fair_clique(graph, clique, 4, 2)
+
+    @given(seed=st.integers(min_value=0, max_value=20))
+    @settings(max_examples=20, deadline=None)
+    def test_result_is_always_valid_or_empty(self, seed):
+        graph = erdos_renyi_graph(25, 0.4, seed=seed)
+        k, delta = 2, 1
+        clique = degree_greedy_fair_clique(graph, k, delta)
+        if clique:
+            assert is_relative_fair_clique(graph, clique, k, delta)
+
+    @given(seed=st.integers(min_value=0, max_value=20))
+    @settings(max_examples=20, deadline=None)
+    def test_never_exceeds_optimum(self, seed):
+        graph = erdos_renyi_graph(20, 0.5, seed=seed)
+        k, delta = 2, 1
+        optimum = brute_force_maximum_fair_clique(graph, k, delta).size
+        assert len(degree_greedy_fair_clique(graph, k, delta)) <= optimum
+
+
+class TestColorfulDegreeGreedy:
+    def test_finds_fair_clique_on_communities(self, community_fixture):
+        clique = colorful_degree_greedy_fair_clique(community_fixture, 2, 2, restarts=3)
+        if clique:
+            assert is_relative_fair_clique(community_fixture, clique, 2, 2)
+
+    def test_empty_graph(self):
+        from repro.graph.attributed_graph import AttributedGraph
+
+        assert colorful_degree_greedy_fair_clique(AttributedGraph(), 2, 1) == frozenset()
+
+    @given(seed=st.integers(min_value=0, max_value=15))
+    @settings(max_examples=15, deadline=None)
+    def test_result_is_always_valid_or_empty(self, seed):
+        graph = erdos_renyi_graph(22, 0.45, seed=seed)
+        clique = colorful_degree_greedy_fair_clique(graph, 2, 1)
+        if clique:
+            assert is_relative_fair_clique(graph, clique, 2, 1)
+
+
+class TestHeurRFC:
+    def test_outcome_triple(self, community_fixture):
+        outcome = HeurRFC().run(community_fixture, 2, 2)
+        assert outcome.size == len(outcome.clique)
+        assert outcome.upper_bound >= outcome.size
+        assert outcome.seconds >= 0
+        if outcome.clique:
+            assert is_relative_fair_clique(community_fixture, outcome.clique, 2, 2)
+
+    def test_upper_bound_dominates_optimum(self, community_fixture):
+        k, delta = 2, 1
+        outcome = HeurRFC().run(community_fixture, k, delta)
+        optimum = brute_force_maximum_fair_clique(community_fixture, k, delta).size
+        if outcome.upper_bound:
+            assert outcome.upper_bound >= optimum
+
+    def test_solve_wraps_as_search_result(self, paper_graph):
+        result = heuristic_fair_clique(paper_graph, 3, 1)
+        assert result.algorithm == "HeurRFC"
+        assert not result.optimal
+        assert result.size >= 6
+        assert "color_upper_bound" in result.stats.extra
+
+    def test_close_to_optimal_on_planted_clique(self):
+        graph = planted_fair_clique_graph(10, 9, noise_vertices=40, seed=5)
+        result = heuristic_fair_clique(graph, 5, 3)
+        optimum = 19
+        assert optimum - result.size <= 6  # the paper's reported quality gap
+
+    def test_infeasible_parameters_give_empty(self, paper_graph):
+        result = heuristic_fair_clique(paper_graph, 8, 0)
+        assert result.size == 0
+
+    @given(seed=st.integers(min_value=0, max_value=10),
+           k=st.integers(min_value=1, max_value=3))
+    @settings(max_examples=12, deadline=None)
+    def test_heuristic_never_beats_exact(self, seed, k):
+        graph = community_graph(3, 8, intra_probability=0.8, inter_edges=2, seed=seed)
+        delta = 1
+        optimum = brute_force_maximum_fair_clique(graph, k, delta).size
+        heuristic = heuristic_fair_clique(graph, k, delta).size
+        assert heuristic <= optimum

@@ -1,0 +1,115 @@
+"""Robustness and failure-injection tests across the stack.
+
+These cover the awkward inputs a downstream user will eventually feed the
+library: graphs with isolated vertices, components missing one attribute,
+empty graphs after reduction, pre-supplied colorings, and degenerate
+parameter combinations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coloring.greedy import greedy_coloring
+from repro.graph.attributed_graph import AttributedGraph
+from repro.graph.builders import complete_graph, from_edge_list
+from repro.heuristic.heur_rfc import HeurRFC
+from repro.reduction.colorful_support import colorful_support_reduction
+from repro.reduction.pipeline import reduce_graph
+from repro.search.maxrfc import find_maximum_fair_clique
+from repro.search.verification import is_relative_fair_clique
+
+
+def graph_with_isolated_and_one_sided_parts() -> AttributedGraph:
+    """A fair clique, an all-male component, and isolated vertices."""
+    graph = complete_graph({i: ("a" if i < 3 else "b") for i in range(6)})
+    # One-sided component: a triangle of attribute-a vertices.
+    for vertex in (10, 11, 12):
+        graph.add_vertex(vertex, "a")
+    graph.add_edge(10, 11)
+    graph.add_edge(10, 12)
+    graph.add_edge(11, 12)
+    # Isolated vertices of both attributes.
+    graph.add_vertex(20, "a")
+    graph.add_vertex(21, "b")
+    return graph
+
+
+class TestAwkwardInputs:
+    def test_isolated_and_one_sided_components_are_ignored(self):
+        graph = graph_with_isolated_and_one_sided_parts()
+        result = find_maximum_fair_clique(graph, 2, 1)
+        assert result.size == 6
+        assert result.clique == frozenset(range(6))
+
+    def test_reduction_handles_isolated_vertices(self):
+        graph = graph_with_isolated_and_one_sided_parts()
+        reduced = reduce_graph(graph, 2)
+        assert 20 not in reduced.graph
+        assert 21 not in reduced.graph
+        assert reduced.vertices_after >= 6
+
+    def test_heuristic_on_one_sided_graph(self):
+        graph = complete_graph({i: "a" for i in range(5)} | {5: "b"})
+        result = HeurRFC().solve(graph, 2, 1)
+        assert result.size == 0
+
+    def test_reduction_that_empties_graph_keeps_search_working(self):
+        graph = from_edge_list([(1, 2), (2, 3), (3, 1)], {1: "a", 2: "b", 3: "a"})
+        result = find_maximum_fair_clique(graph, 4, 1)
+        assert result.size == 0
+        assert result.optimal
+
+    def test_two_vertex_graph(self):
+        graph = from_edge_list([(1, 2)], {1: "a", 2: "b"})
+        result = find_maximum_fair_clique(graph, 1, 0)
+        assert result.size == 2
+        assert is_relative_fair_clique(graph, result.clique, 1, 0)
+
+    def test_delta_larger_than_graph(self):
+        graph = complete_graph({i: ("a" if i < 4 else "b") for i in range(6)})
+        result = find_maximum_fair_clique(graph, 2, 100)
+        assert result.size == 6
+
+    def test_string_vertex_ids_through_full_stack(self):
+        attributes = {name: ("a" if index % 2 == 0 else "b")
+                      for index, name in enumerate("abcdefgh")}
+        graph = complete_graph(attributes)
+        graph.add_vertex("lonely", "a")
+        result = find_maximum_fair_clique(graph, 3, 1)
+        assert result.size == 8
+        assert "lonely" not in result.clique
+
+
+class TestPrecomputedColorings:
+    def test_reduction_accepts_external_coloring(self, paper_graph):
+        coloring = greedy_coloring(paper_graph)
+        result = colorful_support_reduction(paper_graph, 3, coloring)
+        assert result.graph.num_vertices >= 7
+
+    def test_pipeline_accepts_external_coloring(self, paper_graph):
+        from repro.reduction.pipeline import ReductionPipeline
+
+        coloring = greedy_coloring(paper_graph)
+        result = reduce_graph(paper_graph, 3)
+        seeded = ReductionPipeline().run(paper_graph, 3, coloring)
+        assert seeded.vertices_after == result.vertices_after
+
+    def test_improper_external_coloring_still_safe_for_search(self, paper_graph):
+        # Even if a caller passes a coloring computed on a different ordering,
+        # the search result must stay the exact optimum (bounds get looser or
+        # tighter, never unsound, because they derive from a proper coloring
+        # computed inside the bound context itself).
+        result = find_maximum_fair_clique(paper_graph, 3, 1)
+        assert result.size == 7
+
+
+class TestParameterEdgeCases:
+    @pytest.mark.parametrize("k,delta,expected", [(1, 0, 6), (3, 1, 7), (4, 0, 0)])
+    def test_paper_graph_parameter_grid(self, paper_graph, k, delta, expected):
+        assert find_maximum_fair_clique(paper_graph, k, delta).size == expected
+
+    def test_k_equal_to_half_graph(self):
+        graph = complete_graph({i: ("a" if i < 5 else "b") for i in range(10)})
+        assert find_maximum_fair_clique(graph, 5, 0).size == 10
+        assert find_maximum_fair_clique(graph, 6, 0).size == 0

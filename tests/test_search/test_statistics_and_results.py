@@ -1,0 +1,83 @@
+"""Tests for search statistics, result objects, and bound-context plumbing."""
+
+from __future__ import annotations
+
+from repro.bounds.base import make_context
+from repro.graph.builders import paper_example_graph
+from repro.search.result import SearchResult
+from repro.search.statistics import SearchStats
+
+
+class TestSearchStats:
+    def test_total_pruned_sums_all_counters(self):
+        stats = SearchStats(
+            pruned_by_size=1,
+            pruned_by_attribute_feasibility=2,
+            pruned_by_fairness_gap=3,
+            pruned_by_incumbent=4,
+            pruned_by_bound=5,
+        )
+        assert stats.total_pruned == 15
+
+    def test_total_seconds_sums_phases(self):
+        stats = SearchStats(reduction_seconds=1.0, heuristic_seconds=0.5, search_seconds=2.0)
+        assert stats.total_seconds == 3.5
+
+    def test_merge_accumulates(self):
+        first = SearchStats(branches_explored=10, pruned_by_bound=2, search_seconds=1.0)
+        second = SearchStats(branches_explored=5, pruned_by_bound=1,
+                             search_seconds=0.5, timed_out=True)
+        first.merge(second)
+        assert first.branches_explored == 15
+        assert first.pruned_by_bound == 3
+        assert first.search_seconds == 1.5
+        assert first.timed_out
+
+    def test_as_dict_round_trip(self):
+        stats = SearchStats(branches_explored=7, bound_evaluations=3)
+        row = stats.as_dict()
+        assert row["branches_explored"] == 7
+        assert row["bound_evaluations"] == 3
+        assert "total_seconds" in row
+
+
+class TestSearchResult:
+    def test_empty_result(self):
+        result = SearchResult(frozenset(), k=3, delta=1)
+        assert result.size == 0
+        assert not result.found
+        assert result.attribute_balance(paper_example_graph()) == {}
+
+    def test_summary_mentions_key_facts(self):
+        result = SearchResult(frozenset({7, 8, 10}), k=3, delta=1,
+                              algorithm="MaxRFC+ub", optimal=False)
+        text = result.summary()
+        assert "MaxRFC+ub" in text
+        assert "size=3" in text
+        assert "heuristic/truncated" in text
+
+    def test_attribute_balance(self):
+        graph = paper_example_graph()
+        result = SearchResult(frozenset({7, 8, 10, 12}), k=2, delta=1)
+        assert result.attribute_balance(graph) == {"a": 2, "b": 2}
+
+
+class TestBoundContext:
+    def test_coloring_is_cached(self):
+        graph = paper_example_graph()
+        context = make_context(graph, [7], [8, 10, 11], 2, 1)
+        first = context.coloring()
+        second = context.coloring()
+        assert first is second
+        assert set(first) == {7, 8, 10, 11}
+
+    def test_attribute_counts_cached_and_correct(self):
+        graph = paper_example_graph()
+        context = make_context(graph, [7, 8], [10, 11, 14], 2, 1)
+        assert context.attribute_counts() == (2, 3)
+        assert context.attribute_counts() == (2, 3)
+
+    def test_scope_is_union(self):
+        graph = paper_example_graph()
+        context = make_context(graph, [7], [8, 10], 2, 1)
+        assert context.scope == frozenset({7, 8, 10})

@@ -1,0 +1,129 @@
+"""Tests for fair-clique verification predicates and search orderings."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.builders import complete_graph
+from repro.graph.generators import erdos_renyi_graph
+from repro.search.ordering import (
+    OrderingStrategy,
+    colorful_core_ordering,
+    compute_ordering,
+)
+from repro.search.verification import (
+    best_fair_subset,
+    best_fair_subset_size,
+    fairness_satisfied,
+    is_maximal_fair_clique,
+    is_relative_fair_clique,
+)
+
+
+class TestFairnessPredicates:
+    def test_fairness_satisfied(self, balanced_clique):
+        members = list(balanced_clique.vertices())
+        assert fairness_satisfied(balanced_clique, members, 4, 0)
+        assert fairness_satisfied(balanced_clique, members, 2, 3)
+        assert not fairness_satisfied(balanced_clique, members, 5, 0)
+        assert not fairness_satisfied(balanced_clique, members[:5], 2, 0)
+
+    def test_is_relative_fair_clique(self, paper_graph):
+        clique = {7, 8, 10, 12, 13, 14, 15}
+        assert is_relative_fair_clique(paper_graph, clique, 3, 1)
+        # The full 8-vertex community breaks the delta constraint (5 a vs 3 b).
+        assert not is_relative_fair_clique(paper_graph, clique | {11}, 3, 1)
+        # A fair-balanced but non-adjacent set is not a clique.
+        assert not is_relative_fair_clique(paper_graph, {1, 2, 3, 4, 5, 9}, 3, 1)
+
+    def test_is_maximal_fair_clique(self, paper_graph):
+        assert is_maximal_fair_clique(paper_graph, {7, 8, 10, 12, 13, 14, 15}, 3, 1)
+        # Size-6 subset can still be fairly extended, so it is not maximal.
+        assert not is_maximal_fair_clique(paper_graph, {7, 8, 14, 10, 12, 13}, 3, 1)
+        # Non-fair sets are never maximal fair cliques.
+        assert not is_maximal_fair_clique(paper_graph, {7, 8, 10}, 3, 1)
+
+    def test_invalid_parameters_rejected(self, balanced_clique):
+        from repro.exceptions import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError):
+            fairness_satisfied(balanced_clique, [], 0, 0)
+
+
+class TestBestFairSubset:
+    @pytest.mark.parametrize(
+        "count_a,count_b,k,delta,expected",
+        [
+            (4, 4, 2, 0, 8),
+            (5, 3, 3, 1, 7),
+            (5, 3, 3, 0, 6),
+            (10, 2, 2, 1, 5),
+            (1, 5, 2, 1, 0),
+            (0, 0, 1, 0, 0),
+            (6, 6, 7, 0, 0),
+        ],
+    )
+    def test_best_fair_subset_size(self, count_a, count_b, k, delta, expected):
+        assert best_fair_subset_size(count_a, count_b, k, delta) == expected
+
+    def test_best_fair_subset_realises_size(self):
+        graph = complete_graph({i: ("a" if i < 6 else "b") for i in range(9)})
+        subset = best_fair_subset(graph, graph.vertices(), 2, 1)
+        assert len(subset) == best_fair_subset_size(6, 3, 2, 1)
+        assert is_relative_fair_clique(graph, subset, 2, 1)
+
+    def test_best_fair_subset_empty_when_infeasible(self):
+        graph = complete_graph({i: "a" for i in range(3)} | {3: "b"})
+        assert best_fair_subset(graph, graph.vertices(), 2, 1) == frozenset()
+
+    @given(count_a=st.integers(min_value=0, max_value=12),
+           count_b=st.integers(min_value=0, max_value=12),
+           k=st.integers(min_value=1, max_value=4),
+           delta=st.integers(min_value=0, max_value=4))
+    @settings(max_examples=60, deadline=None)
+    def test_best_fair_subset_size_properties(self, count_a, count_b, k, delta):
+        size = best_fair_subset_size(count_a, count_b, k, delta)
+        assert 0 <= size <= count_a + count_b
+        if size:
+            # The realised split is feasible and fair.
+            keep_a = min(count_a, count_b + delta)
+            keep_b = min(count_b, count_a + delta)
+            assert keep_a >= k and keep_b >= k
+            assert abs(keep_a - keep_b) <= delta
+            assert keep_a + keep_b == size
+
+
+class TestOrderings:
+    def test_colorful_core_ordering_is_permutation(self, paper_graph):
+        rank = colorful_core_ordering(paper_graph, paper_graph.vertices())
+        assert sorted(rank.values()) == list(range(paper_graph.num_vertices))
+
+    def test_clique_members_ranked_after_periphery(self, paper_graph):
+        # The dense fair-clique community has the largest colorful core
+        # numbers, so on average its members are ranked above the periphery.
+        rank = colorful_core_ordering(paper_graph, paper_graph.vertices())
+        community = {7, 8, 10, 11, 12, 13, 14, 15}
+        others = set(paper_graph.vertices()) - community
+        community_mean = sum(rank[v] for v in community) / len(community)
+        others_mean = sum(rank[v] for v in others) / len(others)
+        assert community_mean > others_mean
+
+    @pytest.mark.parametrize("strategy", list(OrderingStrategy))
+    def test_all_strategies_produce_permutations(self, paper_graph, strategy):
+        rank = compute_ordering(paper_graph, paper_graph.vertices(), strategy)
+        assert sorted(rank.values()) == list(range(paper_graph.num_vertices))
+
+    def test_ordering_on_subset(self, paper_graph):
+        subset = {1, 2, 3, 4, 5}
+        rank = compute_ordering(paper_graph, subset, OrderingStrategy.DEGREE)
+        assert set(rank) == subset
+
+    @given(seed=st.integers(min_value=0, max_value=10))
+    @settings(max_examples=10, deadline=None)
+    def test_orderings_deterministic(self, seed):
+        graph = erdos_renyi_graph(15, 0.4, seed=seed)
+        first = compute_ordering(graph, graph.vertices(), OrderingStrategy.COLORFUL_CORE)
+        second = compute_ordering(graph, graph.vertices(), OrderingStrategy.COLORFUL_CORE)
+        assert first == second

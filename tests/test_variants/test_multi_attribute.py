@@ -1,0 +1,119 @@
+"""Tests for the multi-attribute weak fair clique extension."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import InvalidParameterError
+from repro.graph.attributed_graph import AttributedGraph
+from repro.graph.builders import complete_graph
+from repro.graph.generators import erdos_renyi_graph
+from repro.variants.multi_attribute import (
+    brute_force_maximum_multi_weak_fair_clique,
+    find_maximum_multi_weak_fair_clique,
+    greedy_multi_weak_fair_clique,
+    is_multi_attribute_weak_fair_clique,
+)
+
+
+def three_attribute_clique(counts=(3, 3, 2)) -> AttributedGraph:
+    """A complete graph with three attribute values."""
+    attributes = {}
+    vertex = 0
+    for value, count in zip(("x", "y", "z"), counts):
+        for _ in range(count):
+            attributes[vertex] = value
+            vertex += 1
+    return complete_graph(attributes)
+
+
+def random_three_attribute_graph(n: int, p: float, seed: int) -> AttributedGraph:
+    """An Erdős–Rényi graph whose attributes cycle through three values."""
+    import random
+
+    rng = random.Random(seed)
+    base = erdos_renyi_graph(n, p, seed=seed)
+    graph = AttributedGraph()
+    values = ("x", "y", "z")
+    for vertex in base.vertices():
+        graph.add_vertex(vertex, values[rng.randrange(3)])
+    for u, v in base.edges():
+        graph.add_edge(u, v)
+    return graph
+
+
+class TestVerification:
+    def test_clique_with_all_attributes(self):
+        graph = three_attribute_clique()
+        assert is_multi_attribute_weak_fair_clique(graph, graph.vertices(), 2)
+        assert not is_multi_attribute_weak_fair_clique(graph, graph.vertices(), 3)
+
+    def test_missing_attribute_value_fails(self):
+        graph = three_attribute_clique()
+        subset = [v for v in graph.vertices() if graph.attribute(v) != "z"]
+        assert not is_multi_attribute_weak_fair_clique(graph, subset, 1)
+
+    def test_non_clique_fails(self):
+        graph = random_three_attribute_graph(10, 0.2, seed=1)
+        assert not is_multi_attribute_weak_fair_clique(graph, list(graph.vertices()), 1)
+
+    def test_invalid_k(self):
+        graph = three_attribute_clique()
+        with pytest.raises(InvalidParameterError):
+            is_multi_attribute_weak_fair_clique(graph, graph.vertices(), 0)
+
+
+class TestExactSearch:
+    def test_full_clique_found(self):
+        graph = three_attribute_clique()
+        result = find_maximum_multi_weak_fair_clique(graph, 2)
+        assert result.size == 8
+        assert result.found
+        assert result.optimal
+
+    def test_infeasible_threshold(self):
+        graph = three_attribute_clique((3, 3, 1))
+        result = find_maximum_multi_weak_fair_clique(graph, 2)
+        assert result.size == 0
+
+    def test_empty_graph(self):
+        result = find_maximum_multi_weak_fair_clique(AttributedGraph(), 1)
+        assert result.size == 0
+
+    def test_binary_graph_supported_too(self, balanced_clique):
+        result = find_maximum_multi_weak_fair_clique(balanced_clique, 3)
+        assert result.size == 8
+
+    @given(seed=st.integers(min_value=0, max_value=20), k=st.integers(min_value=1, max_value=2))
+    @settings(max_examples=20, deadline=None)
+    def test_matches_oracle_on_random_graphs(self, seed, k):
+        graph = random_three_attribute_graph(16, 0.5, seed=seed)
+        oracle = brute_force_maximum_multi_weak_fair_clique(graph, k)
+        result = find_maximum_multi_weak_fair_clique(graph, k)
+        assert result.size == len(oracle)
+        if result.found:
+            assert is_multi_attribute_weak_fair_clique(graph, result.clique, k)
+
+
+class TestGreedy:
+    def test_greedy_on_planted_clique(self):
+        graph = three_attribute_clique()
+        clique = greedy_multi_weak_fair_clique(graph, 2)
+        assert is_multi_attribute_weak_fair_clique(graph, clique, 2)
+
+    def test_greedy_returns_empty_when_unlucky_or_infeasible(self):
+        graph = three_attribute_clique((3, 3, 1))
+        assert greedy_multi_weak_fair_clique(graph, 2) == frozenset()
+
+    def test_greedy_empty_graph(self):
+        assert greedy_multi_weak_fair_clique(AttributedGraph(), 1) == frozenset()
+
+    @given(seed=st.integers(min_value=0, max_value=15))
+    @settings(max_examples=15, deadline=None)
+    def test_greedy_never_beats_exact(self, seed):
+        graph = random_three_attribute_graph(15, 0.5, seed=seed)
+        exact = find_maximum_multi_weak_fair_clique(graph, 1).size
+        greedy = len(greedy_multi_weak_fair_clique(graph, 1))
+        assert greedy <= exact

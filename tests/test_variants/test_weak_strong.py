@@ -1,0 +1,79 @@
+"""Tests for the weak and strong fair clique model variants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.builders import complete_graph, paper_example_graph
+from repro.graph.generators import community_graph, erdos_renyi_graph
+from repro.search.maxrfc import find_maximum_fair_clique
+from repro.variants.weak_strong import (
+    brute_force_maximum_weak_fair_clique,
+    find_maximum_strong_fair_clique,
+    find_maximum_weak_fair_clique,
+    is_strong_fair_clique,
+    is_weak_fair_clique,
+    model_comparison,
+)
+
+
+class TestPredicates:
+    def test_weak_allows_imbalance(self):
+        graph = complete_graph({i: ("a" if i < 6 else "b") for i in range(9)})
+        assert is_weak_fair_clique(graph, graph.vertices(), 3)
+        assert not is_weak_fair_clique(graph, graph.vertices(), 4)
+
+    def test_strong_requires_equality(self, balanced_clique):
+        members = list(balanced_clique.vertices())
+        assert is_strong_fair_clique(balanced_clique, members, 2)
+        assert not is_strong_fair_clique(balanced_clique, members[:7], 2)
+
+    def test_non_clique_rejected(self, paper_graph):
+        assert not is_weak_fair_clique(paper_graph, [1, 2, 3, 4, 7, 8], 2)
+
+
+class TestMaximumSearch:
+    def test_weak_on_paper_example(self, paper_graph):
+        # Without a delta cap the whole 8-vertex community (5 a + 3 b) counts.
+        result = find_maximum_weak_fair_clique(paper_graph, 3)
+        assert result.size == 8
+        assert result.algorithm.startswith("MaxWeakFC")
+
+    def test_strong_on_paper_example(self, paper_graph):
+        # Equal counts: 3 + 3 is the best the community can do.
+        result = find_maximum_strong_fair_clique(paper_graph, 3)
+        assert result.size == 6
+        assert result.algorithm.startswith("MaxStrongFC")
+
+    def test_model_hierarchy(self, paper_graph):
+        comparison = model_comparison(paper_graph, 3, 1)
+        assert comparison["strong"].size <= comparison["relative"].size
+        assert comparison["relative"].size <= comparison["weak"].size
+        assert set(comparison) == {"weak", "relative", "strong"}
+
+    def test_weak_matches_oracle_on_paper_example(self, paper_graph):
+        oracle = brute_force_maximum_weak_fair_clique(paper_graph, 3)
+        assert find_maximum_weak_fair_clique(paper_graph, 3).size == len(oracle)
+
+    @given(seed=st.integers(min_value=0, max_value=25), k=st.integers(min_value=1, max_value=3))
+    @settings(max_examples=25, deadline=None)
+    def test_weak_matches_oracle_on_random_graphs(self, seed, k):
+        graph = erdos_renyi_graph(18, 0.5, seed=seed)
+        oracle = brute_force_maximum_weak_fair_clique(graph, k)
+        assert find_maximum_weak_fair_clique(graph, k).size == len(oracle)
+
+    @given(seed=st.integers(min_value=0, max_value=12))
+    @settings(max_examples=12, deadline=None)
+    def test_hierarchy_on_random_community_graphs(self, seed):
+        graph = community_graph(3, 8, intra_probability=0.85, inter_edges=2, seed=seed)
+        k, delta = 2, 1
+        weak = find_maximum_weak_fair_clique(graph, k).size
+        relative = find_maximum_fair_clique(graph, k, delta).size
+        strong = find_maximum_strong_fair_clique(graph, k).size
+        assert strong <= relative <= weak
+
+    def test_strong_equals_relative_with_zero_delta(self, community_fixture):
+        strong = find_maximum_strong_fair_clique(community_fixture, 2).size
+        relative = find_maximum_fair_clique(community_fixture, 2, 0).size
+        assert strong == relative
