@@ -1,0 +1,79 @@
+"""Micro-benchmark: the batch API vs N independent legacy solves.
+
+``solve_many`` memoizes the Algorithm 2 reduction pipeline per distinct
+``k``, so a delta sweep over one graph pays the reduction cost once; the
+legacy path (one ``find_maximum_fair_clique`` call per parameter point)
+re-reduces the graph every time.  The reduction dominates each solve on the
+stand-ins, so the batch path wins by roughly the sweep width.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from conftest import BENCH_SCALE, write_report
+
+from repro.api import query_grid, solve_many
+from repro.datasets.registry import get_dataset
+from repro.search.maxrfc import find_maximum_fair_clique
+
+DELTAS = (0, 1, 2, 3, 4, 5)
+
+
+@pytest.fixture(scope="module")
+def dblp_graph():
+    return get_dataset("DBLP").load(BENCH_SCALE)
+
+
+@pytest.fixture(scope="module")
+def dblp_k():
+    return get_dataset("DBLP").default_k
+
+
+def test_bench_batch_delta_sweep(benchmark, dblp_graph, dblp_k):
+    queries = query_grid(ks=(dblp_k,), deltas=DELTAS)
+    reports = benchmark(solve_many, dblp_graph, queries)
+    assert len(reports) == len(DELTAS)
+    # Every query after the first reuses the memoized reduction.
+    assert [r.metadata.get("reduction_cache_hit") for r in reports].count(True) == len(DELTAS) - 1
+
+
+def test_bench_independent_delta_sweep(benchmark, dblp_graph, dblp_k):
+    def independent():
+        return [find_maximum_fair_clique(dblp_graph, dblp_k, delta) for delta in DELTAS]
+
+    results = benchmark(independent)
+    assert len(results) == len(DELTAS)
+
+
+def test_batch_beats_independent_solves(dblp_graph, dblp_k, results_dir):
+    """Correctness parity plus a direct single-run timing comparison."""
+    queries = query_grid(ks=(dblp_k,), deltas=DELTAS)
+
+    started = time.perf_counter()
+    reports = solve_many(dblp_graph, queries)
+    batch_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    legacy = [find_maximum_fair_clique(dblp_graph, dblp_k, delta) for delta in DELTAS]
+    independent_seconds = time.perf_counter() - started
+
+    assert [r.size for r in reports] == [r.size for r in legacy]
+    # The batch path skips len(DELTAS)-1 reduction runs; even with scheduler
+    # noise it must not be slower than the independent baseline.
+    assert batch_seconds < independent_seconds
+
+    speedup = independent_seconds / max(batch_seconds, 1e-9)
+    write_report(
+        results_dir,
+        "batch_api",
+        "\n".join([
+            "Batch API — solve_many vs independent find_maximum_fair_clique calls",
+            f"dataset=DBLP scale={BENCH_SCALE} k={dblp_k} deltas={DELTAS}",
+            f"batch_seconds={batch_seconds:.4f}",
+            f"independent_seconds={independent_seconds:.4f}",
+            f"speedup={speedup:.2f}x",
+        ]),
+    )

@@ -14,13 +14,10 @@ Run with::
 
 from __future__ import annotations
 
-from repro.analysis import describe_clique, summarize_graph
+from repro import FairCliqueQuery, solve, solve_many
+from repro.analysis import summarize_graph
 from repro.datasets import build_case_study_graph
 from repro.graph import AttributedGraph, complete_graph
-from repro.variants import (
-    find_maximum_multi_weak_fair_clique,
-    model_comparison,
-)
 
 
 def binary_model_comparison() -> None:
@@ -33,12 +30,18 @@ def binary_model_comparison() -> None:
     print(f"Constraints: k={k}, delta={delta}")
     print()
 
-    results = model_comparison(graph, k, delta, time_limit=60.0)
+    # One batch answers all three models; the reduction artifacts for k are
+    # computed once and shared across the queries.
+    queries = [
+        FairCliqueQuery(model="weak", k=k, time_limit=60.0),
+        FairCliqueQuery(model="relative", k=k, delta=delta, time_limit=60.0),
+        FairCliqueQuery(model="strong", k=k, time_limit=60.0),
+    ]
+    reports = solve_many(graph, queries)
     print(f"{'model':<10s} {'team size':>9s}  balance")
-    for model in ("weak", "relative", "strong"):
-        result = results[model]
-        report = describe_clique(graph, result.clique)
-        print(f"{model:<10s} {result.size:>9d}  {report.counts} (gap {report.gap})")
+    for report in reports:
+        print(f"{report.model:<10s} {report.size:>9d}  "
+              f"{report.attribute_counts} (gap {report.fairness_gap})")
     print()
     print("As expected: strong <= relative <= weak.")
     print()
@@ -61,10 +64,9 @@ def multi_attribute_example() -> None:
         graph.add_vertex(100 + index, area)
         graph.add_edge(100 + index, index)
 
-    result = find_maximum_multi_weak_fair_clique(graph, k=2)
+    report = solve(graph, model="multi_weak", k=2)
     print("Multi-attribute (3 research areas) weak fair clique:")
-    print(f"  team size {result.size}, composition "
-          f"{graph.attribute_histogram(result.clique)}")
+    print(f"  team size {report.size}, composition {report.attribute_counts}")
 
 
 def main() -> None:

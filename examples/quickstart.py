@@ -2,7 +2,8 @@
 
 This walks through the paper's running example (Fig. 1): a 15-vertex graph
 with binary attributes in which, for ``k = 3`` and ``delta = 1``, the maximum
-relative fair clique has 7 vertices.
+relative fair clique has 7 vertices.  Everything goes through the unified
+``solve()`` API; the reduction step is shown separately for exposition.
 
 Run with::
 
@@ -11,7 +12,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import find_maximum_fair_clique, heuristic_fair_clique, reduce_graph
+from repro import reduce_graph, solve
 from repro.graph import paper_example_graph
 
 
@@ -31,20 +32,20 @@ def main() -> None:
     print(reduction.summary())
     print()
 
-    # Step 2 — the linear-time heuristic provides a strong incumbent.
-    heuristic = heuristic_fair_clique(graph, k, delta)
+    # Step 2 — the linear-time heuristic engine provides a quick answer.
+    heuristic = solve(graph, model="relative", k=k, delta=delta, engine="heuristic")
     print(f"HeurRFC found a fair clique of size {heuristic.size}: "
           f"{sorted(heuristic.clique)}")
     print()
 
-    # Step 3 — the exact branch-and-bound search (reduction + bounds +
-    # heuristic seeding are all on by default).
-    result = find_maximum_fair_clique(graph, k, delta)
-    print(result.summary())
-    print("Maximum fair clique:", sorted(result.clique))
-    print("Attribute balance:", result.attribute_balance(graph))
-    print(f"Branches explored: {result.stats.branches_explored}, "
-          f"pruned: {result.stats.total_pruned}")
+    # Step 3 — the exact engine (reduction + bounds + heuristic seeding are
+    # all on by default) is provably optimal.
+    report = solve(graph, model="relative", k=k, delta=delta)
+    print(report.summary())
+    print("Maximum fair clique:", sorted(report.clique))
+    print("Attribute balance:", report.attribute_counts)
+    print(f"Branches explored: {report.stats.branches_explored}, "
+          f"pruned: {report.stats.total_pruned}")
 
 
 if __name__ == "__main__":

@@ -17,7 +17,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import find_maximum_fair_clique
+from repro import solve
 from repro.baselines import maximum_clique
 from repro.datasets import build_case_study_graph, get_case_study
 from repro.search import is_relative_fair_clique
@@ -42,16 +42,15 @@ def main() -> None:
           is_relative_fair_clique(graph, raw, k, delta))
     print()
 
-    # The fair-clique search returns the largest *balanced* team.
-    result = find_maximum_fair_clique(graph, k, delta)
-    balance = result.attribute_balance(graph)
-    print(f"Maximum fair team has {result.size} members: {balance}")
+    # The fair-clique query returns the largest *balanced* team.
+    report = solve(graph, model="relative", k=k, delta=delta)
+    print(f"Maximum fair team has {report.size} members: {report.attribute_counts}")
     print("Members:")
-    for vertex in sorted(result.clique, key=graph.label):
+    for vertex in sorted(report.clique, key=graph.label):
         print(f"  - {graph.label(vertex):35s} ({graph.attribute(vertex)})")
     print()
     print("Every pair of members has collaborated before:",
-          graph.is_clique(result.clique))
+          graph.is_clique(report.clique))
 
 
 if __name__ == "__main__":

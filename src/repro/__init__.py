@@ -1,24 +1,61 @@
-"""repro — maximum relative fair clique search over attributed graphs.
+"""repro — maximum fair clique search over attributed graphs.
 
 A from-scratch Python reproduction of *"Efficient Maximum Fair Clique Search
-over Large Networks"* (ICDE 2025).  The package provides:
+over Large Networks"* (ICDE 2025), grown into a queryable system.  The
+package provides:
 
 * :class:`~repro.graph.AttributedGraph` and synthetic workload generators;
 * the reduction pipeline (EnColorfulCore, ColorfulSup, EnColorfulSup);
 * the upper bounds of Section IV and the MaxRFC branch-and-bound;
-* the linear-time HeurRFC heuristic;
-* baselines, dataset stand-ins, and the experiment harness reproducing the
-  paper's tables and figures.
+* the linear-time HeurRFC heuristic, brute-force baselines, and the
+  weak/strong/multi-attribute model variants;
+* a **unified query API** (:mod:`repro.api`) dispatching every
+  (model, engine) combination through one registry, with batch execution
+  that shares reduction artifacts across a parameter sweep;
+* dataset stand-ins and the experiment harness reproducing the paper's
+  tables and figures.
 
 Quickstart
 ----------
->>> from repro import AttributedGraph, find_maximum_fair_clique
+The unified API is the preferred surface: describe the question as a
+:class:`FairCliqueQuery` (or keyword fields) and let the registry pick the
+solver:
+
+>>> from repro import FairCliqueQuery, solve, solve_many, query_grid
 >>> from repro.graph import paper_example_graph
->>> result = find_maximum_fair_clique(paper_example_graph(), k=3, delta=1)
->>> result.size
+>>> graph = paper_example_graph()
+>>> report = solve(graph, model="relative", k=3, delta=1)
+>>> report.size
 7
+>>> report.attribute_counts          # doctest: +SKIP
+{'a': 4, 'b': 3}
+
+Models: ``relative`` (the paper's model), ``weak``, ``strong``, and
+``multi_weak`` (any number of attribute values).  Engines: ``exact``,
+``heuristic``, and ``brute_force``; unsupported pairs fail fast.
+
+Sweeps run through :func:`solve_many`, which memoizes the reduction pipeline
+across same-``k`` queries and can fan out over a process pool:
+
+>>> reports = solve_many(graph, query_grid(ks=(2, 3), deltas=(0, 1)))
+>>> [(r.k, r.delta, r.size) for r in reports]  # doctest: +SKIP
+[(2, 0, 6), (2, 1, 7), (3, 0, 6), (3, 1, 7)]
+
+The pre-existing convenience functions (:func:`find_maximum_fair_clique`,
+:func:`heuristic_fair_clique`, …) remain as thin shims over the same solvers
+the registry dispatches to.
 """
 
+from repro.api import (
+    FairCliqueQuery,
+    SolveContext,
+    SolveReport,
+    available_engines,
+    query_grid,
+    register_engine,
+    solve,
+    solve_many,
+)
 from repro.baselines import brute_force_maximum_fair_clique, enumerate_maximal_cliques
 from repro.bounds import BoundStack, get_stack, stack_names
 from repro.exceptions import (
@@ -28,6 +65,7 @@ from repro.exceptions import (
     InvalidParameterError,
     ReproError,
     SearchError,
+    UnsupportedQueryError,
 )
 from repro.graph import AttributedGraph, from_edge_list, paper_example_graph
 from repro.heuristic import HeurRFC, heuristic_fair_clique
@@ -41,9 +79,19 @@ from repro.search import (
     maximum_fair_clique_size,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    # unified query API
+    "FairCliqueQuery",
+    "SolveReport",
+    "SolveContext",
+    "solve",
+    "solve_many",
+    "query_grid",
+    "register_engine",
+    "available_engines",
+    # graph + legacy entry points
     "AttributedGraph",
     "from_edge_list",
     "paper_example_graph",
@@ -62,11 +110,13 @@ __all__ = [
     "stack_names",
     "brute_force_maximum_fair_clique",
     "enumerate_maximal_cliques",
+    # exceptions
     "ReproError",
     "GraphError",
     "AttributeCountError",
     "InvalidParameterError",
     "SearchError",
     "DatasetError",
+    "UnsupportedQueryError",
     "__version__",
 ]

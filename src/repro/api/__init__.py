@@ -1,0 +1,60 @@
+"""Unified fair-clique query API: one front door for every model and solver.
+
+The repo's solvers (MaxRFC, HeurRFC, brute-force enumeration, the
+weak/strong/multi-attribute variants) are all reachable through three
+concepts:
+
+* :class:`FairCliqueQuery` — a declarative description of the question
+  (fairness model, ``k``/``delta``, engine, engine options);
+* :func:`solve` / :func:`solve_many` — dispatch a query (or a whole grid of
+  queries sharing reduction artifacts) through the engine registry;
+* :class:`SolveReport` — the unified result schema every engine returns.
+
+Example
+-------
+>>> from repro.api import FairCliqueQuery, solve, solve_many, query_grid
+>>> from repro.graph import paper_example_graph
+>>> graph = paper_example_graph()
+>>> solve(graph, model="relative", k=3, delta=1).size
+7
+>>> reports = solve_many(graph, query_grid(models=("weak", "strong"), ks=(2, 3)))
+>>> [report.size for report in reports]
+[8, 8, 6, 6]
+
+Engines self-register with :func:`register_engine`; unsupported
+(model, engine) combinations raise
+:class:`~repro.exceptions.UnsupportedQueryError` before any work starts.
+"""
+
+from repro.api.batch import SolveContext, solve, solve_many
+from repro.api.engines import brute_force_engine, exact_engine, heuristic_engine
+from repro.api.query import DELTA_MODELS, MODELS, FairCliqueQuery, query_grid
+from repro.api.registry import (
+    Engine,
+    EngineRegistry,
+    available_engines,
+    default_registry,
+    register_engine,
+)
+from repro.api.report import SolveReport
+from repro.exceptions import UnsupportedQueryError
+
+__all__ = [
+    "FairCliqueQuery",
+    "SolveReport",
+    "SolveContext",
+    "solve",
+    "solve_many",
+    "query_grid",
+    "MODELS",
+    "DELTA_MODELS",
+    "Engine",
+    "EngineRegistry",
+    "register_engine",
+    "available_engines",
+    "default_registry",
+    "UnsupportedQueryError",
+    "exact_engine",
+    "heuristic_engine",
+    "brute_force_engine",
+]

@@ -1,0 +1,192 @@
+"""The front door (``solve``) and the batch layer (``solve_many``).
+
+``solve`` answers one :class:`~repro.api.query.FairCliqueQuery`;
+``solve_many`` answers a whole grid of them over the *same* graph, which is
+the shape every sweep in the repo has (k × delta × model for one dataset).
+Two optimisations make the batch path cheaper than N independent solves:
+
+* **Shared reduction artifacts** — the Algorithm 2 reduction pipeline depends
+  only on ``(graph, k, stages)``, never on ``delta`` or the model, so a
+  :class:`SolveContext` memoizes one pipeline run per distinct ``k`` and every
+  query reuses it.  A delta sweep then pays for the reduction exactly once.
+* **Optional process parallelism** — with ``max_workers > 1`` the queries are
+  partitioned by ``k`` (keeping the reduction sharing intact inside each
+  worker) and solved in a ``concurrent.futures`` process pool.
+
+Dispatch is validated *before* any work starts: an unsupported
+(model, engine) pair anywhere in the batch raises
+:class:`~repro.exceptions.UnsupportedQueryError` immediately.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterable, Sequence
+import time
+
+from repro.api.query import FairCliqueQuery
+from repro.api.registry import EngineRegistry, default_registry
+from repro.api.report import SolveReport
+from repro.exceptions import InvalidParameterError
+from repro.graph.attributed_graph import AttributedGraph
+from repro.reduction.pipeline import DEFAULT_STAGES, PipelineResult, ReductionPipeline
+
+import repro.api.engines  # noqa: F401  (imported for the side effect: built-in engines register)
+
+
+class SolveContext:
+    """Per-graph scratch space shared by the engines of one solve/batch run.
+
+    Currently it memoizes reduction-pipeline runs keyed by ``(k, stages)``;
+    future shared artifacts (colorings, core decompositions) belong here too.
+    """
+
+    def __init__(self, graph: AttributedGraph) -> None:
+        self.graph = graph
+        self._reductions: dict[tuple, tuple[PipelineResult, float]] = {}
+
+    def reduced(
+        self, k: int, stages: Sequence[str] | None = None
+    ) -> tuple[PipelineResult, float, bool]:
+        """Reduction artifacts for ``k``: ``(result, seconds_charged, cache_hit)``.
+
+        ``seconds_charged`` is the wall time *this* call spent — the full
+        pipeline cost on a miss, ``0.0`` on a hit — so per-query timing
+        reflects work actually done rather than double-counting the shared
+        run.
+        """
+        key = (k, tuple(stages or DEFAULT_STAGES))
+        if key in self._reductions:
+            result, _ = self._reductions[key]
+            return result, 0.0, True
+        started = time.monotonic()
+        result = ReductionPipeline(key[1]).run(self.graph, k)
+        elapsed = time.monotonic() - started
+        self._reductions[key] = (result, elapsed)
+        return result, elapsed, False
+
+    @property
+    def reduction_cache_size(self) -> int:
+        """Number of distinct (k, stages) reductions currently memoized."""
+        return len(self._reductions)
+
+
+def solve(
+    graph: AttributedGraph,
+    query: FairCliqueQuery | None = None,
+    *,
+    registry: EngineRegistry | None = None,
+    context: SolveContext | None = None,
+    **query_fields,
+) -> SolveReport:
+    """Answer one fair-clique query through the engine registry.
+
+    Either pass a ready-made :class:`FairCliqueQuery`, or pass its fields as
+    keywords and the query is built for you::
+
+        solve(graph, model="relative", k=3, delta=1)
+        solve(graph, FairCliqueQuery(model="weak", k=3, engine="heuristic"))
+
+    Raises :class:`~repro.exceptions.UnsupportedQueryError` when the engine
+    does not exist or does not support the model.
+    """
+    if query is None:
+        query = FairCliqueQuery(**query_fields)
+    elif query_fields:
+        raise InvalidParameterError(
+            "pass either a FairCliqueQuery or query fields as keywords, not both"
+        )
+    engine = (registry or default_registry).resolve(query)
+    return engine.func(graph, query, context or SolveContext(graph))
+
+
+def solve_many(
+    graph: AttributedGraph,
+    queries: Iterable[FairCliqueQuery],
+    *,
+    registry: EngineRegistry | None = None,
+    share_reduction: bool = True,
+    max_workers: int | None = None,
+) -> list[SolveReport]:
+    """Answer a batch of queries over one graph, in input order.
+
+    Parameters
+    ----------
+    share_reduction:
+        Memoize reduction artifacts across queries (one pipeline run per
+        distinct ``k``).  Disable only to measure the unshared baseline.
+    max_workers:
+        When > 1, solve in a process pool.  Queries are grouped by ``k`` so
+        reduction sharing survives the split; the workers dispatch through
+        the default registry (custom registries are process-local).
+    """
+    query_list = list(queries)
+    reg = registry or default_registry
+    for query in query_list:
+        reg.resolve(query)  # fail fast before any solving starts
+    if max_workers is not None and max_workers > 1 and len(query_list) > 1:
+        if registry is not None:
+            raise InvalidParameterError(
+                "custom registries cannot be shipped to worker processes; "
+                "use the default registry or max_workers=1"
+            )
+        return _solve_parallel(graph, query_list, max_workers, share_reduction)
+
+    context = SolveContext(graph)
+    reports = []
+    for query in query_list:
+        if not share_reduction:
+            context = SolveContext(graph)
+        reports.append(reg.resolve(query).func(graph, query, context))
+    return reports
+
+
+def _solve_chunk(
+    graph: AttributedGraph, queries: list[FairCliqueQuery]
+) -> list[SolveReport]:
+    """Worker entry point: solve a chunk with one shared context (module-level so it pickles)."""
+    context = SolveContext(graph)
+    return [
+        default_registry.resolve(query).func(graph, query, context)
+        for query in queries
+    ]
+
+
+def _solve_parallel(
+    graph: AttributedGraph,
+    queries: list[FairCliqueQuery],
+    max_workers: int,
+    share_reduction: bool,
+) -> list[SolveReport]:
+    from concurrent.futures import ProcessPoolExecutor
+
+    indexed = list(enumerate(queries))
+    if share_reduction:
+        # Same-k queries share a worker (and therefore one reduction run) —
+        # but a single-k sweep must not collapse into one sequential chunk,
+        # so each k-group is further split across the idle workers.  Every
+        # extra subchunk pays one redundant reduction run; that trade is
+        # what buys the parallelism.
+        keyed = sorted(indexed, key=lambda pair: (pair[1].k, pair[0]))
+        groups = [
+            list(group)
+            for _, group in itertools.groupby(keyed, key=lambda pair: pair[1].k)
+        ]
+        splits_per_group = max(1, max_workers // len(groups))
+        chunks = []
+        for group in groups:
+            size = -(-len(group) // splits_per_group)  # ceil division
+            chunks.extend(group[start:start + size] for start in range(0, len(group), size))
+    else:
+        chunks = [[pair] for pair in indexed]
+
+    ordered: list[SolveReport | None] = [None] * len(queries)
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        futures = [
+            (chunk, pool.submit(_solve_chunk, graph, [query for _, query in chunk]))
+            for chunk in chunks
+        ]
+        for chunk, future in futures:
+            for (index, _), report in zip(chunk, future.result()):
+                ordered[index] = report
+    return [report for report in ordered if report is not None]

@@ -1,0 +1,172 @@
+"""Built-in engines: the repo's solvers wrapped behind the registry.
+
+Three engines cover the solver families of the paper:
+
+* ``exact`` — MaxRFC branch-and-bound for the binary models and the
+  multi-attribute branch-and-bound for ``multi_weak``; provably optimal.
+* ``heuristic`` — the linear-time HeurRFC framework (binary models only; the
+  multi-attribute generalisation has no validated heuristic counterpart, so
+  ``(multi_weak, heuristic)`` is deliberately an unsupported pair).
+* ``brute_force`` — exhaustive maximal-clique enumeration, the slow oracle.
+
+Every engine receives ``(graph, query, context)`` where ``context`` is the
+:class:`~repro.api.batch.SolveContext` carrying the memoized reduction
+artifacts; in a :func:`~repro.api.batch.solve_many` sweep all queries with the
+same ``k`` share one reduction run through it.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Any
+
+from repro.api.query import FairCliqueQuery
+from repro.api.registry import register_engine
+from repro.api.report import SolveReport
+from repro.exceptions import AttributeCountError, InvalidParameterError
+from repro.graph.attributed_graph import AttributedGraph
+from repro.graph.validation import validate_binary_attributes
+from repro.heuristic.heur_rfc import HeurRFC
+from repro.search.maxrfc import MaxRFC, build_search_config
+from repro.search.result import SearchResult
+from repro.search.statistics import SearchStats
+from repro.variants.multi_attribute import (
+    MultiAttributeSearchResult,
+    MultiAttributeWeakFairCliqueSearch,
+    brute_force_maximum_multi_weak_fair_clique,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.api.batch import SolveContext
+
+BINARY = ("relative", "weak", "strong")
+ALL_MODELS = ("relative", "weak", "strong", "multi_weak")
+
+
+def _consume_options(query: FairCliqueQuery, allowed: dict[str, Any]) -> dict[str, Any]:
+    """Overlay ``query.options`` onto the engine defaults, rejecting unknowns."""
+    unknown = set(query.options) - set(allowed)
+    if unknown:
+        raise InvalidParameterError(
+            f"engine {query.engine!r} does not understand option(s) "
+            f"{sorted(unknown)}; supported: {sorted(allowed)}"
+        )
+    merged = dict(allowed)
+    merged.update(query.options)
+    return merged
+
+
+def _empty_binary_report(
+    graph: AttributedGraph, query: FairCliqueQuery, algorithm: str
+) -> SolveReport:
+    """Report for binary models on graphs without exactly two attribute values."""
+    result = SearchResult(
+        clique=frozenset(), k=query.k, delta=query.delta or 0,
+        stats=SearchStats(), algorithm=algorithm, optimal=True,
+    )
+    return SolveReport.from_search_result(
+        result, graph, query.model, query.engine, delta=query.delta,
+        metadata={"note": "graph does not carry exactly two attribute values"},
+    )
+
+
+@register_engine(
+    "exact",
+    models=ALL_MODELS,
+    description="branch-and-bound with reductions and bounds (MaxRFC / multi-attribute BnB)",
+)
+def exact_engine(
+    graph: AttributedGraph, query: FairCliqueQuery, context: "SolveContext"
+) -> SolveReport:
+    """Provably optimal search; honours ``bound_stack``/``use_reduction``… options."""
+    if query.model == "multi_weak":
+        _consume_options(query, {})
+        solver = MultiAttributeWeakFairCliqueSearch(time_limit=query.time_limit)
+        result = solver.solve(graph, query.k)
+        return SolveReport.from_multi_attribute_result(
+            result, graph, engine="exact", algorithm="MultiAttrBnB"
+        )
+
+    options = _consume_options(query, {
+        "bound_stack": "ubAD",
+        "use_reduction": True,
+        "use_heuristic": True,
+        "ordering": None,
+        "branch_limit": None,
+        "bound_depth": 2,
+        "reduction_stages": None,
+    })
+    config_kwargs = {k: v for k, v in options.items() if v is not None or k == "bound_stack"}
+    config = build_search_config(time_limit=query.time_limit, **config_kwargs)
+
+    try:
+        validate_binary_attributes(graph)
+    except AttributeCountError:
+        # Checked before touching the shared reduction cache: the pipeline
+        # stages assume binary attributes.
+        return _empty_binary_report(graph, query, config.algorithm_name)
+
+    metadata: dict[str, Any] = {}
+    reduction = None
+    seconds_charged = 0.0
+    if config.use_reduction and graph.num_vertices:
+        reduction, seconds_charged, cache_hit = context.reduced(
+            query.k, config.reduction_stages
+        )
+        metadata["reduction"] = [stage.summary() for stage in reduction.stages]
+        metadata["reduction_cache_hit"] = cache_hit
+    result = MaxRFC(config).solve(
+        graph, query.k, query.effective_delta(graph), reduction=reduction
+    )
+    result.stats.reduction_seconds += seconds_charged
+    return SolveReport.from_search_result(
+        result, graph, query.model, "exact", delta=query.delta, metadata=metadata
+    )
+
+
+@register_engine(
+    "heuristic",
+    models=BINARY,
+    description="linear-time HeurRFC framework (no optimality guarantee)",
+)
+def heuristic_engine(
+    graph: AttributedGraph, query: FairCliqueQuery, context: "SolveContext"
+) -> SolveReport:
+    """Fast greedy framework; option ``restarts`` controls start-vertex retries."""
+    options = _consume_options(query, {"restarts": 4})
+    try:
+        validate_binary_attributes(graph)
+    except AttributeCountError:
+        return _empty_binary_report(graph, query, "HeurRFC")
+    result = HeurRFC(restarts=options["restarts"]).solve(
+        graph, query.k, query.effective_delta(graph)
+    )
+    return SolveReport.from_search_result(
+        result, graph, query.model, "heuristic", delta=query.delta
+    )
+
+
+@register_engine(
+    "brute_force",
+    models=ALL_MODELS,
+    description="exhaustive maximal-clique enumeration oracle (slow, optimal)",
+)
+def brute_force_engine(
+    graph: AttributedGraph, query: FairCliqueQuery, context: "SolveContext"
+) -> SolveReport:
+    """The enumerate-everything baseline the paper argues against."""
+    _consume_options(query, {})
+    if query.model == "multi_weak":
+        started = time.monotonic()
+        clique = brute_force_maximum_multi_weak_fair_clique(graph, query.k)
+        stats = SearchStats(search_seconds=time.monotonic() - started)
+        result = MultiAttributeSearchResult(clique=clique, k=query.k, stats=stats)
+        return SolveReport.from_multi_attribute_result(
+            result, graph, engine="brute_force", algorithm="BruteForceEnum"
+        )
+    from repro.baselines.enumeration import brute_force_maximum_fair_clique
+
+    result = brute_force_maximum_fair_clique(graph, query.k, query.effective_delta(graph))
+    return SolveReport.from_search_result(
+        result, graph, query.model, "brute_force", delta=query.delta
+    )

@@ -1,0 +1,181 @@
+"""The declarative query object of the unified fair-clique API.
+
+A :class:`FairCliqueQuery` describes *what* to solve — fairness model,
+parameters, and which engine should do the solving — without referencing any
+solver class.  The :mod:`repro.api` front door (:func:`repro.api.solve`)
+resolves the query against the engine registry and returns a
+:class:`~repro.api.report.SolveReport`.
+
+Models
+------
+``relative``
+    The paper's relative fair clique: >= ``k`` vertices per attribute and an
+    attribute-count gap of at most ``delta`` (binary attributes).
+``weak``
+    >= ``k`` vertices per attribute, unbounded gap (binary attributes).
+``strong``
+    Exactly equal attribute counts, each >= ``k`` (binary attributes).
+``multi_weak``
+    The weak condition generalised to any number of attribute values.
+
+Engines
+-------
+``exact``
+    Branch-and-bound with reductions and bounds (MaxRFC and the
+    multi-attribute solver); provably optimal within its time budget.
+``heuristic``
+    The linear-time HeurRFC framework; fast, not guaranteed optimal.
+``brute_force``
+    Exhaustive maximal-clique enumeration; optimal but slow — the baseline
+    the paper argues against, kept as an oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.exceptions import InvalidParameterError
+from repro.graph.attributed_graph import AttributedGraph
+from repro.graph.validation import validate_parameters
+
+MODELS: tuple[str, ...] = ("relative", "weak", "strong", "multi_weak")
+#: Models whose fairness constraint involves ``delta``.
+DELTA_MODELS: frozenset = frozenset({"relative"})
+#: Models defined only for binary attributes.
+BINARY_MODELS: frozenset = frozenset({"relative", "weak", "strong"})
+
+
+@dataclass(frozen=True)
+class FairCliqueQuery:
+    """One fair-clique question: model + parameters + engine choice.
+
+    Attributes
+    ----------
+    model:
+        Fairness model name (``"relative"``, ``"weak"``, ``"strong"``, or
+        ``"multi_weak"``).
+    k:
+        Minimum number of vertices required per attribute value.
+    delta:
+        Maximum attribute-count gap.  Required for the ``relative`` model and
+        must be omitted (``None``) for the delta-free models — ``weak`` is
+        unbounded by definition, ``strong`` pins the gap to 0, and
+        ``multi_weak`` has no gap notion.
+    engine:
+        Registered engine name (``"exact"``, ``"heuristic"``,
+        ``"brute_force"``, or any custom registration).
+    time_limit:
+        Wall-clock budget in seconds forwarded to engines that honour one.
+    options:
+        Engine-specific knobs (e.g. ``bound_stack``/``use_reduction`` for the
+        exact engine, ``restarts`` for the heuristic).  Unknown options are
+        rejected by the engine, not silently dropped.
+    """
+
+    model: str = "relative"
+    k: int = 2
+    delta: int | None = None
+    engine: str = "exact"
+    time_limit: float | None = None
+    options: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        # Defensive copy: the caller's dict must not alias the query's state.
+        object.__setattr__(self, "options", dict(self.options))
+        if self.model not in MODELS:
+            raise InvalidParameterError(
+                f"unknown fairness model {self.model!r}; expected one of {MODELS}"
+            )
+        if self.model in DELTA_MODELS:
+            if self.delta is None:
+                raise InvalidParameterError(
+                    f"model {self.model!r} requires a delta value"
+                )
+            validate_parameters(self.k, self.delta)
+        else:
+            if self.delta is not None:
+                raise InvalidParameterError(
+                    f"model {self.model!r} does not take a delta "
+                    f"(got delta={self.delta!r}); omit it"
+                )
+            validate_parameters(self.k, 0)
+        if self.time_limit is not None and self.time_limit <= 0:
+            raise InvalidParameterError(
+                f"time_limit must be positive, got {self.time_limit!r}"
+            )
+        if not isinstance(self.engine, str) or not self.engine:
+            raise InvalidParameterError(f"engine must be a non-empty string, got {self.engine!r}")
+
+    def __hash__(self) -> int:
+        # The generated hash would choke on the options dict; hash a
+        # canonical tuple instead so queries work as dict keys / set members
+        # (requires hashable option values, which the built-ins all are).
+        return hash((
+            self.model, self.k, self.delta, self.engine, self.time_limit,
+            tuple(sorted(self.options.items(), key=lambda item: item[0])),
+        ))
+
+    # ------------------------------------------------------------------ #
+    # Derived views used by the engines
+    # ------------------------------------------------------------------ #
+    def effective_delta(self, graph: AttributedGraph) -> int:
+        """Map the model onto the relative solver's ``delta`` parameter.
+
+        ``weak`` becomes an unbounded gap (the vertex count can never be
+        exceeded), ``strong`` pins the gap to 0, and ``relative`` passes its
+        own delta through.  Raises for ``multi_weak``, which the binary
+        relative solver cannot express.
+        """
+        if self.model == "relative":
+            assert self.delta is not None
+            return self.delta
+        if self.model == "weak":
+            return max(graph.num_vertices, 1)
+        if self.model == "strong":
+            return 0
+        raise InvalidParameterError(
+            f"model {self.model!r} has no binary-delta equivalent"
+        )
+
+    def with_engine(self, engine: str, **options: Any) -> "FairCliqueQuery":
+        """Copy of this query targeting a different engine (options replaced)."""
+        return replace(self, engine=engine, options=dict(options))
+
+    def label(self) -> str:
+        """Compact human-readable identifier used in reports and sweeps."""
+        delta_part = "" if self.delta is None else f", delta={self.delta}"
+        return f"{self.model}(k={self.k}{delta_part})/{self.engine}"
+
+
+def query_grid(
+    models: tuple[str, ...] | list[str] = ("relative",),
+    ks: tuple[int, ...] | list[int] = (2,),
+    deltas: tuple[int, ...] | list[int] = (1,),
+    engine: str = "exact",
+    time_limit: float | None = None,
+    options: dict | None = None,
+) -> list[FairCliqueQuery]:
+    """Cross-product of models × k × delta as a list of queries.
+
+    Delta-free models (``weak``, ``strong``, ``multi_weak``) contribute one
+    query per ``k`` regardless of how many deltas are requested, so the grid
+    never contains duplicates.  The result feeds straight into
+    :func:`repro.api.solve_many`.
+    """
+    queries: list[FairCliqueQuery] = []
+    for model in models:
+        model_deltas = tuple(deltas) if model in DELTA_MODELS else (None,)
+        for k in ks:
+            for delta in model_deltas:
+                queries.append(
+                    FairCliqueQuery(
+                        model=model,
+                        k=k,
+                        delta=delta,
+                        engine=engine,
+                        time_limit=time_limit,
+                        options=dict(options or {}),
+                    )
+                )
+    return queries

@@ -1,0 +1,160 @@
+"""Engine registry: named solvers declaring which fairness models they support.
+
+An *engine* is a callable ``(graph, query, context) -> SolveReport`` plus a
+declaration of the fairness models it can solve.  Engines self-register with
+the :func:`register_engine` decorator (the built-ins live in
+:mod:`repro.api.engines`); third-party code can register additional engines
+the same way and dispatch to them by name through :func:`repro.api.solve`.
+
+Dispatch fails fast: a query naming an unknown engine, or a (model, engine)
+pair outside the declared support matrix, raises
+:class:`~repro.exceptions.UnsupportedQueryError` with the full matrix in the
+message instead of silently falling back to another solver.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.exceptions import UnsupportedQueryError
+from repro.api.query import MODELS
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints only
+    from repro.api.batch import SolveContext
+    from repro.api.query import FairCliqueQuery
+    from repro.api.report import SolveReport
+    from repro.graph.attributed_graph import AttributedGraph
+
+EngineFunc = Callable[
+    ["AttributedGraph", "FairCliqueQuery", "SolveContext"], "SolveReport"
+]
+
+
+@dataclass(frozen=True)
+class Engine:
+    """One registered engine: name, supported models, implementation."""
+
+    name: str
+    models: frozenset
+    func: EngineFunc
+    description: str = ""
+
+    def supports(self, model: str) -> bool:
+        """True when this engine declares support for ``model``."""
+        return model in self.models
+
+
+class EngineRegistry:
+    """Mutable mapping from engine name to :class:`Engine`.
+
+    The module-level :data:`default_registry` is what :func:`repro.api.solve`
+    consults; tests construct private registries to exercise dispatch in
+    isolation.
+    """
+
+    def __init__(self) -> None:
+        self._engines: dict[str, Engine] = {}
+
+    def register(
+        self,
+        name: str,
+        models: Iterable[str],
+        func: EngineFunc,
+        description: str = "",
+        replace: bool = False,
+    ) -> Engine:
+        """Register ``func`` as engine ``name`` supporting ``models``."""
+        model_set = frozenset(models)
+        unknown = model_set - set(MODELS)
+        if unknown:
+            raise ValueError(
+                f"engine {name!r} declares unknown model(s) {sorted(unknown)}; "
+                f"valid models: {MODELS}"
+            )
+        if not model_set:
+            raise ValueError(f"engine {name!r} must support at least one model")
+        if name in self._engines and not replace:
+            raise ValueError(f"engine {name!r} is already registered")
+        engine = Engine(name=name, models=model_set, func=func, description=description)
+        self._engines[name] = engine
+        return engine
+
+    def names(self) -> tuple[str, ...]:
+        """Registered engine names, in registration order."""
+        return tuple(self._engines)
+
+    def get(self, name: str) -> Engine:
+        """Return the engine called ``name`` (fail fast when absent)."""
+        try:
+            return self._engines[name]
+        except KeyError:
+            raise UnsupportedQueryError(
+                f"unknown engine {name!r}; registered engines: {sorted(self._engines)}"
+            ) from None
+
+    def supports(self, model: str, engine: str) -> bool:
+        """True when ``engine`` exists and declares support for ``model``."""
+        return engine in self._engines and self._engines[engine].supports(model)
+
+    def resolve(self, query: "FairCliqueQuery") -> Engine:
+        """Return the engine for ``query``, rejecting unsupported pairs."""
+        engine = self.get(query.engine)
+        if not engine.supports(query.model):
+            supporting = sorted(
+                name for name, entry in self._engines.items()
+                if entry.supports(query.model)
+            )
+            raise UnsupportedQueryError(
+                f"engine {query.engine!r} does not support model {query.model!r} "
+                f"(it supports {sorted(engine.models)}); engines supporting "
+                f"{query.model!r}: {supporting or 'none'}"
+            )
+        return engine
+
+    def support_matrix(self) -> dict[str, tuple[str, ...]]:
+        """Mapping ``engine name -> sorted supported models`` (for docs/CLI)."""
+        return {
+            name: tuple(sorted(engine.models))
+            for name, engine in self._engines.items()
+        }
+
+
+#: The registry :func:`repro.api.solve` dispatches through.
+default_registry = EngineRegistry()
+
+
+def register_engine(
+    name: str,
+    models: Iterable[str],
+    description: str = "",
+    registry: EngineRegistry | None = None,
+    replace: bool = False,
+) -> Callable[[EngineFunc], EngineFunc]:
+    """Decorator form of :meth:`EngineRegistry.register`.
+
+    Examples
+    --------
+    >>> @register_engine("my_engine", models=("relative",), replace=True)
+    ... def my_engine(graph, query, context):
+    ...     ...
+    """
+
+    def decorator(func: EngineFunc) -> EngineFunc:
+        (registry or default_registry).register(
+            name, models, func, description=description, replace=replace
+        )
+        return func
+
+    return decorator
+
+
+def available_engines(model: str | None = None) -> tuple[str, ...]:
+    """Names of default-registry engines, optionally filtered by model."""
+    if model is None:
+        return default_registry.names()
+    return tuple(
+        name for name in default_registry.names()
+        if default_registry.supports(model, name)
+    )

@@ -1,0 +1,164 @@
+"""The unified result schema returned by every engine.
+
+Historically the repo had two incompatible result types —
+:class:`~repro.search.result.SearchResult` for the binary models and
+:class:`~repro.variants.multi_attribute.MultiAttributeSearchResult` for the
+multi-attribute extension.  :class:`SolveReport` is the superset both convert
+into: one schema carrying the clique, its per-attribute composition, the
+fairness gap, timings, and engine metadata, so downstream consumers (CLI,
+experiments, batch sweeps) never branch on the result type again.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.graph.attributed_graph import AttributedGraph
+from repro.search.result import SearchResult
+from repro.search.statistics import SearchStats
+from repro.variants.multi_attribute import MultiAttributeSearchResult
+
+
+@dataclass
+class SolveReport:
+    """Outcome of one :func:`repro.api.solve` call.
+
+    Attributes
+    ----------
+    clique:
+        The best fair clique found (empty frozenset when none exists).
+    model, engine:
+        The fairness model and engine name the query dispatched to.
+    k, delta:
+        The query parameters (``delta`` is ``None`` for delta-free models).
+    algorithm:
+        Human-readable solver configuration (``"MaxRFC+ub+HeurRFC"``,
+        ``"HeurRFC"``, ``"BruteForceEnum"``…).
+    optimal:
+        True when the answer is provably optimal (exact/brute-force engines
+        that finished within their limits).
+    attribute_counts:
+        Histogram of attribute values inside the clique.
+    stats:
+        The solver's raw counters and timings.
+    metadata:
+        Engine-provided extras (reduction summaries, cache hits…); values are
+        plain data so reports serialise cleanly.
+    """
+
+    clique: frozenset
+    model: str
+    engine: str
+    k: int
+    delta: int | None
+    algorithm: str = ""
+    optimal: bool = True
+    attribute_counts: dict = field(default_factory=dict)
+    stats: SearchStats = field(default_factory=SearchStats)
+    metadata: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # Derived views
+    # ------------------------------------------------------------------ #
+    @property
+    def size(self) -> int:
+        """Number of vertices in the returned clique (0 when none was found)."""
+        return len(self.clique)
+
+    @property
+    def found(self) -> bool:
+        """True when a fair clique satisfying the query exists."""
+        return bool(self.clique)
+
+    @property
+    def fairness_gap(self) -> int:
+        """Difference between the largest and smallest attribute count (0 if empty)."""
+        if not self.attribute_counts:
+            return 0
+        counts = self.attribute_counts.values()
+        return max(counts) - min(counts)
+
+    @property
+    def seconds(self) -> float:
+        """End-to-end wall time of the solve."""
+        return self.stats.total_seconds
+
+    def summary(self) -> str:
+        """One-line report used by the CLI and the batch layer."""
+        status = "optimal" if self.optimal else "heuristic/truncated"
+        delta_part = "" if self.delta is None else f", delta={self.delta}"
+        return (
+            f"{self.model}/{self.engine} [{self.algorithm}]: size={self.size} "
+            f"(k={self.k}{delta_part}, gap={self.fairness_gap}, {status}, "
+            f"{self.seconds:.3f}s)"
+        )
+
+    def as_dict(self) -> dict:
+        """Flat dictionary for table/CSV reporting."""
+        return {
+            "model": self.model,
+            "engine": self.engine,
+            "algorithm": self.algorithm,
+            "k": self.k,
+            "delta": self.delta,
+            "size": self.size,
+            "found": self.found,
+            "fairness_gap": self.fairness_gap,
+            "attribute_counts": dict(self.attribute_counts),
+            "optimal": self.optimal,
+            "seconds": self.seconds,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Converters from the legacy result types
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_search_result(
+        cls,
+        result: SearchResult,
+        graph: AttributedGraph,
+        model: str,
+        engine: str,
+        delta: int | None = None,
+        metadata: dict | None = None,
+    ) -> "SolveReport":
+        """Wrap a binary-model :class:`SearchResult`.
+
+        ``delta`` is the *query's* delta (``None`` for weak/strong), which may
+        differ from the internal delta the relative solver ran with.
+        """
+        return cls(
+            clique=result.clique,
+            model=model,
+            engine=engine,
+            k=result.k,
+            delta=delta,
+            algorithm=result.algorithm,
+            optimal=result.optimal,
+            attribute_counts=graph.attribute_histogram(result.clique) if result.clique else {},
+            stats=result.stats,
+            metadata=dict(metadata or {}),
+        )
+
+    @classmethod
+    def from_multi_attribute_result(
+        cls,
+        result: MultiAttributeSearchResult,
+        graph: AttributedGraph,
+        engine: str,
+        algorithm: str,
+        metadata: dict | None = None,
+    ) -> "SolveReport":
+        """Wrap a :class:`MultiAttributeSearchResult` (always model ``multi_weak``)."""
+        return cls(
+            clique=result.clique,
+            model="multi_weak",
+            engine=engine,
+            k=result.k,
+            delta=None,
+            algorithm=algorithm,
+            optimal=result.optimal,
+            attribute_counts=graph.attribute_histogram(result.clique) if result.clique else {},
+            stats=result.stats,
+            metadata=dict(metadata or {}),
+        )

@@ -2,14 +2,21 @@
 
 The subcommands cover the library's main entry points::
 
+    repro-fairclique solve          --dataset DBLP --model relative --engine exact -k 3 -d 1
+    repro-fairclique solve          --dataset DBLP -k 4 -d 2 --sweep delta --sweep-values 0 1 2 3
     repro-fairclique search         --edges g.edges --attributes g.attrs -k 3 -d 1
     repro-fairclique reduce         --dataset Themarker -k 6
     repro-fairclique stats          --dataset DBLP
     repro-fairclique compare-models --dataset Aminer -k 4 -d 2
     repro-fairclique reproduce fig4 --scale 0.5
     repro-fairclique datasets
+    repro-fairclique engines
 
-``python -m repro ...`` is equivalent to the installed console script.
+``solve`` is the unified front door: every fairness model × engine
+combination dispatches through the :mod:`repro.api` registry, and sweeps run
+through the batch layer so same-``k`` queries share one reduction run.
+``search`` and ``compare-models`` are retained as thin wrappers over the same
+path.  ``python -m repro ...`` is equivalent to the installed console script.
 """
 
 from __future__ import annotations
@@ -18,62 +25,87 @@ import argparse
 import sys
 from collections.abc import Sequence
 
+from repro.api import FairCliqueQuery, available_engines, default_registry, solve, solve_many
+from repro.api.query import DELTA_MODELS, MODELS
 from repro.bounds.stacks import stack_names
 from repro.datasets.registry import dataset_names, dataset_table, load_dataset
+from repro.exceptions import ReproError
 from repro.experiments.reporting import format_table, rows_to_csv
 from repro.experiments.runner import experiment_ids, run_experiment
 from repro.graph.io import read_edge_list, write_clique_report
 from repro.reduction.pipeline import reduce_graph
-from repro.search.maxrfc import find_maximum_fair_clique
+
+
+def _add_graph_source(parser: argparse.ArgumentParser) -> None:
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--dataset", choices=dataset_names(), help="use a built-in dataset stand-in")
+    source.add_argument("--edges", help="edge-list file (one 'u v' pair per line)")
+    parser.add_argument("--attributes", help="attribute file (one 'v attr' pair per line)")
+    parser.add_argument("--scale", type=float, default=1.0, help="dataset scale factor")
 
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-fairclique",
-        description="Maximum relative fair clique search (ICDE 2025 reproduction)",
+        description="Maximum fair clique search (ICDE 2025 reproduction)",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    search = subparsers.add_parser("search", help="find the maximum fair clique of a graph")
-    source = search.add_mutually_exclusive_group(required=True)
-    source.add_argument("--dataset", choices=dataset_names(), help="use a built-in dataset stand-in")
-    source.add_argument("--edges", help="edge-list file (one 'u v' pair per line)")
-    search.add_argument("--attributes", help="attribute file (one 'v attr' pair per line)")
+    solve_cmd = subparsers.add_parser(
+        "solve",
+        help="answer a fair-clique query (any model x engine) through the unified API",
+    )
+    _add_graph_source(solve_cmd)
+    solve_cmd.add_argument("--model", default="relative", choices=MODELS,
+                           help="fairness model to solve")
+    solve_cmd.add_argument("--engine", default="exact", choices=available_engines(),
+                           help="engine to dispatch to")
+    solve_cmd.add_argument("-k", type=int, required=True, help="minimum vertices per attribute")
+    solve_cmd.add_argument("-d", "--delta", type=int, default=None,
+                           help="maximum attribute-count gap (relative model only)")
+    solve_cmd.add_argument("--bound", default=None, choices=list(stack_names()) + ["none"],
+                           help="upper-bound stack for the exact engine")
+    solve_cmd.add_argument("--no-heuristic", action="store_true",
+                           help="disable HeurRFC seeding (exact engine)")
+    solve_cmd.add_argument("--no-reduction", action="store_true",
+                           help="disable the reduction pipeline (exact engine)")
+    solve_cmd.add_argument("--time-limit", type=float, default=None,
+                           help="seconds before giving up")
+    solve_cmd.add_argument("--sweep", choices=("k", "delta"), default=None,
+                           help="sweep one parameter over --sweep-values via the batch layer")
+    solve_cmd.add_argument("--sweep-values", type=int, nargs="+", default=None,
+                           help="values of the swept parameter")
+    solve_cmd.add_argument("--workers", type=int, default=None,
+                           help="process-pool size for sweeps (default: in-process)")
+    solve_cmd.add_argument("--report", help="write the clique membership report to this path")
+
+    search = subparsers.add_parser(
+        "search",
+        help="find the maximum relative fair clique (wrapper over 'solve')",
+    )
+    _add_graph_source(search)
     search.add_argument("-k", type=int, required=True, help="minimum vertices per attribute")
     search.add_argument("-d", "--delta", type=int, required=True, help="maximum attribute-count gap")
     search.add_argument("--bound", default="ubAD", choices=list(stack_names()) + ["none"],
                         help="upper-bound stack used for pruning")
     search.add_argument("--no-heuristic", action="store_true", help="disable HeurRFC seeding")
     search.add_argument("--time-limit", type=float, default=None, help="seconds before giving up")
-    search.add_argument("--scale", type=float, default=1.0, help="dataset scale factor")
     search.add_argument("--report", help="write the clique membership report to this path")
 
     reduce_cmd = subparsers.add_parser("reduce", help="run the reduction pipeline and report sizes")
-    reduce_source = reduce_cmd.add_mutually_exclusive_group(required=True)
-    reduce_source.add_argument("--dataset", choices=dataset_names())
-    reduce_source.add_argument("--edges")
-    reduce_cmd.add_argument("--attributes")
+    _add_graph_source(reduce_cmd)
     reduce_cmd.add_argument("-k", type=int, required=True)
-    reduce_cmd.add_argument("--scale", type=float, default=1.0)
 
     stats = subparsers.add_parser("stats", help="print structural and fairness statistics")
-    stats_source = stats.add_mutually_exclusive_group(required=True)
-    stats_source.add_argument("--dataset", choices=dataset_names())
-    stats_source.add_argument("--edges")
-    stats.add_argument("--attributes")
-    stats.add_argument("--scale", type=float, default=1.0)
+    _add_graph_source(stats)
 
     compare = subparsers.add_parser(
         "compare-models",
         help="solve the weak, relative, and strong fair clique models side by side",
     )
-    compare_source = compare.add_mutually_exclusive_group(required=True)
-    compare_source.add_argument("--dataset", choices=dataset_names())
-    compare_source.add_argument("--edges")
-    compare.add_argument("--attributes")
+    _add_graph_source(compare)
     compare.add_argument("-k", type=int, required=True)
     compare.add_argument("-d", "--delta", type=int, required=True)
-    compare.add_argument("--scale", type=float, default=1.0)
     compare.add_argument("--time-limit", type=float, default=None)
 
     reproduce = subparsers.add_parser("reproduce", help="re-run a paper table or figure")
@@ -83,6 +115,7 @@ def _build_parser() -> argparse.ArgumentParser:
     reproduce.add_argument("--csv", help="also write the raw rows as CSV to this path")
 
     subparsers.add_parser("datasets", help="list the built-in dataset stand-ins")
+    subparsers.add_parser("engines", help="list registered engines and supported models")
     return parser
 
 
@@ -94,26 +127,103 @@ def _load_graph(args: argparse.Namespace):
     return read_edge_list(args.edges, args.attributes)
 
 
+def _exact_options(args: argparse.Namespace) -> dict:
+    """Exact-engine options from the shared CLI flags."""
+    options: dict = {}
+    bound = getattr(args, "bound", None)
+    if bound is not None:
+        options["bound_stack"] = None if bound == "none" else bound
+    if getattr(args, "no_heuristic", False):
+        options["use_heuristic"] = False
+    if getattr(args, "no_reduction", False):
+        options["use_reduction"] = False
+    return options
+
+
+def _print_clique_body(graph, report, report_path: str | None = None) -> None:
+    """Everything below the headline: balance, members, optional report file."""
+    if report.found:
+        print(f"attribute balance: {report.attribute_counts}")
+        for vertex in sorted(report.clique, key=str):
+            print(f"  {vertex}\t{graph.attribute(vertex)}\t{graph.label(vertex)}")
+        if report_path:
+            write_clique_report(graph, report.clique, report_path)
+            print(f"report written to {report_path}")
+    else:
+        model_word = "relative " if report.model == "relative" else f"{report.model} "
+        suffix = "(k, delta)" if report.delta is not None else "k"
+        print(f"no {model_word}fair clique satisfies the given {suffix}")
+
+
+def _print_report(graph, report, report_path: str | None = None) -> None:
+    print(report.summary())
+    _print_clique_body(graph, report, report_path)
+
+
+def _command_solve(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    # Exact-only flags are passed through for every engine: the engine's own
+    # option validation rejects ones it does not understand, instead of the
+    # CLI silently dropping them.
+    options = _exact_options(args)
+    base = dict(
+        model=args.model,
+        k=args.k,
+        delta=args.delta,
+        engine=args.engine,
+        time_limit=args.time_limit,
+        options=options,
+    )
+    if args.sweep is None:
+        report = solve(graph, FairCliqueQuery(**base))
+        _print_report(graph, report, args.report)
+        return 0
+
+    if not args.sweep_values:
+        raise SystemExit("--sweep requires --sweep-values")
+    if args.sweep == "delta" and args.model not in DELTA_MODELS:
+        raise SystemExit(f"model {args.model!r} has no delta to sweep")
+    if args.report:
+        raise SystemExit("--report is not supported with --sweep "
+                         "(the sweep prints a table, not one clique)")
+    queries = []
+    for value in args.sweep_values:
+        fields = dict(base)
+        fields[args.sweep] = value
+        queries.append(FairCliqueQuery(**fields))
+    reports = solve_many(graph, queries, max_workers=args.workers)
+    rows = [
+        {
+            args.sweep: getattr(query, args.sweep),
+            "size": report.size,
+            "counts": report.attribute_counts,
+            "gap": report.fairness_gap,
+            "optimal": report.optimal,
+            "seconds": round(report.seconds, 3),
+        }
+        for query, report in zip(queries, reports)
+    ]
+    print(format_table(
+        rows,
+        title=f"{args.model}/{args.engine} sweep over {args.sweep} (k={args.k})",
+    ))
+    return 0
+
+
 def _command_search(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
-    bound = None if args.bound == "none" else args.bound
-    result = find_maximum_fair_clique(
-        graph, args.k, args.delta,
-        bound_stack=bound,
-        use_heuristic=not args.no_heuristic,
-        time_limit=args.time_limit,
+    report = solve(
+        graph,
+        FairCliqueQuery(
+            model="relative", k=args.k, delta=args.delta,
+            time_limit=args.time_limit, options=_exact_options(args),
+        ),
     )
-    print(result.summary())
-    if result.found:
-        balance = result.attribute_balance(graph)
-        print(f"attribute balance: {balance}")
-        for vertex in sorted(result.clique, key=str):
-            print(f"  {vertex}\t{graph.attribute(vertex)}\t{graph.label(vertex)}")
-        if args.report:
-            write_clique_report(graph, result.clique, args.report)
-            print(f"report written to {args.report}")
-    else:
-        print("no relative fair clique satisfies the given (k, delta)")
+    # Keep the historical one-line format ("MaxRFC...: size=...") on top.
+    status = "optimal" if report.optimal else "heuristic/truncated"
+    print(f"{report.algorithm}: size={report.size} (k={report.k}, delta={report.delta}, "
+          f"{status}, {report.seconds:.3f}s, {report.stats.branches_explored} branches)")
+    _print_clique_body(graph, report, args.report)
     return 0
 
 
@@ -138,24 +248,24 @@ def _command_stats(args: argparse.Namespace) -> int:
 
 
 def _command_compare_models(args: argparse.Namespace) -> int:
-    from repro.analysis import describe_clique
-    from repro.variants import model_comparison
-
     graph = _load_graph(args)
-    results = model_comparison(graph, args.k, args.delta, time_limit=args.time_limit)
-    rows = []
-    for model in ("weak", "relative", "strong"):
-        result = results[model]
-        report = describe_clique(graph, result.clique)
-        rows.append(
-            {
-                "model": model,
-                "size": result.size,
-                "counts": report.counts,
-                "gap": report.gap,
-                "seconds": round(result.stats.total_seconds, 3),
-            }
-        )
+    queries = [
+        FairCliqueQuery(model="weak", k=args.k, time_limit=args.time_limit),
+        FairCliqueQuery(model="relative", k=args.k, delta=args.delta,
+                        time_limit=args.time_limit),
+        FairCliqueQuery(model="strong", k=args.k, time_limit=args.time_limit),
+    ]
+    reports = solve_many(graph, queries)
+    rows = [
+        {
+            "model": report.model,
+            "size": report.size,
+            "counts": report.attribute_counts,
+            "gap": report.fairness_gap,
+            "seconds": round(report.seconds, 3),
+        }
+        for report in reports
+    ]
     print(format_table(rows, title=f"Fair clique models (k={args.k}, delta={args.delta})"))
     return 0
 
@@ -185,10 +295,36 @@ def _command_datasets() -> int:
     return 0
 
 
+def _command_engines() -> int:
+    rows = [
+        {
+            "engine": name,
+            "models": ", ".join(sorted(engine.models)),
+            "description": engine.description,
+        }
+        for name, engine in ((n, default_registry.get(n)) for n in default_registry.names())
+    ]
+    print(format_table(rows, columns=["engine", "models", "description"],
+                       title="Registered fair-clique engines"))
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = _build_parser()
     args = parser.parse_args(argv)
+    try:
+        return _dispatch(args, parser)
+    except ReproError as error:
+        # Library errors (bad parameters, unsupported model/engine pairs…)
+        # become clean one-line failures instead of tracebacks.
+        print(f"{parser.prog}: error: {error}", file=sys.stderr)
+        return 2
+
+
+def _dispatch(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    if args.command == "solve":
+        return _command_solve(args)
     if args.command == "search":
         return _command_search(args)
     if args.command == "reduce":
@@ -201,6 +337,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_reproduce(args)
     if args.command == "datasets":
         return _command_datasets()
+    if args.command == "engines":
+        return _command_engines()
     parser.error(f"unknown command {args.command!r}")
     return 2
 

@@ -53,6 +53,16 @@ class SearchError(ReproError):
     """Raised for failures inside the branch-and-bound or heuristic search."""
 
 
+class UnsupportedQueryError(ReproError):
+    """Raised when a query names a (model, engine) pair no engine supports.
+
+    The unified :mod:`repro.api` surface dispatches queries through an engine
+    registry; every engine declares which fairness models it can solve, and a
+    query outside that matrix fails fast with this error instead of silently
+    falling back to a different solver.
+    """
+
+
 class DatasetError(ReproError):
     """Raised when a dataset cannot be generated, loaded, or parsed."""
 

@@ -12,7 +12,9 @@ from __future__ import annotations
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 
+from repro.api import query_grid, solve_many
 from repro.exceptions import ExperimentError
+from repro.experiments.reporting import format_table
 from repro.experiments.bounds_experiment import format_bounds_report, run_bounds_experiment
 from repro.experiments.case_study_experiment import (
     format_case_study_report,
@@ -87,6 +89,47 @@ def _case_studies(scale: float) -> ExperimentOutcome:
     return ExperimentOutcome("case-studies", rows, format_case_study_report(rows))
 
 
+def _model_grid(scale: float) -> ExperimentOutcome:
+    """All four fairness models × a small k sweep through the unified batch API.
+
+    One :func:`repro.api.solve_many` call per dataset answers the whole grid;
+    queries with the same ``k`` share the memoized reduction run, which is the
+    batch layer's raison d'être.
+    """
+    from repro.datasets.registry import get_dataset
+
+    rows: list[dict] = []
+    for name in ("DBLP", "Aminer"):
+        spec = get_dataset(name)
+        graph = spec.load(scale)
+        ks = tuple(spec.k_values[:2])
+        queries = query_grid(
+            models=("weak", "relative", "strong", "multi_weak"),
+            ks=ks,
+            deltas=(spec.default_delta,),
+            time_limit=60.0,
+        )
+        for query, report in zip(queries, solve_many(graph, queries)):
+            rows.append(
+                {
+                    "dataset": spec.name,
+                    "model": report.model,
+                    "k": report.k,
+                    "delta": "-" if report.delta is None else report.delta,
+                    "size": report.size,
+                    "gap": report.fairness_gap,
+                    "runtime_us": int(round(report.seconds * 1_000_000)),
+                    "optimal": report.optimal,
+                }
+            )
+    report_text = format_table(
+        rows,
+        columns=["dataset", "model", "k", "delta", "size", "gap", "runtime_us", "optimal"],
+        title="Model grid — every fairness model through the unified solve() API",
+    )
+    return ExperimentOutcome("model-grid", rows, report_text)
+
+
 EXPERIMENTS: dict[str, Callable[[float], ExperimentOutcome]] = {
     "fig4": _fig4,
     "fig5": _fig5,
@@ -96,6 +139,7 @@ EXPERIMENTS: dict[str, Callable[[float], ExperimentOutcome]] = {
     "fig8": _fig8,
     "fig9": _fig9,
     "case-studies": _case_studies,
+    "model-grid": _model_grid,
 }
 
 

@@ -14,12 +14,11 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
-from repro.bounds.stacks import get_stack
+from repro.api import SolveContext, solve
 from repro.datasets.registry import get_dataset
 from repro.experiments.reporting import format_table
-from repro.experiments.search_experiment import PAPER_BEST_STACK, _build_config
+from repro.experiments.search_experiment import PAPER_BEST_STACK, _build_query
 from repro.graph.generators import sample_edges, sample_vertices
-from repro.search.maxrfc import MaxRFC
 
 DEFAULT_FRACTIONS: tuple[float, ...] = (0.2, 0.4, 0.6, 0.8, 1.0)
 CONFIGURATIONS: tuple[str, ...] = ("MaxRFC", "MaxRFC+ub", "MaxRFC+ub+HeurRFC")
@@ -48,8 +47,8 @@ def run_scalability_experiment(
             else:
                 sample = sample_edges(graph, fraction, seed=seed)
             for configuration in configurations:
-                config = _build_config(configuration, stack_name, time_limit)
-                result = MaxRFC(config).solve(sample, k, delta)
+                query = _build_query(configuration, stack_name, k, delta, time_limit)
+                report = solve(sample, query, context=SolveContext(sample))
                 rows.append(
                     {
                         "dataset": spec.name,
@@ -58,9 +57,9 @@ def run_scalability_experiment(
                         "n": sample.num_vertices,
                         "m": sample.num_edges,
                         "configuration": configuration,
-                        "runtime_us": int(round(result.stats.total_seconds * 1_000_000)),
-                        "clique_size": result.size,
-                        "optimal": result.optimal,
+                        "runtime_us": int(round(report.seconds * 1_000_000)),
+                        "clique_size": report.size,
+                        "optimal": report.optimal,
                     }
                 )
     return rows

@@ -19,10 +19,9 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
-from repro.bounds.stacks import get_stack
+from repro.api import FairCliqueQuery, SolveContext, solve
 from repro.datasets.registry import dataset_names, get_dataset
 from repro.experiments.reporting import format_table
-from repro.search.maxrfc import MaxRFC, MaxRFCConfig
 
 # The per-dataset best bound reported by the paper (Section VI-B): the
 # colorful-path bound for Themarker, Google, Pokec; colorful degeneracy
@@ -38,18 +37,28 @@ PAPER_BEST_STACK: dict[str, str] = {
 
 CONFIGURATIONS: tuple[str, ...] = ("MaxRFC", "MaxRFC+ub", "MaxRFC+ub+HeurRFC")
 
+# Exact-engine options reproducing each named configuration; the engine's
+# config builder derives exactly these algorithm names from the options.
+CONFIGURATION_OPTIONS: dict[str, dict] = {
+    "MaxRFC": {"bound_stack": None, "use_heuristic": False},
+    "MaxRFC+ub": {"use_heuristic": False},
+    "MaxRFC+ub+HeurRFC": {},
+}
 
-def _build_config(configuration: str, stack_name: str, time_limit: float | None) -> MaxRFCConfig:
-    if configuration == "MaxRFC":
-        return MaxRFCConfig(bound_stack=None, use_heuristic=False,
-                            time_limit=time_limit, algorithm_name="MaxRFC")
-    if configuration == "MaxRFC+ub":
-        return MaxRFCConfig(bound_stack=get_stack(stack_name), use_heuristic=False,
-                            time_limit=time_limit, algorithm_name="MaxRFC+ub")
-    if configuration == "MaxRFC+ub+HeurRFC":
-        return MaxRFCConfig(bound_stack=get_stack(stack_name), use_heuristic=True,
-                            time_limit=time_limit, algorithm_name="MaxRFC+ub+HeurRFC")
-    raise KeyError(f"unknown configuration {configuration!r}")
+
+def _build_query(
+    configuration: str, stack_name: str, k: int, delta: int, time_limit: float | None
+) -> FairCliqueQuery:
+    try:
+        options = dict(CONFIGURATION_OPTIONS[configuration])
+    except KeyError:
+        raise KeyError(f"unknown configuration {configuration!r}") from None
+    if configuration != "MaxRFC":
+        options["bound_stack"] = stack_name
+    return FairCliqueQuery(
+        model="relative", k=k, delta=delta, engine="exact",
+        time_limit=time_limit, options=options,
+    )
 
 
 def run_search_experiment(
@@ -73,8 +82,10 @@ def run_search_experiment(
             parameter_values = [(spec.default_k, delta) for delta in spec.delta_values]
         for k, delta in parameter_values:
             for configuration in configurations:
-                config = _build_config(configuration, stack_name, time_limit)
-                result = MaxRFC(config).solve(graph, k, delta)
+                query = _build_query(configuration, stack_name, k, delta, time_limit)
+                # Fresh context per solve: the figure compares *standalone*
+                # runtimes, so no reduction sharing across configurations.
+                report = solve(graph, query, context=SolveContext(graph))
                 rows.append(
                     {
                         "dataset": spec.name,
@@ -83,10 +94,10 @@ def run_search_experiment(
                         "delta": delta,
                         "configuration": configuration,
                         "stack": stack_name if configuration != "MaxRFC" else "-",
-                        "runtime_us": int(round(result.stats.total_seconds * 1_000_000)),
-                        "clique_size": result.size,
-                        "branches": result.stats.branches_explored,
-                        "optimal": result.optimal,
+                        "runtime_us": int(round(report.seconds * 1_000_000)),
+                        "clique_size": report.size,
+                        "branches": report.stats.branches_explored,
+                        "optimal": report.optimal,
                     }
                 )
     return rows

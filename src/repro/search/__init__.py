@@ -4,6 +4,7 @@ from repro.search.maxrfc import (
     MaxRFC,
     MaxRFCConfig,
     assert_valid_result,
+    build_search_config,
     find_maximum_fair_clique,
     maximum_fair_clique_size,
 )
@@ -26,6 +27,7 @@ __all__ = [
     "MaxRFC",
     "MaxRFCConfig",
     "assert_valid_result",
+    "build_search_config",
     "find_maximum_fair_clique",
     "maximum_fair_clique_size",
     "OrderingStrategy",

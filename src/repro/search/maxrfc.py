@@ -33,11 +33,11 @@ from dataclasses import dataclass, field
 
 from repro.bounds.base import BoundStack, make_context
 from repro.cores.kcore import degeneracy
-from repro.exceptions import SearchError
+from repro.exceptions import AttributeCountError, SearchError
 from repro.graph.attributed_graph import AttributedGraph, Vertex
 from repro.graph.components import connected_components
 from repro.graph.validation import validate_binary_attributes, validate_parameters
-from repro.reduction.pipeline import DEFAULT_STAGES, ReductionPipeline
+from repro.reduction.pipeline import DEFAULT_STAGES, PipelineResult, ReductionPipeline
 from repro.search.ordering import OrderingStrategy, compute_ordering
 from repro.search.result import SearchResult
 from repro.search.statistics import SearchStats
@@ -98,8 +98,22 @@ class MaxRFC:
     # ------------------------------------------------------------------ #
     # Public API
     # ------------------------------------------------------------------ #
-    def solve(self, graph: AttributedGraph, k: int, delta: int) -> SearchResult:
-        """Find a maximum relative fair clique of ``graph`` for ``(k, delta)``."""
+    def solve(
+        self,
+        graph: AttributedGraph,
+        k: int,
+        delta: int,
+        reduction: "PipelineResult | None" = None,
+    ) -> SearchResult:
+        """Find a maximum relative fair clique of ``graph`` for ``(k, delta)``.
+
+        ``reduction`` optionally supplies a precomputed reduction-pipeline
+        result for ``(graph, k)`` (used by the batch API to share one
+        pipeline run across queries); it is consulted only when the
+        configuration has ``use_reduction`` enabled, and its cost is *not*
+        added to this run's ``reduction_seconds`` — the caller owning the
+        shared artifact decides how to account for it.
+        """
         validate_parameters(k, delta)
         config = self.config
         stats = SearchStats()
@@ -108,18 +122,21 @@ class MaxRFC:
 
         try:
             validate_binary_attributes(graph)
-        except Exception:
-            # Fewer than two attribute values: no fair clique can exist.
+        except AttributeCountError:
+            # Not exactly two attribute values: no relative fair clique can
+            # exist.  Only this specific validation failure means "empty
+            # answer"; anything else is a programming error and propagates.
             return SearchResult(frozenset(), k, delta, stats, config.algorithm_name, True)
 
         working = graph
         if config.use_reduction:
-            started = time.monotonic()
-            pipeline = ReductionPipeline(config.reduction_stages)
-            reduced = pipeline.run(graph, k)
-            stats.reduction_seconds = time.monotonic() - started
-            stats.extra["reduction"] = [stage.summary() for stage in reduced.stages]
-            working = reduced.graph
+            if reduction is None:
+                started = time.monotonic()
+                pipeline = ReductionPipeline(config.reduction_stages)
+                reduction = pipeline.run(graph, k)
+                stats.reduction_seconds = time.monotonic() - started
+            stats.extra["reduction"] = [stage.summary() for stage in reduction.stages]
+            working = reduction.graph
 
         if config.use_heuristic and working.num_vertices > 0:
             started = time.monotonic()
@@ -282,6 +299,44 @@ class MaxRFC:
         return best
 
 
+def build_search_config(
+    bound_stack: BoundStack | str | None = "ubAD",
+    use_reduction: bool = True,
+    use_heuristic: bool = True,
+    time_limit: float | None = None,
+    ordering: OrderingStrategy = OrderingStrategy.COLORFUL_CORE,
+    branch_limit: int | None = None,
+    bound_depth: int = 2,
+    reduction_stages: Sequence[str] = DEFAULT_STAGES,
+) -> MaxRFCConfig:
+    """Build a :class:`MaxRFCConfig` from user-facing options.
+
+    ``bound_stack`` accepts a Table II configuration name (``"ubAD"``,
+    ``"ubAD+ubcp"``…) besides a ready-made :class:`BoundStack`.  Both the
+    legacy :func:`find_maximum_fair_clique` convenience function and the
+    ``exact`` engine of :mod:`repro.api` construct their configuration here,
+    which is what guarantees the two surfaces search identically.
+    """
+    if isinstance(bound_stack, str):
+        from repro.bounds.stacks import get_stack
+
+        bound_stack = get_stack(bound_stack)
+    config = MaxRFCConfig(
+        bound_stack=bound_stack,
+        use_reduction=use_reduction,
+        reduction_stages=tuple(reduction_stages),
+        use_heuristic=use_heuristic,
+        time_limit=time_limit,
+        ordering=ordering,
+        branch_limit=branch_limit,
+        bound_depth=bound_depth,
+        algorithm_name="MaxRFC" if bound_stack is None else "MaxRFC+ub",
+    )
+    if use_heuristic and bound_stack is not None:
+        config.algorithm_name = "MaxRFC+ub+HeurRFC"
+    return config
+
+
 def find_maximum_fair_clique(
     graph: AttributedGraph,
     k: int,
@@ -296,6 +351,8 @@ def find_maximum_fair_clique(
 
     Parameters mirror :class:`MaxRFCConfig`; ``bound_stack`` additionally
     accepts a Table II configuration name (``"ubAD"``, ``"ubAD+ubcp"``…).
+    This is a thin shim over the same solver the unified :func:`repro.solve`
+    API dispatches to; new code should prefer the query interface.
 
     Examples
     --------
@@ -304,20 +361,13 @@ def find_maximum_fair_clique(
     >>> result.size
     7
     """
-    if isinstance(bound_stack, str):
-        from repro.bounds.stacks import get_stack
-
-        bound_stack = get_stack(bound_stack)
-    config = MaxRFCConfig(
+    config = build_search_config(
         bound_stack=bound_stack,
         use_reduction=use_reduction,
         use_heuristic=use_heuristic,
         time_limit=time_limit,
         ordering=ordering,
-        algorithm_name="MaxRFC" if bound_stack is None else "MaxRFC+ub",
     )
-    if use_heuristic and bound_stack is not None:
-        config.algorithm_name = "MaxRFC+ub+HeurRFC"
     return MaxRFC(config).solve(graph, k, delta)
 
 

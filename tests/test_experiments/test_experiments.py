@@ -164,6 +164,7 @@ class TestRunner:
     def test_experiment_ids_cover_all_tables_and_figures(self):
         assert set(experiment_ids()) == {
             "fig4", "fig5", "table2", "fig6", "fig7", "fig8", "fig9", "case-studies",
+            "model-grid",
         }
 
     def test_unknown_experiment_raises(self):
