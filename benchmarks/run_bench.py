@@ -1,0 +1,256 @@
+#!/usr/bin/env python3
+"""Kernel perf benchmark — the machine-readable perf trajectory of the repo.
+
+Runs a fixed seed-graph grid (n ≈ 2000 generated stand-ins) through the three
+kernel hot paths — MaxRFC search, the reduction pipeline, and the ``ubAD``
+bound stack — once on the compiled bitset kernel and once on the pre-kernel
+dict path, and writes median wall-clock numbers plus speedups to
+``benchmarks/results/BENCH_kernel.json``.  Every search cell also asserts
+kernel/dict *result parity* (same clique, same branch counters), so a bench
+run doubles as an end-to-end parity check on the exact grid it times.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_bench.py              # full grid
+    PYTHONPATH=src python benchmarks/run_bench.py --smoke      # CI-sized grid
+    PYTHONPATH=src python benchmarks/run_bench.py --smoke \
+        --check benchmarks/results/BENCH_smoke_baseline.json   # perf gate
+
+``--check`` compares the freshly measured median *search speedup* (kernel vs
+dict on the same machine, so the gate is hardware-independent) against the
+checked-in baseline and fails when it has regressed by more than the
+tolerance factor (default 2x).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import time
+from pathlib import Path
+
+from repro.bounds.base import make_context
+from repro.bounds.stacks import get_stack
+from repro.graph.generators import (
+    community_graph,
+    erdos_renyi_graph,
+    powerlaw_cluster_graph,
+    quasi_clique_blobs,
+)
+from repro.kernel.bounds import stack_evaluate
+from repro.kernel.view import SubgraphView
+from repro.reduction.pipeline import ReductionPipeline
+from repro.search.maxrfc import MaxRFC, build_search_config
+
+RESULTS_DIR = Path(__file__).parent / "results"
+SCHEMA = "bench_kernel/v1"
+
+
+def full_grid():
+    """The n≈2000 seed-graph grid (generator stand-ins for the paper's datasets)."""
+    blobs_background = erdos_renyi_graph(1400, 0.003, seed=2)
+    return [
+        ("community-dense", community_graph(20, 100, intra_probability=0.35,
+                                            inter_edges=4, seed=8), 2, 1),
+        ("community-k3", community_graph(20, 100, intra_probability=0.45,
+                                         inter_edges=4, seed=9), 3, 1),
+        ("community-blocks", community_graph(100, 20, intra_probability=0.6,
+                                             inter_edges=3, seed=1), 2, 1),
+        ("quasi-blobs", quasi_clique_blobs(blobs_background, num_blobs=10,
+                                           blob_size=60, edge_probability=0.5,
+                                           seed=3), 2, 1),
+        ("powerlaw", powerlaw_cluster_graph(2000, 8, 0.6, seed=4), 2, 1),
+    ]
+
+
+def smoke_grid():
+    """A seconds-sized grid for the CI perf gate (same generators, smaller n)."""
+    blobs_background = erdos_renyi_graph(250, 0.01, seed=2)
+    return [
+        ("community-dense", community_graph(6, 60, intra_probability=0.4,
+                                            inter_edges=3, seed=8), 2, 1),
+        ("quasi-blobs", quasi_clique_blobs(blobs_background, num_blobs=4,
+                                           blob_size=40, edge_probability=0.5,
+                                           seed=3), 2, 1),
+        ("powerlaw", powerlaw_cluster_graph(500, 8, 0.6, seed=4), 2, 1),
+    ]
+
+
+def median_of(runs):
+    return statistics.median(runs)
+
+
+def bench_search(graph, k, delta, repeats):
+    """Median search seconds per path + result-parity assertion."""
+    timings = {}
+    fingerprints = {}
+    for label, use_kernel in (("kernel", True), ("dict", False)):
+        config = build_search_config(use_kernel=use_kernel)
+        samples = []
+        for _ in range(repeats):
+            result = MaxRFC(config).solve(graph, k, delta)
+            samples.append(result.stats.search_seconds)
+        timings[label] = median_of(samples)
+        fingerprints[label] = (
+            frozenset(result.clique),
+            result.stats.branches_explored,
+            result.stats.pruned_by_bound,
+            result.stats.solutions_found,
+        )
+    if fingerprints["kernel"] != fingerprints["dict"]:
+        raise AssertionError(
+            f"kernel/dict search parity violated: {fingerprints}"
+        )
+    return {
+        "kernel_s": timings["kernel"],
+        "dict_s": timings["dict"],
+        "speedup": timings["dict"] / max(timings["kernel"], 1e-9),
+        "clique_size": len(fingerprints["kernel"][0]),
+        "branches": fingerprints["kernel"][1],
+    }
+
+
+def bench_reduction(graph, k, repeats):
+    """Median wall-clock of the full reduction pipeline per path."""
+    timings = {}
+    survivors = {}
+    for label, use_kernel in (("kernel", True), ("dict", False)):
+        pipeline = ReductionPipeline(use_kernel=use_kernel)
+        samples = []
+        for _ in range(repeats):
+            started = time.monotonic()
+            outcome = pipeline.run(graph, k)
+            samples.append(time.monotonic() - started)
+        timings[label] = median_of(samples)
+        survivors[label] = (outcome.vertices_after, outcome.edges_after)
+    if survivors["kernel"] != survivors["dict"]:
+        raise AssertionError(
+            f"kernel/dict reduction parity violated: {survivors}"
+        )
+    return {
+        "kernel_s": timings["kernel"],
+        "dict_s": timings["dict"],
+        "speedup": timings["dict"] / max(timings["kernel"], 1e-9),
+        "survivors": survivors["kernel"],
+    }
+
+
+def bench_bounds(graph, k, delta, repeats):
+    """Median wall-clock of one ``ubAD`` stack evaluation on the whole graph."""
+    stack = get_stack("ubAD")
+    vertices = sorted(graph.vertices(), key=str)
+    if not vertices:
+        return {"kernel_s": 0.0, "dict_s": 0.0, "speedup": 1.0}
+    kernel = graph.compile()
+    view = SubgraphView(kernel, graph, vertices)
+    full_mask = view.full_mask
+
+    samples_kernel = []
+    samples_dict = []
+    values = {}
+    for _ in range(repeats):
+        started = time.monotonic()
+        values["kernel"] = stack_evaluate(view, stack, 0, full_mask, k, delta)
+        samples_kernel.append(time.monotonic() - started)
+        started = time.monotonic()
+        values["dict"] = stack.evaluate(make_context(graph, [], vertices, k, delta))
+        samples_dict.append(time.monotonic() - started)
+    if values["kernel"] != values["dict"]:
+        raise AssertionError(f"kernel/dict bound parity violated: {values}")
+    return {
+        "kernel_s": median_of(samples_kernel),
+        "dict_s": median_of(samples_dict),
+        "speedup": median_of(samples_dict) / max(median_of(samples_kernel), 1e-9),
+        "value": values["kernel"],
+    }
+
+
+def run(mode: str, repeats: int) -> dict:
+    grid = smoke_grid() if mode == "smoke" else full_grid()
+    cells = []
+    for name, graph, k, delta in grid:
+        print(f"[bench] {name}: n={graph.num_vertices} m={graph.num_edges} "
+              f"k={k} delta={delta}", flush=True)
+        cell = {
+            "name": name,
+            "n": graph.num_vertices,
+            "m": graph.num_edges,
+            "k": k,
+            "delta": delta,
+            "search": bench_search(graph, k, delta, repeats),
+            "reduction": bench_reduction(graph, k, repeats),
+            "bounds": bench_bounds(graph, k, delta, repeats),
+        }
+        print(f"        search x{cell['search']['speedup']:.2f}  "
+              f"reduction x{cell['reduction']['speedup']:.2f}  "
+              f"bounds x{cell['bounds']['speedup']:.2f}", flush=True)
+        cells.append(cell)
+    medians = {
+        f"{section}_{field}": median_of([cell[section][field] for cell in cells])
+        for section in ("search", "reduction", "bounds")
+        for field in ("kernel_s", "dict_s", "speedup")
+    }
+    return {
+        "schema": SCHEMA,
+        "mode": mode,
+        "repeats": repeats,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cells": cells,
+        "medians": medians,
+    }
+
+
+def check_against_baseline(report: dict, baseline_path: Path, tolerance: float) -> int:
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    reference = baseline["medians"]["search_speedup"]
+    measured = report["medians"]["search_speedup"]
+    floor = reference / tolerance
+    print(f"[check] median search speedup: measured x{measured:.2f}, "
+          f"baseline x{reference:.2f}, floor x{floor:.2f}")
+    if measured < floor:
+        print("[check] FAIL: kernel search has regressed beyond the tolerance",
+              file=sys.stderr)
+        return 1
+    print("[check] OK")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="run the small CI grid instead of the full one")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats per cell (median is reported)")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="output JSON path (defaults under benchmarks/results/)")
+    parser.add_argument("--check", type=Path, default=None,
+                        help="baseline JSON to gate the median search speedup against")
+    parser.add_argument("--tolerance", type=float, default=2.0,
+                        help="allowed regression factor for --check (default 2x)")
+    args = parser.parse_args(argv)
+
+    mode = "smoke" if args.smoke else "full"
+    report = run(mode, max(1, args.repeats))
+    out = args.out
+    if out is None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        out = RESULTS_DIR / ("BENCH_kernel_smoke.json" if args.smoke
+                             else "BENCH_kernel.json")
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n",
+                   encoding="utf-8")
+    print(f"[bench] wrote {out}")
+    print(f"[bench] median search speedup: "
+          f"x{report['medians']['search_speedup']:.2f}")
+
+    if args.check is not None:
+        return check_against_baseline(report, args.check, args.tolerance)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

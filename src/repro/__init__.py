@@ -69,6 +69,7 @@ from repro.exceptions import (
 )
 from repro.graph import AttributedGraph, from_edge_list, paper_example_graph
 from repro.heuristic import HeurRFC, heuristic_fair_clique
+from repro.kernel import GraphKernel, compile_kernel
 from repro.reduction import ReductionPipeline, reduce_graph
 from repro.search import (
     MaxRFC,
@@ -91,6 +92,9 @@ __all__ = [
     "query_grid",
     "register_engine",
     "available_engines",
+    # compiled graph kernel (freeze boundary)
+    "GraphKernel",
+    "compile_kernel",
     # graph + legacy entry points
     "AttributedGraph",
     "from_edge_list",

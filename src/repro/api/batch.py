@@ -70,6 +70,18 @@ class SolveContext:
         """Number of distinct (k, stages) reductions currently memoized."""
         return len(self._reductions)
 
+    def kernel(self, graph: AttributedGraph | None = None):
+        """Compiled bitset kernel for ``graph`` (default: the context's graph).
+
+        The snapshot is memoized on the graph itself via
+        :meth:`AttributedGraph.compile`, and the reduced graphs cached by
+        :meth:`reduced` stay alive for the whole batch — so every query that
+        reuses a reduction artifact also reuses its compiled kernel, one
+        compile per distinct reduced graph.
+        """
+        target = self.graph if graph is None else graph
+        return target.compile()
+
 
 def solve(
     graph: AttributedGraph,

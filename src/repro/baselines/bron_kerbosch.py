@@ -5,6 +5,14 @@ by *enumerating* all fair cliques is hopeless at scale; this module provides
 that enumeration-style baseline (and the classic maximal-clique enumerator it
 is built on) so the comparison can be reproduced, and so the test suite has an
 independent oracle to validate the branch-and-bound against.
+
+Since the kernel PR the enumeration runs on the compiled bitset snapshot
+(:mod:`repro.kernel.cliques`): ``P``/``X``/``R`` are int bitmasks and the
+pivot scan is an AND + popcount instead of a rebuilt scope-filtered
+neighbour set per probe.  The pure-set implementation survives as
+:func:`enumerate_maximal_cliques_reference` — it is the independent oracle
+the parity suite compares the bitset enumerator against, so the two must not
+share code.
 """
 
 from __future__ import annotations
@@ -20,17 +28,47 @@ def enumerate_maximal_cliques(
 ) -> Iterator[frozenset]:
     """Yield every maximal clique of the (induced sub)graph.
 
-    Implements the Bron–Kerbosch algorithm with Tomita-style pivoting: at each
-    node the pivot is the vertex of ``P ∪ X`` with the most neighbours in
-    ``P``, and only non-neighbours of the pivot are branched on, which bounds
-    the recursion tree by O(3^(n/3)).
+    Implements the Bron–Kerbosch algorithm with Tomita-style pivoting on the
+    compiled bitset kernel: at each node the pivot is the vertex of ``P ∪ X``
+    with the most neighbours in ``P``, and only non-neighbours of the pivot
+    are branched on, which bounds the recursion tree by O(3^(n/3)).  Each
+    maximal clique is yielded exactly once; the emission order is
+    unspecified.
+    """
+    from repro.kernel.cliques import enumerate_maximal_clique_masks
+
+    kernel = graph.compile()
+    if vertices is None:
+        scope_mask = kernel.full_mask
+    else:
+        scope_mask = kernel.mask_of(vertices)
+    if not scope_mask:
+        return
+    for clique_mask in enumerate_maximal_clique_masks(kernel.adj_bits, scope_mask):
+        yield kernel.frozenset_of_mask(clique_mask)
+
+
+def enumerate_maximal_cliques_reference(
+    graph: AttributedGraph,
+    vertices: Iterable[Vertex] | None = None,
+) -> Iterator[frozenset]:
+    """Pure-set Bron–Kerbosch, kept as an independent oracle for the kernel path.
+
+    The scope-filtered neighbourhood of each vertex is computed once and
+    cached (the original rebuilt it on every pivot probe and every branch).
     """
     scope = set(graph.vertices()) if vertices is None else set(vertices)
     if not scope:
         return
 
+    neighbor_cache: dict[Vertex, set[Vertex]] = {}
+
     def neighbors(vertex: Vertex) -> set[Vertex]:
-        return {u for u in graph.neighbors(vertex) if u in scope}
+        cached = neighbor_cache.get(vertex)
+        if cached is None:
+            cached = graph.neighbors(vertex) & scope
+            neighbor_cache[vertex] = cached
+        return cached
 
     def expand(clique: set[Vertex], candidates: set[Vertex], excluded: set[Vertex]):
         if not candidates and not excluded:

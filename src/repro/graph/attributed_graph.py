@@ -51,7 +51,7 @@ class AttributedGraph:
     [2]
     """
 
-    __slots__ = ("_adj", "_attr", "_labels", "_num_edges")
+    __slots__ = ("_adj", "_attr", "_labels", "_num_edges", "_version", "_kernel", "_kernel_version")
 
     def __init__(
         self,
@@ -62,6 +62,9 @@ class AttributedGraph:
         self._attr: dict[Vertex, str] = {}
         self._labels: dict[Vertex, str] = {}
         self._num_edges = 0
+        self._version = 0
+        self._kernel = None
+        self._kernel_version = -1
         if vertices is not None:
             for vertex, attribute in vertices:
                 self.add_vertex(vertex, attribute)
@@ -83,6 +86,7 @@ class AttributedGraph:
         self._attr[vertex] = attribute
         if label is not None:
             self._labels[vertex] = label
+        self._version += 1
 
     def add_edge(self, u: Vertex, v: Vertex) -> None:
         """Add the undirected edge ``(u, v)``.
@@ -102,6 +106,7 @@ class AttributedGraph:
         self._adj[u].add(v)
         self._adj[v].add(u)
         self._num_edges += 1
+        self._version += 1
 
     def remove_edge(self, u: Vertex, v: Vertex) -> None:
         """Remove the undirected edge ``(u, v)``; raise if it does not exist."""
@@ -110,6 +115,7 @@ class AttributedGraph:
         self._adj[u].discard(v)
         self._adj[v].discard(u)
         self._num_edges -= 1
+        self._version += 1
 
     def remove_vertex(self, vertex: Vertex) -> None:
         """Remove ``vertex`` and all its incident edges."""
@@ -121,6 +127,7 @@ class AttributedGraph:
         self._num_edges -= len(neighbors)
         del self._attr[vertex]
         self._labels.pop(vertex, None)
+        self._version += 1
 
     def remove_vertices(self, vertices: Iterable[Vertex]) -> None:
         """Remove a batch of vertices (ignoring ones already absent)."""
@@ -235,6 +242,40 @@ class AttributedGraph:
         return histogram
 
     # ------------------------------------------------------------------ #
+    # Freeze boundary
+    # ------------------------------------------------------------------ #
+    @property
+    def version(self) -> int:
+        """Mutation counter; bumped by every vertex/edge add or removal.
+
+        Lets callers (and the :meth:`compile` cache) detect whether a
+        previously compiled kernel still describes this graph.
+        """
+        return self._version
+
+    def compile(self):
+        """Return the frozen :class:`~repro.kernel.compile.GraphKernel` snapshot.
+
+        This is the freeze boundary between the mutable builder world and the
+        integer/bitset kernel the algorithms run on: build or mutate the graph
+        freely, then ``compile()`` once and hand the snapshot to the hot
+        paths.  The snapshot is memoized and recompiled only after a
+        mutation, so repeated calls between mutations are free; it never
+        tracks later mutations — call ``compile()`` again after changing the
+        graph.
+        """
+        if self._kernel is None or self._kernel_version != self._version:
+            from repro.kernel.compile import compile_kernel
+
+            self._kernel = compile_kernel(self)
+            self._kernel_version = self._version
+        return self._kernel
+
+    def freeze(self):
+        """Alias of :meth:`compile` (reads better at call sites that never mutate)."""
+        return self.compile()
+
+    # ------------------------------------------------------------------ #
     # Derived graphs
     # ------------------------------------------------------------------ #
     def copy(self) -> "AttributedGraph":
@@ -274,6 +315,17 @@ class AttributedGraph:
     # ------------------------------------------------------------------ #
     # Dunder helpers
     # ------------------------------------------------------------------ #
+    def __getstate__(self):
+        # Compiled kernels are derived state: cheap to rebuild, potentially
+        # large on the wire.  Keep pickles (process-pool batch solving) lean.
+        return (self._adj, self._attr, self._labels, self._num_edges)
+
+    def __setstate__(self, state) -> None:
+        self._adj, self._attr, self._labels, self._num_edges = state
+        self._version = 0
+        self._kernel = None
+        self._kernel_version = -1
+
     def __contains__(self, vertex: Vertex) -> bool:
         return vertex in self._adj
 

@@ -41,9 +41,68 @@ def greedy_grow_clique(
     of the preferred attribute exists it falls back to the other attribute.
     Growth stops when the candidate set empties.
 
+    The loop runs on the compiled bitset kernel: the candidate set is an int
+    mask, attribute filtering is one AND, and shrinking to the common
+    neighbourhood is ``candidates &= adj[winner]``.  Vertex selection is
+    identical to the reference set-based loop (same ``(score, str(id))``
+    maximisation), so the grown clique is the same.
+
     Returns the grown clique *without* the fairness trim; callers usually pass
     the result through :func:`finalize_fair_clique`.
     """
+    validate_binary_attributes(graph)
+    kernel = graph.compile()
+    adj = kernel.adj_bits
+    attr_a_mask = kernel.attr_masks[0]
+    vertex_of = kernel.vertex_of
+    tie_keys = kernel.tie_keys
+
+    start_index = kernel.index_of[start]
+    clique_mask = 1 << start_index
+    candidates = adj[start_index]
+    count_a = 1 if kernel.attr_codes[start_index] == 0 else 0
+    count_b = 1 - count_a
+
+    while candidates:
+        minority_is_a = count_a <= count_b
+        preferred = candidates & (attr_a_mask if minority_is_a else ~attr_a_mask)
+        pool = preferred or candidates
+        # Refuse to deepen an imbalance that could never be repaired: adding a
+        # majority vertex is pointless once the other side has no candidates
+        # left to catch up with.
+        if not preferred:
+            minority_count = count_a if minority_is_a else count_b
+            majority_count = count_b if minority_is_a else count_a
+            if majority_count >= minority_count + delta:
+                break
+        winner = -1
+        winner_key: tuple | None = None
+        remaining = pool
+        while remaining:
+            low = remaining & -remaining
+            index = low.bit_length() - 1
+            key = (score(vertex_of[index]), tie_keys[index])
+            if winner_key is None or key > winner_key:
+                winner_key = key
+                winner = index
+            remaining ^= low
+        clique_mask |= 1 << winner
+        if kernel.attr_codes[winner] == 0:
+            count_a += 1
+        else:
+            count_b += 1
+        candidates &= adj[winner]
+    return kernel.frozenset_of_mask(clique_mask)
+
+
+def greedy_grow_clique_reference(
+    graph: AttributedGraph,
+    start: Vertex,
+    k: int,
+    delta: int,
+    score: ScoreFunction,
+) -> frozenset:
+    """The original set-based growth loop, kept as a parity oracle for the kernel path."""
     attribute_a, attribute_b = validate_binary_attributes(graph)
     clique: set[Vertex] = {start}
     candidates: set[Vertex] = set(graph.neighbors(start))
@@ -54,9 +113,6 @@ def greedy_grow_clique(
         minority = attribute_a if counts[attribute_a] <= counts[attribute_b] else attribute_b
         preferred = [v for v in candidates if graph.attribute(v) == minority]
         pool = preferred or list(candidates)
-        # Refuse to deepen an imbalance that could never be repaired: adding a
-        # majority vertex is pointless once the other side has no candidates
-        # left to catch up with.
         if not preferred:
             other = attribute_b if minority == attribute_a else attribute_a
             if counts[other] >= counts[minority] + delta:

@@ -1,0 +1,71 @@
+"""Bit-manipulation primitives for the compact graph kernel.
+
+Python ``int`` objects are arbitrary-precision bit vectors with C-speed
+bitwise AND/OR/XOR and an O(words) population count (``int.bit_count``),
+which makes them an excellent representation for vertex *sets* of an
+integer-reindexed graph: set intersection is ``&``, cardinality is
+``bit_count()``, and "the candidates ranked after position p" is a single
+shift-mask.  Every helper here works on such masks.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+
+def bit(position: int) -> int:
+    """Return the mask with only ``position`` set."""
+    return 1 << position
+
+
+def mask_from_indices(indices: Iterable[int]) -> int:
+    """Build a mask with one bit per index in ``indices``."""
+    mask = 0
+    for index in indices:
+        mask |= 1 << index
+    return mask
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Yield the set-bit positions of ``mask`` in ascending order."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def bits_list(mask: int) -> list[int]:
+    """Return the set-bit positions of ``mask`` as an ascending list."""
+    positions: list[int] = []
+    while mask:
+        low = mask & -mask
+        positions.append(low.bit_length() - 1)
+        mask ^= low
+    return positions
+
+
+def lowest_bit(mask: int) -> int:
+    """Position of the lowest set bit (-1 for the empty mask)."""
+    if not mask:
+        return -1
+    return (mask & -mask).bit_length() - 1
+
+
+def highest_bit(mask: int) -> int:
+    """Position of the highest set bit (-1 for the empty mask)."""
+    return mask.bit_length() - 1
+
+
+def mask_above(position: int) -> int:
+    """Mask selecting every bit strictly greater than ``position``.
+
+    The two's-complement ``-1 << (position + 1)`` has infinitely many high
+    bits set, which is exactly right as the left operand of ``&`` against a
+    finite non-negative mask.
+    """
+    return -1 << (position + 1)
+
+
+def popcount(mask: int) -> int:
+    """Population count (alias of ``int.bit_count`` for call-site clarity)."""
+    return mask.bit_count()

@@ -1,0 +1,155 @@
+"""Kernel evaluation of the Section IV upper bounds.
+
+The five cheap bounds of the default ``ubAD`` stack (Lemmas 5-9) — size,
+attribute, color, attribute-color, enhanced attribute-color — reduce to
+popcounts and small color bitsets on a :class:`~repro.kernel.view.SubgraphView`
+and are evaluated here without touching the dict world.  Bounds that have no
+kernel port yet (the colorful degeneracy / h-index / path bounds of the
+ablation stacks) fall back to their dict implementation through a lazily
+materialised :class:`~repro.bounds.base.BoundContext`; the fallback shares
+one context per evaluation so the coloring is computed at most once.
+
+Both paths produce identical values for identical instances (the kernel
+coloring replicates the dict greedy coloring), so switching a search between
+them never changes which branches are pruned — the parity suite pins this.
+"""
+
+from __future__ import annotations
+
+from repro.bounds.base import BoundContext, BoundStack
+from repro.cores.enhanced import balanced_split_value
+from repro.kernel.view import SubgraphView
+
+#: Bound names with a native kernel evaluator (the ``ubAD`` group).
+KERNEL_BOUNDS = frozenset({"ubs", "uba", "ubc", "ubac", "ubeac"})
+
+
+class _Evaluation:
+    """Shared per-instance scratch: scope coloring + lazy dict fallback context."""
+
+    __slots__ = ("view", "clique_mask", "cand_mask", "scope", "k", "delta",
+                 "_class_masks", "_context")
+
+    def __init__(
+        self,
+        view: SubgraphView,
+        clique_mask: int,
+        cand_mask: int,
+        k: int,
+        delta: int,
+    ) -> None:
+        self.view = view
+        self.clique_mask = clique_mask
+        self.cand_mask = cand_mask
+        self.scope = clique_mask | cand_mask
+        self.k = k
+        self.delta = delta
+        self._class_masks: list[int] | None = None
+        self._context: BoundContext | None = None
+
+    def class_masks(self) -> list[int]:
+        if self._class_masks is None:
+            self._class_masks = self.view.color_class_masks(self.scope)
+        return self._class_masks
+
+    def attribute_color_sets(self) -> tuple[int, int]:
+        """Bitsets of colors used by attribute-a / attribute-b scope vertices.
+
+        One AND per (color class, attribute side) — O(number of colors), not
+        O(scope size).
+        """
+        attr_a = self.view.attr_a
+        colors_a = 0
+        colors_b = 0
+        for color, class_mask in enumerate(self.class_masks()):
+            if class_mask & attr_a:
+                colors_a |= 1 << color
+            if class_mask & ~attr_a:
+                colors_b |= 1 << color
+        return colors_a, colors_b
+
+    def fallback_context(self) -> BoundContext:
+        if self._context is None:
+            view = self.view
+            attribute_a, attribute_b = view.kernel.attribute_values[:2]
+            self._context = BoundContext(
+                graph=view.graph,
+                clique=view.frozenset_of(self.clique_mask),
+                candidates=view.frozenset_of(self.cand_mask),
+                k=self.k,
+                delta=self.delta,
+                attribute_a=attribute_a,
+                attribute_b=attribute_b,
+            )
+        return self._context
+
+
+def _evaluate(name: str, ev: _Evaluation) -> int:
+    if name == "ubs":
+        return ev.scope.bit_count()
+    if name == "uba":
+        count_a = (ev.scope & ev.view.attr_a).bit_count()
+        count_b = ev.scope.bit_count() - count_a
+        return min(count_a + count_b, 2 * min(count_a, count_b) + ev.delta)
+    if name == "ubc":
+        return len(ev.class_masks())
+    if name == "ubac":
+        colors_a, colors_b = ev.attribute_color_sets()
+        len_a, len_b = colors_a.bit_count(), colors_b.bit_count()
+        return min(len_a + len_b, 2 * min(len_a, len_b) + ev.delta)
+    if name == "ubeac":
+        colors_a, colors_b = ev.attribute_color_sets()
+        mixed = colors_a & colors_b
+        count_a = (colors_a & ~mixed).bit_count()
+        count_b = (colors_b & ~mixed).bit_count()
+        count_mixed = mixed.bit_count()
+        total = count_a + count_b + count_mixed
+        return min(
+            total,
+            2 * balanced_split_value(count_a, count_b, count_mixed) + ev.delta,
+        )
+    raise KeyError(name)
+
+
+def stack_prunes(
+    view: SubgraphView,
+    stack: BoundStack,
+    clique_mask: int,
+    cand_mask: int,
+    k: int,
+    delta: int,
+    threshold: int,
+) -> bool:
+    """Kernel analogue of :meth:`BoundStack.prunes` for one ``(R, C)`` instance.
+
+    Bounds are consulted in the stack's cheapest-first order; the first value
+    at or below ``threshold`` short-circuits, exactly like the dict path.
+    """
+    ev = _Evaluation(view, clique_mask, cand_mask, k, delta)
+    for bound in stack.bounds:
+        if bound.name in KERNEL_BOUNDS:
+            value = _evaluate(bound.name, ev)
+        else:
+            value = bound(ev.fallback_context())
+        if value <= threshold:
+            return True
+    return False
+
+
+def stack_evaluate(
+    view: SubgraphView,
+    stack: BoundStack,
+    clique_mask: int,
+    cand_mask: int,
+    k: int,
+    delta: int,
+) -> int:
+    """Kernel analogue of :meth:`BoundStack.evaluate`: min over all bounds."""
+    ev = _Evaluation(view, clique_mask, cand_mask, k, delta)
+    values = []
+    for bound in stack.bounds:
+        if bound.name in KERNEL_BOUNDS:
+            values.append(_evaluate(bound.name, ev))
+        else:
+            values.append(bound(ev.fallback_context()))
+    return min(values)

@@ -1,0 +1,312 @@
+"""The frozen, integer-reindexed graph snapshot behind every hot path.
+
+:class:`GraphKernel` is compiled once from a (mutable, hashable-id)
+:class:`~repro.graph.attributed_graph.AttributedGraph` and is immutable from
+then on.  It stores the same graph three ways, each optimal for a different
+access pattern:
+
+* **CSR arrays** (``indptr``/``indices``) — cache-friendly neighbour
+  iteration for peeling algorithms and degree scans;
+* **adjacency bitsets** (``adj_bits``) — one arbitrary-precision ``int`` per
+  vertex, so candidate-set intersection inside the branch-and-bound is a
+  single ``&`` and counting survivors is one ``bit_count()``;
+* **attribute masks** (``attr_masks``) — per attribute value, the bitset of
+  vertices carrying it, so per-attribute counts of any vertex set are one
+  AND + popcount.
+
+Vertices are renumbered ``0..n-1`` in a deterministic order (sorted by
+``str(id)``, matching the tie-breaking used across the package);
+``vertex_of``/``index_of`` translate between the two worlds, and search
+results are always materialised back to original ids.
+
+The snapshot is *frozen*: mutating the source graph does not update a
+compiled kernel.  ``AttributedGraph.compile()`` is the supported entry point
+— it versions its mutations and recompiles only when the graph has actually
+changed since the cached kernel was built.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from typing import TYPE_CHECKING, Optional
+
+from repro.kernel.bitops import bits_list, iter_bits
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.graph.attributed_graph import AttributedGraph, Vertex
+
+
+class GraphKernel:
+    """Immutable CSR + bitset snapshot of an attributed graph.
+
+    Build one with :func:`compile_kernel` (or ``graph.compile()``); the
+    constructor is internal.
+    """
+
+    __slots__ = (
+        "n",
+        "num_edges",
+        "vertex_of",
+        "index_of",
+        "indptr",
+        "indices",
+        "adj_bits",
+        "degrees",
+        "attribute_values",
+        "attr_codes",
+        "attr_masks",
+        "labels",
+        "tie_keys",
+        "_degeneracy_order",
+        "_core_numbers",
+        "_component_masks",
+    )
+
+    def __init__(
+        self,
+        vertex_of: tuple,
+        index_of: dict,
+        indptr: list[int],
+        indices: list[int],
+        adj_bits: tuple[int, ...],
+        attribute_values: tuple[str, ...],
+        attr_codes: tuple[int, ...],
+        attr_masks: tuple[int, ...],
+        labels: dict[int, str],
+        num_edges: int,
+    ) -> None:
+        self.n = len(vertex_of)
+        self.num_edges = num_edges
+        self.vertex_of = vertex_of
+        self.index_of = index_of
+        self.indptr = indptr
+        self.indices = indices
+        self.adj_bits = adj_bits
+        self.degrees = tuple(
+            indptr[i + 1] - indptr[i] for i in range(self.n)
+        )
+        self.attribute_values = attribute_values
+        self.attr_codes = attr_codes
+        self.attr_masks = attr_masks
+        self.labels = labels
+        self.tie_keys = tuple(str(v) for v in vertex_of)
+        self._degeneracy_order: Optional[tuple[int, ...]] = None
+        self._core_numbers: Optional[tuple[int, ...]] = None
+        self._component_masks: Optional[tuple[int, ...]] = None
+
+    # ------------------------------------------------------------------ #
+    # Basic queries
+    # ------------------------------------------------------------------ #
+    @property
+    def is_binary(self) -> bool:
+        """True when the snapshot carries exactly two attribute values."""
+        return len(self.attribute_values) == 2
+
+    @property
+    def full_mask(self) -> int:
+        """Bitset of every vertex: ``(1 << n) - 1``."""
+        return (1 << self.n) - 1
+
+    def neighbors_csr(self, index: int) -> list[int]:
+        """Neighbour indices of ``index`` as a CSR slice (ascending)."""
+        return self.indices[self.indptr[index]:self.indptr[index + 1]]
+
+    def attribute_of(self, index: int) -> str:
+        """Attribute value string of vertex ``index``."""
+        return self.attribute_values[self.attr_codes[index]]
+
+    # ------------------------------------------------------------------ #
+    # id <-> index translation
+    # ------------------------------------------------------------------ #
+    def mask_of(self, vertices: Iterable) -> int:
+        """Bitset of the given original-id vertices."""
+        mask = 0
+        index_of = self.index_of
+        for vertex in vertices:
+            mask |= 1 << index_of[vertex]
+        return mask
+
+    def vertices_of_mask(self, mask: int) -> list:
+        """Original ids of the vertices in ``mask`` (ascending index order)."""
+        vertex_of = self.vertex_of
+        return [vertex_of[i] for i in iter_bits(mask)]
+
+    def frozenset_of_mask(self, mask: int) -> frozenset:
+        """Original ids of the vertices in ``mask`` as a frozenset."""
+        return frozenset(self.vertices_of_mask(mask))
+
+    # ------------------------------------------------------------------ #
+    # Degeneracy order (computed lazily, cached)
+    # ------------------------------------------------------------------ #
+    def degeneracy_order(self) -> tuple[int, ...]:
+        """Indices in smallest-degree-first peeling order (ties by index)."""
+        if self._degeneracy_order is None:
+            self._compute_degeneracy()
+        assert self._degeneracy_order is not None
+        return self._degeneracy_order
+
+    def core_numbers(self) -> tuple[int, ...]:
+        """Classic core number per index (computed with the degeneracy peel)."""
+        if self._core_numbers is None:
+            self._compute_degeneracy()
+        assert self._core_numbers is not None
+        return self._core_numbers
+
+    def degeneracy(self) -> int:
+        """The degeneracy of the snapshot (0 for an empty graph)."""
+        cores = self.core_numbers()
+        return max(cores, default=0)
+
+    def _compute_degeneracy(self) -> None:
+        n = self.n
+        degrees = list(self.degrees)
+        max_degree = max(degrees, default=0)
+        buckets: list[list[int]] = [[] for _ in range(max_degree + 1)]
+        for index in range(n):
+            buckets[degrees[index]].append(index)
+        removed = [False] * n
+        order: list[int] = []
+        cores = [0] * n
+        current = 0
+        level = 0
+        while len(order) < n:
+            while current <= max_degree and not buckets[current]:
+                current += 1
+            if current > max_degree:
+                break
+            index = buckets[current].pop()
+            if removed[index] or degrees[index] != current:
+                continue
+            removed[index] = True
+            level = max(level, current)
+            cores[index] = level
+            order.append(index)
+            for neighbor in self.neighbors_csr(index):
+                if not removed[neighbor]:
+                    degree = degrees[neighbor]
+                    if degree > current:
+                        degrees[neighbor] = degree - 1
+                        buckets[degree - 1].append(neighbor)
+                        if degree - 1 < current:
+                            current = degree - 1
+        self._degeneracy_order = tuple(order)
+        self._core_numbers = tuple(cores)
+
+    # ------------------------------------------------------------------ #
+    # Connected components (computed lazily, cached)
+    # ------------------------------------------------------------------ #
+    def component_masks(self) -> tuple[int, ...]:
+        """Vertex bitset of every connected component (ascending lowest index).
+
+        BFS over adjacency bitsets: one OR per frontier vertex, so a whole
+        frontier expansion costs O(frontier · words) with no per-edge Python
+        work.
+        """
+        if self._component_masks is None:
+            adj_bits = self.adj_bits
+            components: list[int] = []
+            unvisited = self.full_mask
+            while unvisited:
+                frontier = unvisited & -unvisited
+                component = 0
+                while frontier:
+                    component |= frontier
+                    reached = 0
+                    for p in iter_bits(frontier):
+                        reached |= adj_bits[p]
+                    frontier = reached & unvisited & ~component
+                components.append(component)
+                unvisited &= ~component
+            self._component_masks = tuple(components)
+        return self._component_masks
+
+    # ------------------------------------------------------------------ #
+    # Materialisation back to the mutable world
+    # ------------------------------------------------------------------ #
+    def materialize(
+        self,
+        mask: int | None = None,
+        adjacency: list[int] | tuple[int, ...] | None = None,
+    ) -> "AttributedGraph":
+        """Build an :class:`AttributedGraph` from (a sub-snapshot of) this kernel.
+
+        ``mask`` restricts to a vertex subset (default: all vertices);
+        ``adjacency`` optionally substitutes per-vertex neighbour bitsets —
+        this is how the kernel edge-peeling reductions hand their surviving
+        edge set back to the pipeline.  Edges to vertices outside ``mask``
+        are dropped.
+        """
+        from repro.graph.attributed_graph import AttributedGraph
+
+        if mask is None:
+            mask = self.full_mask
+        adj = self.adj_bits if adjacency is None else adjacency
+        graph = AttributedGraph()
+        members = bits_list(mask)
+        for index in members:
+            graph.add_vertex(
+                self.vertex_of[index],
+                self.attribute_values[self.attr_codes[index]],
+                self.labels.get(index),
+            )
+        for index in members:
+            higher = adj[index] & mask & (-1 << (index + 1))
+            u = self.vertex_of[index]
+            for other in iter_bits(higher):
+                graph.add_edge(u, self.vertex_of[other])
+        return graph
+
+    def __repr__(self) -> str:
+        return (
+            f"GraphKernel(n={self.n}, m={self.num_edges}, "
+            f"attributes={self.attribute_values!r})"
+        )
+
+
+def compile_kernel(graph: "AttributedGraph") -> GraphKernel:
+    """Compile a frozen :class:`GraphKernel` snapshot from ``graph``.
+
+    Prefer ``graph.compile()`` which memoizes the result until the next
+    mutation.  Renumbering is deterministic (sorted by ``str(id)``) so two
+    compilations of equal graphs produce identical snapshots.
+    """
+    ordered = sorted(graph.vertices(), key=str)
+    index_of = {vertex: index for index, vertex in enumerate(ordered)}
+    n = len(ordered)
+    attribute_values = graph.attribute_values()
+    code_of = {value: code for code, value in enumerate(attribute_values)}
+
+    indptr: list[int] = [0] * (n + 1)
+    indices: list[int] = []
+    adj_bits: list[int] = [0] * n
+    attr_codes: list[int] = [0] * n
+    attr_masks: list[int] = [0] * max(1, len(attribute_values))
+    labels: dict[int, str] = {}
+
+    for index, vertex in enumerate(ordered):
+        code = code_of[graph.attribute(vertex)]
+        attr_codes[index] = code
+        attr_masks[code] |= 1 << index
+        label = graph.label(vertex)
+        if label != str(vertex):
+            labels[index] = label
+        neighbor_indices = sorted(index_of[u] for u in graph.neighbors(vertex))
+        indices.extend(neighbor_indices)
+        indptr[index + 1] = len(indices)
+        mask = 0
+        for neighbor in neighbor_indices:
+            mask |= 1 << neighbor
+        adj_bits[index] = mask
+
+    return GraphKernel(
+        vertex_of=tuple(ordered),
+        index_of=index_of,
+        indptr=indptr,
+        indices=indices,
+        adj_bits=tuple(adj_bits),
+        attribute_values=attribute_values,
+        attr_codes=tuple(attr_codes),
+        attr_masks=tuple(attr_masks),
+        labels=labels,
+        num_edges=graph.num_edges,
+    )

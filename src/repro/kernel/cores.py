@@ -1,0 +1,236 @@
+"""Colorful-core peels on the compiled kernel.
+
+Bitset/CSR ports of :func:`repro.cores.colorful.colorful_k_core` and
+:func:`repro.cores.enhanced.enhanced_colorful_k_core`.  Both peels converge
+to the unique maximal subgraph satisfying their degree condition (the
+conditions are monotone in the surviving vertex set), so the kernel and dict
+implementations agree on the survivor set no matter the peel order — the
+parity suite asserts exactly that.
+
+Only binary-attributed snapshots are supported, mirroring the dict versions.
+"""
+
+from __future__ import annotations
+
+from repro.cores.enhanced import balanced_split_value
+from repro.kernel.compile import GraphKernel
+
+
+def colorful_k_core_mask(
+    kernel: GraphKernel,
+    k: int,
+    colors: list[int],
+    scope_mask: int | None = None,
+) -> int:
+    """Vertex bitset of the colorful ``k``-core (Definition 3) inside ``scope_mask``.
+
+    Maintains, per vertex and attribute, a multiset of surviving neighbour
+    colors so each removal costs O(deg) dictionary updates.
+    """
+    scope = kernel.full_mask if scope_mask is None else scope_mask
+    if not scope:
+        return 0
+    attr_codes = kernel.attr_codes
+    indptr, indices = kernel.indptr, kernel.indices
+    members = _bits(scope)
+    # O(1) membership probes: single-bit tests on a wide int cost O(words).
+    alive = bytearray(kernel.n)
+    for vertex in members:
+        alive[vertex] = 1
+    # color_count[v][attribute code] : {color: surviving-neighbour count}
+    color_count: dict[int, tuple[dict[int, int], dict[int, int]]] = {}
+    for vertex in members:
+        per_attr: tuple[dict[int, int], dict[int, int]] = ({}, {})
+        for neighbor in indices[indptr[vertex]:indptr[vertex + 1]]:
+            if alive[neighbor]:
+                bucket = per_attr[attr_codes[neighbor]]
+                color = colors[neighbor]
+                bucket[color] = bucket.get(color, 0) + 1
+        color_count[vertex] = per_attr
+
+    def min_degree(vertex: int) -> int:
+        per_attr = color_count[vertex]
+        return min(len(per_attr[0]), len(per_attr[1]))
+
+    queue = [vertex for vertex in color_count if min_degree(vertex) < k]
+    remaining = scope
+    while queue:
+        vertex = queue.pop()
+        if not alive[vertex]:
+            continue
+        alive[vertex] = 0
+        remaining &= ~(1 << vertex)
+        vertex_attr = attr_codes[vertex]
+        vertex_color = colors[vertex]
+        for neighbor in indices[indptr[vertex]:indptr[vertex + 1]]:
+            if alive[neighbor]:
+                bucket = color_count[neighbor][vertex_attr]
+                count = bucket.get(vertex_color, 0)
+                if count <= 1:
+                    bucket.pop(vertex_color, None)
+                    if min_degree(neighbor) < k:
+                        queue.append(neighbor)
+                else:
+                    bucket[vertex_color] = count - 1
+    return remaining
+
+
+def enhanced_colorful_k_core_mask(
+    kernel: GraphKernel,
+    k: int,
+    colors: list[int],
+    scope_mask: int | None = None,
+) -> int:
+    """Vertex bitset of the enhanced colorful ``k``-core (Definition 5).
+
+    The enhanced colorful degree depends on the whole only-a/only-b/mixed
+    color-group structure of a neighbourhood, so affected vertices are
+    recomputed from their surviving neighbours — same strategy as the dict
+    implementation, with the membership test reduced to one shift.
+    """
+    scope = kernel.full_mask if scope_mask is None else scope_mask
+    attr_codes = kernel.attr_codes
+    indptr, indices = kernel.indptr, kernel.indices
+    members = _bits(scope)
+    alive = bytearray(kernel.n)
+    for vertex in members:
+        alive[vertex] = 1
+    remaining = scope
+
+    def degree_of(vertex: int) -> int:
+        colors_a = 0  # bitsets of colors per attribute side
+        colors_b = 0
+        for neighbor in indices[indptr[vertex]:indptr[vertex + 1]]:
+            if alive[neighbor]:
+                if attr_codes[neighbor] == 0:
+                    colors_a |= 1 << colors[neighbor]
+                else:
+                    colors_b |= 1 << colors[neighbor]
+        mixed = colors_a & colors_b
+        return balanced_split_value(
+            (colors_a & ~mixed).bit_count(),
+            (colors_b & ~mixed).bit_count(),
+            mixed.bit_count(),
+        )
+
+    queue = [vertex for vertex in members if degree_of(vertex) < k]
+    pending = set(queue)
+    while queue:
+        vertex = queue.pop()
+        pending.discard(vertex)
+        if not alive[vertex]:
+            continue
+        if degree_of(vertex) >= k:
+            continue
+        alive[vertex] = 0
+        remaining &= ~(1 << vertex)
+        for neighbor in indices[indptr[vertex]:indptr[vertex + 1]]:
+            if alive[neighbor] and neighbor not in pending:
+                if degree_of(neighbor) < k:
+                    queue.append(neighbor)
+                    pending.add(neighbor)
+    return remaining
+
+
+def colorful_core_numbers_mask(
+    kernel: GraphKernel,
+    colors: list[int],
+    scope_mask: int | None = None,
+) -> dict[int, int]:
+    """Colorful core number per in-scope vertex index (Definition 8).
+
+    Same generalized-core peel as the dict implementation; core numbers are
+    canonical (independent of tie order among minimum-degree vertices), so
+    both paths agree exactly.
+    """
+    scope = kernel.full_mask if scope_mask is None else scope_mask
+    attr_codes = kernel.attr_codes
+    indptr, indices = kernel.indptr, kernel.indices
+    members = _bits(scope)
+    alive = bytearray(kernel.n)
+    for vertex in members:
+        alive[vertex] = 1
+    color_count: dict[int, tuple[dict[int, int], dict[int, int]]] = {}
+    for vertex in members:
+        per_attr: tuple[dict[int, int], dict[int, int]] = ({}, {})
+        for neighbor in indices[indptr[vertex]:indptr[vertex + 1]]:
+            if alive[neighbor]:
+                bucket = per_attr[attr_codes[neighbor]]
+                color = colors[neighbor]
+                bucket[color] = bucket.get(color, 0) + 1
+        color_count[vertex] = per_attr
+
+    def min_degree(vertex: int) -> int:
+        per_attr = color_count[vertex]
+        return min(len(per_attr[0]), len(per_attr[1]))
+
+    degrees = {vertex: min_degree(vertex) for vertex in members}
+    max_degree = max(degrees.values(), default=0)
+    buckets: list[list[int]] = [[] for _ in range(max_degree + 2)]
+    for vertex, degree in degrees.items():
+        buckets[degree].append(vertex)
+    removed_count = 0
+    total = len(members)
+    core: dict[int, int] = {}
+    level = 0
+    current = 0
+    while removed_count < total:
+        while current <= max_degree and not buckets[current]:
+            current += 1
+        if current > max_degree:
+            break
+        vertex = buckets[current].pop()
+        if not alive[vertex] or degrees[vertex] != current:
+            continue
+        alive[vertex] = 0
+        removed_count += 1
+        level = max(level, current)
+        core[vertex] = level
+        vertex_attr = attr_codes[vertex]
+        vertex_color = colors[vertex]
+        for neighbor in indices[indptr[vertex]:indptr[vertex + 1]]:
+            if alive[neighbor]:
+                bucket = color_count[neighbor][vertex_attr]
+                count = bucket.get(vertex_color, 0)
+                if count <= 1:
+                    bucket.pop(vertex_color, None)
+                    new_degree = min_degree(neighbor)
+                    if new_degree != degrees[neighbor]:
+                        degrees[neighbor] = new_degree
+                        buckets[new_degree].append(neighbor)
+                        if new_degree < current:
+                            current = new_degree
+                elif count > 1:
+                    bucket[vertex_color] = count - 1
+    return core
+
+
+def colorful_core_order(kernel: GraphKernel, scope_mask: int) -> list:
+    """CalColorOD on the kernel: rank-ordered original ids for one component.
+
+    Result-identical to ordering by
+    :func:`repro.search.ordering.colorful_core_ordering` — same scoped greedy
+    coloring, same (canonical) colorful core numbers, same
+    ``(core, degree, str(id))`` sort key.
+    """
+    from repro.kernel.coloring import greedy_color_array
+
+    colors = greedy_color_array(kernel, scope_mask)
+    cores = colorful_core_numbers_mask(kernel, colors, scope_mask)
+    degrees = kernel.degrees
+    tie_keys = kernel.tie_keys
+    ordered = sorted(
+        _bits(scope_mask),
+        key=lambda i: (cores.get(i, 0), degrees[i], tie_keys[i]),
+    )
+    vertex_of = kernel.vertex_of
+    return [vertex_of[index] for index in ordered]
+
+
+def _bits(mask: int) -> list[int]:
+    positions = []
+    while mask:
+        low = mask & -mask
+        positions.append(low.bit_length() - 1)
+        mask ^= low
+    return positions

@@ -1,0 +1,229 @@
+"""The bitset branch-and-bound core of MaxRFC.
+
+This is the hot path of the whole package.  One :class:`KernelBranchAndBound`
+instance explores one rank-ordered connected component through a
+:class:`~repro.kernel.view.SubgraphView`; the search makes exactly the same
+decisions as ``MaxRFC._branch`` — same pruning rules, same candidate
+iteration order, same statistics counters — but every per-branch set
+operation is collapsed into integer bit arithmetic:
+
+* candidate narrowing ``{v in C, rank(v) > rank(u)} ∩ N(u)`` is
+  ``cand & adj[u] & (-1 << (p + 1))`` — three machine-word ops per word
+  instead of a Python-level hash probe per candidate;
+* attribute feasibility and fairness-gap counts are one AND + popcount;
+* the incumbent clique only materialises back to original vertex ids when it
+  actually improves.
+
+Structurally the recursion is *child-inlined*: a node's prologue (record the
+clique, size/attribute/fairness/bound prunes) is evaluated inline in the
+parent's candidate loop, and a Python call is spent only on children that
+survive it and still have candidates to iterate.  Most branch-and-bound
+nodes are pruned leaves, so this removes the interpreter's call overhead
+from the bulk of the tree while visiting exactly the same nodes in exactly
+the same order.
+
+Because the traversal order and prune decisions are identical, the kernel
+search returns the *same clique* as the dict search, not merely one of equal
+size — the parity suite pins this down to the statistics counters.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.bounds.base import BoundStack
+from repro.kernel.bounds import stack_prunes
+from repro.kernel.view import SubgraphView
+from repro.search.statistics import SearchStats
+
+
+class KernelBranchAndBound:
+    """Branch-and-bound over one component view with a shared incumbent.
+
+    ``check_budget`` is called once per branch with the stats object and must
+    raise to abort the search (time/branch budget); the incumbent survives
+    the abort because it lives on this object.  ``has_budget=False`` skips
+    the callback entirely (it would be a no-op), sparing two calls per node.
+    """
+
+    __slots__ = (
+        "view",
+        "k",
+        "delta",
+        "stats",
+        "bound_stack",
+        "bound_depth",
+        "check_budget",
+        "has_budget",
+        "best_size",
+        "best_clique",
+    )
+
+    def __init__(
+        self,
+        view: SubgraphView,
+        k: int,
+        delta: int,
+        stats: SearchStats,
+        bound_stack: BoundStack | None,
+        bound_depth: int,
+        check_budget: Callable[[SearchStats], None],
+        best_size: int,
+        best_clique: frozenset,
+        has_budget: bool = True,
+    ) -> None:
+        self.view = view
+        self.k = k
+        self.delta = delta
+        self.stats = stats
+        self.bound_stack = bound_stack
+        self.bound_depth = bound_depth
+        self.check_budget = check_budget
+        self.has_budget = has_budget
+        self.best_size = best_size
+        self.best_clique = best_clique
+
+    def run(self) -> tuple[int, frozenset]:
+        """Explore the whole component; return the (possibly improved) incumbent."""
+        # Root prologue (R = {}, C = every vertex), then expand.
+        stats = self.stats
+        stats.branches_explored += 1
+        if self.has_budget:
+            self.check_budget(stats)
+        cand_mask = self.view.full_mask
+        if not cand_mask:
+            return self.best_size, self.best_clique
+        k = self.k
+        num_candidates = cand_mask.bit_count()
+        if num_candidates < max(2 * k, self.best_size + 1):
+            stats.pruned_by_size += 1
+            return self.best_size, self.best_clique
+        count_c_a = (cand_mask & self.view.attr_a).bit_count()
+        count_c_b = num_candidates - count_c_a
+        if count_c_a < k or count_c_b < k:
+            stats.pruned_by_attribute_feasibility += 1
+            return self.best_size, self.best_clique
+        stack = self.bound_stack
+        if stack is not None and 0 < self.bound_depth:
+            stats.bound_evaluations += 1
+            if stack_prunes(
+                self.view, stack, 0, cand_mask, k, self.delta,
+                max(2 * k - 1, self.best_size),
+            ):
+                stats.pruned_by_bound += 1
+                return self.best_size, self.best_clique
+        self._expand(0, 0, 0, cand_mask, 0, 0)
+        return self.best_size, self.best_clique
+
+    def _expand(
+        self,
+        clique_mask: int,
+        count_r_a: int,
+        count_r_b: int,
+        cand_mask: int,
+        depth: int,
+        size_r: int,
+    ) -> None:
+        """Iterate the candidates of a node that already survived its prologue.
+
+        Every child's prologue — counters, budget, fairness record, size /
+        attribute-feasibility / fairness-gap / bound prunes — runs inline
+        here; only children that reach their own candidate loop recurse.
+        """
+        stats = self.stats
+        view = self.view
+        adj = view.adj
+        attr_a = view.attr_a
+        is_a_of = view.attr_a_flags
+        k = self.k
+        delta = self.delta
+        two_k = 2 * k
+        has_budget = self.has_budget
+        stack = self.bound_stack
+        child_bounded = stack is not None and depth + 1 < self.bound_depth
+        child_depth = depth + 1
+        child_size = size_r + 1
+
+        # Same iteration protocol as the dict search: root candidates in
+        # descending rank (big colorful cores first, so the incumbent grows
+        # early), deeper levels ascending so the suffix-size early exit holds.
+        # Candidates are streamed straight off the mask — no positions list
+        # is materialised per node.
+        if depth == 0:
+            iteration = 0
+        else:
+            iteration = cand_mask.bit_count() + 1
+        mask = cand_mask
+        while mask:
+            if depth == 0:
+                # Descending rank: peel the highest set bit; the j-th vertex
+                # from the top has j later-ranked candidates (remaining).
+                p = mask.bit_length() - 1
+                low = 1 << p
+                mask ^= low
+                iteration += 1
+                remaining = iteration
+            else:
+                low = mask & -mask
+                mask ^= low
+                iteration -= 1
+                remaining = iteration
+                p = low.bit_length() - 1
+            limit = self.best_size + 1
+            if limit < two_k:
+                limit = two_k
+            if size_r + remaining < limit:
+                stats.pruned_by_incumbent += 1
+                if depth == 0:
+                    continue
+                break
+
+            # ---------------- child prologue, inline ---------------- #
+            stats.branches_explored += 1
+            if has_budget:
+                self.check_budget(stats)
+            is_a = is_a_of[p]
+            child_a = count_r_a + is_a
+            child_b = count_r_b + (1 - is_a)
+            if (
+                child_size > self.best_size
+                and child_a >= k
+                and child_b >= k
+                and abs(child_a - child_b) <= delta
+            ):
+                self.best_size = child_size
+                self.best_clique = view.frozenset_of(clique_mask | low)
+                stats.solutions_found += 1
+            new_cand = cand_mask & adj[p] & (-1 << (p + 1))
+            if not new_cand:
+                continue
+            num_candidates = new_cand.bit_count()
+            limit = self.best_size + 1
+            if limit < two_k:
+                limit = two_k
+            if child_size + num_candidates < limit:
+                stats.pruned_by_size += 1
+                continue
+            count_c_a = (new_cand & attr_a).bit_count()
+            count_c_b = num_candidates - count_c_a
+            if child_a + count_c_a < k or child_b + count_c_b < k:
+                stats.pruned_by_attribute_feasibility += 1
+                continue
+            if (
+                child_a > child_b + count_c_b + delta
+                or child_b > child_a + count_c_a + delta
+            ):
+                stats.pruned_by_fairness_gap += 1
+                continue
+            if child_bounded:
+                stats.bound_evaluations += 1
+                if stack_prunes(
+                    view, stack, clique_mask | low, new_cand, k, delta,
+                    max(two_k - 1, self.best_size),
+                ):
+                    stats.pruned_by_bound += 1
+                    continue
+            self._expand(
+                clique_mask | low, child_a, child_b, new_cand,
+                child_depth, child_size,
+            )

@@ -1,0 +1,148 @@
+"""Dense local views of a kernel subset (one search component, typically).
+
+The branch-and-bound explores one connected component at a time with its
+vertices renumbered ``0..m-1`` *in rank order*, so that the ordering filter
+"only add candidates ranked after the newest member" becomes a single
+shift-mask over a component-local bitset.  :class:`SubgraphView` holds that
+local world plus the hooks bounds need: full-graph degrees and tie keys (to
+reproduce the package's greedy coloring exactly) and the original vertex ids
+(to fall back to dict-based bound implementations where no kernel port
+exists).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.kernel.bitops import bits_list
+from repro.kernel.compile import GraphKernel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.graph.attributed_graph import AttributedGraph
+
+
+class SubgraphView:
+    """A kernel subset renumbered to dense local positions.
+
+    ``order`` fixes the local position of every vertex: position ``p`` is the
+    vertex ranked ``p``-th by the caller (the search passes its rank-sorted
+    component).  All masks produced and consumed by the view are over these
+    local positions.
+    """
+
+    __slots__ = (
+        "kernel",
+        "graph",
+        "verts",
+        "global_index",
+        "adj",
+        "attr_a",
+        "attr_a_flags",
+        "degrees_full",
+        "tie_keys",
+        "n",
+        "_color_rank",
+    )
+
+    def __init__(
+        self,
+        kernel: GraphKernel,
+        graph: "AttributedGraph",
+        order: list,
+    ) -> None:
+        self.kernel = kernel
+        self.graph = graph
+        self.verts = list(order)
+        self.n = len(self.verts)
+        index_of = kernel.index_of
+        self.global_index = [index_of[v] for v in self.verts]
+        position_of = {g: p for p, g in enumerate(self.global_index)}
+        adj: list[int] = []
+        for g in self.global_index:
+            mask = 0
+            for neighbor in kernel.neighbors_csr(g):
+                q = position_of.get(neighbor)
+                if q is not None:
+                    mask |= 1 << q
+            adj.append(mask)
+        self.adj = adj
+        attr_a = 0
+        codes = kernel.attr_codes
+        # Byte-array mirror of the attribute mask: probing one vertex's
+        # attribute must be O(1), not an O(words) big-int shift.
+        flags = bytearray(self.n)
+        for p, g in enumerate(self.global_index):
+            if codes[g] == 0:
+                attr_a |= 1 << p
+                flags[p] = 1
+        self.attr_a = attr_a
+        self.attr_a_flags = flags
+        self.degrees_full = tuple(kernel.degrees[g] for g in self.global_index)
+        self.tie_keys = tuple(kernel.tie_keys[g] for g in self.global_index)
+        self._color_rank: list[int] | None = None
+
+    @property
+    def full_mask(self) -> int:
+        """Mask with every local position set."""
+        return (1 << self.n) - 1
+
+    def frozenset_of(self, mask: int) -> frozenset:
+        """Original vertex ids of the local positions in ``mask``."""
+        verts = self.verts
+        return frozenset(verts[p] for p in bits_list(mask))
+
+    def color_rank(self) -> list[int]:
+        """Position of every vertex in the component's coloring total order.
+
+        The greedy coloring processes vertices by ``(-full degree, str(id))``;
+        that order is total, so restricting it to any scope equals sorting the
+        scope by the same key.  Computing the ranks once per component turns
+        every per-instance sort from string-tuple comparisons into plain int
+        comparisons — the coloring happens at every bound evaluation, so this
+        is squarely on the hot path.
+        """
+        if self._color_rank is None:
+            order = sorted(
+                range(self.n),
+                key=lambda p: (-self.degrees_full[p], self.tie_keys[p]),
+            )
+            rank = [0] * self.n
+            for position, p in enumerate(order):
+                rank[p] = position
+            self._color_rank = rank
+        return self._color_rank
+
+    def color_class_masks(self, scope_mask: int) -> list[int]:
+        """Greedy-color ``scope_mask``; return one vertex bitset per color class.
+
+        Reproduces ``greedy_coloring(graph, scope)`` exactly: vertices are
+        processed by non-increasing *full-graph* degree (ties by ``str(id)``)
+        and receive the smallest color unused among in-scope neighbours.  The
+        smallest-free-color rule becomes "first color class with no neighbour
+        in it" — one bitset AND per probed class, instead of walking the
+        neighbourhood bit by bit.
+        """
+        members = bits_list(scope_mask)
+        members.sort(key=self.color_rank().__getitem__)
+        adj = self.adj
+        class_masks: list[int] = []
+        for p in members:
+            neighbors = adj[p]
+            bit_p = 1 << p
+            for color, class_mask in enumerate(class_masks):
+                if not neighbors & class_mask:
+                    class_masks[color] = class_mask | bit_p
+                    break
+            else:
+                class_masks.append(bit_p)
+        return class_masks
+
+    def color_scope(self, scope_mask: int) -> list[int]:
+        """Greedy-color ``scope_mask``; return a local-position-indexed color
+        array with ``-1`` outside the scope (same assignment as
+        :meth:`color_class_masks`)."""
+        colors = [-1] * self.n
+        for color, class_mask in enumerate(self.color_class_masks(scope_mask)):
+            for p in bits_list(class_mask):
+                colors[p] = color
+        return colors

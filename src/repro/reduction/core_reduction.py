@@ -80,13 +80,57 @@ class ReductionResult:
         )
 
 
+def _kernel_core_reduction(
+    graph: AttributedGraph,
+    k: int,
+    coloring: Coloring | None,
+    enhanced: bool,
+) -> ReductionResult:
+    """Kernel fast path shared by the two core reductions.
+
+    Both peels converge to the unique maximal subgraph of their lemma, so the
+    kernel and dict implementations agree on the survivor set.
+    """
+    from repro.kernel import (
+        colorful_k_core_mask,
+        coloring_to_array,
+        enhanced_colorful_k_core_mask,
+        greedy_color_array,
+    )
+
+    kernel = graph.compile()
+    if coloring is None:
+        colors = greedy_color_array(kernel)
+    else:
+        colors = coloring_to_array(kernel, coloring)
+    peel = enhanced_colorful_k_core_mask if enhanced else colorful_k_core_mask
+    survivors = peel(kernel, k - 1, colors)
+    reduced = kernel.materialize(survivors)
+    return ReductionResult(
+        name="EnColorfulCore" if enhanced else "ColorfulCore",
+        graph=reduced,
+        vertices_before=graph.num_vertices,
+        vertices_after=reduced.num_vertices,
+        edges_before=graph.num_edges,
+        edges_after=reduced.num_edges,
+    )
+
+
 def colorful_core_reduction(
     graph: AttributedGraph,
     k: int,
     coloring: Coloring | None = None,
+    *,
+    use_kernel: bool = True,
 ) -> ReductionResult:
-    """Apply the ColorfulCore reduction: keep the colorful ``(k-1)``-core (Lemma 1)."""
+    """Apply the ColorfulCore reduction: keep the colorful ``(k-1)``-core (Lemma 1).
+
+    Runs on the compiled bitset kernel by default; ``use_kernel=False``
+    forces the dict-based reference peel (identical survivors).
+    """
     validate_parameters(k, 0)
+    if use_kernel and graph.num_vertices and len(graph.attribute_values()) == 2:
+        return _kernel_core_reduction(graph, k, coloring, enhanced=False)
     if coloring is None:
         coloring = greedy_coloring(graph)
     survivors = colorful_k_core(graph, k - 1, coloring)
@@ -105,9 +149,17 @@ def enhanced_colorful_core_reduction(
     graph: AttributedGraph,
     k: int,
     coloring: Coloring | None = None,
+    *,
+    use_kernel: bool = True,
 ) -> ReductionResult:
-    """Apply the EnColorfulCore reduction: keep the enhanced colorful ``(k-1)``-core (Lemma 2)."""
+    """Apply the EnColorfulCore reduction: keep the enhanced colorful ``(k-1)``-core (Lemma 2).
+
+    Runs on the compiled bitset kernel by default; ``use_kernel=False``
+    forces the dict-based reference peel (identical survivors).
+    """
     validate_parameters(k, 0)
+    if use_kernel and graph.num_vertices and len(graph.attribute_values()) == 2:
+        return _kernel_core_reduction(graph, k, coloring, enhanced=True)
     if coloring is None:
         coloring = greedy_coloring(graph)
     survivors = enhanced_colorful_k_core(graph, k - 1, coloring)

@@ -161,15 +161,24 @@ def enhanced_colorful_support_reduction(
     graph: AttributedGraph,
     k: int,
     coloring: Coloring | None = None,
+    *,
+    use_kernel: bool = True,
 ) -> ReductionResult:
     """Run the EnColorfulSup edge-peeling reduction (Lemma 4).
 
     Identical peeling skeleton to :func:`colorful_support_reduction` but the
     survival test uses enhanced colorful support, which is never larger than
     the plain colorful support and therefore peels at least as many edges.
+
+    Runs on the compiled bitset kernel by default (identical survivors, much
+    cheaper); ``use_kernel=False`` forces the dict-based reference peel.
     """
     validate_parameters(k, 0)
     attribute_a, attribute_b = validate_binary_attributes(graph)
+    if use_kernel:
+        from repro.reduction.colorful_support import _kernel_support_reduction
+
+        return _kernel_support_reduction(graph, k, coloring, enhanced=True)
     working = graph.copy()
     if coloring is None:
         coloring = greedy_coloring(graph)

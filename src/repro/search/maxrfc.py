@@ -30,6 +30,7 @@ import sys
 import time
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
+from itertools import islice
 
 from repro.bounds.base import BoundStack, make_context
 from repro.cores.kcore import degeneracy
@@ -67,6 +68,12 @@ class MaxRFCConfig:
         pruning, ``0`` disables bound evaluation entirely.
     ordering:
         Vertex-ordering strategy (CalColorOD by default).
+    use_kernel:
+        Branch over the compiled bitset/CSR kernel (:mod:`repro.kernel`)
+        instead of the dict adjacency.  Result-identical to the dict path —
+        same clique, same statistics counters — but candidate narrowing and
+        fairness accounting collapse to integer bit arithmetic.  Disable
+        only to measure the pre-kernel baseline.
     time_limit:
         Wall-clock budget in seconds (``None`` = unlimited).  When exceeded the
         search stops and the result is flagged non-optimal.
@@ -80,6 +87,7 @@ class MaxRFCConfig:
     use_heuristic: bool = False
     bound_depth: int = 2
     ordering: OrderingStrategy = OrderingStrategy.COLORFUL_CORE
+    use_kernel: bool = True
     time_limit: float | None = None
     branch_limit: int | None = None
     algorithm_name: str = field(default="MaxRFC")
@@ -94,6 +102,9 @@ class MaxRFC:
 
     def __init__(self, config: MaxRFCConfig | None = None) -> None:
         self.config = config or MaxRFCConfig()
+        # Mirrors the best clique recorded during an in-flight search so a
+        # time/branch budget abort can still return it (see solve()).
+        self._incumbent: frozenset = frozenset()
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -132,7 +143,7 @@ class MaxRFC:
         if config.use_reduction:
             if reduction is None:
                 started = time.monotonic()
-                pipeline = ReductionPipeline(config.reduction_stages)
+                pipeline = ReductionPipeline(config.reduction_stages, use_kernel=config.use_kernel)
                 reduction = pipeline.run(graph, k)
                 stats.reduction_seconds = time.monotonic() - started
             stats.extra["reduction"] = [stage.summary() for stage in reduction.stages]
@@ -146,10 +157,14 @@ class MaxRFC:
 
         started = time.monotonic()
         timed_out = False
+        # Any clique recorded mid-search is mirrored here so a time/branch
+        # budget abort keeps the best incumbent found, not just the seed.
+        self._incumbent = best
         try:
             best = self._search_components(working, k, delta, best, stats, deadline)
         except _TimeBudgetExceeded:
             timed_out = True
+            best = self._incumbent
         stats.search_seconds = time.monotonic() - started
         stats.timed_out = timed_out
 
@@ -185,13 +200,24 @@ class MaxRFC:
         minimum_size = 2 * k
         # Recursion can go as deep as the largest clique; give it headroom.
         sys.setrecursionlimit(max(sys.getrecursionlimit(), graph.num_vertices + 1000))
+        use_kernel = self.config.use_kernel
+        kernel = graph.compile() if (use_kernel and graph.num_vertices) else None
+        if kernel is not None:
+            return self._search_components_kernel(
+                graph, kernel, k, delta, best, stats, deadline, minimum_size
+            )
         # Search the most promising components first (highest degeneracy — the
         # only place a big clique can hide), so the incumbent grows early and
-        # the remaining components are pruned cheaply.
+        # the remaining components are pruned cheaply.  Ties break on the
+        # smallest member id so the visit order (and therefore the reported
+        # optimum among equally-sized cliques) never depends on the insertion
+        # order of the graph being searched.
         components = sorted(
             connected_components(graph),
-            key=lambda component: degeneracy(graph, component),
-            reverse=True,
+            key=lambda component: (
+                -degeneracy(graph, component),
+                min(map(str, component)),
+            ),
         )
         for component in components:
             if len(component) < minimum_size or len(component) <= len(best):
@@ -202,9 +228,80 @@ class MaxRFC:
             rank = compute_ordering(graph, component, self.config.ordering)
             ordered = sorted(component, key=lambda v: rank[v])
             best = self._branch(
-                graph, frozenset(), ordered, k, delta,
+                graph, frozenset(), ordered, 0, 0, k, delta,
                 attribute_a, attribute_b, best, stats, deadline, depth=0,
             )
+        return best
+
+    def _search_components_kernel(
+        self,
+        graph: AttributedGraph,
+        kernel,
+        k: int,
+        delta: int,
+        best: frozenset,
+        stats: SearchStats,
+        deadline: float | None,
+        minimum_size: int,
+    ) -> frozenset:
+        """Kernel fast path of the component loop (same visit order, same prunes).
+
+        Component discovery rides the adjacency bitsets, the degeneracy sort
+        reads the kernel's (canonical, per-component) core numbers, and the
+        per-attribute feasibility filter is an AND + popcount per component.
+        """
+        from repro.kernel.bitops import bits_list
+        from repro.kernel.cores import colorful_core_order
+        from repro.kernel.search import KernelBranchAndBound
+        from repro.kernel.view import SubgraphView
+
+        cores = kernel.core_numbers()
+        tie_keys = kernel.tie_keys
+        entries = []
+        for mask in kernel.component_masks():
+            members = bits_list(mask)
+            entries.append((
+                -max(cores[index] for index in members),
+                min(tie_keys[index] for index in members),
+                mask,
+                members,
+            ))
+        entries.sort(key=lambda entry: entry[:2])
+        attr_a_mask = kernel.attr_masks[0] if kernel.attr_masks else 0
+        has_budget = deadline is not None or self.config.branch_limit is not None
+        use_color_order = self.config.ordering is OrderingStrategy.COLORFUL_CORE
+        for _, _, mask, members in entries:
+            size = len(members)
+            if size < minimum_size or size <= len(best):
+                continue
+            count_a = (mask & attr_a_mask).bit_count()
+            if count_a < k or size - count_a < k:
+                continue
+            if use_color_order:
+                ordered = colorful_core_order(kernel, mask)
+            else:
+                component = [kernel.vertex_of[index] for index in members]
+                rank = compute_ordering(graph, component, self.config.ordering)
+                ordered = sorted(component, key=lambda v: rank[v])
+            searcher = KernelBranchAndBound(
+                view=SubgraphView(kernel, graph, ordered),
+                k=k,
+                delta=delta,
+                stats=stats,
+                bound_stack=self.config.bound_stack,
+                bound_depth=self.config.bound_depth,
+                check_budget=lambda s: self._check_budget(s, deadline),
+                best_size=len(best),
+                best_clique=best,
+                has_budget=has_budget,
+            )
+            try:
+                _, best = searcher.run()
+            finally:
+                # On a budget abort the searcher still holds the best clique
+                # it had found; mirror it so solve() can return it.
+                best = searcher.best_clique
+                self._incumbent = best
         return best
 
     def _check_budget(self, stats: SearchStats, deadline: float | None) -> None:
@@ -222,6 +319,8 @@ class MaxRFC:
         graph: AttributedGraph,
         clique: frozenset,
         candidates: list[Vertex],
+        count_r_a: int,
+        count_r_b: int,
         k: int,
         delta: int,
         attribute_a: str,
@@ -231,12 +330,16 @@ class MaxRFC:
         deadline: float | None,
         depth: int,
     ) -> frozenset:
-        """Recursive branch step: ``clique`` is R, ``candidates`` is C sorted by rank."""
+        """Recursive branch step: ``clique`` is R, ``candidates`` is C sorted by rank.
+
+        The attribute counts of R are threaded through the recursion instead
+        of being recounted per branch (the recount was an O(|R|) scan at every
+        node).  This is the pre-kernel fallback path — the kernel search in
+        :mod:`repro.kernel.search` replays exactly this decision procedure on
+        bitsets and is the default.
+        """
         stats.branches_explored += 1
         self._check_budget(stats, deadline)
-
-        count_r_a = sum(1 for v in clique if graph.attribute(v) == attribute_a)
-        count_r_b = len(clique) - count_r_a
 
         # R itself is always a clique; record it whenever it is fair and larger.
         if (
@@ -246,6 +349,7 @@ class MaxRFC:
             and abs(count_r_a - count_r_b) <= delta
         ):
             best = clique
+            self._incumbent = best
             stats.solutions_found += 1
 
         if not candidates:
@@ -290,10 +394,15 @@ class MaxRFC:
                 if depth == 0:
                     continue
                 break
-            neighbors = graph.neighbors(vertex)
-            new_candidates = [v for v in candidates[index + 1:] if v in neighbors]
+            # One membership probe per suffix candidate against the (hoisted)
+            # neighbour set; islice avoids materialising a fresh suffix copy
+            # at every branch node.
+            contains = graph.neighbors(vertex).__contains__
+            new_candidates = list(filter(contains, islice(candidates, index + 1, None)))
+            vertex_is_a = graph.attribute(vertex) == attribute_a
             best = self._branch(
-                graph, clique | {vertex}, new_candidates, k, delta,
+                graph, clique | {vertex}, new_candidates,
+                count_r_a + vertex_is_a, count_r_b + (not vertex_is_a), k, delta,
                 attribute_a, attribute_b, best, stats, deadline, depth + 1,
             )
         return best
@@ -308,6 +417,7 @@ def build_search_config(
     branch_limit: int | None = None,
     bound_depth: int = 2,
     reduction_stages: Sequence[str] = DEFAULT_STAGES,
+    use_kernel: bool = True,
 ) -> MaxRFCConfig:
     """Build a :class:`MaxRFCConfig` from user-facing options.
 
@@ -330,6 +440,7 @@ def build_search_config(
         ordering=ordering,
         branch_limit=branch_limit,
         bound_depth=bound_depth,
+        use_kernel=use_kernel,
         algorithm_name="MaxRFC" if bound_stack is None else "MaxRFC+ub",
     )
     if use_heuristic and bound_stack is not None:

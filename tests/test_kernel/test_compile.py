@@ -1,0 +1,192 @@
+"""Structural tests for the compiled kernel: CSR/bitset consistency,
+index <-> id round-tripping, the freeze/compile cache, and materialisation."""
+
+from __future__ import annotations
+
+import pickle
+import random
+
+import pytest
+
+from repro.graph.attributed_graph import AttributedGraph
+from repro.graph.builders import from_edge_list, paper_example_graph
+from repro.graph.generators import community_graph, erdos_renyi_graph
+from repro.kernel import (
+    bits_list,
+    compile_kernel,
+    iter_bits,
+    mask_above,
+    mask_from_indices,
+)
+
+
+def random_graphs():
+    """A small zoo of deterministic random graphs for property tests."""
+    graphs = [paper_example_graph()]
+    for seed in range(5):
+        graphs.append(erdos_renyi_graph(30, 0.3, seed=seed))
+    graphs.append(community_graph(3, 8, intra_probability=0.8, inter_edges=2, seed=11))
+    graphs.append(from_edge_list([("x", "y"), ("y", 3)], {"x": "a", "y": "b", 3: "a"}))
+    return graphs
+
+
+class TestBitops:
+    def test_iter_bits_round_trip(self):
+        rng = random.Random(7)
+        for _ in range(50):
+            indices = sorted(rng.sample(range(200), rng.randint(0, 40)))
+            mask = mask_from_indices(indices)
+            assert bits_list(mask) == indices
+            assert list(iter_bits(mask)) == indices
+            assert mask.bit_count() == len(indices)
+
+    def test_mask_above(self):
+        mask = mask_from_indices([0, 3, 5, 9])
+        assert bits_list(mask & mask_above(3)) == [5, 9]
+        assert bits_list(mask & mask_above(9)) == []
+        assert bits_list(mask & mask_above(-1)) == [0, 3, 5, 9]
+
+
+class TestCompile:
+    @pytest.mark.parametrize("graph_index", range(8))
+    def test_csr_bitset_consistency(self, graph_index):
+        graph = random_graphs()[graph_index]
+        kernel = compile_kernel(graph)
+        assert kernel.n == graph.num_vertices
+        assert kernel.num_edges == graph.num_edges
+        for index in range(kernel.n):
+            csr = kernel.neighbors_csr(index)
+            # CSR slice sorted + duplicate-free, bitset agrees exactly.
+            assert csr == sorted(set(csr))
+            assert bits_list(kernel.adj_bits[index]) == csr
+            assert kernel.degrees[index] == len(csr)
+            # No self loops in either representation.
+            assert index not in csr
+
+    @pytest.mark.parametrize("graph_index", range(8))
+    def test_index_id_round_trip(self, graph_index):
+        graph = random_graphs()[graph_index]
+        kernel = compile_kernel(graph)
+        for vertex in graph.vertices():
+            index = kernel.index_of[vertex]
+            assert kernel.vertex_of[index] == vertex
+            assert kernel.attribute_of(index) == graph.attribute(vertex)
+        # Every index maps back to a unique vertex.
+        assert len(set(kernel.vertex_of)) == kernel.n
+        # Mask translation round-trips arbitrary subsets.
+        rng = random.Random(graph_index)
+        vertices = list(graph.vertices())
+        for _ in range(5):
+            subset = frozenset(rng.sample(vertices, rng.randint(0, len(vertices))))
+            assert kernel.frozenset_of_mask(kernel.mask_of(subset)) == subset
+
+    @pytest.mark.parametrize("graph_index", range(8))
+    def test_adjacency_matches_graph(self, graph_index):
+        graph = random_graphs()[graph_index]
+        kernel = compile_kernel(graph)
+        for u in graph.vertices():
+            expected = {kernel.index_of[v] for v in graph.neighbors(u)}
+            assert set(bits_list(kernel.adj_bits[kernel.index_of[u]])) == expected
+
+    @pytest.mark.parametrize("graph_index", range(8))
+    def test_attribute_masks_partition_vertices(self, graph_index):
+        graph = random_graphs()[graph_index]
+        kernel = compile_kernel(graph)
+        union = 0
+        for code, mask in enumerate(kernel.attr_masks):
+            assert union & mask == 0  # masks are disjoint
+            union |= mask
+            for index in bits_list(mask):
+                assert kernel.attr_codes[index] == code
+        assert union == kernel.full_mask
+
+    def test_degeneracy_order_is_a_permutation(self):
+        graph = erdos_renyi_graph(40, 0.25, seed=3)
+        kernel = compile_kernel(graph)
+        order = kernel.degeneracy_order()
+        assert sorted(order) == list(range(kernel.n))
+        from repro.cores.kcore import core_numbers
+
+        expected = core_numbers(graph)
+        got = kernel.core_numbers()
+        assert {v: got[kernel.index_of[v]] for v in graph.vertices()} == expected
+        assert kernel.degeneracy() == max(expected.values(), default=0)
+
+
+class TestFreezeBoundary:
+    def test_compile_is_cached_until_mutation(self):
+        graph = paper_example_graph()
+        kernel = graph.compile()
+        assert graph.compile() is kernel
+        assert graph.freeze() is kernel
+        graph.add_vertex("new", "a")
+        recompiled = graph.compile()
+        assert recompiled is not kernel
+        assert recompiled.n == kernel.n + 1
+
+    def test_every_mutation_invalidates(self):
+        graph = from_edge_list([(1, 2), (2, 3)], {1: "a", 2: "b", 3: "a"})
+        snapshots = [graph.compile()]
+        graph.add_vertex(4, "b")
+        snapshots.append(graph.compile())
+        graph.add_edge(3, 4)
+        snapshots.append(graph.compile())
+        graph.remove_edge(1, 2)
+        snapshots.append(graph.compile())
+        graph.remove_vertex(2)
+        snapshots.append(graph.compile())
+        assert len({id(s) for s in snapshots}) == len(snapshots)
+
+    def test_frozen_kernel_does_not_track_source(self):
+        graph = paper_example_graph()
+        kernel = graph.compile()
+        n_before = kernel.n
+        graph.add_vertex("later", "b")
+        assert kernel.n == n_before  # the old snapshot is immutable
+
+    def test_pickle_drops_kernel_cache(self):
+        graph = paper_example_graph()
+        graph.compile()
+        clone = pickle.loads(pickle.dumps(graph))
+        assert clone.num_vertices == graph.num_vertices
+        assert clone.num_edges == graph.num_edges
+        # And the clone can compile its own kernel from scratch.
+        assert clone.compile().n == graph.compile().n
+
+
+class TestMaterialize:
+    @pytest.mark.parametrize("graph_index", range(8))
+    def test_full_round_trip(self, graph_index):
+        graph = random_graphs()[graph_index]
+        back = compile_kernel(graph).materialize()
+        assert back.num_vertices == graph.num_vertices
+        assert back.num_edges == graph.num_edges
+        for vertex in graph.vertices():
+            assert back.attribute(vertex) == graph.attribute(vertex)
+            assert set(back.neighbors(vertex)) == set(graph.neighbors(vertex))
+            assert back.label(vertex) == graph.label(vertex)
+
+    def test_masked_round_trip_matches_subgraph(self):
+        graph = erdos_renyi_graph(25, 0.35, seed=9)
+        kernel = compile_kernel(graph)
+        rng = random.Random(1)
+        vertices = list(graph.vertices())
+        for _ in range(5):
+            keep = rng.sample(vertices, 12)
+            via_kernel = kernel.materialize(kernel.mask_of(keep))
+            via_graph = graph.subgraph(keep)
+            assert set(via_kernel.vertices()) == set(via_graph.vertices())
+            assert via_kernel.num_edges == via_graph.num_edges
+            for vertex in keep:
+                assert set(via_kernel.neighbors(vertex)) == set(via_graph.neighbors(vertex))
+
+    def test_labels_survive_compilation(self):
+        graph = AttributedGraph()
+        graph.add_vertex(1, "a", label="Alice")
+        graph.add_vertex(2, "b", label="Bob")
+        graph.add_vertex(3, "a")
+        graph.add_edge(1, 2)
+        back = graph.compile().materialize()
+        assert back.label(1) == "Alice"
+        assert back.label(2) == "Bob"
+        assert back.label(3) == "3"

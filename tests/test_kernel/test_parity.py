@@ -1,0 +1,247 @@
+"""Kernel <-> dict parity: the compiled-kernel fast paths must be
+result-identical to the reference implementations they replaced.
+
+The suite randomises over graphs and parameters and asserts *exact*
+agreement — same cliques (not just sizes), same statistics counters, same
+reduction survivors, same bound values, same maximal-clique sets — across
+all four fairness models (relative / weak / strong / multi_weak)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.api import FairCliqueQuery, solve
+from repro.baselines.bron_kerbosch import (
+    enumerate_maximal_cliques,
+    enumerate_maximal_cliques_reference,
+)
+from repro.bounds.base import make_context
+from repro.bounds.stacks import get_stack, stack_names
+from repro.coloring.greedy import greedy_coloring
+from repro.graph.generators import community_graph, erdos_renyi_graph
+from repro.heuristic.greedy_core import (
+    greedy_grow_clique,
+    greedy_grow_clique_reference,
+)
+from repro.heuristic.heur_rfc import HeurRFC
+from repro.kernel import SubgraphView, array_to_coloring, greedy_color_array
+from repro.kernel.bounds import stack_evaluate
+from repro.reduction.colorful_support import colorful_support_reduction
+from repro.reduction.core_reduction import (
+    colorful_core_reduction,
+    enhanced_colorful_core_reduction,
+)
+from repro.reduction.enhanced_support import enhanced_colorful_support_reduction
+from repro.search.maxrfc import MaxRFC, assert_valid_result, build_search_config
+
+
+def graph_grid():
+    """Deterministic random graphs exercised by every parity family."""
+    graphs = []
+    for seed in range(4):
+        graphs.append(erdos_renyi_graph(35, 0.3, seed=seed))
+    graphs.append(community_graph(3, 10, intra_probability=0.8, inter_edges=2, seed=5))
+    graphs.append(erdos_renyi_graph(24, 0.5, seed=9))
+    return graphs
+
+
+def graph_signature(graph):
+    return (
+        sorted(map(str, graph.vertices())),
+        sorted(sorted(map(str, edge)) for edge in graph.edges()),
+        {str(v): graph.attribute(v) for v in graph.vertices()},
+    )
+
+
+class TestColoringParity:
+    @pytest.mark.parametrize("graph_index", range(6))
+    def test_full_graph_coloring_identical(self, graph_index):
+        graph = graph_grid()[graph_index]
+        kernel = graph.compile()
+        assert array_to_coloring(kernel, greedy_color_array(kernel)) == greedy_coloring(graph)
+
+    def test_scoped_coloring_identical(self):
+        graph = erdos_renyi_graph(30, 0.4, seed=2)
+        kernel = graph.compile()
+        rng = random.Random(0)
+        vertices = list(graph.vertices())
+        for _ in range(8):
+            scope = rng.sample(vertices, rng.randint(1, len(vertices)))
+            expected = greedy_coloring(graph, scope)
+            got = array_to_coloring(kernel, greedy_color_array(kernel, kernel.mask_of(scope)))
+            assert got == expected
+
+
+class TestSearchParity:
+    @pytest.mark.parametrize("graph_index", range(6))
+    @pytest.mark.parametrize("k,delta", [(2, 0), (2, 1), (3, 1), (3, 2)])
+    def test_relative_model_identical_clique_and_stats(self, graph_index, k, delta):
+        graph = graph_grid()[graph_index]
+        kernel_result = MaxRFC(build_search_config(use_kernel=True)).solve(graph, k, delta)
+        dict_result = MaxRFC(build_search_config(use_kernel=False)).solve(graph, k, delta)
+        assert kernel_result.clique == dict_result.clique
+        for field in (
+            "branches_explored",
+            "solutions_found",
+            "pruned_by_size",
+            "pruned_by_attribute_feasibility",
+            "pruned_by_fairness_gap",
+            "pruned_by_bound",
+            "pruned_by_incumbent",
+            "bound_evaluations",
+        ):
+            assert getattr(kernel_result.stats, field) == getattr(dict_result.stats, field), field
+        assert_valid_result(graph, kernel_result)
+
+    @pytest.mark.parametrize("graph_index", range(4))
+    @pytest.mark.parametrize("model", ["relative", "weak", "strong"])
+    def test_binary_models_through_the_api(self, graph_index, model):
+        graph = graph_grid()[graph_index]
+        delta = 1 if model == "relative" else None
+        with_kernel = solve(
+            graph,
+            FairCliqueQuery(model=model, k=2, delta=delta, options={"use_kernel": True}),
+        )
+        without_kernel = solve(
+            graph,
+            FairCliqueQuery(model=model, k=2, delta=delta, options={"use_kernel": False}),
+        )
+        assert with_kernel.clique == without_kernel.clique
+        assert with_kernel.size == without_kernel.size
+
+    @pytest.mark.parametrize("graph_index", range(3))
+    def test_multi_weak_model_against_brute_force(self, graph_index):
+        # The multi-attribute solver does not branch over the kernel (yet);
+        # pin its results against the independent brute-force oracle so the
+        # four-model parity claim stays verified end to end.
+        graph = graph_grid()[graph_index]
+        exact = solve(graph, FairCliqueQuery(model="multi_weak", k=2))
+        brute = solve(graph, FairCliqueQuery(model="multi_weak", k=2, engine="brute_force"))
+        assert exact.size == brute.size
+
+    @pytest.mark.parametrize("stack_name", sorted(stack_names()))
+    def test_every_bound_stack_config_is_parity_safe(self, stack_name):
+        # ubAD runs fully on the kernel; the ablation stacks exercise the
+        # dict fallback inside the kernel search.
+        graph = erdos_renyi_graph(30, 0.4, seed=6)
+        kernel_result = MaxRFC(
+            build_search_config(bound_stack=stack_name, use_kernel=True)
+        ).solve(graph, 2, 1)
+        dict_result = MaxRFC(
+            build_search_config(bound_stack=stack_name, use_kernel=False)
+        ).solve(graph, 2, 1)
+        assert kernel_result.clique == dict_result.clique
+        assert kernel_result.stats.pruned_by_bound == dict_result.stats.pruned_by_bound
+
+    @pytest.mark.parametrize("use_kernel", [True, False])
+    def test_budget_abort_keeps_incumbent(self, use_kernel):
+        # A branch-limit abort must return the best clique found so far, not
+        # discard it (regression: the abort exception used to unwind past the
+        # incumbent).
+        graph = community_graph(6, 60, intra_probability=0.4, inter_edges=3, seed=8)
+        from repro.search.maxrfc import MaxRFC, MaxRFCConfig
+
+        config = MaxRFCConfig(use_heuristic=False, branch_limit=200, use_kernel=use_kernel)
+        result = MaxRFC(config).solve(graph, 2, 1)
+        assert not result.optimal
+        if result.stats.solutions_found:
+            assert result.found
+            assert graph.is_clique(result.clique)
+
+    def test_no_reduction_no_heuristic_still_parity(self):
+        graph = community_graph(2, 9, intra_probability=0.85, inter_edges=1, seed=8)
+        for use_heuristic in (False, True):
+            kernel_result = MaxRFC(
+                build_search_config(
+                    bound_stack=None, use_reduction=False,
+                    use_heuristic=use_heuristic, use_kernel=True,
+                )
+            ).solve(graph, 2, 1)
+            dict_result = MaxRFC(
+                build_search_config(
+                    bound_stack=None, use_reduction=False,
+                    use_heuristic=use_heuristic, use_kernel=False,
+                )
+            ).solve(graph, 2, 1)
+            assert kernel_result.clique == dict_result.clique
+            assert (
+                kernel_result.stats.branches_explored
+                == dict_result.stats.branches_explored
+            )
+
+
+class TestReductionParity:
+    STAGES = [
+        colorful_core_reduction,
+        enhanced_colorful_core_reduction,
+        colorful_support_reduction,
+        enhanced_colorful_support_reduction,
+    ]
+
+    @pytest.mark.parametrize("graph_index", range(6))
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    def test_identical_survivors(self, graph_index, k):
+        graph = graph_grid()[graph_index]
+        for stage in self.STAGES:
+            via_kernel = stage(graph, k)
+            via_dict = stage(graph, k, use_kernel=False)
+            assert graph_signature(via_kernel.graph) == graph_signature(via_dict.graph), stage
+            assert via_kernel.vertices_after == via_dict.vertices_after
+            assert via_kernel.edges_after == via_dict.edges_after
+            assert via_kernel.extra.get("edges_peeled") == via_dict.extra.get("edges_peeled")
+
+
+class TestBoundParity:
+    def test_stack_values_identical_on_random_instances(self):
+        graph = erdos_renyi_graph(28, 0.45, seed=4)
+        kernel = graph.compile()
+        order = sorted(graph.vertices(), key=str)
+        view = SubgraphView(kernel, graph, order)
+        position_of = {v: p for p, v in enumerate(order)}
+        rng = random.Random(3)
+        stacks = [get_stack(name) for name in sorted(stack_names())]
+        for _ in range(6):
+            scope = rng.sample(order, rng.randint(4, len(order)))
+            split = rng.randint(0, min(2, len(scope)))
+            clique, candidates = scope[:split], scope[split:]
+            clique_mask = sum(1 << position_of[v] for v in clique)
+            cand_mask = sum(1 << position_of[v] for v in candidates)
+            for stack in stacks:
+                expected = stack.evaluate(make_context(graph, clique, candidates, 2, 1))
+                got = stack_evaluate(view, stack, clique_mask, cand_mask, 2, 1)
+                assert got == expected, stack.names
+
+
+class TestCliqueEnumerationParity:
+    @pytest.mark.parametrize("graph_index", range(6))
+    def test_same_maximal_clique_set(self, graph_index):
+        graph = graph_grid()[graph_index]
+        via_kernel = set(enumerate_maximal_cliques(graph))
+        via_sets = set(enumerate_maximal_cliques_reference(graph))
+        assert via_kernel == via_sets
+
+    def test_scoped_enumeration_matches(self):
+        graph = erdos_renyi_graph(26, 0.5, seed=7)
+        vertices = list(graph.vertices())[:15]
+        via_kernel = set(enumerate_maximal_cliques(graph, vertices))
+        via_sets = set(enumerate_maximal_cliques_reference(graph, vertices))
+        assert via_kernel == via_sets
+
+
+class TestHeuristicParity:
+    @pytest.mark.parametrize("graph_index", range(6))
+    def test_growth_loop_identical(self, graph_index):
+        graph = graph_grid()[graph_index]
+        for start in sorted(graph.vertices(), key=str)[:6]:
+            grown = greedy_grow_clique(graph, start, 2, 1, graph.degree)
+            reference = greedy_grow_clique_reference(graph, start, 2, 1, graph.degree)
+            assert grown == reference
+
+    @pytest.mark.parametrize("graph_index", range(3))
+    def test_heur_rfc_returns_valid_fair_cliques(self, graph_index):
+        graph = graph_grid()[graph_index]
+        result = HeurRFC().solve(graph, 2, 1)
+        if result.found:
+            assert graph.is_clique(result.clique)
