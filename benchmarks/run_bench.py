@@ -1,31 +1,47 @@
 #!/usr/bin/env python3
-"""Kernel perf benchmark — the machine-readable perf trajectory of the repo.
+"""Perf benchmarks — the machine-readable perf trajectory of the repo.
 
-Runs a fixed seed-graph grid (n ≈ 2000 generated stand-ins) through the three
-kernel hot paths — MaxRFC search, the reduction pipeline, and the ``ubAD``
-bound stack — once on the compiled bitset kernel and once on the pre-kernel
-dict path, and writes median wall-clock numbers plus speedups to
-``benchmarks/results/BENCH_kernel.json``.  Every search cell also asserts
-kernel/dict *result parity* (same clique, same branch counters), so a bench
-run doubles as an end-to-end parity check on the exact grid it times.
+Two suites share this driver:
+
+* ``--suite kernel`` (default) runs a fixed seed-graph grid (n ≈ 2000
+  generated stand-ins) through the three kernel hot paths — MaxRFC search,
+  the reduction pipeline, and the ``ubAD`` bound stack — once on the
+  compiled bitset kernel and once on the pre-kernel dict path, and writes
+  median wall-clock numbers plus speedups to
+  ``benchmarks/results/BENCH_kernel.json``.
+* ``--suite parallel`` runs a multi-component grid through the serial
+  kernel search and the component-sharded parallel executor
+  (``--workers N``), and writes serial/parallel wall-clock, speedups, and
+  shard telemetry to ``benchmarks/results/BENCH_parallel.json``.
+
+Every search cell asserts *result parity* (kernel vs dict: same clique and
+branch counters; serial vs parallel: same optimal size and a verified fair
+clique), so a bench run doubles as an end-to-end parity check on the exact
+grid it times.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/run_bench.py              # full grid
-    PYTHONPATH=src python benchmarks/run_bench.py --smoke      # CI-sized grid
+    PYTHONPATH=src python benchmarks/run_bench.py                    # kernel grid
+    PYTHONPATH=src python benchmarks/run_bench.py --suite parallel   # parallel grid
     PYTHONPATH=src python benchmarks/run_bench.py --smoke \
-        --check benchmarks/results/BENCH_smoke_baseline.json   # perf gate
+        --check benchmarks/results/BENCH_smoke_baseline.json         # perf gate
+    PYTHONPATH=src python benchmarks/run_bench.py --suite parallel --smoke \
+        --workers 2 \
+        --check benchmarks/results/BENCH_parallel_smoke_baseline.json
 
-``--check`` compares the freshly measured median *search speedup* (kernel vs
-dict on the same machine, so the gate is hardware-independent) against the
-checked-in baseline and fails when it has regressed by more than the
-tolerance factor (default 2x).
+``--check`` compares the freshly measured median speedup (a same-machine
+ratio — kernel vs dict, or parallel vs serial — so the gate is
+hardware-independent) against the checked-in baseline and fails when it has
+regressed by more than the tolerance factor (default 2x).  Note the parallel
+speedup is also bounded by the runner's core count; ``cpu_count`` is
+recorded in the report so single-core numbers read as what they are.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import statistics
 import sys
@@ -42,11 +58,19 @@ from repro.graph.generators import (
 )
 from repro.kernel.bounds import stack_evaluate
 from repro.kernel.view import SubgraphView
+from repro.parallel import ParallelConfig, ParallelMaxRFC
 from repro.reduction.pipeline import ReductionPipeline
 from repro.search.maxrfc import MaxRFC, build_search_config
+from repro.search.verification import is_relative_fair_clique
 
 RESULTS_DIR = Path(__file__).parent / "results"
 SCHEMA = "bench_kernel/v1"
+PARALLEL_SCHEMA = "bench_parallel/v1"
+#: schema -> the medians key the --check gate compares.
+CHECK_KEYS = {
+    SCHEMA: "search_speedup",
+    PARALLEL_SCHEMA: "parallel_speedup",
+}
 
 
 def full_grid():
@@ -76,6 +100,43 @@ def smoke_grid():
                                            blob_size=40, edge_probability=0.5,
                                            seed=3), 2, 1),
         ("powerlaw", powerlaw_cluster_graph(500, 8, 0.6, seed=4), 2, 1),
+    ]
+
+
+def parallel_full_grid():
+    """The multi-component n≈2000 grid for the parallel executor.
+
+    Disconnected quasi-clique blobs give the executor what it shards best —
+    many independent dense components that branch hard — plus one
+    single-component cell that exercises the one-branch-level split path.
+    """
+    empty = erdos_renyi_graph(0, 0.0)
+    return [
+        ("blobs-10x200-p33", quasi_clique_blobs(empty, num_blobs=10, blob_size=200,
+                                                edge_probability=0.33, seed=7), 2, 1),
+        ("blobs-10x200-p36", quasi_clique_blobs(empty, num_blobs=10, blob_size=200,
+                                                edge_probability=0.36, seed=7), 2, 1),
+        ("blobs-10x200-p40", quasi_clique_blobs(empty, num_blobs=10, blob_size=200,
+                                                edge_probability=0.40, seed=7), 2, 1),
+        ("blobs-8x250-k3", quasi_clique_blobs(empty, num_blobs=8, blob_size=250,
+                                              edge_probability=0.33, seed=13), 3, 1),
+        ("blobs-4x500-k3", quasi_clique_blobs(empty, num_blobs=4, blob_size=500,
+                                              edge_probability=0.25, seed=19), 3, 1),
+        ("one-blob-400-split", quasi_clique_blobs(empty, num_blobs=1, blob_size=400,
+                                                  edge_probability=0.40, seed=17), 2, 1),
+    ]
+
+
+def parallel_smoke_grid():
+    """A seconds-sized multi-component grid for the CI parallel perf gate."""
+    empty = erdos_renyi_graph(0, 0.0)
+    return [
+        ("blobs-4x60", quasi_clique_blobs(empty, num_blobs=4, blob_size=60,
+                                          edge_probability=0.55, seed=3), 2, 1),
+        ("blobs-6x80", quasi_clique_blobs(empty, num_blobs=6, blob_size=80,
+                                          edge_probability=0.50, seed=5), 2, 1),
+        ("one-blob-150-split", quasi_clique_blobs(empty, num_blobs=1, blob_size=150,
+                                                  edge_probability=0.45, seed=9), 2, 1),
     ]
 
 
@@ -168,6 +229,84 @@ def bench_bounds(graph, k, delta, repeats):
     }
 
 
+def bench_parallel(graph, k, delta, repeats, workers):
+    """Median search seconds serial vs parallel + exact result parity.
+
+    The comparison is search-phase wall-clock: reduction and heuristic run
+    once in the coordinator on both paths and are charged identically.
+    Parity is exact on the *result* — identical optimal size and a verified
+    relative fair clique — rather than on the specific clique, which is
+    legitimately worker-order dependent among equals.
+    """
+    serial_samples = []
+    for _ in range(repeats):
+        serial = MaxRFC(build_search_config()).solve(graph, k, delta)
+        serial_samples.append(serial.stats.search_seconds)
+    parallel_samples = []
+    for _ in range(repeats):
+        parallel = ParallelMaxRFC(
+            build_search_config(), ParallelConfig(workers=workers)
+        ).solve(graph, k, delta)
+        parallel_samples.append(parallel.stats.search_seconds)
+    if not (serial.optimal and parallel.optimal):
+        raise AssertionError("parallel bench cell hit a budget: sizes not comparable")
+    if serial.size != parallel.size:
+        raise AssertionError(
+            f"serial/parallel parity violated: {serial.size} != {parallel.size}"
+        )
+    if parallel.size and not is_relative_fair_clique(
+        graph, parallel.clique, k, delta
+    ):
+        raise AssertionError("parallel search returned an invalid fair clique")
+    telemetry = parallel.stats.extra.get("parallel", {})
+    return {
+        "serial_s": median_of(serial_samples),
+        "parallel_s": median_of(parallel_samples),
+        "speedup": median_of(serial_samples) / max(median_of(parallel_samples), 1e-9),
+        "clique_size": parallel.size,
+        "shards": telemetry.get("shards", 0),
+        "components_searched": telemetry.get("components_searched", 0),
+        "components_split": telemetry.get("components_split", 0),
+        "incumbent_channel": telemetry.get("incumbent_channel", False),
+    }
+
+
+def run_parallel(mode: str, repeats: int, workers: int) -> dict:
+    grid = parallel_smoke_grid() if mode == "smoke" else parallel_full_grid()
+    cells = []
+    for name, graph, k, delta in grid:
+        print(f"[bench] {name}: n={graph.num_vertices} m={graph.num_edges} "
+              f"k={k} delta={delta} workers={workers}", flush=True)
+        cell = {
+            "name": name,
+            "n": graph.num_vertices,
+            "m": graph.num_edges,
+            "k": k,
+            "delta": delta,
+            **bench_parallel(graph, k, delta, repeats, workers),
+        }
+        print(f"        serial {cell['serial_s']:.3f}s  "
+              f"parallel {cell['parallel_s']:.3f}s  x{cell['speedup']:.2f}  "
+              f"shards={cell['shards']}", flush=True)
+        cells.append(cell)
+    medians = {
+        "serial_s": median_of([cell["serial_s"] for cell in cells]),
+        "parallel_s": median_of([cell["parallel_s"] for cell in cells]),
+        "parallel_speedup": median_of([cell["speedup"] for cell in cells]),
+    }
+    return {
+        "schema": PARALLEL_SCHEMA,
+        "mode": mode,
+        "repeats": repeats,
+        "workers": workers,
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cells": cells,
+        "medians": medians,
+    }
+
+
 def run(mode: str, repeats: int) -> dict:
     grid = smoke_grid() if mode == "smoke" else full_grid()
     cells = []
@@ -206,13 +345,18 @@ def run(mode: str, repeats: int) -> dict:
 
 def check_against_baseline(report: dict, baseline_path: Path, tolerance: float) -> int:
     baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
-    reference = baseline["medians"]["search_speedup"]
-    measured = report["medians"]["search_speedup"]
+    if baseline.get("schema") != report["schema"]:
+        print(f"[check] FAIL: baseline schema {baseline.get('schema')!r} does not "
+              f"match report schema {report['schema']!r}", file=sys.stderr)
+        return 1
+    key = CHECK_KEYS[report["schema"]]
+    reference = baseline["medians"][key]
+    measured = report["medians"][key]
     floor = reference / tolerance
-    print(f"[check] median search speedup: measured x{measured:.2f}, "
+    print(f"[check] median {key}: measured x{measured:.2f}, "
           f"baseline x{reference:.2f}, floor x{floor:.2f}")
     if measured < floor:
-        print("[check] FAIL: kernel search has regressed beyond the tolerance",
+        print(f"[check] FAIL: {key} has regressed beyond the tolerance",
               file=sys.stderr)
         return 1
     print("[check] OK")
@@ -221,31 +365,44 @@ def check_against_baseline(report: dict, baseline_path: Path, tolerance: float) 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--suite", choices=("kernel", "parallel"), default="kernel",
+                        help="kernel-vs-dict hot paths, or serial-vs-parallel search")
     parser.add_argument("--smoke", action="store_true",
                         help="run the small CI grid instead of the full one")
     parser.add_argument("--repeats", type=int, default=3,
                         help="timing repeats per cell (median is reported)")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="pool size for the parallel suite (default 4)")
     parser.add_argument("--out", type=Path, default=None,
                         help="output JSON path (defaults under benchmarks/results/)")
     parser.add_argument("--check", type=Path, default=None,
-                        help="baseline JSON to gate the median search speedup against")
+                        help="baseline JSON to gate the median speedup against")
     parser.add_argument("--tolerance", type=float, default=2.0,
                         help="allowed regression factor for --check (default 2x)")
     args = parser.parse_args(argv)
 
     mode = "smoke" if args.smoke else "full"
-    report = run(mode, max(1, args.repeats))
+    if args.suite == "parallel":
+        if args.workers < 2:
+            parser.error("--suite parallel needs --workers >= 2 "
+                         "(one worker falls back to the serial search)")
+        report = run_parallel(mode, max(1, args.repeats), args.workers)
+        default_name = ("BENCH_parallel_smoke.json" if args.smoke
+                        else "BENCH_parallel.json")
+    else:
+        report = run(mode, max(1, args.repeats))
+        default_name = ("BENCH_kernel_smoke.json" if args.smoke
+                        else "BENCH_kernel.json")
     out = args.out
     if out is None:
         RESULTS_DIR.mkdir(exist_ok=True)
-        out = RESULTS_DIR / ("BENCH_kernel_smoke.json" if args.smoke
-                             else "BENCH_kernel.json")
+        out = RESULTS_DIR / default_name
     out.parent.mkdir(parents=True, exist_ok=True)
     out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n",
                    encoding="utf-8")
+    key = CHECK_KEYS[report["schema"]]
     print(f"[bench] wrote {out}")
-    print(f"[bench] median search speedup: "
-          f"x{report['medians']['search_speedup']:.2f}")
+    print(f"[bench] median {key}: x{report['medians'][key]:.2f}")
 
     if args.check is not None:
         return check_against_baseline(report, args.check, args.tolerance)

@@ -12,6 +12,9 @@ package provides:
 * a **unified query API** (:mod:`repro.api`) dispatching every
   (model, engine) combination through one registry, with batch execution
   that shares reduction artifacts across a parameter sweep;
+* a **component-sharded parallel executor** (:mod:`repro.parallel`) that
+  fans the post-reduction search over a process pool — request it with
+  ``workers=N`` on a query;
 * dataset stand-ins and the experiment harness reproducing the paper's
   tables and figures.
 
@@ -47,6 +50,7 @@ the registry dispatches to.
 """
 
 from repro.api import (
+    BatchExecutor,
     FairCliqueQuery,
     SolveContext,
     SolveReport,
@@ -70,6 +74,7 @@ from repro.exceptions import (
 from repro.graph import AttributedGraph, from_edge_list, paper_example_graph
 from repro.heuristic import HeurRFC, heuristic_fair_clique
 from repro.kernel import GraphKernel, compile_kernel
+from repro.parallel import ParallelConfig, ParallelMaxRFC, solve_parallel
 from repro.reduction import ReductionPipeline, reduce_graph
 from repro.search import (
     MaxRFC,
@@ -92,9 +97,14 @@ __all__ = [
     "query_grid",
     "register_engine",
     "available_engines",
+    "BatchExecutor",
     # compiled graph kernel (freeze boundary)
     "GraphKernel",
     "compile_kernel",
+    # parallel component-sharded search
+    "ParallelMaxRFC",
+    "ParallelConfig",
+    "solve_parallel",
     # graph + legacy entry points
     "AttributedGraph",
     "from_edge_list",

@@ -26,7 +26,7 @@ Engines self-register with :func:`register_engine`; unsupported
 :class:`~repro.exceptions.UnsupportedQueryError` before any work starts.
 """
 
-from repro.api.batch import SolveContext, solve, solve_many
+from repro.api.batch import BatchExecutor, SolveContext, solve, solve_many
 from repro.api.engines import brute_force_engine, exact_engine, heuristic_engine
 from repro.api.query import DELTA_MODELS, MODELS, FairCliqueQuery, query_grid
 from repro.api.registry import (
@@ -40,6 +40,7 @@ from repro.api.report import SolveReport
 from repro.exceptions import UnsupportedQueryError
 
 __all__ = [
+    "BatchExecutor",
     "FairCliqueQuery",
     "SolveReport",
     "SolveContext",

@@ -11,7 +11,12 @@ Two optimisations make the batch path cheaper than N independent solves:
   query reuses it.  A delta sweep then pays for the reduction exactly once.
 * **Optional process parallelism** — with ``max_workers > 1`` the queries are
   partitioned by ``k`` (keeping the reduction sharing intact inside each
-  worker) and solved in a ``concurrent.futures`` process pool.
+  worker) and solved in a ``concurrent.futures`` process pool.  The graph is
+  shipped to each worker exactly once, through the pool *initializer* — task
+  submissions carry only the queries — and one :class:`BatchExecutor` (pool +
+  shipped graph + per-worker context) serves every chunk of a sweep.  Pass an
+  explicit ``executor=`` to reuse that pool across several ``solve_many``
+  calls on the same graph.
 
 Dispatch is validated *before* any work starts: an unsupported
 (model, engine) pair anywhere in the batch raises
@@ -119,6 +124,7 @@ def solve_many(
     registry: EngineRegistry | None = None,
     share_reduction: bool = True,
     max_workers: int | None = None,
+    executor: "BatchExecutor | None" = None,
 ) -> list[SolveReport]:
     """Answer a batch of queries over one graph, in input order.
 
@@ -131,18 +137,44 @@ def solve_many(
         When > 1, solve in a process pool.  Queries are grouped by ``k`` so
         reduction sharing survives the split; the workers dispatch through
         the default registry (custom registries are process-local).
+    executor:
+        A :class:`BatchExecutor` to run the chunks on, reusing its pool and
+        the graph already shipped to its workers.  Must have been created for
+        the *same* graph object.  When omitted and ``max_workers > 1``, a
+        temporary executor is created for this call.
     """
     query_list = list(queries)
     reg = registry or default_registry
     for query in query_list:
         reg.resolve(query)  # fail fast before any solving starts
-    if max_workers is not None and max_workers > 1 and len(query_list) > 1:
+    want_pool = executor is not None or (
+        max_workers is not None and max_workers > 1 and len(query_list) > 1
+    )
+    if want_pool:
         if registry is not None:
             raise InvalidParameterError(
                 "custom registries cannot be shipped to worker processes; "
                 "use the default registry or max_workers=1"
             )
-        return _solve_parallel(graph, query_list, max_workers, share_reduction)
+        if executor is not None:
+            if executor.graph is not graph:
+                raise InvalidParameterError(
+                    "the BatchExecutor was created for a different graph; "
+                    "build one per graph (its workers hold that graph)"
+                )
+            if graph.version != executor.graph_version:
+                raise InvalidParameterError(
+                    "the graph was mutated after the BatchExecutor was "
+                    "created; its workers hold the pre-mutation snapshot — "
+                    "build a fresh executor"
+                )
+            return _solve_parallel(
+                graph, query_list, executor.max_workers, share_reduction, executor
+            )
+        with BatchExecutor(graph, max_workers) as pool:
+            return _solve_parallel(
+                graph, query_list, max_workers, share_reduction, pool
+            )
 
     context = SolveContext(graph)
     reports = []
@@ -153,15 +185,86 @@ def solve_many(
     return reports
 
 
+# --------------------------------------------------------------------------- #
+# Process-pool plumbing
+# --------------------------------------------------------------------------- #
+#: Worker-process globals, set once by the pool initializer: the shipped
+#: graph and a persistent per-worker context so chunks that land on the same
+#: worker share reduction artifacts across the whole sweep.
+_WORKER_GRAPH: AttributedGraph | None = None
+_WORKER_CONTEXT: SolveContext | None = None
+
+
+def _init_batch_worker(graph: AttributedGraph) -> None:
+    """Pool initializer: receive the graph once, build the worker's context."""
+    global _WORKER_GRAPH, _WORKER_CONTEXT
+    _WORKER_GRAPH = graph
+    _WORKER_CONTEXT = SolveContext(graph)
+
+
 def _solve_chunk(
-    graph: AttributedGraph, queries: list[FairCliqueQuery]
+    queries: list[FairCliqueQuery], share_context: bool = True
 ) -> list[SolveReport]:
-    """Worker entry point: solve a chunk with one shared context (module-level so it pickles)."""
-    context = SolveContext(graph)
+    """Worker entry point: solve a chunk against the initializer-shipped graph.
+
+    ``share_context=False`` gives the chunk a throwaway context — that is the
+    unshared-reduction baseline, where nothing may be memoized across queries.
+    """
+    graph = _WORKER_GRAPH
+    if graph is None:  # pragma: no cover - initializer always ran
+        raise RuntimeError("batch worker used before its initializer ran")
+    context = _WORKER_CONTEXT if share_context else SolveContext(graph)
+    assert context is not None
     return [
         default_registry.resolve(query).func(graph, query, context)
         for query in queries
     ]
+
+
+class BatchExecutor:
+    """A reusable process pool with the graph shipped once to every worker.
+
+    Creating the pool pays the graph pickling cost ``max_workers`` times —
+    after that, submitting a chunk ships only the queries.  Reuse one
+    executor across several :func:`solve_many` calls on the same graph to
+    also reuse the workers' memoized reductions and compiled kernels::
+
+        with BatchExecutor(graph, max_workers=4) as executor:
+            first = solve_many(graph, grid_a, executor=executor)
+            second = solve_many(graph, grid_b, executor=executor)
+    """
+
+    def __init__(self, graph: AttributedGraph, max_workers: int) -> None:
+        from concurrent.futures import ProcessPoolExecutor
+
+        if max_workers < 1:
+            raise InvalidParameterError(
+                f"max_workers must be a positive integer, got {max_workers!r}"
+            )
+        self.graph = graph
+        #: The graph's mutation version at pool creation — what the workers
+        #: actually hold.  solve_many refuses the executor if it has moved.
+        self.graph_version = graph.version
+        self.max_workers = max_workers
+        self._pool = ProcessPoolExecutor(
+            max_workers=max_workers,
+            initializer=_init_batch_worker,
+            initargs=(graph,),
+        )
+
+    def submit_chunk(self, queries: list[FairCliqueQuery], share_context: bool = True):
+        """Submit one chunk; returns the future of its report list."""
+        return self._pool.submit(_solve_chunk, queries, share_context)
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent)."""
+        self._pool.shutdown()
+
+    def __enter__(self) -> "BatchExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 def _solve_parallel(
@@ -169,9 +272,8 @@ def _solve_parallel(
     queries: list[FairCliqueQuery],
     max_workers: int,
     share_reduction: bool,
+    executor: BatchExecutor,
 ) -> list[SolveReport]:
-    from concurrent.futures import ProcessPoolExecutor
-
     indexed = list(enumerate(queries))
     if share_reduction:
         # Same-k queries share a worker (and therefore one reduction run) —
@@ -193,12 +295,13 @@ def _solve_parallel(
         chunks = [[pair] for pair in indexed]
 
     ordered: list[SolveReport | None] = [None] * len(queries)
-    with ProcessPoolExecutor(max_workers=max_workers) as pool:
-        futures = [
-            (chunk, pool.submit(_solve_chunk, graph, [query for _, query in chunk]))
-            for chunk in chunks
-        ]
-        for chunk, future in futures:
-            for (index, _), report in zip(chunk, future.result()):
-                ordered[index] = report
+    futures = [
+        (chunk, executor.submit_chunk(
+            [query for _, query in chunk], share_context=share_reduction,
+        ))
+        for chunk in chunks
+    ]
+    for chunk, future in futures:
+        for (index, _), report in zip(chunk, future.result()):
+            ordered[index] = report
     return [report for report in ordered if report is not None]

@@ -43,6 +43,13 @@ BINARY = ("relative", "weak", "strong")
 ALL_MODELS = ("relative", "weak", "strong", "multi_weak")
 
 
+def _workers_ignored_note(query: FairCliqueQuery, reason: str) -> dict[str, Any]:
+    """Metadata noting a ``workers > 1`` request this engine cannot honour."""
+    if query.workers is not None and query.workers > 1:
+        return {"workers_ignored": reason}
+    return {}
+
+
 def _consume_options(query: FairCliqueQuery, allowed: dict[str, Any]) -> dict[str, Any]:
     """Overlay ``query.options`` onto the engine defaults, rejecting unknowns."""
     unknown = set(query.options) - set(allowed)
@@ -78,13 +85,23 @@ def _empty_binary_report(
 def exact_engine(
     graph: AttributedGraph, query: FairCliqueQuery, context: "SolveContext"
 ) -> SolveReport:
-    """Provably optimal search; honours ``bound_stack``/``use_reduction``… options."""
+    """Provably optimal search; honours ``bound_stack``/``use_reduction``… options.
+
+    ``query.workers > 1`` dispatches the binary models to the
+    component-sharded parallel executor (:mod:`repro.parallel`); the
+    multi-attribute solver has no parallel port yet and stays serial, noting
+    the ignored request in the report metadata.
+    """
     if query.model == "multi_weak":
         _consume_options(query, {})
         solver = MultiAttributeWeakFairCliqueSearch(time_limit=query.time_limit)
         result = solver.solve(graph, query.k)
+        metadata = _workers_ignored_note(
+            query, "the multi-attribute solver has no parallel port yet"
+        )
         return SolveReport.from_multi_attribute_result(
-            result, graph, engine="exact", algorithm="MultiAttrBnB"
+            result, graph, engine="exact", algorithm="MultiAttrBnB",
+            metadata=metadata,
         )
 
     options = _consume_options(query, {
@@ -124,9 +141,18 @@ def exact_engine(
         if search_graph.num_vertices:
             kernel = context.kernel(search_graph)
             metadata["kernel"] = {"n": kernel.n, "m": kernel.num_edges}
-    result = MaxRFC(config).solve(
+    workers = query.workers or 1
+    if workers > 1:
+        from repro.parallel import ParallelConfig, ParallelMaxRFC
+
+        solver: MaxRFC = ParallelMaxRFC(config, ParallelConfig(workers=workers))
+    else:
+        solver = MaxRFC(config)
+    result = solver.solve(
         graph, query.k, query.effective_delta(graph), reduction=reduction
     )
+    if "parallel" in result.stats.extra:
+        metadata["parallel"] = result.stats.extra["parallel"]
     result.stats.reduction_seconds += seconds_charged
     return SolveReport.from_search_result(
         result, graph, query.model, "exact", delta=query.delta, metadata=metadata
@@ -151,7 +177,8 @@ def heuristic_engine(
         graph, query.k, query.effective_delta(graph)
     )
     return SolveReport.from_search_result(
-        result, graph, query.model, "heuristic", delta=query.delta
+        result, graph, query.model, "heuristic", delta=query.delta,
+        metadata=_workers_ignored_note(query, "HeurRFC is a serial linear-time pass"),
     )
 
 
@@ -165,17 +192,22 @@ def brute_force_engine(
 ) -> SolveReport:
     """The enumerate-everything baseline the paper argues against."""
     _consume_options(query, {})
+    metadata = _workers_ignored_note(
+        query, "the brute-force oracle enumerates serially"
+    )
     if query.model == "multi_weak":
         started = time.monotonic()
         clique = brute_force_maximum_multi_weak_fair_clique(graph, query.k)
         stats = SearchStats(search_seconds=time.monotonic() - started)
         result = MultiAttributeSearchResult(clique=clique, k=query.k, stats=stats)
         return SolveReport.from_multi_attribute_result(
-            result, graph, engine="brute_force", algorithm="BruteForceEnum"
+            result, graph, engine="brute_force", algorithm="BruteForceEnum",
+            metadata=metadata,
         )
     from repro.baselines.enumeration import brute_force_maximum_fair_clique
 
     result = brute_force_maximum_fair_clique(graph, query.k, query.effective_delta(graph))
     return SolveReport.from_search_result(
-        result, graph, query.model, "brute_force", delta=query.delta
+        result, graph, query.model, "brute_force", delta=query.delta,
+        metadata=metadata,
     )

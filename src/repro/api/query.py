@@ -67,6 +67,13 @@ class FairCliqueQuery:
         ``"brute_force"``, or any custom registration).
     time_limit:
         Wall-clock budget in seconds forwarded to engines that honour one.
+    workers:
+        Process-pool size for the search itself.  ``workers > 1`` makes the
+        exact engine run the component-sharded parallel executor
+        (:mod:`repro.parallel`) for the binary models; engines with no
+        parallel path (heuristic, brute force, the multi-attribute solver)
+        ignore it and note so in the report metadata.  ``None``/``1`` solve
+        serially.
     options:
         Engine-specific knobs (e.g. ``bound_stack``/``use_reduction`` for the
         exact engine, ``restarts`` for the heuristic).  Unknown options are
@@ -78,6 +85,7 @@ class FairCliqueQuery:
     delta: int | None = None
     engine: str = "exact"
     time_limit: float | None = None
+    workers: int | None = None
     options: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -104,6 +112,12 @@ class FairCliqueQuery:
             raise InvalidParameterError(
                 f"time_limit must be positive, got {self.time_limit!r}"
             )
+        if self.workers is not None and (
+            not isinstance(self.workers, int) or self.workers < 1
+        ):
+            raise InvalidParameterError(
+                f"workers must be a positive integer, got {self.workers!r}"
+            )
         if not isinstance(self.engine, str) or not self.engine:
             raise InvalidParameterError(f"engine must be a non-empty string, got {self.engine!r}")
 
@@ -113,6 +127,7 @@ class FairCliqueQuery:
         # (requires hashable option values, which the built-ins all are).
         return hash((
             self.model, self.k, self.delta, self.engine, self.time_limit,
+            self.workers,
             tuple(sorted(self.options.items(), key=lambda item: item[0])),
         ))
 

@@ -37,6 +37,12 @@ class SolveReport:
     optimal:
         True when the answer is provably optimal (exact/brute-force engines
         that finished within their limits).
+    aborted:
+        True when the solve hit a time/branch budget and returned its merged
+        best-so-far instead of a finished answer.  Under the parallel
+        executor a single aborted shard sets this — the other shards'
+        results are still merged in, so ``clique`` remains the best clique
+        found anywhere before the abort.
     attribute_counts:
         Histogram of attribute values inside the clique.
     stats:
@@ -53,6 +59,7 @@ class SolveReport:
     delta: int | None
     algorithm: str = ""
     optimal: bool = True
+    aborted: bool = False
     attribute_counts: dict = field(default_factory=dict)
     stats: SearchStats = field(default_factory=SearchStats)
     metadata: dict = field(default_factory=dict)
@@ -106,6 +113,7 @@ class SolveReport:
             "fairness_gap": self.fairness_gap,
             "attribute_counts": dict(self.attribute_counts),
             "optimal": self.optimal,
+            "aborted": self.aborted,
             "seconds": self.seconds,
         }
 
@@ -135,6 +143,7 @@ class SolveReport:
             delta=delta,
             algorithm=result.algorithm,
             optimal=result.optimal,
+            aborted=result.stats.timed_out,
             attribute_counts=graph.attribute_histogram(result.clique) if result.clique else {},
             stats=result.stats,
             metadata=dict(metadata or {}),
@@ -158,6 +167,7 @@ class SolveReport:
             delta=None,
             algorithm=algorithm,
             optimal=result.optimal,
+            aborted=result.stats.timed_out,
             attribute_counts=graph.attribute_histogram(result.clique) if result.clique else {},
             stats=result.stats,
             metadata=dict(metadata or {}),

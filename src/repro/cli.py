@@ -71,6 +71,9 @@ def _build_parser() -> argparse.ArgumentParser:
                            help="disable the reduction pipeline (exact engine)")
     solve_cmd.add_argument("--time-limit", type=float, default=None,
                            help="seconds before giving up")
+    solve_cmd.add_argument("--search-workers", type=int, default=None,
+                           help="process-pool size for the component-sharded "
+                                "parallel search (exact engine, binary models)")
     solve_cmd.add_argument("--sweep", choices=("k", "delta"), default=None,
                            help="sweep one parameter over --sweep-values via the batch layer")
     solve_cmd.add_argument("--sweep-values", type=int, nargs="+", default=None,
@@ -172,6 +175,7 @@ def _command_solve(args: argparse.Namespace) -> int:
         delta=args.delta,
         engine=args.engine,
         time_limit=args.time_limit,
+        workers=args.search_workers,
         options=options,
     )
     if args.sweep is None:

@@ -1,34 +1,52 @@
 """Kernel evaluation of the Section IV upper bounds.
 
-The five cheap bounds of the default ``ubAD`` stack (Lemmas 5-9) — size,
-attribute, color, attribute-color, enhanced attribute-color — reduce to
-popcounts and small color bitsets on a :class:`~repro.kernel.view.SubgraphView`
-and are evaluated here without touching the dict world.  Bounds that have no
-kernel port yet (the colorful degeneracy / h-index / path bounds of the
-ablation stacks) fall back to their dict implementation through a lazily
-materialised :class:`~repro.bounds.base.BoundContext`; the fallback shares
-one context per evaluation so the coloring is computed at most once.
+Every bound of the repo's predefined stacks now has a bitset-native
+evaluator on a :class:`~repro.kernel.view.SubgraphView`:
+
+* the five cheap bounds of the default ``ubAD`` stack (Lemmas 5-9) — size,
+  attribute, color, attribute-color, enhanced attribute-color — reduce to
+  popcounts and small color bitsets;
+* the structural bounds ``ub_deg``/``ub_h`` (Lemmas 10-11) peel / rank the
+  scope-induced degrees straight off the local adjacency masks;
+* the colorful bounds ``ubcd``/``ubch``/``ubcp`` (Lemmas 12-14) run the
+  colorful-core peel, the colorful h-index, and the colorful-path DP on
+  color-class masks + popcounts, so the kernel search never round-trips to
+  dict structures for any predefined stack.
+
+Custom third-party bounds (anything not in :data:`KERNEL_BOUNDS`) still fall
+back to their dict implementation through a lazily materialised
+:class:`~repro.bounds.base.BoundContext`; the fallback shares one context per
+evaluation so the coloring is computed at most once.
 
 Both paths produce identical values for identical instances (the kernel
-coloring replicates the dict greedy coloring), so switching a search between
-them never changes which branches are pruned — the parity suite pins this.
+coloring replicates the dict greedy coloring, the peels converge to canonical
+core numbers, and the path DP runs over the same total order), so switching a
+search between them never changes which branches are pruned — the parity
+suite pins this per bound and per stack.
 """
 
 from __future__ import annotations
 
-from repro.bounds.base import BoundContext, BoundStack
+from repro.bounds.base import BoundContext, BoundStack, UpperBound
 from repro.cores.enhanced import balanced_split_value
+from repro.cores.kcore import h_index_of_values
+from repro.kernel.bitops import bits_list
 from repro.kernel.view import SubgraphView
 
-#: Bound names with a native kernel evaluator (the ``ubAD`` group).
-KERNEL_BOUNDS = frozenset({"ubs", "uba", "ubc", "ubac", "ubeac"})
+#: Bound names with a native kernel evaluator (every predefined stack).
+KERNEL_BOUNDS = frozenset({
+    "ubs", "uba", "ubc", "ubac", "ubeac",   # the ubAD group (Lemmas 5-9)
+    "ub_deg", "ub_h",                        # structural (Lemmas 10-11)
+    "ubcd", "ubch", "ubcp",                  # colorful (Lemmas 12-14)
+})
 
 
 class _Evaluation:
     """Shared per-instance scratch: scope coloring + lazy dict fallback context."""
 
     __slots__ = ("view", "clique_mask", "cand_mask", "scope", "k", "delta",
-                 "_class_masks", "_context")
+                 "_class_masks", "_colors", "_positions", "_min_colorful",
+                 "_context")
 
     def __init__(
         self,
@@ -45,12 +63,31 @@ class _Evaluation:
         self.k = k
         self.delta = delta
         self._class_masks: list[int] | None = None
+        self._colors: list[int] | None = None
+        self._positions: list[int] | None = None
+        self._min_colorful: list[int] | None = None
         self._context: BoundContext | None = None
 
     def class_masks(self) -> list[int]:
         if self._class_masks is None:
             self._class_masks = self.view.color_class_masks(self.scope)
         return self._class_masks
+
+    def positions(self) -> list[int]:
+        """Local positions of the scope vertices (ascending)."""
+        if self._positions is None:
+            self._positions = bits_list(self.scope)
+        return self._positions
+
+    def colors(self) -> list[int]:
+        """Per-position color of the scope coloring (-1 outside the scope)."""
+        if self._colors is None:
+            colors = [-1] * self.view.n
+            for color, class_mask in enumerate(self.class_masks()):
+                for p in bits_list(class_mask):
+                    colors[p] = color
+            self._colors = colors
+        return self._colors
 
     def attribute_color_sets(self) -> tuple[int, int]:
         """Bitsets of colors used by attribute-a / attribute-b scope vertices.
@@ -68,12 +105,41 @@ class _Evaluation:
                 colors_b |= 1 << color
         return colors_a, colors_b
 
+    def min_colorful_degrees(self) -> list[int]:
+        """``D_min(v) = min(D_a(v), D_b(v))`` per scope vertex (Definition 2).
+
+        Colorful degrees count *distinct colors* per attribute side among the
+        in-scope neighbours; with one bitset per color class each side is one
+        AND + truth test per class.
+        """
+        if self._min_colorful is None:
+            view = self.view
+            adj = view.adj
+            attr_a = view.attr_a
+            scope = self.scope
+            class_masks = self.class_masks()
+            minima = []
+            for p in self.positions():
+                neighbors = adj[p] & scope
+                count_a = 0
+                count_b = 0
+                for class_mask in class_masks:
+                    shared = neighbors & class_mask
+                    if shared:
+                        if shared & attr_a:
+                            count_a += 1
+                        if shared & ~attr_a:
+                            count_b += 1
+                minima.append(count_a if count_a < count_b else count_b)
+            self._min_colorful = minima
+        return self._min_colorful
+
     def fallback_context(self) -> BoundContext:
         if self._context is None:
             view = self.view
             attribute_a, attribute_b = view.kernel.attribute_values[:2]
             self._context = BoundContext(
-                graph=view.graph,
+                graph=view.source_graph(),
                 clique=view.frozenset_of(self.clique_mask),
                 candidates=view.frozenset_of(self.cand_mask),
                 k=self.k,
@@ -82,6 +148,103 @@ class _Evaluation:
                 attribute_b=attribute_b,
             )
         return self._context
+
+
+def _scope_degeneracy(ev: _Evaluation) -> int:
+    """Degeneracy of the scope-induced subgraph (canonical, so dict-identical)."""
+    positions = ev.positions()
+    if not positions:
+        return 0
+    adj = ev.view.adj
+    scope = ev.scope
+    degrees = {p: (adj[p] & scope).bit_count() for p in positions}
+    max_degree = max(degrees.values())
+    buckets: list[list[int]] = [[] for _ in range(max_degree + 1)]
+    for p, degree in degrees.items():
+        buckets[degree].append(p)
+    alive = set(positions)
+    current = 0
+    level = 0
+    while alive:
+        while current <= max_degree and not buckets[current]:
+            current += 1
+        if current > max_degree:
+            break
+        p = buckets[current].pop()
+        if p not in alive or degrees[p] != current:
+            continue
+        alive.remove(p)
+        if current > level:
+            level = current
+        for q in bits_list(adj[p] & scope):
+            if q in alive:
+                degree = degrees[q]
+                if degree > current:
+                    degrees[q] = degree - 1
+                    buckets[degree - 1].append(q)
+    return level
+
+
+def _colorful_degeneracy(ev: _Evaluation) -> int:
+    """Colorful degeneracy of the scope (Definition 9) = max colorful core.
+
+    Reuses the canonical bucket peel of
+    :func:`repro.kernel.cores.colorful_core_numbers_mask` by lifting the
+    view-local scope (positions + scope coloring) to kernel indices — the
+    scope is a subset of the view's component, and the peel only ever looks
+    at in-scope neighbours, so the restriction is faithful.  Colorful core
+    numbers are canonical (independent of tie order among minimum-degree
+    vertices), so the maximum matches the dict peel exactly.
+    """
+    positions = ev.positions()
+    if not positions:
+        return 0
+    from repro.kernel.cores import colorful_core_numbers_mask
+
+    view = ev.view
+    kernel = view.kernel
+    global_index = view.global_index
+    colors = ev.colors()
+    colors_global = [-1] * kernel.n
+    scope_global = 0
+    for p in positions:
+        g = global_index[p]
+        colors_global[g] = colors[p]
+        scope_global |= 1 << g
+    cores = colorful_core_numbers_mask(kernel, colors_global, scope_global)
+    return max(cores.values(), default=0)
+
+
+def _colorful_path(ev: _Evaluation) -> int:
+    """Longest colorful path of the scope (Definition 11 / Algorithm 4).
+
+    Same total order as the dict DAG — ``(color, str(id))``, where the view's
+    ``tie_keys`` are exactly ``str(original id)`` — so the DP computes the
+    identical longest-path length without building vertex dicts.
+    """
+    positions = ev.positions()
+    if not positions:
+        return 0
+    view = ev.view
+    adj = view.adj
+    scope = ev.scope
+    colors = ev.colors()
+    tie_keys = view.tie_keys
+    ordered = sorted(positions, key=lambda p: (colors[p], tie_keys[p]))
+    best = [0] * view.n
+    done = 0
+    longest = 0
+    for p in ordered:
+        value = 1
+        for q in bits_list(adj[p] & scope & done):
+            candidate = best[q] + 1
+            if candidate > value:
+                value = candidate
+        best[p] = value
+        done |= 1 << p
+        if value > longest:
+            longest = value
+    return longest
 
 
 def _evaluate(name: str, ev: _Evaluation) -> int:
@@ -108,7 +271,41 @@ def _evaluate(name: str, ev: _Evaluation) -> int:
             total,
             2 * balanced_split_value(count_a, count_b, count_mixed) + ev.delta,
         )
+    if name == "ub_deg":
+        return _scope_degeneracy(ev) + 1
+    if name == "ub_h":
+        adj = ev.view.adj
+        scope = ev.scope
+        return h_index_of_values(
+            (adj[p] & scope).bit_count() for p in ev.positions()
+        ) + 1
+    if name == "ubcd":
+        return 2 * (_colorful_degeneracy(ev) + 1) + ev.delta
+    if name == "ubch":
+        return 2 * (h_index_of_values(ev.min_colorful_degrees()) + 1) + ev.delta
+    if name == "ubcp":
+        return _colorful_path(ev)
     raise KeyError(name)
+
+
+def evaluate_bound(
+    view: SubgraphView,
+    bound: UpperBound,
+    clique_mask: int,
+    cand_mask: int,
+    k: int,
+    delta: int,
+) -> int:
+    """Evaluate one named bound on a ``(R, C)`` instance of ``view``.
+
+    Dispatches to the native kernel evaluator when one exists and otherwise
+    falls back to the bound's dict implementation; used by the parity suite to
+    pin the two paths value-for-value.
+    """
+    ev = _Evaluation(view, clique_mask, cand_mask, k, delta)
+    if bound.name in KERNEL_BOUNDS:
+        return _evaluate(bound.name, ev)
+    return bound(ev.fallback_context())
 
 
 def stack_prunes(

@@ -44,6 +44,14 @@ class KernelBranchAndBound:
     raise to abort the search (time/branch budget); the incumbent survives
     the abort because it lives on this object.  ``has_budget=False`` skips
     the callback entirely (it would be a no-op), sparing two calls per node.
+
+    Two hooks exist for the parallel executor (:mod:`repro.parallel`):
+    ``on_improve`` is invoked with the new incumbent size whenever a larger
+    fair clique is recorded (a worker publishes it to the shared incumbent
+    channel), and ``best_size`` may be raised *externally* mid-search (from a
+    ``check_budget`` callback polling that channel) to tighten the pruning
+    threshold — raising the size without a clique is sound because the search
+    only ever records cliques strictly larger than ``best_size``.
     """
 
     __slots__ = (
@@ -57,6 +65,7 @@ class KernelBranchAndBound:
         "has_budget",
         "best_size",
         "best_clique",
+        "on_improve",
     )
 
     def __init__(
@@ -71,6 +80,7 @@ class KernelBranchAndBound:
         best_size: int,
         best_clique: frozenset,
         has_budget: bool = True,
+        on_improve: Callable[[int], None] | None = None,
     ) -> None:
         self.view = view
         self.k = k
@@ -82,6 +92,7 @@ class KernelBranchAndBound:
         self.has_budget = has_budget
         self.best_size = best_size
         self.best_clique = best_clique
+        self.on_improve = on_improve
 
     def run(self) -> tuple[int, frozenset]:
         """Explore the whole component; return the (possibly improved) incumbent."""
@@ -113,6 +124,66 @@ class KernelBranchAndBound:
                 stats.pruned_by_bound += 1
                 return self.best_size, self.best_clique
         self._expand(0, 0, 0, cand_mask, 0, 0)
+        return self.best_size, self.best_clique
+
+    def run_root_branch(self, p: int) -> tuple[int, frozenset]:
+        """Explore only the root subtree whose first clique member is position ``p``.
+
+        This is the shard granularity of the parallel executor: the root
+        candidate loop of :meth:`run` decomposes into one independent subtree
+        per position (``R = {p}``, ``C = N(p)`` restricted to higher ranks),
+        so an oversized component can be split one branch level deep and its
+        subtrees solved on different workers.  The child prologue replicated
+        here is the same one :meth:`_expand` runs inline at ``depth == 0`` —
+        same prune rules, same counters — minus the incumbent-vs-remaining
+        cutoff, which depends on the root iteration state that a lone subtree
+        does not have.
+        """
+        stats = self.stats
+        view = self.view
+        k = self.k
+        two_k = 2 * k
+        stats.branches_explored += 1
+        if self.has_budget:
+            self.check_budget(stats)
+        low = 1 << p
+        is_a = view.attr_a_flags[p]
+        child_a = is_a
+        child_b = 1 - is_a
+        # A single vertex is never a fair clique for k >= 1, so unlike the
+        # inline prologue no incumbent record can happen here.
+        new_cand = view.full_mask & view.adj[p] & (-1 << (p + 1))
+        if not new_cand:
+            return self.best_size, self.best_clique
+        num_candidates = new_cand.bit_count()
+        limit = self.best_size + 1
+        if limit < two_k:
+            limit = two_k
+        if 1 + num_candidates < limit:
+            stats.pruned_by_size += 1
+            return self.best_size, self.best_clique
+        count_c_a = (new_cand & view.attr_a).bit_count()
+        count_c_b = num_candidates - count_c_a
+        if child_a + count_c_a < k or child_b + count_c_b < k:
+            stats.pruned_by_attribute_feasibility += 1
+            return self.best_size, self.best_clique
+        delta = self.delta
+        if (
+            child_a > child_b + count_c_b + delta
+            or child_b > child_a + count_c_a + delta
+        ):
+            stats.pruned_by_fairness_gap += 1
+            return self.best_size, self.best_clique
+        stack = self.bound_stack
+        if stack is not None and 1 < self.bound_depth:
+            stats.bound_evaluations += 1
+            if stack_prunes(
+                view, stack, low, new_cand, k, delta,
+                max(two_k - 1, self.best_size),
+            ):
+                stats.pruned_by_bound += 1
+                return self.best_size, self.best_clique
+        self._expand(low, child_a, child_b, new_cand, 1, 1)
         return self.best_size, self.best_clique
 
     def _expand(
@@ -194,6 +265,8 @@ class KernelBranchAndBound:
                 self.best_size = child_size
                 self.best_clique = view.frozenset_of(clique_mask | low)
                 stats.solutions_found += 1
+                if self.on_improve is not None:
+                    self.on_improve(child_size)
             new_cand = cand_mask & adj[p] & (-1 << (p + 1))
             if not new_cand:
                 continue

@@ -47,7 +47,7 @@ class SubgraphView:
     def __init__(
         self,
         kernel: GraphKernel,
-        graph: "AttributedGraph",
+        graph: "AttributedGraph | None",
         order: list,
     ) -> None:
         self.kernel = kernel
@@ -85,6 +85,18 @@ class SubgraphView:
     def full_mask(self) -> int:
         """Mask with every local position set."""
         return (1 << self.n) - 1
+
+    def source_graph(self) -> "AttributedGraph":
+        """The dict-world graph behind this view, for dict-bound fallbacks.
+
+        Parallel workers ship only the (picklable) kernel snapshot and pass
+        ``graph=None``; if a non-native bound then needs a dict graph, one is
+        materialised from the kernel once and cached — the kernel *is* the
+        reduced graph, so the materialisation is faithful.
+        """
+        if self.graph is None:
+            self.graph = self.kernel.materialize()
+        return self.graph
 
     def frozenset_of(self, mask: int) -> frozenset:
         """Original vertex ids of the local positions in ``mask``."""

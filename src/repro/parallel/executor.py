@@ -1,0 +1,255 @@
+"""The component-sharded parallel branch-and-bound executor.
+
+:class:`ParallelMaxRFC` is a drop-in :class:`~repro.search.maxrfc.MaxRFC`
+whose component loop fans out over a ``ProcessPoolExecutor``:
+
+1. the Algorithm 2 reduction and the HeurRFC incumbent seed run **once**, in
+   the coordinator (they are cheap and their artifacts are shared);
+2. the reduced graph is compiled into an immutable, picklable
+   :class:`~repro.kernel.compile.GraphKernel` snapshot;
+3. :func:`~repro.parallel.sharding.plan_shards` turns the surviving
+   components into independent tasks, splitting oversized components one
+   branch level deep into root-subtree shards;
+4. the snapshot is shipped to each worker exactly once through the pool
+   *initializer*; shards reference it by component index;
+5. workers share one incumbent-size channel (a ``multiprocessing.Value``,
+   inherited across ``fork``): a clique found in one shard tightens the
+   pruning threshold in all others within ``poll_interval`` branches;
+6. the coordinator merges the per-shard incumbents and counters; a shard
+   that hit the time/branch budget contributes its best-so-far clique and
+   flags the merged result as truncated (``optimal=False``).
+
+Parallelism never changes the *answer*: every shard explores a sound
+superset of what the serial search would explore under the same incumbent,
+so the merged maximum has the same size as the serial optimum (the parity
+suite pins this across models and worker counts).  What it changes is
+wall-clock on multi-core machines — and on tiny graphs it *loses* to serial,
+because forking, shipping the snapshot, and polling cost more than the
+search itself; see the README's "Parallel execution" section for guidance.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+from repro.exceptions import InvalidParameterError
+from repro.graph.attributed_graph import AttributedGraph
+from repro.parallel import worker as worker_module
+from repro.parallel.sharding import ShardPlan, plan_shards
+from repro.parallel.worker import WorkerPayload
+from repro.search.maxrfc import MaxRFC, MaxRFCConfig, _TimeBudgetExceeded
+from repro.search.result import SearchResult
+from repro.search.statistics import SearchStats
+
+#: Components at most this large run as one shard; larger ones are split.
+DEFAULT_SPLIT_THRESHOLD = 96
+
+#: Serialises channel parking + worker spawning: the shared Values are handed
+#: to workers through a module global inherited at fork, so two threads
+#: solving concurrently must not interleave park → fork windows (a worker
+#: inheriting the *other* solve's incumbent channel could prune against a
+#: foreign clique size and return a wrong answer).
+_PARK_LOCK = threading.Lock()
+
+
+@dataclass
+class ParallelConfig:
+    """Knobs of the parallel executor (all have sensible defaults).
+
+    Attributes
+    ----------
+    workers:
+        Pool size.  ``<= 1`` falls back to the serial kernel search — the
+        coordinator never spawns a pool it cannot use.
+    split_threshold:
+        Components with more vertices than this are split one branch level
+        deep into root-subtree shards (see :mod:`repro.parallel.sharding`).
+    poll_interval:
+        Branches between incumbent-channel polls inside a worker.  Smaller
+        values propagate incumbents faster but pay one shared-memory read
+        per interval.
+    chunks_per_split:
+        Number of shards an oversized component is split into
+        (default ``2 * workers``).
+    """
+
+    workers: int = 2
+    split_threshold: int = DEFAULT_SPLIT_THRESHOLD
+    poll_interval: int = 256
+    chunks_per_split: int | None = None
+
+
+def _fork_context():
+    """The ``fork`` multiprocessing context, or None where fork is absent."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return None
+
+
+class ParallelMaxRFC(MaxRFC):
+    """Exact maximum relative fair clique solver, sharded over a process pool.
+
+    Same answer as :class:`MaxRFC` (clique sizes are always identical; the
+    specific clique may be a different one of equal size, since the incumbent
+    race is worker-order dependent), same reduction/heuristic/budget
+    plumbing — only the component loop is parallel.
+    """
+
+    def __init__(
+        self,
+        config: MaxRFCConfig | None = None,
+        parallel: ParallelConfig | None = None,
+    ) -> None:
+        super().__init__(config)
+        self.parallel = parallel or ParallelConfig()
+        if self.parallel.workers > 1 and not self.config.use_kernel:
+            raise InvalidParameterError(
+                "parallel search runs on kernel snapshots; "
+                "use_kernel=False requires workers=1"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Component loop override
+    # ------------------------------------------------------------------ #
+    def _search_components(
+        self,
+        graph: AttributedGraph,
+        k: int,
+        delta: int,
+        best: frozenset,
+        stats: SearchStats,
+        deadline: float | None,
+    ) -> frozenset:
+        workers = self.parallel.workers
+        if workers <= 1 or graph.num_vertices == 0:
+            return super()._search_components(graph, k, delta, best, stats, deadline)
+        kernel = graph.compile()
+        plan = plan_shards(
+            kernel,
+            k,
+            minimum_size=2 * k,
+            incumbent_size=len(best),
+            workers=workers,
+            split_threshold=self.parallel.split_threshold,
+            chunks_per_split=self.parallel.chunks_per_split,
+        )
+        telemetry = dict(plan.summary())
+        telemetry["workers"] = workers
+        stats.extra["parallel"] = telemetry
+        if not plan.shards:
+            return best
+        try:
+            return self._run_pool(
+                kernel, plan, k, delta, best, stats, deadline, telemetry
+            )
+        except OSError as error:
+            # Spawning the pool's processes can fail in constrained
+            # environments (fork EAGAIN, fd/memory exhaustion) — the serial
+            # path is always available and answers identically, so fall
+            # back and note it.  Only OSError is caught: a worker-side
+            # crash (BrokenProcessPool, RecursionError, genuine bugs) is a
+            # real failure and must propagate, not silently rerun serially.
+            telemetry["fallback"] = f"serial ({type(error).__name__}: {error})"
+            return super()._search_components(graph, k, delta, best, stats, deadline)
+
+    def _run_pool(
+        self,
+        kernel,
+        plan: ShardPlan,
+        k: int,
+        delta: int,
+        best: frozenset,
+        stats: SearchStats,
+        deadline: float | None,
+        telemetry: dict,
+    ) -> frozenset:
+        payload = WorkerPayload(
+            kernel=kernel,
+            k=k,
+            delta=delta,
+            bound_stack=self.config.bound_stack,
+            bound_depth=self.config.bound_depth,
+            ordering=self.config.ordering,
+            deadline=deadline,
+            branch_limit=self.config.branch_limit,
+            poll_interval=self.parallel.poll_interval,
+            seed_size=len(best),
+        )
+        context = _fork_context()
+        channel = context.Value("q", len(best)) if context is not None else None
+        branch_counter = (
+            context.Value("q", 0)
+            if context is not None and self.config.branch_limit is not None
+            else None
+        )
+        telemetry["incumbent_channel"] = channel is not None
+        pool_size = min(self.parallel.workers, len(plan.shards))
+        started = time.monotonic()
+        with ProcessPoolExecutor(
+            max_workers=pool_size,
+            mp_context=context,
+            initializer=worker_module._init_worker,
+            initargs=(payload,),
+        ) as pool:
+            # The shared Values are inherited at fork time, and the pool
+            # forks its workers lazily during submit — so the globals must
+            # stay parked (and other threads' solves held off) until every
+            # submit has happened and all pool_size workers exist.
+            with _PARK_LOCK:
+                worker_module._PARENT_CHANNEL = channel
+                worker_module._PARENT_BRANCH_COUNTER = branch_counter
+                try:
+                    futures = [
+                        pool.submit(worker_module.run_shard, shard)
+                        for shard in plan.shards
+                    ]
+                finally:
+                    worker_module._PARENT_CHANNEL = None
+                    worker_module._PARENT_BRANCH_COUNTER = None
+            results = [future.result() for future in futures]
+        aborted = False
+        worker_seconds = 0.0
+        for result in results:
+            worker_seconds += result.seconds
+            aborted = aborted or result.aborted
+            stats.merge(result.stats)
+            if len(result.clique) > len(best):
+                best = result.clique
+        telemetry["pool_size"] = pool_size
+        telemetry["worker_seconds"] = worker_seconds
+        telemetry["pool_seconds"] = time.monotonic() - started
+        telemetry["aborted_shards"] = sum(1 for r in results if r.aborted)
+        # Mirror the incumbent before (maybe) signalling the abort so solve()
+        # returns the merged best-so-far, exactly like the serial path.
+        self._incumbent = best
+        if aborted:
+            raise _TimeBudgetExceeded()
+        return best
+
+
+def solve_parallel(
+    graph: AttributedGraph,
+    k: int,
+    delta: int,
+    *,
+    workers: int = 2,
+    config: MaxRFCConfig | None = None,
+    split_threshold: int = DEFAULT_SPLIT_THRESHOLD,
+    poll_interval: int = 256,
+) -> SearchResult:
+    """Convenience wrapper: solve with the parallel executor.
+
+    Equivalent to ``ParallelMaxRFC(config, ParallelConfig(...)).solve(...)``;
+    the unified API reaches the same code through ``workers=N`` on a
+    :class:`~repro.api.query.FairCliqueQuery`.
+    """
+    parallel = ParallelConfig(
+        workers=workers,
+        split_threshold=split_threshold,
+        poll_interval=poll_interval,
+    )
+    return ParallelMaxRFC(config, parallel).solve(graph, k, delta)

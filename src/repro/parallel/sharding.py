@@ -1,0 +1,143 @@
+"""Shard planning: turn a kernel snapshot into independent search tasks.
+
+After the Algorithm 2 reduction, the surviving connected components are
+independent subproblems — the only coupling left is the shared incumbent,
+which only ever *shrinks* work.  A :class:`ShardPlan` lists one task per
+component, except that components too large for one worker are split one
+branch level deep: the root candidate loop of the branch-and-bound
+decomposes into one independent subtree per root position (``R = {p}``,
+``C =`` higher-ranked neighbours of ``p``), so the positions of an oversized
+component are dealt round-robin into ``chunks_per_split`` subtree tasks.
+
+Round-robin (rather than contiguous ranges) matters for load balance: the
+subtree rooted at position ``p`` only branches over candidates ranked above
+``p``, so subtree cost falls sharply with ``p`` — contiguous chunks would
+hand one worker all the expensive low-rank roots.
+
+The plan replicates the serial component schedule exactly — same
+``(-max core, min tie key)`` order, same minimum-size / per-attribute
+feasibility filters — so a one-worker plan visits components in the same
+order the serial kernel search does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kernel.bitops import bits_list
+from repro.kernel.compile import GraphKernel
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One unit of parallel work.
+
+    ``root_positions is None`` means "search the whole component";
+    otherwise the shard covers exactly the root subtrees at those local
+    positions (listed in descending rank, the order the serial root loop
+    uses so large colorful cores are explored first).
+    """
+
+    index: int
+    component_index: int
+    component_size: int
+    root_positions: tuple[int, ...] | None = None
+
+    @property
+    def is_split(self) -> bool:
+        """True when this shard is a slice of a split component."""
+        return self.root_positions is not None
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """The full task list for one parallel solve, plus planning telemetry."""
+
+    shards: tuple[Shard, ...]
+    components_searched: int
+    components_split: int
+    components_skipped: int
+
+    def summary(self) -> dict:
+        """Plain-data description for stats/metadata reporting."""
+        return {
+            "shards": len(self.shards),
+            "components_searched": self.components_searched,
+            "components_split": self.components_split,
+            "components_skipped": self.components_skipped,
+        }
+
+
+def plan_shards(
+    kernel: GraphKernel,
+    k: int,
+    *,
+    minimum_size: int,
+    incumbent_size: int = 0,
+    workers: int = 2,
+    split_threshold: int = 96,
+    chunks_per_split: int | None = None,
+) -> ShardPlan:
+    """Plan the shard list for a compiled (reduced) kernel snapshot.
+
+    Components are filtered with the serial search's prologue arguments —
+    too small to beat ``max(minimum_size, incumbent_size + 1)``, or lacking
+    ``k`` vertices of either attribute — and visited biggest-core-first so
+    the pool starts the most promising work immediately.  A component is
+    split (into ``chunks_per_split``, default ``2 * workers``, round-robin
+    root-subtree shards) only when it is both larger than
+    ``split_threshold`` *and* too large to balance whole — strictly more
+    than a ``1/workers`` share of the surviving vertices.  Several
+    similar-sized components already balance across the pool by themselves;
+    splitting them would only multiply per-worker view construction.
+    """
+    if not kernel.n:
+        return ShardPlan((), 0, 0, 0)
+    cores = kernel.core_numbers()
+    tie_keys = kernel.tie_keys
+    attr_a_mask = kernel.attr_masks[0] if kernel.attr_masks else 0
+    entries = []
+    for component_index, mask in enumerate(kernel.component_masks()):
+        members = bits_list(mask)
+        entries.append((
+            -max(cores[i] for i in members),
+            min(tie_keys[i] for i in members),
+            component_index,
+            mask,
+            len(members),
+        ))
+    entries.sort(key=lambda entry: entry[:2])
+
+    surviving = []
+    skipped = 0
+    for _, _, component_index, mask, size in entries:
+        if size < minimum_size or size <= incumbent_size:
+            skipped += 1
+            continue
+        count_a = (mask & attr_a_mask).bit_count()
+        if count_a < k or size - count_a < k:
+            skipped += 1
+            continue
+        surviving.append((component_index, size))
+    total_size = sum(size for _, size in surviving)
+
+    shards: list[Shard] = []
+    searched = len(surviving)
+    split = 0
+    for component_index, size in surviving:
+        if size <= split_threshold or size * workers <= total_size:
+            shards.append(Shard(len(shards), component_index, size))
+            continue
+        split += 1
+        chunks = chunks_per_split if chunks_per_split else max(2, 2 * workers)
+        chunks = min(chunks, size)
+        buckets: list[list[int]] = [[] for _ in range(chunks)]
+        # Deal descending positions round-robin: bucket i gets the i-th,
+        # (i+chunks)-th, ... most expensive roots, keeping chunk costs even.
+        for offset, position in enumerate(range(size - 1, -1, -1)):
+            buckets[offset % chunks].append(position)
+        for bucket in buckets:
+            shards.append(Shard(
+                len(shards), component_index, size, tuple(bucket),
+            ))
+    return ShardPlan(tuple(shards), searched, split, skipped)

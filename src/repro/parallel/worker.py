@@ -1,0 +1,230 @@
+"""Worker-side machinery of the parallel executor.
+
+Each pool worker is initialised exactly once with a :class:`WorkerPayload`
+(the compiled kernel snapshot plus the search parameters) — the kernel is
+pickled once per *worker*, never per shard.  From then on every shard the
+worker receives references the snapshot by component index; component views
+and orderings are built lazily and cached in the worker (the "fork-safe
+per-worker kernel cache"), so two shards of the same split component share
+one :class:`~repro.kernel.view.SubgraphView`.
+
+The incumbent channel is a ``multiprocessing.Value`` holding the size of the
+best fair clique found anywhere.  It cannot be pickled into ``initargs``, so
+the parent parks it in :data:`_PARENT_CHANNEL` immediately before the pool
+forks and the children inherit it (fork start method only; without fork the
+executor simply runs without cross-shard tightening, which is slower but
+still exact).  Workers poll the channel every ``poll_interval`` branches and
+raise their local pruning threshold; they publish through ``on_improve``
+whenever they record a strictly larger clique.
+
+A shard that exhausts its time/branch budget raises internally, keeps the
+best clique it had found, and reports ``aborted=True`` — the coordinator
+merges partial results instead of losing them.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass, field
+
+from repro.bounds.base import BoundStack
+from repro.kernel.bitops import bits_list
+from repro.kernel.compile import GraphKernel
+from repro.kernel.cores import colorful_core_order
+from repro.kernel.search import KernelBranchAndBound
+from repro.kernel.view import SubgraphView
+from repro.parallel.sharding import Shard
+from repro.search.ordering import OrderingStrategy, compute_ordering
+from repro.search.statistics import SearchStats
+
+
+class ShardBudgetExceeded(Exception):
+    """Internal signal: stop this shard, keep its incumbent."""
+
+
+@dataclass(frozen=True)
+class WorkerPayload:
+    """Everything a worker needs, shipped once through the pool initializer."""
+
+    kernel: GraphKernel
+    k: int
+    delta: int
+    bound_stack: BoundStack | None
+    bound_depth: int
+    ordering: OrderingStrategy
+    deadline: float | None
+    branch_limit: int | None
+    poll_interval: int
+    seed_size: int
+
+
+@dataclass
+class ShardResult:
+    """What a shard sends back: its local incumbent and counters."""
+
+    shard_index: int
+    clique: frozenset = frozenset()
+    stats: SearchStats = field(default_factory=SearchStats)
+    aborted: bool = False
+    seconds: float = 0.0
+
+
+#: Parked by the parent right before the pool forks; children inherit them.
+_PARENT_CHANNEL = None
+_PARENT_BRANCH_COUNTER = None
+
+#: Per-worker state: payload, channels, and the component view cache.
+_STATE: dict = {}
+
+
+def _init_worker(payload: WorkerPayload) -> None:
+    """Pool initializer: cache the payload and adopt the inherited channels."""
+    _STATE.clear()
+    _STATE["payload"] = payload
+    _STATE["channel"] = _PARENT_CHANNEL
+    _STATE["branch_counter"] = _PARENT_BRANCH_COUNTER
+    _STATE["views"] = {}
+    _STATE["graph"] = None
+    # Recursion can go as deep as the largest clique; give it headroom
+    # (mirrors the serial search's guard, which runs in the coordinator).
+    sys.setrecursionlimit(max(sys.getrecursionlimit(), payload.kernel.n + 1000))
+
+
+def _component_view(component_index: int) -> SubgraphView:
+    """Rank-ordered view of one component, cached per worker."""
+    views = _STATE["views"]
+    view = views.get(component_index)
+    if view is None:
+        payload = _STATE["payload"]
+        kernel = payload.kernel
+        mask = kernel.component_masks()[component_index]
+        if payload.ordering is OrderingStrategy.COLORFUL_CORE:
+            ordered = colorful_core_order(kernel, mask)
+            graph = _STATE["graph"]
+        else:
+            # Non-default orderings are defined on the dict graph; the kernel
+            # *is* the reduced graph, so materialise it once per worker.
+            graph = _STATE["graph"]
+            if graph is None:
+                graph = _STATE["graph"] = kernel.materialize()
+            component = [kernel.vertex_of[i] for i in bits_list(mask)]
+            rank = compute_ordering(graph, component, payload.ordering)
+            ordered = sorted(component, key=lambda v: rank[v])
+        view = SubgraphView(kernel, graph, ordered)
+        views[component_index] = view
+    return view
+
+
+def _make_budget_check(searcher: KernelBranchAndBound, payload: WorkerPayload,
+                       channel, branch_counter, published: list):
+    """Per-branch callback: budget enforcement + incumbent-channel polling.
+
+    ``branch_limit`` is a *global* budget, matching the serial search's
+    contract of one cap on total explored branches.  With a shared counter
+    (fork available) every worker publishes its local count every 64
+    branches and aborts once the global total exceeds the limit — the
+    overshoot is bounded by ``64 * pool size``.  Without the shared counter
+    the limit degrades to a per-shard cap (still an abort signal, but a
+    looser one).  ``published`` is a one-cell list tracking how many of this
+    shard's branches have already been added to the global counter, so
+    :func:`run_shard` can flush the remainder when the shard ends.
+    """
+    deadline = payload.deadline
+    branch_limit = payload.branch_limit
+    poll_interval = payload.poll_interval
+
+    def check(stats: SearchStats) -> None:
+        branches = stats.branches_explored
+        if deadline is not None and branches % 64 == 0:
+            if time.monotonic() > deadline:
+                raise ShardBudgetExceeded()
+        if branch_limit is not None:
+            if branch_counter is not None:
+                if branches % 64 == 0:
+                    with branch_counter.get_lock():
+                        branch_counter.value += branches - published[0]
+                        total = branch_counter.value
+                    published[0] = branches
+                    if total > branch_limit:
+                        raise ShardBudgetExceeded()
+            elif branches > branch_limit:
+                raise ShardBudgetExceeded()
+        if channel is not None and branches % poll_interval == 0:
+            shared = channel.value
+            if shared > searcher.best_size:
+                searcher.best_size = shared
+
+    return check
+
+
+def _make_publisher(channel):
+    """``on_improve`` hook: push a new incumbent size to the shared channel."""
+
+    def publish(size: int) -> None:
+        with channel.get_lock():
+            if size > channel.value:
+                channel.value = size
+
+    return publish
+
+
+def run_shard(shard: Shard) -> ShardResult:
+    """Worker entry point: solve one shard, return its partial result."""
+    payload: WorkerPayload = _STATE["payload"]
+    channel = _STATE["channel"]
+    branch_counter = _STATE["branch_counter"]
+    started = time.monotonic()
+    stats = SearchStats()
+    best_size = payload.seed_size
+    if channel is not None:
+        shared = channel.value
+        if shared > best_size:
+            best_size = shared
+    searcher = KernelBranchAndBound(
+        view=_component_view(shard.component_index),
+        k=payload.k,
+        delta=payload.delta,
+        stats=stats,
+        bound_stack=payload.bound_stack,
+        bound_depth=payload.bound_depth,
+        check_budget=_noop_budget,
+        best_size=best_size,
+        best_clique=frozenset(),
+        has_budget=(
+            channel is not None
+            or payload.deadline is not None
+            or payload.branch_limit is not None
+        ),
+        on_improve=_make_publisher(channel) if channel is not None else None,
+    )
+    published = [0]
+    searcher.check_budget = _make_budget_check(
+        searcher, payload, channel, branch_counter, published
+    )
+    aborted = False
+    try:
+        if shard.root_positions is None:
+            searcher.run()
+        else:
+            for position in shard.root_positions:
+                searcher.run_root_branch(position)
+    except ShardBudgetExceeded:
+        aborted = True
+    finally:
+        if branch_counter is not None and payload.branch_limit is not None:
+            # Flush the unpublished tail so the global count stays exact
+            # between shards.
+            with branch_counter.get_lock():
+                branch_counter.value += stats.branches_explored - published[0]
+    return ShardResult(
+        shard_index=shard.index,
+        clique=searcher.best_clique,
+        stats=stats,
+        aborted=aborted,
+        seconds=time.monotonic() - started,
+    )
+
+
+def _noop_budget(stats: SearchStats) -> None:  # pragma: no cover - placeholder
+    """Placeholder replaced right after construction (slots need a value)."""

@@ -1,0 +1,154 @@
+"""Parity of the kernel-native bound evaluators against the dict bounds.
+
+Every predefined bound (the ``ubAD`` group, the structural ``ub_deg``/``ub_h``
+pair, and the colorful ``ubcd``/``ubch``/``ubcp`` trio) must produce the
+*identical value* on identical ``(R, C)`` instances whether it is evaluated
+through :mod:`repro.kernel.bounds` or through the dict implementations in
+:mod:`repro.bounds` — that value-for-value agreement is what lets the kernel
+search run any stack natively without changing a single prune decision.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bounds.base import BoundContext, make_context
+from repro.bounds.stacks import ALL_BOUNDS, get_stack, stack_names
+from repro.graph.builders import paper_example_graph
+from repro.graph.components import connected_components
+from repro.graph.generators import community_graph, erdos_renyi_graph
+from repro.kernel.bounds import KERNEL_BOUNDS, evaluate_bound, stack_evaluate
+from repro.kernel.view import SubgraphView
+from repro.search.maxrfc import MaxRFC, build_search_config
+
+BOUND_NAMES = sorted(ALL_BOUNDS)
+
+
+def _graphs():
+    return [
+        ("paper", paper_example_graph()),
+        ("er-sparse", erdos_renyi_graph(36, 0.15, seed=11)),
+        ("er-dense", erdos_renyi_graph(30, 0.4, seed=23)),
+        ("community", community_graph(3, 14, intra_probability=0.55,
+                                      inter_edges=2, seed=5)),
+    ]
+
+
+def _instances(view, rng):
+    """A spread of (clique_mask, cand_mask) pairs: root plus vertex-anchored."""
+    pairs = [(0, view.full_mask)]
+    for _ in range(4):
+        p = rng.randrange(view.n)
+        neighbors = view.adj[p]
+        if neighbors:
+            pairs.append((1 << p, neighbors))
+            # Two-vertex R with the common neighbourhood as C, when possible.
+            q = rng.choice([b for b in range(view.n) if neighbors >> b & 1])
+            common = neighbors & view.adj[q]
+            if common:
+                pairs.append(((1 << p) | (1 << q), common))
+    return [(clique, cand) for clique, cand in pairs if cand]
+
+
+@pytest.mark.parametrize("bound_name", BOUND_NAMES)
+def test_bound_value_parity_on_randomized_instances(bound_name):
+    rng = random.Random(hash(bound_name) & 0xFFFF)
+    bound = ALL_BOUNDS[bound_name]
+    checked = 0
+    for _, graph in _graphs():
+        kernel = graph.compile()
+        for component in connected_components(graph):
+            if len(component) < 4:
+                continue
+            view = SubgraphView(kernel, graph, sorted(component, key=str))
+            for clique_mask, cand_mask in _instances(view, rng):
+                for k, delta in ((2, 1), (3, 0)):
+                    kernel_value = evaluate_bound(
+                        view, bound, clique_mask, cand_mask, k, delta
+                    )
+                    context = make_context(
+                        graph,
+                        view.frozenset_of(clique_mask),
+                        view.frozenset_of(cand_mask),
+                        k,
+                        delta,
+                    )
+                    assert kernel_value == bound(context), (
+                        bound_name, clique_mask, cand_mask, k, delta
+                    )
+                    checked += 1
+    assert checked > 0
+
+
+def test_every_predefined_stack_is_fully_kernel_native():
+    """No Table II configuration falls back to the dict path anymore."""
+    for name in stack_names():
+        for bound in get_stack(name).bounds:
+            assert bound.name in KERNEL_BOUNDS, (name, bound.name)
+
+
+def test_stack_evaluate_matches_dict_stack():
+    graph = erdos_renyi_graph(28, 0.3, seed=9)
+    kernel = graph.compile()
+    component = max(connected_components(graph), key=len)
+    view = SubgraphView(kernel, graph, sorted(component, key=str))
+    for stack_name in stack_names():
+        stack = get_stack(stack_name)
+        kernel_value = stack_evaluate(view, stack, 0, view.full_mask, 2, 1)
+        context = make_context(
+            graph, frozenset(), view.frozenset_of(view.full_mask), 2, 1
+        )
+        assert kernel_value == stack.evaluate(context), stack_name
+
+
+def test_custom_bound_still_uses_dict_fallback():
+    """Bounds outside KERNEL_BOUNDS evaluate through a materialised context."""
+    from repro.bounds.base import UpperBound
+
+    seen = {}
+
+    def probe(context: BoundContext) -> int:
+        seen["graph"] = context.graph
+        return len(context.scope)
+
+    bound = UpperBound("ub_custom_probe", probe, cost_rank=99)
+    graph = paper_example_graph()
+    kernel = graph.compile()
+    component = max(connected_components(graph), key=len)
+    view = SubgraphView(kernel, None, sorted(component, key=str))
+    value = evaluate_bound(view, bound, 0, view.full_mask, 2, 1)
+    assert value == len(component)
+    # graph=None views materialise the kernel for the fallback context.
+    assert seen["graph"].num_vertices == kernel.n
+
+
+@pytest.mark.parametrize("stack_name", ["ubAD+ubcd", "ubAD+ubch", "ubAD+ubcp",
+                                        "ubAD+ub_deg", "ubAD+ub_h"])
+def test_search_counter_parity_with_colorful_stacks(stack_name):
+    """Kernel vs dict search: same clique AND same counters for every stack.
+
+    This is the end-to-end pin: since the ablation stacks now run natively,
+    the kernel search must still take exactly the dict search's decisions.
+    """
+    graphs = [
+        paper_example_graph(),
+        erdos_renyi_graph(26, 0.35, seed=3),
+        community_graph(2, 12, intra_probability=0.6, inter_edges=1, seed=8),
+    ]
+    for graph in graphs:
+        fingerprints = {}
+        for label, use_kernel in (("kernel", True), ("dict", False)):
+            config = build_search_config(
+                bound_stack=stack_name, use_kernel=use_kernel, use_heuristic=False
+            )
+            result = MaxRFC(config).solve(graph, 2, 1)
+            fingerprints[label] = (
+                result.clique,
+                result.stats.branches_explored,
+                result.stats.pruned_by_bound,
+                result.stats.bound_evaluations,
+                result.stats.solutions_found,
+            )
+        assert fingerprints["kernel"] == fingerprints["dict"], stack_name

@@ -1,0 +1,328 @@
+"""Determinism and correctness of the component-sharded parallel executor.
+
+The headline guarantee: for every fairness model and worker count, the
+parallel executor returns a *verified* fair clique of exactly the size the
+serial kernel search returns.  The specific clique may differ (the incumbent
+race is worker-order dependent), the size may not.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import BatchExecutor, FairCliqueQuery, query_grid, solve, solve_many
+from repro.exceptions import InvalidParameterError
+from repro.graph.builders import complete_graph, from_edge_list, paper_example_graph
+from repro.graph.generators import (
+    community_graph,
+    erdos_renyi_graph,
+    quasi_clique_blobs,
+)
+from repro.kernel.search import KernelBranchAndBound
+from repro.kernel.view import SubgraphView
+from repro.parallel import (
+    ParallelConfig,
+    ParallelMaxRFC,
+    plan_shards,
+    solve_parallel,
+)
+from repro.search.maxrfc import MaxRFC, build_search_config
+from repro.search.statistics import SearchStats
+from repro.search.verification import is_relative_fair_clique
+from repro.variants.multi_attribute import is_multi_attribute_weak_fair_clique
+
+MODELS = ("relative", "weak", "strong", "multi_weak")
+
+
+def _multi_component_graph():
+    """Three dense components of different hardness (inter_edges=0 keeps them apart)."""
+    return community_graph(3, 16, intra_probability=0.6, inter_edges=0, seed=21)
+
+
+def _single_component_graph():
+    return complete_graph({i: ("a" if i % 2 == 0 else "b") for i in range(10)})
+
+
+def _empty_after_reduction_graph():
+    """A path graph: every vertex dies in the colorful-core peel for k=2."""
+    return from_edge_list(
+        [(i, i + 1) for i in range(12)],
+        {i: ("a" if i % 2 == 0 else "b") for i in range(13)},
+    )
+
+
+GRAPHS = {
+    "multi-component": _multi_component_graph,
+    "single-component": _single_component_graph,
+    "empty-after-reduction": _empty_after_reduction_graph,
+}
+
+
+def _query(model: str, workers: int | None) -> FairCliqueQuery:
+    delta = 1 if model == "relative" else None
+    return FairCliqueQuery(model=model, k=2, delta=delta, workers=workers)
+
+
+def _verify(graph, report) -> None:
+    if not report.found:
+        return
+    if report.model == "multi_weak":
+        assert is_multi_attribute_weak_fair_clique(graph, report.clique, report.k)
+    else:
+        # weak/strong map onto the relative checker through their
+        # effective delta; the query object owns that mapping.
+        query = _query(report.model, None)
+        delta = query.effective_delta(graph)
+        assert is_relative_fair_clique(graph, report.clique, report.k, delta)
+
+
+class TestDeterminismAcrossModelsAndWorkers:
+    """Same clique size as the serial kernel path: 4 models × 1/2/4 workers."""
+
+    @pytest.mark.parametrize("graph_name", sorted(GRAPHS))
+    @pytest.mark.parametrize("model", MODELS)
+    def test_parallel_size_matches_serial(self, graph_name, model):
+        graph = GRAPHS[graph_name]()
+        serial = solve(graph, _query(model, None))
+        for workers in (1, 2, 4):
+            report = solve(graph, _query(model, workers))
+            assert report.size == serial.size, (graph_name, model, workers)
+            assert report.optimal
+            assert not report.aborted
+            _verify(graph, report)
+
+    def test_direct_executor_matches_maxrfc(self):
+        graph = _multi_component_graph()
+        config = build_search_config()
+        serial = MaxRFC(config).solve(graph, 2, 1)
+        for workers in (2, 4):
+            result = solve_parallel(
+                graph, 2, 1, workers=workers, config=build_search_config()
+            )
+            assert result.size == serial.size
+            assert is_relative_fair_clique(graph, result.clique, 2, 1)
+            telemetry = result.stats.extra["parallel"]
+            assert telemetry["workers"] == workers
+            assert telemetry["shards"] >= telemetry["components_searched"]
+
+    def test_split_components_return_identical_size(self):
+        """Forcing one-level splits must not change the answer."""
+        graph = community_graph(1, 36, intra_probability=0.55,
+                                inter_edges=0, seed=4)
+        serial = MaxRFC(build_search_config()).solve(graph, 2, 1)
+        result = ParallelMaxRFC(
+            build_search_config(),
+            ParallelConfig(workers=2, split_threshold=8),
+        ).solve(graph, 2, 1)
+        assert result.size == serial.size
+        telemetry = result.stats.extra["parallel"]
+        assert telemetry["components_split"] == 1
+        assert telemetry["shards"] > 1
+
+
+class TestBudgetAborts:
+    def test_branch_budget_returns_partial_result_with_aborted_flag(self):
+        background = erdos_renyi_graph(0, 0.0)
+        hard = quasi_clique_blobs(background, num_blobs=3, blob_size=36,
+                                  edge_probability=0.55, seed=7)
+        report = solve(hard, FairCliqueQuery(
+            model="relative", k=2, delta=1, workers=2,
+            options={"branch_limit": 40, "use_heuristic": False},
+        ))
+        assert report.aborted
+        assert not report.optimal
+        telemetry = report.metadata["parallel"]
+        assert telemetry["aborted_shards"] >= 1
+        # The merged best-so-far must still be a genuine fair clique.
+        if report.found:
+            assert is_relative_fair_clique(hard, report.clique, 2, 1)
+
+    def test_branch_limit_is_global_across_shards(self):
+        """branch_limit caps *total* explored branches, as in the serial search.
+
+        Workers publish to a shared counter every 64 branches, so the
+        overshoot is bounded by 64 per pool slot (plus the check that trips
+        mid-publish) — not multiplied by the shard count.
+        """
+        background = erdos_renyi_graph(0, 0.0)
+        hard = quasi_clique_blobs(background, num_blobs=4, blob_size=36,
+                                  edge_probability=0.55, seed=7)
+        # Without bounds/heuristic the four blobs explore ~1250+ branches in
+        # total, a few hundred each — so a global cap of 900 can only trip
+        # through the shared counter; a (buggy) per-shard cap would never
+        # fire and the assertion below would catch the regression.
+        limit = 900
+        result = ParallelMaxRFC(
+            build_search_config(branch_limit=limit, bound_stack=None,
+                                use_heuristic=False),
+            ParallelConfig(workers=2),
+        ).solve(hard, 2, 1)
+        telemetry = result.stats.extra["parallel"]
+        if telemetry["incumbent_channel"]:
+            assert result.stats.timed_out
+            # Overshoot is bounded by the unpublished 64-branch windows of
+            # the concurrently running shards.
+            assert result.stats.branches_explored <= limit + 64 * 2 * 2 + 64
+
+    def test_serial_and_parallel_report_aborted_consistently(self):
+        graph = _multi_component_graph()
+        for workers in (None, 2):
+            report = solve(graph, FairCliqueQuery(
+                model="relative", k=2, delta=1, workers=workers,
+            ))
+            assert not report.aborted
+            assert report.aborted == report.stats.timed_out
+
+
+class TestShardPlanning:
+    def test_plan_covers_every_root_position_exactly_once(self):
+        # One 30-vertex component plus a small satellite one: the big
+        # component holds more than a 1/workers share, so it must split.
+        graph = community_graph(1, 30, intra_probability=0.5,
+                                inter_edges=0, seed=3)
+        kernel = graph.compile()
+        plan = plan_shards(kernel, 2, minimum_size=4, workers=2,
+                           split_threshold=10)
+        assert plan.components_split == 1
+        positions: list[int] = []
+        for shard in plan.shards:
+            assert shard.is_split
+            positions.extend(shard.root_positions)
+            # Positions inside one shard are strictly descending (serial
+            # root-iteration order).
+            assert list(shard.root_positions) == sorted(
+                shard.root_positions, reverse=True
+            )
+        assert sorted(positions) == list(range(30))
+
+    def test_balanced_components_stay_whole(self):
+        """Equal components at pool size balance by themselves — no split."""
+        graph = community_graph(2, 30, intra_probability=0.5,
+                                inter_edges=0, seed=3)
+        plan = plan_shards(graph.compile(), 2, minimum_size=4, workers=2,
+                           split_threshold=10)
+        assert plan.components_split == 0
+        assert len(plan.shards) == 2
+
+    def test_small_components_become_whole_shards(self):
+        graph = _multi_component_graph()
+        plan = plan_shards(graph.compile(), 2, minimum_size=4, workers=4)
+        assert plan.components_searched == 3
+        assert plan.components_split == 0
+        assert all(not shard.is_split for shard in plan.shards)
+
+    def test_infeasible_components_are_skipped(self):
+        # One all-'a' triangle component can never host a fair clique.
+        graph = from_edge_list(
+            [(1, 2), (2, 3), (1, 3), (4, 5), (5, 6), (4, 6)],
+            {1: "a", 2: "a", 3: "a", 4: "a", 5: "b", 6: "a"},
+        )
+        plan = plan_shards(graph.compile(), 1, minimum_size=2, workers=2)
+        assert plan.components_skipped == 1
+        assert plan.components_searched == 1
+
+    def test_empty_kernel_plans_nothing(self):
+        from repro.graph.attributed_graph import AttributedGraph
+
+        plan = plan_shards(AttributedGraph().compile(), 2, minimum_size=4)
+        assert plan.shards == ()
+
+
+class TestRunRootBranch:
+    def test_union_of_root_subtrees_equals_whole_component_search(self):
+        graph = erdos_renyi_graph(24, 0.45, seed=13)
+        kernel = graph.compile()
+        from repro.graph.components import connected_components
+        from repro.kernel.cores import colorful_core_order
+
+        component = max(connected_components(graph), key=len)
+        mask = kernel.mask_of(component)
+        ordered = colorful_core_order(kernel, mask)
+
+        def searcher():
+            return KernelBranchAndBound(
+                view=SubgraphView(kernel, graph, ordered),
+                k=2, delta=1, stats=SearchStats(), bound_stack=None,
+                bound_depth=0, check_budget=lambda stats: None,
+                best_size=0, best_clique=frozenset(), has_budget=False,
+            )
+
+        whole = searcher()
+        whole.run()
+        split = searcher()
+        for position in range(len(ordered) - 1, -1, -1):
+            split.run_root_branch(position)
+        assert split.best_size == whole.best_size
+        assert split.best_clique == whole.best_clique
+
+
+class TestConfiguration:
+    def test_parallel_requires_kernel(self):
+        with pytest.raises(InvalidParameterError):
+            ParallelMaxRFC(build_search_config(use_kernel=False),
+                           ParallelConfig(workers=2))
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(InvalidParameterError):
+            FairCliqueQuery(model="relative", k=2, delta=1, workers=0)
+
+    def test_serial_engines_note_ignored_workers(self):
+        graph = _single_component_graph()
+        for engine in ("heuristic", "brute_force"):
+            report = solve(graph, FairCliqueQuery(
+                model="relative", k=2, delta=1, engine=engine, workers=4,
+            ))
+            assert "workers_ignored" in report.metadata, engine
+            serial = solve(graph, FairCliqueQuery(
+                model="relative", k=2, delta=1, engine=engine,
+            ))
+            assert "workers_ignored" not in serial.metadata, engine
+
+    def test_one_worker_never_spawns_a_pool(self):
+        graph = _multi_component_graph()
+        result = ParallelMaxRFC(
+            build_search_config(), ParallelConfig(workers=1)
+        ).solve(graph, 2, 1)
+        assert "parallel" not in result.stats.extra
+        assert result.size == MaxRFC(build_search_config()).solve(graph, 2, 1).size
+
+
+class TestBatchExecutor:
+    def test_executor_reuse_across_solve_many_calls(self):
+        graph = _multi_component_graph()
+        expected = [report.size for report in
+                    solve_many(graph, query_grid(deltas=(0, 1, 2)))]
+        with BatchExecutor(graph, max_workers=2) as executor:
+            first = solve_many(graph, query_grid(deltas=(0, 1, 2)),
+                               executor=executor)
+            second = solve_many(graph, query_grid(deltas=(0, 1, 2)),
+                                executor=executor)
+        assert [report.size for report in first] == expected
+        assert [report.size for report in second] == expected
+
+    def test_executor_rejects_mutated_graph(self):
+        """Workers hold the graph pickled at pool creation — mutating the
+        coordinator's copy afterwards must fail loudly, not answer stale."""
+        graph = _multi_component_graph()
+        with BatchExecutor(graph, max_workers=2) as executor:
+            solve_many(graph, query_grid(deltas=(1,)), executor=executor)
+            graph.add_vertex("late", "a")
+            with pytest.raises(InvalidParameterError):
+                solve_many(graph, query_grid(deltas=(1,)), executor=executor)
+
+    def test_executor_rejects_foreign_graph(self):
+        graph = _multi_component_graph()
+        other = paper_example_graph()
+        with BatchExecutor(graph, max_workers=2) as executor:
+            with pytest.raises(InvalidParameterError):
+                solve_many(other, query_grid(deltas=(1,)), executor=executor)
+
+    def test_unshared_reduction_still_correct_through_initializer(self):
+        graph = _multi_component_graph()
+        reports = solve_many(
+            graph, query_grid(deltas=(0, 1)), share_reduction=False,
+            max_workers=2,
+        )
+        expected = solve_many(graph, query_grid(deltas=(0, 1)),
+                              share_reduction=False)
+        assert [r.size for r in reports] == [r.size for r in expected]
