@@ -50,7 +50,9 @@ def binary_model_comparison() -> None:
 def multi_attribute_example() -> None:
     # A project spanning three research areas: the team must include at least
     # two people from every area, and everyone must have collaborated with
-    # everyone else.
+    # everyone else.  The multi_weak model rides the same FairnessModel layer
+    # as the binary models, so the exact engine runs the kernel
+    # branch-and-bound and workers > 1 shards it across a process pool.
     areas = ["databases", "machine-learning", "systems"]
     members = {}
     vertex = 0
@@ -67,6 +69,18 @@ def multi_attribute_example() -> None:
     report = solve(graph, model="multi_weak", k=2)
     print("Multi-attribute (3 research areas) weak fair clique:")
     print(f"  team size {report.size}, composition {report.attribute_counts}")
+    print(f"  solved by {report.algorithm} on the kernel fast path")
+
+    # The linear-time round-robin greedy is a registered engine too; it may
+    # return a smaller team, never a larger one.
+    greedy = solve(graph, model="multi_weak", k=2, engine="heuristic")
+    print(f"  greedy engine: size {greedy.size} "
+          f"(exact confirmed {report.size})")
+
+    # And the component-sharded parallel executor accepts every model now.
+    parallel = solve(graph, FairCliqueQuery(model="multi_weak", k=2, workers=2))
+    assert parallel.size == report.size
+    print(f"  workers=2 parallel search agrees: size {parallel.size}")
 
 
 def main() -> None:

@@ -49,9 +49,13 @@ def single_queries() -> None:
         print(f"  {report.summary()}")
     print()
 
-    # Unsupported (model, engine) pairs fail fast with the support matrix.
+    # Every built-in engine now supports every model (the FairnessModel
+    # layer closed the historic (multi_weak, heuristic) gap); querying an
+    # unknown engine still fails fast with the registry's matrix.
+    report = solve(graph, model="multi_weak", k=2, engine="heuristic")
+    print(f"  {report.summary()}")
     try:
-        solve(graph, model="multi_weak", k=2, engine="heuristic")
+        solve(graph, model="multi_weak", k=2, engine="quantum")
     except UnsupportedQueryError as error:
         print(f"  rejected as expected: {error}")
     print()

@@ -34,8 +34,11 @@ solver:
 {'a': 4, 'b': 3}
 
 Models: ``relative`` (the paper's model), ``weak``, ``strong``, and
-``multi_weak`` (any number of attribute values).  Engines: ``exact``,
-``heuristic``, and ``brute_force``; unsupported pairs fail fast.
+``multi_weak`` (any number of attribute values) — all four backed by the
+pluggable :mod:`repro.models` fairness-model layer, so every engine
+(``exact``, ``heuristic``, ``brute_force``) supports every model, the exact
+engine runs them all on the kernel fast path with ``workers=N``, and
+unknown engines / custom unsupported pairs still fail fast.
 
 Sweeps run through :func:`solve_many`, which memoizes the reduction pipeline
 across same-``k`` queries and can fan out over a process pool:
@@ -74,6 +77,14 @@ from repro.exceptions import (
 from repro.graph import AttributedGraph, from_edge_list, paper_example_graph
 from repro.heuristic import HeurRFC, heuristic_fair_clique
 from repro.kernel import GraphKernel, compile_kernel
+from repro.models import (
+    FairnessModel,
+    MultiWeakFairness,
+    RelativeFairness,
+    StrongFairness,
+    WeakFairness,
+    make_model,
+)
 from repro.parallel import ParallelConfig, ParallelMaxRFC, solve_parallel
 from repro.reduction import ReductionPipeline, reduce_graph
 from repro.search import (
@@ -101,6 +112,13 @@ __all__ = [
     # compiled graph kernel (freeze boundary)
     "GraphKernel",
     "compile_kernel",
+    # pluggable fairness models
+    "FairnessModel",
+    "RelativeFairness",
+    "WeakFairness",
+    "StrongFairness",
+    "MultiWeakFairness",
+    "make_model",
     # parallel component-sharded search
     "ParallelMaxRFC",
     "ParallelConfig",

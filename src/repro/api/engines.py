@@ -2,17 +2,19 @@
 
 Three engines cover the solver families of the paper:
 
-* ``exact`` — MaxRFC branch-and-bound for the binary models and the
-  multi-attribute branch-and-bound for ``multi_weak``; provably optimal.
-* ``heuristic`` — the linear-time HeurRFC framework (binary models only; the
-  multi-attribute generalisation has no validated heuristic counterpart, so
-  ``(multi_weak, heuristic)`` is deliberately an unsupported pair).
+* ``exact`` — the unified branch-and-bound (:class:`~repro.search.maxrfc.MaxRFC`)
+  driven by the pluggable :mod:`repro.models` fairness-model layer; provably
+  optimal for every model, kernel-native, and parallelisable with
+  ``workers > 1`` across all models.
+* ``heuristic`` — the linear-time heuristics: the HeurRFC framework for the
+  binary models, the round-robin multi-attribute greedy for ``multi_weak``.
 * ``brute_force`` — exhaustive maximal-clique enumeration, the slow oracle.
 
 Every engine receives ``(graph, query, context)`` where ``context`` is the
 :class:`~repro.api.batch.SolveContext` carrying the memoized reduction
 artifacts; in a :func:`~repro.api.batch.solve_many` sweep all queries with the
-same ``k`` share one reduction run through it.
+same ``k`` (and the same model-resolved stage list) share one reduction run
+through it.
 """
 
 from __future__ import annotations
@@ -23,17 +25,17 @@ from typing import TYPE_CHECKING, Any
 from repro.api.query import FairCliqueQuery
 from repro.api.registry import register_engine
 from repro.api.report import SolveReport
-from repro.exceptions import AttributeCountError, InvalidParameterError
+from repro.exceptions import InvalidParameterError
 from repro.graph.attributed_graph import AttributedGraph
-from repro.graph.validation import validate_binary_attributes
 from repro.heuristic.heur_rfc import HeurRFC
+from repro.models import make_model
 from repro.search.maxrfc import MaxRFC, build_search_config
 from repro.search.result import SearchResult
 from repro.search.statistics import SearchStats
 from repro.variants.multi_attribute import (
     MultiAttributeSearchResult,
-    MultiAttributeWeakFairCliqueSearch,
     brute_force_maximum_multi_weak_fair_clique,
+    greedy_multi_weak_fair_clique,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
@@ -63,47 +65,45 @@ def _consume_options(query: FairCliqueQuery, allowed: dict[str, Any]) -> dict[st
     return merged
 
 
-def _empty_binary_report(
+def _empty_model_report(
     graph: AttributedGraph, query: FairCliqueQuery, algorithm: str
 ) -> SolveReport:
-    """Report for binary models on graphs without exactly two attribute values."""
+    """Report for models the graph's attribute domain cannot satisfy."""
+    num_values = len(graph.attribute_values())
+    if query.model == "multi_weak":
+        note = "graph carries no attribute values; the multi_weak model needs at least one"
+    else:
+        note = (
+            f"model {query.model!r} requires exactly two attribute values; "
+            f"graph has {num_values}"
+        )
     result = SearchResult(
         clique=frozenset(), k=query.k, delta=query.delta or 0,
         stats=SearchStats(), algorithm=algorithm, optimal=True,
     )
     return SolveReport.from_search_result(
         result, graph, query.model, query.engine, delta=query.delta,
-        metadata={"note": "graph does not carry exactly two attribute values"},
+        metadata={"note": note},
     )
 
 
 @register_engine(
     "exact",
     models=ALL_MODELS,
-    description="branch-and-bound with reductions and bounds (MaxRFC / multi-attribute BnB)",
+    description="branch-and-bound with model-sound reductions and bounds (MaxRFC core)",
 )
 def exact_engine(
     graph: AttributedGraph, query: FairCliqueQuery, context: "SolveContext"
 ) -> SolveReport:
     """Provably optimal search; honours ``bound_stack``/``use_reduction``… options.
 
-    ``query.workers > 1`` dispatches the binary models to the
-    component-sharded parallel executor (:mod:`repro.parallel`); the
-    multi-attribute solver has no parallel port yet and stays serial, noting
-    the ignored request in the report metadata.
+    The query's model resolves to a :class:`~repro.models.base.FairnessModel`
+    that selects the sound reduction stages, the bound stack, and the
+    heuristic seed; the search itself is model-agnostic.  ``workers > 1``
+    dispatches *any* model to the component-sharded parallel executor
+    (:mod:`repro.parallel`).
     """
-    if query.model == "multi_weak":
-        _consume_options(query, {})
-        solver = MultiAttributeWeakFairCliqueSearch(time_limit=query.time_limit)
-        result = solver.solve(graph, query.k)
-        metadata = _workers_ignored_note(
-            query, "the multi-attribute solver has no parallel port yet"
-        )
-        return SolveReport.from_multi_attribute_result(
-            result, graph, engine="exact", algorithm="MultiAttrBnB",
-            metadata=metadata,
-        )
-
+    model = make_model(query.model, query.k, query.delta, graph)
     options = _consume_options(query, {
         "bound_stack": "ubAD",
         "use_reduction": True,
@@ -117,20 +117,30 @@ def exact_engine(
     config_kwargs = {k: v for k, v in options.items() if v is not None or k == "bound_stack"}
     config = build_search_config(time_limit=query.time_limit, **config_kwargs)
 
-    try:
-        validate_binary_attributes(graph)
-    except AttributeCountError:
-        # Checked before touching the shared reduction cache: the pipeline
-        # stages assume binary attributes.
-        return _empty_binary_report(graph, query, config.algorithm_name)
+    if not model.admits(graph):
+        # Checked before touching the shared reduction cache: the binary
+        # pipeline stages assume binary attributes.
+        return _empty_model_report(
+            graph, query, model.algorithm_name(config.algorithm_name)
+        )
 
     metadata: dict[str, Any] = {}
+    if "bound_stack" in query.options and config.bound_stack is not None:
+        # The model may substitute a model-sound stack for the requested one
+        # (multi_weak keeps only attribute-free bounds); say so instead of
+        # silently benchmarking a different configuration.
+        resolved = model.resolve_bound_stack(config.bound_stack)
+        requested_names = config.bound_stack.names
+        if resolved is None or resolved.names != requested_names:
+            metadata["bound_stack_substituted"] = {
+                "requested": list(requested_names),
+                "used": list(resolved.names) if resolved is not None else [],
+            }
     reduction = None
     seconds_charged = 0.0
+    stages = model.reduction_stages(config.reduction_stages)
     if config.use_reduction and graph.num_vertices:
-        reduction, seconds_charged, cache_hit = context.reduced(
-            query.k, config.reduction_stages
-        )
+        reduction, seconds_charged, cache_hit = context.reduced(query.k, stages)
         metadata["reduction"] = [stage.summary() for stage in reduction.stages]
         metadata["reduction_cache_hit"] = cache_hit
     if config.use_kernel:
@@ -148,9 +158,7 @@ def exact_engine(
         solver: MaxRFC = ParallelMaxRFC(config, ParallelConfig(workers=workers))
     else:
         solver = MaxRFC(config)
-    result = solver.solve(
-        graph, query.k, query.effective_delta(graph), reduction=reduction
-    )
+    result = solver.solve_model(graph, model, reduction=reduction)
     if "parallel" in result.stats.extra:
         metadata["parallel"] = result.stats.extra["parallel"]
     result.stats.reduction_seconds += seconds_charged
@@ -161,18 +169,31 @@ def exact_engine(
 
 @register_engine(
     "heuristic",
-    models=BINARY,
-    description="linear-time HeurRFC framework (no optimality guarantee)",
+    models=ALL_MODELS,
+    description="linear-time heuristics: HeurRFC (binary) / round-robin greedy (multi_weak)",
 )
 def heuristic_engine(
     graph: AttributedGraph, query: FairCliqueQuery, context: "SolveContext"
 ) -> SolveReport:
     """Fast greedy framework; option ``restarts`` controls start-vertex retries."""
     options = _consume_options(query, {"restarts": 4})
-    try:
-        validate_binary_attributes(graph)
-    except AttributeCountError:
-        return _empty_binary_report(graph, query, "HeurRFC")
+    if query.model == "multi_weak":
+        started = time.monotonic()
+        clique = greedy_multi_weak_fair_clique(
+            graph, query.k, restarts=options["restarts"]
+        )
+        stats = SearchStats(search_seconds=time.monotonic() - started)
+        outcome = MultiAttributeSearchResult(
+            clique=clique, k=query.k, stats=stats, optimal=False,
+        )
+        return SolveReport.from_multi_attribute_result(
+            outcome, graph, engine="heuristic", algorithm="GreedyMW",
+            metadata=_workers_ignored_note(
+                query, "the round-robin greedy is a serial linear-time pass"
+            ),
+        )
+    if not make_model(query.model, query.k, query.delta, graph).admits(graph):
+        return _empty_model_report(graph, query, "HeurRFC")
     result = HeurRFC(restarts=options["restarts"]).solve(
         graph, query.k, query.effective_delta(graph)
     )
@@ -204,6 +225,8 @@ def brute_force_engine(
             result, graph, engine="brute_force", algorithm="BruteForceEnum",
             metadata=metadata,
         )
+    if not make_model(query.model, query.k, query.delta, graph).admits(graph):
+        return _empty_model_report(graph, query, "BruteForceEnum")
     from repro.baselines.enumeration import brute_force_maximum_fair_clique
 
     result = brute_force_maximum_fair_clique(graph, query.k, query.effective_delta(graph))

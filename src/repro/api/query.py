@@ -70,10 +70,9 @@ class FairCliqueQuery:
     workers:
         Process-pool size for the search itself.  ``workers > 1`` makes the
         exact engine run the component-sharded parallel executor
-        (:mod:`repro.parallel`) for the binary models; engines with no
-        parallel path (heuristic, brute force, the multi-attribute solver)
-        ignore it and note so in the report metadata.  ``None``/``1`` solve
-        serially.
+        (:mod:`repro.parallel`) for *every* model, ``multi_weak`` included;
+        engines with no parallel path (heuristic, brute force) ignore it and
+        note so in the report metadata.  ``None``/``1`` solve serially.
     options:
         Engine-specific knobs (e.g. ``bound_stack``/``use_reduction`` for the
         exact engine, ``restarts`` for the heuristic).  Unknown options are

@@ -77,7 +77,16 @@ def make_context(
     k: int,
     delta: int,
 ) -> BoundContext:
-    """Build a :class:`BoundContext` for the instance ``(R, C)``."""
+    """Build a :class:`BoundContext` for the instance ``(R, C)``.
+
+    Raises :class:`~repro.exceptions.AttributeCountError` on non-binary
+    graphs: every attribute-aware bound (Lemmas 6, 8-9 and the colorful
+    family) encodes two-sided arithmetic, and silently lumping extra values
+    into side *b* would produce bounds smaller than the optimum.  Model
+    layers that run attribute-free bounds on wider domains build their
+    context through :meth:`repro.models.base.ActiveModel.bound_context`
+    instead.
+    """
     attribute_a, attribute_b = graph.attribute_pair()
     return BoundContext(
         graph=graph,

@@ -73,7 +73,7 @@ def _build_parser() -> argparse.ArgumentParser:
                            help="seconds before giving up")
     solve_cmd.add_argument("--search-workers", type=int, default=None,
                            help="process-pool size for the component-sharded "
-                                "parallel search (exact engine, binary models)")
+                                "parallel search (exact engine, every model)")
     solve_cmd.add_argument("--sweep", choices=("k", "delta"), default=None,
                            help="sweep one parameter over --sweep-values via the batch layer")
     solve_cmd.add_argument("--sweep-values", type=int, nargs="+", default=None,

@@ -7,11 +7,17 @@ throughout the paper:
 * **colorful degree** ``D_a(u, G)`` (Definition 2) — the number of *distinct
   colors* among ``u``'s neighbours whose attribute is ``a``;
 * **colorful k-core** (Definition 3) — maximal subgraph in which every vertex
-  has ``min(D_a, D_b) >= k``; any relative fair clique with parameter ``k``
-  lives inside the colorful ``(k-1)``-core (Lemma 1);
+  has ``min_x D_x >= k`` over every attribute value ``x``; any relative fair
+  clique with parameter ``k`` lives inside the colorful ``(k-1)``-core
+  (Lemma 1);
 * **colorful core number / colorful degeneracy** (Definitions 8-9) — backbone
   of the ``ub_cd`` upper bound (Lemma 12);
 * **colorful h-index** (Definition 10) — backbone of ``ub_ch`` (Lemma 13).
+
+The paper defines these on binary attribute domains; every function here
+takes the minimum over *all* attribute values present in the graph, which is
+the same quantity on binary graphs and the natural generalisation the
+multi-attribute weak fairness model (:mod:`repro.models`) relies on.
 """
 
 from __future__ import annotations
@@ -21,7 +27,6 @@ from collections.abc import Iterable
 from repro.coloring.greedy import Coloring, greedy_coloring
 from repro.cores.kcore import h_index_of_values
 from repro.graph.attributed_graph import AttributedGraph, Vertex
-from repro.graph.validation import validate_binary_attributes
 
 
 def colorful_degrees(
@@ -29,21 +34,20 @@ def colorful_degrees(
     coloring: Coloring,
     vertices: Iterable[Vertex] | None = None,
 ) -> dict[Vertex, dict[str, int]]:
-    """Compute ``D_a(u)`` and ``D_b(u)`` for every vertex in scope.
+    """Compute ``D_x(u)`` for every vertex in scope and attribute value ``x``.
 
     Returns ``{u: {attribute: distinct-color count}}``.  Attributes with no
     neighbouring vertex are reported as 0 so callers can index unconditionally.
     """
-    attribute_a, attribute_b = validate_binary_attributes(graph)
+    values = graph.attribute_values()
     scope = set(graph.vertices()) if vertices is None else set(vertices)
     result: dict[Vertex, dict[str, int]] = {}
     for vertex in scope:
-        seen: dict[str, set[int]] = {attribute_a: set(), attribute_b: set()}
+        seen: dict[str, set[int]] = {value: set() for value in values}
         for neighbor in graph.neighbors(vertex):
             if neighbor in scope:
                 seen[graph.attribute(neighbor)].add(coloring[neighbor])
-        result[vertex] = {attribute_a: len(seen[attribute_a]),
-                          attribute_b: len(seen[attribute_b])}
+        result[vertex] = {value: len(colors) for value, colors in seen.items()}
     return result
 
 
@@ -52,7 +56,7 @@ def min_colorful_degrees(
     coloring: Coloring,
     vertices: Iterable[Vertex] | None = None,
 ) -> dict[Vertex, int]:
-    """Compute ``D_min(u) = min(D_a(u), D_b(u))`` for every vertex in scope."""
+    """Compute ``D_min(u) = min_x D_x(u)`` for every vertex in scope."""
     degrees = colorful_degrees(graph, coloring, vertices)
     return {vertex: min(per_attribute.values()) for vertex, per_attribute in degrees.items()}
 
@@ -68,15 +72,17 @@ def colorful_k_core(
     Peels vertices whose ``D_min`` falls below ``k``, recomputing colorful
     degrees of the affected neighbours incrementally.
     """
-    attribute_a, attribute_b = validate_binary_attributes(graph)
+    values = graph.attribute_values()
     scope = set(graph.vertices()) if vertices is None else set(vertices)
+    if not values:
+        return set()
     if coloring is None:
         coloring = greedy_coloring(graph, scope)
     # Per-vertex, per-attribute multiset of neighbour colors (color -> count),
     # so removals can decrement without rescanning neighbourhoods.
     color_count: dict[Vertex, dict[str, dict[int, int]]] = {}
     for vertex in scope:
-        per_attribute: dict[str, dict[int, int]] = {attribute_a: {}, attribute_b: {}}
+        per_attribute: dict[str, dict[int, int]] = {value: {} for value in values}
         for neighbor in graph.neighbors(vertex):
             if neighbor in scope:
                 bucket = per_attribute[graph.attribute(neighbor)]
@@ -85,8 +91,7 @@ def colorful_k_core(
         color_count[vertex] = per_attribute
 
     def min_degree(vertex: Vertex) -> int:
-        per_attribute = color_count[vertex]
-        return min(len(per_attribute[attribute_a]), len(per_attribute[attribute_b]))
+        return min(len(bucket) for bucket in color_count[vertex].values())
 
     queue = [vertex for vertex in scope if min_degree(vertex) < k]
     removed: set[Vertex] = set()
@@ -121,13 +126,15 @@ def colorful_core_numbers(
     minimum current ``D_min``; its core number is the running maximum of the
     minimum degrees seen so far.
     """
-    attribute_a, attribute_b = validate_binary_attributes(graph)
+    values = graph.attribute_values()
     scope = set(graph.vertices()) if vertices is None else set(vertices)
+    if not values:
+        return {}
     if coloring is None:
         coloring = greedy_coloring(graph, scope)
     color_count: dict[Vertex, dict[str, dict[int, int]]] = {}
     for vertex in scope:
-        per_attribute: dict[str, dict[int, int]] = {attribute_a: {}, attribute_b: {}}
+        per_attribute: dict[str, dict[int, int]] = {value: {} for value in values}
         for neighbor in graph.neighbors(vertex):
             if neighbor in scope:
                 bucket = per_attribute[graph.attribute(neighbor)]
@@ -136,8 +143,7 @@ def colorful_core_numbers(
         color_count[vertex] = per_attribute
 
     def min_degree(vertex: Vertex) -> int:
-        per_attribute = color_count[vertex]
-        return min(len(per_attribute[attribute_a]), len(per_attribute[attribute_b]))
+        return min(len(bucket) for bucket in color_count[vertex].values())
 
     remaining = set(scope)
     degrees = {vertex: min_degree(vertex) for vertex in scope}

@@ -10,9 +10,11 @@ access pattern:
 * **adjacency bitsets** (``adj_bits``) — one arbitrary-precision ``int`` per
   vertex, so candidate-set intersection inside the branch-and-bound is a
   single ``&`` and counting survivors is one ``bit_count()``;
-* **attribute masks** (``attr_masks``) — per attribute value, the bitset of
-  vertices carrying it, so per-attribute counts of any vertex set are one
-  AND + popcount.
+* **attribute masks** (``attr_masks``) — one bitset of carriers per
+  attribute value (any domain size, not just binary), so per-attribute
+  counts of any vertex set are one AND + popcount per value — this is what
+  lets every fairness model, including the multi-attribute weak model, share
+  the same branch-and-bound.
 
 Vertices are renumbered ``0..n-1`` in a deterministic order (sorted by
 ``str(id)``, matching the tie-breaking used across the package);
@@ -101,6 +103,11 @@ class GraphKernel:
     def is_binary(self) -> bool:
         """True when the snapshot carries exactly two attribute values."""
         return len(self.attribute_values) == 2
+
+    @property
+    def num_attribute_values(self) -> int:
+        """Number of distinct attribute values carried by the snapshot."""
+        return len(self.attribute_values)
 
     @property
     def full_mask(self) -> int:

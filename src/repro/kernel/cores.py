@@ -7,7 +7,13 @@ conditions are monotone in the surviving vertex set), so the kernel and dict
 implementations agree on the survivor set no matter the peel order — the
 parity suite asserts exactly that.
 
-Only binary-attributed snapshots are supported, mirroring the dict versions.
+The plain colorful peel and the colorful core numbers are defined over *any*
+attribute domain: the colorful degree ``D_min`` is the minimum, over every
+attribute value carried by the snapshot, of the number of distinct colors
+among a vertex's neighbours of that value.  On binary snapshots this is
+exactly Definition 2; the multi-attribute weak model relies on the same
+functions with ``d > 2``.  Only the *enhanced* peel stays binary — its
+balanced-split degree encodes only-a/only-b/mixed arithmetic.
 """
 
 from __future__ import annotations
@@ -31,6 +37,7 @@ def colorful_k_core_mask(
     if not scope:
         return 0
     attr_codes = kernel.attr_codes
+    num_values = max(1, len(kernel.attribute_values))
     indptr, indices = kernel.indptr, kernel.indices
     members = _bits(scope)
     # O(1) membership probes: single-bit tests on a wide int cost O(words).
@@ -38,9 +45,9 @@ def colorful_k_core_mask(
     for vertex in members:
         alive[vertex] = 1
     # color_count[v][attribute code] : {color: surviving-neighbour count}
-    color_count: dict[int, tuple[dict[int, int], dict[int, int]]] = {}
+    color_count: dict[int, tuple[dict[int, int], ...]] = {}
     for vertex in members:
-        per_attr: tuple[dict[int, int], dict[int, int]] = ({}, {})
+        per_attr: tuple[dict[int, int], ...] = tuple({} for _ in range(num_values))
         for neighbor in indices[indptr[vertex]:indptr[vertex + 1]]:
             if alive[neighbor]:
                 bucket = per_attr[attr_codes[neighbor]]
@@ -49,8 +56,7 @@ def colorful_k_core_mask(
         color_count[vertex] = per_attr
 
     def min_degree(vertex: int) -> int:
-        per_attr = color_count[vertex]
-        return min(len(per_attr[0]), len(per_attr[1]))
+        return min(len(bucket) for bucket in color_count[vertex])
 
     queue = [vertex for vertex in color_count if min_degree(vertex) < k]
     remaining = scope
@@ -145,14 +151,15 @@ def colorful_core_numbers_mask(
     """
     scope = kernel.full_mask if scope_mask is None else scope_mask
     attr_codes = kernel.attr_codes
+    num_values = max(1, len(kernel.attribute_values))
     indptr, indices = kernel.indptr, kernel.indices
     members = _bits(scope)
     alive = bytearray(kernel.n)
     for vertex in members:
         alive[vertex] = 1
-    color_count: dict[int, tuple[dict[int, int], dict[int, int]]] = {}
+    color_count: dict[int, tuple[dict[int, int], ...]] = {}
     for vertex in members:
-        per_attr: tuple[dict[int, int], dict[int, int]] = ({}, {})
+        per_attr: tuple[dict[int, int], ...] = tuple({} for _ in range(num_values))
         for neighbor in indices[indptr[vertex]:indptr[vertex + 1]]:
             if alive[neighbor]:
                 bucket = per_attr[attr_codes[neighbor]]
@@ -161,8 +168,7 @@ def colorful_core_numbers_mask(
         color_count[vertex] = per_attr
 
     def min_degree(vertex: int) -> int:
-        per_attr = color_count[vertex]
-        return min(len(per_attr[0]), len(per_attr[1]))
+        return min(len(bucket) for bucket in color_count[vertex])
 
     degrees = {vertex: min_degree(vertex) for vertex in members}
     max_degree = max(degrees.values(), default=0)

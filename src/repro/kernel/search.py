@@ -1,18 +1,26 @@
-"""The bitset branch-and-bound core of MaxRFC.
+"""The bitset branch-and-bound core of the exact fair-clique search.
 
 This is the hot path of the whole package.  One :class:`KernelBranchAndBound`
 instance explores one rank-ordered connected component through a
 :class:`~repro.kernel.view.SubgraphView`; the search makes exactly the same
-decisions as ``MaxRFC._branch`` — same pruning rules, same candidate
-iteration order, same statistics counters — but every per-branch set
-operation is collapsed into integer bit arithmetic:
+decisions as the dict-based ``MaxRFC._branch`` — same pruning rules, same
+candidate iteration order, same statistics counters — but every per-branch
+set operation is collapsed into integer bit arithmetic:
 
 * candidate narrowing ``{v in C, rank(v) > rank(u)} ∩ N(u)`` is
   ``cand & adj[u] & (-1 << (p + 1))`` — three machine-word ops per word
   instead of a Python-level hash probe per candidate;
-* attribute feasibility and fairness-gap counts are one AND + popcount;
+* attribute feasibility and fairness-gap counts are one AND + popcount per
+  attribute value;
 * the incumbent clique only materialises back to original vertex ids when it
   actually improves.
+
+The fairness condition itself comes from an
+:class:`~repro.models.base.ActiveModel`: per-attribute-value lower quotas,
+the optional binary gap cap, the minimum feasible clique size, and the bound
+stack.  The search consumes only that data — it never branches on model
+names or stack configurations, so every model (including the multi-attribute
+weak model over any domain size) runs through this one implementation.
 
 Structurally the recursion is *child-inlined*: a node's prologue (record the
 clique, size/attribute/fairness/bound prunes) is evaluated inline in the
@@ -31,19 +39,21 @@ from __future__ import annotations
 
 from collections.abc import Callable
 
-from repro.bounds.base import BoundStack
 from repro.kernel.bounds import stack_prunes
 from repro.kernel.view import SubgraphView
+from repro.models.base import ActiveModel
 from repro.search.statistics import SearchStats
 
 
 class KernelBranchAndBound:
     """Branch-and-bound over one component view with a shared incumbent.
 
-    ``check_budget`` is called once per branch with the stats object and must
-    raise to abort the search (time/branch budget); the incumbent survives
-    the abort because it lives on this object.  ``has_budget=False`` skips
-    the callback entirely (it would be a no-op), sparing two calls per node.
+    ``model`` is the bound fairness model; its quotas/gap/bound-stack drive
+    every fairness decision.  ``check_budget`` is called once per branch with
+    the stats object and must raise to abort the search (time/branch budget);
+    the incumbent survives the abort because it lives on this object.
+    ``has_budget=False`` skips the callback entirely (it would be a no-op),
+    sparing two calls per node.
 
     Two hooks exist for the parallel executor (:mod:`repro.parallel`):
     ``on_improve`` is invoked with the new incumbent size whenever a larger
@@ -56,8 +66,13 @@ class KernelBranchAndBound:
 
     __slots__ = (
         "view",
-        "k",
-        "delta",
+        "model",
+        "lower",
+        "gap",
+        "min_size",
+        "num_values",
+        "domain_masks",
+        "domain_codes",
         "stats",
         "bound_stack",
         "bound_depth",
@@ -71,10 +86,8 @@ class KernelBranchAndBound:
     def __init__(
         self,
         view: SubgraphView,
-        k: int,
-        delta: int,
+        model: ActiveModel,
         stats: SearchStats,
-        bound_stack: BoundStack | None,
         bound_depth: int,
         check_budget: Callable[[SearchStats], None],
         best_size: int,
@@ -83,16 +96,26 @@ class KernelBranchAndBound:
         on_improve: Callable[[int], None] | None = None,
     ) -> None:
         self.view = view
-        self.k = k
-        self.delta = delta
+        self.model = model
+        self.lower = model.lower
+        self.gap = model.gap
+        self.min_size = model.min_size
+        self.num_values = len(model.domain)
         self.stats = stats
-        self.bound_stack = bound_stack
+        self.bound_stack = model.bound_stack
         self.bound_depth = bound_depth
         self.check_budget = check_budget
         self.has_budget = has_budget
         self.best_size = best_size
         self.best_clique = best_clique
         self.on_improve = on_improve
+        # The view's attribute masks are indexed by the *kernel's* attribute
+        # codes; the model's quota arrays are indexed by its *domain*, which
+        # is the original graph's (a superset when reduction eliminated a
+        # value entirely).  The model owns the remap — and rejects a domain
+        # narrower than the kernel's values, which would have no quota slot
+        # to count those vertices toward.
+        self.domain_masks, self.domain_codes = model.view_slots(view)
 
     def run(self) -> tuple[int, frozenset]:
         """Explore the whole component; return the (possibly improved) incumbent."""
@@ -104,26 +127,39 @@ class KernelBranchAndBound:
         cand_mask = self.view.full_mask
         if not cand_mask:
             return self.best_size, self.best_clique
-        k = self.k
         num_candidates = cand_mask.bit_count()
-        if num_candidates < max(2 * k, self.best_size + 1):
+        limit = self.best_size + 1
+        if limit < self.min_size:
+            limit = self.min_size
+        if num_candidates < limit:
             stats.pruned_by_size += 1
             return self.best_size, self.best_clique
-        count_c_a = (cand_mask & self.view.attr_a).bit_count()
-        count_c_b = num_candidates - count_c_a
-        if count_c_a < k or count_c_b < k:
+        lower = self.lower
+        masks = self.domain_masks
+        rest = num_candidates
+        feasible = True
+        for i in range(self.num_values - 1):
+            count = (cand_mask & masks[i]).bit_count()
+            rest -= count
+            if count < lower[i]:
+                feasible = False
+                break
+        if feasible and rest < lower[-1]:
+            feasible = False
+        if not feasible:
             stats.pruned_by_attribute_feasibility += 1
             return self.best_size, self.best_clique
         stack = self.bound_stack
         if stack is not None and 0 < self.bound_depth:
             stats.bound_evaluations += 1
             if stack_prunes(
-                self.view, stack, 0, cand_mask, k, self.delta,
-                max(2 * k - 1, self.best_size),
+                self.view, stack, 0, cand_mask,
+                self.model.quota, self.model.bound_delta,
+                max(self.min_size - 1, self.best_size),
             ):
                 stats.pruned_by_bound += 1
                 return self.best_size, self.best_clique
-        self._expand(0, 0, 0, cand_mask, 0, 0)
+        self._expand(0, [0] * self.num_values, cand_mask, 0, 0)
         return self.best_size, self.best_clique
 
     def run_root_branch(self, p: int) -> tuple[int, frozenset]:
@@ -141,36 +177,54 @@ class KernelBranchAndBound:
         """
         stats = self.stats
         view = self.view
-        k = self.k
-        two_k = 2 * k
+        lower = self.lower
+        gap = self.gap
+        min_size = self.min_size
         stats.branches_explored += 1
         if self.has_budget:
             self.check_budget(stats)
         low = 1 << p
-        is_a = view.attr_a_flags[p]
-        child_a = is_a
-        child_b = 1 - is_a
-        # A single vertex is never a fair clique for k >= 1, so unlike the
-        # inline prologue no incumbent record can happen here.
+        counts_r = [0] * self.num_values
+        counts_r[self.domain_codes[p]] = 1
+        if 1 > self.best_size and self.min_size <= 1:
+            # A single vertex can only be fair for a one-value domain with
+            # k = 1; for every binary model this branch is dead code.
+            fair = True
+            for i in range(self.num_values):
+                if counts_r[i] < lower[i]:
+                    fair = False
+                    break
+            if fair:
+                self.best_size = 1
+                self.best_clique = view.frozenset_of(low)
+                stats.solutions_found += 1
+                if self.on_improve is not None:
+                    self.on_improve(1)
         new_cand = view.full_mask & view.adj[p] & (-1 << (p + 1))
         if not new_cand:
             return self.best_size, self.best_clique
         num_candidates = new_cand.bit_count()
         limit = self.best_size + 1
-        if limit < two_k:
-            limit = two_k
+        if limit < min_size:
+            limit = min_size
         if 1 + num_candidates < limit:
             stats.pruned_by_size += 1
             return self.best_size, self.best_clique
-        count_c_a = (new_cand & view.attr_a).bit_count()
-        count_c_b = num_candidates - count_c_a
-        if child_a + count_c_a < k or child_b + count_c_b < k:
-            stats.pruned_by_attribute_feasibility += 1
-            return self.best_size, self.best_clique
-        delta = self.delta
-        if (
-            child_a > child_b + count_c_b + delta
-            or child_b > child_a + count_c_a + delta
+        masks = self.domain_masks
+        counts_c = [0] * self.num_values
+        rest = num_candidates
+        for i in range(self.num_values - 1):
+            count = (new_cand & masks[i]).bit_count()
+            counts_c[i] = count
+            rest -= count
+        counts_c[-1] = rest
+        for i in range(self.num_values):
+            if counts_r[i] + counts_c[i] < lower[i]:
+                stats.pruned_by_attribute_feasibility += 1
+                return self.best_size, self.best_clique
+        if gap is not None and (
+            counts_r[0] > counts_r[1] + counts_c[1] + gap
+            or counts_r[1] > counts_r[0] + counts_c[0] + gap
         ):
             stats.pruned_by_fairness_gap += 1
             return self.best_size, self.best_clique
@@ -178,19 +232,19 @@ class KernelBranchAndBound:
         if stack is not None and 1 < self.bound_depth:
             stats.bound_evaluations += 1
             if stack_prunes(
-                view, stack, low, new_cand, k, delta,
-                max(two_k - 1, self.best_size),
+                view, stack, low, new_cand,
+                self.model.quota, self.model.bound_delta,
+                max(min_size - 1, self.best_size),
             ):
                 stats.pruned_by_bound += 1
                 return self.best_size, self.best_clique
-        self._expand(low, child_a, child_b, new_cand, 1, 1)
+        self._expand(low, counts_r, new_cand, 1, 1)
         return self.best_size, self.best_clique
 
     def _expand(
         self,
         clique_mask: int,
-        count_r_a: int,
-        count_r_b: int,
+        counts_r: list[int],
         cand_mask: int,
         depth: int,
         size_r: int,
@@ -200,15 +254,30 @@ class KernelBranchAndBound:
         Every child's prologue — counters, budget, fairness record, size /
         attribute-feasibility / fairness-gap / bound prunes — runs inline
         here; only children that reach their own candidate loop recurse.
+        ``counts_r`` holds the per-domain-value attribute counts of R and is
+        shared down the recursion mutate-then-undo style, so no per-node
+        allocation happens for the clique side.
         """
         stats = self.stats
         view = self.view
         adj = view.adj
-        attr_a = view.attr_a
-        is_a_of = view.attr_a_flags
-        k = self.k
-        delta = self.delta
-        two_k = 2 * k
+        masks = self.domain_masks
+        code_of = self.domain_codes
+        lower = self.lower
+        gap = self.gap
+        min_size = self.min_size
+        num_values = self.num_values
+        last = num_values - 1
+        # Two-value domains (every binary model, and multi_weak on binary
+        # graphs) keep the historic all-scalar arithmetic: one popcount and
+        # zero per-node allocations.  This is an *arity* specialisation of
+        # the same decision procedure, not a model branch — wider domains
+        # take the generic per-value loop below with identical semantics.
+        binary = num_values == 2
+        if binary:
+            mask_0 = masks[0]
+            lower_0 = lower[0]
+            lower_1 = lower[1]
         has_budget = self.has_budget
         stack = self.bound_stack
         child_bounded = stack is not None and depth + 1 < self.bound_depth
@@ -241,8 +310,8 @@ class KernelBranchAndBound:
                 remaining = iteration
                 p = low.bit_length() - 1
             limit = self.best_size + 1
-            if limit < two_k:
-                limit = two_k
+            if limit < min_size:
+                limit = min_size
             if size_r + remaining < limit:
                 stats.pruned_by_incumbent += 1
                 if depth == 0:
@@ -253,50 +322,100 @@ class KernelBranchAndBound:
             stats.branches_explored += 1
             if has_budget:
                 self.check_budget(stats)
-            is_a = is_a_of[p]
-            child_a = count_r_a + is_a
-            child_b = count_r_b + (1 - is_a)
-            if (
-                child_size > self.best_size
-                and child_a >= k
-                and child_b >= k
-                and abs(child_a - child_b) <= delta
-            ):
-                self.best_size = child_size
-                self.best_clique = view.frozenset_of(clique_mask | low)
-                stats.solutions_found += 1
-                if self.on_improve is not None:
-                    self.on_improve(child_size)
+            code = code_of[p]
+            counts_r[code] += 1
+            if child_size > self.best_size:
+                if binary:
+                    child_0 = counts_r[0]
+                    child_1 = counts_r[1]
+                    fair = (
+                        child_0 >= lower_0
+                        and child_1 >= lower_1
+                        and (gap is None or abs(child_0 - child_1) <= gap)
+                    )
+                else:
+                    fair = True
+                    for i in range(num_values):
+                        if counts_r[i] < lower[i]:
+                            fair = False
+                            break
+                    if fair and gap is not None and abs(counts_r[0] - counts_r[1]) > gap:
+                        fair = False
+                if fair:
+                    self.best_size = child_size
+                    self.best_clique = view.frozenset_of(clique_mask | low)
+                    stats.solutions_found += 1
+                    if self.on_improve is not None:
+                        self.on_improve(child_size)
             new_cand = cand_mask & adj[p] & (-1 << (p + 1))
             if not new_cand:
+                counts_r[code] -= 1
                 continue
             num_candidates = new_cand.bit_count()
             limit = self.best_size + 1
-            if limit < two_k:
-                limit = two_k
+            if limit < min_size:
+                limit = min_size
             if child_size + num_candidates < limit:
                 stats.pruned_by_size += 1
+                counts_r[code] -= 1
                 continue
-            count_c_a = (new_cand & attr_a).bit_count()
-            count_c_b = num_candidates - count_c_a
-            if child_a + count_c_a < k or child_b + count_c_b < k:
-                stats.pruned_by_attribute_feasibility += 1
-                continue
-            if (
-                child_a > child_b + count_c_b + delta
-                or child_b > child_a + count_c_a + delta
-            ):
-                stats.pruned_by_fairness_gap += 1
-                continue
+            # Per-value candidate counts: d-1 popcounts, the last by
+            # subtraction (one popcount and all-scalar on binary domains).
+            if binary:
+                child_0 = counts_r[0]
+                child_1 = counts_r[1]
+                count_c_0 = (new_cand & mask_0).bit_count()
+                count_c_1 = num_candidates - count_c_0
+                if child_0 + count_c_0 < lower_0 or child_1 + count_c_1 < lower_1:
+                    stats.pruned_by_attribute_feasibility += 1
+                    counts_r[code] -= 1
+                    continue
+                if gap is not None and (
+                    child_0 > child_1 + count_c_1 + gap
+                    or child_1 > child_0 + count_c_0 + gap
+                ):
+                    stats.pruned_by_fairness_gap += 1
+                    counts_r[code] -= 1
+                    continue
+            else:
+                rest = num_candidates
+                feasible = True
+                if last:
+                    counts_c = [0] * num_values
+                    for i in range(last):
+                        count = (new_cand & masks[i]).bit_count()
+                        counts_c[i] = count
+                        rest -= count
+                        if counts_r[i] + count < lower[i]:
+                            feasible = False
+                            break
+                    counts_c[last] = rest
+                else:
+                    counts_c = [rest]
+                if feasible and counts_r[last] + rest < lower[last]:
+                    feasible = False
+                if not feasible:
+                    stats.pruned_by_attribute_feasibility += 1
+                    counts_r[code] -= 1
+                    continue
+                if gap is not None and (
+                    counts_r[0] > counts_r[1] + counts_c[1] + gap
+                    or counts_r[1] > counts_r[0] + counts_c[0] + gap
+                ):
+                    stats.pruned_by_fairness_gap += 1
+                    counts_r[code] -= 1
+                    continue
             if child_bounded:
                 stats.bound_evaluations += 1
                 if stack_prunes(
-                    view, stack, clique_mask | low, new_cand, k, delta,
-                    max(two_k - 1, self.best_size),
+                    view, stack, clique_mask | low, new_cand,
+                    self.model.quota, self.model.bound_delta,
+                    max(min_size - 1, self.best_size),
                 ):
                     stats.pruned_by_bound += 1
+                    counts_r[code] -= 1
                     continue
             self._expand(
-                clique_mask | low, child_a, child_b, new_cand,
-                child_depth, child_size,
+                clique_mask | low, counts_r, new_cand, child_depth, child_size,
             )
+            counts_r[code] -= 1

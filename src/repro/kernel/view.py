@@ -37,7 +37,8 @@ class SubgraphView:
         "global_index",
         "adj",
         "attr_a",
-        "attr_a_flags",
+        "attr_masks",
+        "attr_codes",
         "degrees_full",
         "tie_keys",
         "n",
@@ -66,17 +67,22 @@ class SubgraphView:
                     mask |= 1 << q
             adj.append(mask)
         self.adj = adj
-        attr_a = 0
         codes = kernel.attr_codes
-        # Byte-array mirror of the attribute mask: probing one vertex's
-        # attribute must be O(1), not an O(words) big-int shift.
-        flags = bytearray(self.n)
+        num_values = max(1, len(kernel.attribute_values))
+        # One local bitset per attribute value, plus a per-position code
+        # array: probing one vertex's attribute must be O(1), not an
+        # O(words) big-int shift.
+        masks = [0] * num_values
+        local_codes = [0] * self.n
         for p, g in enumerate(self.global_index):
-            if codes[g] == 0:
-                attr_a |= 1 << p
-                flags[p] = 1
-        self.attr_a = attr_a
-        self.attr_a_flags = flags
+            code = codes[g]
+            masks[code] |= 1 << p
+            local_codes[p] = code
+        self.attr_masks = masks
+        self.attr_codes = local_codes
+        # Binary convenience kept for the bound evaluators (Lemmas 6-14
+        # treat attribute code 0 as side "a").
+        self.attr_a = masks[0]
         self.degrees_full = tuple(kernel.degrees[g] for g in self.global_index)
         self.tie_keys = tuple(kernel.tie_keys[g] for g in self.global_index)
         self._color_rank: list[int] | None = None

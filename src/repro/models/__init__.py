@@ -1,0 +1,34 @@
+"""``repro.models`` — the pluggable fairness-model layer.
+
+One :class:`FairnessModel` object captures everything that distinguishes the
+relative / weak / strong / multi-attribute-weak fair clique models:
+attribute-domain admission, per-value lower quotas, the binary gap cap,
+sound reduction stages, bound-stack selection, and the heuristic seed.  The
+dict and kernel branch-and-bound, the reduction pipeline, and the parallel
+executor all consume the model generically — see the README section
+"The FairnessModel layer" for how to add a model.
+"""
+
+from repro.models.base import (
+    ActiveModel,
+    BINARY_STAGES,
+    FairnessModel,
+    MULTI_STAGES,
+    MultiWeakFairness,
+    RelativeFairness,
+    StrongFairness,
+    WeakFairness,
+    make_model,
+)
+
+__all__ = [
+    "ActiveModel",
+    "BINARY_STAGES",
+    "FairnessModel",
+    "MULTI_STAGES",
+    "MultiWeakFairness",
+    "RelativeFairness",
+    "StrongFairness",
+    "WeakFairness",
+    "make_model",
+]

@@ -3,8 +3,9 @@
 :class:`ParallelMaxRFC` is a drop-in :class:`~repro.search.maxrfc.MaxRFC`
 whose component loop fans out over a ``ProcessPoolExecutor``:
 
-1. the Algorithm 2 reduction and the HeurRFC incumbent seed run **once**, in
-   the coordinator (they are cheap and their artifacts are shared);
+1. the Algorithm 2 reduction and the model's heuristic incumbent seed run
+   **once**, in the coordinator (they are cheap and their artifacts are
+   shared);
 2. the reduced graph is compiled into an immutable, picklable
    :class:`~repro.kernel.compile.GraphKernel` snapshot;
 3. :func:`~repro.parallel.sharding.plan_shards` turns the surviving
@@ -15,6 +16,9 @@ whose component loop fans out over a ``ProcessPoolExecutor``:
 5. workers share one incumbent-size channel (a ``multiprocessing.Value``,
    inherited across ``fork``): a clique found in one shard tightens the
    pruning threshold in all others within ``poll_interval`` branches;
+   the fairness model ships inside the payload as a bound
+   :class:`~repro.models.base.ActiveModel`, so every model — including
+   ``multi_weak`` over arbitrary attribute domains — shards identically;
 6. the coordinator merges the per-shard incumbents and counters; a shard
    that hit the time/branch budget contributes its best-so-far clique and
    flags the merged result as truncated (``optimal=False``).
@@ -38,6 +42,7 @@ from dataclasses import dataclass
 
 from repro.exceptions import InvalidParameterError
 from repro.graph.attributed_graph import AttributedGraph
+from repro.models.base import ActiveModel
 from repro.parallel import worker as worker_module
 from repro.parallel.sharding import ShardPlan, plan_shards
 from repro.parallel.worker import WorkerPayload
@@ -118,20 +123,18 @@ class ParallelMaxRFC(MaxRFC):
     def _search_components(
         self,
         graph: AttributedGraph,
-        k: int,
-        delta: int,
+        model: ActiveModel,
         best: frozenset,
         stats: SearchStats,
         deadline: float | None,
     ) -> frozenset:
         workers = self.parallel.workers
         if workers <= 1 or graph.num_vertices == 0:
-            return super()._search_components(graph, k, delta, best, stats, deadline)
+            return super()._search_components(graph, model, best, stats, deadline)
         kernel = graph.compile()
         plan = plan_shards(
             kernel,
-            k,
-            minimum_size=2 * k,
+            model,
             incumbent_size=len(best),
             workers=workers,
             split_threshold=self.parallel.split_threshold,
@@ -144,7 +147,7 @@ class ParallelMaxRFC(MaxRFC):
             return best
         try:
             return self._run_pool(
-                kernel, plan, k, delta, best, stats, deadline, telemetry
+                kernel, plan, model, best, stats, deadline, telemetry
             )
         except OSError as error:
             # Spawning the pool's processes can fail in constrained
@@ -154,14 +157,13 @@ class ParallelMaxRFC(MaxRFC):
             # crash (BrokenProcessPool, RecursionError, genuine bugs) is a
             # real failure and must propagate, not silently rerun serially.
             telemetry["fallback"] = f"serial ({type(error).__name__}: {error})"
-            return super()._search_components(graph, k, delta, best, stats, deadline)
+            return super()._search_components(graph, model, best, stats, deadline)
 
     def _run_pool(
         self,
         kernel,
         plan: ShardPlan,
-        k: int,
-        delta: int,
+        model: ActiveModel,
         best: frozenset,
         stats: SearchStats,
         deadline: float | None,
@@ -169,9 +171,7 @@ class ParallelMaxRFC(MaxRFC):
     ) -> frozenset:
         payload = WorkerPayload(
             kernel=kernel,
-            k=k,
-            delta=delta,
-            bound_stack=self.config.bound_stack,
+            model=model,
             bound_depth=self.config.bound_depth,
             ordering=self.config.ordering,
             deadline=deadline,

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 
 from repro.kernel.bitops import bits_list
 from repro.kernel.compile import GraphKernel
+from repro.models.base import ActiveModel
 
 
 @dataclass(frozen=True)
@@ -70,9 +71,8 @@ class ShardPlan:
 
 def plan_shards(
     kernel: GraphKernel,
-    k: int,
+    model: ActiveModel,
     *,
-    minimum_size: int,
     incumbent_size: int = 0,
     workers: int = 2,
     split_threshold: int = 96,
@@ -81,21 +81,24 @@ def plan_shards(
     """Plan the shard list for a compiled (reduced) kernel snapshot.
 
     Components are filtered with the serial search's prologue arguments —
-    too small to beat ``max(minimum_size, incumbent_size + 1)``, or lacking
-    ``k`` vertices of either attribute — and visited biggest-core-first so
-    the pool starts the most promising work immediately.  A component is
-    split (into ``chunks_per_split``, default ``2 * workers``, round-robin
-    root-subtree shards) only when it is both larger than
-    ``split_threshold`` *and* too large to balance whole — strictly more
-    than a ``1/workers`` share of the surviving vertices.  Several
-    similar-sized components already balance across the pool by themselves;
-    splitting them would only multiply per-worker view construction.
+    too small to beat ``max(model.min_size, incumbent_size + 1)``, or
+    lacking the model's per-attribute-value quota — and visited
+    biggest-core-first so the pool starts the most promising work
+    immediately.  A component is split (into ``chunks_per_split``, default
+    ``2 * workers``, round-robin root-subtree shards) only when it is both
+    larger than ``split_threshold`` *and* too large to balance whole —
+    strictly more than a ``1/workers`` share of the surviving vertices.
+    Several similar-sized components already balance across the pool by
+    themselves; splitting them would only multiply per-worker view
+    construction.
     """
     if not kernel.n:
         return ShardPlan((), 0, 0, 0)
     cores = kernel.core_numbers()
     tie_keys = kernel.tie_keys
-    attr_a_mask = kernel.attr_masks[0] if kernel.attr_masks else 0
+    minimum_size = model.min_size
+    lower = model.lower
+    domain_masks = model.kernel_masks(kernel)
     entries = []
     for component_index, mask in enumerate(kernel.component_masks()):
         members = bits_list(mask)
@@ -114,8 +117,10 @@ def plan_shards(
         if size < minimum_size or size <= incumbent_size:
             skipped += 1
             continue
-        count_a = (mask & attr_a_mask).bit_count()
-        if count_a < k or size - count_a < k:
+        if any(
+            (mask & domain_masks[index]).bit_count() < lower[index]
+            for index in range(len(lower))
+        ):
             skipped += 1
             continue
         surviving.append((component_index, size))

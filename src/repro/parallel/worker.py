@@ -28,12 +28,12 @@ import sys
 import time
 from dataclasses import dataclass, field
 
-from repro.bounds.base import BoundStack
 from repro.kernel.bitops import bits_list
 from repro.kernel.compile import GraphKernel
 from repro.kernel.cores import colorful_core_order
 from repro.kernel.search import KernelBranchAndBound
 from repro.kernel.view import SubgraphView
+from repro.models.base import ActiveModel
 from repro.parallel.sharding import Shard
 from repro.search.ordering import OrderingStrategy, compute_ordering
 from repro.search.statistics import SearchStats
@@ -45,12 +45,16 @@ class ShardBudgetExceeded(Exception):
 
 @dataclass(frozen=True)
 class WorkerPayload:
-    """Everything a worker needs, shipped once through the pool initializer."""
+    """Everything a worker needs, shipped once through the pool initializer.
+
+    The :class:`~repro.models.base.ActiveModel` carries the fairness model
+    bound to the original graph's attribute domain plus the resolved bound
+    stack, so workers make exactly the same fairness decisions as the
+    coordinator would — for every model, not just the binary ones.
+    """
 
     kernel: GraphKernel
-    k: int
-    delta: int
-    bound_stack: BoundStack | None
+    model: ActiveModel
     bound_depth: int
     ordering: OrderingStrategy
     deadline: float | None
@@ -183,10 +187,8 @@ def run_shard(shard: Shard) -> ShardResult:
             best_size = shared
     searcher = KernelBranchAndBound(
         view=_component_view(shard.component_index),
-        k=payload.k,
-        delta=payload.delta,
+        model=payload.model,
         stats=stats,
-        bound_stack=payload.bound_stack,
         bound_depth=payload.bound_depth,
         check_budget=_noop_budget,
         best_size=best_size,

@@ -5,9 +5,13 @@ These are the pre-existing reductions the paper builds on.  Both remove
 inside a relative fair clique with parameter ``k``:
 
 * ``ColorfulCore``    — keep the colorful ``(k-1)``-core (Definition 3, Lemma 1);
+  defined over any attribute domain (the multi-attribute weak model uses it
+  as its only reduction stage — every member of a weak fair clique has, for
+  every value, at least ``k-1`` distinct colors among its neighbours of that
+  value);
 * ``EnColorfulCore``  — keep the enhanced colorful ``(k-1)``-core
   (Definitions 4-5, Lemma 2), which is never larger because it refuses to
-  count one color for both attributes.
+  count one color for both attributes; binary domains only.
 
 Both return a :class:`ReductionResult` describing what survived, so the
 experiment harness can report remaining-vertex/edge curves (Figs. 4-5).
@@ -129,7 +133,7 @@ def colorful_core_reduction(
     forces the dict-based reference peel (identical survivors).
     """
     validate_parameters(k, 0)
-    if use_kernel and graph.num_vertices and len(graph.attribute_values()) == 2:
+    if use_kernel and graph.num_vertices:
         return _kernel_core_reduction(graph, k, coloring, enhanced=False)
     if coloring is None:
         coloring = greedy_coloring(graph)

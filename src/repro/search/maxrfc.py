@@ -1,17 +1,25 @@
-"""MaxRFC — the exact maximum relative fair clique search (Algorithms 2-3).
+"""MaxRFC — the exact maximum fair clique search (Algorithms 2-3).
 
 The solver follows the paper's architecture:
 
 1. **Reduce** the graph with the staged pipeline
    ``EnColorfulCore → ColorfulSup → EnColorfulSup`` (Algorithm 2, lines 1-3).
-2. Optionally **seed the incumbent** with the linear-time heuristic
-   ``HeurRFC`` (Section V) so the very first branches already prune hard.
+2. Optionally **seed the incumbent** with the model's linear-time heuristic
+   (``HeurRFC``, Section V, for the binary models) so the very first branches
+   already prune hard.
 3. For every connected component of the reduced graph, compute the
    colorful-core vertex ordering ``CalColorOD`` and run a **branch-and-bound**
    enumeration of cliques in increasing-order fashion, pruning with
    (a) size / incumbent arguments, (b) per-attribute feasibility,
    (c) the fairness-gap argument, and (d) a configurable stack of the
    Section IV upper bounds.
+
+The fairness condition itself is pluggable: :meth:`MaxRFC.solve_model` takes
+any :class:`~repro.models.base.FairnessModel` (relative, weak, strong, or the
+multi-attribute weak generalisation) and both the dict and the kernel
+branch-and-bound consume only the model's quota/gap data — neither path
+branches on model names.  :meth:`MaxRFC.solve` remains the historic
+relative-model entry point.
 
 Implementation note: Algorithm 3 in the paper interleaves a strict
 attribute-alternation rule with the vertex-ordering filter; taken literally
@@ -28,16 +36,17 @@ from __future__ import annotations
 
 import sys
 import time
-from collections.abc import Iterable, Sequence
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 from itertools import islice
 
-from repro.bounds.base import BoundStack, make_context
+from repro.bounds.base import BoundStack
 from repro.cores.kcore import degeneracy
-from repro.exceptions import AttributeCountError, SearchError
+from repro.exceptions import SearchError
 from repro.graph.attributed_graph import AttributedGraph, Vertex
 from repro.graph.components import connected_components
-from repro.graph.validation import validate_binary_attributes, validate_parameters
+from repro.graph.validation import validate_parameters
+from repro.models.base import ActiveModel, FairnessModel, RelativeFairness
 from repro.reduction.pipeline import DEFAULT_STAGES, PipelineResult, ReductionPipeline
 from repro.search.ordering import OrderingStrategy, compute_ordering
 from repro.search.result import SearchResult
@@ -54,12 +63,15 @@ class MaxRFCConfig:
     bound_stack:
         Stack of upper bounds used for branch pruning; ``None`` disables
         bound-based pruning (the plain ``MaxRFC`` baseline of Figs. 6-7).
+        The fairness model may substitute a model-sound stack (the
+        multi-attribute model keeps only the attribute-free bounds).
     use_reduction:
         Run the reduction pipeline before searching (Algorithm 2, lines 1-3).
     reduction_stages:
         Stage names for the pipeline (defaults to the paper's three stages).
+        The fairness model may substitute model-sound stages.
     use_heuristic:
-        Seed the incumbent with ``HeurRFC`` before branching.
+        Seed the incumbent with the model's heuristic before branching.
     bound_depth:
         Apply the bound stack to branches at depth strictly less than this
         value.  ``2`` reproduces the paper's "when selecting vertices to be
@@ -98,7 +110,7 @@ class _TimeBudgetExceeded(Exception):
 
 
 class MaxRFC:
-    """Exact maximum relative fair clique solver."""
+    """Exact maximum fair clique solver over a pluggable fairness model."""
 
     def __init__(self, config: MaxRFCConfig | None = None) -> None:
         self.config = config or MaxRFCConfig()
@@ -118,50 +130,76 @@ class MaxRFC:
     ) -> SearchResult:
         """Find a maximum relative fair clique of ``graph`` for ``(k, delta)``.
 
-        ``reduction`` optionally supplies a precomputed reduction-pipeline
-        result for ``(graph, k)`` (used by the batch API to share one
-        pipeline run across queries); it is consulted only when the
-        configuration has ``use_reduction`` enabled, and its cost is *not*
-        added to this run's ``reduction_seconds`` — the caller owning the
-        shared artifact decides how to account for it.
+        Thin wrapper over :meth:`solve_model` with the relative model; kept
+        as the historic entry point (the weak/strong variants reach it with
+        their mapped delta values).
         """
         validate_parameters(k, delta)
+        return self.solve_model(graph, RelativeFairness(k, delta), reduction)
+
+    def solve_model(
+        self,
+        graph: AttributedGraph,
+        model: FairnessModel,
+        reduction: "PipelineResult | None" = None,
+    ) -> SearchResult:
+        """Find a maximum fair clique of ``graph`` under ``model``.
+
+        ``reduction`` optionally supplies a precomputed reduction-pipeline
+        result for ``(graph, model.k, model stages)`` (used by the batch API
+        to share one pipeline run across queries); it is consulted only when
+        the configuration has ``use_reduction`` enabled, and its cost is
+        *not* added to this run's ``reduction_seconds`` — the caller owning
+        the shared artifact decides how to account for it.
+        """
         config = self.config
         stats = SearchStats()
         best: frozenset = frozenset()
         deadline = None if config.time_limit is None else time.monotonic() + config.time_limit
+        algorithm = model.algorithm_name(config.algorithm_name)
 
-        try:
-            validate_binary_attributes(graph)
-        except AttributeCountError:
-            # Not exactly two attribute values: no relative fair clique can
-            # exist.  Only this specific validation failure means "empty
-            # answer"; anything else is a programming error and propagates.
-            return SearchResult(frozenset(), k, delta, stats, config.algorithm_name, True)
+        if not model.admits(graph):
+            # The model cannot be satisfied on this attribute domain (a
+            # binary model on a non-binary graph): the answer is the empty
+            # clique, not an error.
+            return SearchResult(
+                frozenset(), model.k, model.bound_delta_value(), stats,
+                algorithm, True,
+            )
+        domain = model.domain_of(graph)
+        if not domain:
+            return SearchResult(
+                frozenset(), model.k, model.bound_delta_value(), stats,
+                algorithm, True,
+            )
 
         working = graph
         if config.use_reduction:
             if reduction is None:
                 started = time.monotonic()
-                pipeline = ReductionPipeline(config.reduction_stages, use_kernel=config.use_kernel)
-                reduction = pipeline.run(graph, k)
+                pipeline = ReductionPipeline(
+                    model.reduction_stages(config.reduction_stages),
+                    use_kernel=config.use_kernel,
+                )
+                reduction = pipeline.run(graph, model.k)
                 stats.reduction_seconds = time.monotonic() - started
             stats.extra["reduction"] = [stage.summary() for stage in reduction.stages]
             working = reduction.graph
 
         if config.use_heuristic and working.num_vertices > 0:
             started = time.monotonic()
-            best = self._heuristic_seed(working, k, delta)
+            best = model.heuristic_seed(working)
             stats.heuristic_seconds = time.monotonic() - started
             stats.extra["heuristic_size"] = len(best)
 
+        active = model.bind(domain, config.bound_stack)
         started = time.monotonic()
         timed_out = False
         # Any clique recorded mid-search is mirrored here so a time/branch
         # budget abort keeps the best incumbent found, not just the seed.
         self._incumbent = best
         try:
-            best = self._search_components(working, k, delta, best, stats, deadline)
+            best = self._search_components(working, active, best, stats, deadline)
         except _TimeBudgetExceeded:
             timed_out = True
             best = self._incumbent
@@ -170,41 +208,32 @@ class MaxRFC:
 
         return SearchResult(
             clique=best,
-            k=k,
-            delta=delta,
+            k=model.k,
+            delta=active.bound_delta,
             stats=stats,
-            algorithm=config.algorithm_name,
+            algorithm=algorithm,
             optimal=not timed_out,
         )
 
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
-    def _heuristic_seed(self, graph: AttributedGraph, k: int, delta: int) -> frozenset:
-        """Run HeurRFC on the reduced graph and return its clique (possibly empty)."""
-        from repro.heuristic.heur_rfc import HeurRFC
-
-        result = HeurRFC().solve(graph, k, delta)
-        return result.clique
-
     def _search_components(
         self,
         graph: AttributedGraph,
-        k: int,
-        delta: int,
+        model: ActiveModel,
         best: frozenset,
         stats: SearchStats,
         deadline: float | None,
     ) -> frozenset:
-        attribute_a, attribute_b = graph.attribute_pair() if graph.num_vertices else ("a", "b")
-        minimum_size = 2 * k
+        minimum_size = model.min_size
         # Recursion can go as deep as the largest clique; give it headroom.
         sys.setrecursionlimit(max(sys.getrecursionlimit(), graph.num_vertices + 1000))
         use_kernel = self.config.use_kernel
         kernel = graph.compile() if (use_kernel and graph.num_vertices) else None
         if kernel is not None:
             return self._search_components_kernel(
-                graph, kernel, k, delta, best, stats, deadline, minimum_size
+                graph, kernel, model, best, stats, deadline, minimum_size
             )
         # Search the most promising components first (highest degeneracy — the
         # only place a big clique can hide), so the incumbent grows early and
@@ -219,17 +248,23 @@ class MaxRFC:
                 min(map(str, component)),
             ),
         )
+        lower = model.lower
+        domain = model.domain
+        code_of = model.code_of()
         for component in components:
             if len(component) < minimum_size or len(component) <= len(best):
                 continue
             histogram = graph.attribute_histogram(component)
-            if histogram.get(attribute_a, 0) < k or histogram.get(attribute_b, 0) < k:
+            if any(
+                histogram.get(value, 0) < lower[index]
+                for index, value in enumerate(domain)
+            ):
                 continue
             rank = compute_ordering(graph, component, self.config.ordering)
             ordered = sorted(component, key=lambda v: rank[v])
             best = self._branch(
-                graph, frozenset(), ordered, 0, 0, k, delta,
-                attribute_a, attribute_b, best, stats, deadline, depth=0,
+                graph, frozenset(), ordered, [0] * len(domain), model, code_of,
+                best, stats, deadline, depth=0,
             )
         return best
 
@@ -237,8 +272,7 @@ class MaxRFC:
         self,
         graph: AttributedGraph,
         kernel,
-        k: int,
-        delta: int,
+        model: ActiveModel,
         best: frozenset,
         stats: SearchStats,
         deadline: float | None,
@@ -248,7 +282,8 @@ class MaxRFC:
 
         Component discovery rides the adjacency bitsets, the degeneracy sort
         reads the kernel's (canonical, per-component) core numbers, and the
-        per-attribute feasibility filter is an AND + popcount per component.
+        per-attribute feasibility filter is an AND + popcount per component
+        and attribute value.
         """
         from repro.kernel.bitops import bits_list
         from repro.kernel.cores import colorful_core_order
@@ -267,15 +302,18 @@ class MaxRFC:
                 members,
             ))
         entries.sort(key=lambda entry: entry[:2])
-        attr_a_mask = kernel.attr_masks[0] if kernel.attr_masks else 0
+        lower = model.lower
+        domain_masks = model.kernel_masks(kernel)
         has_budget = deadline is not None or self.config.branch_limit is not None
         use_color_order = self.config.ordering is OrderingStrategy.COLORFUL_CORE
         for _, _, mask, members in entries:
             size = len(members)
             if size < minimum_size or size <= len(best):
                 continue
-            count_a = (mask & attr_a_mask).bit_count()
-            if count_a < k or size - count_a < k:
+            if any(
+                (mask & domain_masks[index]).bit_count() < lower[index]
+                for index in range(len(lower))
+            ):
                 continue
             if use_color_order:
                 ordered = colorful_core_order(kernel, mask)
@@ -285,10 +323,8 @@ class MaxRFC:
                 ordered = sorted(component, key=lambda v: rank[v])
             searcher = KernelBranchAndBound(
                 view=SubgraphView(kernel, graph, ordered),
-                k=k,
-                delta=delta,
+                model=model,
                 stats=stats,
-                bound_stack=self.config.bound_stack,
                 bound_depth=self.config.bound_depth,
                 check_budget=lambda s: self._check_budget(s, deadline),
                 best_size=len(best),
@@ -319,12 +355,9 @@ class MaxRFC:
         graph: AttributedGraph,
         clique: frozenset,
         candidates: list[Vertex],
-        count_r_a: int,
-        count_r_b: int,
-        k: int,
-        delta: int,
-        attribute_a: str,
-        attribute_b: str,
+        counts_r: list[int],
+        model: ActiveModel,
+        code_of: dict,
         best: frozenset,
         stats: SearchStats,
         deadline: float | None,
@@ -332,48 +365,87 @@ class MaxRFC:
     ) -> frozenset:
         """Recursive branch step: ``clique`` is R, ``candidates`` is C sorted by rank.
 
-        The attribute counts of R are threaded through the recursion instead
-        of being recounted per branch (the recount was an O(|R|) scan at every
+        ``counts_r`` holds the per-domain-value attribute counts of R and is
+        threaded through the recursion mutate-then-undo style instead of
+        being recounted per branch (the recount was an O(|R|) scan at every
         node).  This is the pre-kernel fallback path — the kernel search in
         :mod:`repro.kernel.search` replays exactly this decision procedure on
         bitsets and is the default.
         """
         stats.branches_explored += 1
         self._check_budget(stats, deadline)
+        lower = model.lower
+        gap = model.gap
+        num_values = len(lower)
+        minimum_size = model.min_size
+        attribute = graph.attribute
+        # Two-value domains keep the historic all-scalar arithmetic (an
+        # arity specialisation, mirrored in the kernel search; wider domains
+        # take the generic per-value loops with identical semantics).
+        binary = num_values == 2
 
         # R itself is always a clique; record it whenever it is fair and larger.
-        if (
-            len(clique) > len(best)
-            and count_r_a >= k
-            and count_r_b >= k
-            and abs(count_r_a - count_r_b) <= delta
-        ):
-            best = clique
-            self._incumbent = best
-            stats.solutions_found += 1
+        if len(clique) > len(best):
+            if binary:
+                fair = (
+                    counts_r[0] >= lower[0]
+                    and counts_r[1] >= lower[1]
+                    and (gap is None or abs(counts_r[0] - counts_r[1]) <= gap)
+                )
+            else:
+                fair = all(
+                    counts_r[index] >= lower[index] for index in range(num_values)
+                )
+                if fair and gap is not None and abs(counts_r[0] - counts_r[1]) > gap:
+                    fair = False
+            if fair:
+                best = clique
+                self._incumbent = best
+                stats.solutions_found += 1
 
         if not candidates:
             return best
 
-        target = max(2 * k, len(best) + 1)
+        target = max(minimum_size, len(best) + 1)
         if len(clique) + len(candidates) < target:
             stats.pruned_by_size += 1
             return best
 
-        count_c_a = sum(1 for v in candidates if graph.attribute(v) == attribute_a)
-        count_c_b = len(candidates) - count_c_a
-        if count_r_a + count_c_a < k or count_r_b + count_c_b < k:
-            stats.pruned_by_attribute_feasibility += 1
-            return best
-        if count_r_a > count_r_b + count_c_b + delta or count_r_b > count_r_a + count_c_a + delta:
-            stats.pruned_by_fairness_gap += 1
-            return best
+        if binary:
+            value_0 = model.domain[0]
+            count_c_0 = sum(1 for v in candidates if attribute(v) == value_0)
+            count_c_1 = len(candidates) - count_c_0
+            if counts_r[0] + count_c_0 < lower[0] or counts_r[1] + count_c_1 < lower[1]:
+                stats.pruned_by_attribute_feasibility += 1
+                return best
+            if gap is not None and (
+                counts_r[0] > counts_r[1] + count_c_1 + gap
+                or counts_r[1] > counts_r[0] + count_c_0 + gap
+            ):
+                stats.pruned_by_fairness_gap += 1
+                return best
+        else:
+            counts_c = [0] * num_values
+            for vertex in candidates:
+                counts_c[code_of[attribute(vertex)]] += 1
+            if any(
+                counts_r[index] + counts_c[index] < lower[index]
+                for index in range(num_values)
+            ):
+                stats.pruned_by_attribute_feasibility += 1
+                return best
+            if gap is not None and (
+                counts_r[0] > counts_r[1] + counts_c[1] + gap
+                or counts_r[1] > counts_r[0] + counts_c[0] + gap
+            ):
+                stats.pruned_by_fairness_gap += 1
+                return best
 
-        stack = self.config.bound_stack
+        stack = model.bound_stack
         if stack is not None and depth < self.config.bound_depth:
             stats.bound_evaluations += 1
-            context = make_context(graph, clique, candidates, k, delta)
-            if stack.prunes(context, max(2 * k - 1, len(best))):
+            context = model.bound_context(graph, clique, candidates)
+            if stack.prunes(context, max(minimum_size - 1, len(best))):
                 stats.pruned_by_bound += 1
                 return best
 
@@ -389,7 +461,7 @@ class MaxRFC:
         for index in positions:
             vertex = candidates[index]
             remaining = len(candidates) - index
-            if len(clique) + remaining < max(2 * k, len(best) + 1):
+            if len(clique) + remaining < max(minimum_size, len(best) + 1):
                 stats.pruned_by_incumbent += 1
                 if depth == 0:
                     continue
@@ -399,12 +471,13 @@ class MaxRFC:
             # at every branch node.
             contains = graph.neighbors(vertex).__contains__
             new_candidates = list(filter(contains, islice(candidates, index + 1, None)))
-            vertex_is_a = graph.attribute(vertex) == attribute_a
+            code = code_of[attribute(vertex)]
+            counts_r[code] += 1
             best = self._branch(
-                graph, clique | {vertex}, new_candidates,
-                count_r_a + vertex_is_a, count_r_b + (not vertex_is_a), k, delta,
-                attribute_a, attribute_b, best, stats, deadline, depth + 1,
+                graph, clique | {vertex}, new_candidates, counts_r, model,
+                code_of, best, stats, deadline, depth + 1,
             )
+            counts_r[code] -= 1
         return best
 
 

@@ -2,7 +2,6 @@
 
 from repro.variants.multi_attribute import (
     MultiAttributeSearchResult,
-    MultiAttributeWeakFairCliqueSearch,
     brute_force_maximum_multi_weak_fair_clique,
     find_maximum_multi_weak_fair_clique,
     greedy_multi_weak_fair_clique,
@@ -19,7 +18,6 @@ from repro.variants.weak_strong import (
 
 __all__ = [
     "MultiAttributeSearchResult",
-    "MultiAttributeWeakFairCliqueSearch",
     "brute_force_maximum_multi_weak_fair_clique",
     "find_maximum_multi_weak_fair_clique",
     "greedy_multi_weak_fair_clique",

@@ -4,36 +4,34 @@ The paper (and this package's core) restricts the relative fair clique model
 to binary attributes, but the weak fairness condition — *every* attribute
 value appears at least ``k`` times — generalises naturally to an arbitrary
 attribute domain, and the related fair-clique literature studies exactly that
-generalisation.  This module provides that extension as a self-contained
-layer:
+generalisation.  Since the :class:`~repro.models.base.MultiWeakFairness`
+model plugged the generalisation into the shared solver stack, this module is
+a thin compatibility layer:
 
 * :func:`is_multi_attribute_weak_fair_clique` — verification for any number of
   attribute values;
 * :func:`brute_force_maximum_multi_weak_fair_clique` — an exhaustive oracle
   built on Bron–Kerbosch (a maximal clique is its own best weak-fair subset);
-* :class:`MultiAttributeWeakFairCliqueSearch` — a branch-and-bound solver with
-  the attribute-feasibility, size/incumbent, and color-bound prunings of the
-  binary solver, but none of the binary-specific colorful reductions;
+* :func:`find_maximum_multi_weak_fair_clique` — wrapper over the unified
+  :class:`~repro.search.maxrfc.MaxRFC` solver with the ``multi_weak`` model
+  (the historic dict-only ``MultiAttributeWeakFairCliqueSearch`` class is
+  retired: the kernel branch-and-bound, the reduction pipeline, and the
+  parallel executor all speak the model natively now);
 * :func:`greedy_multi_weak_fair_clique` — a linear-time greedy in the spirit
-  of ``DegHeur`` that cycles through the attribute values round-robin.
-
-The binary machinery remains the fast path; this layer exists so downstream
-users with, say, three departments or four seniority bands are not forced to
-collapse their attribute into two classes.
+  of ``DegHeur`` that cycles through the attribute values round-robin; it
+  backs the ``(multi_weak, heuristic)`` engine pair and the exact solver's
+  incumbent seed.
 """
 
 from __future__ import annotations
 
-import sys
-import time
+import heapq
 from collections.abc import Iterable
 from dataclasses import dataclass, field
 
 from repro.baselines.bron_kerbosch import enumerate_maximal_cliques
-from repro.coloring.greedy import greedy_coloring
 from repro.exceptions import InvalidParameterError
 from repro.graph.attributed_graph import AttributedGraph, Vertex
-from repro.graph.components import connected_components
 from repro.search.statistics import SearchStats
 
 
@@ -95,142 +93,69 @@ class MultiAttributeSearchResult:
         return bool(self.clique)
 
 
-class MultiAttributeWeakFairCliqueSearch:
-    """Branch-and-bound search for the maximum multi-attribute weak fair clique.
-
-    The solver enumerates cliques in increasing degeneracy-order fashion
-    (every clique generated exactly once) and prunes with:
-
-    * the size/incumbent argument ``|R| + |C| >= max(t*k, |best|+1)`` where
-      ``t`` is the number of attribute values;
-    * per-attribute feasibility ``cnt_R(x) + cnt_C(x) >= k`` for every value;
-    * the color bound: a clique cannot exceed the number of colors of a proper
-      coloring of ``R ∪ C``.
-    """
-
-    def __init__(self, time_limit: float | None = None) -> None:
-        self.time_limit = time_limit
-
-    def solve(self, graph: AttributedGraph, k: int) -> MultiAttributeSearchResult:
-        """Return a maximum weak fair clique of ``graph`` for threshold ``k``."""
-        _validate_k(k)
-        stats = SearchStats()
-        values = graph.attribute_values()
-        best: frozenset = frozenset()
-        if not values:
-            return MultiAttributeSearchResult(best, k, stats)
-        minimum_size = len(values) * k
-        deadline = None if self.time_limit is None else time.monotonic() + self.time_limit
-        started = time.monotonic()
-        timed_out = False
-        sys.setrecursionlimit(max(sys.getrecursionlimit(), graph.num_vertices + 1000))
-        coloring = greedy_coloring(graph)
-        try:
-            for component in connected_components(graph):
-                if len(component) < max(minimum_size, len(best) + 1):
-                    continue
-                histogram = graph.attribute_histogram(component)
-                if any(histogram.get(value, 0) < k for value in values):
-                    continue
-                ordered = sorted(
-                    component, key=lambda v: (coloring[v], graph.degree(v), str(v))
-                )
-                best = self._branch(graph, frozenset(), ordered, k, values,
-                                    minimum_size, best, stats, deadline, coloring)
-        except _Timeout:
-            timed_out = True
-        stats.search_seconds = time.monotonic() - started
-        stats.timed_out = timed_out
-        return MultiAttributeSearchResult(best, k, stats, optimal=not timed_out)
-
-    def _branch(
-        self,
-        graph: AttributedGraph,
-        clique: frozenset,
-        candidates: list[Vertex],
-        k: int,
-        values: tuple[str, ...],
-        minimum_size: int,
-        best: frozenset,
-        stats: SearchStats,
-        deadline: float | None,
-        coloring: dict,
-    ) -> frozenset:
-        stats.branches_explored += 1
-        if deadline is not None and stats.branches_explored % 128 == 0:
-            if time.monotonic() > deadline:
-                raise _Timeout()
-
-        if len(clique) > len(best):
-            histogram = graph.attribute_histogram(clique)
-            if all(histogram.get(value, 0) >= k for value in values):
-                best = clique
-                stats.solutions_found += 1
-        if not candidates:
-            return best
-
-        target = max(minimum_size, len(best) + 1)
-        if len(clique) + len(candidates) < target:
-            stats.pruned_by_size += 1
-            return best
-        scope_histogram = graph.attribute_histogram(list(clique) + candidates)
-        if any(scope_histogram.get(value, 0) < k for value in values):
-            stats.pruned_by_attribute_feasibility += 1
-            return best
-        distinct_colors = {coloring[v] for v in candidates} | {coloring[v] for v in clique}
-        if len(distinct_colors) < target:
-            stats.pruned_by_bound += 1
-            return best
-
-        for index, vertex in enumerate(candidates):
-            if len(clique) + (len(candidates) - index) < max(minimum_size, len(best) + 1):
-                stats.pruned_by_incumbent += 1
-                break
-            neighbors = graph.neighbors(vertex)
-            next_candidates = [v for v in candidates[index + 1:] if v in neighbors]
-            best = self._branch(graph, clique | {vertex}, next_candidates, k, values,
-                                minimum_size, best, stats, deadline, coloring)
-        return best
-
-
-class _Timeout(Exception):
-    """Internal signal used to stop the multi-attribute search."""
-
-
 def find_maximum_multi_weak_fair_clique(
     graph: AttributedGraph,
     k: int,
     time_limit: float | None = None,
+    use_kernel: bool = True,
 ) -> MultiAttributeSearchResult:
-    """Convenience wrapper around :class:`MultiAttributeWeakFairCliqueSearch`."""
-    return MultiAttributeWeakFairCliqueSearch(time_limit=time_limit).solve(graph, k)
+    """Solve the multi-attribute weak model through the unified solver stack.
+
+    Runs :class:`~repro.search.maxrfc.MaxRFC` with a
+    :class:`~repro.models.base.MultiWeakFairness` model — model-sound
+    reduction (the d-ary colorful core), the attribute-free bound stack, the
+    round-robin greedy seed, and the kernel branch-and-bound by default
+    (``use_kernel=False`` selects the dict reference path, result-identical).
+    """
+    _validate_k(k)
+    from repro.models.base import MultiWeakFairness
+    from repro.search.maxrfc import MaxRFC, build_search_config
+
+    config = build_search_config(time_limit=time_limit, use_kernel=use_kernel)
+    result = MaxRFC(config).solve_model(graph, MultiWeakFairness(k))
+    return MultiAttributeSearchResult(
+        clique=result.clique, k=k, stats=result.stats, optimal=result.optimal,
+    )
 
 
-def greedy_multi_weak_fair_clique(graph: AttributedGraph, k: int) -> frozenset:
+def greedy_multi_weak_fair_clique(
+    graph: AttributedGraph,
+    k: int,
+    restarts: int = 1,
+) -> frozenset:
     """Round-robin greedy heuristic for the multi-attribute weak model.
 
-    Starting from the highest-degree vertex, repeatedly add the highest-degree
+    Starting from a high-degree vertex, repeatedly add the highest-degree
     candidate of the attribute value currently least represented in the clique
-    (falling back to any candidate when that value has none left).  Returns
-    the grown clique if it satisfies the weak fairness condition, otherwise an
-    empty frozenset.
+    (falling back to any candidate when that value has none left).  With
+    ``restarts > 1`` the growth is retried from that many top-degree start
+    vertices (still linear time per restart, mirroring the binary ``DegHeur``
+    restarts) and the largest fair clique wins.  Returns an empty frozenset
+    when no attempt satisfies the weak fairness condition.
     """
     _validate_k(k)
     if graph.num_vertices == 0:
         return frozenset()
     values = graph.attribute_values()
-    start = max(graph.vertices(), key=lambda v: (graph.degree(v), str(v)))
-    clique: set[Vertex] = {start}
-    candidates = set(graph.neighbors(start))
-    counts = {value: 0 for value in values}
-    counts[graph.attribute(start)] += 1
-    while candidates:
-        needy = min(values, key=lambda value: counts[value])
-        pool = [v for v in candidates if graph.attribute(v) == needy] or list(candidates)
-        vertex = max(pool, key=lambda v: (graph.degree(v), str(v)))
-        clique.add(vertex)
-        counts[graph.attribute(vertex)] += 1
-        candidates &= graph.neighbors(vertex)
-    if all(counts[value] >= k for value in values):
-        return frozenset(clique)
-    return frozenset()
+    # nlargest keeps start selection O(n log restarts) — the seed path runs
+    # on every multi_weak exact solve, so a full sort would be wasted work.
+    starts = heapq.nlargest(
+        max(1, restarts), graph.vertices(),
+        key=lambda v: (graph.degree(v), str(v)),
+    )
+    best: frozenset = frozenset()
+    for start in starts:
+        clique: set[Vertex] = {start}
+        candidates = set(graph.neighbors(start))
+        counts = {value: 0 for value in values}
+        counts[graph.attribute(start)] += 1
+        while candidates:
+            needy = min(values, key=lambda value: counts[value])
+            pool = [v for v in candidates if graph.attribute(v) == needy] or list(candidates)
+            vertex = max(pool, key=lambda v: (graph.degree(v), str(v)))
+            clique.add(vertex)
+            counts[graph.attribute(vertex)] += 1
+            candidates &= graph.neighbors(vertex)
+        if len(clique) > len(best) and all(counts[value] >= k for value in values):
+            best = frozenset(clique)
+    return best

@@ -10,10 +10,12 @@ models on binary-attributed graphs:
 
 Both are limiting cases of the relative fair clique this package is built
 around: the weak model is the relative model with an unbounded ``delta`` and
-the strong model is the relative model with ``delta = 0``.  The functions here
-expose maximum-search and verification for both models by delegating to the
-relative-model machinery, so downstream users can compare the three models on
-the same graph (see ``examples/fairness_model_comparison.py``).
+the strong model is the relative model with ``delta = 0`` — which is exactly
+how :class:`repro.models.WeakFairness` and :class:`repro.models.StrongFairness`
+are defined in the pluggable model layer.  The functions here are thin
+wrappers over that machinery (via :func:`find_maximum_fair_clique` and the
+mapped delta), so downstream users can compare the three models on the same
+graph (see ``examples/fairness_model_comparison.py``).
 """
 
 from __future__ import annotations

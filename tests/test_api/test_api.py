@@ -97,14 +97,33 @@ class TestDispatchErrors:
                   engine="quantum")
 
     def test_unsupported_pair_fails_fast(self):
+        # Every built-in engine now supports every model (the FairnessModel
+        # layer closed the (multi_weak, heuristic) gap), so a truly
+        # unsupported pair needs an engine with a narrower declaration.
+        registry = EngineRegistry()
+        registry.register("relative_only", ("relative",), lambda g, q, c: None)
         with pytest.raises(UnsupportedQueryError, match="does not support"):
-            solve(paper_example_graph(), model="multi_weak", k=2,
-                  engine="heuristic")
+            solve(paper_example_graph(),
+                  FairCliqueQuery(model="multi_weak", k=2, engine="relative_only"),
+                  registry=registry)
 
     def test_error_message_names_alternatives(self):
-        with pytest.raises(UnsupportedQueryError, match="exact"):
-            solve(paper_example_graph(), model="multi_weak", k=2,
-                  engine="heuristic")
+        registry = EngineRegistry()
+        registry.register("relative_only", ("relative",), lambda g, q, c: None)
+        registry.register("wide", ("relative", "multi_weak"), lambda g, q, c: None)
+        with pytest.raises(UnsupportedQueryError, match="wide"):
+            solve(paper_example_graph(),
+                  FairCliqueQuery(model="multi_weak", k=2, engine="relative_only"),
+                  registry=registry)
+
+    def test_multi_weak_heuristic_pair_is_supported(self):
+        # Regression for the retired "deliberately unsupported" pair: the
+        # round-robin greedy now backs (multi_weak, heuristic).
+        report = solve(paper_example_graph(), model="multi_weak", k=2,
+                       engine="heuristic")
+        assert report.engine == "heuristic"
+        assert report.algorithm == "GreedyMW"
+        assert not report.optimal
 
     def test_unknown_engine_option_rejected(self):
         with pytest.raises(InvalidParameterError, match="option"):
@@ -115,7 +134,7 @@ class TestDispatchErrors:
         graph = paper_example_graph()
         queries = [
             FairCliqueQuery(model="relative", k=2, delta=1),
-            FairCliqueQuery(model="multi_weak", k=2, engine="heuristic"),
+            FairCliqueQuery(model="multi_weak", k=2, engine="no_such_engine"),
         ]
         with pytest.raises(UnsupportedQueryError):
             solve_many(graph, queries)
@@ -130,11 +149,11 @@ class TestRegistry:
     def test_builtin_support_matrix(self):
         matrix = default_registry.support_matrix()
         assert matrix["exact"] == ("multi_weak", "relative", "strong", "weak")
-        assert matrix["heuristic"] == ("relative", "strong", "weak")
+        assert matrix["heuristic"] == ("multi_weak", "relative", "strong", "weak")
         assert matrix["brute_force"] == ("multi_weak", "relative", "strong", "weak")
 
     def test_available_engines_filtered_by_model(self):
-        assert "heuristic" not in available_engines("multi_weak")
+        assert set(available_engines("multi_weak")) == {"exact", "heuristic", "brute_force"}
         assert set(available_engines("relative")) == {"exact", "heuristic", "brute_force"}
 
     def test_custom_engine_registration_and_dispatch(self):
@@ -261,7 +280,7 @@ class TestSolveReport:
         report = solve(graph, model="multi_weak", k=3)
         assert report.model == "multi_weak"
         assert report.delta is None
-        assert report.algorithm == "MultiAttrBnB"
+        assert report.algorithm == "MaxMWFC+ub+GreedyMW"
 
     def test_empty_report_on_single_attribute_graph(self):
         from repro.graph.builders import complete_graph

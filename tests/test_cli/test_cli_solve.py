@@ -50,15 +50,27 @@ class TestSolveCommand:
         assert exit_code == 0
         assert "HeurRFC" in capsys.readouterr().out
 
-    def test_solve_unsupported_pair_fails_fast(self, paper_files, capsys):
+    def test_solve_multi_weak_heuristic_now_supported(self, paper_files, capsys):
+        # The FairnessModel layer promoted the round-robin greedy to a
+        # registered heuristic engine for multi_weak.
         edges, attrs = paper_files
         exit_code = main([
             "solve", "--edges", edges, "--attributes", attrs,
             "--model", "multi_weak", "--engine", "heuristic", "-k", "2",
         ])
-        assert exit_code == 2
+        assert exit_code == 0
+        assert "GreedyMW" in capsys.readouterr().out
+
+    def test_solve_unknown_engine_fails_fast(self, paper_files, capsys):
+        edges, attrs = paper_files
+        with pytest.raises(SystemExit) as excinfo:
+            main([
+                "solve", "--edges", edges, "--attributes", attrs,
+                "--model", "multi_weak", "--engine", "quantum", "-k", "2",
+            ])
+        assert excinfo.value.code == 2
         err = capsys.readouterr().err
-        assert "does not support model 'multi_weak'" in err
+        assert "invalid choice: 'quantum'" in err
         assert "Traceback" not in err
 
     def test_solve_delta_on_delta_free_model_rejected(self, paper_files, capsys):

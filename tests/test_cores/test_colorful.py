@@ -22,7 +22,6 @@ from repro.cores.enhanced import (
     enhanced_colorful_degrees,
     enhanced_colorful_k_core,
 )
-from repro.exceptions import AttributeCountError
 from repro.graph.builders import complete_graph, from_edge_list
 from repro.graph.generators import erdos_renyi_graph
 
@@ -56,10 +55,17 @@ class TestColorfulDegrees:
         assert degrees[0]["a"] == 1  # all leaves share a color
         assert degrees[0]["b"] == 1
 
-    def test_requires_two_attributes(self):
+    def test_generalises_to_any_attribute_domain(self):
+        # Single-valued and three-valued domains are both admitted now (the
+        # multi_weak model runs on the same colorful-degree machinery); the
+        # per-value counts still cover every domain value.
         graph = from_edge_list([(1, 2)], {1: "a", 2: "a"})
-        with pytest.raises(AttributeCountError):
-            colorful_degrees(graph, greedy_coloring(graph))
+        degrees = colorful_degrees(graph, greedy_coloring(graph))
+        assert degrees[1] == {"a": 1}
+        tri = from_edge_list([(1, 2), (2, 3), (1, 3)], {1: "x", 2: "y", 3: "z"})
+        degrees = colorful_degrees(tri, greedy_coloring(tri))
+        assert set(degrees[1]) == {"x", "y", "z"}
+        assert degrees[1]["x"] == 0 and degrees[1]["y"] == 1 and degrees[1]["z"] == 1
 
 
 class TestColorfulKCore:

@@ -20,6 +20,7 @@ from repro.graph.generators import (
 )
 from repro.kernel.search import KernelBranchAndBound
 from repro.kernel.view import SubgraphView
+from repro.models import make_model
 from repro.parallel import (
     ParallelConfig,
     ParallelMaxRFC,
@@ -174,6 +175,12 @@ class TestBudgetAborts:
             assert report.aborted == report.stats.timed_out
 
 
+def _active(graph, model="relative", k=2, delta=1):
+    """A bound model for direct plan/search construction in these tests."""
+    spec = make_model(model, k, delta if model == "relative" else None, graph)
+    return spec.activate(graph)
+
+
 class TestShardPlanning:
     def test_plan_covers_every_root_position_exactly_once(self):
         # One 30-vertex component plus a small satellite one: the big
@@ -181,7 +188,7 @@ class TestShardPlanning:
         graph = community_graph(1, 30, intra_probability=0.5,
                                 inter_edges=0, seed=3)
         kernel = graph.compile()
-        plan = plan_shards(kernel, 2, minimum_size=4, workers=2,
+        plan = plan_shards(kernel, _active(graph), workers=2,
                            split_threshold=10)
         assert plan.components_split == 1
         positions: list[int] = []
@@ -199,14 +206,14 @@ class TestShardPlanning:
         """Equal components at pool size balance by themselves — no split."""
         graph = community_graph(2, 30, intra_probability=0.5,
                                 inter_edges=0, seed=3)
-        plan = plan_shards(graph.compile(), 2, minimum_size=4, workers=2,
+        plan = plan_shards(graph.compile(), _active(graph), workers=2,
                            split_threshold=10)
         assert plan.components_split == 0
         assert len(plan.shards) == 2
 
     def test_small_components_become_whole_shards(self):
         graph = _multi_component_graph()
-        plan = plan_shards(graph.compile(), 2, minimum_size=4, workers=4)
+        plan = plan_shards(graph.compile(), _active(graph), workers=4)
         assert plan.components_searched == 3
         assert plan.components_split == 0
         assert all(not shard.is_split for shard in plan.shards)
@@ -217,14 +224,17 @@ class TestShardPlanning:
             [(1, 2), (2, 3), (1, 3), (4, 5), (5, 6), (4, 6)],
             {1: "a", 2: "a", 3: "a", 4: "a", 5: "b", 6: "a"},
         )
-        plan = plan_shards(graph.compile(), 1, minimum_size=2, workers=2)
+        plan = plan_shards(graph.compile(), _active(graph, k=1, delta=1),
+                           workers=2)
         assert plan.components_skipped == 1
         assert plan.components_searched == 1
 
     def test_empty_kernel_plans_nothing(self):
         from repro.graph.attributed_graph import AttributedGraph
+        from repro.models import RelativeFairness
 
-        plan = plan_shards(AttributedGraph().compile(), 2, minimum_size=4)
+        empty = AttributedGraph()
+        plan = plan_shards(empty.compile(), RelativeFairness(2, 1).bind(("a", "b")))
         assert plan.shards == ()
 
 
@@ -239,10 +249,12 @@ class TestRunRootBranch:
         mask = kernel.mask_of(component)
         ordered = colorful_core_order(kernel, mask)
 
+        model = _active(graph)
+
         def searcher():
             return KernelBranchAndBound(
                 view=SubgraphView(kernel, graph, ordered),
-                k=2, delta=1, stats=SearchStats(), bound_stack=None,
+                model=model, stats=SearchStats(),
                 bound_depth=0, check_budget=lambda stats: None,
                 best_size=0, best_clique=frozenset(), has_budget=False,
             )
