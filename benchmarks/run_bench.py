@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Perf benchmarks — the machine-readable perf trajectory of the repo.
 
-Two suites share this driver:
+Three suites share this driver:
 
 * ``--suite kernel`` (default) runs a fixed seed-graph grid (n ≈ 2000
   generated stand-ins) through the three kernel hot paths — MaxRFC search,
@@ -13,21 +13,29 @@ Two suites share this driver:
   kernel search and the component-sharded parallel executor
   (``--workers N``), and writes serial/parallel wall-clock, speedups, and
   shard telemetry to ``benchmarks/results/BENCH_parallel.json``.
+* ``--suite session`` runs a repeated k × delta sweep on one
+  :class:`~repro.api.FairCliqueSession` per cell — the cold first sweep pays
+  the reductions and kernel compiles, the warm repeat hits the session's
+  artifact cache — and writes cold/warm wall-clock, the speedup, and the
+  cache hit counters to ``benchmarks/results/BENCH_session.json``.
 
 Every search cell asserts *result parity* (kernel vs dict: same clique and
 branch counters; serial vs parallel: same optimal size and a verified fair
-clique), so a bench run doubles as an end-to-end parity check on the exact
-grid it times.
+clique; cold vs warm: identical sweep sizes), so a bench run doubles as an
+end-to-end parity check on the exact grid it times.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/run_bench.py                    # kernel grid
     PYTHONPATH=src python benchmarks/run_bench.py --suite parallel   # parallel grid
+    PYTHONPATH=src python benchmarks/run_bench.py --suite session    # session cache grid
     PYTHONPATH=src python benchmarks/run_bench.py --smoke \
         --check benchmarks/results/BENCH_smoke_baseline.json         # perf gate
     PYTHONPATH=src python benchmarks/run_bench.py --suite parallel --smoke \
         --workers 2 \
         --check benchmarks/results/BENCH_parallel_smoke_baseline.json
+    PYTHONPATH=src python benchmarks/run_bench.py --suite session --smoke \
+        --check benchmarks/results/BENCH_session_smoke_baseline.json
 
 ``--check`` compares the freshly measured median speedup (a same-machine
 ratio — kernel vs dict, or parallel vs serial — so the gate is
@@ -48,6 +56,7 @@ import sys
 import time
 from pathlib import Path
 
+from repro.api import FairCliqueSession, query_grid
 from repro.bounds.base import make_context
 from repro.bounds.stacks import get_stack
 from repro.graph.attributed_graph import AttributedGraph
@@ -67,10 +76,12 @@ from repro.search.maxrfc import MaxRFC, build_search_config
 RESULTS_DIR = Path(__file__).parent / "results"
 SCHEMA = "bench_kernel/v1"
 PARALLEL_SCHEMA = "bench_parallel/v1"
+SESSION_SCHEMA = "bench_session/v1"
 #: schema -> the medians key the --check gate compares.
 CHECK_KEYS = {
     SCHEMA: "search_speedup",
     PARALLEL_SCHEMA: "parallel_speedup",
+    SESSION_SCHEMA: "session_speedup",
 }
 
 
@@ -179,6 +190,40 @@ def parallel_smoke_grid():
             quasi_clique_blobs(empty, num_blobs=4, blob_size=60,
                                edge_probability=0.55, seed=3), ("x", "y", "z")),
          "multi_weak", 2, None),
+    ]
+
+
+def session_full_grid():
+    """Graphs + sweep shapes for the session cold/warm cache suite.
+
+    The sweep is the production shape (many queries, few distinct ``k``);
+    the graphs are picked so the reduction pipeline is a substantial share
+    of a cold solve — that is exactly the work a warm session stops paying.
+    """
+    blobs_background = erdos_renyi_graph(1400, 0.003, seed=2)
+    return [
+        ("powerlaw-2000", powerlaw_cluster_graph(2000, 8, 0.6, seed=4),
+         (2, 3, 4), (0, 1, 2)),
+        ("community-dense", community_graph(20, 100, intra_probability=0.35,
+                                            inter_edges=4, seed=8),
+         (2, 3), (0, 1, 2)),
+        ("quasi-blobs", quasi_clique_blobs(blobs_background, num_blobs=10,
+                                           blob_size=60, edge_probability=0.5,
+                                           seed=3),
+         (2, 3), (0, 1, 2)),
+    ]
+
+
+def session_smoke_grid():
+    """A seconds-sized cold/warm grid for the CI session cache gate."""
+    blobs_background = erdos_renyi_graph(250, 0.01, seed=2)
+    return [
+        ("powerlaw-500", powerlaw_cluster_graph(500, 8, 0.6, seed=4),
+         (2, 3), (0, 1, 2)),
+        ("quasi-blobs", quasi_clique_blobs(blobs_background, num_blobs=4,
+                                           blob_size=40, edge_probability=0.5,
+                                           seed=3),
+         (2, 3), (0, 1)),
     ]
 
 
@@ -312,6 +357,82 @@ def bench_parallel(graph, model_name, k, delta, repeats, workers):
     }
 
 
+def bench_session(graph, ks, deltas, repeats):
+    """Cold-vs-warm wall-clock of a repeated k × delta sweep on one session.
+
+    Each repeat opens a fresh session, runs the sweep twice, and times both
+    passes: the *cold* pass pays every reduction (and reduced-kernel
+    compile), the *warm* pass reuses the session's artifacts — same queries,
+    same answers, asserted per repeat.  The cache counters come from the
+    session itself, so a broken cache (zero hits) fails the run rather than
+    quietly timing two cold passes.
+    """
+    queries = query_grid(ks=ks, deltas=deltas)
+    cold_samples = []
+    warm_samples = []
+    info = {}
+    cold_sizes = warm_sizes = None
+    for _ in range(repeats):
+        with FairCliqueSession(graph) as session:
+            started = time.monotonic()
+            cold_sizes = [session.solve(query).size for query in queries]
+            cold_samples.append(time.monotonic() - started)
+            started = time.monotonic()
+            warm_sizes = [session.solve(query).size for query in queries]
+            warm_samples.append(time.monotonic() - started)
+            info = session.cache_info()
+        if cold_sizes != warm_sizes:
+            raise AssertionError(
+                f"cold/warm sweep parity violated: {cold_sizes} != {warm_sizes}"
+            )
+    if info["reduction_hits"] == 0:
+        raise AssertionError("warm sweep produced no reduction cache hits")
+    return {
+        "num_queries": len(queries),
+        "cold_s": median_of(cold_samples),
+        "warm_s": median_of(warm_samples),
+        "speedup": median_of(cold_samples) / max(median_of(warm_samples), 1e-9),
+        "reduction_hits": info["reduction_hits"],
+        "reduction_misses": info["reduction_misses"],
+        "reductions_cached": info["reductions"],
+        "sizes": cold_sizes,
+    }
+
+
+def run_session(mode: str, repeats: int) -> dict:
+    grid = session_smoke_grid() if mode == "smoke" else session_full_grid()
+    cells = []
+    for name, graph, ks, deltas in grid:
+        print(f"[bench] {name}: n={graph.num_vertices} m={graph.num_edges} "
+              f"ks={ks} deltas={deltas}", flush=True)
+        cell = {
+            "name": name,
+            "n": graph.num_vertices,
+            "m": graph.num_edges,
+            "ks": list(ks),
+            "deltas": list(deltas),
+            **bench_session(graph, ks, deltas, repeats),
+        }
+        print(f"        cold {cell['cold_s']:.3f}s  warm {cell['warm_s']:.3f}s  "
+              f"x{cell['speedup']:.2f}  hits={cell['reduction_hits']}",
+              flush=True)
+        cells.append(cell)
+    medians = {
+        "cold_s": median_of([cell["cold_s"] for cell in cells]),
+        "warm_s": median_of([cell["warm_s"] for cell in cells]),
+        "session_speedup": median_of([cell["speedup"] for cell in cells]),
+    }
+    return {
+        "schema": SESSION_SCHEMA,
+        "mode": mode,
+        "repeats": repeats,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cells": cells,
+        "medians": medians,
+    }
+
+
 def run_parallel(mode: str, repeats: int, workers: int) -> dict:
     grid = parallel_smoke_grid() if mode == "smoke" else parallel_full_grid()
     cells = []
@@ -423,8 +544,10 @@ def check_against_baseline(report: dict, baseline_path: Path, tolerance: float) 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--suite", choices=("kernel", "parallel"), default="kernel",
-                        help="kernel-vs-dict hot paths, or serial-vs-parallel search")
+    parser.add_argument("--suite", choices=("kernel", "parallel", "session"),
+                        default="kernel",
+                        help="kernel-vs-dict hot paths, serial-vs-parallel "
+                             "search, or cold-vs-warm session caching")
     parser.add_argument("--smoke", action="store_true",
                         help="run the small CI grid instead of the full one")
     parser.add_argument("--repeats", type=int, default=3,
@@ -447,6 +570,10 @@ def main(argv=None) -> int:
         report = run_parallel(mode, max(1, args.repeats), args.workers)
         default_name = ("BENCH_parallel_smoke.json" if args.smoke
                         else "BENCH_parallel.json")
+    elif args.suite == "session":
+        report = run_session(mode, max(1, args.repeats))
+        default_name = ("BENCH_session_smoke.json" if args.smoke
+                        else "BENCH_session.json")
     else:
         report = run(mode, max(1, args.repeats))
         default_name = ("BENCH_kernel_smoke.json" if args.smoke

@@ -1,0 +1,69 @@
+"""Tour of the session layer: one prepared graph, every task shape.
+
+A ``FairCliqueSession`` prepares a graph once (compiled kernel, memoized
+reductions, optional persistent worker pool) and then answers many
+questions against it:
+
+* ``session.solve``      — one report for any task: ``maximum`` (today's
+  answer), ``enumerate`` (every maximal fair clique), ``top_k``;
+* ``session.enumerate``  — the lazy generator face of enumeration;
+* ``session.stream``     — watch the incumbent improve while the exact
+  search runs (serially or across parallel shards);
+* ``session.explain``    — the resolved query plan, without solving.
+
+Run with::
+
+    python examples/session_tasks.py
+"""
+
+from __future__ import annotations
+
+from itertools import islice
+
+from repro import FairCliqueQuery, FairCliqueSession
+from repro.datasets import load_dataset
+
+
+def main() -> None:
+    graph = load_dataset("DBLP", scale=0.3)
+    print(f"prepared graph: |V|={graph.num_vertices} |E|={graph.num_edges}\n")
+
+    with FairCliqueSession(graph) as session:
+        # --- explain before solving: what would this query do? ----------- #
+        query = FairCliqueQuery(model="relative", k=3, delta=1)
+        print("=== explain (cold session) ===")
+        print(session.explain(query).summary())
+        print()
+
+        # --- stream the incumbent trajectory ------------------------------ #
+        print("=== stream: incumbents as they improve ===")
+        for event in session.stream(query):
+            if event.final:
+                print(f"  [{event.seconds:.3f}s] final: {event.report.summary()}")
+            else:
+                print(f"  [{event.seconds:.3f}s] incumbent size={event.size}")
+        print()
+
+        # --- enumeration: every maximal fair clique, lazily --------------- #
+        print("=== enumerate: first three maximal fair cliques (lazy) ===")
+        for clique in islice(session.enumerate(model="relative", k=2, delta=1), 3):
+            print(f"  size={len(clique)}  {sorted(map(str, clique))[:6]}...")
+        print()
+
+        # --- top-k: the largest few, as one report ------------------------ #
+        print("=== top_k: the 3 largest maximal fair cliques ===")
+        report = session.solve(model="relative", k=2, delta=1,
+                               task="top_k", count=3)
+        for clique in report.cliques:
+            print(f"  size={len(clique)}  counts={graph.attribute_histogram(clique)}")
+        print()
+
+        # --- the warm session: artifacts are shared across everything ----- #
+        print("=== explain again (warm session) ===")
+        print(session.explain(query).summary())
+        print()
+        print(f"cache: {session.cache_info()}")
+
+
+if __name__ == "__main__":
+    main()

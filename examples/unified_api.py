@@ -1,16 +1,19 @@
 """Tour of the unified query API: one front door for every model and engine.
 
 The repo's solvers — MaxRFC, HeurRFC, the brute-force oracle, and the
-weak/strong/multi-attribute variants — are all reachable through three
+weak/strong/multi-attribute variants — are all reachable through four
 concepts:
 
-* ``FairCliqueQuery``  — a declarative description of the question;
-* ``solve`` / ``solve_many`` — registry dispatch, single or batched;
-* ``SolveReport``      — the unified result schema every engine returns.
+* ``FairCliqueQuery``   — a declarative description of the question
+  (including its *task*: maximum / enumerate / top_k);
+* ``FairCliqueSession`` — a prepared graph answering many queries with
+  shared artifacts (see ``examples/session_tasks.py`` for the full tour);
+* ``solve`` / ``solve_many`` — one-shot wrappers over an ephemeral session;
+* ``SolveReport``       — the unified result schema every engine returns.
 
-The batch layer is where the design pays off: a k × delta sweep shares one
-reduction-pipeline run per distinct ``k`` instead of re-reducing the graph
-for every query.
+The batch/session layer is where the design pays off: a k × delta sweep
+shares one reduction-pipeline run per distinct ``k`` instead of re-reducing
+the graph for every query.
 
 Run with::
 
@@ -23,6 +26,7 @@ import time
 
 from repro import (
     FairCliqueQuery,
+    FairCliqueSession,
     UnsupportedQueryError,
     available_engines,
     query_grid,
@@ -62,25 +66,27 @@ def single_queries() -> None:
 
 
 def batched_sweep() -> None:
-    print("=== k x delta sweep through the batch layer ===")
+    print("=== k x delta sweep on one session ===")
     graph = load_dataset("DBLP", scale=0.3)
     queries = query_grid(ks=(4, 5), deltas=(0, 1, 2, 3))
 
-    started = time.monotonic()
-    reports = solve_many(graph, queries)  # shared reduction per distinct k
-    shared = time.monotonic() - started
-
-    started = time.monotonic()
-    solve_many(graph, queries, share_reduction=False)
-    unshared = time.monotonic() - started
+    with FairCliqueSession(graph) as session:
+        started = time.monotonic()
+        reports = session.solve_many(queries)  # shared reduction per distinct k
+        cold = time.monotonic() - started
+        started = time.monotonic()
+        session.solve_many(queries)            # warm: every artifact cached
+        warm = time.monotonic() - started
+        info = session.cache_info()
 
     print(f"  {'k':>3s} {'delta':>5s} {'size':>4s}  balance")
     for query, report in zip(queries, reports):
         print(f"  {query.k:>3d} {query.delta:>5d} {report.size:>4d}  "
               f"{report.attribute_counts}")
-    print(f"  shared reduction: {shared:.3f}s   "
-          f"unshared baseline: {unshared:.3f}s   "
-          f"speedup: {unshared / max(shared, 1e-9):.1f}x")
+    print(f"  cold sweep: {cold:.3f}s   warm repeat: {warm:.3f}s   "
+          f"speedup: {cold / max(warm, 1e-9):.1f}x   "
+          f"(cache: {info['reduction_hits']} hits / "
+          f"{info['reduction_misses']} misses)")
     print()
 
 

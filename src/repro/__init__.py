@@ -9,9 +9,13 @@ package provides:
 * the upper bounds of Section IV and the MaxRFC branch-and-bound;
 * the linear-time HeurRFC heuristic, brute-force baselines, and the
   weak/strong/multi-attribute model variants;
-* a **unified query API** (:mod:`repro.api`) dispatching every
-  (model, engine) combination through one registry, with batch execution
-  that shares reduction artifacts across a parameter sweep;
+* a **session-centric query API** (:mod:`repro.api`): a
+  :class:`FairCliqueSession` prepares a graph once and answers maximum /
+  enumerate / top-k tasks against it with shared artifacts, incumbent
+  streaming (``session.stream``), and query plans (``session.explain``);
+  :func:`solve`/:func:`solve_many` are one-shot wrappers over an ephemeral
+  session, dispatching every (model, engine) combination through one
+  registry;
 * a **component-sharded parallel executor** (:mod:`repro.parallel`) that
   fans the post-reduction search over a process pool — request it with
   ``workers=N`` on a query;
@@ -55,6 +59,9 @@ the registry dispatches to.
 from repro.api import (
     BatchExecutor,
     FairCliqueQuery,
+    FairCliqueSession,
+    Incumbent,
+    QueryPlan,
     SolveContext,
     SolveReport,
     available_engines,
@@ -99,7 +106,10 @@ from repro.search import (
 __version__ = "1.1.0"
 
 __all__ = [
-    # unified query API
+    # unified query API (sessions are the long-lived surface)
+    "FairCliqueSession",
+    "Incumbent",
+    "QueryPlan",
     "FairCliqueQuery",
     "SolveReport",
     "SolveContext",

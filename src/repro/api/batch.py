@@ -1,37 +1,41 @@
-"""The front door (``solve``) and the batch layer (``solve_many``).
+"""The batch machinery behind sessions, ``solve``, and ``solve_many``.
 
-``solve`` answers one :class:`~repro.api.query.FairCliqueQuery`;
-``solve_many`` answers a whole grid of them over the *same* graph, which is
-the shape every sweep in the repo has (k × delta × model for one dataset).
-Two optimisations make the batch path cheaper than N independent solves:
+The long-lived surface is :class:`~repro.api.session.FairCliqueSession`; the
+module-level :func:`solve`/:func:`solve_many` are thin wrappers over an
+ephemeral session, kept as the one-shot front door.  What lives here is the
+machinery both share:
 
 * **Shared reduction artifacts** — the Algorithm 2 reduction pipeline depends
   only on ``(graph, k, stages)``, never on ``delta`` or the model, so a
   :class:`SolveContext` memoizes one pipeline run per distinct ``k`` and every
-  query reuses it.  A delta sweep then pays for the reduction exactly once.
-* **Optional process parallelism** — with ``max_workers > 1`` the queries are
-  partitioned by ``k`` (keeping the reduction sharing intact inside each
+  query reuses it.  A delta sweep then pays for the reduction exactly once,
+  and a session keeps the artifacts warm across *calls*.
+* **Process parallelism for batches** — with ``max_workers > 1`` the queries
+  are partitioned by ``k`` (keeping the reduction sharing intact inside each
   worker) and solved in a ``concurrent.futures`` process pool.  The graph is
   shipped to each worker exactly once, through the pool *initializer* — task
   submissions carry only the queries — and one :class:`BatchExecutor` (pool +
-  shipped graph + per-worker context) serves every chunk of a sweep.  Pass an
-  explicit ``executor=`` to reuse that pool across several ``solve_many``
-  calls on the same graph.
+  shipped graph + per-worker context) serves every chunk.  Sessions own a
+  persistent executor; constructing one directly is deprecated.
 
 Dispatch is validated *before* any work starts: an unsupported
-(model, engine) pair anywhere in the batch raises
+(model, engine) pair — or an enumeration task on an engine without an
+enumeration implementation — anywhere in the batch raises
 :class:`~repro.exceptions.UnsupportedQueryError` immediately.
 """
 
 from __future__ import annotations
 
 import itertools
+import threading
+import warnings
 from collections.abc import Iterable, Sequence
 import time
 
 from repro.api.query import FairCliqueQuery
 from repro.api.registry import EngineRegistry, default_registry
 from repro.api.report import SolveReport
+from repro.api.tasks import run_task, validate_task
 from repro.exceptions import InvalidParameterError
 from repro.graph.attributed_graph import AttributedGraph
 from repro.reduction.pipeline import DEFAULT_STAGES, PipelineResult, ReductionPipeline
@@ -39,16 +43,46 @@ from repro.reduction.pipeline import DEFAULT_STAGES, PipelineResult, ReductionPi
 import repro.api.engines  # noqa: F401  (imported for the side effect: built-in engines register)
 
 
-class SolveContext:
-    """Per-graph scratch space shared by the engines of one solve/batch run.
+def _deprecated_construction(name: str) -> None:
+    warnings.warn(
+        f"constructing {name} directly is deprecated; open a "
+        "repro.api.FairCliqueSession instead — it owns the prepared-graph "
+        "artifacts (and, for batches, the persistent worker pool)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
-    Currently it memoizes reduction-pipeline runs keyed by ``(k, stages)``;
-    future shared artifacts (colorings, core decompositions) belong here too.
+
+class SolveContext:
+    """Per-graph scratch space shared by the engines of one session/batch.
+
+    It memoizes reduction-pipeline runs keyed by ``(k, stages)`` and counts
+    hits/misses in :attr:`telemetry`; compiled kernels ride along via
+    :meth:`kernel` (memoized on the graphs themselves).  ``incumbent_hook``
+    is the streaming tap: when a session streams a query, engines attach it
+    to their solver so every improving incumbent is published.
+
+    .. deprecated::
+        Direct construction — prefer
+        :class:`~repro.api.session.FairCliqueSession`, which owns a context
+        for the whole session.
     """
 
-    def __init__(self, graph: AttributedGraph) -> None:
+    def __init__(self, graph: AttributedGraph, *, _internal: bool = False) -> None:
+        if not _internal:
+            _deprecated_construction("SolveContext")
         self.graph = graph
         self._reductions: dict[tuple, tuple[PipelineResult, float]] = {}
+        #: Guards the check-then-insert of :meth:`reduced` (and the counter
+        #: updates): a session's ``stream()`` runs its solve on a background
+        #: thread sharing this cache, and two racing misses for the same key
+        #: must not run the pipeline twice.  Shared by reference with stream
+        #: views.
+        self._cache_lock = threading.Lock()
+        #: Plain-data cache counters (shared by reference with stream views).
+        self.telemetry: dict = {"reduction_hits": 0, "reduction_misses": 0}
+        #: Optional ``(size, clique | None) -> None`` incumbent tap.
+        self.incumbent_hook = None
 
     def reduced(
         self, k: int, stages: Sequence[str] | None = None
@@ -61,14 +95,34 @@ class SolveContext:
         run.
         """
         key = (k, tuple(stages or DEFAULT_STAGES))
-        if key in self._reductions:
-            result, _ = self._reductions[key]
-            return result, 0.0, True
-        started = time.monotonic()
-        result = ReductionPipeline(key[1]).run(self.graph, k)
-        elapsed = time.monotonic() - started
-        self._reductions[key] = (result, elapsed)
-        return result, elapsed, False
+        with self._cache_lock:
+            if key in self._reductions:
+                result, _ = self._reductions[key]
+                self.telemetry["reduction_hits"] += 1
+                return result, 0.0, True
+            # The pipeline runs inside the lock: a concurrent request for the
+            # same key must wait for (and then reuse) this run, not start its
+            # own.  Distinct keys serialise too — acceptable, since a session
+            # is driven from one thread plus at most a streaming solve.
+            started = time.monotonic()
+            result = ReductionPipeline(key[1]).run(self.graph, k)
+            elapsed = time.monotonic() - started
+            self._reductions[key] = (result, elapsed)
+            self.telemetry["reduction_misses"] += 1
+            return result, elapsed, False
+
+    def cached_reduction(
+        self, k: int, stages: Sequence[str] | None = None
+    ) -> PipelineResult | None:
+        """The memoized reduction for ``(k, stages)``, or ``None`` — no side effects.
+
+        Used by :meth:`FairCliqueSession.explain`, which must report what a
+        query *would* reuse without running anything.
+        """
+        key = (k, tuple(stages or DEFAULT_STAGES))
+        with self._cache_lock:
+            entry = self._reductions.get(key)
+        return None if entry is None else entry[0]
 
     @property
     def reduction_cache_size(self) -> int:
@@ -88,6 +142,19 @@ class SolveContext:
         return target.compile()
 
 
+def _dispatch_query(
+    graph: AttributedGraph,
+    query: FairCliqueQuery,
+    context: SolveContext,
+    registry: EngineRegistry | None = None,
+) -> SolveReport:
+    """Resolve and run one validated query (engine func or enumeration task)."""
+    engine = (registry or default_registry).resolve(query)
+    if query.task != "maximum":
+        return run_task(graph, query, context)
+    return engine.func(graph, query, context)
+
+
 def solve(
     graph: AttributedGraph,
     query: FairCliqueQuery | None = None,
@@ -96,7 +163,7 @@ def solve(
     context: SolveContext | None = None,
     **query_fields,
 ) -> SolveReport:
-    """Answer one fair-clique query through the engine registry.
+    """Answer one fair-clique query — a thin wrapper over an ephemeral session.
 
     Either pass a ready-made :class:`FairCliqueQuery`, or pass its fields as
     keywords and the query is built for you::
@@ -104,8 +171,14 @@ def solve(
         solve(graph, model="relative", k=3, delta=1)
         solve(graph, FairCliqueQuery(model="weak", k=3, engine="heuristic"))
 
+    Re-querying the same graph?  Open a
+    :class:`~repro.api.session.FairCliqueSession` instead — it keeps the
+    reduction artifacts and compiled kernels warm across queries, where this
+    function rebuilds them per call (``context=`` is the legacy escape hatch
+    for sharing them manually).
+
     Raises :class:`~repro.exceptions.UnsupportedQueryError` when the engine
-    does not exist or does not support the model.
+    does not exist, does not support the model, or cannot answer the task.
     """
     if query is None:
         query = FairCliqueQuery(**query_fields)
@@ -113,8 +186,12 @@ def solve(
         raise InvalidParameterError(
             "pass either a FairCliqueQuery or query fields as keywords, not both"
         )
-    engine = (registry or default_registry).resolve(query)
-    return engine.func(graph, query, context or SolveContext(graph))
+    if context is not None:
+        return _dispatch_query(graph, query, context, registry)
+    from repro.api.session import FairCliqueSession
+
+    with FairCliqueSession(graph, registry=registry) as session:
+        return session.solve(query)
 
 
 def solve_many(
@@ -126,7 +203,7 @@ def solve_many(
     max_workers: int | None = None,
     executor: "BatchExecutor | None" = None,
 ) -> list[SolveReport]:
-    """Answer a batch of queries over one graph, in input order.
+    """Answer a batch of queries over one graph — a wrapper over an ephemeral session.
 
     Parameters
     ----------
@@ -138,51 +215,56 @@ def solve_many(
         reduction sharing survives the split; the workers dispatch through
         the default registry (custom registries are process-local).
     executor:
-        A :class:`BatchExecutor` to run the chunks on, reusing its pool and
-        the graph already shipped to its workers.  Must have been created for
-        the *same* graph object.  When omitted and ``max_workers > 1``, a
-        temporary executor is created for this call.
+        Legacy: a :class:`BatchExecutor` to run the chunks on, reusing its
+        pool and the graph already shipped to its workers.  Must have been
+        created for the *same* graph object.  New code reuses pools by
+        calling :meth:`FairCliqueSession.solve_many` on one session instead.
     """
-    query_list = list(queries)
-    reg = registry or default_registry
-    for query in query_list:
-        reg.resolve(query)  # fail fast before any solving starts
-    want_pool = executor is not None or (
-        max_workers is not None and max_workers > 1 and len(query_list) > 1
-    )
-    if want_pool:
+    if executor is not None:
+        query_list = _validated_queries(queries, registry)
         if registry is not None:
             raise InvalidParameterError(
                 "custom registries cannot be shipped to worker processes; "
                 "use the default registry or max_workers=1"
             )
-        if executor is not None:
-            if executor.graph is not graph:
-                raise InvalidParameterError(
-                    "the BatchExecutor was created for a different graph; "
-                    "build one per graph (its workers hold that graph)"
-                )
-            if graph.version != executor.graph_version:
-                raise InvalidParameterError(
-                    "the graph was mutated after the BatchExecutor was "
-                    "created; its workers hold the pre-mutation snapshot — "
-                    "build a fresh executor"
-                )
-            return _solve_parallel(
-                graph, query_list, executor.max_workers, share_reduction, executor
-            )
-        with BatchExecutor(graph, max_workers) as pool:
-            return _solve_parallel(
-                graph, query_list, max_workers, share_reduction, pool
-            )
+        _check_executor(graph, executor)
+        return _solve_parallel(
+            graph, query_list, executor.max_workers, share_reduction, executor
+        )
+    from repro.api.session import FairCliqueSession
 
-    context = SolveContext(graph)
-    reports = []
+    with FairCliqueSession(graph, registry=registry) as session:
+        return session.solve_many(
+            queries, max_workers=max_workers, share_reduction=share_reduction
+        )
+
+
+def _validated_queries(
+    queries: Iterable[FairCliqueQuery],
+    registry: EngineRegistry | None,
+) -> list[FairCliqueQuery]:
+    """Materialise ``queries`` and fail fast before any solving starts."""
+    query_list = list(queries)
+    reg = registry or default_registry
     for query in query_list:
-        if not share_reduction:
-            context = SolveContext(graph)
-        reports.append(reg.resolve(query).func(graph, query, context))
-    return reports
+        reg.resolve(query)
+        validate_task(query)
+    return query_list
+
+
+def _check_executor(graph: AttributedGraph, executor: "BatchExecutor") -> None:
+    """Reject an executor whose workers hold a different graph than ``graph``."""
+    if executor.graph is not graph:
+        raise InvalidParameterError(
+            "the BatchExecutor was created for a different graph; "
+            "build one per graph (its workers hold that graph)"
+        )
+    if graph.version != executor.graph_version:
+        raise InvalidParameterError(
+            "the graph was mutated after the BatchExecutor was "
+            "created; its workers hold the pre-mutation snapshot — "
+            "build a fresh executor"
+        )
 
 
 # --------------------------------------------------------------------------- #
@@ -199,7 +281,7 @@ def _init_batch_worker(graph: AttributedGraph) -> None:
     """Pool initializer: receive the graph once, build the worker's context."""
     global _WORKER_GRAPH, _WORKER_CONTEXT
     _WORKER_GRAPH = graph
-    _WORKER_CONTEXT = SolveContext(graph)
+    _WORKER_CONTEXT = SolveContext(graph, _internal=True)
 
 
 def _solve_chunk(
@@ -213,30 +295,36 @@ def _solve_chunk(
     graph = _WORKER_GRAPH
     if graph is None:  # pragma: no cover - initializer always ran
         raise RuntimeError("batch worker used before its initializer ran")
-    context = _WORKER_CONTEXT if share_context else SolveContext(graph)
+    context = _WORKER_CONTEXT if share_context else SolveContext(graph, _internal=True)
     assert context is not None
-    return [
-        default_registry.resolve(query).func(graph, query, context)
-        for query in queries
-    ]
+    return [_dispatch_query(graph, query, context) for query in queries]
 
 
 class BatchExecutor:
     """A reusable process pool with the graph shipped once to every worker.
 
     Creating the pool pays the graph pickling cost ``max_workers`` times —
-    after that, submitting a chunk ships only the queries.  Reuse one
-    executor across several :func:`solve_many` calls on the same graph to
-    also reuse the workers' memoized reductions and compiled kernels::
+    after that, submitting a chunk ships only the queries.
 
-        with BatchExecutor(graph, max_workers=4) as executor:
-            first = solve_many(graph, grid_a, executor=executor)
-            second = solve_many(graph, grid_b, executor=executor)
+    .. deprecated::
+        Direct construction — a
+        :class:`~repro.api.session.FairCliqueSession` owns a persistent
+        executor and reuses it across every ``solve_many`` on the session::
+
+            with FairCliqueSession(graph) as session:
+                first = session.solve_many(grid_a, max_workers=4)
+                second = session.solve_many(grid_b, max_workers=4)
+
+        The legacy ``solve_many(..., executor=...)`` path keeps working.
     """
 
-    def __init__(self, graph: AttributedGraph, max_workers: int) -> None:
+    def __init__(
+        self, graph: AttributedGraph, max_workers: int, *, _internal: bool = False
+    ) -> None:
         from concurrent.futures import ProcessPoolExecutor
 
+        if not _internal:
+            _deprecated_construction("BatchExecutor")
         if max_workers < 1:
             raise InvalidParameterError(
                 f"max_workers must be a positive integer, got {max_workers!r}"

@@ -87,6 +87,41 @@ def _empty_model_report(
     )
 
 
+def _resolve_exact(graph: AttributedGraph, query: FairCliqueQuery):
+    """Resolve an exact-engine query into ``(model, config, substitution)``.
+
+    Shared by :func:`exact_engine` and the session's ``explain()`` so the
+    plan a session reports is, by construction, what the engine would run.
+    ``substitution`` is the bound-stack substitution note (or ``None``): the
+    model may swap a model-sound stack in for an explicitly requested one
+    (multi_weak keeps only attribute-free bounds), and both surfaces must
+    say so instead of silently running a different configuration.
+    """
+    model = make_model(query.model, query.k, query.delta, graph)
+    options = _consume_options(query, {
+        "bound_stack": "ubAD",
+        "use_reduction": True,
+        "use_heuristic": True,
+        "use_kernel": True,
+        "ordering": None,
+        "branch_limit": None,
+        "bound_depth": 2,
+        "reduction_stages": None,
+    })
+    config_kwargs = {k: v for k, v in options.items() if v is not None or k == "bound_stack"}
+    config = build_search_config(time_limit=query.time_limit, **config_kwargs)
+    substitution = None
+    if "bound_stack" in query.options and config.bound_stack is not None:
+        resolved = model.resolve_bound_stack(config.bound_stack)
+        requested_names = config.bound_stack.names
+        if resolved is None or resolved.names != requested_names:
+            substitution = {
+                "requested": list(requested_names),
+                "used": list(resolved.names) if resolved is not None else [],
+            }
+    return model, config, substitution
+
+
 @register_engine(
     "exact",
     models=ALL_MODELS,
@@ -103,19 +138,7 @@ def exact_engine(
     dispatches *any* model to the component-sharded parallel executor
     (:mod:`repro.parallel`).
     """
-    model = make_model(query.model, query.k, query.delta, graph)
-    options = _consume_options(query, {
-        "bound_stack": "ubAD",
-        "use_reduction": True,
-        "use_heuristic": True,
-        "use_kernel": True,
-        "ordering": None,
-        "branch_limit": None,
-        "bound_depth": 2,
-        "reduction_stages": None,
-    })
-    config_kwargs = {k: v for k, v in options.items() if v is not None or k == "bound_stack"}
-    config = build_search_config(time_limit=query.time_limit, **config_kwargs)
+    model, config, substitution = _resolve_exact(graph, query)
 
     if not model.admits(graph):
         # Checked before touching the shared reduction cache: the binary
@@ -125,17 +148,8 @@ def exact_engine(
         )
 
     metadata: dict[str, Any] = {}
-    if "bound_stack" in query.options and config.bound_stack is not None:
-        # The model may substitute a model-sound stack for the requested one
-        # (multi_weak keeps only attribute-free bounds); say so instead of
-        # silently benchmarking a different configuration.
-        resolved = model.resolve_bound_stack(config.bound_stack)
-        requested_names = config.bound_stack.names
-        if resolved is None or resolved.names != requested_names:
-            metadata["bound_stack_substituted"] = {
-                "requested": list(requested_names),
-                "used": list(resolved.names) if resolved is not None else [],
-            }
+    if substitution is not None:
+        metadata["bound_stack_substituted"] = substitution
     reduction = None
     seconds_charged = 0.0
     stages = model.reduction_stages(config.reduction_stages)
@@ -158,6 +172,12 @@ def exact_engine(
         solver: MaxRFC = ParallelMaxRFC(config, ParallelConfig(workers=workers))
     else:
         solver = MaxRFC(config)
+    # Streaming tap: a session's stream() parks its incumbent hook on the
+    # context; the solver publishes every improvement through it (serially
+    # with the clique attached, via the shared channel size when sharded).
+    hook = getattr(context, "incumbent_hook", None)
+    if hook is not None:
+        solver.on_improve = hook
     result = solver.solve_model(graph, model, reduction=reduction)
     if "parallel" in result.stats.extra:
         metadata["parallel"] = result.stats.extra["parallel"]

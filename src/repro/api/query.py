@@ -44,6 +44,29 @@ MODELS: tuple[str, ...] = ("relative", "weak", "strong", "multi_weak")
 DELTA_MODELS: frozenset = frozenset({"relative"})
 #: Models defined only for binary attributes.
 BINARY_MODELS: frozenset = frozenset({"relative", "weak", "strong"})
+#: The question shapes a query can ask (the *task axis*).
+TASKS: tuple[str, ...] = ("maximum", "enumerate", "top_k")
+
+
+def _hashable(value):
+    """Canonicalise ``value`` into something hashable, recursively.
+
+    Option values are engine knobs — plain data that may arrive as lists
+    (``{"bound_stack": ["ub_size", "ub_color"]}``) or nested dicts.  Hashing
+    must not crash on them, and two queries whose options are equal must hash
+    equal, so containers collapse to sorted/ordered tuples of their
+    canonicalised contents.
+    """
+    if isinstance(value, dict):
+        return tuple(
+            (key, _hashable(item))
+            for key, item in sorted(value.items(), key=lambda pair: repr(pair[0]))
+        )
+    if isinstance(value, (list, tuple)):
+        return tuple(_hashable(item) for item in value)
+    if isinstance(value, (set, frozenset)):
+        return frozenset(_hashable(item) for item in value)
+    return value
 
 
 @dataclass(frozen=True)
@@ -65,6 +88,16 @@ class FairCliqueQuery:
     engine:
         Registered engine name (``"exact"``, ``"heuristic"``,
         ``"brute_force"``, or any custom registration).
+    task:
+        The question shape.  ``"maximum"`` (default) asks for one maximum
+        fair clique and is what every engine implements.  ``"enumerate"``
+        asks for *every* maximal clique that is fair, and ``"top_k"`` for the
+        ``count`` largest of them — both answered by the enumeration layer
+        (:mod:`repro.api.tasks`), kernel-native under the ``exact`` engine
+        and via the reference Bron–Kerbosch oracle under ``brute_force``.
+    count:
+        Number of cliques requested by ``task="top_k"``; required there and
+        must be omitted for the other tasks.
     time_limit:
         Wall-clock budget in seconds forwarded to engines that honour one.
     workers:
@@ -83,6 +116,8 @@ class FairCliqueQuery:
     k: int = 2
     delta: int | None = None
     engine: str = "exact"
+    task: str = "maximum"
+    count: int | None = None
     time_limit: float | None = None
     workers: int | None = None
     options: dict = field(default_factory=dict)
@@ -119,15 +154,30 @@ class FairCliqueQuery:
             )
         if not isinstance(self.engine, str) or not self.engine:
             raise InvalidParameterError(f"engine must be a non-empty string, got {self.engine!r}")
+        if self.task not in TASKS:
+            raise InvalidParameterError(
+                f"unknown task {self.task!r}; expected one of {TASKS}"
+            )
+        if self.task == "top_k":
+            if self.count is None or not isinstance(self.count, int) or self.count < 1:
+                raise InvalidParameterError(
+                    f"task 'top_k' requires count >= 1, got {self.count!r}"
+                )
+        elif self.count is not None:
+            raise InvalidParameterError(
+                f"task {self.task!r} does not take a count (got {self.count!r}); "
+                "count belongs to task='top_k'"
+            )
 
     def __hash__(self) -> int:
         # The generated hash would choke on the options dict; hash a
-        # canonical tuple instead so queries work as dict keys / set members
-        # (requires hashable option values, which the built-ins all are).
+        # canonical tuple instead so queries work as dict keys / set members.
+        # Option values may themselves be lists/dicts (e.g. a bound-stack
+        # name list), so they are canonicalised recursively.
         return hash((
-            self.model, self.k, self.delta, self.engine, self.time_limit,
-            self.workers,
-            tuple(sorted(self.options.items(), key=lambda item: item[0])),
+            self.model, self.k, self.delta, self.engine, self.task,
+            self.count, self.time_limit, self.workers,
+            _hashable(self.options),
         ))
 
     # ------------------------------------------------------------------ #
@@ -156,10 +206,17 @@ class FairCliqueQuery:
         """Copy of this query targeting a different engine (options replaced)."""
         return replace(self, engine=engine, options=dict(options))
 
+    def with_task(self, task: str, count: int | None = None) -> "FairCliqueQuery":
+        """Copy of this query asking a different question shape."""
+        return replace(self, task=task, count=count)
+
     def label(self) -> str:
         """Compact human-readable identifier used in reports and sweeps."""
         delta_part = "" if self.delta is None else f", delta={self.delta}"
-        return f"{self.model}(k={self.k}{delta_part})/{self.engine}"
+        task_part = "" if self.task == "maximum" else f"/{self.task}"
+        if self.task == "top_k":
+            task_part = f"/top_{self.count}"
+        return f"{self.model}(k={self.k}{delta_part}){task_part}/{self.engine}"
 
 
 def query_grid(

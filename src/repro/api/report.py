@@ -37,6 +37,13 @@ class SolveReport:
     optimal:
         True when the answer is provably optimal (exact/brute-force engines
         that finished within their limits).
+    task:
+        The query's question shape (``"maximum"``, ``"enumerate"``,
+        ``"top_k"``).
+    cliques:
+        For the enumeration tasks, every returned clique, sorted largest
+        first (ties by member ids); ``None`` for ``task="maximum"``.
+        ``clique`` is always the first entry when any exist.
     aborted:
         True when the solve hit a time/branch budget and returned its merged
         best-so-far instead of a finished answer.  Under the parallel
@@ -63,6 +70,13 @@ class SolveReport:
     attribute_counts: dict = field(default_factory=dict)
     stats: SearchStats = field(default_factory=SearchStats)
     metadata: dict = field(default_factory=dict)
+    task: str = "maximum"
+    cliques: tuple | None = None
+
+    @property
+    def num_cliques(self) -> int:
+        """Number of cliques returned by an enumeration task (0 otherwise)."""
+        return 0 if self.cliques is None else len(self.cliques)
 
     # ------------------------------------------------------------------ #
     # Derived views
@@ -94,6 +108,12 @@ class SolveReport:
         """One-line report used by the CLI and the batch layer."""
         status = "optimal" if self.optimal else "heuristic/truncated"
         delta_part = "" if self.delta is None else f", delta={self.delta}"
+        if self.cliques is not None:
+            return (
+                f"{self.model}/{self.engine} [{self.algorithm}]: "
+                f"{self.num_cliques} clique(s), largest={self.size} "
+                f"(task={self.task}, k={self.k}{delta_part}, {self.seconds:.3f}s)"
+            )
         return (
             f"{self.model}/{self.engine} [{self.algorithm}]: size={self.size} "
             f"(k={self.k}{delta_part}, gap={self.fairness_gap}, {status}, "
@@ -115,6 +135,8 @@ class SolveReport:
             "optimal": self.optimal,
             "aborted": self.aborted,
             "seconds": self.seconds,
+            "task": self.task,
+            "num_cliques": self.num_cliques if self.cliques is not None else None,
         }
 
     # ------------------------------------------------------------------ #

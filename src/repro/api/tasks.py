@@ -1,0 +1,162 @@
+"""The enumeration tasks of the query API (``task="enumerate"`` / ``"top_k"``).
+
+``task="maximum"`` is what the registered engines implement; the two
+enumeration tasks are answered here instead, because they share one
+implementation pair regardless of the engine's solver machinery:
+
+* under the ``exact`` engine, a **kernel-native generator** — Bron–Kerbosch
+  over the compiled bitset snapshot with fairness-infeasible subtrees pruned
+  inside the recursion (:func:`repro.kernel.cliques.enumerate_fair_clique_masks`);
+* under the ``brute_force`` engine, the **reference oracle** — the pure-set
+  Bron–Kerbosch enumerator filtered by the fairness model after the fact.
+
+Both enumerate *maximal cliques that are fair*: maximal as cliques of the
+full input graph (no vertex extends them), filtered by the model's quotas
+and gap.  Reduction is deliberately **not** applied — removing a vertex that
+belongs to no fair clique can still make a non-maximal fair clique look
+maximal, so enumeration always runs on the unreduced graph.  The parity
+suite pins the kernel generator against the oracle on randomized graphs.
+
+:func:`iter_fair_cliques` is the lazy surface (what
+:meth:`repro.api.session.FairCliqueSession.enumerate` returns);
+:func:`run_task` is the eager one producing a
+:class:`~repro.api.report.SolveReport` for ``solve()``/``solve_many()``.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
+
+from repro.api.query import FairCliqueQuery
+from repro.api.report import SolveReport
+from repro.exceptions import UnsupportedQueryError
+from repro.graph.attributed_graph import AttributedGraph
+from repro.models import make_model
+from repro.search.statistics import SearchStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.api.batch import SolveContext
+
+#: Engines the enumeration tasks are implemented for.
+ENUMERATION_ENGINES = ("exact", "brute_force")
+
+
+def validate_task(query: FairCliqueQuery) -> None:
+    """Fail fast on a query whose task the dispatch layer cannot answer.
+
+    Called before any work starts (and before a batch ships queries to pool
+    workers), mirroring the registry's fail-fast contract for engines.
+    Engine options and ``time_limit`` are rejected rather than silently
+    dropped: the enumeration traversal has no budget or tunables, and
+    pretending to honour a time limit would turn a hang into a surprise.
+    """
+    if query.task == "maximum":
+        return
+    if query.engine not in ENUMERATION_ENGINES:
+        raise UnsupportedQueryError(
+            f"task {query.task!r} is implemented for engines "
+            f"{ENUMERATION_ENGINES}, not {query.engine!r} "
+            "(enumeration has no heuristic)"
+        )
+    if query.options:
+        raise UnsupportedQueryError(
+            f"task {query.task!r} takes no engine options, got "
+            f"{sorted(query.options)} (the enumeration traversal has no "
+            "tunables)"
+        )
+    if query.time_limit is not None:
+        raise UnsupportedQueryError(
+            f"task {query.task!r} does not honour time_limit; enumeration "
+            "runs to completion — bound the output instead (iterate "
+            "session.enumerate lazily, or use task='top_k')"
+        )
+
+
+def iter_fair_cliques(
+    graph: AttributedGraph,
+    query: FairCliqueQuery,
+    context: "SolveContext | None" = None,
+) -> Iterator[frozenset]:
+    """Lazily yield every maximal clique of ``graph`` that is fair under ``query``.
+
+    The emission order is unspecified (it follows the underlying
+    Bron–Kerbosch recursion); consumers needing determinism sort, as
+    :func:`run_task` does.  ``context`` only supplies the memoized compiled
+    kernel — enumeration has no reduction artifacts to share.
+    """
+    validate_task(query)
+    model = make_model(query.model, query.k, query.delta, graph)
+    if not model.admits(graph) or not graph.num_vertices:
+        return
+    active = model.bind(model.domain_of(graph))
+
+    if query.engine == "brute_force":
+        from repro.baselines.bron_kerbosch import enumerate_maximal_cliques_reference
+
+        for clique in enumerate_maximal_cliques_reference(graph):
+            if active.is_fair_histogram(graph.attribute_histogram(clique)):
+                yield clique
+        return
+
+    from repro.kernel.cliques import enumerate_fair_clique_masks
+
+    kernel = context.kernel() if context is not None else graph.compile()
+    for mask in enumerate_fair_clique_masks(
+        kernel.adj_bits,
+        kernel.full_mask,
+        active.kernel_masks(kernel),
+        active.lower,
+        active.gap,
+        active.min_size,
+    ):
+        yield kernel.frozenset_of_mask(mask)
+
+
+def _clique_sort_key(clique: frozenset):
+    """Deterministic largest-first order: size, then member ids."""
+    return (-len(clique), tuple(sorted(map(str, clique))))
+
+
+def run_task(
+    graph: AttributedGraph,
+    query: FairCliqueQuery,
+    context: "SolveContext | None" = None,
+) -> SolveReport:
+    """Answer an enumeration-task query eagerly as a :class:`SolveReport`.
+
+    ``task="enumerate"`` collects every maximal fair clique;
+    ``task="top_k"`` keeps the ``query.count`` largest.  ``cliques`` is
+    sorted largest-first (ties by member ids) so reports are deterministic
+    even though the generators emit in recursion order; ``clique`` is the
+    first entry.
+    """
+    validate_task(query)
+    started = time.monotonic()
+    cliques = sorted(iter_fair_cliques(graph, query, context), key=_clique_sort_key)
+    if query.task == "top_k":
+        cliques = cliques[: query.count]
+    elapsed = time.monotonic() - started
+
+    stats = SearchStats(search_seconds=elapsed)
+    stats.solutions_found = len(cliques)
+    algorithm = "FairBK(kernel)" if query.engine == "exact" else "FairBK(oracle)"
+    metadata: dict = {"maximal_fair_cliques": len(cliques)}
+    if query.workers is not None and query.workers > 1:
+        metadata["workers_ignored"] = "the enumeration tasks run serially"
+    best = cliques[0] if cliques else frozenset()
+    return SolveReport(
+        clique=best,
+        model=query.model,
+        engine=query.engine,
+        k=query.k,
+        delta=query.delta,
+        algorithm=algorithm,
+        optimal=True,
+        attribute_counts=graph.attribute_histogram(best) if best else {},
+        stats=stats,
+        metadata=metadata,
+        task=query.task,
+        cliques=tuple(cliques),
+    )

@@ -3,7 +3,10 @@
 The subcommands cover the library's main entry points::
 
     repro-fairclique solve          --dataset DBLP --model relative --engine exact -k 3 -d 1
+    repro-fairclique solve          --dataset DBLP -k 3 -d 1 --stream
     repro-fairclique solve          --dataset DBLP -k 4 -d 2 --sweep delta --sweep-values 0 1 2 3
+    repro-fairclique enumerate      --dataset DBLP --model relative -k 3 -d 1 --limit 10
+    repro-fairclique explain        --dataset DBLP --model relative -k 3 -d 1 --search-workers 4
     repro-fairclique search         --edges g.edges --attributes g.attrs -k 3 -d 1
     repro-fairclique reduce         --dataset Themarker -k 6
     repro-fairclique stats          --dataset DBLP
@@ -12,11 +15,14 @@ The subcommands cover the library's main entry points::
     repro-fairclique datasets
     repro-fairclique engines
 
-``solve`` is the unified front door: every fairness model × engine
-combination dispatches through the :mod:`repro.api` registry, and sweeps run
-through the batch layer so same-``k`` queries share one reduction run.
-``search`` and ``compare-models`` are retained as thin wrappers over the same
-path.  ``python -m repro ...`` is equivalent to the installed console script.
+Every query command runs through one :class:`~repro.api.FairCliqueSession`
+over the loaded graph: ``solve`` answers a query (``--stream`` prints the
+incumbent trajectory live, ``--top-k`` asks for the k largest maximal fair
+cliques, ``--sweep`` runs the batch layer so same-``k`` queries share one
+reduction run), ``enumerate`` lazily lists every maximal fair clique, and
+``explain`` prints the resolved query plan without solving.  ``search`` and
+``compare-models`` are retained as thin wrappers over the same path.
+``python -m repro ...`` is equivalent to the installed console script.
 """
 
 from __future__ import annotations
@@ -25,8 +31,9 @@ import argparse
 import sys
 from collections.abc import Sequence
 
-from repro.api import FairCliqueQuery, available_engines, default_registry, solve, solve_many
+from repro.api import FairCliqueQuery, FairCliqueSession, available_engines, default_registry
 from repro.api.query import DELTA_MODELS, MODELS
+from repro.api.tasks import ENUMERATION_ENGINES
 from repro.bounds.stacks import stack_names
 from repro.datasets.registry import dataset_names, dataset_table, load_dataset
 from repro.exceptions import ReproError
@@ -74,6 +81,12 @@ def _build_parser() -> argparse.ArgumentParser:
     solve_cmd.add_argument("--search-workers", type=int, default=None,
                            help="process-pool size for the component-sharded "
                                 "parallel search (exact engine, every model)")
+    solve_cmd.add_argument("--stream", action="store_true",
+                           help="print the incumbent trajectory live while the "
+                                "exact search runs")
+    solve_cmd.add_argument("--top-k", type=int, default=None, metavar="N",
+                           help="return the N largest maximal fair cliques "
+                                "(task='top_k') instead of one maximum clique")
     solve_cmd.add_argument("--sweep", choices=("k", "delta"), default=None,
                            help="sweep one parameter over --sweep-values via the batch layer")
     solve_cmd.add_argument("--sweep-values", type=int, nargs="+", default=None,
@@ -81,6 +94,41 @@ def _build_parser() -> argparse.ArgumentParser:
     solve_cmd.add_argument("--workers", type=int, default=None,
                            help="process-pool size for sweeps (default: in-process)")
     solve_cmd.add_argument("--report", help="write the clique membership report to this path")
+
+    enumerate_cmd = subparsers.add_parser(
+        "enumerate",
+        help="lazily list every maximal fair clique (task='enumerate')",
+    )
+    _add_graph_source(enumerate_cmd)
+    enumerate_cmd.add_argument("--model", default="relative", choices=MODELS)
+    enumerate_cmd.add_argument("--engine", default="exact",
+                               choices=ENUMERATION_ENGINES,
+                               help="kernel-native generator, or the "
+                                    "Bron-Kerbosch oracle")
+    enumerate_cmd.add_argument("-k", type=int, required=True,
+                               help="minimum vertices per attribute")
+    enumerate_cmd.add_argument("-d", "--delta", type=int, default=None,
+                               help="maximum attribute-count gap (relative model only)")
+    enumerate_cmd.add_argument("--limit", type=int, default=None, metavar="N",
+                               help="stop after printing N cliques (the "
+                                    "generator is lazy; enumeration never "
+                                    "runs past what is printed)")
+
+    explain_cmd = subparsers.add_parser(
+        "explain",
+        help="print the resolved query plan (engine, reductions, bounds, shards) without solving",
+    )
+    _add_graph_source(explain_cmd)
+    explain_cmd.add_argument("--model", default="relative", choices=MODELS)
+    explain_cmd.add_argument("--engine", default="exact", choices=available_engines())
+    explain_cmd.add_argument("-k", type=int, required=True)
+    explain_cmd.add_argument("-d", "--delta", type=int, default=None)
+    explain_cmd.add_argument("--bound", default=None, choices=list(stack_names()) + ["none"])
+    explain_cmd.add_argument("--search-workers", type=int, default=None)
+    explain_cmd.add_argument("--warm", action="store_true",
+                             help="solve the query once first, so the plan "
+                                  "shows the warm-cache state (incl. the "
+                                  "shard plan for --search-workers)")
 
     search = subparsers.add_parser(
         "search",
@@ -178,51 +226,137 @@ def _command_solve(args: argparse.Namespace) -> int:
         workers=args.search_workers,
         options=options,
     )
-    if args.sweep is None:
-        report = solve(graph, FairCliqueQuery(**base))
-        _print_report(graph, report, args.report)
+    if args.top_k is not None:
+        base.update(task="top_k", count=args.top_k)
+        if args.report:
+            raise SystemExit("--report is not supported with --top-k "
+                             "(the task prints a clique list, not one clique)")
+    if args.stream and (args.sweep is not None or args.top_k is not None):
+        raise SystemExit("--stream follows one maximum-clique solve; "
+                         "it cannot combine with --sweep or --top-k")
+
+    with FairCliqueSession(graph) as session:
+        if args.stream:
+            return _stream_solve(graph, session, FairCliqueQuery(**base), args.report)
+        if args.sweep is None:
+            report = session.solve(FairCliqueQuery(**base))
+            if report.cliques is not None:
+                _print_clique_list(graph, report)
+                return 0
+            _print_report(graph, report, args.report)
+            return 0
+
+        if not args.sweep_values:
+            raise SystemExit("--sweep requires --sweep-values")
+        if args.sweep == "delta" and args.model not in DELTA_MODELS:
+            raise SystemExit(f"model {args.model!r} has no delta to sweep")
+        if args.report:
+            raise SystemExit("--report is not supported with --sweep "
+                             "(the sweep prints a table, not one clique)")
+        queries = []
+        for value in args.sweep_values:
+            fields = dict(base)
+            fields[args.sweep] = value
+            queries.append(FairCliqueQuery(**fields))
+        reports = session.solve_many(queries, max_workers=args.workers)
+        rows = [
+            {
+                args.sweep: getattr(query, args.sweep),
+                "size": report.size,
+                "counts": report.attribute_counts,
+                "gap": report.fairness_gap,
+                "optimal": report.optimal,
+                "seconds": round(report.seconds, 3),
+            }
+            for query, report in zip(queries, reports)
+        ]
+        print(format_table(
+            rows,
+            title=f"{args.model}/{args.engine} sweep over {args.sweep} (k={args.k})",
+        ))
         return 0
 
-    if not args.sweep_values:
-        raise SystemExit("--sweep requires --sweep-values")
-    if args.sweep == "delta" and args.model not in DELTA_MODELS:
-        raise SystemExit(f"model {args.model!r} has no delta to sweep")
-    if args.report:
-        raise SystemExit("--report is not supported with --sweep "
-                         "(the sweep prints a table, not one clique)")
-    queries = []
-    for value in args.sweep_values:
-        fields = dict(base)
-        fields[args.sweep] = value
-        queries.append(FairCliqueQuery(**fields))
-    reports = solve_many(graph, queries, max_workers=args.workers)
-    rows = [
-        {
-            args.sweep: getattr(query, args.sweep),
-            "size": report.size,
-            "counts": report.attribute_counts,
-            "gap": report.fairness_gap,
-            "optimal": report.optimal,
-            "seconds": round(report.seconds, 3),
-        }
-        for query, report in zip(queries, reports)
-    ]
-    print(format_table(
-        rows,
-        title=f"{args.model}/{args.engine} sweep over {args.sweep} (k={args.k})",
-    ))
+
+def _stream_solve(graph, session: FairCliqueSession, query: FairCliqueQuery,
+                  report_path: str | None) -> int:
+    """Print the incumbent trajectory live, then the final report."""
+    final = None
+    for event in session.stream(query):
+        if event.final:
+            final = event.report
+            break
+        members = ""
+        if event.clique is not None:
+            members = "  {" + ", ".join(sorted(map(str, event.clique))) + "}"
+        print(f"[{event.seconds:8.3f}s] incumbent size={event.size}{members}",
+              flush=True)
+    assert final is not None
+    print(f"[{final.seconds:8.3f}s] done")
+    _print_report(graph, final, report_path)
+    return 0
+
+
+def _print_clique_list(graph, report) -> None:
+    """Body of the enumeration tasks: one line per clique."""
+    for clique in report.cliques:
+        members = ", ".join(sorted(map(str, clique)))
+        histogram = graph.attribute_histogram(clique)
+        print(f"  size={len(clique)}  counts={histogram}  {{{members}}}")
+    print(report.summary())
+
+
+def _command_enumerate(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    query = FairCliqueQuery(
+        model=args.model, k=args.k, delta=args.delta,
+        engine=args.engine, task="enumerate",
+    )
+    total = 0
+    sizes: dict[int, int] = {}
+    with FairCliqueSession(graph) as session:
+        # The generator is lazy: with --limit N nothing past the N-th clique
+        # is ever enumerated.
+        for clique in session.enumerate(query):
+            total += 1
+            sizes[len(clique)] = sizes.get(len(clique), 0) + 1
+            members = ", ".join(sorted(map(str, clique)))
+            print(f"  size={len(clique)}  {{{members}}}")
+            if args.limit is not None and total >= args.limit:
+                print(f"stopped at --limit {args.limit}")
+                return 0
+    by_size = ", ".join(
+        f"{count}x size {size}" for size, count in sorted(sizes.items(), reverse=True)
+    )
+    print(f"{total} maximal {args.model} fair clique(s)"
+          + (f": {by_size}" if total else ""))
+    return 0
+
+
+def _command_explain(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    options = _exact_options(args)
+    query = FairCliqueQuery(
+        model=args.model, k=args.k, delta=args.delta, engine=args.engine,
+        workers=args.search_workers, options=options,
+    )
+    with FairCliqueSession(graph) as session:
+        if args.warm:
+            session.solve(query)
+            info = session.cache_info()
+            print(f"(warmed: {info['reductions']} reduction(s) cached)")
+        print(session.explain(query).summary())
     return 0
 
 
 def _command_search(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
-    report = solve(
-        graph,
-        FairCliqueQuery(
-            model="relative", k=args.k, delta=args.delta,
-            time_limit=args.time_limit, options=_exact_options(args),
-        ),
-    )
+    with FairCliqueSession(graph) as session:
+        report = session.solve(
+            FairCliqueQuery(
+                model="relative", k=args.k, delta=args.delta,
+                time_limit=args.time_limit, options=_exact_options(args),
+            ),
+        )
     # Keep the historical one-line format ("MaxRFC...: size=...") on top.
     status = "optimal" if report.optimal else "heuristic/truncated"
     print(f"{report.algorithm}: size={report.size} (k={report.k}, delta={report.delta}, "
@@ -259,7 +393,8 @@ def _command_compare_models(args: argparse.Namespace) -> int:
                         time_limit=args.time_limit),
         FairCliqueQuery(model="strong", k=args.k, time_limit=args.time_limit),
     ]
-    reports = solve_many(graph, queries)
+    with FairCliqueSession(graph) as session:
+        reports = session.solve_many(queries)
     rows = [
         {
             "model": report.model,
@@ -329,6 +464,10 @@ def main(argv: Sequence[str] | None = None) -> int:
 def _dispatch(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
     if args.command == "solve":
         return _command_solve(args)
+    if args.command == "enumerate":
+        return _command_enumerate(args)
+    if args.command == "explain":
+        return _command_explain(args)
     if args.command == "search":
         return _command_search(args)
     if args.command == "reduce":

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
-from repro.api import SolveContext, solve
+from repro.api import solve
 from repro.datasets.registry import get_dataset
 from repro.experiments.reporting import format_table
 from repro.experiments.search_experiment import PAPER_BEST_STACK, _build_query
@@ -48,7 +48,7 @@ def run_scalability_experiment(
                 sample = sample_edges(graph, fraction, seed=seed)
             for configuration in configurations:
                 query = _build_query(configuration, stack_name, k, delta, time_limit)
-                report = solve(sample, query, context=SolveContext(sample))
+                report = solve(sample, query)
                 rows.append(
                     {
                         "dataset": spec.name,

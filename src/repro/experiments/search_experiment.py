@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
-from repro.api import FairCliqueQuery, SolveContext, solve
+from repro.api import FairCliqueQuery, solve
 from repro.datasets.registry import dataset_names, get_dataset
 from repro.experiments.reporting import format_table
 
@@ -85,7 +85,7 @@ def run_search_experiment(
                 query = _build_query(configuration, stack_name, k, delta, time_limit)
                 # Fresh context per solve: the figure compares *standalone*
                 # runtimes, so no reduction sharing across configurations.
-                report = solve(graph, query, context=SolveContext(graph))
+                report = solve(graph, query)
                 rows.append(
                     {
                         "dataset": spec.name,

@@ -275,6 +275,16 @@ class AttributedGraph:
         """Alias of :meth:`compile` (reads better at call sites that never mutate)."""
         return self.compile()
 
+    @property
+    def kernel_ready(self) -> bool:
+        """True when a compiled kernel for the *current* version is memoized.
+
+        Purely observational — it never triggers a compile.  Query planning
+        (``session.explain``) uses it to report whether a query would reuse
+        the snapshot or pay the compile.
+        """
+        return self._kernel is not None and self._kernel_version == self._version
+
     # ------------------------------------------------------------------ #
     # Derived graphs
     # ------------------------------------------------------------------ #

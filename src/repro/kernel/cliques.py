@@ -57,6 +57,79 @@ def enumerate_maximal_clique_masks(
         yield from expand(0, scope_mask, 0)
 
 
+def enumerate_fair_clique_masks(
+    adj: list[int] | tuple[int, ...],
+    scope_mask: int,
+    value_masks: tuple[int, ...],
+    lower: tuple[int, ...],
+    gap: int | None,
+    min_size: int,
+) -> Iterator[int]:
+    """Yield every maximal clique of the scope that satisfies a fairness model.
+
+    "Maximal" means maximal *as a clique* (no scope vertex extends it) — the
+    same set the Bron–Kerbosch oracle enumerates — filtered to the cliques
+    whose per-value attribute counts meet the model's quotas (``lower``, one
+    per ``value_masks`` entry) and, when ``gap`` is given (binary models),
+    whose count imbalance is at most ``gap``.
+
+    Unlike filtering after the fact, infeasible subtrees are pruned inside
+    the recursion: with ``R`` the current clique and ``P`` the candidates,
+    every yielded clique ``Q`` satisfies ``R ⊆ Q ⊆ R ∪ P``, so a subtree is
+    dead as soon as ``|R ∪ P| < min_size``, any value's count in ``R ∪ P``
+    falls below its quota, or (binary) the gap can no longer close even by
+    taking every remaining candidate of the minority value.  The prunes
+    never touch maximality — they only skip subtrees that cannot emit a
+    *fair* maximal clique — so the yielded set equals the oracle's
+    fairness-filtered output exactly.
+    """
+    num_values = len(value_masks)
+
+    def expand(r_mask: int, p_mask: int, x_mask: int) -> Iterator[int]:
+        union = r_mask | p_mask
+        if union.bit_count() < min_size:
+            return
+        for i in range(num_values):
+            if (union & value_masks[i]).bit_count() < lower[i]:
+                return
+        if gap is not None:
+            # counts reachable for value v lie in [count_r(v), count_union(v)]
+            count_r_0 = (r_mask & value_masks[0]).bit_count()
+            count_r_1 = (r_mask & value_masks[1]).bit_count()
+            if (
+                count_r_0 - (union & value_masks[1]).bit_count() > gap
+                or count_r_1 - (union & value_masks[0]).bit_count() > gap
+            ):
+                return
+        if not p_mask and not x_mask:
+            # R is maximal, and with P empty the checks above were exact on
+            # R itself — it is fair.
+            yield r_mask
+            return
+        pivot = -1
+        pivot_count = -1
+        pool = p_mask | x_mask
+        while pool:
+            low = pool & -pool
+            u = low.bit_length() - 1
+            count = (adj[u] & p_mask).bit_count()
+            if count > pivot_count:
+                pivot_count = count
+                pivot = u
+            pool ^= low
+        extension = p_mask & ~adj[pivot]
+        for v in iter_bits(extension):
+            neighbors = adj[v]
+            yield from expand(
+                r_mask | (1 << v), p_mask & neighbors, x_mask & neighbors
+            )
+            p_mask &= ~(1 << v)
+            x_mask |= 1 << v
+
+    if scope_mask:
+        yield from expand(0, scope_mask, 0)
+
+
 def enumerate_maximal_cliques_kernel(
     kernel: GraphKernel,
     scope_mask: int | None = None,

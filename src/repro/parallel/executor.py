@@ -95,6 +95,41 @@ def _fork_context():
     return None
 
 
+class _ChannelPoller(threading.Thread):
+    """Coordinator-side thread turning incumbent-channel growth into events.
+
+    Polls the shared size ``channel`` every ``interval`` seconds and calls
+    ``notify(size, None)`` for every strictly larger value observed; a final
+    drain after :meth:`stop` catches an improvement that landed between the
+    last poll and pool completion.  Sizes are monotone by construction
+    (workers only ever publish strictly larger values).
+    """
+
+    def __init__(self, channel, seed_size: int, notify, interval: float = 0.02):
+        super().__init__(daemon=True)
+        self._channel = channel
+        self._last = seed_size
+        self._notify = notify
+        self._interval = interval
+        # Not named _stop: threading.Thread uses that name internally.
+        self._halt = threading.Event()
+
+    def _drain(self) -> None:
+        size = self._channel.value
+        if size > self._last:
+            self._last = size
+            self._notify(size, None)
+
+    def run(self) -> None:  # pragma: no cover - timing-dependent loop body
+        while not self._halt.wait(self._interval):
+            self._drain()
+
+    def stop(self) -> None:
+        self._halt.set()
+        self.join()
+        self._drain()
+
+
 class ParallelMaxRFC(MaxRFC):
     """Exact maximum relative fair clique solver, sharded over a process pool.
 
@@ -189,6 +224,7 @@ class ParallelMaxRFC(MaxRFC):
         telemetry["incumbent_channel"] = channel is not None
         pool_size = min(self.parallel.workers, len(plan.shards))
         started = time.monotonic()
+        poller = None
         with ProcessPoolExecutor(
             max_workers=pool_size,
             mp_context=context,
@@ -210,7 +246,23 @@ class ParallelMaxRFC(MaxRFC):
                 finally:
                     worker_module._PARENT_CHANNEL = None
                     worker_module._PARENT_BRANCH_COUNTER = None
-            results = [future.result() for future in futures]
+            if self.on_improve is not None and channel is not None:
+                # Streaming tap: workers publish incumbent *sizes* to the
+                # shared channel; a coordinator-side thread surfaces every
+                # increase through on_improve.  The clique itself stays in
+                # the worker until its shard returns, so channel events
+                # carry ``clique=None`` — the merged final result delivers
+                # the vertices.
+                poller = _ChannelPoller(channel, len(best), self._notify_improve)
+                poller.start()
+            try:
+                results = [future.result() for future in futures]
+            finally:
+                # Also on a worker crash propagating out of result():
+                # without the stop the daemon poller would keep polling the
+                # shared channel for the life of the process.
+                if poller is not None:
+                    poller.stop()
         aborted = False
         worker_seconds = 0.0
         for result in results:

@@ -117,6 +117,17 @@ class MaxRFC:
         # Mirrors the best clique recorded during an in-flight search so a
         # time/branch budget abort can still return it (see solve()).
         self._incumbent: frozenset = frozenset()
+        #: Optional ``(size, clique | None) -> None`` callback fired whenever
+        #: the incumbent improves (heuristic seed included).  This is the tap
+        #: behind ``session.stream()``; the parallel executor overrides how
+        #: it is fed (worker incumbents arrive as sizes via the shared
+        #: channel, without the clique).  Set it on the solver instance —
+        #: it is deliberately not part of the (picklable) config.
+        self.on_improve = None
+
+    def _notify_improve(self, size: int, clique: frozenset | None) -> None:
+        if self.on_improve is not None:
+            self.on_improve(size, clique)
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -191,6 +202,8 @@ class MaxRFC:
             best = model.heuristic_seed(working)
             stats.heuristic_seconds = time.monotonic() - started
             stats.extra["heuristic_size"] = len(best)
+            if best:
+                self._notify_improve(len(best), best)
 
         active = model.bind(domain, config.bound_stack)
         started = time.monotonic()
@@ -331,6 +344,13 @@ class MaxRFC:
                 best_clique=best,
                 has_budget=has_budget,
             )
+            if self.on_improve is not None:
+                # The kernel searcher's hook carries only the size; it always
+                # updates ``best_clique`` *before* firing, so the closure can
+                # attach the clique for the streaming surface.
+                searcher.on_improve = (
+                    lambda size, s=searcher: self._notify_improve(size, s.best_clique)
+                )
             try:
                 _, best = searcher.run()
             finally:
@@ -402,6 +422,7 @@ class MaxRFC:
                 best = clique
                 self._incumbent = best
                 stats.solutions_found += 1
+                self._notify_improve(len(best), best)
 
         if not candidates:
             return best

@@ -1,0 +1,145 @@
+"""Tests for the session-backed CLI surfaces: solve --stream/--top-k,
+and the `enumerate` and `explain` subcommands."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.graph.builders import paper_example_graph
+from repro.graph.io import write_edge_list
+
+
+@pytest.fixture
+def paper_files(tmp_path):
+    graph = paper_example_graph()
+    edge_path = tmp_path / "g.edges"
+    attr_path = tmp_path / "g.attrs"
+    write_edge_list(graph, edge_path, attr_path)
+    return str(edge_path), str(attr_path)
+
+
+class TestSolveStream:
+    def test_stream_prints_incumbents_then_final_report(self, paper_files, capsys):
+        edges, attrs = paper_files
+        exit_code = main([
+            "solve", "--edges", edges, "--attributes", attrs,
+            "-k", "3", "--delta", "1", "--stream",
+        ])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "incumbent size=" in out
+        assert "done" in out
+        assert "size=7" in out  # the final report line
+        assert "attribute balance" in out
+
+    def test_stream_refuses_sweeps(self, paper_files, capsys):
+        edges, attrs = paper_files
+        with pytest.raises(SystemExit):
+            main([
+                "solve", "--edges", edges, "--attributes", attrs,
+                "-k", "3", "--delta", "1", "--stream",
+                "--sweep", "delta", "--sweep-values", "0", "1",
+            ])
+
+    def test_stream_rejects_heuristic_engine_cleanly(self, paper_files, capsys):
+        edges, attrs = paper_files
+        exit_code = main([
+            "solve", "--edges", edges, "--attributes", attrs,
+            "--engine", "heuristic", "-k", "3", "--delta", "1", "--stream",
+        ])
+        assert exit_code == 2  # ReproError -> clean one-line failure
+        assert "exact" in capsys.readouterr().err
+
+
+class TestSolveTopK:
+    def test_top_k_lists_the_largest_cliques(self, paper_files, capsys):
+        edges, attrs = paper_files
+        exit_code = main([
+            "solve", "--edges", edges, "--attributes", attrs,
+            "--model", "weak", "-k", "2", "--top-k", "2",
+        ])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "task=top_k" in out
+        assert out.count("size=") >= 1
+
+
+    def test_top_k_refuses_report_flag(self, paper_files, tmp_path):
+        edges, attrs = paper_files
+        with pytest.raises(SystemExit):
+            main([
+                "solve", "--edges", edges, "--attributes", attrs,
+                "--model", "weak", "-k", "2", "--top-k", "2",
+                "--report", str(tmp_path / "out.txt"),
+            ])
+
+
+class TestEnumerateCommand:
+    def test_enumerate_lists_cliques_and_counts(self, paper_files, capsys):
+        edges, attrs = paper_files
+        exit_code = main([
+            "enumerate", "--edges", edges, "--attributes", attrs,
+            "--model", "weak", "-k", "2",
+        ])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "maximal weak fair clique(s)" in out
+        assert "size=8" in out
+
+    def test_enumerate_limit_stops_early(self, paper_files, capsys):
+        edges, attrs = paper_files
+        exit_code = main([
+            "enumerate", "--edges", edges, "--attributes", attrs,
+            "--model", "relative", "-k", "1", "--delta", "2", "--limit", "1",
+        ])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "stopped at --limit 1" in out
+        assert out.count("size=") == 1
+
+    def test_enumerate_oracle_engine(self, paper_files, capsys):
+        edges, attrs = paper_files
+        exit_code = main([
+            "enumerate", "--edges", edges, "--attributes", attrs,
+            "--model", "weak", "-k", "2", "--engine", "brute_force",
+        ])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "size=8" in out
+
+
+class TestExplainCommand:
+    def test_explain_prints_the_plan_without_solving(self, paper_files, capsys):
+        edges, attrs = paper_files
+        exit_code = main([
+            "explain", "--edges", edges, "--attributes", attrs,
+            "-k", "3", "--delta", "1",
+        ])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "EnColorfulCore" in out
+        assert "MaxRFC+ub+HeurRFC" in out
+        assert "[cached]" not in out  # cold session: nothing cached yet
+
+    def test_explain_warm_resolves_the_shard_plan(self, paper_files, capsys):
+        edges, attrs = paper_files
+        exit_code = main([
+            "explain", "--edges", edges, "--attributes", attrs,
+            "-k", "2", "--delta", "1", "--search-workers", "2", "--warm",
+        ])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "warmed" in out
+        assert "[cached]" in out
+        assert "shards" in out
+
+    def test_explain_unknown_engine_fails_cleanly(self, paper_files, capsys):
+        edges, attrs = paper_files
+        exit_code = main([
+            "explain", "--edges", edges, "--attributes", attrs,
+            "--engine", "heuristic", "--model", "relative", "-k", "2", "-d", "1",
+        ])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "HeurRFC" in out

@@ -300,11 +300,23 @@ class TestConfiguration:
 
 
 class TestBatchExecutor:
+    """The legacy executor surface: deprecated but kept working.
+
+    New code reuses pools through ``FairCliqueSession.solve_many`` (see
+    ``tests/test_api/test_session.py``); these tests pin that the old
+    construction still functions and warns.
+    """
+
+    @staticmethod
+    def _legacy_executor(graph, max_workers):
+        with pytest.warns(DeprecationWarning, match="FairCliqueSession"):
+            return BatchExecutor(graph, max_workers=max_workers)
+
     def test_executor_reuse_across_solve_many_calls(self):
         graph = _multi_component_graph()
         expected = [report.size for report in
                     solve_many(graph, query_grid(deltas=(0, 1, 2)))]
-        with BatchExecutor(graph, max_workers=2) as executor:
+        with self._legacy_executor(graph, 2) as executor:
             first = solve_many(graph, query_grid(deltas=(0, 1, 2)),
                                executor=executor)
             second = solve_many(graph, query_grid(deltas=(0, 1, 2)),
@@ -316,7 +328,7 @@ class TestBatchExecutor:
         """Workers hold the graph pickled at pool creation — mutating the
         coordinator's copy afterwards must fail loudly, not answer stale."""
         graph = _multi_component_graph()
-        with BatchExecutor(graph, max_workers=2) as executor:
+        with self._legacy_executor(graph, 2) as executor:
             solve_many(graph, query_grid(deltas=(1,)), executor=executor)
             graph.add_vertex("late", "a")
             with pytest.raises(InvalidParameterError):
@@ -325,7 +337,7 @@ class TestBatchExecutor:
     def test_executor_rejects_foreign_graph(self):
         graph = _multi_component_graph()
         other = paper_example_graph()
-        with BatchExecutor(graph, max_workers=2) as executor:
+        with self._legacy_executor(graph, 2) as executor:
             with pytest.raises(InvalidParameterError):
                 solve_many(other, query_grid(deltas=(1,)), executor=executor)
 
