@@ -18,6 +18,13 @@ Three suites share this driver:
   the reductions and kernel compiles, the warm repeat hits the session's
   artifact cache — and writes cold/warm wall-clock, the speedup, and the
   cache hit counters to ``benchmarks/results/BENCH_session.json``.
+* ``--suite service`` boots the in-process HTTP service
+  (:mod:`repro.service`) per cell and drives the same query sweep over the
+  wire with ``--client-threads`` concurrent clients, three passes per
+  repeat: *cold* (fresh server: sessions and result cache empty), *warm*
+  (sessions warm, result cache cleared), and *cached* (result-cache hits,
+  asserted > 0).  It writes queries/sec and client-side p50/p99 latency per
+  pass to ``benchmarks/results/BENCH_service.json``.
 
 Every search cell asserts *result parity* (kernel vs dict: same clique and
 branch counters; serial vs parallel: same optimal size and a verified fair
@@ -36,6 +43,8 @@ Usage::
         --check benchmarks/results/BENCH_parallel_smoke_baseline.json
     PYTHONPATH=src python benchmarks/run_bench.py --suite session --smoke \
         --check benchmarks/results/BENCH_session_smoke_baseline.json
+    PYTHONPATH=src python benchmarks/run_bench.py --suite service --smoke \
+        --check benchmarks/results/BENCH_service_smoke_baseline.json
 
 ``--check`` compares the freshly measured median speedup (a same-machine
 ratio — kernel vs dict, or parallel vs serial — so the gate is
@@ -77,11 +86,13 @@ RESULTS_DIR = Path(__file__).parent / "results"
 SCHEMA = "bench_kernel/v1"
 PARALLEL_SCHEMA = "bench_parallel/v1"
 SESSION_SCHEMA = "bench_session/v1"
+SERVICE_SCHEMA = "bench_service/v1"
 #: schema -> the medians key the --check gate compares.
 CHECK_KEYS = {
     SCHEMA: "search_speedup",
     PARALLEL_SCHEMA: "parallel_speedup",
     SESSION_SCHEMA: "session_speedup",
+    SERVICE_SCHEMA: "service_speedup",
 }
 
 
@@ -224,6 +235,41 @@ def session_smoke_grid():
                                            blob_size=40, edge_probability=0.5,
                                            seed=3),
          (2, 3), (0, 1)),
+    ]
+
+
+def service_full_grid():
+    """Graphs + query sweeps for the HTTP service tier suite.
+
+    The same production shape as the session suite — many queries, few
+    distinct ``k`` — but driven over the wire by concurrent clients, so the
+    numbers include HTTP framing, the admission gate, and the worker-thread
+    hop.
+    """
+    blobs_background = erdos_renyi_graph(1400, 0.003, seed=2)
+    return [
+        ("powerlaw-2000", powerlaw_cluster_graph(2000, 8, 0.6, seed=4),
+         ("relative",), (2, 3, 4), (0, 1, 2)),
+        ("community-dense", community_graph(20, 100, intra_probability=0.35,
+                                            inter_edges=4, seed=8),
+         ("relative", "weak"), (2, 3), (0, 1, 2)),
+        ("quasi-blobs", quasi_clique_blobs(blobs_background, num_blobs=10,
+                                           blob_size=60, edge_probability=0.5,
+                                           seed=3),
+         ("relative", "weak"), (2, 3), (0, 1)),
+    ]
+
+
+def service_smoke_grid():
+    """A seconds-sized service grid for the CI smoke gate."""
+    blobs_background = erdos_renyi_graph(250, 0.01, seed=2)
+    return [
+        ("powerlaw-500", powerlaw_cluster_graph(500, 8, 0.6, seed=4),
+         ("relative",), (2, 3), (0, 1)),
+        ("quasi-blobs", quasi_clique_blobs(blobs_background, num_blobs=4,
+                                           blob_size=40, edge_probability=0.5,
+                                           seed=3),
+         ("relative", "weak"), (2, 3), (0, 1)),
     ]
 
 
@@ -399,6 +445,159 @@ def bench_session(graph, ks, deltas, repeats):
     }
 
 
+def _latency_quantile(latencies, fraction):
+    """Client-side quantile (nearest-rank) of a pass's request latencies."""
+    ordered = sorted(latencies)
+    rank = max(1, int(fraction * len(ordered) + 0.999999))
+    return ordered[rank - 1]
+
+
+def _drive_service_pass(address, queries, client_threads):
+    """Issue every query once from ``client_threads`` concurrent clients.
+
+    Returns ``(wall_seconds, sizes, cached_hits, latencies)`` — sizes in
+    query order for the parity assertion, per-request wall latencies for
+    the percentile columns.
+    """
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.service import ServiceClient
+
+    def issue(indexed_query):
+        index, query = indexed_query
+        client = ServiceClient(address)
+        started = time.monotonic()
+        envelope = client.solve_raw("bench", query, tier="unlimited")
+        elapsed = time.monotonic() - started
+        return index, len(envelope["report"]["clique"]), envelope["cached"], elapsed
+
+    started = time.monotonic()
+    with ThreadPoolExecutor(max_workers=client_threads) as pool:
+        outcomes = list(pool.map(issue, enumerate(queries)))
+    wall = time.monotonic() - started
+    outcomes.sort()
+    sizes = [size for _, size, _, _ in outcomes]
+    cached_hits = sum(1 for _, _, cached, _ in outcomes if cached)
+    latencies = [latency for _, _, _, latency in outcomes]
+    return wall, sizes, cached_hits, latencies
+
+
+def bench_service(graph, models, ks, deltas, repeats, client_threads):
+    """Cold / warm / result-cached throughput of the HTTP service tier.
+
+    Each repeat boots a fresh in-process server and drives the sweep three
+    times: *cold* (sessions and result cache both empty), *warm* (the
+    result cache is cleared, so sessions answer with warm artifacts), and
+    *cached* (nothing cleared, so the result cache short-circuits).  Every
+    pass must return identical sizes — and they must match an in-process
+    session solving the same sweep — so the bench doubles as an e2e parity
+    check.  The cached pass asserts actual cache hits: a broken cache fails
+    the run instead of timing three warm passes.
+    """
+    from repro.service import FairCliqueService, ServerHandle, ServiceConfig
+
+    queries = query_grid(models=models, ks=ks, deltas=deltas)
+    with FairCliqueSession(graph) as session:
+        expected_sizes = [session.solve(query).size for query in queries]
+
+    samples = {"cold": [], "warm": [], "cached": []}
+    latencies = {"cold": [], "warm": [], "cached": []}
+    cached_hits = 0
+    for _ in range(repeats):
+        service = FairCliqueService(ServiceConfig(
+            port=0, result_cache_capacity=4096, queue_depth=4 * len(queries),
+        ))
+        service.add_graph("bench", graph)
+        handle = ServerHandle.start(service)
+        try:
+            address = handle.address
+            for pass_name in ("cold", "warm", "cached"):
+                if pass_name == "warm":
+                    service.result_cache.clear()
+                wall, sizes, hits, pass_latencies = _drive_service_pass(
+                    address, queries, client_threads
+                )
+                if sizes != expected_sizes:
+                    raise AssertionError(
+                        f"service {pass_name} pass parity violated: "
+                        f"{sizes} != {expected_sizes}"
+                    )
+                if pass_name in ("cold", "warm") and hits:
+                    raise AssertionError(
+                        f"service {pass_name} pass unexpectedly hit the "
+                        f"result cache {hits} times"
+                    )
+                samples[pass_name].append(wall)
+                latencies[pass_name].extend(pass_latencies)
+                if pass_name == "cached":
+                    cached_hits += hits
+        finally:
+            handle.stop()
+    if cached_hits == 0:
+        raise AssertionError("cached pass produced no result-cache hits")
+
+    def pass_stats(name):
+        wall = median_of(samples[name])
+        return {
+            f"{name}_s": wall,
+            f"{name}_qps": len(queries) / max(wall, 1e-9),
+            f"{name}_p50_s": _latency_quantile(latencies[name], 0.50),
+            f"{name}_p99_s": _latency_quantile(latencies[name], 0.99),
+        }
+
+    return {
+        "num_queries": len(queries),
+        **pass_stats("cold"),
+        **pass_stats("warm"),
+        **pass_stats("cached"),
+        "speedup": median_of(samples["cold"]) / max(median_of(samples["cached"]), 1e-9),
+        "warm_speedup": median_of(samples["cold"]) / max(median_of(samples["warm"]), 1e-9),
+        "result_cache_hits": cached_hits,
+        "sizes": expected_sizes,
+    }
+
+
+def run_service(mode: str, repeats: int, client_threads: int) -> dict:
+    grid = service_smoke_grid() if mode == "smoke" else service_full_grid()
+    cells = []
+    for name, graph, models, ks, deltas in grid:
+        print(f"[bench] {name}: n={graph.num_vertices} m={graph.num_edges} "
+              f"models={models} ks={ks} deltas={deltas} "
+              f"clients={client_threads}", flush=True)
+        cell = {
+            "name": name,
+            "n": graph.num_vertices,
+            "m": graph.num_edges,
+            "models": list(models),
+            "ks": list(ks),
+            "deltas": list(deltas),
+            **bench_service(graph, models, ks, deltas, repeats, client_threads),
+        }
+        print(f"        cold {cell['cold_qps']:.1f} q/s  "
+              f"warm {cell['warm_qps']:.1f} q/s  "
+              f"cached {cell['cached_qps']:.1f} q/s  x{cell['speedup']:.2f}  "
+              f"hits={cell['result_cache_hits']}", flush=True)
+        cells.append(cell)
+    medians = {
+        "cold_qps": median_of([cell["cold_qps"] for cell in cells]),
+        "warm_qps": median_of([cell["warm_qps"] for cell in cells]),
+        "cached_qps": median_of([cell["cached_qps"] for cell in cells]),
+        "warm_speedup": median_of([cell["warm_speedup"] for cell in cells]),
+        "service_speedup": median_of([cell["speedup"] for cell in cells]),
+    }
+    return {
+        "schema": SERVICE_SCHEMA,
+        "mode": mode,
+        "repeats": repeats,
+        "client_threads": client_threads,
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cells": cells,
+        "medians": medians,
+    }
+
+
 def run_session(mode: str, repeats: int) -> dict:
     grid = session_smoke_grid() if mode == "smoke" else session_full_grid()
     cells = []
@@ -544,16 +743,21 @@ def check_against_baseline(report: dict, baseline_path: Path, tolerance: float) 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--suite", choices=("kernel", "parallel", "session"),
+    parser.add_argument("--suite",
+                        choices=("kernel", "parallel", "session", "service"),
                         default="kernel",
                         help="kernel-vs-dict hot paths, serial-vs-parallel "
-                             "search, or cold-vs-warm session caching")
+                             "search, cold-vs-warm session caching, or the "
+                             "HTTP service tier (cold/warm/result-cached)")
     parser.add_argument("--smoke", action="store_true",
                         help="run the small CI grid instead of the full one")
     parser.add_argument("--repeats", type=int, default=3,
                         help="timing repeats per cell (median is reported)")
     parser.add_argument("--workers", type=int, default=4,
                         help="pool size for the parallel suite (default 4)")
+    parser.add_argument("--client-threads", type=int, default=4,
+                        help="concurrent HTTP clients for the service suite "
+                             "(default 4)")
     parser.add_argument("--out", type=Path, default=None,
                         help="output JSON path (defaults under benchmarks/results/)")
     parser.add_argument("--check", type=Path, default=None,
@@ -574,6 +778,12 @@ def main(argv=None) -> int:
         report = run_session(mode, max(1, args.repeats))
         default_name = ("BENCH_session_smoke.json" if args.smoke
                         else "BENCH_session.json")
+    elif args.suite == "service":
+        if args.client_threads < 1:
+            parser.error("--suite service needs --client-threads >= 1")
+        report = run_service(mode, max(1, args.repeats), args.client_threads)
+        default_name = ("BENCH_service_smoke.json" if args.smoke
+                        else "BENCH_service.json")
     else:
         report = run(mode, max(1, args.repeats))
         default_name = ("BENCH_kernel_smoke.json" if args.smoke

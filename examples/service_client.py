@@ -1,0 +1,98 @@
+"""Tour of the service tier: every endpoint against an in-process server.
+
+The service tier (``repro.service``) is the session layer behind a network
+front door: a stdlib asyncio HTTP/JSON server holding warm
+``FairCliqueSession``s in a bounded LRU registry, with a cross-request
+result cache, admission control, and per-tier quotas.  This example boots
+the server on a background thread, then drives it with ``ServiceClient`` —
+which returns the same ``SolveReport``/``Incumbent``/``QueryPlan`` objects
+the in-process API does.
+
+Run with::
+
+    python examples/service_client.py
+
+Against a remote server (e.g. ``python -m repro serve --preload DBLP``),
+point ``ServiceClient`` at its URL instead of booting one here.
+"""
+
+from __future__ import annotations
+
+from itertools import islice
+
+from repro import FairCliqueQuery
+from repro.datasets import load_dataset
+from repro.service import (
+    FairCliqueService,
+    ServerHandle,
+    ServiceClient,
+    ServiceConfig,
+)
+
+
+def main() -> None:
+    # --- boot: an in-process server on any free port ---------------------- #
+    service = FairCliqueService(ServiceConfig(port=0))
+    service.add_graph("dblp", load_dataset("DBLP", scale=0.3))
+
+    with ServerHandle.start(service) as handle:
+        client = ServiceClient(handle.address)
+        print(f"server up at {handle.address}: {client.healthz()}\n")
+
+        query = FairCliqueQuery(model="relative", k=3, delta=1)
+
+        # --- explain: the resolved plan, without solving ------------------ #
+        print("=== explain ===")
+        print(client.explain("dblp", query).summary())
+        print()
+
+        # --- solve: a SolveReport over the wire --------------------------- #
+        print("=== solve (cold) ===")
+        report = client.solve("dblp", query)
+        print(f"  {report.summary()}")
+
+        # The second identical solve hits the cross-request result cache.
+        envelope = client.solve_raw("dblp", query)
+        print(f"=== solve again: cached={envelope['cached']} "
+              f"tier={envelope['tier']} ===\n")
+
+        # --- stream: watch the incumbent improve over NDJSON -------------- #
+        print("=== stream ===")
+        for event in client.stream("dblp", query):
+            if event.final:
+                print(f"  [{event.seconds:.3f}s] final: {event.report.summary()}")
+            else:
+                print(f"  [{event.seconds:.3f}s] incumbent size={event.size}")
+        print()
+
+        # --- enumerate: lazy maximal fair cliques ------------------------- #
+        print("=== enumerate: first three maximal fair cliques ===")
+        enum_query = FairCliqueQuery(model="relative", k=2, delta=1,
+                                     task="enumerate")
+        for clique in islice(client.enumerate("dblp", enum_query), 3):
+            print(f"  size={len(clique)}  {sorted(map(str, clique))[:6]}...")
+        print()
+
+        # --- quotas: the free tier clamps budgets ------------------------- #
+        big_ask = FairCliqueQuery(model="relative", k=3, delta=1,
+                                  time_limit=3600.0)
+        envelope = client.solve_raw("dblp", big_ask, tier="free")
+        print(f"=== free tier clamps: {envelope['quota_clamped']} ===\n")
+
+        # --- upload: serve a graph the server was not booted with --------- #
+        google = load_dataset("Google", scale=0.2)
+        print(f"=== upload: {client.upload_graph('google', google)} ===")
+        print(f"  graphs now served: {client.graphs()}\n")
+
+        # --- metrics: counters and latency histograms --------------------- #
+        metrics = client.metrics()
+        print("=== metrics ===")
+        print(f"  requests by endpoint: {metrics['http']['requests_by_endpoint']}")
+        print(f"  result cache: {metrics['result_cache']}")
+        print(f"  warm sessions: {list(metrics['sessions']['sessions'])}")
+
+    print("\nserver drained and stopped.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""CI smoke test for the service tier: boot the real CLI server, drive it.
+
+Unlike the in-process e2e tests, this exercises the *deployment* path — the
+``repro serve`` subcommand in a subprocess, a real TCP port, a graceful
+SIGINT shutdown — and the full request alphabet against a preloaded
+dataset::
+
+    PYTHONPATH=src python scripts/service_smoke.py
+
+Steps (any failure exits non-zero):
+
+1. boot ``python -m repro serve --preload DBLP --port 0``-style on a free
+   port and wait for ``/healthz``;
+2. ``POST /solve`` twice — the second must be a result-cache hit with an
+   identical report;
+3. ``POST /stream`` — NDJSON incumbent events, final event carries the
+   solve-parity report;
+4. ``POST /explain`` — a resolved query plan;
+5. ``POST /enumerate`` — maximal fair cliques with a terminating summary
+   line;
+6. ``GET /metrics`` — request counters, latency histograms, and the
+   asserted cache hit all visible;
+7. SIGINT → the server drains and exits 0.
+"""
+
+from __future__ import annotations
+
+import signal
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+sys.path.insert(0, str(SRC))
+
+from repro.api import FairCliqueQuery                    # noqa: E402
+from repro.service import ServiceClient, ServiceError   # noqa: E402
+
+DATASET = "DBLP"
+SCALE = 0.3
+QUERY = FairCliqueQuery(model="relative", k=3, delta=1)
+ENUM_QUERY = FairCliqueQuery(model="relative", k=2, delta=1, task="enumerate")
+
+
+def free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def wait_for_health(client: ServiceClient, deadline_s: float = 30.0) -> dict:
+    started = time.monotonic()
+    while time.monotonic() - started < deadline_s:
+        try:
+            return client.healthz()
+        except (OSError, ServiceError):
+            time.sleep(0.2)
+    raise RuntimeError("server did not become healthy within the deadline")
+
+
+def check(label: str, condition: bool, detail: str = "") -> None:
+    if not condition:
+        raise AssertionError(f"{label} failed {detail}".strip())
+    print(f"[smoke] {label}: ok {detail}".rstrip(), flush=True)
+
+
+def main() -> int:
+    port = free_port()
+    command = [
+        sys.executable, "-m", "repro", "serve",
+        "--preload", DATASET, "--scale", str(SCALE), "--port", str(port),
+    ]
+    print(f"[smoke] booting: {' '.join(command)}", flush=True)
+    server = subprocess.Popen(
+        command, cwd=REPO, env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin"},
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    client = ServiceClient(f"http://127.0.0.1:{port}")
+    graph_id = DATASET.lower()
+    try:
+        health = wait_for_health(client)
+        check("healthz", health["status"] == "ok"
+              and graph_id in health["graphs"], str(health["graphs"]))
+
+        cold = client.solve_raw(graph_id, QUERY)
+        check("solve (cold)", not cold["cached"]
+              and len(cold["report"]["clique"]) > 0,
+              f"size={len(cold['report']['clique'])}")
+
+        warm = client.solve_raw(graph_id, QUERY)
+        check("solve (result-cached)", warm["cached"]
+              and warm["report"] == cold["report"])
+
+        events = list(client.stream(graph_id, QUERY))
+        check("stream", bool(events) and events[-1].final
+              and events[-1].report.size == len(cold["report"]["clique"]),
+              f"events={len(events)}")
+
+        # unlimited tier: the default tier would clamp time_limit into the
+        # plan's query, which is correct but not what we compare against.
+        plan = client.explain(graph_id, QUERY, tier="unlimited")
+        check("explain", plan.algorithm != "" and plan.query == QUERY,
+              plan.algorithm)
+
+        cliques = list(client.enumerate(graph_id, ENUM_QUERY, limit=5))
+        check("enumerate", all(len(clique) > 0 for clique in cliques),
+              f"cliques={len(cliques)}")
+
+        metrics = client.metrics()
+        http_stats = metrics["http"]
+        check("metrics counters",
+              http_stats["requests_by_endpoint"].get("POST /solve", 0) >= 2
+              and "POST /solve" in http_stats["latency_by_endpoint"])
+        check("metrics cache hit", metrics["result_cache"]["hits"] >= 1,
+              f"hits={metrics['result_cache']['hits']}")
+        check("metrics sessions", metrics["sessions"]["open_sessions"] >= 1)
+
+        server.send_signal(signal.SIGINT)
+        code = server.wait(timeout=30)
+        check("graceful shutdown", code == 0, f"exit={code}")
+    except BaseException:
+        server.kill()
+        output, _ = server.communicate(timeout=10)
+        print("[smoke] server output on failure:\n" + (output or "<none>"),
+              file=sys.stderr, flush=True)
+        raise
+    print("[smoke] service smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -79,6 +79,13 @@ class SolveContext:
         #: must not run the pipeline twice.  Shared by reference with stream
         #: views.
         self._cache_lock = threading.Lock()
+        #: Guards the kernel-compile memoization of :meth:`kernel`: the
+        #: snapshot is memoized *on the graph*, and two threads racing the
+        #: first solve would both see no kernel and compile twice.  Separate
+        #: from ``_cache_lock`` so a long pipeline run does not block an
+        #: unrelated compile (and vice versa); shared by reference with
+        #: stream views.
+        self._kernel_lock = threading.Lock()
         #: Plain-data cache counters (shared by reference with stream views).
         self.telemetry: dict = {"reduction_hits": 0, "reduction_misses": 0}
         #: Optional ``(size, clique | None) -> None`` incumbent tap.
@@ -139,7 +146,12 @@ class SolveContext:
         compile per distinct reduced graph.
         """
         target = self.graph if graph is None else graph
-        return target.compile()
+        if target.kernel_ready:  # memoized and current: no lock needed
+            return target.compile()
+        with self._kernel_lock:
+            # Double-checked: the loser of the race reuses the winner's
+            # compile instead of running its own.
+            return target.compile()
 
 
 def _dispatch_query(

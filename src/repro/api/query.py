@@ -32,6 +32,8 @@ Engines
 
 from __future__ import annotations
 
+import json
+import math
 from dataclasses import dataclass, field, replace
 from typing import Any
 
@@ -142,10 +144,21 @@ class FairCliqueQuery:
                     f"(got delta={self.delta!r}); omit it"
                 )
             validate_parameters(self.k, 0)
-        if self.time_limit is not None and self.time_limit <= 0:
-            raise InvalidParameterError(
-                f"time_limit must be positive, got {self.time_limit!r}"
-            )
+        if self.time_limit is not None:
+            # ``<= 0`` alone would let NaN through (every comparison against
+            # NaN is False) and accept ``inf`` (no budget pretending to be
+            # one) — both must be rejected, not silently carried into the
+            # solver's deadline arithmetic.
+            if (
+                isinstance(self.time_limit, bool)
+                or not isinstance(self.time_limit, (int, float))
+                or not math.isfinite(self.time_limit)
+                or self.time_limit <= 0
+            ):
+                raise InvalidParameterError(
+                    f"time_limit must be a positive finite number, "
+                    f"got {self.time_limit!r}"
+                )
         if self.workers is not None and (
             not isinstance(self.workers, int) or self.workers < 1
         ):
@@ -217,6 +230,64 @@ class FairCliqueQuery:
         if self.task == "top_k":
             task_part = f"/top_{self.count}"
         return f"{self.model}(k={self.k}{delta_part}){task_part}/{self.engine}"
+
+    # ------------------------------------------------------------------ #
+    # Wire format
+    # ------------------------------------------------------------------ #
+    def to_wire(self) -> dict:
+        """Plain-data dict that :meth:`from_wire` rebuilds exactly.
+
+        Only fields that differ from the defaults are emitted, so wire
+        payloads stay small and forward-readable.  ``options`` values must
+        already be plain data (the query contract).
+        """
+        payload: dict = {"model": self.model, "k": self.k}
+        if self.delta is not None:
+            payload["delta"] = self.delta
+        if self.engine != "exact":
+            payload["engine"] = self.engine
+        if self.task != "maximum":
+            payload["task"] = self.task
+        if self.count is not None:
+            payload["count"] = self.count
+        if self.time_limit is not None:
+            payload["time_limit"] = self.time_limit
+        if self.workers is not None:
+            payload["workers"] = self.workers
+        if self.options:
+            payload["options"] = dict(self.options)
+        return payload
+
+    @classmethod
+    def from_wire(cls, payload: dict) -> "FairCliqueQuery":
+        """Rebuild a query from :meth:`to_wire` output (re-validating it).
+
+        Unknown keys are rejected rather than dropped, so a typo in a wire
+        request fails loudly instead of silently running the default.
+        """
+        if not isinstance(payload, dict):
+            raise InvalidParameterError(
+                f"query payload must be an object, got {type(payload).__name__}"
+            )
+        known = {
+            "model", "k", "delta", "engine", "task", "count",
+            "time_limit", "workers", "options",
+        }
+        unknown = set(payload) - known
+        if unknown:
+            raise InvalidParameterError(
+                f"unknown query field(s) {sorted(unknown)}; expected {sorted(known)}"
+            )
+        return cls(**payload)
+
+    def to_json(self, *, indent: int | None = None) -> str:
+        """JSON string form of :meth:`to_wire`."""
+        return json.dumps(self.to_wire(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FairCliqueQuery":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_wire(json.loads(text))
 
 
 def query_grid(

@@ -11,6 +11,7 @@ experiments, batch sweeps) never branch on the result type again.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 
 from repro.graph.attributed_graph import AttributedGraph
@@ -138,6 +139,69 @@ class SolveReport:
             "task": self.task,
             "num_cliques": self.num_cliques if self.cliques is not None else None,
         }
+
+    # ------------------------------------------------------------------ #
+    # Wire format
+    # ------------------------------------------------------------------ #
+    def to_wire(self) -> dict:
+        """Lossless plain-data dict that :meth:`from_wire` rebuilds exactly.
+
+        Unlike :meth:`as_dict` (a flat reporting view), this carries the
+        clique membership, the full stats counters, and the metadata — the
+        payload a service tier puts on the wire.  Vertex ids must be JSON
+        scalars (ints or strings), which is what every loader produces;
+        cliques are emitted sorted by ``str`` so equal reports serialise
+        identically.
+        """
+        return {
+            "clique": sorted(self.clique, key=str),
+            "model": self.model,
+            "engine": self.engine,
+            "k": self.k,
+            "delta": self.delta,
+            "algorithm": self.algorithm,
+            "optimal": self.optimal,
+            "aborted": self.aborted,
+            "attribute_counts": dict(self.attribute_counts),
+            "stats": self.stats.to_wire(),
+            "metadata": dict(self.metadata),
+            "task": self.task,
+            "cliques": (
+                None if self.cliques is None
+                else [sorted(clique, key=str) for clique in self.cliques]
+            ),
+        }
+
+    @classmethod
+    def from_wire(cls, payload: dict) -> "SolveReport":
+        """Rebuild a report from :meth:`to_wire` output."""
+        return cls(
+            clique=frozenset(payload["clique"]),
+            model=payload["model"],
+            engine=payload["engine"],
+            k=payload["k"],
+            delta=payload.get("delta"),
+            algorithm=payload.get("algorithm", ""),
+            optimal=payload.get("optimal", True),
+            aborted=payload.get("aborted", False),
+            attribute_counts=dict(payload.get("attribute_counts") or {}),
+            stats=SearchStats.from_wire(payload.get("stats") or {}),
+            metadata=dict(payload.get("metadata") or {}),
+            task=payload.get("task", "maximum"),
+            cliques=(
+                None if payload.get("cliques") is None
+                else tuple(frozenset(clique) for clique in payload["cliques"])
+            ),
+        )
+
+    def to_json(self, *, indent: int | None = None) -> str:
+        """JSON string form of :meth:`to_wire`."""
+        return json.dumps(self.to_wire(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SolveReport":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_wire(json.loads(text))
 
     # ------------------------------------------------------------------ #
     # Converters from the legacy result types

@@ -92,6 +92,45 @@ class Incumbent:
     final: bool = False
     report: SolveReport | None = None
 
+    # ------------------------------------------------------------------ #
+    # Wire format
+    # ------------------------------------------------------------------ #
+    def to_wire(self) -> dict:
+        """Lossless plain-data dict that :meth:`from_wire` rebuilds exactly."""
+        return {
+            "size": self.size,
+            "clique": None if self.clique is None else sorted(self.clique, key=str),
+            "seconds": self.seconds,
+            "final": self.final,
+            "report": None if self.report is None else self.report.to_wire(),
+        }
+
+    @classmethod
+    def from_wire(cls, payload: dict) -> "Incumbent":
+        """Rebuild an event from :meth:`to_wire` output."""
+        clique = payload.get("clique")
+        report = payload.get("report")
+        return cls(
+            size=payload["size"],
+            clique=None if clique is None else frozenset(clique),
+            seconds=payload.get("seconds", 0.0),
+            final=payload.get("final", False),
+            report=None if report is None else SolveReport.from_wire(report),
+        )
+
+    def to_json(self, *, indent: int | None = None) -> str:
+        """JSON string form of :meth:`to_wire`."""
+        import json
+
+        return json.dumps(self.to_wire(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Incumbent":
+        """Inverse of :meth:`to_json`."""
+        import json
+
+        return cls.from_wire(json.loads(text))
+
 
 @dataclass(frozen=True)
 class QueryPlan:
@@ -141,6 +180,60 @@ class QueryPlan:
             "notes": list(self.notes),
         }
 
+    def to_wire(self) -> dict:
+        """Lossless plain-data dict that :meth:`from_wire` rebuilds exactly.
+
+        :meth:`as_dict` flattens the query into its label for tables; the
+        wire form nests the full query so the plan round-trips.
+        """
+        payload = self.as_dict()
+        del payload["label"]
+        payload["query"] = self.query.to_wire()
+        return payload
+
+    @classmethod
+    def from_wire(cls, payload: dict) -> "QueryPlan":
+        """Rebuild a plan from :meth:`to_wire` output."""
+        substituted = payload.get("bound_stack_substituted")
+        return cls(
+            query=FairCliqueQuery.from_wire(payload["query"]),
+            model=payload["model"],
+            engine=payload["engine"],
+            task=payload["task"],
+            algorithm=payload["algorithm"],
+            admits=payload["admits"],
+            reduction_stages=tuple(payload.get("reduction_stages") or ()),
+            bound_stack=(
+                None if payload.get("bound_stack") is None
+                else tuple(payload["bound_stack"])
+            ),
+            bound_stack_substituted=(
+                None if substituted is None else dict(substituted)
+            ),
+            use_kernel=payload["use_kernel"],
+            workers=payload["workers"],
+            reduction_cached=payload.get("reduction_cached", False),
+            kernel_ready=payload.get("kernel_ready", False),
+            shard_plan=(
+                None if payload.get("shard_plan") is None
+                else dict(payload["shard_plan"])
+            ),
+            notes=tuple(payload.get("notes") or ()),
+        )
+
+    def to_json(self, *, indent: int | None = None) -> str:
+        """JSON string form of :meth:`to_wire`."""
+        import json
+
+        return json.dumps(self.to_wire(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "QueryPlan":
+        """Inverse of :meth:`to_json`."""
+        import json
+
+        return cls.from_wire(json.loads(text))
+
     def summary(self) -> str:
         """Multi-line human-readable plan (what ``repro-fairclique explain`` prints)."""
         lines = [
@@ -184,6 +277,7 @@ class _StreamView(SolveContext):
         self.graph = base.graph
         self._reductions = base._reductions
         self._cache_lock = base._cache_lock
+        self._kernel_lock = base._kernel_lock
         self.telemetry = base.telemetry
         self.incumbent_hook = hook
 
@@ -227,17 +321,26 @@ class FairCliqueSession:
         self._default_max_workers = max_workers
         self.context = SolveContext(graph, _internal=True)
         self._executor: BatchExecutor | None = None
+        #: Guards executor creation/teardown: a service tier drives one
+        #: session from many worker threads, and two racing ``solve_many``
+        #: calls must share one pool instead of leaking a second.
+        self._lifecycle_lock = threading.Lock()
         self._closed = False
 
     # ------------------------------------------------------------------ #
     # Lifecycle
     # ------------------------------------------------------------------ #
     def close(self) -> None:
-        """Shut the persistent worker pool down and refuse further queries."""
-        if self._executor is not None:
-            self._executor.close()
-            self._executor = None
-        self._closed = True
+        """Shut the persistent worker pool down and refuse further queries.
+
+        Idempotent and thread-safe: a second (or concurrent) ``close`` is a
+        no-op, which is what a registry evicting a session under load needs.
+        """
+        with self._lifecycle_lock:
+            if self._executor is not None:
+                self._executor.close()
+                self._executor = None
+            self._closed = True
 
     def __enter__(self) -> "FairCliqueSession":
         return self
@@ -333,13 +436,15 @@ class FairCliqueSession:
 
     def _executor_for(self, max_workers: int) -> BatchExecutor:
         """The persistent pool, (re)built when the requested size changes."""
-        if self._executor is not None and self._executor.max_workers != max_workers:
-            self._executor.close()
-            self._executor = None
-        if self._executor is None:
-            self._executor = BatchExecutor(self.graph, max_workers, _internal=True)
-        _check_executor(self.graph, self._executor)
-        return self._executor
+        with self._lifecycle_lock:
+            if self._executor is not None and self._executor.max_workers != max_workers:
+                self._executor.close()
+                self._executor = None
+            if self._executor is None:
+                self._executor = BatchExecutor(self.graph, max_workers, _internal=True)
+            executor = self._executor
+        _check_executor(self.graph, executor)
+        return executor
 
     # ------------------------------------------------------------------ #
     # Enumeration

@@ -165,6 +165,34 @@ def _build_parser() -> argparse.ArgumentParser:
                            help="dataset scale factor (smaller = faster)")
     reproduce.add_argument("--csv", help="also write the raw rows as CSV to this path")
 
+    serve_cmd = subparsers.add_parser(
+        "serve",
+        help="run the async fair-clique query service (HTTP/JSON over a session pool)",
+    )
+    serve_cmd.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve_cmd.add_argument("--port", type=int, default=8710,
+                           help="bind port (0 picks a free one)")
+    serve_cmd.add_argument("--preload", action="append", default=[],
+                           metavar="DATASET", choices=dataset_names(),
+                           help="serve a built-in dataset (repeatable; the "
+                                "graph id is the lowercased dataset name)")
+    serve_cmd.add_argument("--scale", type=float, default=1.0,
+                           help="scale factor for preloaded datasets")
+    serve_cmd.add_argument("--session-capacity", type=int, default=8,
+                           help="max warm sessions held in the LRU registry")
+    serve_cmd.add_argument("--result-cache", type=int, default=1024,
+                           help="cross-request result cache capacity (0 disables)")
+    serve_cmd.add_argument("--max-in-flight", type=int, default=8,
+                           help="max queries executing concurrently")
+    serve_cmd.add_argument("--queue-depth", type=int, default=32,
+                           help="max queries waiting beyond the in-flight cap "
+                                "(the rest get 429)")
+    serve_cmd.add_argument("--executor-workers", type=int, default=4,
+                           help="worker threads in the executor backend")
+    serve_cmd.add_argument("--default-tier", default="standard",
+                           choices=("free", "standard", "unlimited"),
+                           help="quota tier applied when a request names none")
+
     subparsers.add_parser("datasets", help="list the built-in dataset stand-ins")
     subparsers.add_parser("engines", help="list registered engines and supported models")
     return parser
@@ -427,6 +455,50 @@ def _command_reproduce(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    """Run the service tier in the foreground until SIGINT/SIGTERM."""
+    import signal
+    import threading
+
+    from repro.service import FairCliqueService, ServerHandle, ServiceConfig
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        session_capacity=args.session_capacity,
+        result_cache_capacity=args.result_cache,
+        max_in_flight=args.max_in_flight,
+        queue_depth=args.queue_depth,
+        executor_workers=args.executor_workers,
+        default_tier=args.default_tier,
+    )
+    service = FairCliqueService(config)
+    for name in args.preload:
+        graph = load_dataset(name, scale=args.scale)
+        service.add_graph(name.lower(), graph)
+        print(f"serving graph {name.lower()!r}: "
+              f"|V|={graph.num_vertices} |E|={graph.num_edges}", flush=True)
+
+    handle = ServerHandle.start(service)
+    stop = threading.Event()
+
+    def request_stop(signum, frame) -> None:
+        print("\nshutting down: draining in-flight queries...", flush=True)
+        stop.set()
+
+    signal.signal(signal.SIGINT, request_stop)
+    signal.signal(signal.SIGTERM, request_stop)
+    print(f"fair-clique service listening on {handle.address} "
+          f"(tier={config.default_tier}, in-flight={config.max_in_flight}, "
+          f"queue={config.queue_depth})", flush=True)
+    print("endpoints: /healthz /metrics /graphs /solve /explain /stream /enumerate",
+          flush=True)
+    stop.wait()
+    handle.stop()
+    print("drained; bye", flush=True)
+    return 0
+
+
 def _command_datasets() -> int:
     rows = dataset_table(scale=1.0)
     print(format_table(rows, columns=["dataset", "n", "m", "d_max", "attributes", "description"],
@@ -478,6 +550,8 @@ def _dispatch(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
         return _command_compare_models(args)
     if args.command == "reproduce":
         return _command_reproduce(args)
+    if args.command == "serve":
+        return _command_serve(args)
     if args.command == "datasets":
         return _command_datasets()
     if args.command == "engines":

@@ -58,6 +58,27 @@ class SearchStats:
         self.search_seconds += other.search_seconds
         self.timed_out = self.timed_out or other.timed_out
 
+    def to_wire(self) -> dict:
+        """Plain-data dict that :meth:`from_wire` rebuilds exactly.
+
+        Unlike :meth:`as_dict` (a reporting view with the derived
+        ``total_seconds`` column), this is a lossless round-trip including
+        ``extra`` — whose values must already be plain data, which is the
+        contract everywhere ``extra`` is filled.
+        """
+        payload = self.as_dict()
+        del payload["total_seconds"]  # derived, not a field
+        if self.extra:
+            payload["extra"] = dict(self.extra)
+        return payload
+
+    @classmethod
+    def from_wire(cls, payload: dict) -> "SearchStats":
+        """Rebuild counters from :meth:`to_wire` output."""
+        fields = dict(payload)
+        fields.pop("total_seconds", None)  # tolerate as_dict-shaped input
+        return cls(**fields)
+
     def as_dict(self) -> dict:
         """Flat dictionary representation for table/CSV reporting."""
         return {

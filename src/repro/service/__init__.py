@@ -1,0 +1,64 @@
+"""The fair-clique service tier: an async HTTP/JSON server over a session pool.
+
+PR 5's session layer made one process fast — prepared graphs, warm caches,
+streaming incumbents.  This package puts a network front door on it without
+leaving the standard library:
+
+* :class:`FairCliqueService` — the application: routes, a bounded LRU
+  :class:`SessionRegistry` of warm sessions, a cross-request
+  :class:`ResultCache`, admission control, per-tier quota clamping, and
+  ``/metrics`` observability;
+* :class:`FairCliqueServer` / :class:`ServerHandle` — asyncio lifecycle
+  (bind, serve, graceful drain), optionally hosted on a background thread;
+* :class:`ServiceClient` — the stdlib client returning the same
+  ``SolveReport``/``Incumbent``/``QueryPlan`` objects the in-process API
+  does;
+* :class:`ExecutorBackend` — the pluggable execution substrate
+  (worker threads today, multi-node dispatch later).
+
+Quick start::
+
+    from repro.datasets import load_dataset
+    from repro.service import FairCliqueService, ServerHandle, ServiceClient
+
+    service = FairCliqueService()
+    service.add_graph("dblp", load_dataset("DBLP"))
+    with ServerHandle.start(service) as handle:
+        client = ServiceClient(handle.address)
+        report = client.solve("dblp", FairCliqueQuery(model="relative", k=3, delta=1))
+
+or from the command line: ``repro-fairclique serve --preload DBLP``.
+"""
+
+from repro.service.admission import AdmissionController, ServiceOverloadedError
+from repro.service.app import SCHEMA, FairCliqueService, ServiceConfig
+from repro.service.cache import ResultCache
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.executor import ExecutorBackend, InlineBackend, ThreadPoolBackend
+from repro.service.metrics import LatencyHistogram, ServiceMetrics
+from repro.service.quotas import QuotaPolicy, QuotaTier, default_tiers
+from repro.service.registry import SessionRegistry, UnknownGraphError
+from repro.service.server import FairCliqueServer, ServerHandle
+
+__all__ = [
+    "SCHEMA",
+    "FairCliqueService",
+    "ServiceConfig",
+    "FairCliqueServer",
+    "ServerHandle",
+    "ServiceClient",
+    "ServiceError",
+    "SessionRegistry",
+    "UnknownGraphError",
+    "ResultCache",
+    "AdmissionController",
+    "ServiceOverloadedError",
+    "QuotaPolicy",
+    "QuotaTier",
+    "default_tiers",
+    "ExecutorBackend",
+    "ThreadPoolBackend",
+    "InlineBackend",
+    "LatencyHistogram",
+    "ServiceMetrics",
+]

@@ -1,0 +1,79 @@
+"""Admission control: bounded in-flight work, bounded queue, honest 429s.
+
+The executor backend bounds *parallelism*; admission control bounds
+*commitment*.  Without it, a burst beyond the worker count piles unbounded
+futures into the executor queue and every caller sees timeouts.  With it,
+at most ``max_in_flight`` queries execute, at most ``max_queue_depth`` wait,
+and everyone beyond that gets an immediate ``429 Too Many Requests`` —
+which a well-behaved client backs off on.
+
+The controller lives on the event loop (single-threaded), so its counters
+need no lock; the waiting itself is an ``asyncio`` semaphore.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.exceptions import InvalidParameterError
+
+
+class ServiceOverloadedError(Exception):
+    """Raised when both the in-flight slots and the wait queue are full."""
+
+
+class AdmissionController:
+    """An async gate: ``max_in_flight`` running, ``max_queue_depth`` waiting."""
+
+    def __init__(self, max_in_flight: int = 8, max_queue_depth: int = 32) -> None:
+        if max_in_flight < 1:
+            raise InvalidParameterError(
+                f"max_in_flight must be >= 1, got {max_in_flight!r}"
+            )
+        if max_queue_depth < 0:
+            raise InvalidParameterError(
+                f"max_queue_depth must be >= 0, got {max_queue_depth!r}"
+            )
+        self.max_in_flight = max_in_flight
+        self.max_queue_depth = max_queue_depth
+        self._semaphore = asyncio.Semaphore(max_in_flight)
+        self.in_flight = 0
+        self.queued = 0
+        self.admitted_total = 0
+        self.rejected_total = 0
+
+    async def __aenter__(self) -> "AdmissionController":
+        if self.in_flight >= self.max_in_flight and self.queued >= self.max_queue_depth:
+            self.rejected_total += 1
+            raise ServiceOverloadedError(
+                f"at capacity: {self.in_flight} in flight, "
+                f"{self.queued} queued (queue depth {self.max_queue_depth})"
+            )
+        self.queued += 1
+        try:
+            await self._semaphore.acquire()
+        finally:
+            self.queued -= 1
+        self.in_flight += 1
+        self.admitted_total += 1
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        self.in_flight -= 1
+        self._semaphore.release()
+
+    async def drain(self, poll_seconds: float = 0.02) -> None:
+        """Wait until nothing is running or queued (graceful shutdown)."""
+        while self.in_flight or self.queued:
+            await asyncio.sleep(poll_seconds)
+
+    def info(self) -> dict:
+        """Plain-data snapshot for ``/metrics``."""
+        return {
+            "max_in_flight": self.max_in_flight,
+            "max_queue_depth": self.max_queue_depth,
+            "in_flight": self.in_flight,
+            "queued": self.queued,
+            "admitted_total": self.admitted_total,
+            "rejected_total": self.rejected_total,
+        }

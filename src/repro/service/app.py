@@ -1,0 +1,451 @@
+"""The fair-clique service application: routes, handlers, production trim.
+
+:class:`FairCliqueService` wires the subsystem together on top of the
+session layer:
+
+* a :class:`~repro.service.registry.SessionRegistry` keeps one warm
+  :class:`~repro.api.FairCliqueSession` per served graph (bounded LRU);
+* a :class:`~repro.service.cache.ResultCache` short-circuits repeated
+  questions, keyed by ``(graph id, graph version, query)``;
+* an :class:`~repro.service.admission.AdmissionController` bounds in-flight
+  queries and answers honest 429s beyond the queue depth;
+* a :class:`~repro.service.quotas.QuotaPolicy` clamps per-request budgets
+  (``time_limit``, ``branch_limit``, ``workers``) by tier;
+* an :class:`~repro.service.executor.ExecutorBackend` runs the solves off
+  the event loop (worker threads by default, pluggable);
+* :class:`~repro.service.metrics.ServiceMetrics` records per-endpoint
+  latency histograms surfaced by ``/metrics``.
+
+Endpoints (JSON in, JSON out; streams are NDJSON or SSE)::
+
+    GET  /healthz            liveness + drain state
+    GET  /metrics            cache/admission/session/latency telemetry
+    GET  /graphs             served graph ids
+    GET  /graphs/{id}        one graph's size/attribute summary
+    POST /graphs/{id}        upload a graph (wire.graph_to_wire shape)
+    POST /solve              {"graph", "query", "tier"?} -> SolveReport
+    POST /explain            {"graph", "query", "tier"?} -> QueryPlan
+    POST /stream             incumbent events as NDJSON lines / SSE
+    POST /enumerate          maximal fair cliques as NDJSON lines
+
+Graceful shutdown: :meth:`drain` flips new query traffic to 503, waits for
+in-flight solves, then closes sessions and the backend.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+
+from repro.api.query import FairCliqueQuery
+from repro.api.session import FairCliqueSession
+from repro.exceptions import ReproError
+from repro.service.admission import AdmissionController, ServiceOverloadedError
+from repro.service.cache import ResultCache
+from repro.service.executor import ExecutorBackend, ThreadPoolBackend
+from repro.service.http import (
+    HTTPError,
+    HTTPRequest,
+    read_request,
+    send_response,
+    start_streaming_response,
+)
+from repro.service.metrics import ServiceMetrics
+from repro.service.quotas import QuotaPolicy
+from repro.service.registry import SessionRegistry, UnknownGraphError
+from repro.service.wire import (
+    dumps,
+    error_body,
+    graph_from_wire,
+    parse_json_body,
+    parse_query_request,
+)
+
+SCHEMA = "fairclique-service/v1"
+
+#: Streamed solves publish at most this many undelivered events before the
+#: producer thread blocks — a slow consumer applies backpressure instead of
+#: growing an unbounded buffer.
+STREAM_BUFFER_EVENTS = 1024
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables of one service instance (all bounded, all observable)."""
+
+    host: str = "127.0.0.1"
+    port: int = 8710
+    session_capacity: int = 8
+    result_cache_capacity: int = 1024
+    max_in_flight: int = 8
+    queue_depth: int = 32
+    executor_workers: int = 4
+    default_tier: str = "standard"
+
+
+class FairCliqueService:
+    """The HTTP application object (transport-agnostic: takes stream pairs)."""
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        *,
+        backend: ExecutorBackend | None = None,
+        quotas: QuotaPolicy | None = None,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self.registry = SessionRegistry(self.config.session_capacity)
+        self.result_cache = ResultCache(self.config.result_cache_capacity)
+        self.admission = AdmissionController(
+            self.config.max_in_flight, self.config.queue_depth
+        )
+        self.quotas = quotas or QuotaPolicy(default=self.config.default_tier)
+        self.backend = backend or ThreadPoolBackend(self.config.executor_workers)
+        self.metrics = ServiceMetrics()
+        self.draining = False
+        self._started = time.monotonic()
+
+    # ------------------------------------------------------------------ #
+    # Graph management (also used by the CLI preload path)
+    # ------------------------------------------------------------------ #
+    def add_graph(self, graph_id: str, graph) -> None:
+        """Serve ``graph`` under ``graph_id`` (replacing any previous one).
+
+        Replacement drops the id's cached results explicitly: a fresh graph
+        can land on the same deterministic mutation version as the one it
+        replaces, so version keying alone would serve stale answers.
+        """
+        self.registry.add_graph(graph_id, graph)
+        self.result_cache.invalidate(graph_id)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    async def drain(self) -> None:
+        """Refuse new query work, wait out in-flight solves, release resources."""
+        self.draining = True
+        await self.admission.drain()
+        self.backend.shutdown()
+        self.registry.close()
+
+    # ------------------------------------------------------------------ #
+    # Connection handling
+    # ------------------------------------------------------------------ #
+    async def handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Serve one request on one connection (the asyncio server callback)."""
+        endpoint = "?"
+        status = 500
+        started = time.monotonic()
+        try:
+            try:
+                request = await read_request(reader)
+            except HTTPError as error:
+                endpoint = "(malformed)"
+                status = error.status
+                await send_response(writer, status, error_body(status, error.message))
+                return
+            if request is None:
+                return  # clean EOF before a request
+            endpoint = f"{request.method} /{request.segments[0]}" if request.segments \
+                else f"{request.method} /"
+            status = await self._route(request, writer)
+        except ConnectionError:
+            status = 0  # client went away mid-response; nothing to send
+        except Exception as error:  # noqa: BLE001 - the server must not die
+            status = 500
+            try:
+                await send_response(
+                    writer, 500, error_body(500, f"internal error: {error}")
+                )
+            except ConnectionError:
+                pass
+        finally:
+            if status:
+                self.metrics.observe(endpoint, status, time.monotonic() - started)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    async def _route(self, request: HTTPRequest, writer) -> int:
+        """Dispatch one parsed request; returns the response status."""
+        try:
+            return await self._dispatch(request, writer)
+        except HTTPError as error:
+            await send_response(
+                writer, error.status, error_body(error.status, error.message)
+            )
+            return error.status
+        except ServiceOverloadedError as error:
+            await send_response(
+                writer, 429, error_body(429, str(error)),
+                extra_headers={"Retry-After": "1"},
+            )
+            return 429
+        except UnknownGraphError as error:
+            await send_response(writer, 404, error_body(404, str(error)))
+            return 404
+        except ReproError as error:
+            # The request was well-formed but asks an unanswerable question
+            # (unknown engine, invalid parameters, closed session...).
+            await send_response(writer, 422, error_body(422, str(error)))
+            return 422
+
+    async def _dispatch(self, request: HTTPRequest, writer) -> int:
+        segments = request.segments
+        if request.method == "GET":
+            if segments == ("healthz",):
+                return await self._handle_healthz(writer)
+            if segments == ("metrics",):
+                return await self._handle_metrics(writer)
+            if segments == ("graphs",):
+                await send_response(writer, 200, dumps(
+                    {"graphs": self.registry.graph_ids()}
+                ))
+                return 200
+            if len(segments) == 2 and segments[0] == "graphs":
+                return await self._handle_graph_info(segments[1], writer)
+            raise HTTPError(404, f"no such endpoint GET {request.path!r}")
+        if request.method == "POST":
+            if len(segments) == 2 and segments[0] == "graphs":
+                return await self._handle_graph_upload(segments[1], request, writer)
+            if segments == ("solve",):
+                return await self._handle_solve(request, writer)
+            if segments == ("explain",):
+                return await self._handle_explain(request, writer)
+            if segments == ("stream",):
+                return await self._handle_stream(request, writer)
+            if segments == ("enumerate",):
+                return await self._handle_enumerate(request, writer)
+            raise HTTPError(404, f"no such endpoint POST {request.path!r}")
+        raise HTTPError(405, f"method {request.method} is not supported")
+
+    # ------------------------------------------------------------------ #
+    # Introspection endpoints
+    # ------------------------------------------------------------------ #
+    async def _handle_healthz(self, writer) -> int:
+        await send_response(writer, 200, dumps({
+            "status": "draining" if self.draining else "ok",
+            "schema": SCHEMA,
+            "graphs": self.registry.graph_ids(),
+            "uptime_seconds": time.monotonic() - self._started,
+        }))
+        return 200
+
+    async def _handle_metrics(self, writer) -> int:
+        await send_response(writer, 200, dumps({
+            "schema": SCHEMA,
+            "draining": self.draining,
+            "uptime_seconds": time.monotonic() - self._started,
+            "admission": self.admission.info(),
+            "result_cache": self.result_cache.info(),
+            "sessions": self.registry.info(),
+            "quotas": self.quotas.info(),
+            "executor": self.backend.info(),
+            "http": self.metrics.snapshot(),
+        }))
+        return 200
+
+    async def _handle_graph_info(self, graph_id: str, writer) -> int:
+        graph = self.registry.graph(graph_id)
+        await send_response(writer, 200, dumps({
+            "graph": graph_id,
+            "n": graph.num_vertices,
+            "m": graph.num_edges,
+            "version": graph.version,
+            "attributes": graph.attribute_histogram(),
+        }))
+        return 200
+
+    async def _handle_graph_upload(self, graph_id: str, request, writer) -> int:
+        self._check_accepting()
+        payload = parse_json_body(request.body)
+        graph = graph_from_wire(payload)
+        self.add_graph(graph_id, graph)
+        await send_response(writer, 200, dumps({
+            "graph": graph_id, "n": graph.num_vertices, "m": graph.num_edges,
+        }))
+        return 200
+
+    # ------------------------------------------------------------------ #
+    # Query endpoints
+    # ------------------------------------------------------------------ #
+    def _check_accepting(self) -> None:
+        if self.draining:
+            raise HTTPError(503, "server is draining; not accepting new work")
+
+    def _admit_query(self, body: bytes) -> tuple[str, FairCliqueQuery, str, dict]:
+        """Shared front half: drain gate, envelope parse, tier clamp."""
+        self._check_accepting()
+        graph_id, query, tier_name, _ = parse_query_request(body)
+        tier = self.quotas.tier(tier_name)
+        clamped, clamps = tier.clamp(query)
+        return graph_id, clamped, tier.name, clamps
+
+    async def _handle_solve(self, request, writer) -> int:
+        graph_id, query, tier_name, clamps = self._admit_query(request.body)
+        graph = self.registry.graph(graph_id)
+        cached = self.result_cache.get(graph_id, graph.version, query)
+        if cached is not None:
+            await send_response(writer, 200, dumps({
+                "graph": graph_id, "tier": tier_name, "cached": True,
+                "quota_clamped": clamps or None, "report": cached,
+            }))
+            return 200
+        async with self.admission:
+            session = self.registry.session(graph_id)
+            report = await asyncio.wrap_future(
+                self.backend.submit(session.solve, query)
+            )
+        payload = report.to_wire()
+        if not report.aborted:
+            # A budget-truncated answer reflects machine load, not the
+            # question; only finished answers are worth replaying.
+            self.result_cache.put(graph_id, graph.version, query, payload)
+        await send_response(writer, 200, dumps({
+            "graph": graph_id, "tier": tier_name, "cached": False,
+            "quota_clamped": clamps or None, "report": payload,
+        }))
+        return 200
+
+    async def _handle_explain(self, request, writer) -> int:
+        graph_id, query, tier_name, clamps = self._admit_query(request.body)
+        async with self.admission:
+            session = self.registry.session(graph_id)
+            plan = await asyncio.wrap_future(
+                self.backend.submit(session.explain, query)
+            )
+        await send_response(writer, 200, dumps({
+            "graph": graph_id, "tier": tier_name,
+            "quota_clamped": clamps or None, "plan": plan.to_wire(),
+        }))
+        return 200
+
+    async def _handle_stream(self, request, writer) -> int:
+        graph_id, query, _, _ = self._admit_query(request.body)
+        sse = (
+            "text/event-stream" in request.header("accept")
+            or request.params.get("format") == "sse"
+        )
+        async with self.admission:
+            session = self.registry.session(graph_id)
+            # Resolve validation errors (wrong task/engine for streaming)
+            # *before* the response head goes out, so they surface as clean
+            # 4xx JSON instead of a broken stream.
+            iterator = session.stream(query)
+            await start_streaming_response(
+                writer,
+                content_type=(
+                    "text/event-stream" if sse else "application/x-ndjson"
+                ),
+            )
+            async for event in self._pump(iterator):
+                line = dumps(event.to_wire())
+                writer.write(b"data: " + line + b"\n" if sse else line)
+                await writer.drain()
+        return 200
+
+    async def _handle_enumerate(self, request, writer) -> int:
+        self._check_accepting()
+        graph_id, query, _, payload = parse_query_request(request.body)
+        limit = payload.get("limit")
+        if limit is not None and (not isinstance(limit, int) or limit < 1):
+            raise HTTPError(400, f'"limit" must be a positive integer, got {limit!r}')
+        async with self.admission:
+            session = self.registry.session(graph_id)
+            iterator = session.enumerate(query)
+            await start_streaming_response(writer)
+            count = 0
+            async for clique in self._pump(iterator, limit=limit):
+                writer.write(dumps({
+                    "size": len(clique), "clique": sorted(clique, key=str),
+                }))
+                await writer.drain()
+                count += 1
+            writer.write(dumps({
+                "done": True, "count": count,
+                "truncated": limit is not None and count >= limit,
+            }))
+            await writer.drain()
+        return 200
+
+    # ------------------------------------------------------------------ #
+    # The sync-iterator -> async bridge
+    # ------------------------------------------------------------------ #
+    async def _pump(self, iterator, limit: int | None = None):
+        """Async-iterate a blocking generator by draining it on the backend.
+
+        The producer runs ``iterator`` on the executor backend and hands
+        items to the loop through a bounded queue (backpressure, not an
+        unbounded buffer).  Exceptions raised by the generator re-raise
+        here; when the consumer abandons the stream (client hung up), the
+        producer notices the stop flag at its next item and closes the
+        generator instead of blocking forever on a full queue.
+        """
+        import concurrent.futures
+        import threading
+
+        loop = asyncio.get_running_loop()
+        queue: asyncio.Queue = asyncio.Queue(maxsize=STREAM_BUFFER_EVENTS)
+        done = object()
+        stopped = threading.Event()
+
+        def put(item) -> bool:
+            """Hand one item to the loop; False when the consumer is gone."""
+            try:
+                asyncio.get_running_loop()
+            except RuntimeError:
+                pass
+            else:
+                # Producer running *on* the loop thread (InlineBackend):
+                # blocking would deadlock, so bypass the bound — inline
+                # execution is a test/debug substrate, not production.
+                queue.put_nowait(item)
+                return True
+            handle = asyncio.run_coroutine_threadsafe(queue.put(item), loop)
+            while True:
+                try:
+                    handle.result(timeout=0.1)
+                    return True
+                except concurrent.futures.TimeoutError:
+                    if stopped.is_set():
+                        handle.cancel()
+                        return False
+                except (concurrent.futures.CancelledError, RuntimeError):
+                    return False  # loop shut down underneath us
+
+        def produce() -> None:
+            try:
+                produced = 0
+                for item in iterator:
+                    if stopped.is_set() or not put(("item", item)):
+                        return
+                    produced += 1
+                    if limit is not None and produced >= limit:
+                        break
+            except BaseException as error:  # noqa: BLE001 - forwarded to consumer
+                put(("error", error))
+            else:
+                put((done, None))
+            finally:
+                close = getattr(iterator, "close", None)
+                if close is not None:
+                    close()
+
+        self.backend.submit(produce)
+        try:
+            while True:
+                kind, item = await queue.get()
+                if kind is done:
+                    break
+                if kind == "error":
+                    raise item
+                yield item
+        finally:
+            stopped.set()
+            while not queue.empty():
+                queue.get_nowait()

@@ -1,0 +1,113 @@
+"""The cross-request result cache of the service tier.
+
+A session already memoizes *artifacts* (reductions, kernels); what it never
+does is short-circuit a repeated **question**.  Production query traffic is
+heavily repetitive — the same dashboard asks the same ``(graph, k, delta)``
+every refresh — so the service keeps a bounded LRU of finished
+:class:`~repro.api.report.SolveReport`/:class:`~repro.api.session.QueryPlan`
+wire payloads keyed by::
+
+    (graph id, graph mutation version, FairCliqueQuery)
+
+The graph version in the key makes invalidation free: mutate the graph and
+every cached answer for it simply stops matching (superseded entries age out
+of the LRU).  The full query object rides in the key (its ``__hash__`` is
+the canonicalised one the API layer defines) so hash collisions cannot serve
+a wrong answer.
+
+Aborted reports are never cached: a budget-truncated answer depends on how
+loaded the machine was, not just on the question.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+from repro.api.query import FairCliqueQuery
+from repro.exceptions import InvalidParameterError
+
+
+class ResultCache:
+    """A thread-safe bounded LRU of wire-format query answers."""
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 0:
+            raise InvalidParameterError(
+                f"result cache capacity must be >= 0, got {capacity!r}"
+            )
+        self.capacity = capacity
+        self._entries: OrderedDict[tuple, dict] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    @staticmethod
+    def key(graph_id: str, graph_version: int, query: FairCliqueQuery) -> tuple:
+        return (graph_id, graph_version, query)
+
+    def get(self, graph_id: str, graph_version: int,
+            query: FairCliqueQuery) -> dict | None:
+        """The cached wire payload, or ``None`` (counts a hit/miss)."""
+        key = self.key(graph_id, graph_version, query)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def put(self, graph_id: str, graph_version: int,
+            query: FairCliqueQuery, payload: dict) -> None:
+        """Insert (or refresh) an answer, evicting the LRU entry on overflow."""
+        if self.capacity == 0:
+            return
+        key = self.key(graph_id, graph_version, query)
+        with self._lock:
+            self._entries[key] = payload
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def invalidate(self, graph_id: str) -> int:
+        """Drop every entry for ``graph_id``; returns how many were dropped.
+
+        The version in the key already invalidates *in-place mutation* for
+        free; this handles *replacement* — a freshly built graph uploaded
+        under an existing id can land on the same deterministic mutation
+        count as its predecessor, so its entries must go explicitly.
+        """
+        with self._lock:
+            stale = [key for key in self._entries if key[0] == graph_id]
+            for key in stale:
+                del self._entries[key]
+            self.invalidations += len(stale)
+            return len(stale)
+
+    def clear(self) -> None:
+        """Drop every entry (counters keep accumulating)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def info(self) -> dict:
+        """Plain-data snapshot for ``/metrics``."""
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "capacity": self.capacity,
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+                "hit_rate": (self.hits / total) if total else 0.0,
+            }

@@ -1,0 +1,163 @@
+"""A stdlib HTTP client for the fair-clique service.
+
+:class:`ServiceClient` speaks the service's JSON wire format and gives the
+caller back the same objects the in-process API returns —
+:class:`~repro.api.report.SolveReport` from :meth:`solve`,
+:class:`~repro.api.session.Incumbent` events from :meth:`stream`,
+:class:`~repro.api.session.QueryPlan` from :meth:`explain` — so switching
+between a local session and a remote service is a one-line change.  Used by
+the example client, the service benchmark suite, and the CI smoke test.
+
+One connection per request (the server speaks ``Connection: close``), pure
+``http.client`` underneath — no dependencies.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterator
+from http.client import HTTPConnection
+from urllib.parse import urlsplit
+
+from repro.api.query import FairCliqueQuery
+from repro.api.report import SolveReport
+from repro.api.session import Incumbent, QueryPlan
+from repro.graph.attributed_graph import AttributedGraph
+from repro.service.wire import graph_to_wire
+
+
+class ServiceError(Exception):
+    """A non-2xx response from the service, carrying its error envelope."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServiceClient:
+    """A synchronous client bound to one service base URL."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+        split = urlsplit(base_url if "//" in base_url else f"http://{base_url}")
+        if split.scheme not in ("", "http"):
+            raise ValueError(f"only http:// service URLs are supported, got {base_url!r}")
+        self.host = split.hostname or "127.0.0.1"
+        self.port = split.port or 80
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------ #
+    # Plumbing
+    # ------------------------------------------------------------------ #
+    def _connect(self) -> HTTPConnection:
+        return HTTPConnection(self.host, self.port, timeout=self.timeout)
+
+    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        connection = self._connect()
+        try:
+            body = None if payload is None else json.dumps(payload).encode("utf-8")
+            headers = {} if body is None else {"Content-Type": "application/json"}
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            decoded = json.loads(raw) if raw else {}
+            if response.status >= 400:
+                raise ServiceError(
+                    response.status, decoded.get("error", raw.decode("utf-8", "replace"))
+                )
+            return decoded
+        finally:
+            connection.close()
+
+    def _request_lines(self, path: str, payload: dict) -> Iterator[dict]:
+        """POST and yield the NDJSON lines of a streaming response lazily."""
+        connection = self._connect()
+        try:
+            connection.request(
+                "POST", path, body=json.dumps(payload).encode("utf-8"),
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            if response.status >= 400:
+                raw = response.read()
+                try:
+                    message = json.loads(raw).get("error", "")
+                except json.JSONDecodeError:
+                    message = raw.decode("utf-8", "replace")
+                raise ServiceError(response.status, message)
+            for line in response:
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+        finally:
+            connection.close()
+
+    @staticmethod
+    def _envelope(graph_id: str, query: FairCliqueQuery,
+                  tier: str | None = None, **extra) -> dict:
+        payload: dict = {"graph": graph_id, "query": query.to_wire(), **extra}
+        if tier is not None:
+            payload["tier"] = tier
+        return payload
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/metrics")
+
+    def graphs(self) -> list[str]:
+        return self._request("GET", "/graphs")["graphs"]
+
+    def graph_info(self, graph_id: str) -> dict:
+        return self._request("GET", f"/graphs/{graph_id}")
+
+    def upload_graph(self, graph_id: str, graph: AttributedGraph) -> dict:
+        """Serve ``graph`` under ``graph_id`` on the remote service."""
+        return self._request("POST", f"/graphs/{graph_id}", graph_to_wire(graph))
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def solve(self, graph_id: str, query: FairCliqueQuery,
+              tier: str | None = None) -> SolveReport:
+        """Remote ``session.solve``; the report round-trips the wire format."""
+        return SolveReport.from_wire(
+            self.solve_raw(graph_id, query, tier)["report"]
+        )
+
+    def solve_raw(self, graph_id: str, query: FairCliqueQuery,
+                  tier: str | None = None) -> dict:
+        """Like :meth:`solve` but returns the full response envelope
+        (``cached``, ``quota_clamped``, ``tier``, raw ``report``)."""
+        return self._request("POST", "/solve", self._envelope(graph_id, query, tier))
+
+    def explain(self, graph_id: str, query: FairCliqueQuery,
+                tier: str | None = None) -> QueryPlan:
+        """Remote ``session.explain``."""
+        payload = self._request(
+            "POST", "/explain", self._envelope(graph_id, query, tier)
+        )
+        return QueryPlan.from_wire(payload["plan"])
+
+    def stream(self, graph_id: str, query: FairCliqueQuery,
+               tier: str | None = None) -> Iterator[Incumbent]:
+        """Remote ``session.stream``: lazy NDJSON incumbents, final last."""
+        for line in self._request_lines(
+            "/stream", self._envelope(graph_id, query, tier)
+        ):
+            yield Incumbent.from_wire(line)
+
+    def enumerate(self, graph_id: str, query: FairCliqueQuery,
+                  limit: int | None = None) -> Iterator[frozenset]:
+        """Remote ``session.enumerate``: lazy maximal fair cliques."""
+        extra = {} if limit is None else {"limit": limit}
+        for line in self._request_lines(
+            "/enumerate", self._envelope(graph_id, query, **extra)
+        ):
+            if line.get("done"):
+                return
+            yield frozenset(line["clique"])

@@ -1,0 +1,84 @@
+"""Pluggable executor backends: where the service runs the actual solving.
+
+The asyncio front-end must never block its event loop on a branch-and-bound
+search, so every solve/enumeration/stream runs on an
+:class:`ExecutorBackend` and the loop awaits the future.  The interface is
+deliberately the ``concurrent.futures`` submit shape, which keeps the
+front-end a thin ``asyncio.wrap_future`` away from any execution substrate:
+
+* :class:`ThreadPoolBackend` — the default: a worker-thread pool in this
+  process.  Sessions and their caches are shared (that is the point of the
+  service tier), and the solver's own ``workers=N`` process sharding still
+  applies *inside* a request.  This mirrors the front-end/executor split of
+  cluster-submission pipelines — the front-end plans, a backend executes —
+  so a multi-node dispatch backend can slot in later without touching the
+  HTTP layer.
+* :class:`InlineBackend` — runs the callable synchronously at submit time;
+  deterministic and dependency-free, for tests and debugging.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future, ThreadPoolExecutor
+
+from repro.exceptions import InvalidParameterError
+
+
+class ExecutorBackend:
+    """The executor contract: submit work, get a ``concurrent.futures.Future``."""
+
+    name = "base"
+
+    def submit(self, fn, /, *args, **kwargs) -> Future:
+        raise NotImplementedError
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Release the backend's resources (idempotent)."""
+
+    def info(self) -> dict:
+        """Plain-data snapshot for ``/metrics``."""
+        return {"backend": self.name}
+
+
+class ThreadPoolBackend(ExecutorBackend):
+    """The default backend: a bounded worker-thread pool in this process."""
+
+    name = "thread_pool"
+
+    def __init__(self, max_workers: int = 4) -> None:
+        if max_workers < 1:
+            raise InvalidParameterError(
+                f"executor max_workers must be >= 1, got {max_workers!r}"
+            )
+        self.max_workers = max_workers
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="fairclique-svc"
+        )
+
+    def submit(self, fn, /, *args, **kwargs) -> Future:
+        return self._pool.submit(fn, *args, **kwargs)
+
+    def shutdown(self, wait: bool = True) -> None:
+        self._pool.shutdown(wait=wait)
+
+    def info(self) -> dict:
+        return {"backend": self.name, "max_workers": self.max_workers}
+
+
+class InlineBackend(ExecutorBackend):
+    """Run submissions synchronously; the deterministic test double.
+
+    Note this *does* block the caller (and, in the server, the event loop)
+    for the duration of the call — which is exactly why it is not the
+    default and exists for tests.
+    """
+
+    name = "inline"
+
+    def submit(self, fn, /, *args, **kwargs) -> Future:
+        future: Future = Future()
+        try:
+            future.set_result(fn(*args, **kwargs))
+        except BaseException as error:  # delivered through the future
+            future.set_exception(error)
+        return future

@@ -1,0 +1,176 @@
+"""A minimal asyncio HTTP/1.1 layer — just enough for the service tier.
+
+The target environment is stdlib-only, so the server speaks a deliberately
+small slice of HTTP/1.1 over ``asyncio`` streams:
+
+* one request per connection (every response carries ``Connection: close``),
+  which keeps the state machine trivial and plays fine with ``http.client``,
+  ``curl``, and load generators;
+* bodies are read via ``Content-Length`` (no chunked *requests*);
+* responses either carry a ``Content-Length`` or stream close-delimited —
+  the NDJSON/SSE endpoints write lines as events arrive and delimit the
+  body by closing the connection, which every HTTP/1.x client understands.
+
+Nothing here knows about fair cliques; :mod:`repro.service.app` supplies the
+routing and handlers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+#: Hard caps keeping a malformed or hostile request from ballooning memory.
+MAX_HEADER_BYTES = 64 * 1024
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+REASONS = {
+    200: "OK",
+    202: "Accepted",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HTTPError(Exception):
+    """A request-level failure that maps directly onto a status code."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class HTTPRequest:
+    """One parsed request: method, split path, query params, headers, body."""
+
+    method: str
+    path: str
+    params: dict[str, str] = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def segments(self) -> tuple[str, ...]:
+        """Path split on ``/`` with empties dropped (``/graphs/g1`` → ``("graphs", "g1")``)."""
+        return tuple(part for part in self.path.split("/") if part)
+
+    def header(self, name: str, default: str = "") -> str:
+        return self.headers.get(name.lower(), default)
+
+
+async def read_request(reader: asyncio.StreamReader) -> HTTPRequest | None:
+    """Parse one request off ``reader``; ``None`` on a clean EOF (no request).
+
+    Raises :class:`HTTPError` on malformed input so the caller can answer
+    with the right status before closing.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None  # client connected and left: not an error
+        raise HTTPError(400, "truncated request head") from None
+    except asyncio.LimitOverrunError:
+        raise HTTPError(413, "request head too large") from None
+    if len(head) > MAX_HEADER_BYTES:
+        raise HTTPError(413, "request head too large")
+
+    lines = head.decode("latin-1").split("\r\n")
+    request_parts = lines[0].split(" ")
+    if len(request_parts) != 3:
+        raise HTTPError(400, f"malformed request line {lines[0]!r}")
+    method, target, version = request_parts
+    if not version.startswith("HTTP/1."):
+        raise HTTPError(400, f"unsupported protocol {version!r}")
+
+    split = urlsplit(target)
+    params = {key: value for key, value in parse_qsl(split.query)}
+
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HTTPError(400, f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    length_header = headers.get("content-length")
+    if length_header is not None:
+        try:
+            length = int(length_header)
+        except ValueError:
+            raise HTTPError(400, f"bad Content-Length {length_header!r}") from None
+        if length < 0 or length > MAX_BODY_BYTES:
+            raise HTTPError(413, "request body too large")
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError:
+                raise HTTPError(400, "request body shorter than Content-Length") from None
+    elif headers.get("transfer-encoding", "").lower() == "chunked":
+        raise HTTPError(400, "chunked request bodies are not supported")
+
+    return HTTPRequest(
+        method=method.upper(),
+        path=unquote(split.path) or "/",
+        params=params,
+        headers=headers,
+        body=body,
+    )
+
+
+def _head(status: int, content_type: str, extra: dict[str, str] | None = None,
+          length: int | None = None) -> bytes:
+    reason = REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        "Connection: close",
+    ]
+    if length is not None:
+        lines.append(f"Content-Length: {length}")
+    for name, value in (extra or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+async def send_response(
+    writer: asyncio.StreamWriter,
+    status: int,
+    body: bytes,
+    content_type: str = "application/json",
+    extra_headers: dict[str, str] | None = None,
+) -> None:
+    """Write one complete (Content-Length delimited) response."""
+    writer.write(_head(status, content_type, extra_headers, length=len(body)))
+    writer.write(body)
+    await writer.drain()
+
+
+async def start_streaming_response(
+    writer: asyncio.StreamWriter,
+    status: int = 200,
+    content_type: str = "application/x-ndjson",
+    extra_headers: dict[str, str] | None = None,
+) -> None:
+    """Write the head of a close-delimited streaming response.
+
+    The caller then writes body chunks directly and closes the connection to
+    end the stream — the absence of ``Content-Length`` plus ``Connection:
+    close`` makes the body EOF-delimited per HTTP/1.1 §6.3.
+    """
+    writer.write(_head(status, content_type, extra_headers, length=None))
+    await writer.drain()

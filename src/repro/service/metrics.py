@@ -1,0 +1,103 @@
+"""Service metrics: per-endpoint latency histograms and request counters.
+
+Stdlib-only observability in the Prometheus spirit: fixed-bucket latency
+histograms (so percentile estimates cost O(buckets), never O(samples)) and
+monotonic counters, all surfaced as one plain-data snapshot by ``/metrics``.
+
+Percentiles from fixed buckets are upper-bound estimates — the reported
+p50/p99 is the upper edge of the bucket containing that quantile — which is
+exactly the trade Prometheus makes, and plenty for "did warm latency drop
+an order of magnitude".
+"""
+
+from __future__ import annotations
+
+import threading
+
+#: Bucket upper bounds in seconds (the last bucket is +inf).
+DEFAULT_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+
+class LatencyHistogram:
+    """A fixed-bucket latency histogram with cheap percentile estimates."""
+
+    def __init__(self, buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        self.bounds = tuple(buckets)
+        self.counts = [0] * (len(self.bounds) + 1)  # + the +inf bucket
+        self.total = 0
+        self.sum_seconds = 0.0
+        self.max_seconds = 0.0
+
+    def observe(self, seconds: float) -> None:
+        for index, bound in enumerate(self.bounds):
+            if seconds <= bound:
+                self.counts[index] += 1
+                break
+        else:
+            self.counts[-1] += 1
+        self.total += 1
+        self.sum_seconds += seconds
+        self.max_seconds = max(self.max_seconds, seconds)
+
+    def percentile(self, fraction: float) -> float:
+        """Upper-bound estimate of the ``fraction`` quantile (0 < f <= 1)."""
+        if self.total == 0:
+            return 0.0
+        rank = max(1, int(fraction * self.total + 0.999999))
+        cumulative = 0
+        for index, count in enumerate(self.counts):
+            cumulative += count
+            if cumulative >= rank:
+                if index < len(self.bounds):
+                    return self.bounds[index]
+                return self.max_seconds  # +inf bucket: report the max seen
+        return self.max_seconds
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.total,
+            "sum_seconds": self.sum_seconds,
+            "mean_seconds": (self.sum_seconds / self.total) if self.total else 0.0,
+            "p50_seconds": self.percentile(0.50),
+            "p99_seconds": self.percentile(0.99),
+            "max_seconds": self.max_seconds,
+        }
+
+
+class ServiceMetrics:
+    """Thread-safe request counters + per-endpoint latency histograms."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._latency: dict[str, LatencyHistogram] = {}
+        self._requests: dict[str, int] = {}
+        self._statuses: dict[int, int] = {}
+
+    def observe(self, endpoint: str, status: int, seconds: float) -> None:
+        """Record one finished request."""
+        with self._lock:
+            histogram = self._latency.get(endpoint)
+            if histogram is None:
+                histogram = self._latency[endpoint] = LatencyHistogram()
+            histogram.observe(seconds)
+            self._requests[endpoint] = self._requests.get(endpoint, 0) + 1
+            self._statuses[status] = self._statuses.get(status, 0) + 1
+
+    def snapshot(self) -> dict:
+        """Plain-data snapshot for ``/metrics``."""
+        with self._lock:
+            return {
+                "requests_total": sum(self._requests.values()),
+                "requests_by_endpoint": dict(sorted(self._requests.items())),
+                "responses_by_status": {
+                    str(status): count
+                    for status, count in sorted(self._statuses.items())
+                },
+                "latency_by_endpoint": {
+                    endpoint: histogram.snapshot()
+                    for endpoint, histogram in sorted(self._latency.items())
+                },
+            }

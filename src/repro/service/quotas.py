@@ -1,0 +1,129 @@
+"""Per-tier quota clamping: bounded work per request class.
+
+A public query endpoint cannot let every caller request an unbounded exact
+solve.  A :class:`QuotaTier` declares the ceilings one request class may
+spend — wall-clock (``time_limit``), branch budget (the exact engine's
+``branch_limit`` option), and worker processes — and :meth:`QuotaTier.clamp`
+rewrites a query to respect them:
+
+* a missing ``time_limit`` becomes the tier's ceiling (no tier grants
+  "run forever" unless its ceiling is ``None``);
+* a requested value above the ceiling is clamped down, and the response
+  metadata says so (``quota_clamped``) instead of silently serving a
+  different question than was asked;
+* enumeration tasks take no budget options by API contract, so only
+  ``workers`` applies to them.
+
+Tiers are plain data; :func:`default_tiers` ships a small free/standard/
+unlimited ladder and services may pass their own.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.api.query import FairCliqueQuery
+from repro.exceptions import InvalidParameterError
+
+
+@dataclass(frozen=True)
+class QuotaTier:
+    """Ceilings for one request class (``None`` means uncapped)."""
+
+    name: str
+    max_time_limit: float | None = None
+    max_branch_limit: int | None = None
+    max_workers: int | None = None
+
+    def clamp(self, query: FairCliqueQuery) -> tuple[FairCliqueQuery, dict]:
+        """``(clamped_query, clamps)`` — what will run, and what changed.
+
+        ``clamps`` maps each adjusted knob to ``{"requested": ...,
+        "granted": ...}`` so the response can carry an honest
+        ``quota_clamped`` note.  An unchanged query is returned as-is.
+        """
+        changes: dict[str, dict] = {}
+        fields: dict = {}
+
+        if self.max_time_limit is not None and query.task == "maximum":
+            requested = query.time_limit
+            if requested is None or requested > self.max_time_limit:
+                fields["time_limit"] = self.max_time_limit
+                changes["time_limit"] = {
+                    "requested": requested, "granted": self.max_time_limit,
+                }
+
+        if self.max_branch_limit is not None and query.task == "maximum":
+            requested_branches = query.options.get("branch_limit")
+            if requested_branches is None or requested_branches > self.max_branch_limit:
+                # branch_limit is an exact-engine option; other engines have
+                # no branching to budget and would reject the unknown option.
+                if query.engine == "exact":
+                    options = dict(query.options)
+                    options["branch_limit"] = self.max_branch_limit
+                    fields["options"] = options
+                    changes["branch_limit"] = {
+                        "requested": requested_branches,
+                        "granted": self.max_branch_limit,
+                    }
+
+        if self.max_workers is not None:
+            requested_workers = query.workers
+            if requested_workers is not None and requested_workers > self.max_workers:
+                fields["workers"] = self.max_workers
+                changes["workers"] = {
+                    "requested": requested_workers, "granted": self.max_workers,
+                }
+
+        if not fields:
+            return query, changes
+        return replace(query, **fields), changes
+
+
+def default_tiers() -> dict[str, QuotaTier]:
+    """The built-in free / standard / unlimited ladder."""
+    tiers = (
+        QuotaTier("free", max_time_limit=5.0, max_branch_limit=200_000, max_workers=1),
+        QuotaTier("standard", max_time_limit=30.0, max_branch_limit=2_000_000,
+                  max_workers=2),
+        QuotaTier("unlimited"),
+    )
+    return {tier.name: tier for tier in tiers}
+
+
+class QuotaPolicy:
+    """Named tiers plus the default applied when a request names none."""
+
+    def __init__(self, tiers: dict[str, QuotaTier] | None = None,
+                 default: str = "standard") -> None:
+        self.tiers = dict(tiers) if tiers is not None else default_tiers()
+        if default not in self.tiers:
+            raise InvalidParameterError(
+                f"default tier {default!r} is not one of {sorted(self.tiers)}"
+            )
+        self.default = default
+
+    def tier(self, name: str | None) -> QuotaTier:
+        """Resolve a requested tier name (``None`` → the default)."""
+        if name is None:
+            return self.tiers[self.default]
+        try:
+            return self.tiers[name]
+        except KeyError:
+            raise InvalidParameterError(
+                f"unknown quota tier {name!r}; available: {sorted(self.tiers)}"
+            ) from None
+
+    def info(self) -> dict:
+        """Plain-data snapshot for ``/metrics``."""
+        return {
+            "default": self.default,
+            "tiers": {
+                name: {
+                    "max_time_limit": tier.max_time_limit,
+                    "max_branch_limit": tier.max_branch_limit,
+                    "max_workers": tier.max_workers,
+                }
+                for name, tier in sorted(self.tiers.items())
+            },
+        }

@@ -1,0 +1,187 @@
+"""The bounded LRU registry mapping graph ids to long-lived sessions.
+
+The service tier's unit of warmth is a :class:`~repro.api.FairCliqueSession`:
+it owns the compiled kernel, the memoized reductions, and (when batches are
+involved) a persistent worker pool.  Those are exactly the artifacts worth
+keeping alive between requests — and exactly the ones that must be bounded,
+because every prepared graph pins memory and possibly a process pool.
+
+:class:`SessionRegistry` therefore keeps **at most ``capacity`` open
+sessions** in least-recently-used order:
+
+* :meth:`session` returns the warm session for a graph id, opening (and
+  possibly evicting) as needed;
+* an entry whose graph has **mutated since the session was opened** is
+  stale — its artifacts describe the pre-mutation graph — so it is closed
+  and transparently replaced by a fresh session;
+* **eviction closes** the evicted session (shutting its batch pool down);
+* :meth:`close` is idempotent and closes everything.
+
+All methods are thread-safe: the service executes queries on a worker-thread
+backend, so registry lookups race by design.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+from repro.api.session import FairCliqueSession
+from repro.exceptions import InvalidParameterError
+from repro.graph.attributed_graph import AttributedGraph
+
+
+class UnknownGraphError(InvalidParameterError):
+    """Raised for a graph id the registry has never been given."""
+
+
+class SessionRegistry:
+    """Graph ids → prepared graphs → at most ``capacity`` live sessions."""
+
+    def __init__(self, capacity: int = 8) -> None:
+        if capacity < 1:
+            raise InvalidParameterError(
+                f"session registry capacity must be >= 1, got {capacity!r}"
+            )
+        self.capacity = capacity
+        self._graphs: dict[str, AttributedGraph] = {}
+        self._sessions: OrderedDict[str, FairCliqueSession] = OrderedDict()
+        self._lock = threading.RLock()
+        self._closed = False
+        #: Plain-data lifecycle counters surfaced through ``/metrics``.
+        self.telemetry: dict = {
+            "sessions_opened": 0,
+            "sessions_evicted": 0,
+            "sessions_invalidated": 0,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Graph management
+    # ------------------------------------------------------------------ #
+    def add_graph(self, graph_id: str, graph: AttributedGraph) -> None:
+        """Register (or replace) the graph behind ``graph_id``.
+
+        Replacing a graph closes its current session: the old artifacts
+        describe the old graph.
+        """
+        if not graph_id:
+            raise InvalidParameterError("graph id must be a non-empty string")
+        with self._lock:
+            self._check_open()
+            self._graphs[graph_id] = graph
+            stale = self._sessions.pop(graph_id, None)
+        if stale is not None:
+            stale.close()
+
+    def remove_graph(self, graph_id: str) -> None:
+        """Forget ``graph_id``, closing its session if one is open."""
+        with self._lock:
+            self._graphs.pop(graph_id, None)
+            stale = self._sessions.pop(graph_id, None)
+        if stale is not None:
+            stale.close()
+
+    def graph(self, graph_id: str) -> AttributedGraph:
+        """The registered graph behind ``graph_id`` (raises when unknown)."""
+        with self._lock:
+            try:
+                return self._graphs[graph_id]
+            except KeyError:
+                raise UnknownGraphError(
+                    f"unknown graph id {graph_id!r}; registered: {self.graph_ids()}"
+                ) from None
+
+    def graph_ids(self) -> list[str]:
+        """Registered graph ids, sorted."""
+        with self._lock:
+            return sorted(self._graphs)
+
+    # ------------------------------------------------------------------ #
+    # Sessions
+    # ------------------------------------------------------------------ #
+    def session(self, graph_id: str) -> FairCliqueSession:
+        """The warm session for ``graph_id`` — opened, refreshed, or reused.
+
+        Marks the entry most-recently-used.  A stale entry (the graph
+        mutated after the session was opened) is closed and replaced; the
+        least-recently-used entry is evicted — and closed — when opening
+        would exceed the capacity.
+        """
+        evicted: list[FairCliqueSession] = []
+        with self._lock:
+            self._check_open()
+            graph = self._graphs.get(graph_id)
+            if graph is None:
+                raise UnknownGraphError(
+                    f"unknown graph id {graph_id!r}; registered: {self.graph_ids()}"
+                )
+            session = self._sessions.get(graph_id)
+            if session is not None and session.graph_version != graph.version:
+                # Stale: the graph moved on.  Close outside the hot path is
+                # tempting, but closing under the lock keeps "no two live
+                # sessions for one id" an invariant.
+                del self._sessions[graph_id]
+                evicted.append(session)
+                self.telemetry["sessions_invalidated"] += 1
+                session = None
+            if session is None:
+                while len(self._sessions) >= self.capacity:
+                    _, oldest = self._sessions.popitem(last=False)
+                    evicted.append(oldest)
+                    self.telemetry["sessions_evicted"] += 1
+                session = FairCliqueSession(graph)
+                self._sessions[graph_id] = session
+                self.telemetry["sessions_opened"] += 1
+            self._sessions.move_to_end(graph_id)
+        for stale in evicted:
+            stale.close()
+        return session
+
+    def open_session_ids(self) -> list[str]:
+        """Graph ids with a live session, least- to most-recently used."""
+        with self._lock:
+            return list(self._sessions)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle / introspection
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Close every live session and refuse further use (idempotent)."""
+        with self._lock:
+            sessions = list(self._sessions.values())
+            self._sessions.clear()
+            self._closed = True
+        for session in sessions:
+            session.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise InvalidParameterError("this SessionRegistry is closed")
+
+    def __enter__(self) -> "SessionRegistry":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def info(self) -> dict:
+        """Plain-data snapshot for ``/metrics``: per-session cache state."""
+        with self._lock:
+            sessions = {
+                graph_id: session.cache_info()
+                for graph_id, session in self._sessions.items()
+            }
+            return {
+                "capacity": self.capacity,
+                "graphs": len(self._graphs),
+                "open_sessions": len(sessions),
+                "sessions": sessions,
+                **self.telemetry,
+            }
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return (
+                f"SessionRegistry(capacity={self.capacity}, "
+                f"graphs={len(self._graphs)}, open={len(self._sessions)})"
+            )

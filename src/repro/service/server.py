@@ -1,0 +1,137 @@
+"""Server lifecycle: bind, serve, drain, stop — async and thread-hosted.
+
+:class:`FairCliqueServer` owns the listening socket for one
+:class:`~repro.service.app.FairCliqueService`:
+
+* :meth:`start` binds and begins accepting;
+* :meth:`serve_forever` blocks until :meth:`shutdown`;
+* :meth:`shutdown` is the graceful path — stop accepting, let the service
+  drain its in-flight solves, release sessions/executors.
+
+:class:`ServerHandle` hosts the whole thing on a daemon thread for callers
+that live outside asyncio — the benchmark driver, tests, and the CLI's
+foreground loop all use it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+from repro.service.app import FairCliqueService, ServiceConfig
+
+
+class FairCliqueServer:
+    """One listening socket in front of one service application."""
+
+    def __init__(self, service: FairCliqueService) -> None:
+        self.service = service
+        self._server: asyncio.base_events.Server | None = None
+        self._stopping: asyncio.Event | None = None
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ``port=0`` — bind any free port)."""
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("server is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        """Bind ``config.host:config.port`` and start accepting."""
+        config = self.service.config
+        self._stopping = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self.service.handle_connection, config.host, config.port
+        )
+
+    async def serve_forever(self) -> None:
+        """Block until :meth:`shutdown` completes the drain."""
+        if self._server is None:
+            await self.start()
+        assert self._stopping is not None
+        await self._stopping.wait()
+
+    async def shutdown(self) -> None:
+        """Graceful stop: close the listener, drain in-flight work, release."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self.service.drain()
+        if self._stopping is not None:
+            self._stopping.set()
+
+
+class ServerHandle:
+    """A server hosted on a background thread with its own event loop.
+
+    The synchronous face of the subsystem::
+
+        handle = ServerHandle.start(service)
+        ... drive it over HTTP on handle.port ...
+        handle.stop()           # graceful: drains in-flight solves
+
+    ``stop()`` is idempotent and joins the thread.
+    """
+
+    def __init__(self, server: FairCliqueServer, loop: asyncio.AbstractEventLoop,
+                 thread: threading.Thread) -> None:
+        self.server = server
+        self._loop = loop
+        self._thread = thread
+        self._stopped = False
+
+    @classmethod
+    def start(cls, service: FairCliqueService, *,
+              startup_timeout: float = 10.0) -> "ServerHandle":
+        """Boot ``service`` on a fresh daemon thread; returns once bound."""
+        server = FairCliqueServer(service)
+        loop = asyncio.new_event_loop()
+        bound = threading.Event()
+        startup_error: list[BaseException] = []
+
+        def run() -> None:
+            asyncio.set_event_loop(loop)
+            try:
+                loop.run_until_complete(server.start())
+            except BaseException as error:  # surfaced to the caller below
+                startup_error.append(error)
+                bound.set()
+                return
+            bound.set()
+            loop.run_until_complete(server.serve_forever())
+            loop.close()
+
+        thread = threading.Thread(target=run, name="fairclique-server", daemon=True)
+        thread.start()
+        if not bound.wait(startup_timeout):
+            raise RuntimeError("server did not bind within the startup timeout")
+        if startup_error:
+            thread.join()
+            raise startup_error[0]
+        return cls(server, loop, thread)
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    @property
+    def address(self) -> str:
+        host = self.server.service.config.host
+        return f"http://{host}:{self.port}"
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Graceful shutdown from the hosting thread's outside (idempotent)."""
+        if self._stopped:
+            return
+        self._stopped = True
+        future = asyncio.run_coroutine_threadsafe(
+            self.server.shutdown(), self._loop
+        )
+        future.result(timeout)
+        self._thread.join(timeout)
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,118 @@
+"""JSON envelopes of the service tier.
+
+The per-object wire formats live on the objects themselves
+(:meth:`FairCliqueQuery.to_wire`, :meth:`SolveReport.to_wire`,
+:meth:`Incumbent.to_wire`, :meth:`QueryPlan.to_wire` — the satellite API of
+this subsystem).  What this module adds is the *request/response* layer the
+HTTP front-end speaks:
+
+* :func:`parse_json_body` / :func:`error_body` — body plumbing with uniform
+  ``{"error": ..., "status": ...}`` failures;
+* :func:`parse_query_request` — the ``{"graph": id, "query": {...},
+  "tier": name}`` envelope every query endpoint accepts;
+* :func:`graph_to_wire` / :func:`graph_from_wire` — an attributed graph as
+  plain data, used by ``POST /graphs/{id}`` uploads and the example client.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.api.query import FairCliqueQuery
+from repro.exceptions import ReproError
+from repro.graph.attributed_graph import AttributedGraph
+from repro.service.http import HTTPError
+
+
+def dumps(payload) -> bytes:
+    """Canonical one-line JSON bytes (sorted keys, trailing newline)."""
+    return (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+
+
+def error_body(status: int, message: str) -> bytes:
+    """The uniform error envelope every failing endpoint returns."""
+    return dumps({"error": message, "status": status})
+
+
+def parse_json_body(body: bytes) -> dict:
+    """Decode a request body as a JSON object, mapping failures to 400."""
+    if not body:
+        raise HTTPError(400, "request body must be a JSON object (got empty body)")
+    try:
+        payload = json.loads(body)
+    except json.JSONDecodeError as error:
+        raise HTTPError(400, f"request body is not valid JSON: {error}") from None
+    if not isinstance(payload, dict):
+        raise HTTPError(400, "request body must be a JSON object")
+    return payload
+
+
+def parse_query_request(body: bytes) -> tuple[str, FairCliqueQuery, str | None, dict]:
+    """Parse the query envelope: ``(graph_id, query, tier, raw_payload)``.
+
+    Library-level validation errors (unknown model, NaN time limit, …)
+    surface as 422 — the request was well-formed JSON describing an
+    unanswerable question, which is distinct from a 400 syntax failure.
+    """
+    payload = parse_json_body(body)
+    graph_id = payload.get("graph")
+    if not isinstance(graph_id, str) or not graph_id:
+        raise HTTPError(400, 'request needs a non-empty "graph" id string')
+    query_payload = payload.get("query")
+    if query_payload is None:
+        raise HTTPError(400, 'request needs a "query" object')
+    tier = payload.get("tier")
+    if tier is not None and not isinstance(tier, str):
+        raise HTTPError(400, '"tier" must be a string when given')
+    try:
+        query = FairCliqueQuery.from_wire(query_payload)
+    except ReproError as error:
+        raise HTTPError(422, f"invalid query: {error}") from None
+    return graph_id, query, tier, payload
+
+
+def graph_to_wire(graph: AttributedGraph) -> dict:
+    """An attributed graph as plain data (vertices with attributes + edges)."""
+    vertices = []
+    for vertex in sorted(graph.vertices(), key=str):
+        label = graph.label(vertex)
+        entry = [vertex, graph.attribute(vertex)]
+        if label != str(vertex):
+            entry.append(label)
+        vertices.append(entry)
+    edges = sorted(
+        (sorted((u, v), key=str) for u, v in graph.edges()),
+        key=lambda pair: (str(pair[0]), str(pair[1])),
+    )
+    return {"vertices": vertices, "edges": edges}
+
+
+def graph_from_wire(payload: dict) -> AttributedGraph:
+    """Rebuild an attributed graph from :func:`graph_to_wire` output.
+
+    Malformed structure maps to 400; graph-level violations (self-loops,
+    edges naming unknown vertices) map to 422.
+    """
+    if not isinstance(payload, dict):
+        raise HTTPError(400, "graph payload must be a JSON object")
+    vertices = payload.get("vertices")
+    edges = payload.get("edges", [])
+    if not isinstance(vertices, list) or not isinstance(edges, list):
+        raise HTTPError(400, 'graph payload needs "vertices" and "edges" arrays')
+    graph = AttributedGraph()
+    try:
+        for entry in vertices:
+            if not isinstance(entry, list) or len(entry) not in (2, 3):
+                raise HTTPError(
+                    400, f"vertex entries are [id, attribute] or "
+                         f"[id, attribute, label], got {entry!r}"
+                )
+            graph.add_vertex(entry[0], str(entry[1]),
+                             entry[2] if len(entry) == 3 else None)
+        for entry in edges:
+            if not isinstance(entry, list) or len(entry) != 2:
+                raise HTTPError(400, f"edge entries are [u, v], got {entry!r}")
+            graph.add_edge(entry[0], entry[1])
+    except ReproError as error:
+        raise HTTPError(422, f"invalid graph: {error}") from None
+    return graph

@@ -1,0 +1,59 @@
+"""Regression tests for ``FairCliqueQuery`` budget validation.
+
+A NaN ``time_limit`` used to slip through the ``<= 0`` check (every
+comparison with NaN is False) and poison deadline arithmetic deep in the
+search; infinities turned "bounded solve" into "run forever" while claiming
+a budget existed.  ``__post_init__`` now requires a positive *finite*
+number.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.api import FairCliqueQuery
+from repro.exceptions import InvalidParameterError
+
+
+def _query(**fields) -> FairCliqueQuery:
+    return FairCliqueQuery(model="relative", k=3, delta=1, **fields)
+
+
+class TestTimeLimitValidation:
+    @pytest.mark.parametrize("bad", [
+        float("nan"),
+        float("inf"),
+        float("-inf"),
+        0,
+        0.0,
+        -1,
+        -0.5,
+    ])
+    def test_non_finite_and_non_positive_rejected(self, bad):
+        with pytest.raises(InvalidParameterError,
+                           match="positive finite number"):
+            _query(time_limit=bad)
+
+    @pytest.mark.parametrize("bad", [True, False, "5", [5.0]])
+    def test_non_numeric_rejected(self, bad):
+        # bools are ints in Python — an explicit carve-out keeps
+        # time_limit=True from meaning "one second".
+        with pytest.raises(InvalidParameterError):
+            _query(time_limit=bad)
+
+    @pytest.mark.parametrize("good", [1, 0.001, 2.5, 3600])
+    def test_positive_finite_accepted(self, good):
+        assert _query(time_limit=good).time_limit == good
+
+    def test_none_means_unbounded(self):
+        assert _query().time_limit is None
+
+    def test_nan_rejected_on_the_wire_too(self):
+        # The service parses queries via from_wire, which re-validates.
+        with pytest.raises(InvalidParameterError):
+            FairCliqueQuery.from_wire({
+                "model": "relative", "k": 3, "delta": 1,
+                "time_limit": math.nan,
+            })

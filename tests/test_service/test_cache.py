@@ -1,0 +1,120 @@
+"""The cross-request result cache: keying, LRU bounds, invalidation."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.api import FairCliqueQuery
+from repro.exceptions import InvalidParameterError
+from repro.service.cache import ResultCache
+
+Q1 = FairCliqueQuery(model="relative", k=3, delta=1)
+Q2 = FairCliqueQuery(model="relative", k=3, delta=2)
+
+
+class TestKeying:
+    def test_hit_and_miss(self):
+        cache = ResultCache()
+        assert cache.get("g", 0, Q1) is None
+        cache.put("g", 0, Q1, {"size": 7})
+        assert cache.get("g", 0, Q1) == {"size": 7}
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_equal_queries_share_an_entry(self):
+        cache = ResultCache()
+        cache.put("g", 0, FairCliqueQuery(model="relative", k=3, delta=1),
+                  {"size": 7})
+        assert cache.get("g", 0, Q1) == {"size": 7}
+
+    def test_graph_version_separates_entries(self):
+        # Mutation-version keying is the whole invalidation story: the new
+        # version simply never matches the old entries.
+        cache = ResultCache()
+        cache.put("g", 0, Q1, {"size": 7})
+        assert cache.get("g", 1, Q1) is None
+
+    def test_graph_id_and_query_separate_entries(self):
+        cache = ResultCache()
+        cache.put("g", 0, Q1, {"size": 7})
+        assert cache.get("h", 0, Q1) is None
+        assert cache.get("g", 0, Q2) is None
+
+
+class TestBounds:
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            ResultCache(capacity=-1)
+
+    def test_zero_capacity_disables(self):
+        cache = ResultCache(capacity=0)
+        cache.put("g", 0, Q1, {"size": 7})
+        assert len(cache) == 0
+        assert cache.get("g", 0, Q1) is None
+
+    def test_lru_eviction(self):
+        cache = ResultCache(capacity=2)
+        queries = [FairCliqueQuery(model="weak", k=k) for k in (1, 2, 3)]
+        cache.put("g", 0, queries[0], {"k": 1})
+        cache.put("g", 0, queries[1], {"k": 2})
+        cache.get("g", 0, queries[0])            # touch: entry 1 becomes LRU
+        cache.put("g", 0, queries[2], {"k": 3})  # evicts entry for k=2
+        assert cache.get("g", 0, queries[0]) is not None
+        assert cache.get("g", 0, queries[1]) is None
+        assert cache.get("g", 0, queries[2]) is not None
+        assert cache.evictions == 1
+
+    def test_invalidate_drops_one_graph_only(self):
+        # Replacement invalidation: a re-uploaded graph can land on the
+        # same deterministic mutation version, so its id is purged outright.
+        cache = ResultCache()
+        cache.put("g", 0, Q1, {"size": 7})
+        cache.put("g", 0, Q2, {"size": 8})
+        cache.put("h", 0, Q1, {"size": 9})
+        assert cache.invalidate("g") == 2
+        assert cache.get("g", 0, Q1) is None
+        assert cache.get("h", 0, Q1) == {"size": 9}
+        assert cache.invalidations == 2
+        assert cache.invalidate("missing") == 0
+
+    def test_clear_keeps_counters(self):
+        cache = ResultCache()
+        cache.put("g", 0, Q1, {"size": 7})
+        cache.get("g", 0, Q1)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 1
+
+    def test_info_shape(self):
+        cache = ResultCache(capacity=16)
+        cache.put("g", 0, Q1, {"size": 7})
+        cache.get("g", 0, Q1)
+        cache.get("g", 0, Q2)
+        info = cache.info()
+        assert info["capacity"] == 16
+        assert info["entries"] == 1
+        assert info["hits"] == 1 and info["misses"] == 1
+        assert info["hit_rate"] == pytest.approx(0.5)
+
+
+class TestThreadSafety:
+    def test_concurrent_puts_and_gets(self):
+        cache = ResultCache(capacity=8)
+        queries = [FairCliqueQuery(model="weak", k=k) for k in range(1, 17)]
+        barrier = threading.Barrier(8)
+
+        def worker(seed: int) -> None:
+            barrier.wait()
+            for round_index in range(50):
+                query = queries[(seed + round_index) % len(queries)]
+                cache.put("g", 0, query, {"k": query.k})
+                found = cache.get("g", 0, query)
+                assert found is None or found == {"k": query.k}
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(cache) <= 8

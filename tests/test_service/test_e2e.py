@@ -1,0 +1,261 @@
+"""End-to-end: a live server answers exactly like an in-process session.
+
+The acceptance gate of the service PR: boot a real asyncio server on a
+real socket, drive it with the stdlib client, and check that ``solve``,
+``stream``, ``enumerate``, and ``explain`` are result-identical to calling
+``FairCliqueSession`` directly — for all four fairness models — plus the
+production trimmings (result cache, quota clamps, honest errors, graceful
+shutdown).
+
+Parity queries go through the ``unlimited`` tier so no quota clamp alters
+the question being compared.
+"""
+
+from __future__ import annotations
+
+import socket
+
+import pytest
+
+from repro.api import FairCliqueQuery, FairCliqueSession
+from repro.graph.builders import paper_example_graph
+from repro.service import (
+    FairCliqueService,
+    ServerHandle,
+    ServiceClient,
+    ServiceConfig,
+    ServiceError,
+)
+
+ALL_MODELS = ("relative", "weak", "strong", "multi_weak")
+
+
+def _query(model: str, k: int = 2, **extra) -> FairCliqueQuery:
+    delta = 1 if model == "relative" else None
+    return FairCliqueQuery(model=model, k=k, delta=delta, **extra)
+
+
+@pytest.fixture(scope="module")
+def server():
+    service = FairCliqueService(ServiceConfig(port=0, session_capacity=4))
+    service.add_graph("paper", paper_example_graph())
+    handle = ServerHandle.start(service)
+    try:
+        yield service, ServiceClient(handle.address)
+    finally:
+        handle.stop()
+
+
+@pytest.fixture(scope="module")
+def reference_session():
+    with FairCliqueSession(paper_example_graph()) as session:
+        yield session
+
+
+# --------------------------------------------------------------------------- #
+# Parity: every verb, every model, identical to the in-process session
+# --------------------------------------------------------------------------- #
+class TestParity:
+    @pytest.mark.parametrize("model", ALL_MODELS)
+    def test_solve_parity(self, server, reference_session, model):
+        _, client = server
+        query = _query(model)
+        remote = client.solve("paper", query, tier="unlimited")
+        local = reference_session.solve(query)
+        assert remote.size == local.size
+        assert remote.model == local.model
+        assert remote.k == local.k
+        assert remote.optimal == local.optimal
+        assert remote.attribute_counts == local.attribute_counts
+
+    @pytest.mark.parametrize("model", ALL_MODELS)
+    def test_stream_parity(self, server, reference_session, model):
+        _, client = server
+        query = _query(model)
+        events = list(client.stream("paper", query, tier="unlimited"))
+        assert events, "stream produced no events"
+        final = events[-1]
+        assert final.final and final.report is not None
+        assert final.report.size == reference_session.solve(query).size
+        # Incumbents only improve, and the final event caps them.
+        sizes = [event.size for event in events]
+        assert sizes == sorted(sizes)
+
+    @pytest.mark.parametrize("model", ALL_MODELS)
+    def test_enumerate_parity(self, server, reference_session, model):
+        _, client = server
+        query = _query(model, task="enumerate")
+        remote = set(client.enumerate("paper", query))
+        local = set(reference_session.enumerate(query))
+        assert remote == local
+
+    @pytest.mark.parametrize("model", ALL_MODELS)
+    def test_explain_parity(self, server, reference_session, model):
+        _, client = server
+        query = _query(model)
+        remote = client.explain("paper", query, tier="unlimited")
+        local = reference_session.explain(query)
+        assert remote.algorithm == local.algorithm
+        assert remote.reduction_stages == local.reduction_stages
+        assert remote.bound_stack == local.bound_stack
+        assert remote.admits == local.admits
+        assert remote.query == local.query
+
+    def test_enumerate_limit_truncates(self, server, reference_session):
+        _, client = server
+        query = _query("weak", k=1, task="enumerate")
+        total = len(set(reference_session.enumerate(query)))
+        assert total > 1, "fixture graph too small for a truncation test"
+        limited = list(client.enumerate("paper", query, limit=1))
+        assert len(limited) == 1
+
+
+# --------------------------------------------------------------------------- #
+# Production trimmings over the wire
+# --------------------------------------------------------------------------- #
+class TestTrimmings:
+    def test_result_cache_round_trip(self, server):
+        service, client = server
+        query = _query("relative", 3)
+        hits_before = service.result_cache.hits
+        first = client.solve_raw("paper", query, tier="unlimited")
+        second = client.solve_raw("paper", query, tier="unlimited")
+        assert first["cached"] is False or service.result_cache.hits > hits_before
+        assert second["cached"] is True
+        assert second["report"] == first["report"]
+
+    def test_tiers_split_cache_entries(self, server):
+        # The clamped query is the cache key: different tiers, different
+        # budgets, different entries.
+        _, client = server
+        query = _query("weak")
+        free = client.solve_raw("paper", query, tier="free")
+        unlimited = client.solve_raw("paper", query, tier="unlimited")
+        assert free["report"]["clique"] is not None
+        assert len(free["report"]["clique"]) == len(unlimited["report"]["clique"])
+        assert free["quota_clamped"] is not None
+        assert unlimited["quota_clamped"] is None
+
+    def test_quota_clamp_reported(self, server):
+        _, client = server
+        envelope = client.solve_raw(
+            "paper", _query("relative", time_limit=3600.0), tier="free"
+        )
+        clamp = envelope["quota_clamped"]["time_limit"]
+        assert clamp == {"requested": 3600.0, "granted": 5.0}
+
+    def test_unknown_graph_is_404(self, server):
+        _, client = server
+        with pytest.raises(ServiceError) as excinfo:
+            client.solve("nope", _query("weak"))
+        assert excinfo.value.status == 404
+
+    def test_invalid_query_is_422(self, server):
+        _, client = server
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("POST", "/solve", {
+                "graph": "paper", "query": {"model": "nope", "k": 2},
+            })
+        assert excinfo.value.status == 422
+
+    def test_unknown_tier_is_422(self, server):
+        _, client = server
+        with pytest.raises(ServiceError) as excinfo:
+            client.solve("paper", _query("weak"), tier="platinum")
+        assert excinfo.value.status == 422
+
+    def test_unknown_endpoint_is_404(self, server):
+        _, client = server
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("GET", "/teapot")
+        assert excinfo.value.status == 404
+
+    def test_malformed_body_is_400(self, server):
+        _, client = server
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("POST", "/solve", {"graph": "paper"})
+        assert excinfo.value.status == 400
+
+    def test_upload_then_solve_and_reupload_invalidates(self, server):
+        service, client = server
+        graph = paper_example_graph()
+        client.upload_graph("uploaded", graph)
+        assert "uploaded" in client.graphs()
+        query = _query("weak")
+        first = client.solve_raw("uploaded", query, tier="unlimited")
+        cached = client.solve_raw("uploaded", query, tier="unlimited")
+        assert cached["cached"] is True
+        # Re-uploading bumps the stored graph object: the stale session is
+        # closed and the result cache stops matching.
+        client.upload_graph("uploaded", paper_example_graph())
+        after = client.solve_raw("uploaded", query, tier="unlimited")
+        assert after["cached"] is False
+        assert after["report"]["clique"] == first["report"]["clique"]
+
+    def test_healthz_and_metrics(self, server):
+        _, client = server
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert "paper" in health["graphs"]
+        metrics = client.metrics()
+        assert metrics["http"]["requests_total"] >= 1
+        assert metrics["sessions"]["open_sessions"] >= 1
+        assert metrics["result_cache"]["hits"] >= 1
+        assert "POST /solve" in metrics["http"]["latency_by_endpoint"]
+
+    def test_sse_stream_format(self, server):
+        import http.client
+        import json
+
+        service, client = server
+        connection = http.client.HTTPConnection(client.host, client.port,
+                                                timeout=30)
+        try:
+            body = json.dumps({
+                "graph": "paper", "tier": "unlimited",
+                "query": _query("relative").to_wire(),
+            })
+            connection.request("POST", "/stream", body=body, headers={
+                "Content-Type": "application/json",
+                "Accept": "text/event-stream",
+            })
+            response = connection.getresponse()
+            assert response.status == 200
+            assert response.getheader("Content-Type") == "text/event-stream"
+            payload = response.read().decode()
+        finally:
+            connection.close()
+        events = [json.loads(line[len("data: "):])
+                  for line in payload.splitlines() if line.startswith("data: ")]
+        assert events and events[-1]["final"]
+
+
+class TestShutdown:
+    def test_graceful_stop_refuses_new_connections(self):
+        service = FairCliqueService(ServiceConfig(port=0))
+        service.add_graph("paper", paper_example_graph())
+        handle = ServerHandle.start(service)
+        client = ServiceClient(handle.address)
+        port = handle.port
+        assert client.solve("paper", _query("weak")).size >= 1
+        handle.stop()
+        handle.stop()                   # idempotent
+        assert service.draining
+        with pytest.raises(OSError):
+            socket.create_connection(("127.0.0.1", port), timeout=1).close()
+
+    def test_draining_service_answers_503(self):
+        # The drain gate itself (the listener closes before this matters in
+        # production, but in-flight connections can still race the flag).
+        service = FairCliqueService(ServiceConfig(port=0))
+        service.add_graph("paper", paper_example_graph())
+        handle = ServerHandle.start(service)
+        client = ServiceClient(handle.address)
+        service.draining = True
+        try:
+            with pytest.raises(ServiceError) as excinfo:
+                client.solve("paper", _query("weak"))
+            assert excinfo.value.status == 503
+        finally:
+            service.draining = False
+            handle.stop()

@@ -1,0 +1,113 @@
+"""The minimal HTTP/1.1 layer: request parsing, limits, response framing."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.service.http import (
+    MAX_BODY_BYTES,
+    HTTPError,
+    HTTPRequest,
+    read_request,
+)
+
+
+def _parse(raw: bytes):
+    """Run ``read_request`` against an in-memory stream."""
+    async def scenario():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader)
+
+    return asyncio.run(scenario())
+
+
+def _request(method: str = "GET", target: str = "/healthz",
+             headers: dict | None = None, body: bytes = b"") -> bytes:
+    lines = [f"{method} {target} HTTP/1.1"]
+    for name, value in (headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode() + body
+
+
+class TestParsing:
+    def test_simple_get(self):
+        request = _parse(_request())
+        assert request.method == "GET"
+        assert request.path == "/healthz"
+        assert request.segments == ("healthz",)
+        assert request.body == b""
+
+    def test_clean_eof_returns_none(self):
+        assert _parse(b"") is None
+
+    def test_post_with_body(self):
+        body = b'{"graph": "g"}'
+        request = _parse(_request(
+            "POST", "/solve",
+            {"Content-Type": "application/json", "Content-Length": len(body)},
+            body,
+        ))
+        assert request.method == "POST"
+        assert request.body == body
+        assert request.header("content-type") == "application/json"
+
+    def test_query_params_and_percent_decoding(self):
+        request = _parse(_request("POST", "/stream?format=sse&x=a%20b"))
+        assert request.params == {"format": "sse", "x": "a b"}
+        assert request.path == "/stream"
+
+    def test_header_names_case_insensitive(self):
+        request = _parse(_request(headers={"ACCEPT": "text/event-stream"}))
+        assert request.header("Accept") == "text/event-stream"
+        assert request.header("accept") == "text/event-stream"
+        assert request.header("missing", "fallback") == "fallback"
+
+    def test_segments_drop_empties(self):
+        assert HTTPRequest("GET", "/graphs/g1/").segments == ("graphs", "g1")
+        assert HTTPRequest("GET", "/").segments == ()
+
+    def test_method_uppercased(self):
+        assert _parse(_request(method="post", target="/solve")).method == "POST"
+
+
+class TestRejections:
+    def _status(self, raw: bytes) -> int:
+        with pytest.raises(HTTPError) as excinfo:
+            _parse(raw)
+        return excinfo.value.status
+
+    def test_truncated_head(self):
+        assert self._status(b"GET /healthz HTTP/1.1\r\n") == 400
+
+    def test_malformed_request_line(self):
+        assert self._status(b"GET/healthz\r\n\r\n") == 400
+
+    def test_wrong_protocol(self):
+        assert self._status(b"GET / SPDY/3\r\n\r\n") == 400
+
+    def test_malformed_header_line(self):
+        assert self._status(
+            b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n"
+        ) == 400
+
+    def test_bad_content_length(self):
+        assert self._status(_request(headers={"Content-Length": "banana"})) == 400
+
+    def test_oversized_body_rejected_without_reading_it(self):
+        assert self._status(_request(
+            headers={"Content-Length": MAX_BODY_BYTES + 1}
+        )) == 413
+
+    def test_body_shorter_than_content_length(self):
+        assert self._status(_request(
+            "POST", "/solve", {"Content-Length": 100}, b"short"
+        )) == 400
+
+    def test_chunked_requests_unsupported(self):
+        assert self._status(_request(
+            "POST", "/solve", {"Transfer-Encoding": "chunked"}
+        )) == 400

@@ -1,0 +1,181 @@
+"""Latency histograms, request counters, and the admission gate."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.service.admission import AdmissionController, ServiceOverloadedError
+from repro.service.executor import InlineBackend, ThreadPoolBackend
+from repro.service.metrics import LatencyHistogram, ServiceMetrics
+
+
+class TestLatencyHistogram:
+    def test_empty_snapshot(self):
+        snapshot = LatencyHistogram().snapshot()
+        assert snapshot["count"] == 0
+        assert snapshot["p50_seconds"] == 0.0
+        assert snapshot["mean_seconds"] == 0.0
+
+    def test_percentile_is_bucket_upper_bound(self):
+        histogram = LatencyHistogram()
+        for _ in range(100):
+            histogram.observe(0.003)          # falls into the (0.0025, 0.005] bucket
+        assert histogram.percentile(0.50) == 0.005
+        assert histogram.percentile(0.99) == 0.005
+
+    def test_overflow_bucket_reports_max(self):
+        histogram = LatencyHistogram()
+        histogram.observe(120.0)              # beyond the last bound
+        assert histogram.percentile(0.99) == 120.0
+        assert histogram.snapshot()["max_seconds"] == 120.0
+
+    def test_p99_separates_tail(self):
+        histogram = LatencyHistogram()
+        for _ in range(99):
+            histogram.observe(0.0005)
+        histogram.observe(4.0)
+        assert histogram.percentile(0.50) == 0.001
+        assert histogram.percentile(0.99) == 0.001
+        assert histogram.percentile(1.0) == 5.0
+
+    def test_counters(self):
+        histogram = LatencyHistogram()
+        histogram.observe(0.1)
+        histogram.observe(0.3)
+        snapshot = histogram.snapshot()
+        assert snapshot["count"] == 2
+        assert snapshot["sum_seconds"] == pytest.approx(0.4)
+        assert snapshot["mean_seconds"] == pytest.approx(0.2)
+
+
+class TestServiceMetrics:
+    def test_snapshot_shape(self):
+        metrics = ServiceMetrics()
+        metrics.observe("POST /solve", 200, 0.02)
+        metrics.observe("POST /solve", 200, 0.04)
+        metrics.observe("GET /healthz", 404, 0.001)
+        snapshot = metrics.snapshot()
+        assert snapshot["requests_total"] == 3
+        assert snapshot["requests_by_endpoint"] == {
+            "GET /healthz": 1, "POST /solve": 2,
+        }
+        assert snapshot["responses_by_status"] == {"200": 2, "404": 1}
+        assert snapshot["latency_by_endpoint"]["POST /solve"]["count"] == 2
+
+
+class TestAdmissionController:
+    def test_parameter_validation(self):
+        with pytest.raises(InvalidParameterError):
+            AdmissionController(max_in_flight=0)
+        with pytest.raises(InvalidParameterError):
+            AdmissionController(max_queue_depth=-1)
+
+    def test_serial_admission(self):
+        async def scenario():
+            gate = AdmissionController(max_in_flight=2, max_queue_depth=0)
+            async with gate:
+                assert gate.in_flight == 1
+            assert gate.in_flight == 0
+            assert gate.admitted_total == 1
+            return gate.info()
+
+        info = asyncio.run(scenario())
+        assert info["rejected_total"] == 0
+
+    def test_overflow_rejected_with_429_semantics(self):
+        async def scenario():
+            gate = AdmissionController(max_in_flight=1, max_queue_depth=0)
+            release = asyncio.Event()
+
+            async def occupant():
+                async with gate:
+                    await release.wait()
+
+            task = asyncio.create_task(occupant())
+            await asyncio.sleep(0)            # let the occupant take the slot
+            with pytest.raises(ServiceOverloadedError, match="at capacity"):
+                async with gate:
+                    pass
+            release.set()
+            await task
+            return gate.info()
+
+        info = asyncio.run(scenario())
+        assert info["rejected_total"] == 1
+        assert info["admitted_total"] == 1
+        assert info["in_flight"] == 0
+
+    def test_queue_absorbs_burst_up_to_depth(self):
+        async def scenario():
+            gate = AdmissionController(max_in_flight=1, max_queue_depth=1)
+            release = asyncio.Event()
+            order: list[str] = []
+
+            async def worker(name: str):
+                async with gate:
+                    order.append(name)
+                    await release.wait()
+
+            first = asyncio.create_task(worker("first"))
+            await asyncio.sleep(0)
+            second = asyncio.create_task(worker("second"))   # queues
+            await asyncio.sleep(0)
+            assert gate.queued == 1
+            with pytest.raises(ServiceOverloadedError):      # queue full
+                async with gate:
+                    pass
+            release.set()
+            await asyncio.gather(first, second)
+            return order, gate.info()
+
+        order, info = asyncio.run(scenario())
+        assert order == ["first", "second"]
+        assert info["admitted_total"] == 2
+        assert info["rejected_total"] == 1
+
+    def test_drain_waits_for_in_flight(self):
+        async def scenario():
+            gate = AdmissionController(max_in_flight=2, max_queue_depth=2)
+
+            async def occupant():
+                async with gate:
+                    await asyncio.sleep(0.05)
+
+            task = asyncio.create_task(occupant())
+            await asyncio.sleep(0)
+            assert gate.in_flight == 1
+            await gate.drain(poll_seconds=0.005)
+            assert gate.in_flight == 0
+            await task
+
+        asyncio.run(scenario())
+
+
+class TestExecutorBackends:
+    def test_thread_pool_backend_runs_and_reports(self):
+        backend = ThreadPoolBackend(max_workers=2)
+        try:
+            assert backend.submit(lambda: 6 * 7).result(timeout=5) == 42
+            assert backend.info() == {"backend": "thread_pool", "max_workers": 2}
+        finally:
+            backend.shutdown()
+
+    def test_thread_pool_backend_propagates_exceptions(self):
+        backend = ThreadPoolBackend(max_workers=1)
+        try:
+            future = backend.submit(lambda: 1 / 0)
+            with pytest.raises(ZeroDivisionError):
+                future.result(timeout=5)
+        finally:
+            backend.shutdown()
+
+    def test_inline_backend_is_synchronous(self):
+        backend = InlineBackend()
+        calls: list[int] = []
+        future = backend.submit(calls.append, 1)
+        assert calls == [1]                   # ran before submit returned
+        assert future.done()
+        backend.shutdown()

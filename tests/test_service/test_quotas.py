@@ -1,0 +1,104 @@
+"""Quota tiers: budget clamping per request class, honestly reported."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import FairCliqueQuery
+from repro.exceptions import InvalidParameterError
+from repro.service.quotas import QuotaPolicy, QuotaTier, default_tiers
+
+TIER = QuotaTier("test", max_time_limit=5.0, max_branch_limit=1000,
+                 max_workers=2)
+
+
+class TestClamp:
+    def test_missing_time_limit_becomes_ceiling(self):
+        # No tier with a ceiling grants "run forever" by omission.
+        query = FairCliqueQuery(model="relative", k=3, delta=1)
+        clamped, changes = TIER.clamp(query)
+        assert clamped.time_limit == 5.0
+        assert changes["time_limit"] == {"requested": None, "granted": 5.0}
+
+    def test_over_budget_time_limit_clamped(self):
+        query = FairCliqueQuery(model="weak", k=2, time_limit=3600.0)
+        clamped, changes = TIER.clamp(query)
+        assert clamped.time_limit == 5.0
+        assert changes["time_limit"]["requested"] == 3600.0
+
+    def test_under_budget_time_limit_untouched(self):
+        query = FairCliqueQuery(model="weak", k=2, time_limit=1.0)
+        clamped, changes = TIER.clamp(query)
+        assert clamped.time_limit == 1.0
+        assert "time_limit" not in changes
+
+    def test_branch_limit_clamped_for_exact_engine(self):
+        query = FairCliqueQuery(model="weak", k=2, time_limit=1.0,
+                                options={"branch_limit": 10_000_000})
+        clamped, changes = TIER.clamp(query)
+        assert clamped.options["branch_limit"] == 1000
+        assert changes["branch_limit"]["requested"] == 10_000_000
+
+    def test_branch_limit_not_forced_on_other_engines(self):
+        # branch_limit is an exact-engine option; the heuristic engine would
+        # reject it as unknown.
+        query = FairCliqueQuery(model="weak", k=2, engine="heuristic",
+                                time_limit=1.0)
+        clamped, changes = TIER.clamp(query)
+        assert "branch_limit" not in clamped.options
+        assert "branch_limit" not in changes
+
+    def test_enumeration_takes_no_budgets(self):
+        # validate_task rejects time_limit/options on enumeration tasks, so
+        # the clamp must not inject them.
+        query = FairCliqueQuery(model="weak", k=2, task="enumerate")
+        clamped, changes = TIER.clamp(query)
+        assert clamped.time_limit is None
+        assert not clamped.options
+        assert "time_limit" not in changes and "branch_limit" not in changes
+
+    def test_workers_clamped(self):
+        query = FairCliqueQuery(model="weak", k=2, time_limit=1.0,
+                                options={"branch_limit": 10}, workers=16)
+        clamped, changes = TIER.clamp(query)
+        assert clamped.workers == 2
+        assert changes["workers"] == {"requested": 16, "granted": 2}
+
+    def test_unlimited_tier_is_identity(self):
+        query = FairCliqueQuery(model="relative", k=3, delta=1, workers=64)
+        clamped, changes = QuotaTier("unlimited").clamp(query)
+        assert clamped is query
+        assert changes == {}
+
+    def test_clamped_query_still_validates(self):
+        # replace() bypasses nothing: the result is a real, valid query.
+        query = FairCliqueQuery(model="relative", k=3, delta=1)
+        clamped, _ = TIER.clamp(query)
+        assert FairCliqueQuery.from_wire(clamped.to_wire()) == clamped
+
+
+class TestPolicy:
+    def test_default_ladder(self):
+        tiers = default_tiers()
+        assert set(tiers) == {"free", "standard", "unlimited"}
+        assert tiers["free"].max_time_limit < tiers["standard"].max_time_limit
+        assert tiers["unlimited"].max_time_limit is None
+
+    def test_none_resolves_default(self):
+        policy = QuotaPolicy(default="free")
+        assert policy.tier(None).name == "free"
+        assert policy.tier("standard").name == "standard"
+
+    def test_unknown_tier_rejected(self):
+        policy = QuotaPolicy()
+        with pytest.raises(InvalidParameterError, match="unknown quota tier"):
+            policy.tier("platinum")
+
+    def test_unknown_default_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            QuotaPolicy(default="platinum")
+
+    def test_info_shape(self):
+        info = QuotaPolicy().info()
+        assert info["default"] == "standard"
+        assert info["tiers"]["free"]["max_time_limit"] == 5.0

@@ -1,0 +1,195 @@
+"""Session registry lifecycle: LRU eviction, staleness, idempotent close.
+
+The satellite contract: eviction **closes** the evicted session (its batch
+pool included), a graph that mutated under a session invalidates it
+transparently, and ``close()`` is idempotent — plus thread-safety smoke for
+the racy paths a worker-thread backend actually exercises.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.api import FairCliqueQuery, FairCliqueSession
+from repro.exceptions import InvalidParameterError
+from repro.graph.builders import from_edge_list, paper_example_graph
+from repro.service.registry import SessionRegistry, UnknownGraphError
+
+
+def _graph(tag: int = 0):
+    return from_edge_list(
+        [(1, 2), (2, 3), (1, 3)], {1: "a", 2: "a", 3: "b"}
+    ) if tag == 0 else paper_example_graph()
+
+
+QUERY = FairCliqueQuery(model="weak", k=1)
+
+
+class TestGraphManagement:
+    def test_unknown_graph_raises(self):
+        registry = SessionRegistry()
+        with pytest.raises(UnknownGraphError, match="unknown graph id"):
+            registry.graph("nope")
+        with pytest.raises(UnknownGraphError):
+            registry.session("nope")
+
+    def test_empty_graph_id_rejected(self):
+        registry = SessionRegistry()
+        with pytest.raises(InvalidParameterError):
+            registry.add_graph("", _graph())
+
+    def test_replace_graph_closes_stale_session(self):
+        registry = SessionRegistry()
+        registry.add_graph("g", _graph())
+        session = registry.session("g")
+        registry.add_graph("g", _graph(1))
+        assert session._closed
+        fresh = registry.session("g")
+        assert fresh is not session
+        assert fresh.graph is registry.graph("g")
+
+    def test_remove_graph_closes_session(self):
+        registry = SessionRegistry()
+        registry.add_graph("g", _graph())
+        session = registry.session("g")
+        registry.remove_graph("g")
+        assert session._closed
+        with pytest.raises(UnknownGraphError):
+            registry.session("g")
+
+
+class TestLRUEviction:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(InvalidParameterError):
+            SessionRegistry(capacity=0)
+
+    def test_eviction_closes_lru_session(self):
+        registry = SessionRegistry(capacity=2)
+        for name in ("a", "b", "c"):
+            registry.add_graph(name, _graph())
+        first = registry.session("a")
+        second = registry.session("b")
+        third = registry.session("c")       # evicts "a"
+        assert first._closed
+        assert not second._closed and not third._closed
+        assert registry.open_session_ids() == ["b", "c"]
+        assert registry.telemetry["sessions_evicted"] == 1
+        assert registry.telemetry["sessions_opened"] == 3
+
+    def test_use_refreshes_lru_order(self):
+        registry = SessionRegistry(capacity=2)
+        for name in ("a", "b", "c"):
+            registry.add_graph(name, _graph())
+        session_a = registry.session("a")
+        registry.session("b")
+        registry.session("a")               # touch: "b" is now the LRU entry
+        registry.session("c")               # evicts "b", not "a"
+        assert registry.open_session_ids() == ["a", "c"]
+        assert not session_a._closed
+
+    def test_evicted_graph_reopens_fresh(self):
+        registry = SessionRegistry(capacity=1)
+        registry.add_graph("a", _graph())
+        registry.add_graph("b", _graph())
+        first = registry.session("a")
+        registry.session("b")
+        reopened = registry.session("a")
+        assert first._closed
+        assert reopened is not first
+        assert reopened.solve(QUERY).size >= 1
+
+
+class TestStaleInvalidation:
+    def test_mutated_graph_invalidates_session(self):
+        registry = SessionRegistry()
+        graph = paper_example_graph()
+        registry.add_graph("g", graph)
+        stale = registry.session("g")
+        assert stale.solve(QUERY).size >= 1
+        graph.add_vertex("zz", "a")         # mutate under the session
+        fresh = registry.session("g")
+        assert fresh is not stale
+        assert stale._closed
+        assert fresh.graph_version == graph.version
+        assert registry.telemetry["sessions_invalidated"] == 1
+        # The replacement actually answers (the stale one would have raised).
+        assert fresh.solve(QUERY).size >= 1
+
+    def test_unmutated_graph_reuses_session(self):
+        registry = SessionRegistry()
+        registry.add_graph("g", _graph())
+        assert registry.session("g") is registry.session("g")
+        assert registry.telemetry["sessions_opened"] == 1
+        assert registry.telemetry["sessions_invalidated"] == 0
+
+
+class TestClose:
+    def test_close_closes_all_sessions_and_is_idempotent(self):
+        registry = SessionRegistry()
+        registry.add_graph("a", _graph())
+        registry.add_graph("b", _graph(1))
+        sessions = [registry.session("a"), registry.session("b")]
+        registry.close()
+        registry.close()                    # second close: no-op, no raise
+        assert all(session._closed for session in sessions)
+        assert registry.open_session_ids() == []
+
+    def test_closed_registry_refuses_use(self):
+        registry = SessionRegistry()
+        registry.add_graph("g", _graph())
+        registry.close()
+        with pytest.raises(InvalidParameterError, match="closed"):
+            registry.session("g")
+        with pytest.raises(InvalidParameterError, match="closed"):
+            registry.add_graph("h", _graph())
+
+    def test_context_manager_closes(self):
+        with SessionRegistry() as registry:
+            registry.add_graph("g", _graph())
+            session = registry.session("g")
+        assert session._closed
+
+    def test_session_close_is_idempotent_and_concurrent(self):
+        # Satellite 2/4 seam: an evicting registry may race a direct close.
+        session = FairCliqueSession(_graph(1))
+        session.solve(QUERY)
+        threads = [threading.Thread(target=session.close) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert session._closed
+
+
+class TestConcurrency:
+    def test_racing_lookups_open_one_session(self):
+        registry = SessionRegistry()
+        registry.add_graph("g", paper_example_graph())
+        barrier = threading.Barrier(8)
+        seen: list[FairCliqueSession] = []
+
+        def lookup() -> None:
+            barrier.wait()
+            seen.append(registry.session("g"))
+
+        threads = [threading.Thread(target=lookup) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(set(map(id, seen))) == 1
+        assert registry.telemetry["sessions_opened"] == 1
+
+    def test_info_snapshot_shape(self):
+        registry = SessionRegistry(capacity=4)
+        registry.add_graph("g", paper_example_graph())
+        session = registry.session("g")
+        session.solve(QUERY)
+        info = registry.info()
+        assert info["capacity"] == 4
+        assert info["graphs"] == 1
+        assert info["open_sessions"] == 1
+        assert "g" in info["sessions"]
+        assert info["sessions_opened"] == 1
