@@ -25,6 +25,12 @@ Three suites share this driver:
   (sessions warm, result cache cleared), and *cached* (result-cache hits,
   asserted > 0).  It writes queries/sec and client-side p50/p99 latency per
   pass to ``benchmarks/results/BENCH_service.json``.
+* ``--suite chaos`` times the same solve twice — once with fault injection
+  disabled (``maybe_fire`` is a single ``is None`` check) and once under an
+  *inert* armed plan whose only spec can never match — and writes the
+  plain/armed wall-clock and their ratio to
+  ``benchmarks/results/BENCH_chaos.json``.  The gate asserts the hooks stay
+  free: an armed-but-idle plan must not slow the solver down.
 
 Every search cell asserts *result parity* (kernel vs dict: same clique and
 branch counters; serial vs parallel: same optimal size and a verified fair
@@ -45,6 +51,8 @@ Usage::
         --check benchmarks/results/BENCH_session_smoke_baseline.json
     PYTHONPATH=src python benchmarks/run_bench.py --suite service --smoke \
         --check benchmarks/results/BENCH_service_smoke_baseline.json
+    PYTHONPATH=src python benchmarks/run_bench.py --suite chaos --smoke \
+        --check benchmarks/results/BENCH_chaos_smoke_baseline.json
 
 ``--check`` compares the freshly measured median speedup (a same-machine
 ratio — kernel vs dict, or parallel vs serial — so the gate is
@@ -65,7 +73,7 @@ import sys
 import time
 from pathlib import Path
 
-from repro.api import FairCliqueSession, query_grid
+from repro.api import FairCliqueQuery, FairCliqueSession, query_grid, solve
 from repro.bounds.base import make_context
 from repro.bounds.stacks import get_stack
 from repro.graph.attributed_graph import AttributedGraph
@@ -80,6 +88,7 @@ from repro.kernel.view import SubgraphView
 from repro.models import make_model
 from repro.parallel import ParallelConfig, ParallelMaxRFC
 from repro.reduction.pipeline import ReductionPipeline
+from repro.resilience.faults import FaultPlan, FaultSpec, fault_injection
 from repro.search.maxrfc import MaxRFC, build_search_config
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -87,12 +96,14 @@ SCHEMA = "bench_kernel/v1"
 PARALLEL_SCHEMA = "bench_parallel/v1"
 SESSION_SCHEMA = "bench_session/v1"
 SERVICE_SCHEMA = "bench_service/v1"
+CHAOS_SCHEMA = "bench_chaos/v1"
 #: schema -> the medians key the --check gate compares.
 CHECK_KEYS = {
     SCHEMA: "search_speedup",
     PARALLEL_SCHEMA: "parallel_speedup",
     SESSION_SCHEMA: "session_speedup",
     SERVICE_SCHEMA: "service_speedup",
+    CHAOS_SCHEMA: "chaos_speedup",
 }
 
 
@@ -271,6 +282,119 @@ def service_smoke_grid():
                                            seed=3),
          ("relative", "weak"), (2, 3), (0, 1)),
     ]
+
+
+def chaos_full_grid():
+    """Solve cells for the fault-hook overhead suite.
+
+    The timed unit is the full :func:`repro.api.solve` path — reductions,
+    heuristic seed, kernel search — because that is the path the seams
+    thread through.  One cell runs the parallel executor so the worker-side
+    seams (``pool.submit``, ``worker.init``, ``shard.run``) are crossed
+    under the armed plan too.
+    """
+    empty = erdos_renyi_graph(0, 0.0)
+    return [
+        ("community-dense", community_graph(20, 100, intra_probability=0.35,
+                                            inter_edges=4, seed=8), 2, 1, 1),
+        ("powerlaw", powerlaw_cluster_graph(2000, 8, 0.6, seed=4), 2, 1, 1),
+        ("blobs-parallel", quasi_clique_blobs(empty, num_blobs=6, blob_size=80,
+                                              edge_probability=0.5, seed=5),
+         2, 1, 2),
+    ]
+
+
+def chaos_smoke_grid():
+    """A seconds-sized serial grid for the CI chaos overhead gate."""
+    return [
+        ("community-dense", community_graph(6, 60, intra_probability=0.4,
+                                            inter_edges=3, seed=8), 2, 1, 1),
+        ("powerlaw-500", powerlaw_cluster_graph(500, 8, 0.6, seed=4), 2, 1, 1),
+    ]
+
+
+def bench_chaos(graph, k, delta, repeats, workers):
+    """Median solve seconds, fault hooks disabled vs an inert armed plan.
+
+    The armed pass installs a plan whose single spec can never match (an
+    impossible reduction stage name), so every seam the solve crosses pays
+    the full active-plan bookkeeping — lock, context match, counter — yet
+    no fault ever fires.  The pass must return the identical answer, and
+    the plan's fired counter must still read zero afterwards.
+    """
+    inert = FaultPlan(specs=(FaultSpec(
+        point="reduction.stage", action="raise",
+        when={"stage": "__inert__"}, times=None,
+    ),), seed=0)
+    query = FairCliqueQuery(model="relative", k=k, delta=delta, workers=workers)
+    timings = {}
+    sizes = {}
+    for label in ("plain", "armed"):
+        samples = []
+        for _ in range(repeats):
+            if label == "armed":
+                with fault_injection(inert):
+                    started = time.monotonic()
+                    report = solve(graph, query)
+                    samples.append(time.monotonic() - started)
+            else:
+                started = time.monotonic()
+                report = solve(graph, query)
+                samples.append(time.monotonic() - started)
+        timings[label] = median_of(samples)
+        sizes[label] = report.size
+    if sizes["plain"] != sizes["armed"]:
+        raise AssertionError(
+            f"inert plan changed the answer: {sizes}"
+        )
+    fired = sum(inert.fired.values())
+    if fired:
+        raise AssertionError(
+            f"inert plan fired {fired} time(s); the spec must never match"
+        )
+    return {
+        "plain_s": timings["plain"],
+        "armed_s": timings["armed"],
+        "speedup": timings["plain"] / max(timings["armed"], 1e-9),
+        "clique_size": sizes["plain"],
+        "plan_fired": fired,
+    }
+
+
+def run_chaos(mode: str, repeats: int) -> dict:
+    grid = chaos_smoke_grid() if mode == "smoke" else chaos_full_grid()
+    cells = []
+    for name, graph, k, delta, workers in grid:
+        print(f"[bench] {name}: n={graph.num_vertices} m={graph.num_edges} "
+              f"k={k} delta={delta} workers={workers}", flush=True)
+        cell = {
+            "name": name,
+            "n": graph.num_vertices,
+            "m": graph.num_edges,
+            "k": k,
+            "delta": delta,
+            "workers": workers,
+            **bench_chaos(graph, k, delta, repeats, workers),
+        }
+        print(f"        plain {cell['plain_s']:.3f}s  "
+              f"armed {cell['armed_s']:.3f}s  x{cell['speedup']:.2f}",
+              flush=True)
+        cells.append(cell)
+    medians = {
+        "plain_s": median_of([cell["plain_s"] for cell in cells]),
+        "armed_s": median_of([cell["armed_s"] for cell in cells]),
+        "chaos_speedup": median_of([cell["speedup"] for cell in cells]),
+    }
+    return {
+        "schema": CHAOS_SCHEMA,
+        "mode": mode,
+        "repeats": repeats,
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cells": cells,
+        "medians": medians,
+    }
 
 
 def median_of(runs):
@@ -744,11 +868,13 @@ def check_against_baseline(report: dict, baseline_path: Path, tolerance: float) 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--suite",
-                        choices=("kernel", "parallel", "session", "service"),
+                        choices=("kernel", "parallel", "session", "service",
+                                 "chaos"),
                         default="kernel",
                         help="kernel-vs-dict hot paths, serial-vs-parallel "
-                             "search, cold-vs-warm session caching, or the "
-                             "HTTP service tier (cold/warm/result-cached)")
+                             "search, cold-vs-warm session caching, the "
+                             "HTTP service tier (cold/warm/result-cached), "
+                             "or the fault-hook overhead check")
     parser.add_argument("--smoke", action="store_true",
                         help="run the small CI grid instead of the full one")
     parser.add_argument("--repeats", type=int, default=3,
@@ -784,6 +910,10 @@ def main(argv=None) -> int:
         report = run_service(mode, max(1, args.repeats), args.client_threads)
         default_name = ("BENCH_service_smoke.json" if args.smoke
                         else "BENCH_service.json")
+    elif args.suite == "chaos":
+        report = run_chaos(mode, max(1, args.repeats))
+        default_name = ("BENCH_chaos_smoke.json" if args.smoke
+                        else "BENCH_chaos.json")
     else:
         report = run(mode, max(1, args.repeats))
         default_name = ("BENCH_kernel_smoke.json" if args.smoke

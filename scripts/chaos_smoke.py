@@ -1,0 +1,214 @@
+#!/usr/bin/env python3
+"""CI chaos smoke: a real server under an armed fault plan stays correct.
+
+This drives the deployment path (``repro serve`` in a subprocess) with
+``REPRO_FAULT_PLAN`` set, so every resilience layer is exercised where it
+actually runs — forked pool workers, the asyncio connection handler, the
+per-graph breaker board — not just in-process test doubles::
+
+    PYTHONPATH=src python scripts/chaos_smoke.py
+
+Scenarios (any failure exits non-zero):
+
+1. **Worker kill mid-solve**: the plan hard-kills (``os._exit``) the worker
+   executing shard 0's first attempt.  A ``workers=2`` solve must still
+   return exactly the serial answer, with ``pool_respawns >= 1`` and
+   ``shards_retried >= 1`` in the report's parallel telemetry.
+2. **Circuit breaker**: the ``poison`` graph's solves crash twice → two
+   500s → the threshold-2 breaker opens (503 + ``Retry-After``), /healthz
+   reports ``degraded``; after the reset window the half-open probe
+   succeeds (the fault budget is spent) and the breaker closes.
+3. **Graceful degradation**: the ``flaky`` graph crashes on every exact
+   solve, but ``allow_degraded`` requests get the heuristic answer flagged
+   ``degraded: true`` instead of a 500.
+4. **Dropped connection mid-stream**: the plan severs the stream before its
+   second event; the server counts the disconnect, keeps serving.
+5. Resilience counters on ``/metrics`` all moved; SIGINT drains exit 0.
+"""
+
+from __future__ import annotations
+
+import signal
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+sys.path.insert(0, str(SRC))
+
+from repro.api import FairCliqueQuery                    # noqa: E402
+from repro.graph.generators import community_graph       # noqa: E402
+from repro.resilience.faults import ENV_PLAN, FaultPlan  # noqa: E402
+from repro.service import ServiceClient, ServiceError    # noqa: E402
+
+QUERY = FairCliqueQuery(model="relative", k=2, delta=1)
+
+#: The full chaos plan the server boots with.  Counters are per process:
+#: the kill spec matches (shard 0, attempt 1) by *context*, so the retry
+#: passes no matter which worker inherits which counter.
+PLAN = FaultPlan(specs=(
+    {"point": "shard.run", "action": "kill",
+     "when": {"shard": 0, "attempt": 1}, "times": 1, "scope": "worker"},
+    {"point": "service.solve", "action": "raise",
+     "when": {"graph": "poison"}, "times": 2},
+    {"point": "service.solve", "action": "raise",
+     "when": {"graph": "flaky"}, "times": None},
+    {"point": "http.stream", "action": "disconnect",
+     "when": {"event": 1}, "times": 1},
+), seed=7)
+
+BREAKER_RESET_S = 0.5
+
+
+def chaos_graph():
+    """Three dense non-trivial components: three shards the search must
+    actually branch over (a graph the heuristic seed solves outright would
+    prune every shard and the kill seam would never fire)."""
+    return community_graph(3, 16, intra_probability=0.6, inter_edges=0, seed=21)
+
+
+def free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def wait_for_health(client: ServiceClient, deadline_s: float = 30.0) -> dict:
+    started = time.monotonic()
+    while time.monotonic() - started < deadline_s:
+        try:
+            return client.healthz()
+        except (OSError, ServiceError):
+            time.sleep(0.2)
+    raise RuntimeError("server did not become healthy within the deadline")
+
+
+def check(label: str, condition: bool, detail: str = "") -> None:
+    if not condition:
+        raise AssertionError(f"{label} failed {detail}".strip())
+    print(f"[chaos] {label}: ok {detail}".rstrip(), flush=True)
+
+
+def expect_status(client: ServiceClient, status: int, **solve_kwargs) -> ServiceError:
+    try:
+        client.solve_raw("poison", QUERY, tier="unlimited", **solve_kwargs)
+    except ServiceError as error:
+        if error.status != status:
+            raise AssertionError(
+                f"expected HTTP {status}, got {error.status}: {error.message}"
+            )
+        return error
+    raise AssertionError(f"expected HTTP {status}, request succeeded")
+
+
+def main() -> int:
+    port = free_port()
+    command = [
+        sys.executable, "-m", "repro", "serve", "--port", str(port),
+        "--breaker-threshold", "2", "--breaker-reset", str(BREAKER_RESET_S),
+    ]
+    print(f"[chaos] booting with fault plan: {' '.join(command)}", flush=True)
+    server = subprocess.Popen(
+        command, cwd=REPO,
+        env={
+            "PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin",
+            ENV_PLAN: PLAN.to_json(),
+        },
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    # Retries stay off: this harness asserts on raw statuses (500/503) that
+    # a retrying client would paper over.
+    client = ServiceClient(f"http://127.0.0.1:{port}", retries=0)
+    graph = chaos_graph()
+    try:
+        health = wait_for_health(client)
+        check("healthz", health["status"] == "ok", str(health["status"]))
+
+        for graph_id in ("chaos", "poison", "flaky"):
+            client.upload_graph(graph_id, graph)
+        check("uploads", set(client.graphs()) >= {"chaos", "poison", "flaky"})
+
+        # -- scenario 1: worker killed mid-solve, exact parity ---------- #
+        serial = client.solve_raw("chaos", QUERY, tier="unlimited")
+        serial_size = len(serial["report"]["clique"])
+        check("serial solve", serial_size > 0 and serial["report"]["optimal"],
+              f"size={serial_size}")
+
+        parallel_query = FairCliqueQuery(model="relative", k=2, delta=1, workers=2)
+        parallel = client.solve_raw("chaos", parallel_query, tier="unlimited")
+        report = parallel["report"]
+        telemetry = report["metadata"]["parallel"]
+        check("worker-kill parity",
+              len(report["clique"]) == serial_size and report["optimal"],
+              f"size={len(report['clique'])}")
+        check("pool respawned", telemetry["pool_respawns"] >= 1,
+              f"respawns={telemetry['pool_respawns']}")
+        check("shards retried", telemetry["shards_retried"] >= 1,
+              f"retried={telemetry['shards_retried']}")
+        check("not degraded", not telemetry["degraded"])
+
+        # -- scenario 2: breaker opens on crashes, then recovers -------- #
+        for attempt in (1, 2):
+            error = expect_status(client, 500)
+        check("poison crashes 500", "injected fault" in error.message)
+        error = expect_status(client, 503)
+        check("breaker open 503", error.retry_after is not None,
+              f"retry_after={error.retry_after}")
+        check("healthz degraded",
+              client.healthz()["status"] == "degraded",
+              str(client.healthz()["breakers_open"]))
+        time.sleep(BREAKER_RESET_S + 0.3)
+        probe = client.solve_raw("poison", QUERY, tier="unlimited")
+        check("half-open probe closes breaker",
+              len(probe["report"]["clique"]) == serial_size
+              and client.healthz()["status"] == "ok")
+
+        # -- scenario 3: allow_degraded serves the heuristic ------------ #
+        degraded = client.solve_raw(
+            "flaky", QUERY, tier="unlimited", allow_degraded=True
+        )
+        check("degraded envelope", degraded.get("degraded") is True,
+              degraded.get("degraded_reason", ""))
+        check("degraded heuristic answer",
+              degraded["report"]["engine"] == "heuristic"
+              and len(degraded["report"]["clique"]) > 0,
+              f"size={len(degraded['report']['clique'])}")
+
+        # -- scenario 4: dropped connection mid-stream ------------------ #
+        events = list(client.stream("chaos", QUERY, tier="unlimited"))
+        check("stream truncated by disconnect",
+              not any(event.final for event in events),
+              f"events={len(events)}")
+
+        # -- scenario 5: resilience telemetry moved --------------------- #
+        metrics = client.metrics()
+        counters = metrics["http"]["counters"]
+        check("solver_crashes counted", counters.get("solver_crashes", 0) >= 3,
+              f"crashes={counters.get('solver_crashes')}")
+        check("shard_retries counted", counters.get("shard_retries", 0) >= 1)
+        check("pool_respawns counted", counters.get("pool_respawns", 0) >= 1)
+        check("disconnects counted", counters.get("client_disconnects", 0) >= 1)
+        check("degraded counted", counters.get("degraded_responses", 0) >= 1)
+        breakers = metrics["breakers"]
+        check("breaker telemetry",
+              breakers["opened_total"] >= 1 and breakers["rejected_total"] >= 1,
+              f"opened={breakers['opened_total']}")
+
+        server.send_signal(signal.SIGINT)
+        code = server.wait(timeout=30)
+        check("graceful shutdown", code == 0, f"exit={code}")
+    except BaseException:
+        server.kill()
+        output, _ = server.communicate(timeout=10)
+        print("[chaos] server output on failure:\n" + (output or "<none>"),
+              file=sys.stderr, flush=True)
+        raise
+    print("[chaos] chaos smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -90,6 +90,14 @@ class SolveContext:
         self.telemetry: dict = {"reduction_hits": 0, "reduction_misses": 0}
         #: Optional ``(size, clique | None) -> None`` incumbent tap.
         self.incumbent_hook = None
+        #: Optional :class:`~repro.resilience.Deadline` imposed by the
+        #: caller (the service's request budget); engines pass it down to
+        #: their solver.  Per-request values ride on context *views*, never
+        #: on a shared session context.
+        self.deadline = None
+        #: Optional ``threading.Event`` that stops an in-flight solve (the
+        #: abandoned-stream signal); same view discipline as ``deadline``.
+        self.stop_event = None
 
     def reduced(
         self, k: int, stages: Sequence[str] | None = None

@@ -178,7 +178,17 @@ def exact_engine(
     hook = getattr(context, "incumbent_hook", None)
     if hook is not None:
         solver.on_improve = hook
-    result = solver.solve_model(graph, model, reduction=reduction)
+    # Cooperative stop: a streaming session parks the consumer-disconnect
+    # event here; the solver checks it alongside its deadline.
+    stop_event = getattr(context, "stop_event", None)
+    if stop_event is not None:
+        solver.stop_event = stop_event
+    # The caller-owned deadline (service request budget) rides the context
+    # the same way; the solver combines it with its own time_limit.
+    deadline = getattr(context, "deadline", None)
+    result = solver.solve_model(
+        graph, model, reduction=reduction, deadline=deadline
+    )
     if "parallel" in result.stats.extra:
         metadata["parallel"] = result.stats.extra["parallel"]
     result.stats.reduction_seconds += seconds_charged

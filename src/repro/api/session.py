@@ -270,7 +270,8 @@ class _StreamView(SolveContext):
     for queries running concurrently with the stream.
     """
 
-    def __init__(self, base: SolveContext, hook) -> None:
+    def __init__(self, base: SolveContext, hook=None, *,
+                 stop_event=None, deadline=None) -> None:
         # Deliberately no super().__init__: every attribute aliases the base
         # (including the cache lock, which is what makes a query issued
         # while a stream's background solve is in flight safe).
@@ -280,6 +281,11 @@ class _StreamView(SolveContext):
         self._kernel_lock = base._kernel_lock
         self.telemetry = base.telemetry
         self.incumbent_hook = hook
+        # Per-request resilience plumbing: the consumer-disconnect stop
+        # signal and the caller-owned Deadline both belong to *one* solve,
+        # so they live on the view, never on the shared session context.
+        self.stop_event = stop_event
+        self.deadline = deadline
 
 
 # --------------------------------------------------------------------------- #
@@ -385,12 +391,23 @@ class FairCliqueSession:
     # ------------------------------------------------------------------ #
     # Solving
     # ------------------------------------------------------------------ #
-    def solve(self, query: FairCliqueQuery | None = None, **fields) -> SolveReport:
-        """Answer one query against the prepared graph (any task shape)."""
+    def solve(self, query: FairCliqueQuery | None = None, *,
+              deadline=None, **fields) -> SolveReport:
+        """Answer one query against the prepared graph (any task shape).
+
+        ``deadline`` optionally imposes a caller-owned
+        :class:`~repro.resilience.Deadline` on this one solve (the service
+        passes its request budget, queue wait already spent); it combines
+        with the query's own ``time_limit`` by earliest-expiry-wins.
+        """
         self._check_open()
         query = self._make_query(query, fields)
         validate_task(query)
-        return _dispatch_query(self.graph, query, self.context, self._registry)
+        context = self.context
+        if deadline is not None and deadline.bounded:
+            context = _StreamView(context, context.incumbent_hook,
+                                  deadline=deadline)
+        return _dispatch_query(self.graph, query, context, self._registry)
 
     def solve_many(
         self,
@@ -478,7 +495,8 @@ class FairCliqueSession:
     # Streaming
     # ------------------------------------------------------------------ #
     def stream(
-        self, query: FairCliqueQuery | None = None, **fields
+        self, query: FairCliqueQuery | None = None, *,
+        stop_event: "threading.Event | None" = None, **fields
     ) -> Iterator[Incumbent]:
         """Solve while yielding strictly-improving :class:`Incumbent` events.
 
@@ -487,8 +505,15 @@ class FairCliqueSession:
         serial search records, and (``workers > 1``) every size increase on
         the shared incumbent channel — then a ``final`` event whose
         ``report`` equals what :meth:`solve` returns for the same query.
-        Abandoning the generator early leaves the background solve running
-        to completion (daemon thread); the session stays usable afterwards.
+
+        Abandoning the generator (``close()``, or a consumer that went
+        away) *stops the background solve*: the generator's cleanup sets
+        ``stop_event``, which the solver checks alongside its deadline, so
+        an abandoned stream aborts within the budget-check granularity
+        instead of running to completion.  ``stop_event`` may be supplied
+        by the caller (the service's disconnect signal); pre-setting it
+        aborts the solve at its first budget check.  The session stays
+        usable afterwards.
 
         Only the ``exact`` engine publishes incumbents, and only the
         ``maximum`` task has them.
@@ -507,16 +532,20 @@ class FairCliqueSession:
                 f"engine {query.engine!r} does not publish incumbents; "
                 "stream() requires the 'exact' engine"
             )
-        return self._stream_events(query)
+        return self._stream_events(
+            query, stop_event if stop_event is not None else threading.Event()
+        )
 
-    def _stream_events(self, query: FairCliqueQuery) -> Iterator[Incumbent]:
+    def _stream_events(
+        self, query: FairCliqueQuery, stop_event: "threading.Event"
+    ) -> Iterator[Incumbent]:
         events: queue.SimpleQueue = queue.SimpleQueue()
         started = time.monotonic()
 
         def hook(size: int, clique: frozenset | None) -> None:
             events.put(("incumbent", size, clique, time.monotonic() - started))
 
-        view = _StreamView(self.context, hook)
+        view = _StreamView(self.context, hook, stop_event=stop_event)
 
         def run() -> None:
             try:
@@ -534,25 +563,34 @@ class FairCliqueSession:
         # the heuristic seed and multiple per-component searchers make that
         # a per-source property — enforce it globally here.
         best_seen = 0
-        while True:
-            kind, payload, clique, seconds = events.get()
-            if kind == "incumbent":
-                if payload > best_seen:
-                    best_seen = payload
-                    yield Incumbent(size=payload, clique=clique, seconds=seconds)
-                continue
-            solver_thread.join()
-            if kind == "error":
-                raise payload
-            report: SolveReport = payload
-            yield Incumbent(
-                size=report.size,
-                clique=report.clique,
-                seconds=time.monotonic() - started,
-                final=True,
-                report=report,
-            )
-            return
+        try:
+            while True:
+                kind, payload, clique, seconds = events.get()
+                if kind == "incumbent":
+                    if payload > best_seen:
+                        best_seen = payload
+                        yield Incumbent(
+                            size=payload, clique=clique, seconds=seconds
+                        )
+                    continue
+                solver_thread.join()
+                if kind == "error":
+                    raise payload
+                report: SolveReport = payload
+                yield Incumbent(
+                    size=report.size,
+                    clique=report.clique,
+                    seconds=time.monotonic() - started,
+                    final=True,
+                    report=report,
+                )
+                return
+        finally:
+            # Runs on normal completion (harmless: the solve is done) and —
+            # the case that matters — on GeneratorExit when the consumer
+            # abandons the stream: the solver sees the event at its next
+            # budget check and aborts instead of burning the executor.
+            stop_event.set()
 
     # ------------------------------------------------------------------ #
     # Planning

@@ -192,6 +192,13 @@ def _build_parser() -> argparse.ArgumentParser:
     serve_cmd.add_argument("--default-tier", default="standard",
                            choices=("free", "standard", "unlimited"),
                            help="quota tier applied when a request names none")
+    serve_cmd.add_argument("--breaker-threshold", type=int, default=5,
+                           help="consecutive solve crashes before a graph's "
+                                "circuit breaker opens (503s)")
+    serve_cmd.add_argument("--breaker-reset", type=float, default=30.0,
+                           metavar="SECONDS",
+                           help="seconds an open breaker waits before "
+                                "admitting a half-open probe")
 
     subparsers.add_parser("datasets", help="list the built-in dataset stand-ins")
     subparsers.add_parser("engines", help="list registered engines and supported models")
@@ -460,7 +467,15 @@ def _command_serve(args: argparse.Namespace) -> int:
     import signal
     import threading
 
+    from repro.resilience import faults
     from repro.service import FairCliqueService, ServerHandle, ServiceConfig
+
+    # Chaos harnesses arm fault plans through the environment; a normal
+    # serve run pays one dict lookup here and nothing afterwards.
+    plan = faults.install_from_env()
+    if plan is not None:
+        print(f"fault injection armed: {len(plan.specs)} spec(s), "
+              f"seed={plan.seed}", flush=True)
 
     config = ServiceConfig(
         host=args.host,
@@ -471,6 +486,8 @@ def _command_serve(args: argparse.Namespace) -> int:
         queue_depth=args.queue_depth,
         executor_workers=args.executor_workers,
         default_tier=args.default_tier,
+        breaker_threshold=args.breaker_threshold,
+        breaker_reset_seconds=args.breaker_reset,
     )
     service = FairCliqueService(config)
     for name in args.preload:

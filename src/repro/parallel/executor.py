@@ -35,17 +35,21 @@ search itself; see the README's "Parallel execution" section for guidance.
 from __future__ import annotations
 
 import multiprocessing
+import sys
 import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 
 from repro.exceptions import InvalidParameterError
 from repro.graph.attributed_graph import AttributedGraph
 from repro.models.base import ActiveModel
 from repro.parallel import worker as worker_module
-from repro.parallel.sharding import ShardPlan, plan_shards
+from repro.parallel.sharding import Shard, ShardPlan, plan_shards
 from repro.parallel.worker import WorkerPayload
+from repro.resilience import SolveCrashedError, faults
+from repro.resilience.deadline import Deadline
 from repro.search.maxrfc import MaxRFC, MaxRFCConfig, _TimeBudgetExceeded
 from repro.search.result import SearchResult
 from repro.search.statistics import SearchStats
@@ -80,12 +84,18 @@ class ParallelConfig:
     chunks_per_split:
         Number of shards an oversized component is split into
         (default ``2 * workers``).
+    max_shard_retries:
+        How many times a failed shard is resubmitted to a (possibly
+        respawned) pool before the coordinator runs it serially in-process.
+        Shards are pure functions of the kernel snapshot, so a retry can
+        never change the answer — only recover it.
     """
 
     workers: int = 2
     split_threshold: int = DEFAULT_SPLIT_THRESHOLD
     poll_interval: int = 256
     chunks_per_split: int | None = None
+    max_shard_retries: int = 2
 
 
 def _fork_context():
@@ -161,7 +171,7 @@ class ParallelMaxRFC(MaxRFC):
         model: ActiveModel,
         best: frozenset,
         stats: SearchStats,
-        deadline: float | None,
+        deadline: Deadline,
     ) -> frozenset:
         workers = self.parallel.workers
         if workers <= 1 or graph.num_vertices == 0:
@@ -185,12 +195,15 @@ class ParallelMaxRFC(MaxRFC):
                 kernel, plan, model, best, stats, deadline, telemetry
             )
         except OSError as error:
-            # Spawning the pool's processes can fail in constrained
-            # environments (fork EAGAIN, fd/memory exhaustion) — the serial
-            # path is always available and answers identically, so fall
-            # back and note it.  Only OSError is caught: a worker-side
-            # crash (BrokenProcessPool, RecursionError, genuine bugs) is a
-            # real failure and must propagate, not silently rerun serially.
+            # Spawning the *first* pool can fail in constrained environments
+            # (fork EAGAIN, fd/memory exhaustion) — the serial path is always
+            # available and answers identically, so fall back and note it.
+            # Worker-side crashes (a killed process, BrokenProcessPool, an
+            # exception escaping a shard) never reach here: _run_pool
+            # respawns the pool and retries failed shards itself, falling
+            # back to per-shard serial execution only once the retry budget
+            # is spent, and raises SolveCrashedError only when even that
+            # fails.
             telemetry["fallback"] = f"serial ({type(error).__name__}: {error})"
             return super()._search_components(graph, model, best, stats, deadline)
 
@@ -201,9 +214,22 @@ class ParallelMaxRFC(MaxRFC):
         model: ActiveModel,
         best: frozenset,
         stats: SearchStats,
-        deadline: float | None,
+        deadline: Deadline,
         telemetry: dict,
     ) -> frozenset:
+        """Run the shard plan crash-tolerantly and merge whatever completed.
+
+        Control flow: submit every pending shard to a pool; a shard whose
+        future raises (worker exception, or ``BrokenProcessPool`` after a
+        worker died mid-flight) is retried on a fresh pool up to
+        ``max_shard_retries`` times, then executed serially in the
+        coordinator (shards are pure functions of the snapshot, so a rerun
+        is always sound).  Retries never run past ``deadline`` — when the
+        budget expires first, the completed shards are merged and the
+        result is flagged aborted, exactly like a serial budget abort.
+        Only a shard that fails *even serially* makes the solve raise
+        :class:`~repro.resilience.SolveCrashedError`.
+        """
         payload = WorkerPayload(
             kernel=kernel,
             model=model,
@@ -225,8 +251,160 @@ class ParallelMaxRFC(MaxRFC):
         pool_size = min(self.parallel.workers, len(plan.shards))
         started = time.monotonic()
         poller = None
+        if self.on_improve is not None and channel is not None:
+            # Streaming tap: workers publish incumbent *sizes* to the
+            # shared channel; a coordinator-side thread surfaces every
+            # increase through on_improve.  The clique itself stays in
+            # the worker until its shard returns, so channel events
+            # carry ``clique=None`` — the merged final result delivers
+            # the vertices.  One poller spans every retry round: respawned
+            # pools inherit the same channel.
+            poller = _ChannelPoller(channel, len(best), self._notify_improve)
+            poller.start()
+
+        results: dict[int, object] = {}
+        attempts: dict[int, int] = {shard.index: 0 for shard in plan.shards}
+        failures: dict[int, str] = {}
+        retried: set[int] = set()
+        serial_queue: list[Shard] = []
+        pending: list[Shard] = list(plan.shards)
+        pools_created = 0
+        pool_breaks = 0
+        budget_stop = False
+        serial_failures: dict[int, str] = {}
+        try:
+            while pending:
+                if pools_created > 0 and deadline.expired():
+                    # Out of budget before the retry round: keep what
+                    # completed, report the truncation honestly.
+                    budget_stop = True
+                    pending = []
+                    break
+                try:
+                    failed, broke = self._run_batch(
+                        pending, payload, context, channel, branch_counter,
+                        pool_size, attempts, results, failures,
+                    )
+                except OSError:
+                    if pools_created == 0:
+                        # First pool never came up: the caller's serial
+                        # fallback answers identically.
+                        raise
+                    # A respawn failed mid-recovery (fd/memory pressure):
+                    # finish the survivors in-process instead.
+                    serial_queue.extend(pending)
+                    pending = []
+                    break
+                pools_created += 1
+                if broke:
+                    pool_breaks += 1
+                next_round: list[Shard] = []
+                for shard in failed:
+                    if attempts[shard.index] > self.parallel.max_shard_retries:
+                        serial_queue.append(shard)
+                    else:
+                        retried.add(shard.index)
+                        next_round.append(shard)
+                pending = next_round
+            if serial_queue and not budget_stop:
+                # Same guard the serial component loop applies; the worker
+                # initializer is not run in the coordinator.
+                sys.setrecursionlimit(
+                    max(sys.getrecursionlimit(), kernel.n + 1000)
+                )
+                serial_views: dict = {}
+                for shard in serial_queue:
+                    if deadline.expired():
+                        budget_stop = True
+                        break
+                    attempts[shard.index] += 1
+                    try:
+                        results[shard.index] = worker_module.solve_shard(
+                            payload, shard,
+                            channel=channel,
+                            branch_counter=branch_counter,
+                            views=serial_views,
+                            attempt=attempts[shard.index],
+                        )
+                    except Exception as error:  # noqa: BLE001 - terminal per-shard
+                        serial_failures[shard.index] = (
+                            f"{type(error).__name__}: {error}"
+                        )
+        finally:
+            # Without the stop the daemon poller would keep polling the
+            # shared channel for the life of the process.
+            if poller is not None:
+                poller.stop()
+
+        aborted = False
+        worker_seconds = 0.0
+        for result in results.values():
+            worker_seconds += result.seconds
+            aborted = aborted or result.aborted
+            stats.merge(result.stats)
+            if len(result.clique) > len(best):
+                best = result.clique
+        missing = sorted(index for index in attempts if index not in results)
+        telemetry["pool_size"] = pool_size
+        telemetry["worker_seconds"] = worker_seconds
+        telemetry["pool_seconds"] = time.monotonic() - started
+        telemetry["aborted_shards"] = sum(
+            1 for r in results.values() if r.aborted
+        )
+        telemetry["shards_retried"] = len(retried)
+        telemetry["pool_respawns"] = max(0, pools_created - 1)
+        telemetry["pool_breaks"] = pool_breaks
+        telemetry["serial_fallbacks"] = len(serial_queue)
+        # Degraded = the merged answer is missing shards (never merely
+        # "recovered after retries": a retried or serially-rerun shard
+        # contributes its full exact result).
+        telemetry["degraded"] = bool(missing)
+        if failures:
+            telemetry["shard_failures"] = {
+                str(index): message for index, message in sorted(failures.items())
+            }
+        # Mirror the incumbent before (maybe) signalling the abort so solve()
+        # returns the merged best-so-far, exactly like the serial path.
+        self._incumbent = best
+        if serial_failures:
+            detail = "; ".join(
+                f"shard {index}: {message}"
+                for index, message in sorted(serial_failures.items())
+            )
+            raise SolveCrashedError(
+                f"{len(serial_failures)} shard(s) failed beyond the retry "
+                f"budget and the serial fallback ({detail})",
+                telemetry,
+            )
+        if aborted or missing:
+            raise _TimeBudgetExceeded()
+        return best
+
+    def _run_batch(
+        self,
+        shards: list[Shard],
+        payload: WorkerPayload,
+        context,
+        channel,
+        branch_counter,
+        pool_size: int,
+        attempts: dict[int, int],
+        results: dict,
+        failures: dict[int, str],
+    ) -> tuple[list[Shard], bool]:
+        """One pool round: submit ``shards``, gather, classify failures.
+
+        Returns ``(failed_shards, pool_broke)``.  Completed shard results
+        land in ``results`` keyed by shard index; per-shard error strings
+        land in ``failures``.  A fresh pool per round keeps recovery simple
+        and is cheap under fork; ``BrokenProcessPool`` marks the round
+        broken (the pool lost a process, so un-finished futures of healthy
+        shards fail too — they simply retry next round).
+        """
+        failed: list[Shard] = []
+        broke = False
         with ProcessPoolExecutor(
-            max_workers=pool_size,
+            max_workers=min(pool_size, len(shards)),
             mp_context=context,
             initializer=worker_module._init_worker,
             initargs=(payload,),
@@ -234,53 +412,38 @@ class ParallelMaxRFC(MaxRFC):
             # The shared Values are inherited at fork time, and the pool
             # forks its workers lazily during submit — so the globals must
             # stay parked (and other threads' solves held off) until every
-            # submit has happened and all pool_size workers exist.
+            # submit has happened and all pool workers exist.
             with _PARK_LOCK:
                 worker_module._PARENT_CHANNEL = channel
                 worker_module._PARENT_BRANCH_COUNTER = branch_counter
                 try:
-                    futures = [
-                        pool.submit(worker_module.run_shard, shard)
-                        for shard in plan.shards
-                    ]
+                    futures = []
+                    for shard in shards:
+                        attempts[shard.index] += 1
+                        faults.maybe_fire(
+                            "pool.submit",
+                            shard=shard.index,
+                            attempt=attempts[shard.index],
+                        )
+                        futures.append(pool.submit(
+                            worker_module.run_shard, shard, attempts[shard.index]
+                        ))
                 finally:
                     worker_module._PARENT_CHANNEL = None
                     worker_module._PARENT_BRANCH_COUNTER = None
-            if self.on_improve is not None and channel is not None:
-                # Streaming tap: workers publish incumbent *sizes* to the
-                # shared channel; a coordinator-side thread surfaces every
-                # increase through on_improve.  The clique itself stays in
-                # the worker until its shard returns, so channel events
-                # carry ``clique=None`` — the merged final result delivers
-                # the vertices.
-                poller = _ChannelPoller(channel, len(best), self._notify_improve)
-                poller.start()
-            try:
-                results = [future.result() for future in futures]
-            finally:
-                # Also on a worker crash propagating out of result():
-                # without the stop the daemon poller would keep polling the
-                # shared channel for the life of the process.
-                if poller is not None:
-                    poller.stop()
-        aborted = False
-        worker_seconds = 0.0
-        for result in results:
-            worker_seconds += result.seconds
-            aborted = aborted or result.aborted
-            stats.merge(result.stats)
-            if len(result.clique) > len(best):
-                best = result.clique
-        telemetry["pool_size"] = pool_size
-        telemetry["worker_seconds"] = worker_seconds
-        telemetry["pool_seconds"] = time.monotonic() - started
-        telemetry["aborted_shards"] = sum(1 for r in results if r.aborted)
-        # Mirror the incumbent before (maybe) signalling the abort so solve()
-        # returns the merged best-so-far, exactly like the serial path.
-        self._incumbent = best
-        if aborted:
-            raise _TimeBudgetExceeded()
-        return best
+            for shard, future in zip(shards, futures):
+                try:
+                    results[shard.index] = future.result()
+                except BrokenProcessPool:
+                    broke = True
+                    failed.append(shard)
+                    failures[shard.index] = (
+                        "BrokenProcessPool: a worker process died"
+                    )
+                except Exception as error:  # noqa: BLE001 - classified for retry
+                    failed.append(shard)
+                    failures[shard.index] = f"{type(error).__name__}: {error}"
+        return failed, broke
 
 
 def solve_parallel(

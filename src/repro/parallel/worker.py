@@ -20,6 +20,12 @@ whenever they record a strictly larger clique.
 A shard that exhausts its time/branch budget raises internally, keeps the
 best clique it had found, and reports ``aborted=True`` — the coordinator
 merges partial results instead of losing them.
+
+Fault seams: :func:`_init_worker` fires ``worker.init`` and
+:func:`solve_shard` fires ``shard.run`` (with the shard index and attempt
+number in context), so a :class:`~repro.resilience.faults.FaultPlan` can
+kill or fail a chosen shard deterministically.  Shards are pure functions
+of the snapshot, which is what makes the coordinator's retry loop sound.
 """
 
 from __future__ import annotations
@@ -35,6 +41,8 @@ from repro.kernel.search import KernelBranchAndBound
 from repro.kernel.view import SubgraphView
 from repro.models.base import ActiveModel
 from repro.parallel.sharding import Shard
+from repro.resilience import faults
+from repro.resilience.deadline import Deadline
 from repro.search.ordering import OrderingStrategy, compute_ordering
 from repro.search.statistics import SearchStats
 
@@ -57,7 +65,7 @@ class WorkerPayload:
     model: ActiveModel
     bound_depth: int
     ordering: OrderingStrategy
-    deadline: float | None
+    deadline: Deadline
     branch_limit: int | None
     poll_interval: int
     seed_size: int
@@ -84,34 +92,45 @@ _STATE: dict = {}
 
 def _init_worker(payload: WorkerPayload) -> None:
     """Pool initializer: cache the payload and adopt the inherited channels."""
+    faults.mark_worker_process()
+    faults.maybe_fire("worker.init")
     _STATE.clear()
     _STATE["payload"] = payload
     _STATE["channel"] = _PARENT_CHANNEL
     _STATE["branch_counter"] = _PARENT_BRANCH_COUNTER
     _STATE["views"] = {}
-    _STATE["graph"] = None
     # Recursion can go as deep as the largest clique; give it headroom
     # (mirrors the serial search's guard, which runs in the coordinator).
     sys.setrecursionlimit(max(sys.getrecursionlimit(), payload.kernel.n + 1000))
 
 
-def _component_view(component_index: int) -> SubgraphView:
-    """Rank-ordered view of one component, cached per worker."""
-    views = _STATE["views"]
+#: Cache key for the lazily-materialised dict graph inside a view cache.
+_GRAPH_KEY = "__graph__"
+
+
+def _component_view_of(
+    payload: WorkerPayload, component_index: int, views: dict | None
+) -> SubgraphView:
+    """Rank-ordered view of one component, cached in ``views`` when given.
+
+    Workers pass their per-process cache (two shards of one split component
+    share a view); the coordinator's serial fallback passes its own dict.
+    """
+    if views is None:
+        views = {}
     view = views.get(component_index)
     if view is None:
-        payload = _STATE["payload"]
         kernel = payload.kernel
         mask = kernel.component_masks()[component_index]
         if payload.ordering is OrderingStrategy.COLORFUL_CORE:
             ordered = colorful_core_order(kernel, mask)
-            graph = _STATE["graph"]
+            graph = views.get(_GRAPH_KEY)
         else:
             # Non-default orderings are defined on the dict graph; the kernel
             # *is* the reduced graph, so materialise it once per worker.
-            graph = _STATE["graph"]
+            graph = views.get(_GRAPH_KEY)
             if graph is None:
-                graph = _STATE["graph"] = kernel.materialize()
+                graph = views[_GRAPH_KEY] = kernel.materialize()
             component = [kernel.vertex_of[i] for i in bits_list(mask)]
             rank = compute_ordering(graph, component, payload.ordering)
             ordered = sorted(component, key=lambda v: rank[v])
@@ -140,9 +159,8 @@ def _make_budget_check(searcher: KernelBranchAndBound, payload: WorkerPayload,
 
     def check(stats: SearchStats) -> None:
         branches = stats.branches_explored
-        if deadline is not None and branches % 64 == 0:
-            if time.monotonic() > deadline:
-                raise ShardBudgetExceeded()
+        if branches % 64 == 0 and deadline.expired():
+            raise ShardBudgetExceeded()
         if branch_limit is not None:
             if branch_counter is not None:
                 if branches % 64 == 0:
@@ -173,11 +191,43 @@ def _make_publisher(channel):
     return publish
 
 
-def run_shard(shard: Shard) -> ShardResult:
-    """Worker entry point: solve one shard, return its partial result."""
-    payload: WorkerPayload = _STATE["payload"]
-    channel = _STATE["channel"]
-    branch_counter = _STATE["branch_counter"]
+def run_shard(shard: Shard, attempt: int = 1) -> ShardResult:
+    """Worker entry point: solve one shard, return its partial result.
+
+    ``attempt`` is the coordinator's 1-based submission count for this
+    shard; it exists so fault plans can target "the first try of shard 3"
+    and let the retry succeed.
+    """
+    return solve_shard(
+        _STATE["payload"], shard,
+        channel=_STATE["channel"],
+        branch_counter=_STATE["branch_counter"],
+        views=_STATE["views"],
+        attempt=attempt,
+    )
+
+
+def solve_shard(
+    payload: WorkerPayload,
+    shard: Shard,
+    *,
+    channel=None,
+    branch_counter=None,
+    views: dict | None = None,
+    attempt: int = 1,
+) -> ShardResult:
+    """Solve one shard against an explicit payload (no worker globals).
+
+    This is the pure function behind :func:`run_shard`; the coordinator
+    calls it directly — in-process — when a shard has exhausted its pool
+    retries and falls back to serial execution.
+    """
+    faults.maybe_fire(
+        "shard.run",
+        shard=shard.index,
+        component=shard.component_index,
+        attempt=attempt,
+    )
     started = time.monotonic()
     stats = SearchStats()
     best_size = payload.seed_size
@@ -186,7 +236,7 @@ def run_shard(shard: Shard) -> ShardResult:
         if shared > best_size:
             best_size = shared
     searcher = KernelBranchAndBound(
-        view=_component_view(shard.component_index),
+        view=_component_view_of(payload, shard.component_index, views),
         model=payload.model,
         stats=stats,
         bound_depth=payload.bound_depth,
@@ -195,7 +245,7 @@ def run_shard(shard: Shard) -> ShardResult:
         best_clique=frozenset(),
         has_budget=(
             channel is not None
-            or payload.deadline is not None
+            or payload.deadline.bounded
             or payload.branch_limit is not None
         ),
         on_improve=_make_publisher(channel) if channel is not None else None,

@@ -24,6 +24,7 @@ from repro.reduction.core_reduction import (
     enhanced_colorful_core_reduction,
 )
 from repro.reduction.enhanced_support import enhanced_colorful_support_reduction
+from repro.resilience import faults
 
 #: Stage callables take ``(graph, k, coloring)`` positionally and must accept
 #: a keyword-only ``use_kernel`` flag selecting the bitset or dict code path.
@@ -129,6 +130,7 @@ class ReductionPipeline:
         results: list[ReductionResult] = []
         for index, name in enumerate(self.stage_names):
             stage = STAGE_REGISTRY[name]
+            faults.maybe_fire("reduction.stage", stage=name, k=k)
             stage_coloring = coloring if index == 0 else None
             result = stage(current, k, stage_coloring, use_kernel=self.use_kernel)
             results.append(result)

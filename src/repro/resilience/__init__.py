@@ -1,0 +1,78 @@
+"""repro.resilience — fault injection, deadlines, breakers, retries.
+
+The robustness toolkit of the stack, in four stdlib-only pieces:
+
+* :mod:`~repro.resilience.faults` — a deterministic, seeded fault-injection
+  layer (:class:`FaultPlan` + :func:`maybe_fire` seams compiled in at worker
+  entry, shard execution, reduction stages, HTTP handling, and executor
+  submission) so chaos scenarios are reproducible unit tests.
+* :mod:`~repro.resilience.deadline` — the single :class:`Deadline` object
+  propagated end-to-end (service request → quota clamp → solver → shard
+  payload → retry decisions) in place of per-layer monotonic arithmetic.
+* :mod:`~repro.resilience.breaker` — per-graph :class:`CircuitBreaker` /
+  :class:`BreakerBoard` powering the service's 503-fast-fail degradation.
+* :mod:`~repro.resilience.retry` — the bounded jittered-exponential
+  :class:`RetryPolicy` behind the HTTP client's transparent retries.
+
+:class:`SolveCrashedError` is the terminal failure the crash-tolerant
+parallel executor raises once its retry and serial-fallback budgets are
+exhausted — the signal the service's breaker and ``allow_degraded``
+fallback key off.
+"""
+
+from __future__ import annotations
+
+from repro.resilience.breaker import (
+    BreakerBoard,
+    CircuitBreaker,
+    CircuitOpenError,
+)
+from repro.resilience.deadline import Deadline
+from repro.resilience.faults import (
+    ENV_PLAN,
+    POINTS,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    active_plan,
+    fault_injection,
+    install,
+    install_from_env,
+    mark_worker_process,
+    maybe_fire,
+)
+from repro.resilience.retry import RetryPolicy
+
+
+class SolveCrashedError(RuntimeError):
+    """A solve failed permanently: retries and serial fallback exhausted.
+
+    Not a :class:`~repro.exceptions.ReproError` — the question was fine,
+    the infrastructure was not.  Carries the executor telemetry so the
+    service can surface honest counters with the 5xx.
+    """
+
+    def __init__(self, message: str, telemetry: dict | None = None) -> None:
+        super().__init__(message)
+        self.telemetry = dict(telemetry or {})
+
+
+__all__ = [
+    "BreakerBoard",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "Deadline",
+    "ENV_PLAN",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "POINTS",
+    "RetryPolicy",
+    "SolveCrashedError",
+    "active_plan",
+    "fault_injection",
+    "install",
+    "install_from_env",
+    "mark_worker_process",
+    "maybe_fire",
+]

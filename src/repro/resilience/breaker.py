@@ -1,0 +1,149 @@
+"""Per-key circuit breakers for the service tier.
+
+A graph whose solves keep crashing (a poisoned upload, a bug tickled by one
+dataset, a worker-killing input) must not take the whole service down with
+it: after ``failure_threshold`` consecutive crashes the breaker for that
+graph *opens* and requests fail fast with 503 + ``Retry-After`` instead of
+burning executor slots.  After ``reset_after`` seconds the breaker goes
+*half-open*: exactly one probe request is admitted; success closes the
+breaker, failure re-opens it for another full window.
+
+Classic three-state breaker, stdlib-only, thread-safe (the service executes
+solves on a thread pool).  The clock is injectable for deterministic tests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitOpenError(Exception):
+    """Raised when a request hits an open breaker; carries the retry hint."""
+
+    def __init__(self, key: str, retry_after: float) -> None:
+        super().__init__(
+            f"circuit breaker for {key!r} is open; retry in {retry_after:.1f}s"
+        )
+        self.key = key
+        self.retry_after = max(0.0, retry_after)
+
+
+class CircuitBreaker:
+    """One key's breaker: consecutive-failure counting + timed half-open."""
+
+    def __init__(self, failure_threshold: int, reset_after: float, clock=time.monotonic):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.reset_after = reset_after
+        self._clock = clock
+        self.state = CLOSED
+        self.failures = 0           # consecutive failures while closed
+        self.opened_at = 0.0
+        self.opened_total = 0
+        self.rejected_total = 0
+
+    def check(self, key: str) -> None:
+        """Gate one request; raises :class:`CircuitOpenError` when open."""
+        if self.state == OPEN:
+            elapsed = self._clock() - self.opened_at
+            if elapsed < self.reset_after:
+                self.rejected_total += 1
+                raise CircuitOpenError(key, self.reset_after - elapsed)
+            # Window elapsed: admit exactly one probe.
+            self.state = HALF_OPEN
+
+    def record_success(self) -> None:
+        self.state = CLOSED
+        self.failures = 0
+
+    def record_failure(self) -> None:
+        if self.state == HALF_OPEN:
+            # The probe failed: straight back to open, fresh window.
+            self._open()
+            return
+        self.failures += 1
+        if self.failures >= self.failure_threshold:
+            self._open()
+
+    def _open(self) -> None:
+        self.state = OPEN
+        self.failures = 0
+        self.opened_at = self._clock()
+        self.opened_total += 1
+
+    def info(self) -> dict:
+        return {
+            "state": self.state,
+            "consecutive_failures": self.failures,
+            "opened_total": self.opened_total,
+            "rejected_total": self.rejected_total,
+        }
+
+
+class BreakerBoard:
+    """The service's per-graph breaker registry (lazily populated)."""
+
+    def __init__(self, failure_threshold: int = 5, reset_after: float = 30.0,
+                 clock=time.monotonic) -> None:
+        self.failure_threshold = failure_threshold
+        self.reset_after = reset_after
+        self._clock = clock
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self._lock = threading.Lock()
+
+    def _breaker(self, key: str) -> CircuitBreaker:
+        breaker = self._breakers.get(key)
+        if breaker is None:
+            breaker = self._breakers[key] = CircuitBreaker(
+                self.failure_threshold, self.reset_after, self._clock
+            )
+        return breaker
+
+    def check(self, key: str) -> None:
+        with self._lock:
+            self._breaker(key).check(key)
+
+    def record_success(self, key: str) -> None:
+        with self._lock:
+            self._breaker(key).record_success()
+
+    def record_failure(self, key: str) -> None:
+        with self._lock:
+            self._breaker(key).record_failure()
+
+    def _open_keys_locked(self) -> list[str]:
+        now = self._clock()
+        return sorted(
+            key for key, breaker in self._breakers.items()
+            if breaker.state == OPEN
+            and now - breaker.opened_at < breaker.reset_after
+        )
+
+    def open_keys(self) -> list[str]:
+        """Keys whose breaker is currently refusing traffic."""
+        with self._lock:
+            return self._open_keys_locked()
+
+    def info(self) -> dict:
+        with self._lock:
+            return {
+                "failure_threshold": self.failure_threshold,
+                "reset_after_seconds": self.reset_after,
+                "open": self._open_keys_locked(),
+                "by_key": {
+                    key: breaker.info()
+                    for key, breaker in sorted(self._breakers.items())
+                },
+                "opened_total": sum(
+                    b.opened_total for b in self._breakers.values()
+                ),
+                "rejected_total": sum(
+                    b.rejected_total for b in self._breakers.values()
+                ),
+            }

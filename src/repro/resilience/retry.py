@@ -1,0 +1,72 @@
+"""Bounded, jittered exponential backoff — the client-side retry schedule.
+
+:class:`RetryPolicy` is pure arithmetic: given an attempt number (and an
+optional server-sent ``Retry-After`` hint) it yields how long to sleep
+before the next try.  The jitter is drawn from a seeded RNG so retry
+behaviour in tests is deterministic; production callers leave the seed
+``None`` and get full-jitter decorrelation.
+
+``retries=0`` disables retrying entirely (the caller's loop runs the first
+attempt only), which is the :class:`~repro.service.client.ServiceClient`
+opt-out.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to retry and how long to wait between attempts.
+
+    Attributes
+    ----------
+    retries:
+        Retry budget *beyond* the first attempt (0 = never retry).
+    base_delay:
+        Backoff before the first retry, in seconds.
+    multiplier:
+        Exponential growth factor per retry.
+    max_delay:
+        Cap on any single computed delay.
+    jitter:
+        Fraction of the computed delay randomised away (0.5 means the
+        sleep is uniform in ``[0.5 * d, d]``) — decorrelates clients that
+        failed together.
+    seed:
+        Seed for the jitter RNG (``None`` = nondeterministic).
+    """
+
+    retries: int = 2
+    base_delay: float = 0.25
+    multiplier: float = 2.0
+    max_delay: float = 5.0
+    jitter: float = 0.5
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def make_rng(self) -> random.Random:
+        """A fresh RNG for one request's retry sequence."""
+        return random.Random(self.seed)
+
+    def delay(self, attempt: int, rng: random.Random,
+              retry_after: float | None = None) -> float:
+        """Seconds to sleep before retry number ``attempt`` (0-based).
+
+        A server-sent ``Retry-After`` is authoritative when it is *longer*
+        than the computed backoff — the server knows its own load — but
+        never shortens the exponential schedule below the base delay.
+        """
+        computed = min(self.max_delay, self.base_delay * (self.multiplier ** attempt))
+        if self.jitter:
+            computed *= 1.0 - self.jitter * rng.random()
+        if retry_after is not None:
+            computed = max(computed, min(retry_after, self.max_delay))
+        return computed

@@ -48,6 +48,7 @@ from repro.graph.components import connected_components
 from repro.graph.validation import validate_parameters
 from repro.models.base import ActiveModel, FairnessModel, RelativeFairness
 from repro.reduction.pipeline import DEFAULT_STAGES, PipelineResult, ReductionPipeline
+from repro.resilience.deadline import Deadline
 from repro.search.ordering import OrderingStrategy, compute_ordering
 from repro.search.result import SearchResult
 from repro.search.statistics import SearchStats
@@ -124,6 +125,11 @@ class MaxRFC:
         #: channel, without the clique).  Set it on the solver instance —
         #: it is deliberately not part of the (picklable) config.
         self.on_improve = None
+        #: Optional ``threading.Event`` checked alongside the deadline (at
+        #: the same 64-branch granularity): setting it aborts the search
+        #: exactly like a budget expiry, keeping the incumbent.  This is how
+        #: an abandoned streaming consumer stops its background solve.
+        self.stop_event = None
 
     def _notify_improve(self, size: int, clique: frozenset | None) -> None:
         if self.on_improve is not None:
@@ -153,6 +159,7 @@ class MaxRFC:
         graph: AttributedGraph,
         model: FairnessModel,
         reduction: "PipelineResult | None" = None,
+        deadline: Deadline | None = None,
     ) -> SearchResult:
         """Find a maximum fair clique of ``graph`` under ``model``.
 
@@ -162,11 +169,18 @@ class MaxRFC:
         the configuration has ``use_reduction`` enabled, and its cost is
         *not* added to this run's ``reduction_seconds`` — the caller owning
         the shared artifact decides how to account for it.
+
+        ``deadline`` optionally imposes an externally-owned
+        :class:`~repro.resilience.deadline.Deadline` (the service passes the
+        request's, clamped by its quota tier).  It combines with
+        ``config.time_limit`` by taking whichever expires first, and the
+        resulting single object is what every layer below — component loop,
+        shard payloads, retry decisions — consults.
         """
         config = self.config
         stats = SearchStats()
         best: frozenset = frozenset()
-        deadline = None if config.time_limit is None else time.monotonic() + config.time_limit
+        deadline = Deadline.tightest(deadline, Deadline.start(config.time_limit))
         algorithm = model.algorithm_name(config.algorithm_name)
 
         if not model.admits(graph):
@@ -237,7 +251,7 @@ class MaxRFC:
         model: ActiveModel,
         best: frozenset,
         stats: SearchStats,
-        deadline: float | None,
+        deadline: Deadline,
     ) -> frozenset:
         minimum_size = model.min_size
         # Recursion can go as deep as the largest clique; give it headroom.
@@ -288,7 +302,7 @@ class MaxRFC:
         model: ActiveModel,
         best: frozenset,
         stats: SearchStats,
-        deadline: float | None,
+        deadline: Deadline,
         minimum_size: int,
     ) -> frozenset:
         """Kernel fast path of the component loop (same visit order, same prunes).
@@ -317,7 +331,11 @@ class MaxRFC:
         entries.sort(key=lambda entry: entry[:2])
         lower = model.lower
         domain_masks = model.kernel_masks(kernel)
-        has_budget = deadline is not None or self.config.branch_limit is not None
+        has_budget = (
+            deadline.bounded
+            or self.config.branch_limit is not None
+            or self.stop_event is not None
+        )
         use_color_order = self.config.ordering is OrderingStrategy.COLORFUL_CORE
         for _, _, mask, members in entries:
             size = len(members)
@@ -360,9 +378,12 @@ class MaxRFC:
                 self._incumbent = best
         return best
 
-    def _check_budget(self, stats: SearchStats, deadline: float | None) -> None:
-        if deadline is not None and stats.branches_explored % 64 == 0:
-            if time.monotonic() > deadline:
+    def _check_budget(self, stats: SearchStats, deadline: Deadline) -> None:
+        if stats.branches_explored % 64 == 0:
+            if deadline.expired():
+                raise _TimeBudgetExceeded()
+            stop = self.stop_event
+            if stop is not None and stop.is_set():
                 raise _TimeBudgetExceeded()
         if (
             self.config.branch_limit is not None
@@ -380,7 +401,7 @@ class MaxRFC:
         code_of: dict,
         best: frozenset,
         stats: SearchStats,
-        deadline: float | None,
+        deadline: Deadline,
         depth: int,
     ) -> frozenset:
         """Recursive branch step: ``clique`` is R, ``candidates`` is C sorted by rank.

@@ -14,7 +14,14 @@ session layer:
 * an :class:`~repro.service.executor.ExecutorBackend` runs the solves off
   the event loop (worker threads by default, pluggable);
 * :class:`~repro.service.metrics.ServiceMetrics` records per-endpoint
-  latency histograms surfaced by ``/metrics``.
+  latency histograms surfaced by ``/metrics``;
+* a :class:`~repro.resilience.breaker.BreakerBoard` keeps a per-graph
+  circuit breaker: graphs whose solves keep crashing fail fast with 503 +
+  ``Retry-After`` until a timed half-open probe succeeds, and ``/healthz``
+  reports ``degraded`` while any breaker is open.  A ``/solve`` request may
+  opt into ``"allow_degraded": true`` to receive the linear-time heuristic
+  answer (flagged ``degraded`` in the envelope) instead of a 500 when the
+  exact engine is crashing.
 
 Endpoints (JSON in, JSON out; streams are NDJSON or SSE)::
 
@@ -35,12 +42,18 @@ in-flight solves, then closes sessions and the backend.
 from __future__ import annotations
 
 import asyncio
+import functools
+import math
+import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.api.query import FairCliqueQuery
 from repro.api.session import FairCliqueSession
 from repro.exceptions import ReproError
+from repro.resilience import SolveCrashedError, faults
+from repro.resilience.breaker import BreakerBoard, CircuitOpenError
+from repro.resilience.deadline import Deadline
 from repro.service.admission import AdmissionController, ServiceOverloadedError
 from repro.service.cache import ResultCache
 from repro.service.executor import ExecutorBackend, ThreadPoolBackend
@@ -82,6 +95,8 @@ class ServiceConfig:
     queue_depth: int = 32
     executor_workers: int = 4
     default_tier: str = "standard"
+    breaker_threshold: int = 5
+    breaker_reset_seconds: float = 30.0
 
 
 class FairCliqueService:
@@ -103,6 +118,10 @@ class FairCliqueService:
         self.quotas = quotas or QuotaPolicy(default=self.config.default_tier)
         self.backend = backend or ThreadPoolBackend(self.config.executor_workers)
         self.metrics = ServiceMetrics()
+        self.breakers = BreakerBoard(
+            failure_threshold=self.config.breaker_threshold,
+            reset_after=self.config.breaker_reset_seconds,
+        )
         self.draining = False
         self._started = time.monotonic()
 
@@ -151,9 +170,11 @@ class FairCliqueService:
                 return  # clean EOF before a request
             endpoint = f"{request.method} /{request.segments[0]}" if request.segments \
                 else f"{request.method} /"
+            faults.maybe_fire("http.request", endpoint=endpoint, path=request.path)
             status = await self._route(request, writer)
         except ConnectionError:
             status = 0  # client went away mid-response; nothing to send
+            self.metrics.inc("client_disconnects")
         except Exception as error:  # noqa: BLE001 - the server must not die
             status = 500
             try:
@@ -186,6 +207,24 @@ class FairCliqueService:
                 extra_headers={"Retry-After": "1"},
             )
             return 429
+        except CircuitOpenError as error:
+            # The graph's breaker is open: fail fast with an honest hint of
+            # when the next probe will be admitted.
+            await send_response(
+                writer, 503, error_body(503, str(error)),
+                extra_headers={
+                    "Retry-After": str(max(1, math.ceil(error.retry_after)))
+                },
+            )
+            return 503
+        except SolveCrashedError as error:
+            await send_response(writer, 500, error_body(500, str(error)))
+            return 500
+        except faults.InjectedFault as error:
+            await send_response(
+                writer, 500, error_body(500, f"injected fault: {error}")
+            )
+            return 500
         except UnknownGraphError as error:
             await send_response(writer, 404, error_body(404, str(error)))
             return 404
@@ -228,10 +267,18 @@ class FairCliqueService:
     # Introspection endpoints
     # ------------------------------------------------------------------ #
     async def _handle_healthz(self, writer) -> int:
+        breakers_open = self.breakers.open_keys()
+        if self.draining:
+            status = "draining"  # draining wins: the server is going away
+        elif breakers_open:
+            status = "degraded"  # alive, but some graphs are failing fast
+        else:
+            status = "ok"
         await send_response(writer, 200, dumps({
-            "status": "draining" if self.draining else "ok",
+            "status": status,
             "schema": SCHEMA,
             "graphs": self.registry.graph_ids(),
+            "breakers_open": breakers_open,
             "uptime_seconds": time.monotonic() - self._started,
         }))
         return 200
@@ -246,6 +293,7 @@ class FairCliqueService:
             "sessions": self.registry.info(),
             "quotas": self.quotas.info(),
             "executor": self.backend.info(),
+            "breakers": self.breakers.info(),
             "http": self.metrics.snapshot(),
         }))
         return 200
@@ -278,16 +326,24 @@ class FairCliqueService:
         if self.draining:
             raise HTTPError(503, "server is draining; not accepting new work")
 
-    def _admit_query(self, body: bytes) -> tuple[str, FairCliqueQuery, str, dict]:
-        """Shared front half: drain gate, envelope parse, tier clamp."""
+    def _admit_query(
+        self, body: bytes
+    ) -> tuple[str, FairCliqueQuery, str, dict, dict]:
+        """Shared front half: drain gate, envelope parse, tier clamp.
+
+        The final element is the raw request payload, so handlers can read
+        envelope-level flags (``allow_degraded``) the query itself does not
+        carry.
+        """
         self._check_accepting()
-        graph_id, query, tier_name, _ = parse_query_request(body)
+        graph_id, query, tier_name, payload = parse_query_request(body)
         tier = self.quotas.tier(tier_name)
         clamped, clamps = tier.clamp(query)
-        return graph_id, clamped, tier.name, clamps
+        return graph_id, clamped, tier.name, clamps, payload
 
     async def _handle_solve(self, request, writer) -> int:
-        graph_id, query, tier_name, clamps = self._admit_query(request.body)
+        graph_id, query, tier_name, clamps, payload = self._admit_query(request.body)
+        allow_degraded = bool(payload.get("allow_degraded", False))
         graph = self.registry.graph(graph_id)
         cached = self.result_cache.get(graph_id, graph.version, query)
         if cached is not None:
@@ -296,24 +352,63 @@ class FairCliqueService:
                 "quota_clamped": clamps or None, "report": cached,
             }))
             return 200
+        # Fail fast while the graph's breaker is open — before burning an
+        # admission slot or an executor thread on a doomed solve.
+        self.breakers.check(graph_id)
+        # One deadline for the whole request: it starts ticking *now*, so
+        # time spent queued for admission counts against the clamped budget
+        # and the solver aborts when whatever remains runs out.
+        deadline = Deadline.start(query.time_limit)
         async with self.admission:
+            if deadline.expired():
+                raise HTTPError(
+                    503, "request budget expired while queued for admission"
+                )
             session = self.registry.session(graph_id)
-            report = await asyncio.wrap_future(
-                self.backend.submit(session.solve, query)
-            )
-        payload = report.to_wire()
+            try:
+                faults.maybe_fire("service.solve", graph=graph_id)
+                report = await asyncio.wrap_future(self.backend.submit(
+                    functools.partial(session.solve, query, deadline=deadline)
+                ))
+            except (SolveCrashedError, faults.InjectedFault) as error:
+                self.breakers.record_failure(graph_id)
+                self.metrics.inc("solver_crashes")
+                if not allow_degraded or query.task != "maximum":
+                    raise
+                # Degraded tier: the exact solve is crashing, but the caller
+                # opted into a best-effort answer — fall back to the
+                # linear-time heuristic (options are exact-engine knobs, so
+                # they are dropped) and say so in the envelope.
+                fallback = replace(query, engine="heuristic", options={})
+                report = await asyncio.wrap_future(
+                    self.backend.submit(session.solve, fallback)
+                )
+                self.metrics.inc("degraded_responses")
+                await send_response(writer, 200, dumps({
+                    "graph": graph_id, "tier": tier_name, "cached": False,
+                    "quota_clamped": clamps or None,
+                    "degraded": True,
+                    "degraded_reason": str(error),
+                    "report": report.to_wire(),
+                }))
+                return 200
+        self.breakers.record_success(graph_id)
+        parallel = (report.metadata or {}).get("parallel") or {}
+        self.metrics.inc("shard_retries", int(parallel.get("shards_retried", 0)))
+        self.metrics.inc("pool_respawns", int(parallel.get("pool_respawns", 0)))
+        wire = report.to_wire()
         if not report.aborted:
             # A budget-truncated answer reflects machine load, not the
             # question; only finished answers are worth replaying.
-            self.result_cache.put(graph_id, graph.version, query, payload)
+            self.result_cache.put(graph_id, graph.version, query, wire)
         await send_response(writer, 200, dumps({
             "graph": graph_id, "tier": tier_name, "cached": False,
-            "quota_clamped": clamps or None, "report": payload,
+            "quota_clamped": clamps or None, "report": wire,
         }))
         return 200
 
     async def _handle_explain(self, request, writer) -> int:
-        graph_id, query, tier_name, clamps = self._admit_query(request.body)
+        graph_id, query, tier_name, clamps, _ = self._admit_query(request.body)
         async with self.admission:
             session = self.registry.session(graph_id)
             plan = await asyncio.wrap_future(
@@ -326,24 +421,32 @@ class FairCliqueService:
         return 200
 
     async def _handle_stream(self, request, writer) -> int:
-        graph_id, query, _, _ = self._admit_query(request.body)
+        graph_id, query, _, _, _ = self._admit_query(request.body)
         sse = (
             "text/event-stream" in request.header("accept")
             or request.params.get("format") == "sse"
         )
         async with self.admission:
             session = self.registry.session(graph_id)
+            # One Event ties the consumer to the solver: the pump sets it
+            # when the client disconnects (or this handler unwinds), the
+            # streaming session parks it on the solver's budget check, and
+            # the solve aborts instead of running to completion for nobody.
+            stopped = threading.Event()
             # Resolve validation errors (wrong task/engine for streaming)
             # *before* the response head goes out, so they surface as clean
             # 4xx JSON instead of a broken stream.
-            iterator = session.stream(query)
+            iterator = session.stream(query, stop_event=stopped)
             await start_streaming_response(
                 writer,
                 content_type=(
                     "text/event-stream" if sse else "application/x-ndjson"
                 ),
             )
-            async for event in self._pump(iterator):
+            events = 0
+            async for event in self._pump(iterator, stopped=stopped):
+                faults.maybe_fire("http.stream", event=events, graph=graph_id)
+                events += 1
                 line = dumps(event.to_wire())
                 writer.write(b"data: " + line + b"\n" if sse else line)
                 await writer.drain()
@@ -376,7 +479,10 @@ class FairCliqueService:
     # ------------------------------------------------------------------ #
     # The sync-iterator -> async bridge
     # ------------------------------------------------------------------ #
-    async def _pump(self, iterator, limit: int | None = None):
+    async def _pump(
+        self, iterator, limit: int | None = None,
+        stopped: threading.Event | None = None,
+    ):
         """Async-iterate a blocking generator by draining it on the backend.
 
         The producer runs ``iterator`` on the executor backend and hands
@@ -385,14 +491,19 @@ class FairCliqueService:
         here; when the consumer abandons the stream (client hung up), the
         producer notices the stop flag at its next item and closes the
         generator instead of blocking forever on a full queue.
+
+        ``stopped`` may be supplied by the caller to share the flag with the
+        producing generator itself (the stream handler hands the same Event
+        to the session, so a disconnect aborts the underlying solve, not
+        just the delivery).
         """
         import concurrent.futures
-        import threading
 
         loop = asyncio.get_running_loop()
         queue: asyncio.Queue = asyncio.Queue(maxsize=STREAM_BUFFER_EVENTS)
         done = object()
-        stopped = threading.Event()
+        if stopped is None:
+            stopped = threading.Event()
 
         def put(item) -> bool:
             """Hand one item to the loop; False when the consumer is gone."""

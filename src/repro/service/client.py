@@ -10,11 +10,18 @@ the example client, the service benchmark suite, and the CI smoke test.
 
 One connection per request (the server speaks ``Connection: close``), pure
 ``http.client`` underneath — no dependencies.
+
+Transient failures are retried: connection resets/refusals and 429/503
+responses back off with bounded jittered exponential delays (honouring the
+server's ``Retry-After`` hint when it sends one) before giving up.  Every
+query the service exposes is a pure function of (graph, query), so replaying
+a request is always safe.  Pass ``retries=0`` to opt out.
 """
 
 from __future__ import annotations
 
 import json
+import time
 from collections.abc import Iterator
 from http.client import HTTPConnection
 from urllib.parse import urlsplit
@@ -23,28 +30,59 @@ from repro.api.query import FairCliqueQuery
 from repro.api.report import SolveReport
 from repro.api.session import Incumbent, QueryPlan
 from repro.graph.attributed_graph import AttributedGraph
+from repro.resilience.retry import RetryPolicy
 from repro.service.wire import graph_to_wire
+
+#: Connection-level failures worth replaying: the server was restarting,
+#: the listener's backlog was full, or the connection died mid-exchange.
+_RETRYABLE_ERRORS = (ConnectionError, TimeoutError)
+
+#: HTTP statuses that explicitly invite a retry (backpressure, open breaker).
+_RETRYABLE_STATUSES = (429, 503)
 
 
 class ServiceError(Exception):
     """A non-2xx response from the service, carrying its error envelope."""
 
-    def __init__(self, status: int, message: str) -> None:
+    def __init__(
+        self, status: int, message: str, retry_after: float | None = None
+    ) -> None:
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
         self.message = message
+        #: Parsed ``Retry-After`` header (seconds), when the server sent one.
+        self.retry_after = retry_after
+
+
+def _parse_retry_after(value) -> float | None:
+    """Seconds from a ``Retry-After`` header (delta form only), or ``None``."""
+    if value is None:
+        return None
+    try:
+        return max(0.0, float(value))
+    except (TypeError, ValueError):
+        return None
 
 
 class ServiceClient:
     """A synchronous client bound to one service base URL."""
 
-    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 60.0,
+        *,
+        retries: int = 2,
+        retry_policy: RetryPolicy | None = None,
+    ) -> None:
         split = urlsplit(base_url if "//" in base_url else f"http://{base_url}")
         if split.scheme not in ("", "http"):
             raise ValueError(f"only http:// service URLs are supported, got {base_url!r}")
         self.host = split.hostname or "127.0.0.1"
         self.port = split.port or 80
         self.timeout = timeout
+        self.retry_policy = retry_policy or RetryPolicy(retries=retries)
+        self._rng = self.retry_policy.make_rng()
 
     # ------------------------------------------------------------------ #
     # Plumbing
@@ -52,7 +90,31 @@ class ServiceClient:
     def _connect(self) -> HTTPConnection:
         return HTTPConnection(self.host, self.port, timeout=self.timeout)
 
+    def _backoff(self, attempt: int, error: Exception) -> bool:
+        """Sleep before retry ``attempt``; False once the budget is spent."""
+        if attempt >= self.retry_policy.retries:
+            return False
+        retry_after = None
+        if isinstance(error, ServiceError):
+            if error.status not in _RETRYABLE_STATUSES:
+                return False
+            retry_after = error.retry_after
+        time.sleep(self.retry_policy.delay(attempt, self._rng, retry_after))
+        return True
+
     def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        attempt = 0
+        while True:
+            try:
+                return self._request_once(method, path, payload)
+            except (ServiceError, *_RETRYABLE_ERRORS) as error:
+                if not self._backoff(attempt, error):
+                    raise
+                attempt += 1
+
+    def _request_once(
+        self, method: str, path: str, payload: dict | None = None
+    ) -> dict:
         connection = self._connect()
         try:
             body = None if payload is None else json.dumps(payload).encode("utf-8")
@@ -63,14 +125,37 @@ class ServiceClient:
             decoded = json.loads(raw) if raw else {}
             if response.status >= 400:
                 raise ServiceError(
-                    response.status, decoded.get("error", raw.decode("utf-8", "replace"))
+                    response.status,
+                    decoded.get("error", raw.decode("utf-8", "replace")),
+                    retry_after=_parse_retry_after(
+                        response.getheader("Retry-After")
+                    ),
                 )
             return decoded
         finally:
             connection.close()
 
     def _request_lines(self, path: str, payload: dict) -> Iterator[dict]:
-        """POST and yield the NDJSON lines of a streaming response lazily."""
+        """POST and yield the NDJSON lines of a streaming response lazily.
+
+        Retries apply only *before the first line is delivered* — once the
+        consumer has seen events, replaying the request from scratch would
+        deliver duplicates, so a mid-stream failure propagates instead.
+        """
+        attempt = 0
+        while True:
+            started = False
+            try:
+                for line in self._request_lines_once(path, payload):
+                    started = True
+                    yield line
+                return
+            except (ServiceError, *_RETRYABLE_ERRORS) as error:
+                if started or not self._backoff(attempt, error):
+                    raise
+                attempt += 1
+
+    def _request_lines_once(self, path: str, payload: dict) -> Iterator[dict]:
         connection = self._connect()
         try:
             connection.request(
@@ -84,7 +169,12 @@ class ServiceClient:
                     message = json.loads(raw).get("error", "")
                 except json.JSONDecodeError:
                     message = raw.decode("utf-8", "replace")
-                raise ServiceError(response.status, message)
+                raise ServiceError(
+                    response.status, message,
+                    retry_after=_parse_retry_after(
+                        response.getheader("Retry-After")
+                    ),
+                )
             for line in response:
                 line = line.strip()
                 if line:
@@ -123,17 +213,24 @@ class ServiceClient:
     # Queries
     # ------------------------------------------------------------------ #
     def solve(self, graph_id: str, query: FairCliqueQuery,
-              tier: str | None = None) -> SolveReport:
+              tier: str | None = None, *, allow_degraded: bool = False) -> SolveReport:
         """Remote ``session.solve``; the report round-trips the wire format."""
         return SolveReport.from_wire(
-            self.solve_raw(graph_id, query, tier)["report"]
+            self.solve_raw(graph_id, query, tier, allow_degraded=allow_degraded)
+            ["report"]
         )
 
     def solve_raw(self, graph_id: str, query: FairCliqueQuery,
-                  tier: str | None = None) -> dict:
+                  tier: str | None = None, *, allow_degraded: bool = False) -> dict:
         """Like :meth:`solve` but returns the full response envelope
-        (``cached``, ``quota_clamped``, ``tier``, raw ``report``)."""
-        return self._request("POST", "/solve", self._envelope(graph_id, query, tier))
+        (``cached``, ``quota_clamped``, ``tier``, ``degraded``, raw
+        ``report``).  ``allow_degraded=True`` opts into a heuristic answer
+        (flagged ``degraded`` in the envelope) when the exact engine is
+        crashing, instead of a 500."""
+        extra = {"allow_degraded": True} if allow_degraded else {}
+        return self._request(
+            "POST", "/solve", self._envelope(graph_id, query, tier, **extra)
+        )
 
     def explain(self, graph_id: str, query: FairCliqueQuery,
                 tier: str | None = None) -> QueryPlan:

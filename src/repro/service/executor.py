@@ -22,6 +22,7 @@ from __future__ import annotations
 from concurrent.futures import Future, ThreadPoolExecutor
 
 from repro.exceptions import InvalidParameterError
+from repro.resilience import faults
 
 
 class ExecutorBackend:
@@ -56,6 +57,7 @@ class ThreadPoolBackend(ExecutorBackend):
         )
 
     def submit(self, fn, /, *args, **kwargs) -> Future:
+        faults.maybe_fire("backend.submit", backend=self.name)
         return self._pool.submit(fn, *args, **kwargs)
 
     def shutdown(self, wait: bool = True) -> None:
@@ -76,6 +78,7 @@ class InlineBackend(ExecutorBackend):
     name = "inline"
 
     def submit(self, fn, /, *args, **kwargs) -> Future:
+        faults.maybe_fire("backend.submit", backend=self.name)
         future: Future = Future()
         try:
             future.set_result(fn(*args, **kwargs))

@@ -75,6 +75,7 @@ class ServiceMetrics:
         self._latency: dict[str, LatencyHistogram] = {}
         self._requests: dict[str, int] = {}
         self._statuses: dict[int, int] = {}
+        self._counters: dict[str, int] = {}
 
     def observe(self, endpoint: str, status: int, seconds: float) -> None:
         """Record one finished request."""
@@ -86,6 +87,18 @@ class ServiceMetrics:
             self._requests[endpoint] = self._requests.get(endpoint, 0) + 1
             self._statuses[status] = self._statuses.get(status, 0) + 1
 
+    def inc(self, name: str, amount: int = 1) -> None:
+        """Bump a named monotonic counter (resilience events, retries, …)."""
+        if amount == 0:
+            return
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def counter(self, name: str) -> int:
+        """Read one named counter (0 when never bumped)."""
+        with self._lock:
+            return self._counters.get(name, 0)
+
     def snapshot(self) -> dict:
         """Plain-data snapshot for ``/metrics``."""
         with self._lock:
@@ -96,6 +109,7 @@ class ServiceMetrics:
                     str(status): count
                     for status, count in sorted(self._statuses.items())
                 },
+                "counters": dict(sorted(self._counters.items())),
                 "latency_by_endpoint": {
                     endpoint: histogram.snapshot()
                     for endpoint, histogram in sorted(self._latency.items())

@@ -1,0 +1,134 @@
+"""Crash tolerance of the parallel executor under deterministic fault plans.
+
+The acceptance scenario of the resilience subsystem: a fault plan kills a
+worker process mid-solve at a chosen shard, and the executor must still
+return the exact serial answer — respawning the pool, retrying the lost
+shards, and reporting the recovery in the solve telemetry.  Harder failure
+modes stack on top: shards that fail every pool attempt fall back to serial
+execution in the coordinator, and only a shard that fails even *there*
+surfaces as :class:`~repro.resilience.SolveCrashedError`.
+
+These tests install plans in the coordinator; pool workers inherit them at
+fork time (``kill`` only ever ``os._exit``s inside a marked worker process,
+so the suite itself is never at risk).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import FairCliqueQuery, solve
+from repro.graph.generators import community_graph
+from repro.resilience import SolveCrashedError
+from repro.resilience.faults import FaultPlan, FaultSpec, fault_injection
+from repro.search.verification import is_relative_fair_clique
+from repro.variants.multi_attribute import is_multi_attribute_weak_fair_clique
+
+MODELS = ("relative", "weak", "strong", "multi_weak")
+
+
+def _graph():
+    """Three dense components → three-plus shards for a 2-worker pool."""
+    return community_graph(3, 16, intra_probability=0.6, inter_edges=0, seed=21)
+
+
+def _query(model: str, workers: int | None) -> FairCliqueQuery:
+    delta = 1 if model == "relative" else None
+    return FairCliqueQuery(model=model, k=2, delta=delta, workers=workers)
+
+
+def _verify(graph, report) -> None:
+    if not report.found:
+        return
+    if report.model == "multi_weak":
+        assert is_multi_attribute_weak_fair_clique(graph, report.clique, report.k)
+    else:
+        delta = _query(report.model, None).effective_delta(graph)
+        assert is_relative_fair_clique(graph, report.clique, report.k, delta)
+
+
+def _kill_plan(shard: int = 0, *, every_attempt: bool = False) -> FaultPlan:
+    """Kill the worker executing ``shard`` (first attempt only by default)."""
+    when = {"shard": shard} if every_attempt else {"shard": shard, "attempt": 1}
+    return FaultPlan(specs=(FaultSpec(
+        point="shard.run", action="kill", when=when,
+        times=None if every_attempt else 1, scope="worker",
+    ),))
+
+
+class TestWorkerKillRecovery:
+    """A worker dies mid-solve; the answer must not change."""
+
+    @pytest.mark.parametrize("model", MODELS)
+    def test_kill_then_exact_parity(self, model):
+        graph = _graph()
+        serial = solve(graph, _query(model, None))
+        with fault_injection(_kill_plan(shard=0)):
+            report = solve(graph, _query(model, 2))
+        assert report.size == serial.size
+        assert report.optimal
+        assert not report.aborted
+        _verify(graph, report)
+        parallel = report.metadata["parallel"]
+        assert parallel["pool_respawns"] >= 1
+        assert parallel["pool_breaks"] >= 1
+        assert parallel["shards_retried"] >= 1
+        assert not parallel["degraded"]
+
+    def test_kill_records_failure_detail(self):
+        graph = _graph()
+        with fault_injection(_kill_plan(shard=1)):
+            report = solve(graph, _query("relative", 2))
+        failures = report.metadata["parallel"]["shard_failures"]
+        assert any("BrokenProcessPool" in message for message in failures.values())
+
+
+class TestWorkerExceptionRetry:
+    """A shard raising inside the worker retries without breaking the pool."""
+
+    def test_raise_then_exact_parity(self):
+        graph = _graph()
+        serial = solve(graph, _query("relative", None))
+        plan = FaultPlan(specs=(FaultSpec(
+            point="shard.run", action="raise",
+            when={"shard": 0, "attempt": 1}, scope="worker",
+        ),))
+        with fault_injection(plan):
+            report = solve(graph, _query("relative", 2))
+        assert report.size == serial.size
+        assert report.optimal
+        parallel = report.metadata["parallel"]
+        assert parallel["shards_retried"] >= 1
+        assert parallel["pool_breaks"] == 0  # nobody died; the future failed
+        assert not parallel["degraded"]
+
+
+class TestSerialFallback:
+    """A shard that fails every pool attempt still completes — serially."""
+
+    def test_persistent_worker_kill_falls_back_serial(self):
+        graph = _graph()
+        serial = solve(graph, _query("relative", None))
+        # scope="worker": the serial rerun in the coordinator is unaffected.
+        with fault_injection(_kill_plan(shard=0, every_attempt=True)):
+            report = solve(graph, _query("relative", 2))
+        assert report.size == serial.size
+        assert report.optimal
+        parallel = report.metadata["parallel"]
+        assert parallel["serial_fallbacks"] >= 1
+        assert not parallel["degraded"]
+
+    def test_unrecoverable_shard_raises_solve_crashed(self):
+        graph = _graph()
+        # scope="any" + unlimited: the shard fails in workers *and* in the
+        # coordinator's serial rerun — the one case that must surface.
+        plan = FaultPlan(specs=(FaultSpec(
+            point="shard.run", action="raise", when={"shard": 0},
+            times=None, scope="any",
+        ),))
+        with fault_injection(plan):
+            with pytest.raises(SolveCrashedError) as excinfo:
+                solve(graph, _query("relative", 2))
+        telemetry = excinfo.value.telemetry
+        assert telemetry is not None
+        assert telemetry["serial_fallbacks"] >= 1

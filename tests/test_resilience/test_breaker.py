@@ -1,0 +1,121 @@
+"""Circuit breaker state machine, driven by an injected fake clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BreakerBoard,
+    CircuitBreaker,
+    CircuitOpenError,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock() -> FakeClock:
+    return FakeClock()
+
+
+class TestCircuitBreaker:
+    def test_threshold_opens(self, clock):
+        breaker = CircuitBreaker(3, 10.0, clock=clock)
+        for _ in range(2):
+            breaker.record_failure()
+            assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.opened_total == 1
+
+    def test_open_rejects_with_retry_hint(self, clock):
+        breaker = CircuitBreaker(1, 10.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(4.0)
+        with pytest.raises(CircuitOpenError) as excinfo:
+            breaker.check("g")
+        assert excinfo.value.key == "g"
+        assert excinfo.value.retry_after == pytest.approx(6.0)
+        assert breaker.rejected_total == 1
+
+    def test_success_resets_failure_streak(self, clock):
+        breaker = CircuitBreaker(2, 10.0, clock=clock)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CLOSED  # streak broken: 1+1, never 2 in a row
+
+    def test_half_open_probe_success_closes(self, clock):
+        breaker = CircuitBreaker(1, 10.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(10.5)
+        breaker.check("g")  # window elapsed: the probe is admitted
+        assert breaker.state == HALF_OPEN
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        breaker.check("g")  # closed again: no raise
+
+    def test_half_open_probe_failure_reopens(self, clock):
+        breaker = CircuitBreaker(1, 10.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(10.5)
+        breaker.check("g")
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.opened_total == 2
+        with pytest.raises(CircuitOpenError):
+            breaker.check("g")  # a fresh full window applies
+
+    def test_threshold_must_be_positive(self, clock):
+        with pytest.raises(ValueError):
+            CircuitBreaker(0, 10.0, clock=clock)
+
+
+class TestBreakerBoard:
+    def test_keys_are_independent(self, clock):
+        board = BreakerBoard(failure_threshold=1, reset_after=10.0, clock=clock)
+        board.record_failure("bad")
+        with pytest.raises(CircuitOpenError):
+            board.check("bad")
+        board.check("good")  # other graphs unaffected
+        assert board.open_keys() == ["bad"]
+
+    def test_success_on_unknown_key_is_harmless(self, clock):
+        board = BreakerBoard(clock=clock)
+        board.record_success("never-seen")
+        assert board.open_keys() == []
+
+    def test_info_snapshot(self, clock):
+        board = BreakerBoard(failure_threshold=1, reset_after=5.0, clock=clock)
+        board.record_failure("g")
+        with pytest.raises(CircuitOpenError):
+            board.check("g")
+        info = board.info()
+        assert info["failure_threshold"] == 1
+        assert info["reset_after_seconds"] == 5.0
+        assert info["open"] == ["g"]
+        assert info["opened_total"] == 1
+        assert info["rejected_total"] == 1
+        assert info["by_key"]["g"]["state"] == OPEN
+
+    def test_recovery_cycle(self, clock):
+        board = BreakerBoard(failure_threshold=2, reset_after=3.0, clock=clock)
+        board.record_failure("g")
+        board.record_failure("g")
+        assert board.open_keys() == ["g"]
+        clock.advance(3.5)
+        board.check("g")           # half-open probe admitted
+        board.record_success("g")  # probe succeeded
+        assert board.open_keys() == []

@@ -1,0 +1,78 @@
+"""The Deadline object: construction, expiry, clamping, picklability."""
+
+from __future__ import annotations
+
+import pickle
+import time
+
+from repro.resilience.deadline import Deadline
+
+
+class TestConstruction:
+    def test_start_none_is_unbounded(self):
+        deadline = Deadline.start(None)
+        assert not deadline.bounded
+        assert not deadline.expired()
+        assert deadline.remaining() is None
+
+    def test_unbounded_classmethod(self):
+        assert Deadline.unbounded() == Deadline(None)
+
+    def test_start_seconds_is_bounded(self):
+        deadline = Deadline.start(60.0)
+        assert deadline.bounded
+        assert not deadline.expired()
+        remaining = deadline.remaining()
+        assert 59.0 < remaining <= 60.0
+
+    def test_tightest_picks_earliest(self):
+        near = Deadline.start(1.0)
+        far = Deadline.start(100.0)
+        assert Deadline.tightest(far, near, None) == near
+
+    def test_tightest_of_unbounded_is_unbounded(self):
+        assert not Deadline.tightest(Deadline.unbounded(), None).bounded
+
+    def test_tightest_ignores_unbounded_entries(self):
+        near = Deadline.start(1.0)
+        assert Deadline.tightest(Deadline.unbounded(), near) == near
+
+
+class TestExpiry:
+    def test_past_deadline_is_expired(self):
+        deadline = Deadline(time.monotonic() - 1.0)
+        assert deadline.expired()
+        assert deadline.remaining() == 0.0
+
+    def test_zero_budget_expires_immediately(self):
+        deadline = Deadline.start(0.0)
+        time.sleep(0.001)
+        assert deadline.expired()
+
+
+class TestClamp:
+    def test_clamp_unbounded_passes_through(self):
+        assert Deadline.unbounded().clamp_seconds(5.0) == 5.0
+        assert Deadline.unbounded().clamp_seconds(None) is None
+
+    def test_clamp_tightens_looser_budget(self):
+        deadline = Deadline.start(1.0)
+        assert deadline.clamp_seconds(100.0) <= 1.0
+
+    def test_clamp_keeps_tighter_budget(self):
+        deadline = Deadline.start(100.0)
+        assert deadline.clamp_seconds(1.0) == 1.0
+
+    def test_clamp_none_returns_remaining(self):
+        deadline = Deadline.start(10.0)
+        clamped = deadline.clamp_seconds(None)
+        assert 9.0 < clamped <= 10.0
+
+
+class TestPickling:
+    def test_roundtrip_preserves_instant(self):
+        # The executor ships deadlines into forked workers; the absolute
+        # monotonic stamp must survive the trip unchanged.
+        for deadline in (Deadline.start(30.0), Deadline.unbounded()):
+            clone = pickle.loads(pickle.dumps(deadline))
+            assert clone == deadline

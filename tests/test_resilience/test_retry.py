@@ -1,0 +1,43 @@
+"""RetryPolicy backoff arithmetic: bounds, jitter, Retry-After floors."""
+
+from __future__ import annotations
+
+from repro.resilience.retry import RetryPolicy
+
+
+class TestDelay:
+    def test_exponential_growth_without_jitter(self):
+        policy = RetryPolicy(base_delay=0.1, multiplier=2.0, jitter=0.0)
+        rng = policy.make_rng()
+        assert policy.delay(0, rng) == 0.1
+        assert policy.delay(1, rng) == 0.2
+        assert policy.delay(2, rng) == 0.4
+
+    def test_capped_at_max_delay(self):
+        policy = RetryPolicy(base_delay=1.0, multiplier=10.0, max_delay=3.0, jitter=0.0)
+        rng = policy.make_rng()
+        assert policy.delay(5, rng) == 3.0
+
+    def test_jitter_shrinks_within_bounds(self):
+        policy = RetryPolicy(base_delay=1.0, multiplier=1.0, jitter=0.5, seed=3)
+        rng = policy.make_rng()
+        delays = [policy.delay(0, rng) for _ in range(50)]
+        assert all(0.5 <= d <= 1.0 for d in delays)
+        assert len(set(delays)) > 1  # jitter actually varies
+
+    def test_seeded_jitter_is_reproducible(self):
+        policy = RetryPolicy(seed=9)
+        first = [policy.delay(i, policy.make_rng()) for i in range(4)]
+        second = [policy.delay(i, policy.make_rng()) for i in range(4)]
+        assert first == second
+
+    def test_retry_after_raises_the_floor(self):
+        # The server's hint wins over a shorter computed backoff.
+        policy = RetryPolicy(base_delay=0.01, jitter=0.0, max_delay=5.0)
+        rng = policy.make_rng()
+        assert policy.delay(0, rng, retry_after=2.0) == 2.0
+
+    def test_retry_after_still_capped(self):
+        policy = RetryPolicy(base_delay=0.01, jitter=0.0, max_delay=5.0)
+        rng = policy.make_rng()
+        assert policy.delay(0, rng, retry_after=60.0) == 5.0
