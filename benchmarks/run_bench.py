@@ -31,6 +31,13 @@ Three suites share this driver:
   plain/armed wall-clock and their ratio to
   ``benchmarks/results/BENCH_chaos.json``.  The gate asserts the hooks stay
   free: an armed-but-idle plan must not slow the solver down.
+* ``--suite durability`` drives the same upload+solve loop over the wire
+  once on an ephemeral service and once with a ``--data-dir`` WAL attached,
+  then times a warm restart over the written logs, and writes the
+  WAL-off/WAL-on wall-clock, their ratio, and the recovery time to
+  ``benchmarks/results/BENCH_durability.json``.  The gate asserts the
+  durable path stays cheap: fsynced graph acks and batched result appends
+  must not meaningfully slow the service down.
 
 Every search cell asserts *result parity* (kernel vs dict: same clique and
 branch counters; serial vs parallel: same optimal size and a verified fair
@@ -53,6 +60,8 @@ Usage::
         --check benchmarks/results/BENCH_service_smoke_baseline.json
     PYTHONPATH=src python benchmarks/run_bench.py --suite chaos --smoke \
         --check benchmarks/results/BENCH_chaos_smoke_baseline.json
+    PYTHONPATH=src python benchmarks/run_bench.py --suite durability --smoke \
+        --check benchmarks/results/BENCH_durability_smoke_baseline.json
 
 ``--check`` compares the freshly measured median speedup (a same-machine
 ratio — kernel vs dict, or parallel vs serial — so the gate is
@@ -68,8 +77,10 @@ import argparse
 import json
 import os
 import platform
+import shutil
 import statistics
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -97,6 +108,7 @@ PARALLEL_SCHEMA = "bench_parallel/v1"
 SESSION_SCHEMA = "bench_session/v1"
 SERVICE_SCHEMA = "bench_service/v1"
 CHAOS_SCHEMA = "bench_chaos/v1"
+DURABILITY_SCHEMA = "bench_durability/v1"
 #: schema -> the medians key the --check gate compares.
 CHECK_KEYS = {
     SCHEMA: "search_speedup",
@@ -104,6 +116,7 @@ CHECK_KEYS = {
     SESSION_SCHEMA: "session_speedup",
     SERVICE_SCHEMA: "service_speedup",
     CHAOS_SCHEMA: "chaos_speedup",
+    DURABILITY_SCHEMA: "durability_speedup",
 }
 
 
@@ -387,6 +400,128 @@ def run_chaos(mode: str, repeats: int) -> dict:
     }
     return {
         "schema": CHAOS_SCHEMA,
+        "mode": mode,
+        "repeats": repeats,
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cells": cells,
+        "medians": medians,
+    }
+
+
+def durability_full_grid():
+    """Graph counts for the WAL-overhead / warm-restart suite."""
+    return [("wal-8", 8), ("wal-24", 24), ("wal-48", 48)]
+
+
+def durability_smoke_grid():
+    """A seconds-sized durability grid for the CI smoke gate."""
+    return [("wal-6", 6), ("wal-12", 12)]
+
+
+def bench_durability(num_graphs, repeats):
+    """WAL-on vs WAL-off ingest+solve throughput, plus recovery wall-clock.
+
+    Each repeat boots the in-process HTTP service twice — once ephemeral,
+    once with a ``data_dir`` — and drives the identical upload+solve loop
+    over the wire, so the WAL-on pass pays every real durability cost:
+    the fsynced graph append before each ack and the batched result
+    append after each solve.  Both passes must return identical sizes.
+    The WAL-on run then times a *third* service constructed over the same
+    data dir: that constructor replays the logs, so its wall-clock IS the
+    warm-restart recovery time, and it must recover every graph.
+    """
+    from repro.service import (
+        FairCliqueService,
+        ServerHandle,
+        ServiceClient,
+        ServiceConfig,
+    )
+
+    # Realistic per-graph work (a three-component search that actually
+    # branches, two queries per upload): the synced graph append is a fixed
+    # per-upload cost, so trivial cells would time the WAL encoding instead
+    # of the durable service.
+    queries = [
+        FairCliqueQuery(model="relative", k=2, delta=delta) for delta in (0, 1)
+    ]
+    graphs = [
+        community_graph(3, 32, intra_probability=0.45, inter_edges=0, seed=seed)
+        for seed in range(num_graphs)
+    ]
+    samples = {"off": [], "on": []}
+    recovery_samples = []
+    sizes = {}
+    for _ in range(repeats):
+        for label in ("off", "on"):
+            data_dir = None
+            if label == "on":
+                data_dir = tempfile.mkdtemp(prefix="repro-bench-wal-")
+            service = FairCliqueService(ServiceConfig(port=0, data_dir=data_dir))
+            handle = ServerHandle.start(service)
+            try:
+                client = ServiceClient(handle.address, retries=0)
+                pass_sizes = []
+                started = time.monotonic()
+                for index, graph in enumerate(graphs):
+                    client.upload_graph(f"g{index}", graph)
+                    for query in queries:
+                        response = client.solve_raw(f"g{index}", query,
+                                                    tier="unlimited")
+                        pass_sizes.append(len(response["report"]["clique"]))
+                samples[label].append(time.monotonic() - started)
+            finally:
+                handle.stop()
+            sizes[label] = pass_sizes
+            if data_dir is not None:
+                started = time.monotonic()
+                recovered = FairCliqueService(
+                    ServiceConfig(port=0, data_dir=data_dir)
+                )
+                recovery_samples.append(time.monotonic() - started)
+                count = recovered.recovery["graphs_recovered"]
+                if count != num_graphs:
+                    raise AssertionError(
+                        f"recovery lost graphs: {count} != {num_graphs}"
+                    )
+                recovered.durability.close()
+                shutil.rmtree(data_dir, ignore_errors=True)
+    if sizes["off"] != sizes["on"]:
+        raise AssertionError(
+            f"WAL-on pass parity violated: {sizes['on']} != {sizes['off']}"
+        )
+    return {
+        "wal_off_s": median_of(samples["off"]),
+        "wal_on_s": median_of(samples["on"]),
+        "speedup": median_of(samples["off"]) / max(median_of(samples["on"]), 1e-9),
+        "recovery_s": median_of(recovery_samples),
+        "sizes": sizes["off"],
+    }
+
+
+def run_durability(mode: str, repeats: int) -> dict:
+    grid = durability_smoke_grid() if mode == "smoke" else durability_full_grid()
+    cells = []
+    for name, num_graphs in grid:
+        print(f"[bench] {name}: graphs={num_graphs}", flush=True)
+        cell = {
+            "name": name,
+            "num_graphs": num_graphs,
+            **bench_durability(num_graphs, repeats),
+        }
+        print(f"        wal-off {cell['wal_off_s']:.3f}s  "
+              f"wal-on {cell['wal_on_s']:.3f}s  x{cell['speedup']:.2f}  "
+              f"recovery {cell['recovery_s']:.3f}s", flush=True)
+        cells.append(cell)
+    medians = {
+        "wal_off_s": median_of([cell["wal_off_s"] for cell in cells]),
+        "wal_on_s": median_of([cell["wal_on_s"] for cell in cells]),
+        "recovery_s": median_of([cell["recovery_s"] for cell in cells]),
+        "durability_speedup": median_of([cell["speedup"] for cell in cells]),
+    }
+    return {
+        "schema": DURABILITY_SCHEMA,
         "mode": mode,
         "repeats": repeats,
         "cpu_count": os.cpu_count(),
@@ -869,12 +1004,13 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--suite",
                         choices=("kernel", "parallel", "session", "service",
-                                 "chaos"),
+                                 "chaos", "durability"),
                         default="kernel",
                         help="kernel-vs-dict hot paths, serial-vs-parallel "
                              "search, cold-vs-warm session caching, the "
                              "HTTP service tier (cold/warm/result-cached), "
-                             "or the fault-hook overhead check")
+                             "the fault-hook overhead check, or the "
+                             "WAL-on-vs-off + warm-restart recovery suite")
     parser.add_argument("--smoke", action="store_true",
                         help="run the small CI grid instead of the full one")
     parser.add_argument("--repeats", type=int, default=3,
@@ -914,6 +1050,10 @@ def main(argv=None) -> int:
         report = run_chaos(mode, max(1, args.repeats))
         default_name = ("BENCH_chaos_smoke.json" if args.smoke
                         else "BENCH_chaos.json")
+    elif args.suite == "durability":
+        report = run_durability(mode, max(1, args.repeats))
+        default_name = ("BENCH_durability_smoke.json" if args.smoke
+                        else "BENCH_durability.json")
     else:
         report = run(mode, max(1, args.repeats))
         default_name = ("BENCH_kernel_smoke.json" if args.smoke

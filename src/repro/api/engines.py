@@ -169,7 +169,13 @@ def exact_engine(
     if workers > 1:
         from repro.parallel import ParallelConfig, ParallelMaxRFC
 
-        solver: MaxRFC = ParallelMaxRFC(config, ParallelConfig(workers=workers))
+        # Durable solve checkpoint: the service parks a CheckpointHandle on
+        # the context view so a killed server resumes this exact solve from
+        # its last completed shard after a warm restart.
+        checkpoint = getattr(context, "checkpoint", None)
+        solver: MaxRFC = ParallelMaxRFC(
+            config, ParallelConfig(workers=workers), checkpoint=checkpoint
+        )
     else:
         solver = MaxRFC(config)
     # Streaming tap: a session's stream() parks its incumbent hook on the

@@ -271,7 +271,7 @@ class _StreamView(SolveContext):
     """
 
     def __init__(self, base: SolveContext, hook=None, *,
-                 stop_event=None, deadline=None) -> None:
+                 stop_event=None, deadline=None, checkpoint=None) -> None:
         # Deliberately no super().__init__: every attribute aliases the base
         # (including the cache lock, which is what makes a query issued
         # while a stream's background solve is in flight safe).
@@ -282,10 +282,12 @@ class _StreamView(SolveContext):
         self.telemetry = base.telemetry
         self.incumbent_hook = hook
         # Per-request resilience plumbing: the consumer-disconnect stop
-        # signal and the caller-owned Deadline both belong to *one* solve,
-        # so they live on the view, never on the shared session context.
+        # signal, the caller-owned Deadline, and the durable checkpoint
+        # sink all belong to *one* solve, so they live on the view, never
+        # on the shared session context.
         self.stop_event = stop_event
         self.deadline = deadline
+        self.checkpoint = checkpoint
 
 
 # --------------------------------------------------------------------------- #
@@ -392,21 +394,25 @@ class FairCliqueSession:
     # Solving
     # ------------------------------------------------------------------ #
     def solve(self, query: FairCliqueQuery | None = None, *,
-              deadline=None, **fields) -> SolveReport:
+              deadline=None, checkpoint=None, **fields) -> SolveReport:
         """Answer one query against the prepared graph (any task shape).
 
         ``deadline`` optionally imposes a caller-owned
         :class:`~repro.resilience.Deadline` on this one solve (the service
         passes its request budget, queue wait already spent); it combines
         with the query's own ``time_limit`` by earliest-expiry-wins.
+        ``checkpoint`` optionally attaches a durable checkpoint sink (a
+        :class:`repro.durability.CheckpointHandle`) that a parallel exact
+        solve persists its progress to and resumes from — the service's
+        warm-restart path for long solves.
         """
         self._check_open()
         query = self._make_query(query, fields)
         validate_task(query)
         context = self.context
-        if deadline is not None and deadline.bounded:
+        if (deadline is not None and deadline.bounded) or checkpoint is not None:
             context = _StreamView(context, context.incumbent_hook,
-                                  deadline=deadline)
+                                  deadline=deadline, checkpoint=checkpoint)
         return _dispatch_query(self.graph, query, context, self._registry)
 
     def solve_many(

@@ -199,6 +199,20 @@ def _build_parser() -> argparse.ArgumentParser:
                            metavar="SECONDS",
                            help="seconds an open breaker waits before "
                                 "admitting a half-open probe")
+    serve_cmd.add_argument("--data-dir", default=None, metavar="DIR",
+                           help="durable state directory: uploaded graphs are "
+                                "write-ahead logged, cacheable results and "
+                                "parallel-solve checkpoints persist, and a "
+                                "restart warm-boots from it (default: "
+                                "in-memory only)")
+    serve_cmd.add_argument("--wal-fsync-every", type=int, default=8,
+                           metavar="N",
+                           help="fsync the batched result WAL every N appends "
+                                "(graph acks always fsync)")
+    serve_cmd.add_argument("--wal-compact-every", type=int, default=256,
+                           metavar="N",
+                           help="rewrite a WAL as snapshot+tail every N "
+                                "appends")
 
     subparsers.add_parser("datasets", help="list the built-in dataset stand-ins")
     subparsers.add_parser("engines", help="list registered engines and supported models")
@@ -471,8 +485,14 @@ def _command_serve(args: argparse.Namespace) -> int:
     from repro.service import FairCliqueService, ServerHandle, ServiceConfig
 
     # Chaos harnesses arm fault plans through the environment; a normal
-    # serve run pays one dict lookup here and nothing afterwards.
-    plan = faults.install_from_env()
+    # serve run pays one dict lookup here and nothing afterwards.  A
+    # malformed plan refuses to boot — running a "chaos test" where no
+    # fault can ever fire is worse than failing loudly.
+    try:
+        plan = faults.install_from_env()
+    except faults.FaultPlanError as error:
+        print(f"repro serve: {error}", file=sys.stderr, flush=True)
+        return 2
     if plan is not None:
         print(f"fault injection armed: {len(plan.specs)} spec(s), "
               f"seed={plan.seed}", flush=True)
@@ -488,8 +508,20 @@ def _command_serve(args: argparse.Namespace) -> int:
         default_tier=args.default_tier,
         breaker_threshold=args.breaker_threshold,
         breaker_reset_seconds=args.breaker_reset,
+        data_dir=args.data_dir,
+        wal_fsync_every=args.wal_fsync_every,
+        wal_compact_every=args.wal_compact_every,
     )
     service = FairCliqueService(config)
+    if service.recovery is not None:
+        recovery = service.recovery
+        print(f"warm restart from {args.data_dir}: "
+              f"{recovery['graphs_recovered']} graph(s), "
+              f"{recovery['results_restored']} cached result(s), "
+              f"{recovery['checkpoints_found']} solve checkpoint(s)"
+              + (f", {recovery['truncated_bytes']} torn byte(s) truncated"
+                 if recovery.get("truncated_bytes") else ""),
+              flush=True)
     for name in args.preload:
         graph = load_dataset(name, scale=args.scale)
         service.add_graph(name.lower(), graph)

@@ -1,0 +1,39 @@
+"""Durable state for the fair-clique service: WAL, checkpoints, recovery.
+
+Three layers, lowest first:
+
+* :mod:`repro.durability.wal` — append-only checksummed JSONL logs with
+  torn-tail repair and snapshot+tail compaction;
+* :mod:`repro.durability.checkpoint` — atomic per-solve checkpoint files
+  the parallel executor resumes from after a crash;
+* :mod:`repro.durability.store` — the data-directory composition the
+  service boots from (graphs, cached results, checkpoints).
+
+The package depends only on the stdlib and the fault-injection seams; it
+never imports the service or graph tiers.
+"""
+
+from .checkpoint import CheckpointHandle, CheckpointStore, CheckpointWriteError
+from .store import DurableStateStore, RecoveryReport
+from .wal import (
+    DurabilityError,
+    ReplayReport,
+    SnapshotLog,
+    WalError,
+    WalWriteError,
+    WriteAheadLog,
+)
+
+__all__ = [
+    "CheckpointHandle",
+    "CheckpointStore",
+    "CheckpointWriteError",
+    "DurabilityError",
+    "DurableStateStore",
+    "RecoveryReport",
+    "ReplayReport",
+    "SnapshotLog",
+    "WalError",
+    "WalWriteError",
+    "WriteAheadLog",
+]

@@ -1,0 +1,108 @@
+"""Atomic, checksummed checkpoint files for long-running solves.
+
+A checkpoint is one JSON document per ``(graph, version, query)`` triple,
+written atomically (tmp file + ``os.replace``) so a crash mid-write leaves
+either the previous checkpoint or none — never a half-written file.  The
+same canonical-JSON + crc32 scheme as the WAL guards the contents; a
+checkpoint that fails its checksum loads as ``None``, which callers treat
+as "start from scratch" (checkpoints are an optimisation, never a
+correctness dependency).
+
+The ``checkpoint.write`` fault seam fires before the write so the chaos
+harness can inject failures; they surface as :class:`CheckpointWriteError`
+and the executor swallows them — losing a checkpoint must never kill the
+solve it was protecting.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import zlib
+from pathlib import Path
+from typing import Optional
+
+from repro.resilience import faults
+
+from .wal import DurabilityError
+
+__all__ = ["CheckpointWriteError", "CheckpointHandle", "CheckpointStore"]
+
+
+class CheckpointWriteError(DurabilityError):
+    """A checkpoint could not be persisted (disk pressure or injected)."""
+
+
+def _canonical(payload: dict) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+class CheckpointHandle:
+    """Save/load/discard for one solve's checkpoint file."""
+
+    def __init__(self, path: Path):
+        self.path = Path(path)
+
+    def save(self, state: dict) -> None:
+        body = _canonical(state)
+        crc = zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF
+        document = _canonical({**state, "crc": crc})
+        tmp = self.path.with_suffix(".tmp")
+        try:
+            faults.maybe_fire("checkpoint.write", path=self.path.name)
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with open(tmp, "w", encoding="utf-8") as handle:
+                handle.write(document)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, self.path)
+        except (OSError, faults.InjectedFault) as error:
+            tmp.unlink(missing_ok=True)
+            raise CheckpointWriteError(
+                f"checkpoint {self.path.name!r} write failed: {error}"
+            ) from error
+
+    def load(self) -> Optional[dict]:
+        """The persisted state, or ``None`` when absent or corrupt."""
+        try:
+            raw = self.path.read_text(encoding="utf-8")
+        except OSError:
+            return None
+        try:
+            record = json.loads(raw)
+        except json.JSONDecodeError:
+            return None
+        if not isinstance(record, dict) or "crc" not in record:
+            return None
+        stored = record.pop("crc")
+        if stored != (zlib.crc32(_canonical(record).encode("utf-8")) & 0xFFFFFFFF):
+            return None
+        return record
+
+    def discard(self) -> None:
+        try:
+            self.path.unlink(missing_ok=True)
+        except OSError:  # pragma: no cover - best-effort cleanup
+            pass
+
+
+class CheckpointStore:
+    """The checkpoint directory inside a service data dir."""
+
+    def __init__(self, directory: Path | str):
+        self.directory = Path(directory)
+
+    def handle(self, key: str) -> CheckpointHandle:
+        """The handle for an opaque solve identity string.
+
+        The filename is a digest of the key, so arbitrary graph ids and
+        query encodings never have to be filesystem-safe.
+        """
+        digest = hashlib.sha256(key.encode("utf-8")).hexdigest()[:32]
+        return CheckpointHandle(self.directory / f"{digest}.ckpt")
+
+    def count(self) -> int:
+        if not self.directory.exists():
+            return 0
+        return sum(1 for entry in self.directory.glob("*.ckpt"))

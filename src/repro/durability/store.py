@@ -1,0 +1,211 @@
+"""The durable state store backing a service data directory.
+
+Layout of ``--data-dir``::
+
+    graphs.snapshot.jsonl   one graph.put record per live graph (compacted)
+    graphs.wal              graph.put tail since the last compaction
+    results.snapshot.jsonl  result.put records kept across compaction
+    results.wal             result.put tail (fsync-batched)
+    checkpoints/*.ckpt      one checkpoint per in-flight parallel solve
+
+The store deliberately speaks *opaque JSON dicts* — it never imports the
+service wire layer or the graph types, so ``repro.durability`` sits below
+every other tier and can be reused by any caller that wants last-wins
+durable maps.  The service converts graphs with ``graph_to_wire`` /
+``graph_from_wire`` on its side of the boundary.
+
+Write policy:
+
+* graph records are appended ``sync=True`` — the upload ack implies the
+  graph survives a crash;
+* result records are fsync-batched — a cached solve result is
+  reproducible, so losing the last batch only costs a re-solve.
+
+Compaction triggers automatically once a tail exceeds ``compact_every``
+records; the store keeps an in-memory last-wins mirror of each stream so
+compaction needs no cooperation from the caller.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+from .checkpoint import CheckpointHandle, CheckpointStore
+from .wal import SnapshotLog, WalError, WalWriteError
+
+__all__ = ["RecoveryReport", "DurableStateStore"]
+
+
+@dataclass
+class RecoveryReport:
+    """Everything a warm restart replayed out of a data directory."""
+
+    graphs: "OrderedDict[str, dict]" = field(default_factory=OrderedDict)
+    results: list = field(default_factory=list)
+    checkpoints: int = 0
+    stats: dict = field(default_factory=dict)
+
+
+def _result_key(entry: dict) -> tuple:
+    return (entry.get("graph"), entry.get("version"), repr(entry.get("query")))
+
+
+class DurableStateStore:
+    """WAL-backed graphs + results + checkpoints under one directory."""
+
+    def __init__(
+        self,
+        data_dir: Path | str,
+        *,
+        fsync_every: int = 8,
+        compact_every: int = 256,
+        keep_results: int = 1024,
+    ):
+        self.data_dir = Path(data_dir)
+        self.data_dir.mkdir(parents=True, exist_ok=True)
+        self.compact_every = max(1, int(compact_every))
+        self.keep_results = max(1, int(keep_results))
+        self.graphs_log = SnapshotLog(
+            self.data_dir, "graphs", fsync_every=fsync_every
+        )
+        self.results_log = SnapshotLog(
+            self.data_dir, "results", fsync_every=fsync_every
+        )
+        self.checkpoints = CheckpointStore(self.data_dir / "checkpoints")
+        self.compactions = 0
+        self.compaction_failures = 0
+        # Last-wins mirrors of each stream, populated by recover() and kept
+        # current by the record_* methods; compaction rewrites from these.
+        self._graphs: "OrderedDict[str, dict]" = OrderedDict()
+        self._results: "OrderedDict[tuple, dict]" = OrderedDict()
+
+    # ------------------------------------------------------------------ #
+    # Recovery
+    # ------------------------------------------------------------------ #
+    def recover(self) -> RecoveryReport:
+        """Replay both logs (repairing torn tails) and rebuild the mirrors."""
+        graph_report = self.graphs_log.replay()
+        result_report = self.results_log.replay()
+        self._graphs.clear()
+        self._results.clear()
+        for record in graph_report.records:
+            if record.get("type") != "graph.put":
+                continue
+            data = record.get("data") or {}
+            graph_id = data.get("id")
+            if not isinstance(graph_id, str):
+                continue
+            self._graphs[graph_id] = data
+            self._graphs.move_to_end(graph_id)
+        for record in result_report.records:
+            if record.get("type") != "result.put":
+                continue
+            data = record.get("data") or {}
+            self._results[_result_key(data)] = data
+            self._results.move_to_end(_result_key(data))
+        self._trim_results()
+        return RecoveryReport(
+            graphs=OrderedDict(
+                (graph_id, data.get("graph", {}))
+                for graph_id, data in self._graphs.items()
+            ),
+            results=list(self._results.values()),
+            checkpoints=self.checkpoints.count(),
+            stats={
+                "graph_records": len(graph_report.records),
+                "result_records": len(result_report.records),
+                "truncated_bytes": (
+                    graph_report.truncated_bytes + result_report.truncated_bytes
+                ),
+                "corrupt_records": (
+                    graph_report.corrupt_records + result_report.corrupt_records
+                ),
+            },
+        )
+
+    # ------------------------------------------------------------------ #
+    # Writing
+    # ------------------------------------------------------------------ #
+    def record_graph(self, graph_id: str, payload: dict) -> None:
+        """Durably record a graph upload; raises :class:`WalWriteError`.
+
+        Synced before returning: once this method succeeds the service may
+        acknowledge the upload.
+        """
+        data = {"id": graph_id, "graph": payload}
+        self.graphs_log.append("graph.put", data, sync=True)
+        self._graphs[graph_id] = data
+        self._graphs.move_to_end(graph_id)
+        self._maybe_compact(self.graphs_log, self._graph_entries)
+
+    def record_result(
+        self, graph_id: str, version: str, query: dict, report: dict
+    ) -> None:
+        """Record a cacheable solve result (fsync-batched)."""
+        data = {
+            "graph": graph_id,
+            "version": version,
+            "query": query,
+            "report": report,
+        }
+        self.results_log.append("result.put", data)
+        self._results[_result_key(data)] = data
+        self._results.move_to_end(_result_key(data))
+        self._trim_results()
+        self._maybe_compact(self.results_log, self._result_entries)
+
+    def checkpoint_handle(self, key: str) -> CheckpointHandle:
+        return self.checkpoints.handle(key)
+
+    # ------------------------------------------------------------------ #
+    # Compaction
+    # ------------------------------------------------------------------ #
+    def _graph_entries(self):
+        return [("graph.put", data) for data in self._graphs.values()]
+
+    def _result_entries(self):
+        return [("result.put", data) for data in self._results.values()]
+
+    def _trim_results(self) -> None:
+        while len(self._results) > self.keep_results:
+            self._results.popitem(last=False)
+
+    def _maybe_compact(self, log: SnapshotLog, entries) -> None:
+        if log.tail_records < self.compact_every:
+            return
+        try:
+            log.compact(entries())
+            self.compactions += 1
+        except WalError:
+            # The append that triggered us already succeeded, and the old
+            # snapshot + full tail remain replayable — compaction failure
+            # costs disk space, not durability.
+            self.compaction_failures += 1
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle / telemetry
+    # ------------------------------------------------------------------ #
+    def flush(self) -> None:
+        self.graphs_log.flush()
+        self.results_log.flush()
+
+    def close(self) -> None:
+        try:
+            self.results_log.flush()
+        except WalWriteError:  # pragma: no cover - best-effort on shutdown
+            pass
+        self.graphs_log.close()
+        self.results_log.close()
+
+    def info(self) -> dict:
+        return {
+            "data_dir": str(self.data_dir),
+            "graphs": self.graphs_log.info(),
+            "results": self.results_log.info(),
+            "checkpoints": self.checkpoints.count(),
+            "compactions": self.compactions,
+            "compaction_failures": self.compaction_failures,
+        }

@@ -1,0 +1,343 @@
+"""Checksummed JSONL write-ahead logging for the service tier.
+
+The durable store's contract is deliberately small: *acknowledged writes
+survive a crash, and a torn tail never blocks recovery*.  Everything here
+follows from those two sentences.
+
+Format
+------
+Each record is one line of canonical JSON (sorted keys, no whitespace)
+carrying a ``crc`` field::
+
+    {"crc": 2186249184, "data": {...}, "lsn": 3, "type": "graph.put"}
+
+The checksum is ``zlib.crc32`` over the canonical encoding of the record
+*without* the ``crc`` key, so a reader can re-derive it from the parsed
+object alone.  Lines stay valid JSON — ``grep``/``jq`` work on a live log.
+
+Recovery replays the file line by line and stops at the first record that
+fails to parse, fails its checksum, or is missing its trailing newline
+(a torn final write).  The file is then truncated at that byte offset:
+recovery *repairs* a torn tail instead of refusing to boot, and the bytes
+dropped are reported so the operator can see it happened.
+
+Durability is fsync-batched: ``append(..., sync=True)`` forces an fsync
+before returning (graph uploads — the ack implies durability), while
+unsynced appends (cached solve results — reproducible data) are flushed
+every ``fsync_every`` records.
+
+Compaction rewrites the log as a *snapshot + tail* pair: the snapshot is
+atomically replaced (tmp file + ``os.replace``) with one record per live
+key and the tail is truncated.  Replay applies snapshot records first,
+then the tail — both last-wins, so replaying a pre-compaction tail over a
+fresh snapshot is idempotent.
+
+Fault seams ``wal.append`` and ``wal.fsync`` fire inside the write path so
+tests and the chaos harness can inject ``ENOSPC``-style failures exactly
+where the real ones happen; both OS errors and injected faults surface as
+:class:`WalWriteError` so the service can map disk pressure to a retryable
+503 instead of a crashed connection handler.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, Iterable, Optional
+
+from repro.resilience import faults
+
+__all__ = [
+    "DurabilityError",
+    "WalError",
+    "WalWriteError",
+    "ReplayReport",
+    "WriteAheadLog",
+    "SnapshotLog",
+]
+
+
+class DurabilityError(Exception):
+    """Base class for durable-store failures.
+
+    Deliberately *not* a ``ReproError``: the service maps input errors to
+    422, but a WAL failure is an operational condition (disk pressure,
+    injected fault) that must map to a retryable 503.
+    """
+
+
+class WalError(DurabilityError):
+    """A write-ahead log could not be read or maintained."""
+
+
+class WalWriteError(WalError):
+    """An append or fsync failed; the record is NOT durable.
+
+    Raised before the write is acknowledged, so callers may safely retry
+    the whole operation once the underlying condition clears.
+    """
+
+
+def _encode(record: dict) -> bytes:
+    """Canonical line encoding with an embedded self-checksum."""
+    body = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    crc = zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF
+    line = json.dumps({**record, "crc": crc}, sort_keys=True, separators=(",", ":"))
+    return line.encode("utf-8") + b"\n"
+
+
+def _decode(line: bytes) -> Optional[dict]:
+    """Parse and verify one line; ``None`` on any corruption."""
+    try:
+        record = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return None
+    if not isinstance(record, dict) or "crc" not in record:
+        return None
+    stored = record.pop("crc")
+    body = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    if stored != (zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF):
+        return None
+    return record
+
+
+@dataclass
+class ReplayReport:
+    """What a recovery pass found (and repaired) in one log file."""
+
+    records: list = field(default_factory=list)
+    truncated_bytes: int = 0
+    corrupt_records: int = 0
+
+    def merge(self, other: "ReplayReport") -> None:
+        self.records.extend(other.records)
+        self.truncated_bytes += other.truncated_bytes
+        self.corrupt_records += other.corrupt_records
+
+
+class WriteAheadLog:
+    """One append-only checksummed JSONL file."""
+
+    def __init__(self, path: Path | str, *, name: str, fsync_every: int = 8):
+        self.path = Path(path)
+        self.name = name
+        self.fsync_every = max(1, int(fsync_every))
+        self.records = 0
+        self.appends = 0
+        self.fsyncs = 0
+        self._handle: Optional[IO[bytes]] = None
+        self._pending = 0
+
+    # ------------------------------------------------------------------ #
+    # Writing
+    # ------------------------------------------------------------------ #
+    def _ensure_handle(self) -> IO[bytes]:
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "ab")
+        return self._handle
+
+    def append(self, record_type: str, data: dict, *, sync: bool = False) -> None:
+        """Append one record; with ``sync=True`` it is durable on return.
+
+        Raises :class:`WalWriteError` (wrapping ``OSError`` or an injected
+        fault) when the record could NOT be made durable — the caller must
+        not acknowledge the operation.
+        """
+        lsn = self.records + 1
+        line = _encode({"lsn": lsn, "type": record_type, "data": data})
+        try:
+            faults.maybe_fire(
+                "wal.append", log=self.name, lsn=lsn, records=self.records
+            )
+            handle = self._ensure_handle()
+            handle.write(line)
+            self._pending += 1
+            if sync or self._pending >= self.fsync_every:
+                self._sync(handle)
+        except (OSError, faults.InjectedFault) as error:
+            raise WalWriteError(
+                f"write-ahead log {self.name!r} append failed: {error}"
+            ) from error
+        self.records = lsn
+        self.appends += 1
+
+    def _sync(self, handle: IO[bytes]) -> None:
+        faults.maybe_fire("wal.fsync", log=self.name, records=self.records)
+        handle.flush()
+        os.fsync(handle.fileno())
+        self._pending = 0
+        self.fsyncs += 1
+
+    def flush(self) -> None:
+        """Force any batched appends to disk."""
+        if self._handle is not None and self._pending:
+            try:
+                self._sync(self._handle)
+            except (OSError, faults.InjectedFault) as error:
+                raise WalWriteError(
+                    f"write-ahead log {self.name!r} fsync failed: {error}"
+                ) from error
+
+    def close(self) -> None:
+        if self._handle is not None:
+            try:
+                self.flush()
+            except WalWriteError:
+                pass
+            self._handle.close()
+            self._handle = None
+            self._pending = 0
+
+    # ------------------------------------------------------------------ #
+    # Recovery
+    # ------------------------------------------------------------------ #
+    def replay(self) -> ReplayReport:
+        """Read every intact record, truncating the file at the first bad one.
+
+        A record is bad when its line is torn (no trailing newline), fails
+        to parse, or fails its checksum.  Everything from the first bad
+        record onward is dropped — later records may depend on earlier
+        ones, so recovery never skips over a hole.
+        """
+        self.close()
+        report = ReplayReport()
+        if not self.path.exists():
+            self.records = 0
+            return report
+        raw = self.path.read_bytes()
+        offset = 0
+        while offset < len(raw):
+            newline = raw.find(b"\n", offset)
+            if newline < 0:
+                report.corrupt_records += 1  # torn final write
+                break
+            record = _decode(raw[offset:newline])
+            if record is None:
+                report.corrupt_records += 1
+                break
+            report.records.append(record)
+            offset = newline + 1
+        if offset < len(raw):
+            report.truncated_bytes = len(raw) - offset
+            with open(self.path, "r+b") as handle:
+                handle.truncate(offset)
+                os.fsync(handle.fileno())
+        self.records = len(report.records)
+        return report
+
+    # ------------------------------------------------------------------ #
+    # Rewriting (compaction)
+    # ------------------------------------------------------------------ #
+    def rewrite(self, entries: Iterable[tuple[str, dict]]) -> None:
+        """Atomically replace the log's contents with ``entries``.
+
+        Written to a temp file, fsynced, then ``os.replace``d over the log,
+        so a crash mid-rewrite leaves the previous contents intact.
+        """
+        self.close()
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        count = 0
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with open(tmp, "wb") as handle:
+                for record_type, data in entries:
+                    count += 1
+                    handle.write(
+                        _encode({"lsn": count, "type": record_type, "data": data})
+                    )
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, self.path)
+            self._sync_directory()
+        except OSError as error:
+            tmp.unlink(missing_ok=True)
+            raise WalWriteError(
+                f"write-ahead log {self.name!r} rewrite failed: {error}"
+            ) from error
+        self.records = count
+
+    def truncate(self) -> None:
+        """Atomically empty the log."""
+        self.rewrite(())
+
+    def _sync_directory(self) -> None:
+        try:
+            fd = os.open(self.path.parent, os.O_RDONLY)
+        except OSError:  # pragma: no cover - platform-dependent
+            return
+        try:
+            os.fsync(fd)
+        except OSError:  # pragma: no cover - platform-dependent
+            pass
+        finally:
+            os.close(fd)
+
+    def info(self) -> dict:
+        return {
+            "path": str(self.path),
+            "records": self.records,
+            "appends": self.appends,
+            "fsyncs": self.fsyncs,
+        }
+
+
+class SnapshotLog:
+    """A snapshot + tail pair for one last-wins record stream.
+
+    Appends go to the tail WAL; compaction rewrites the snapshot from the
+    caller's live state and truncates the tail.  Replay yields snapshot
+    records first, then tail records — callers apply them in order with
+    last-wins semantics, which makes replay idempotent across a crash at
+    any point of the compaction sequence.
+    """
+
+    def __init__(self, directory: Path | str, name: str, *, fsync_every: int = 8):
+        directory = Path(directory)
+        self.name = name
+        self.snapshot = WriteAheadLog(
+            directory / f"{name}.snapshot.jsonl", name=f"{name}.snapshot"
+        )
+        self.tail = WriteAheadLog(
+            directory / f"{name}.wal", name=name, fsync_every=fsync_every
+        )
+
+    def append(self, record_type: str, data: dict, *, sync: bool = False) -> None:
+        self.tail.append(record_type, data, sync=sync)
+
+    @property
+    def tail_records(self) -> int:
+        return self.tail.records
+
+    def replay(self) -> ReplayReport:
+        report = self.snapshot.replay()
+        report.merge(self.tail.replay())
+        return report
+
+    def compact(self, entries: Iterable[tuple[str, dict]]) -> None:
+        """Rewrite the snapshot from live state, then empty the tail.
+
+        Crash safety: the snapshot replace is atomic, and a crash between
+        the two steps merely leaves a tail whose records are already in
+        the snapshot — harmless under last-wins replay.
+        """
+        self.snapshot.rewrite(entries)
+        self.tail.truncate()
+
+    def flush(self) -> None:
+        self.tail.flush()
+
+    def close(self) -> None:
+        self.snapshot.close()
+        self.tail.close()
+
+    def info(self) -> dict:
+        return {
+            "snapshot_records": self.snapshot.records,
+            "tail_records": self.tail.records,
+            "appends": self.tail.appends,
+            "fsyncs": self.tail.fsyncs,
+        }

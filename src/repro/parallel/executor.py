@@ -34,6 +34,8 @@ search itself; see the README's "Parallel execution" section for guidance.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import multiprocessing
 import sys
 import threading
@@ -56,6 +58,48 @@ from repro.search.statistics import SearchStats
 
 #: Components at most this large run as one shard; larger ones are split.
 DEFAULT_SPLIT_THRESHOLD = 96
+
+#: Wire schema tag of persisted solve checkpoints.
+CHECKPOINT_SCHEMA = "repro-solve-checkpoint/v1"
+
+
+def _plan_signature(kernel, model: ActiveModel, plan: ShardPlan, seed_size: int) -> str:
+    """Fingerprint of one solve's shard plan.
+
+    A checkpoint may only resume a solve whose plan is *identical* — same
+    kernel, same bound model, same shard decomposition, same heuristic seed
+    size (shard planning prunes components against it).  Anything else and
+    the persisted incumbent/shard set could be unsound, so a signature
+    mismatch makes the executor silently start from scratch.
+    """
+    basis = json.dumps(
+        {
+            "n": kernel.n,
+            "m": kernel.num_edges,
+            "seed": seed_size,
+            "model": [
+                model.name,
+                list(model.lower),
+                model.gap,
+                model.bound_delta,
+                model.min_size,
+            ],
+            "shards": [
+                [
+                    shard.index,
+                    shard.component_index,
+                    shard.component_size,
+                    None
+                    if shard.root_positions is None
+                    else list(shard.root_positions),
+                ]
+                for shard in plan.shards
+            ],
+        },
+        sort_keys=True,
+        default=str,
+    )
+    return hashlib.sha256(basis.encode("utf-8")).hexdigest()
 
 #: Serialises channel parking + worker spawning: the shared Values are handed
 #: to workers through a module global inherited at fork, so two threads
@@ -153,9 +197,20 @@ class ParallelMaxRFC(MaxRFC):
         self,
         config: MaxRFCConfig | None = None,
         parallel: ParallelConfig | None = None,
+        *,
+        checkpoint=None,
     ) -> None:
         super().__init__(config)
         self.parallel = parallel or ParallelConfig()
+        #: Optional checkpoint sink (``save(state)/load()/discard()``, e.g. a
+        #: :class:`repro.durability.CheckpointHandle`).  When set, the pool
+        #: run persists ``(incumbent, completed shards, partial stats)`` after
+        #: every shard completion and a later solve with an identical plan
+        #: resumes from it: completed shards are skipped and the persisted
+        #: incumbent becomes the initial lower bound, tightening the ubAD
+        #: prune from the very first branch.  Checkpoints are best-effort —
+        #: any save/load failure is counted in telemetry, never raised.
+        self.checkpoint = checkpoint
         if self.parallel.workers > 1 and not self.config.use_kernel:
             raise InvalidParameterError(
                 "parallel search runs on kernel snapshots; "
@@ -229,7 +284,32 @@ class ParallelMaxRFC(MaxRFC):
         result is flagged aborted, exactly like a serial budget abort.
         Only a shard that fails *even serially* makes the solve raise
         :class:`~repro.resilience.SolveCrashedError`.
+
+        With a checkpoint sink attached, progress is persisted after every
+        completed shard and a matching prior checkpoint is resumed first:
+        its completed shards never re-run and its incumbent is installed
+        *before* the payload/channel are built, so every worker prunes
+        against it from branch one.  The resume incumbent is deliberately
+        applied after :func:`plan_shards` ran (in ``_search_components``)
+        — planning prunes components against the incumbent size, so
+        planning with the checkpoint's (larger) incumbent would build a
+        different, signature-incompatible shard set.
         """
+        results: dict[int, object] = {}
+        signature = _plan_signature(kernel, model, plan, len(best))
+        resumed = self._load_checkpoint(signature, plan, telemetry)
+        if resumed is not None:
+            incumbent, restored = resumed
+            if len(incumbent) > len(best):
+                best = incumbent
+            results.update(restored)
+        persist = None
+        if self.checkpoint is not None:
+            seed_best = best
+
+            def persist() -> None:
+                self._persist_checkpoint(signature, seed_best, results, telemetry)
+
         payload = WorkerPayload(
             kernel=kernel,
             model=model,
@@ -262,12 +342,13 @@ class ParallelMaxRFC(MaxRFC):
             poller = _ChannelPoller(channel, len(best), self._notify_improve)
             poller.start()
 
-        results: dict[int, object] = {}
         attempts: dict[int, int] = {shard.index: 0 for shard in plan.shards}
         failures: dict[int, str] = {}
         retried: set[int] = set()
         serial_queue: list[Shard] = []
-        pending: list[Shard] = list(plan.shards)
+        pending: list[Shard] = [
+            shard for shard in plan.shards if shard.index not in results
+        ]
         pools_created = 0
         pool_breaks = 0
         budget_stop = False
@@ -284,6 +365,7 @@ class ParallelMaxRFC(MaxRFC):
                     failed, broke = self._run_batch(
                         pending, payload, context, channel, branch_counter,
                         pool_size, attempts, results, failures,
+                        on_result=persist,
                     )
                 except OSError:
                     if pools_created == 0:
@@ -326,6 +408,8 @@ class ParallelMaxRFC(MaxRFC):
                             views=serial_views,
                             attempt=attempts[shard.index],
                         )
+                        if persist is not None:
+                            persist()
                     except Exception as error:  # noqa: BLE001 - terminal per-shard
                         serial_failures[shard.index] = (
                             f"{type(error).__name__}: {error}"
@@ -377,8 +461,107 @@ class ParallelMaxRFC(MaxRFC):
                 telemetry,
             )
         if aborted or missing:
+            # The checkpoint survives a budget abort on purpose: a retry of
+            # the same query picks up where this attempt stopped.
             raise _TimeBudgetExceeded()
+        if self.checkpoint is not None:
+            try:
+                self.checkpoint.discard()
+            except Exception:  # noqa: BLE001 - cleanup is best-effort
+                pass
         return best
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint persistence (best-effort by design)
+    # ------------------------------------------------------------------ #
+    def _load_checkpoint(self, signature: str, plan: ShardPlan, telemetry: dict):
+        """``(incumbent, restored_results)`` from a matching checkpoint.
+
+        ``None`` when there is no sink, no persisted state, the signature
+        differs (foreign solve), or the state is malformed — every one of
+        those means "start from scratch", never an error.
+        """
+        if self.checkpoint is None:
+            return None
+        try:
+            state = self.checkpoint.load()
+        except Exception as error:  # noqa: BLE001 - resume must never block a solve
+            self._note_checkpoint_error(telemetry, error)
+            return None
+        if not state:
+            return None
+        if (
+            state.get("schema") != CHECKPOINT_SCHEMA
+            or state.get("signature") != signature
+        ):
+            telemetry["checkpoint_mismatch"] = True
+            return None
+        valid = {shard.index for shard in plan.shards}
+        restored: dict[int, worker_module.ShardResult] = {}
+        try:
+            for key, wire in (state.get("shards") or {}).items():
+                index = int(key)
+                if index not in valid:
+                    continue
+                restored[index] = worker_module.ShardResult(
+                    shard_index=index,
+                    clique=frozenset(wire["clique"]),
+                    stats=SearchStats.from_wire(wire["stats"]),
+                    aborted=False,
+                    seconds=float(wire.get("seconds", 0.0)),
+                )
+            incumbent = frozenset(state.get("incumbent") or ())
+        except (KeyError, TypeError, ValueError):
+            telemetry["checkpoint_mismatch"] = True
+            return None
+        telemetry["resumed"] = True
+        telemetry["shards_skipped"] = len(restored)
+        return incumbent, restored
+
+    def _persist_checkpoint(
+        self,
+        signature: str,
+        seed_best: frozenset,
+        results: dict,
+        telemetry: dict,
+    ) -> None:
+        """Persist ``(incumbent, completed shards, partial stats)`` now."""
+        checkpoint = self.checkpoint
+        if checkpoint is None:
+            return
+        incumbent = seed_best
+        shards: dict[str, dict] = {}
+        for index, result in sorted(results.items()):
+            if result.aborted:
+                # An aborted shard's subtree is NOT fully explored; resuming
+                # past it would silently drop solutions.
+                continue
+            if len(result.clique) > len(incumbent):
+                incumbent = result.clique
+            shards[str(index)] = {
+                "clique": sorted(result.clique, key=repr),
+                "stats": result.stats.to_wire(),
+                "seconds": result.seconds,
+            }
+        state = {
+            "schema": CHECKPOINT_SCHEMA,
+            "signature": signature,
+            "incumbent": sorted(incumbent, key=repr),
+            "shards": shards,
+        }
+        try:
+            checkpoint.save(state)
+        except Exception as error:  # noqa: BLE001 - losing a checkpoint is survivable
+            self._note_checkpoint_error(telemetry, error)
+        else:
+            telemetry["checkpoints_written"] = (
+                telemetry.get("checkpoints_written", 0) + 1
+            )
+
+    @staticmethod
+    def _note_checkpoint_error(telemetry: dict, error: Exception) -> None:
+        telemetry["checkpoint_errors"] = telemetry.get("checkpoint_errors", 0) + 1
+        telemetry["checkpoint_error"] = f"{type(error).__name__}: {error}"
 
     def _run_batch(
         self,
@@ -391,6 +574,7 @@ class ParallelMaxRFC(MaxRFC):
         attempts: dict[int, int],
         results: dict,
         failures: dict[int, str],
+        on_result=None,
     ) -> tuple[list[Shard], bool]:
         """One pool round: submit ``shards``, gather, classify failures.
 
@@ -434,6 +618,8 @@ class ParallelMaxRFC(MaxRFC):
             for shard, future in zip(shards, futures):
                 try:
                     results[shard.index] = future.result()
+                    if on_result is not None:
+                        on_result()
                 except BrokenProcessPool:
                     broke = True
                     failed.append(shard)

@@ -32,6 +32,7 @@ from repro.resilience.faults import (
     ENV_PLAN,
     POINTS,
     FaultPlan,
+    FaultPlanError,
     FaultSpec,
     InjectedFault,
     active_plan,
@@ -64,6 +65,7 @@ __all__ = [
     "Deadline",
     "ENV_PLAN",
     "FaultPlan",
+    "FaultPlanError",
     "FaultSpec",
     "InjectedFault",
     "POINTS",

@@ -62,10 +62,22 @@ POINTS = (
     "pool.submit",       # the coordinator is about to submit a shard
     "backend.submit",    # the service executor accepted a callable
     "service.solve",     # the service is about to dispatch a solve
+    "wal.append",        # a WAL record is about to be written
+    "wal.fsync",         # a WAL batch is about to be fsynced
+    "checkpoint.write",  # a solve checkpoint is about to be persisted
 )
 
 _ACTIONS = ("raise", "kill", "disconnect", "sleep")
 _SCOPES = ("any", "worker", "coordinator")
+
+
+class FaultPlanError(ValueError):
+    """``REPRO_FAULT_PLAN`` held something that is not a valid plan.
+
+    The message is a single actionable line — the CLI prints it and exits
+    instead of booting a server with a half-understood chaos plan (or
+    spewing a traceback at an operator who fat-fingered some JSON).
+    """
 
 
 class InjectedFault(Exception):
@@ -267,15 +279,52 @@ def mark_worker_process() -> None:
     _IN_WORKER = True
 
 
+def plan_from_env_value(raw: str) -> FaultPlan:
+    """Parse an ``REPRO_FAULT_PLAN`` value strictly.
+
+    Unlike programmatic :class:`FaultSpec` construction (where unknown
+    points are tolerated so plans can outlive seam renames), an env plan
+    naming a point the binary does not export is almost certainly a typo —
+    the operator believes a fault is armed when nothing will ever fire.
+    Every failure mode maps to :class:`FaultPlanError` with a one-line,
+    actionable message.
+    """
+    try:
+        payload = json.loads(raw)
+    except json.JSONDecodeError as error:
+        raise FaultPlanError(
+            f"{ENV_PLAN} is not valid JSON ({error.msg} at char {error.pos}); "
+            'expected e.g. {"specs": [{"point": "shard.run", "action": "raise"}]}'
+        ) from error
+    if not isinstance(payload, dict):
+        raise FaultPlanError(
+            f"{ENV_PLAN} must be a JSON object with a 'specs' list, "
+            f"got {type(payload).__name__}"
+        )
+    try:
+        plan = FaultPlan.from_wire(payload)
+    except (ValueError, TypeError, AttributeError, KeyError) as error:
+        raise FaultPlanError(f"{ENV_PLAN} holds an invalid spec: {error}") from error
+    for spec in plan.specs:
+        if spec.point not in POINTS:
+            raise FaultPlanError(
+                f"{ENV_PLAN} names unknown fault point {spec.point!r}; "
+                f"known points: {', '.join(POINTS)}"
+            )
+    return plan
+
+
 def install_from_env(environ=os.environ) -> FaultPlan | None:
     """Install the plan carried by ``REPRO_FAULT_PLAN``, if any.
 
     Used by the CLI server so subprocess deployments (the chaos smoke test)
-    can boot with injection armed.  Returns the installed plan.
+    can boot with injection armed.  Returns the installed plan.  Raises
+    :class:`FaultPlanError` — never a raw traceback — when the value is
+    malformed or names an unknown point/action.
     """
     raw = environ.get(ENV_PLAN)
     if not raw:
         return None
-    plan = FaultPlan.from_json(raw)
+    plan = plan_from_env_value(raw)
     install(plan)
     return plan

@@ -48,8 +48,11 @@ import threading
 import time
 from dataclasses import dataclass, replace
 
+import json
+
 from repro.api.query import FairCliqueQuery
 from repro.api.session import FairCliqueSession
+from repro.durability import DurableStateStore, WalWriteError
 from repro.exceptions import ReproError
 from repro.resilience import SolveCrashedError, faults
 from repro.resilience.breaker import BreakerBoard, CircuitOpenError
@@ -71,6 +74,7 @@ from repro.service.wire import (
     dumps,
     error_body,
     graph_from_wire,
+    graph_to_wire,
     parse_json_body,
     parse_query_request,
 )
@@ -97,6 +101,14 @@ class ServiceConfig:
     default_tier: str = "standard"
     breaker_threshold: int = 5
     breaker_reset_seconds: float = 30.0
+    #: Durable-state directory (WAL + checkpoints + persisted results).
+    #: ``None`` keeps the pre-PR-8 behaviour: everything is in-memory and a
+    #: restart starts empty.
+    data_dir: str | None = None
+    #: Batched-fsync interval of the results WAL (graph uploads always sync).
+    wal_fsync_every: int = 8
+    #: Tail records that trigger a snapshot+tail compaction pass.
+    wal_compact_every: int = 256
 
 
 class FairCliqueService:
@@ -124,17 +136,107 @@ class FairCliqueService:
         )
         self.draining = False
         self._started = time.monotonic()
+        #: The durable store behind ``--data-dir`` (None = in-memory only)
+        #: and the stats of the warm restart that rebuilt this instance.
+        self.durability: DurableStateStore | None = None
+        self.recovery: dict | None = None
+        if self.config.data_dir:
+            self.durability = DurableStateStore(
+                self.config.data_dir,
+                fsync_every=self.config.wal_fsync_every,
+                compact_every=self.config.wal_compact_every,
+                keep_results=self.config.result_cache_capacity,
+            )
+            self.recovery = self._recover_state()
+
+    # ------------------------------------------------------------------ #
+    # Durable state (WAL-backed warm restart)
+    # ------------------------------------------------------------------ #
+    def _recover_state(self) -> dict:
+        """Replay the data dir into the registry and result cache.
+
+        Every record already passed its checksum (torn tails were truncated
+        by the replay), so failures here are shape-level — a graph that no
+        longer decodes, a result whose graph is gone or whose version
+        differs from the rebuilt graph.  Those entries are *dropped and
+        counted*, never fatal: recovery must always leave a serving
+        instance.
+        """
+        report = self.durability.recover()
+        graphs = results = dropped = 0
+        for graph_id, payload in report.graphs.items():
+            try:
+                graph = graph_from_wire(payload)
+            except (HTTPError, ReproError):
+                dropped += 1
+                continue
+            self.registry.add_graph(graph_id, graph)
+            graphs += 1
+        for entry in report.results:
+            graph_id = entry.get("graph")
+            try:
+                graph = self.registry.graph(graph_id)
+            except UnknownGraphError:
+                dropped += 1
+                continue
+            if entry.get("version") != graph.version:
+                dropped += 1  # result of a replaced upload under the same id
+                continue
+            try:
+                query = FairCliqueQuery.from_wire(entry.get("query") or {})
+            except (ReproError, TypeError):
+                dropped += 1
+                continue
+            self.result_cache.put(graph_id, graph.version, query, entry.get("report"))
+            results += 1
+        return {
+            "graphs_recovered": graphs,
+            "results_restored": results,
+            "entries_dropped": dropped,
+            "checkpoints_found": report.checkpoints,
+            **report.stats,
+        }
+
+    def _checkpoint_for(self, graph_id: str, graph, query: FairCliqueQuery):
+        """The durable checkpoint handle for one solve, or ``None``.
+
+        Only parallel exact maximum solves checkpoint: they are the
+        long-running shape, and shard completion is their natural unit of
+        persisted progress.
+        """
+        if (
+            self.durability is None
+            or query.task != "maximum"
+            or query.engine != "exact"
+            or (query.workers or 1) <= 1
+        ):
+            return None
+        key = "|".join((
+            graph_id,
+            str(graph.version),
+            json.dumps(query.to_wire(), sort_keys=True, separators=(",", ":")),
+        ))
+        return self.durability.checkpoint_handle(key)
 
     # ------------------------------------------------------------------ #
     # Graph management (also used by the CLI preload path)
     # ------------------------------------------------------------------ #
-    def add_graph(self, graph_id: str, graph) -> None:
+    def add_graph(self, graph_id: str, graph, *, payload: dict | None = None) -> None:
         """Serve ``graph`` under ``graph_id`` (replacing any previous one).
 
         Replacement drops the id's cached results explicitly: a fresh graph
         can land on the same deterministic mutation version as the one it
         replaces, so version keying alone would serve stale answers.
+
+        With a durable store attached the graph is WAL-logged (and fsynced)
+        *before* it becomes visible: when the append fails the method raises
+        :class:`~repro.durability.WalWriteError` and the registry is left
+        untouched, so a client never gets an ack for a graph a restart would
+        lose.
         """
+        if self.durability is not None:
+            wire_payload = payload if payload is not None else graph_to_wire(graph)
+            self.durability.record_graph(graph_id, wire_payload)
         self.registry.add_graph(graph_id, graph)
         self.result_cache.invalidate(graph_id)
 
@@ -147,6 +249,8 @@ class FairCliqueService:
         await self.admission.drain()
         self.backend.shutdown()
         self.registry.close()
+        if self.durability is not None:
+            self.durability.close()
 
     # ------------------------------------------------------------------ #
     # Connection handling
@@ -220,6 +324,17 @@ class FairCliqueService:
         except SolveCrashedError as error:
             await send_response(writer, 500, error_body(500, str(error)))
             return 500
+        except WalWriteError as error:
+            # Disk pressure (ENOSPC and friends) on the durable store: the
+            # operation was not acknowledged, nothing was made visible, and
+            # the condition is usually transient — an honest retryable 503,
+            # not a crashed connection handler.
+            self.metrics.inc("wal_errors")
+            await send_response(
+                writer, 503, error_body(503, f"durable store write failed: {error}"),
+                extra_headers={"Retry-After": "2"},
+            )
+            return 503
         except faults.InjectedFault as error:
             await send_response(
                 writer, 500, error_body(500, f"injected fault: {error}")
@@ -274,16 +389,25 @@ class FairCliqueService:
             status = "degraded"  # alive, but some graphs are failing fast
         else:
             status = "ok"
-        await send_response(writer, 200, dumps({
+        payload = {
             "status": status,
             "schema": SCHEMA,
             "graphs": self.registry.graph_ids(),
             "breakers_open": breakers_open,
             "uptime_seconds": time.monotonic() - self._started,
-        }))
+        }
+        if self.durability is not None:
+            payload["durability"] = {
+                "data_dir": str(self.durability.data_dir),
+                "recovery": self.recovery,
+            }
+        await send_response(writer, 200, dumps(payload))
         return 200
 
     async def _handle_metrics(self, writer) -> int:
+        durability = None
+        if self.durability is not None:
+            durability = {**self.durability.info(), "recovery": self.recovery}
         await send_response(writer, 200, dumps({
             "schema": SCHEMA,
             "draining": self.draining,
@@ -294,6 +418,7 @@ class FairCliqueService:
             "quotas": self.quotas.info(),
             "executor": self.backend.info(),
             "breakers": self.breakers.info(),
+            "durability": durability,
             "http": self.metrics.snapshot(),
         }))
         return 200
@@ -313,7 +438,10 @@ class FairCliqueService:
         self._check_accepting()
         payload = parse_json_body(request.body)
         graph = graph_from_wire(payload)
-        self.add_graph(graph_id, graph)
+        # Hand the already-parsed wire payload down so the WAL records the
+        # exact bytes-equivalent shape the client sent (and add_graph does
+        # not pay a second serialisation).
+        self.add_graph(graph_id, graph, payload=payload)
         await send_response(writer, 200, dumps({
             "graph": graph_id, "n": graph.num_vertices, "m": graph.num_edges,
         }))
@@ -365,10 +493,14 @@ class FairCliqueService:
                     503, "request budget expired while queued for admission"
                 )
             session = self.registry.session(graph_id)
+            checkpoint = self._checkpoint_for(graph_id, graph, query)
             try:
                 faults.maybe_fire("service.solve", graph=graph_id)
                 report = await asyncio.wrap_future(self.backend.submit(
-                    functools.partial(session.solve, query, deadline=deadline)
+                    functools.partial(
+                        session.solve, query,
+                        deadline=deadline, checkpoint=checkpoint,
+                    )
                 ))
             except (SolveCrashedError, faults.InjectedFault) as error:
                 self.breakers.record_failure(graph_id)
@@ -401,6 +533,16 @@ class FairCliqueService:
             # A budget-truncated answer reflects machine load, not the
             # question; only finished answers are worth replaying.
             self.result_cache.put(graph_id, graph.version, query, wire)
+            if self.durability is not None:
+                # Results are reproducible, so their WAL is fsync-batched
+                # and a failed append only costs a future re-solve — count
+                # it, keep serving.
+                try:
+                    self.durability.record_result(
+                        graph_id, graph.version, query.to_wire(), wire
+                    )
+                except WalWriteError:
+                    self.metrics.inc("wal_errors")
         await send_response(writer, 200, dumps({
             "graph": graph_id, "tier": tier_name, "cached": False,
             "quota_clamped": clamps or None, "report": wire,

@@ -23,6 +23,8 @@ from __future__ import annotations
 import json
 import time
 from collections.abc import Iterator
+from datetime import datetime, timezone
+from email.utils import parsedate_to_datetime
 from http.client import HTTPConnection
 from urllib.parse import urlsplit
 
@@ -55,13 +57,31 @@ class ServiceError(Exception):
 
 
 def _parse_retry_after(value) -> float | None:
-    """Seconds from a ``Retry-After`` header (delta form only), or ``None``."""
+    """Seconds until retry from a ``Retry-After`` header, or ``None``.
+
+    RFC 9110 §10.2.3 allows two forms: delta-seconds (``"120"``) and an
+    HTTP-date (``"Fri, 31 Dec 1999 23:59:59 GMT"``); both are accepted, a
+    date already in the past clamps to ``0.0``, and any unparseable value
+    returns ``None`` so the retry loop falls back to its backoff schedule
+    instead of trusting garbage.
+    """
     if value is None:
         return None
     try:
         return max(0.0, float(value))
     except (TypeError, ValueError):
+        pass
+    try:
+        when = parsedate_to_datetime(str(value))
+    except (TypeError, ValueError):
         return None
+    if when is None:  # pre-3.10 parsedate returned None on garbage
+        return None
+    if when.tzinfo is None:
+        # RFC 5322 dates without a usable zone are interpreted as GMT,
+        # which is what HTTP servers emit anyway.
+        when = when.replace(tzinfo=timezone.utc)
+    return max(0.0, (when - datetime.now(timezone.utc)).total_seconds())
 
 
 class ServiceClient:

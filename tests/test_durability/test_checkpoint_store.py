@@ -1,0 +1,122 @@
+"""Checkpoint files and the durable state store composition."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.durability import (
+    CheckpointStore,
+    CheckpointWriteError,
+    DurableStateStore,
+)
+from repro.resilience.faults import FaultPlan, fault_injection
+
+
+class TestCheckpointHandle:
+    def test_save_load_discard_roundtrip(self, tmp_path):
+        handle = CheckpointStore(tmp_path).handle("g1|0|query")
+        assert handle.load() is None
+        state = {"schema": "s", "incumbent": [1, 2], "shards": {"0": {}}}
+        handle.save(state)
+        assert handle.load() == state
+        handle.discard()
+        assert handle.load() is None
+
+    def test_atomic_write_leaves_no_tmp_file(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        handle = store.handle("key")
+        handle.save({"a": 1})
+        assert list(tmp_path.glob("*.tmp")) == []
+        assert store.count() == 1
+
+    def test_corrupt_file_loads_as_none(self, tmp_path):
+        handle = CheckpointStore(tmp_path).handle("key")
+        handle.save({"a": 1})
+        handle.path.write_text(handle.path.read_text()[:-4] + "!!!}")
+        assert handle.load() is None
+
+    def test_distinct_keys_use_distinct_files(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        assert store.handle("a").path != store.handle("b").path
+        assert store.handle("a").path == store.handle("a").path
+
+    def test_checkpoint_write_fault_surfaces_typed(self, tmp_path):
+        handle = CheckpointStore(tmp_path).handle("key")
+        plan = FaultPlan(specs=({"point": "checkpoint.write", "action": "raise"},))
+        with fault_injection(plan):
+            with pytest.raises(CheckpointWriteError):
+                handle.save({"a": 1})
+        assert handle.load() is None  # nothing half-written
+
+
+class TestDurableStateStore:
+    def test_recover_empty_directory(self, tmp_path):
+        report = DurableStateStore(tmp_path).recover()
+        assert report.graphs == {}
+        assert report.results == []
+        assert report.checkpoints == 0
+
+    def test_graphs_survive_reopen_last_wins(self, tmp_path):
+        store = DurableStateStore(tmp_path)
+        store.recover()
+        store.record_graph("a", {"vertices": [1]})
+        store.record_graph("b", {"vertices": [2]})
+        store.record_graph("a", {"vertices": [3]})
+        store.close()
+        report = DurableStateStore(tmp_path).recover()
+        assert report.graphs == {"a": {"vertices": [3]}, "b": {"vertices": [2]}}
+
+    def test_results_are_batched_and_survive_close(self, tmp_path):
+        store = DurableStateStore(tmp_path, fsync_every=100)
+        store.recover()
+        store.record_result("g", 0, {"k": 2}, {"clique": [1]})
+        store.close()  # close flushes the pending batch
+        report = DurableStateStore(tmp_path).recover()
+        assert len(report.results) == 1
+        assert report.results[0]["report"] == {"clique": [1]}
+
+    def test_compaction_triggers_at_threshold(self, tmp_path):
+        store = DurableStateStore(tmp_path, compact_every=4)
+        store.recover()
+        for index in range(8):
+            store.record_graph("g", {"rev": index})
+        assert store.compactions >= 1
+        # Post-compaction the snapshot holds one live record per key.
+        assert store.graphs_log.snapshot.records == 1
+        store.close()
+        report = DurableStateStore(tmp_path).recover()
+        assert report.graphs == {"g": {"rev": 7}}
+
+    def test_keep_results_bounds_the_mirror(self, tmp_path):
+        store = DurableStateStore(tmp_path, keep_results=2, compact_every=3)
+        store.recover()
+        for index in range(5):
+            store.record_result("g", 0, {"q": index}, {"i": index})
+        store.close()
+        report = DurableStateStore(tmp_path, keep_results=2).recover()
+        assert [entry["report"]["i"] for entry in report.results] == [3, 4]
+
+    def test_checkpoints_counted_in_recovery(self, tmp_path):
+        store = DurableStateStore(tmp_path)
+        store.checkpoint_handle("solve1").save({"x": 1})
+        assert store.recover().checkpoints == 1
+
+    def test_torn_tail_is_reported(self, tmp_path):
+        store = DurableStateStore(tmp_path)
+        store.recover()
+        store.record_graph("a", {"vertices": [1]})
+        store.close()
+        with open(tmp_path / "graphs.wal", "ab") as handle:
+            handle.write(b'{"torn')
+        report = DurableStateStore(tmp_path).recover()
+        assert report.graphs == {"a": {"vertices": [1]}}
+        assert report.stats["truncated_bytes"] > 0
+        assert report.stats["corrupt_records"] == 1
+
+    def test_info_shape(self, tmp_path):
+        store = DurableStateStore(tmp_path)
+        store.recover()
+        info = store.info()
+        assert set(info) >= {
+            "data_dir", "graphs", "results", "checkpoints", "compactions",
+        }

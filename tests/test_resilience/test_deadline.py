@@ -76,3 +76,59 @@ class TestPickling:
         for deadline in (Deadline.start(30.0), Deadline.unbounded()):
             clone = pickle.loads(pickle.dumps(deadline))
             assert clone == deadline
+
+
+class TestClampEdgeCases:
+    def test_clamp_of_expired_deadline_is_zero_not_negative(self):
+        # An expired deadline has remaining() == 0.0; clamping any budget
+        # through it must yield 0.0 ("no time"), never a negative sleep.
+        deadline = Deadline(time.monotonic() - 5.0)
+        assert deadline.remaining() == 0.0
+        assert deadline.clamp_seconds(30.0) == 0.0
+        assert deadline.clamp_seconds(None) == 0.0
+
+    def test_clamp_zero_budget_stays_zero(self):
+        deadline = Deadline.start(10.0)
+        assert deadline.clamp_seconds(0.0) == 0.0
+
+    def test_clamp_is_monotone_under_repeated_calls(self):
+        # remaining() shrinks between calls; clamp may only tighten.
+        deadline = Deadline.start(0.05)
+        first = deadline.clamp_seconds(1.0)
+        time.sleep(0.01)
+        second = deadline.clamp_seconds(1.0)
+        assert 0.0 <= second <= first
+
+
+class TestForkBoundary:
+    def test_expired_deadline_stays_expired_after_pickle(self):
+        # Workers receive deadlines via pickle; a deadline that expired in
+        # the coordinator must read as expired (budget 0) on the far side,
+        # not as a fresh allotment.
+        expired = Deadline(time.monotonic() - 1.0)
+        clone = pickle.loads(pickle.dumps(expired))
+        assert clone.expired()
+        assert clone.remaining() == 0.0
+        assert clone.clamp_seconds(60.0) == 0.0
+
+    def test_live_deadline_keeps_ticking_after_pickle(self):
+        deadline = Deadline.start(30.0)
+        clone = pickle.loads(pickle.dumps(deadline))
+        assert clone.bounded and not clone.expired()
+        assert clone.remaining() <= 30.0
+
+
+class TestTightestMixtures:
+    def test_tightest_mixed_none_and_finite(self):
+        finite = Deadline.start(5.0)
+        tight = Deadline.tightest(None, Deadline.unbounded(), finite, None)
+        assert tight.expires_at == finite.expires_at
+
+    def test_tightest_of_nothing_is_unbounded(self):
+        assert not Deadline.tightest().bounded
+        assert not Deadline.tightest(None, None).bounded
+
+    def test_tightest_prefers_the_expired_entry(self):
+        past = Deadline(time.monotonic() - 1.0)
+        tight = Deadline.tightest(Deadline.start(60.0), past)
+        assert tight.expired()

@@ -1,0 +1,121 @@
+"""Hardened ``REPRO_FAULT_PLAN`` parsing: actionable one-line failures."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.resilience import faults
+from repro.resilience.faults import (
+    ENV_PLAN,
+    FaultPlan,
+    FaultPlanError,
+    install_from_env,
+    plan_from_env_value,
+)
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(autouse=True)
+def _no_leftover_plan():
+    yield
+    faults.install(None)
+
+
+class TestPlanFromEnvValue:
+    def test_valid_plan_parses(self):
+        raw = FaultPlan(specs=(
+            {"point": "shard.run", "action": "raise"},
+        ), seed=3).to_json()
+        plan = plan_from_env_value(raw)
+        assert plan.seed == 3
+        assert plan.specs[0].point == "shard.run"
+
+    @pytest.mark.parametrize("raw", [
+        "{not json",
+        '{"specs": [{"point": "shard.run"',
+        "",
+    ])
+    def test_malformed_json_is_one_actionable_line(self, raw):
+        with pytest.raises(FaultPlanError) as excinfo:
+            plan_from_env_value(raw)
+        message = str(excinfo.value)
+        assert ENV_PLAN in message
+        assert "\n" not in message
+
+    def test_non_object_payload_is_rejected(self):
+        with pytest.raises(FaultPlanError, match="JSON object"):
+            plan_from_env_value('[{"point": "shard.run"}]')
+
+    def test_unknown_point_is_rejected_with_known_list(self):
+        raw = json.dumps({"specs": [{"point": "shard.rub", "action": "raise"}]})
+        with pytest.raises(FaultPlanError) as excinfo:
+            plan_from_env_value(raw)
+        message = str(excinfo.value)
+        assert "shard.rub" in message
+        assert "shard.run" in message  # the known-points hint
+
+    def test_unknown_action_is_rejected(self):
+        raw = json.dumps({"specs": [{"point": "shard.run", "action": "explode"}]})
+        with pytest.raises(FaultPlanError, match="explode"):
+            plan_from_env_value(raw)
+
+    def test_unknown_spec_field_is_rejected(self):
+        raw = json.dumps({"specs": [{"point": "shard.run", "wen": {"shard": 0}}]})
+        with pytest.raises(FaultPlanError, match="wen"):
+            plan_from_env_value(raw)
+
+
+class TestInstallFromEnv:
+    def test_absent_env_installs_nothing(self):
+        assert install_from_env(environ={}) is None
+        assert faults.active_plan() is None
+
+    def test_valid_env_installs(self):
+        raw = FaultPlan(specs=({"point": "wal.append", "action": "raise"},)).to_json()
+        plan = install_from_env(environ={ENV_PLAN: raw})
+        assert plan is not None
+        assert faults.active_plan() is plan
+
+    def test_malformed_env_raises_and_installs_nothing(self):
+        with pytest.raises(FaultPlanError):
+            install_from_env(environ={ENV_PLAN: "{broken"})
+        assert faults.active_plan() is None
+
+
+class TestServeRefusesBadPlan:
+    """The deployment path: ``repro serve`` must exit 2 with one clean line."""
+
+    def _serve(self, plan_value: str) -> subprocess.CompletedProcess:
+        return subprocess.run(
+            [sys.executable, "-m", "repro", "serve", "--port", "0"],
+            cwd=REPO,
+            env={
+                "PYTHONPATH": str(REPO / "src"),
+                "PATH": "/usr/bin:/bin",
+                ENV_PLAN: plan_value,
+            },
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+
+    def test_malformed_json_exits_2_without_traceback(self):
+        result = self._serve("{definitely not json")
+        assert result.returncode == 2
+        assert "Traceback" not in result.stderr
+        assert ENV_PLAN in result.stderr
+        assert len(result.stderr.strip().splitlines()) == 1
+
+    def test_unknown_point_exits_2_with_hint(self):
+        result = self._serve(
+            json.dumps({"specs": [{"point": "wal.apend", "action": "raise"}]})
+        )
+        assert result.returncode == 2
+        assert "wal.apend" in result.stderr
+        assert "Traceback" not in result.stderr

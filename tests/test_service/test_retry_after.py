@@ -1,0 +1,52 @@
+"""``Retry-After`` parsing: RFC 9110 allows delta-seconds AND HTTP-dates."""
+
+from __future__ import annotations
+
+import time
+from email.utils import formatdate
+
+import pytest
+
+from repro.service.client import _parse_retry_after
+
+
+class TestDeltaSeconds:
+    @pytest.mark.parametrize("value,expected", [
+        ("3", 3.0),
+        ("0", 0.0),
+        ("120", 120.0),
+        ("2.5", 2.5),  # lenient: RFC says integer, real servers send floats
+        (2, 2.0),
+    ])
+    def test_delta_forms(self, value, expected):
+        assert _parse_retry_after(value) == expected
+
+
+class TestHttpDate:
+    def test_future_date_yields_remaining_seconds(self):
+        header = formatdate(time.time() + 60, usegmt=True)
+        parsed = _parse_retry_after(header)
+        # HTTP-dates have one-second resolution; allow generous slack.
+        assert parsed is not None
+        assert 55.0 <= parsed <= 61.0
+
+    def test_past_date_clamps_to_zero(self):
+        header = formatdate(time.time() - 3600, usegmt=True)
+        assert _parse_retry_after(header) == 0.0
+
+    def test_classic_rfc_fixture_date_is_long_past(self):
+        assert _parse_retry_after("Fri, 31 Dec 1999 23:59:59 GMT") == 0.0
+
+
+class TestFallback:
+    @pytest.mark.parametrize("value", [
+        "soonish",
+        "",
+        "later, probably",
+        "Fri 99 Wrong 1999",
+        None,
+    ])
+    def test_unparseable_values_return_none(self, value):
+        # None lets the retry loop fall back to its backoff schedule
+        # instead of treating garbage as "retry immediately".
+        assert _parse_retry_after(value) is None
