@@ -8,7 +8,13 @@ Three suites share this driver:
   the reduction pipeline, and the ``ubAD`` bound stack — once on the
   compiled bitset kernel and once on the pre-kernel dict path, and writes
   median wall-clock numbers plus speedups to
-  ``benchmarks/results/BENCH_kernel.json``.
+  ``benchmarks/results/BENCH_kernel.json``.  It then sweeps the backend
+  *scaling axis* (n ∈ {2k, 10k, 50k, 200k} full, {10k} smoke), timing each
+  kernel primitive — mask construction, frontier row unions, attribute
+  popcounts, and the pickle ship — on every available backend
+  (int / words / numpy) and recording the ``words_vs_int`` and
+  ``numpy_vs_words`` speedup medians; ``--check`` additionally gates
+  ``words_vs_int_speedup`` at an absolute x1.00 floor.
 * ``--suite parallel`` runs a multi-component grid through the serial
   kernel search and the component-sharded parallel executor
   (``--workers N``), and writes serial/parallel wall-clock, speedups, and
@@ -31,6 +37,13 @@ Three suites share this driver:
   plain/armed wall-clock and their ratio to
   ``benchmarks/results/BENCH_chaos.json``.  The gate asserts the hooks stay
   free: an armed-but-idle plan must not slow the solver down.
+* ``--suite sharedmem`` compiles words kernels at increasing n and times
+  the zero-copy ship against the classic one: ``export_snapshot`` /
+  ``attach_snapshot`` (map the segment, rebuild the kernel over a buffer
+  view) vs a pickle dumps+loads roundtrip, plus one two-worker e2e solve
+  with the shm path on and forcibly off (``REPRO_DISABLE_SHM=1``).  Writes
+  per-cell bytes and wall-clocks to
+  ``benchmarks/results/BENCH_sharedmem.json``.
 * ``--suite durability`` drives the same upload+solve loop over the wire
   once on an ephemeral service and once with a ``--data-dir`` WAL attached,
   then times a warm restart over the written logs, and writes the
@@ -76,7 +89,9 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import pickle
 import platform
+import random
 import shutil
 import statistics
 import sys
@@ -93,9 +108,14 @@ from repro.graph.generators import (
     erdos_renyi_graph,
     powerlaw_cluster_graph,
     quasi_clique_blobs,
+    uniform_random_graph,
 )
+from repro.kernel import available_backends, compile_kernel
+from repro.kernel.backend import BACKEND_INT, BACKEND_WORDS, ENV_VAR
+from repro.kernel.bitops import bits_list, mask_from_indices, mask_from_indices_wide
 from repro.kernel.bounds import stack_evaluate
 from repro.kernel.view import SubgraphView
+from repro.parallel import shm
 from repro.models import make_model
 from repro.parallel import ParallelConfig, ParallelMaxRFC
 from repro.reduction.pipeline import ReductionPipeline
@@ -103,12 +123,13 @@ from repro.resilience.faults import FaultPlan, FaultSpec, fault_injection
 from repro.search.maxrfc import MaxRFC, build_search_config
 
 RESULTS_DIR = Path(__file__).parent / "results"
-SCHEMA = "bench_kernel/v1"
+SCHEMA = "bench_kernel/v2"
 PARALLEL_SCHEMA = "bench_parallel/v1"
 SESSION_SCHEMA = "bench_session/v1"
 SERVICE_SCHEMA = "bench_service/v1"
 CHAOS_SCHEMA = "bench_chaos/v1"
 DURABILITY_SCHEMA = "bench_durability/v1"
+SHAREDMEM_SCHEMA = "bench_sharedmem/v1"
 #: schema -> the medians key the --check gate compares.
 CHECK_KEYS = {
     SCHEMA: "search_speedup",
@@ -117,7 +138,11 @@ CHECK_KEYS = {
     SERVICE_SCHEMA: "service_speedup",
     CHAOS_SCHEMA: "chaos_speedup",
     DURABILITY_SCHEMA: "durability_speedup",
+    SHAREDMEM_SCHEMA: "sharedmem_speedup",
 }
+#: The kernel suite additionally gates this medians key at an absolute floor:
+#: the words backend must not be slower than int on the scaling grid.
+WORDS_FLOOR_KEY = "words_vs_int_speedup"
 
 
 def full_grid():
@@ -621,6 +646,325 @@ def bench_bounds(graph, k, delta, repeats):
     }
 
 
+#: Attribute domain for the scaling cells.  Eight values keep the attribute
+#: block wide enough that the vectorised ``attr_counts`` has real work per
+#: call instead of timing numpy dispatch overhead.
+SCALING_ATTRS = "abcdefgh"
+
+#: The primitives whose int-vs-words ratios feed the cell speedup median.
+#: ``compile_s`` is recorded but deliberately excluded: building the dense
+#: byte buffer costs more than int's shifted ORs (which are memcpy-speed C),
+#: so compile is a documented one-time tax the ship/solve wins repay.
+SCALING_PRIMITIVES = ("make_mask", "union_rows", "attr_counts",
+                      "pickle_roundtrip")
+
+#: The primitives numpy actually overrides; everything else is the words
+#: path, so a numpy-vs-words ratio there would measure noise.
+NUMPY_PRIMITIVES = ("union_rows", "attr_counts")
+
+
+def scaling_grid(mode):
+    """(name, n, m, adjacency_primitives) cells for the kernel scaling axis.
+
+    The dense word buffer is O(n²/8) bytes — ~5 GB at n=200k — so the widest
+    cell skips kernel compilation entirely and times only the
+    mask-construction primitive, which is exactly the regime the wide-mask
+    byte-scan paths in :mod:`repro.kernel.bitops` exist for.
+    """
+    if mode == "smoke":
+        return [("n10k", 10_000, 120_000, True)]
+    return [
+        ("n2k", 2_000, 24_000, True),
+        ("n10k", 10_000, 120_000, True),
+        ("n50k", 50_000, 600_000, True),
+        ("n200k", 200_000, 2_400_000, False),
+    ]
+
+
+def _scaling_graph(n, m):
+    return uniform_random_graph(
+        n, m, seed=3,
+        assigner=lambda rng, v: SCALING_ATTRS[v % len(SCALING_ATTRS)],
+    )
+
+
+def _time_loop(fn, inner, repeats):
+    """Median seconds per call of ``fn`` over ``inner`` calls × ``repeats``."""
+    samples = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        for _ in range(inner):
+            fn()
+        samples.append((time.perf_counter() - started) / inner)
+    return median_of(samples)
+
+
+def bench_kernel_scaling(n, m, adjacency_primitives, repeats):
+    """Per-backend wall-clock of the kernel primitives at one (n, m) cell.
+
+    Every primitive is asserted result-identical across backends before its
+    ratio counts, so the scaling axis doubles as a wide-graph parity check.
+    The cell speedups are medians of per-primitive ratios:
+    ``words_vs_int`` over :data:`SCALING_PRIMITIVES`, ``numpy_vs_words``
+    over :data:`NUMPY_PRIMITIVES` (absent without numpy).
+    """
+    rng = random.Random(11)
+    sample = rng.sample(range(n), max(1, n // 10))
+    frontiers = [
+        sum(1 << i for i in rng.sample(range(n), 40)) for _ in range(8)
+    ]
+    sample_mask = mask_from_indices_wide(sample, n)
+    cell = {"backends": {}, "sparse_bits_list_s": _time_loop(
+        lambda: bits_list(frontiers[0]), 200, repeats,
+    )}
+
+    if not adjacency_primitives:
+        # Mask construction only: int's O(k · words) accumulation against
+        # the byte-scratch O(k + words) path the words backends use.
+        timings = {
+            BACKEND_INT: _time_loop(
+                lambda: mask_from_indices(sample), 5, repeats),
+            BACKEND_WORDS: _time_loop(
+                lambda: mask_from_indices_wide(sample, n), 5, repeats),
+        }
+        if mask_from_indices(sample) != sample_mask:
+            raise AssertionError("wide mask construction parity violated")
+        for backend, seconds in timings.items():
+            cell["backends"][backend] = {"make_mask_s": seconds}
+        cell["words_vs_int_speedup"] = (
+            timings[BACKEND_INT] / max(timings[BACKEND_WORDS], 1e-12)
+        )
+        return cell
+
+    graph = _scaling_graph(n, m)
+    inner = max(1, 20_000 // n)
+    kernels = {}
+    for backend in available_backends():
+        compile_s = _time_loop(
+            lambda: kernels.__setitem__(backend, compile_kernel(graph, backend)),
+            1, repeats,
+        )
+        kernel = kernels[backend]
+        ops = kernel.ops
+        for frontier in frontiers:  # materialise the lazy row caches once,
+            ops.union_rows(frontier)  # as a long-lived worker would
+        blob = pickle.dumps(kernel)
+        timings = {
+            "compile_s": compile_s,
+            "make_mask_s": _time_loop(
+                lambda: ops.make_mask(sample), 5 * inner, repeats),
+            "union_rows_s": _time_loop(
+                lambda: [ops.union_rows(f) for f in frontiers],
+                2 * inner, repeats,
+            ) / len(frontiers),
+            "attr_counts_s": _time_loop(
+                lambda: ops.attr_counts(sample_mask), 10 * inner, repeats),
+            "pickle_roundtrip_s": _time_loop(
+                lambda: pickle.loads(pickle.dumps(kernel)), 1, repeats),
+            "pickle_bytes": len(blob),
+        }
+        cell["backends"][backend] = timings
+
+    reference = kernels[BACKEND_INT]
+    for backend, kernel in kernels.items():
+        if (kernel.ops.make_mask(sample) != sample_mask
+                or [kernel.ops.union_rows(f) for f in frontiers]
+                != [reference.ops.union_rows(f) for f in frontiers]
+                or kernel.ops.attr_counts(sample_mask)
+                != reference.ops.attr_counts(sample_mask)):
+            raise AssertionError(
+                f"scaling-cell primitive parity violated on {backend!r}"
+            )
+
+    int_t = cell["backends"][BACKEND_INT]
+    words_t = cell["backends"][BACKEND_WORDS]
+    cell["words_vs_int_speedup"] = median_of([
+        int_t[f"{p}_s"] / max(words_t[f"{p}_s"], 1e-12)
+        for p in SCALING_PRIMITIVES
+    ])
+    if "numpy" in cell["backends"]:
+        numpy_t = cell["backends"]["numpy"]
+        cell["numpy_vs_words_speedup"] = median_of([
+            words_t[f"{p}_s"] / max(numpy_t[f"{p}_s"], 1e-12)
+            for p in NUMPY_PRIMITIVES
+        ])
+    return cell
+
+
+def run_scaling_axis(mode: str, repeats: int) -> tuple[list, dict]:
+    """The n-scaling cells + their suite-level median speedups."""
+    cells = []
+    for name, n, m, adjacency in scaling_grid(mode):
+        print(f"[bench] scaling {name}: n={n} m={m} "
+              f"backends={','.join(available_backends())}"
+              f"{'' if adjacency else ' (mask ops only)'}", flush=True)
+        cell = {"name": name, "n": n, "m": m,
+                "adjacency_primitives": adjacency,
+                **bench_kernel_scaling(n, m, adjacency, repeats)}
+        line = f"        words-vs-int x{cell['words_vs_int_speedup']:.2f}"
+        if "numpy_vs_words_speedup" in cell:
+            line += f"  numpy-vs-words x{cell['numpy_vs_words_speedup']:.2f}"
+        print(line, flush=True)
+        cells.append(cell)
+    medians = {
+        WORDS_FLOOR_KEY: median_of(
+            [cell["words_vs_int_speedup"] for cell in cells]
+        ),
+    }
+    numpy_ratios = [
+        cell["numpy_vs_words_speedup"]
+        for cell in cells if "numpy_vs_words_speedup" in cell
+    ]
+    if numpy_ratios:
+        medians["numpy_vs_words_speedup"] = median_of(numpy_ratios)
+    return cells, medians
+
+
+def sharedmem_grid(mode):
+    """(name, n, m) cells for the snapshot-ship suite (words kernels)."""
+    if mode == "smoke":
+        return [("n10k", 10_000, 120_000)]
+    return [
+        ("n10k", 10_000, 120_000),
+        ("n20k", 20_000, 400_000),
+        ("n50k", 50_000, 600_000),
+    ]
+
+
+def bench_sharedmem(n, m, repeats):
+    """Zero-copy snapshot attach vs the pickle ship, per worker.
+
+    ``pickle_roundtrip_s`` (dumps + loads) is what every pool worker pays on
+    the classic ship path; ``attach_s`` is its zero-copy replacement — map
+    the exported segment and rebuild the kernel over a buffer view.  The
+    one-time coordinator-side costs (``export_s`` vs ``pickle_dumps_s``) are
+    recorded alongside.  Attached clones must equal the original.
+    """
+    kernel = compile_kernel(_scaling_graph(n, m), BACKEND_WORDS)
+    blob = pickle.dumps(kernel)
+    dumps_s = _time_loop(lambda: pickle.dumps(kernel), 1, repeats)
+    loads_s = _time_loop(lambda: pickle.loads(blob), 1, repeats)
+
+    export_samples = []
+    attach_samples = []
+    snapshot_bytes = 0
+    for _ in range(repeats):
+        started = time.perf_counter()
+        ref = shm.export_snapshot(kernel)
+        export_samples.append(time.perf_counter() - started)
+        snapshot_bytes = ref.total_bytes
+        try:
+            started = time.perf_counter()
+            clone, segment = shm.attach_snapshot(ref)
+            attach_samples.append(time.perf_counter() - started)
+            if (clone.index_of != kernel.index_of
+                    or clone.adj_bits[0] != kernel.adj_bits[0]):
+                raise AssertionError("attached snapshot parity violated")
+            # The kernel's buffer views pin the mapping; release them first.
+            del clone
+            segment.close()
+        finally:
+            shm.destroy_snapshot(ref)
+    attach_s = median_of(attach_samples)
+    roundtrip_s = dumps_s + loads_s
+    return {
+        "snapshot_bytes": snapshot_bytes,
+        "pickle_bytes": len(blob),
+        "pickle_dumps_s": dumps_s,
+        "pickle_loads_s": loads_s,
+        "pickle_roundtrip_s": roundtrip_s,
+        "export_s": median_of(export_samples),
+        "attach_s": attach_s,
+        "speedup": roundtrip_s / max(attach_s, 1e-12),
+    }
+
+
+def bench_sharedmem_e2e(repeats):
+    """Two-worker solve parity, zero-copy ship vs forced pickle ship.
+
+    On a single-core runner the wall-clocks are pool overhead either way;
+    the cell exists for the parity assertion and the ship telemetry, both
+    of which are machine-independent.
+    """
+    graph = quasi_clique_blobs(erdos_renyi_graph(0, 0.0), num_blobs=4,
+                               blob_size=60, edge_probability=0.55, seed=3)
+    query = FairCliqueQuery(model="relative", k=2, delta=1, workers=2)
+    saved = {key: os.environ.get(key)
+             for key in (ENV_VAR, shm.DISABLE_ENV_VAR)}
+    timings = {}
+    outcomes = {}
+    try:
+        os.environ[ENV_VAR] = BACKEND_WORDS
+        for label in ("shm", "pickle"):
+            if label == "pickle":
+                os.environ[shm.DISABLE_ENV_VAR] = "1"
+            else:
+                os.environ.pop(shm.DISABLE_ENV_VAR, None)
+            samples = []
+            for _ in range(repeats):
+                started = time.monotonic()
+                report = solve(graph, query)
+                samples.append(time.monotonic() - started)
+            timings[label] = median_of(samples)
+            outcomes[label] = (
+                report.size, report.metadata["parallel"]["shm"],
+                report.metadata["parallel"].get("shm_bytes", 0),
+            )
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+    if outcomes["shm"][0] != outcomes["pickle"][0]:
+        raise AssertionError(
+            f"shm/pickle ship parity violated: {outcomes}"
+        )
+    if not outcomes["shm"][1] or outcomes["pickle"][1]:
+        raise AssertionError(f"ship-path selection broken: {outcomes}")
+    return {
+        "clique_size": outcomes["shm"][0],
+        "shm_solve_s": timings["shm"],
+        "pickle_solve_s": timings["pickle"],
+        "shm_bytes": outcomes["shm"][2],
+    }
+
+
+def run_sharedmem(mode: str, repeats: int) -> dict:
+    cells = []
+    for name, n, m in sharedmem_grid(mode):
+        print(f"[bench] sharedmem {name}: n={n} m={m}", flush=True)
+        cell = {"name": name, "n": n, "m": m,
+                **bench_sharedmem(n, m, repeats)}
+        print(f"        pickle {cell['pickle_roundtrip_s'] * 1e3:.1f}ms  "
+              f"attach {cell['attach_s'] * 1e3:.2f}ms  x{cell['speedup']:.1f}",
+              flush=True)
+        cells.append(cell)
+    print(f"[bench] sharedmem e2e: 2-worker solve, shm vs forced pickle",
+          flush=True)
+    e2e = bench_sharedmem_e2e(repeats)
+    print(f"        shm {e2e['shm_solve_s']:.3f}s  "
+          f"pickle {e2e['pickle_solve_s']:.3f}s  "
+          f"shipped {e2e['shm_bytes']} bytes", flush=True)
+    medians = {
+        "pickle_roundtrip_s": median_of(
+            [cell["pickle_roundtrip_s"] for cell in cells]),
+        "attach_s": median_of([cell["attach_s"] for cell in cells]),
+        "sharedmem_speedup": median_of([cell["speedup"] for cell in cells]),
+    }
+    return {
+        "schema": SHAREDMEM_SCHEMA,
+        "mode": mode,
+        "repeats": repeats,
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cells": cells,
+        "e2e": e2e,
+        "medians": medians,
+    }
+
+
 def bench_parallel(graph, model_name, k, delta, repeats, workers):
     """Median search seconds serial vs parallel + exact result parity.
 
@@ -659,6 +1003,9 @@ def bench_parallel(graph, model_name, k, delta, repeats, workers):
         "components_searched": telemetry.get("components_searched", 0),
         "components_split": telemetry.get("components_split", 0),
         "incumbent_channel": telemetry.get("incumbent_channel", False),
+        "kernel_backend": telemetry.get("kernel_backend", "unknown"),
+        "shm": telemetry.get("shm", False),
+        "shm_attach_fallbacks": telemetry.get("shm_attach_fallbacks", 0),
     }
 
 
@@ -896,8 +1243,8 @@ def run_parallel(mode: str, repeats: int, workers: int) -> dict:
     cells = []
     for name, graph, model_name, k, delta in grid:
         print(f"[bench] {name}: n={graph.num_vertices} m={graph.num_edges} "
-              f"model={model_name} k={k} delta={delta} workers={workers}",
-              flush=True)
+              f"model={model_name} k={k} delta={delta} workers={workers} "
+              f"cpus={os.cpu_count()}", flush=True)
         cell = {
             "name": name,
             "n": graph.num_vertices,
@@ -909,7 +1256,8 @@ def run_parallel(mode: str, repeats: int, workers: int) -> dict:
         }
         print(f"        serial {cell['serial_s']:.3f}s  "
               f"parallel {cell['parallel_s']:.3f}s  x{cell['speedup']:.2f}  "
-              f"shards={cell['shards']}", flush=True)
+              f"shards={cell['shards']}  backend={cell['kernel_backend']}  "
+              f"shm={'on' if cell['shm'] else 'off'}", flush=True)
         cells.append(cell)
     medians = {
         "serial_s": median_of([cell["serial_s"] for cell in cells]),
@@ -954,13 +1302,17 @@ def run(mode: str, repeats: int) -> dict:
         for section in ("search", "reduction", "bounds")
         for field in ("kernel_s", "dict_s", "speedup")
     }
+    scaling_cells, scaling_medians = run_scaling_axis(mode, repeats)
+    medians.update(scaling_medians)
     return {
         "schema": SCHEMA,
         "mode": mode,
         "repeats": repeats,
+        "kernel_backends": list(available_backends()),
         "python": platform.python_version(),
         "platform": platform.platform(),
         "cells": cells,
+        "scaling": scaling_cells,
         "medians": medians,
     }
 
@@ -996,6 +1348,17 @@ def check_against_baseline(report: dict, baseline_path: Path, tolerance: float) 
         print(f"[check] FAIL: {key} has regressed beyond the tolerance",
               file=sys.stderr)
         return 1
+    if report["schema"] == SCHEMA:
+        # Absolute gate, not baseline-relative: the words backend must be
+        # at least as fast as int (median over the scaling primitives) or
+        # the fixed-width layout has stopped paying for itself.
+        words_ratio = report["medians"][WORDS_FLOOR_KEY]
+        print(f"[check] median {WORDS_FLOOR_KEY}: x{words_ratio:.2f} "
+              f"(floor x1.00)")
+        if words_ratio < 1.0:
+            print(f"[check] FAIL: the words backend is slower than int on "
+                  f"the scaling grid", file=sys.stderr)
+            return 1
     print("[check] OK")
     return 0
 
@@ -1004,13 +1367,15 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--suite",
                         choices=("kernel", "parallel", "session", "service",
-                                 "chaos", "durability"),
+                                 "chaos", "durability", "sharedmem"),
                         default="kernel",
-                        help="kernel-vs-dict hot paths, serial-vs-parallel "
-                             "search, cold-vs-warm session caching, the "
-                             "HTTP service tier (cold/warm/result-cached), "
-                             "the fault-hook overhead check, or the "
-                             "WAL-on-vs-off + warm-restart recovery suite")
+                        help="kernel-vs-dict hot paths + the backend scaling "
+                             "axis, serial-vs-parallel search, cold-vs-warm "
+                             "session caching, the HTTP service tier "
+                             "(cold/warm/result-cached), the fault-hook "
+                             "overhead check, the WAL-on-vs-off + "
+                             "warm-restart recovery suite, or the zero-copy "
+                             "snapshot-ship suite (attach vs pickle)")
     parser.add_argument("--smoke", action="store_true",
                         help="run the small CI grid instead of the full one")
     parser.add_argument("--repeats", type=int, default=3,
@@ -1054,6 +1419,13 @@ def main(argv=None) -> int:
         report = run_durability(mode, max(1, args.repeats))
         default_name = ("BENCH_durability_smoke.json" if args.smoke
                         else "BENCH_durability.json")
+    elif args.suite == "sharedmem":
+        if not shm.shm_available():
+            parser.error("--suite sharedmem needs POSIX shared memory "
+                         "(/dev/shm); set none available on this machine")
+        report = run_sharedmem(mode, max(1, args.repeats))
+        default_name = ("BENCH_sharedmem_smoke.json" if args.smoke
+                        else "BENCH_sharedmem.json")
     else:
         report = run(mode, max(1, args.repeats))
         default_name = ("BENCH_kernel_smoke.json" if args.smoke

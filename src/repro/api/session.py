@@ -159,6 +159,10 @@ class QueryPlan:
     kernel_ready: bool
     shard_plan: dict | None
     notes: tuple[str, ...] = ()
+    #: Storage backend a compile would use right now (``int``/``words``/
+    #: ``numpy`` — resolved against ``REPRO_KERNEL_BACKEND`` and numpy
+    #: availability at explain time).
+    kernel_backend: str = "int"
 
     def as_dict(self) -> dict:
         """Flat plain-data view for JSON/table reporting."""
@@ -173,6 +177,7 @@ class QueryPlan:
             "bound_stack": None if self.bound_stack is None else list(self.bound_stack),
             "bound_stack_substituted": self.bound_stack_substituted,
             "use_kernel": self.use_kernel,
+            "kernel_backend": self.kernel_backend,
             "workers": self.workers,
             "reduction_cached": self.reduction_cached,
             "kernel_ready": self.kernel_ready,
@@ -211,6 +216,7 @@ class QueryPlan:
                 None if substituted is None else dict(substituted)
             ),
             use_kernel=payload["use_kernel"],
+            kernel_backend=payload.get("kernel_backend", "int"),
             workers=payload["workers"],
             reduction_cached=payload.get("reduction_cached", False),
             kernel_ready=payload.get("kernel_ready", False),
@@ -244,7 +250,12 @@ class QueryPlan:
             f"reduction  {' -> '.join(self.reduction_stages) if self.reduction_stages else '(none)'}"
             + ("  [cached]" if self.reduction_cached else ""),
             f"bounds     {' + '.join(self.bound_stack) if self.bound_stack else '(none)'}",
-            f"kernel     {'bitset/CSR' if self.use_kernel else 'dict'}"
+            f"kernel     "
+            + (
+                f"bitset/CSR ({self.kernel_backend})"
+                if self.use_kernel
+                else "dict"
+            )
             + ("  [compiled]" if self.kernel_ready else ""),
             f"workers    {self.workers}",
         ]
@@ -617,10 +628,12 @@ class FairCliqueSession:
         query = self._make_query(query, fields)
         engine = self._registry.resolve(query)
         validate_task(query)
+        from repro.kernel.backend import resolve_backend
         from repro.models import make_model
 
         workers = query.workers or 1
         notes: list[str] = []
+        kernel_backend = resolve_backend()
 
         if query.task != "maximum":
             model = make_model(query.model, query.k, query.delta, self.graph)
@@ -647,6 +660,7 @@ class FairCliqueSession:
                 reduction_cached=False,
                 kernel_ready=self.graph.kernel_ready,
                 shard_plan=None,
+                kernel_backend=kernel_backend,
                 notes=tuple(notes),
             )
 
@@ -705,6 +719,7 @@ class FairCliqueSession:
                 reduction_cached=reduction_cached,
                 kernel_ready=kernel_ready,
                 shard_plan=shard_plan,
+                kernel_backend=kernel_backend,
                 notes=tuple(notes),
             )
 
@@ -734,6 +749,7 @@ class FairCliqueSession:
             reduction_cached=False,
             kernel_ready=self.graph.kernel_ready,
             shard_plan=None,
+            kernel_backend=kernel_backend,
             notes=tuple(notes),
         )
 

@@ -28,6 +28,7 @@ from repro.graph.generators import (
     sample_vertices,
     skewed_attributes,
     uniform_attributes,
+    uniform_random_graph,
 )
 from repro.graph.io import (
     read_combined,
@@ -68,6 +69,7 @@ __all__ = [
     "sample_vertices",
     "skewed_attributes",
     "uniform_attributes",
+    "uniform_random_graph",
     "read_combined",
     "read_edge_list",
     "write_clique_report",

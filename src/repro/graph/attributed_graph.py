@@ -63,7 +63,7 @@ class AttributedGraph:
         self._labels: dict[Vertex, str] = {}
         self._num_edges = 0
         self._version = 0
-        self._kernel = None
+        self._kernel: dict = {}
         self._kernel_version = -1
         if vertices is not None:
             for vertex, attribute in vertices:
@@ -253,23 +253,30 @@ class AttributedGraph:
         """
         return self._version
 
-    def compile(self):
+    def compile(self, backend: Optional[str] = None):
         """Return the frozen :class:`~repro.kernel.compile.GraphKernel` snapshot.
 
         This is the freeze boundary between the mutable builder world and the
         integer/bitset kernel the algorithms run on: build or mutate the graph
         freely, then ``compile()`` once and hand the snapshot to the hot
-        paths.  The snapshot is memoized and recompiled only after a
-        mutation, so repeated calls between mutations are free; it never
-        tracks later mutations — call ``compile()`` again after changing the
-        graph.
+        paths.  Snapshots are memoized per storage backend (``int``,
+        ``words``, ``numpy`` — see :mod:`repro.kernel.backend` for the
+        selection precedence when ``backend`` is omitted) and recompiled
+        only after a mutation, so repeated calls between mutations are
+        free; a snapshot never tracks later mutations — call ``compile()``
+        again after changing the graph.
         """
-        if self._kernel is None or self._kernel_version != self._version:
-            from repro.kernel.compile import compile_kernel
+        from repro.kernel.backend import resolve_backend
+        from repro.kernel.compile import compile_kernel
 
-            self._kernel = compile_kernel(self)
+        chosen = resolve_backend(backend)
+        if self._kernel_version != self._version:
+            self._kernel = {}
             self._kernel_version = self._version
-        return self._kernel
+        kernel = self._kernel.get(chosen)
+        if kernel is None:
+            kernel = self._kernel[chosen] = compile_kernel(self, chosen)
+        return kernel
 
     def freeze(self):
         """Alias of :meth:`compile` (reads better at call sites that never mutate)."""
@@ -279,11 +286,11 @@ class AttributedGraph:
     def kernel_ready(self) -> bool:
         """True when a compiled kernel for the *current* version is memoized.
 
-        Purely observational — it never triggers a compile.  Query planning
-        (``session.explain``) uses it to report whether a query would reuse
-        the snapshot or pay the compile.
+        Purely observational — it never triggers a compile (any backend's
+        snapshot counts).  Query planning (``session.explain``) uses it to
+        report whether a query would reuse the snapshot or pay the compile.
         """
-        return self._kernel is not None and self._kernel_version == self._version
+        return bool(self._kernel) and self._kernel_version == self._version
 
     # ------------------------------------------------------------------ #
     # Derived graphs
@@ -333,7 +340,7 @@ class AttributedGraph:
     def __setstate__(self, state) -> None:
         self._adj, self._attr, self._labels, self._num_edges = state
         self._version = 0
-        self._kernel = None
+        self._kernel = {}
         self._kernel_version = -1
 
     def __contains__(self, vertex: Vertex) -> bool:

@@ -88,6 +88,44 @@ def erdos_renyi_graph(
     return graph
 
 
+def uniform_random_graph(
+    num_vertices: int,
+    num_edges: int,
+    seed: int = 0,
+    assigner: AttributeAssigner | None = None,
+) -> AttributedGraph:
+    """Generate a G(n, m) random graph: ``num_edges`` distinct uniform edges.
+
+    Unlike :func:`erdos_renyi_graph` this runs in O(n + m) rather than
+    O(n²), so it is the generator of choice for the wide-but-sparse grids
+    (n up to hundreds of thousands) used by the kernel scaling benchmarks.
+    """
+    if num_vertices < 0:
+        raise InvalidParameterError("num_vertices must be non-negative")
+    max_edges = num_vertices * (num_vertices - 1) // 2
+    if num_edges < 0 or num_edges > max_edges:
+        raise InvalidParameterError(
+            f"num_edges must lie in [0, {max_edges}] for {num_vertices} vertices"
+        )
+    rng = random.Random(seed)
+    assigner = assigner or uniform_attributes()
+    graph = AttributedGraph()
+    for vertex in range(num_vertices):
+        graph.add_vertex(vertex, assigner(rng, vertex))
+    chosen: set[tuple[int, int]] = set()
+    while len(chosen) < num_edges:
+        u = rng.randrange(num_vertices)
+        v = rng.randrange(num_vertices)
+        if u == v:
+            continue
+        edge = (u, v) if u < v else (v, u)
+        if edge in chosen:
+            continue
+        chosen.add(edge)
+        graph.add_edge(*edge)
+    return graph
+
+
 def barabasi_albert_graph(
     num_vertices: int,
     edges_per_vertex: int,

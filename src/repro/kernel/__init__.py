@@ -15,6 +15,15 @@ under ``tests/test_kernel`` enforces this on randomized instances across all
 fairness models.
 """
 
+from repro.kernel.backend import (
+    BACKEND_INT,
+    BACKEND_NUMPY,
+    BACKEND_WORDS,
+    available_backends,
+    default_backend,
+    numpy_available,
+    resolve_backend,
+)
 from repro.kernel.bitops import (
     bit,
     bits_list,
@@ -44,11 +53,38 @@ from repro.kernel.reduce import (
     enhanced_support_peel,
     survivors_mask,
 )
+from repro.kernel.maskops import (
+    IntMaskOps,
+    NumpyMaskOps,
+    WordsMaskOps,
+    make_ops,
+)
 from repro.kernel.search import KernelBranchAndBound
 from repro.kernel.view import SubgraphView
+from repro.kernel.words import (
+    LazyWordRows,
+    NumpyGraphKernel,
+    WordsGraphKernel,
+    compile_words_kernel,
+)
 
 __all__ = [
+    "BACKEND_INT",
+    "BACKEND_NUMPY",
+    "BACKEND_WORDS",
     "GraphKernel",
+    "IntMaskOps",
+    "LazyWordRows",
+    "NumpyGraphKernel",
+    "NumpyMaskOps",
+    "WordsGraphKernel",
+    "WordsMaskOps",
+    "available_backends",
+    "compile_words_kernel",
+    "default_backend",
+    "make_ops",
+    "numpy_available",
+    "resolve_backend",
     "KernelBranchAndBound",
     "SubgraphView",
     "array_to_coloring",

@@ -25,6 +25,13 @@ The snapshot is *frozen*: mutating the source graph does not update a
 compiled kernel.  ``AttributedGraph.compile()`` is the supported entry point
 — it versions its mutations and recompiles only when the graph has actually
 changed since the cached kernel was built.
+
+Since kernel v2 the *storage* behind the snapshot is pluggable
+(:mod:`repro.kernel.backend`): this module holds the big-int reference
+backend and the backend-agnostic behaviour; :mod:`repro.kernel.words` holds
+the fixed-width word-array storage.  Mask values are Python ints in every
+backend, and backend-specific bulk work goes through ``kernel.ops``
+(:mod:`repro.kernel.maskops`).
 """
 
 from __future__ import annotations
@@ -32,6 +39,7 @@ from __future__ import annotations
 from collections.abc import Iterable, Iterator
 from typing import TYPE_CHECKING, Optional
 
+from repro.kernel.backend import BACKEND_INT, resolve_backend
 from repro.kernel.bitops import bits_list, iter_bits
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
@@ -45,7 +53,11 @@ class GraphKernel:
     constructor is internal.
     """
 
+    #: Storage backend name; subclasses in :mod:`repro.kernel.words` override.
+    backend = BACKEND_INT
+
     __slots__ = (
+        "_ops",
         "n",
         "num_edges",
         "vertex_of",
@@ -95,6 +107,36 @@ class GraphKernel:
         self._degeneracy_order: Optional[tuple[int, ...]] = None
         self._core_numbers: Optional[tuple[int, ...]] = None
         self._component_masks: Optional[tuple[int, ...]] = None
+        self._ops = None
+
+    # ------------------------------------------------------------------ #
+    # Backend-specific bulk operations
+    # ------------------------------------------------------------------ #
+    @property
+    def ops(self):
+        """The mask-ops implementation bound to this snapshot's backend."""
+        ops = self._ops
+        if ops is None:
+            from repro.kernel.maskops import make_ops
+
+            ops = self._ops = make_ops(self)
+        return ops
+
+    # ------------------------------------------------------------------ #
+    # Pickling (slot-based, minus the per-process ops binding)
+    # ------------------------------------------------------------------ #
+    def __getstate__(self):
+        state = {}
+        for klass in type(self).__mro__:
+            for slot in getattr(klass, "__slots__", ()):
+                if slot != "_ops" and slot not in state:
+                    state[slot] = getattr(self, slot)
+        return state
+
+    def __setstate__(self, state) -> None:
+        for name, value in state.items():
+            setattr(self, name, value)
+        self._ops = None
 
     # ------------------------------------------------------------------ #
     # Basic queries
@@ -116,7 +158,10 @@ class GraphKernel:
 
     def neighbors_csr(self, index: int) -> list[int]:
         """Neighbour indices of ``index`` as a CSR slice (ascending)."""
-        return self.indices[self.indptr[index]:self.indptr[index + 1]]
+        row = self.indices[self.indptr[index]:self.indptr[index + 1]]
+        # The words backends store machine-typed arrays (or shared-memory
+        # memoryviews); normalise so every backend honours the list contract.
+        return row if type(row) is list else list(row)
 
     def attribute_of(self, index: int) -> str:
         """Attribute value string of vertex ``index``."""
@@ -127,11 +172,8 @@ class GraphKernel:
     # ------------------------------------------------------------------ #
     def mask_of(self, vertices: Iterable) -> int:
         """Bitset of the given original-id vertices."""
-        mask = 0
         index_of = self.index_of
-        for vertex in vertices:
-            mask |= 1 << index_of[vertex]
-        return mask
+        return self.ops.make_mask(index_of[vertex] for vertex in vertices)
 
     def vertices_of_mask(self, mask: int) -> list:
         """Original ids of the vertices in ``mask`` (ascending index order)."""
@@ -205,12 +247,12 @@ class GraphKernel:
     def component_masks(self) -> tuple[int, ...]:
         """Vertex bitset of every connected component (ascending lowest index).
 
-        BFS over adjacency bitsets: one OR per frontier vertex, so a whole
-        frontier expansion costs O(frontier · words) with no per-edge Python
-        work.
+        BFS over adjacency bitsets: one row union per frontier expansion
+        (``ops.union_rows`` — vectorised under the numpy backend), with no
+        per-edge Python work.
         """
         if self._component_masks is None:
-            adj_bits = self.adj_bits
+            union_rows = self.ops.union_rows
             components: list[int] = []
             unvisited = self.full_mask
             while unvisited:
@@ -218,10 +260,7 @@ class GraphKernel:
                 component = 0
                 while frontier:
                     component |= frontier
-                    reached = 0
-                    for p in iter_bits(frontier):
-                        reached |= adj_bits[p]
-                    frontier = reached & unvisited & ~component
+                    frontier = union_rows(frontier) & unvisited & ~component
                 components.append(component)
                 unvisited &= ~component
             self._component_masks = tuple(components)
@@ -270,18 +309,41 @@ class GraphKernel:
         )
 
 
-def compile_kernel(graph: "AttributedGraph") -> GraphKernel:
-    """Compile a frozen :class:`GraphKernel` snapshot from ``graph``.
+def index_attributed_graph(graph: "AttributedGraph"):
+    """Deterministic renumbering shared by every compile backend.
 
-    Prefer ``graph.compile()`` which memoizes the result until the next
-    mutation.  Renumbering is deterministic (sorted by ``str(id)``) so two
-    compilations of equal graphs produce identical snapshots.
+    Returns ``(ordered, index_of, attribute_values, code_of)``.  Sorting by
+    ``str(id)`` matches the tie-breaking used across the package, so two
+    compilations of equal graphs — under *any* backend — agree on vertex
+    indices, attribute codes, and therefore on every mask value.
     """
     ordered = sorted(graph.vertices(), key=str)
     index_of = {vertex: index for index, vertex in enumerate(ordered)}
-    n = len(ordered)
     attribute_values = graph.attribute_values()
     code_of = {value: code for code, value in enumerate(attribute_values)}
+    return ordered, index_of, attribute_values, code_of
+
+
+def compile_kernel(
+    graph: "AttributedGraph", backend: str | None = None
+) -> GraphKernel:
+    """Compile a frozen :class:`GraphKernel` snapshot from ``graph``.
+
+    Prefer ``graph.compile()`` which memoizes the result until the next
+    mutation.  ``backend`` picks the storage representation (see
+    :func:`repro.kernel.backend.resolve_backend` for the precedence rules);
+    all backends produce snapshots with identical observable mask values.
+    """
+    chosen = resolve_backend(backend)
+    if chosen != BACKEND_INT:
+        from repro.kernel.words import compile_words_kernel
+
+        return compile_words_kernel(graph, chosen)
+
+    ordered, index_of, attribute_values, code_of = index_attributed_graph(
+        graph
+    )
+    n = len(ordered)
 
     indptr: list[int] = [0] * (n + 1)
     indices: list[int] = []

@@ -1,0 +1,177 @@
+"""Backend-specific bulk mask operations behind a tiny shared protocol.
+
+Every kernel carries an ``ops`` object implementing this protocol.  The
+contract that keeps the branch-and-bound, the reduction peels, the bound
+stacks, and the heuristics backend-agnostic is simple:
+
+*mask values are Python ints in every backend.*
+
+Per-branch arithmetic (``&``, ``|``, ``bit_count``) on those ints is already
+C-speed and identical everywhere, so search trees, bound values, and
+counters are bit-for-bit reproducible across backends.  What differs per
+backend is the *storage-level* work this protocol names:
+
+``make_mask(indices)``
+    Build a mask from index positions.  The words/numpy backends set bytes
+    in a scratch buffer and convert once — O(k + words) instead of the
+    big-int path's O(k · words) of shifted ORs.
+``union_rows(frontier_mask)``
+    OR together the adjacency rows selected by ``frontier_mask`` (the BFS
+    frontier expansion of ``component_masks``).  numpy reduces the 2-D row
+    view in one vectorised pass.
+``attr_counts(mask)``
+    Popcount of ``mask`` restricted to each attribute-value carrier set.
+    numpy runs ``bitwise_count`` over the attribute block in one shot.
+
+The int implementations double as the reference semantics: words inherits
+most of them (its lazily materialised rows *are* ints), numpy overrides the
+two reductions that pay for vectorisation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import TYPE_CHECKING
+
+from repro.kernel import backend as backend_mod
+from repro.kernel.bitops import (
+    iter_bits,
+    mask_from_indices,
+    mask_from_indices_wide,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernel.compile import GraphKernel
+
+
+class IntMaskOps:
+    """Reference implementation over per-row arbitrary-precision ints."""
+
+    backend = backend_mod.BACKEND_INT
+
+    __slots__ = ("kernel",)
+
+    def __init__(self, kernel: "GraphKernel") -> None:
+        self.kernel = kernel
+
+    def make_mask(self, indices: Iterable[int]) -> int:
+        """Mask with one bit per index in ``indices``."""
+        return mask_from_indices(indices)
+
+    def union_rows(self, frontier: int) -> int:
+        """OR of the adjacency rows whose index bit is set in ``frontier``."""
+        adj_bits = self.kernel.adj_bits
+        reached = 0
+        for index in iter_bits(frontier):
+            reached |= adj_bits[index]
+        return reached
+
+    def attr_counts(self, mask: int) -> list[int]:
+        """Per-attribute-code popcounts of ``mask`` (kernel code order)."""
+        return [
+            (mask & attr_mask).bit_count()
+            for attr_mask in self.kernel.attr_masks
+        ]
+
+
+class WordsMaskOps(IntMaskOps):
+    """Stdlib word-array backend: byte-addressed mask building.
+
+    Mask *construction* exploits the fixed-width layout (O(k + words)
+    instead of O(k · words) shifted ORs); ``union_rows`` reads straight
+    from the row cache and the backing buffer, skipping the per-row
+    ``Sequence.__getitem__`` dispatch of the lazy-rows wrapper.
+    """
+
+    backend = backend_mod.BACKEND_WORDS
+
+    __slots__ = ()
+
+    def make_mask(self, indices: Iterable[int]) -> int:
+        return mask_from_indices_wide(indices, self.kernel.row_bytes << 3)
+
+    def union_rows(self, frontier: int) -> int:
+        rows = self.kernel.adj_bits
+        cache = rows._cache
+        buffer = rows._buffer
+        row_bytes = rows._row_bytes
+        from_bytes = int.from_bytes
+        reached = 0
+        for index in iter_bits(frontier):
+            row = cache[index]
+            if row is None:
+                offset = index * row_bytes
+                row = from_bytes(
+                    buffer[offset:offset + row_bytes], "little"
+                )
+                cache[index] = row
+            reached |= row
+        return reached
+
+
+class NumpyMaskOps(WordsMaskOps):
+    """numpy fast path: vectorised reductions over the contiguous buffer."""
+
+    backend = backend_mod.BACKEND_NUMPY
+
+    __slots__ = ("_np", "_adj2d", "_attr2d")
+
+    def __init__(self, kernel: "GraphKernel") -> None:
+        super().__init__(kernel)
+        np = backend_mod.numpy_module()
+        if np is None:  # pragma: no cover - guarded by resolve_backend
+            raise RuntimeError("numpy backend selected but numpy is missing")
+        self._np = np
+        words = kernel.words
+        flat = np.frombuffer(kernel.buffer, dtype=np.uint64)
+        rows = len(flat) // words if words else 0
+        grid = flat.reshape(rows, words) if words else flat.reshape(0, 0)
+        self._adj2d = grid[: kernel.n]
+        self._attr2d = grid[kernel.n:]
+
+    def union_rows(self, frontier: int) -> int:
+        np = self._np
+        count = frontier.bit_count()
+        if count <= 2:
+            # One or two rows: big-int ORs beat the ndarray round-trip.
+            return super().union_rows(frontier)
+        selected = self._adj2d[self._frontier_indices(frontier)]
+        reduced = np.bitwise_or.reduce(selected, axis=0)
+        return int.from_bytes(reduced.tobytes(), "little")
+
+    def attr_counts(self, mask: int) -> list[int]:
+        attr2d = self._attr2d
+        if not self.kernel.words or not len(attr2d):
+            return super().attr_counts(mask)
+        np = self._np
+        row = np.frombuffer(
+            mask.to_bytes(self.kernel.row_bytes, "little"), dtype=np.uint64
+        )
+        return np.bitwise_count(attr2d & row).sum(axis=1).tolist()
+
+    def _frontier_indices(self, frontier: int):
+        """Set-bit positions of ``frontier`` as an index array, O(words + k).
+
+        Unpacking the whole mask is O(n) with a visible constant on wide
+        universes, so first locate the nonzero *bytes* (C-speed) and unpack
+        only those — the frontier is usually sparse relative to n.
+        """
+        np = self._np
+        nbytes = (frontier.bit_length() + 7) // 8
+        raw = np.frombuffer(frontier.to_bytes(nbytes, "little"), dtype=np.uint8)
+        nonzero_bytes = np.flatnonzero(raw)
+        bits = np.unpackbits(raw[nonzero_bytes], bitorder="little")
+        byte_index, bit_index = np.nonzero(bits.reshape(-1, 8))
+        return nonzero_bytes[byte_index] * 8 + bit_index
+
+
+def make_ops(kernel: "GraphKernel"):
+    """Instantiate the mask-ops implementation matching ``kernel.backend``."""
+    name = kernel.backend
+    if name == backend_mod.BACKEND_INT:
+        return IntMaskOps(kernel)
+    if name == backend_mod.BACKEND_WORDS:
+        return WordsMaskOps(kernel)
+    if name == backend_mod.BACKEND_NUMPY:
+        return NumpyMaskOps(kernel)
+    raise ValueError(f"kernel has unknown backend {name!r}")

@@ -43,10 +43,13 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
+from dataclasses import replace as dataclass_replace
 
 from repro.exceptions import InvalidParameterError
 from repro.graph.attributed_graph import AttributedGraph
+from repro.kernel.words import WordsGraphKernel
 from repro.models.base import ActiveModel
+from repro.parallel import shm as shm_module
 from repro.parallel import worker as worker_module
 from repro.parallel.sharding import Shard, ShardPlan, plan_shards
 from repro.parallel.worker import WorkerPayload
@@ -320,6 +323,29 @@ class ParallelMaxRFC(MaxRFC):
             poll_interval=self.parallel.poll_interval,
             seed_size=len(best),
         )
+        # Zero-copy ship: a words-backend snapshot is published once as a
+        # shared-memory segment and workers attach by name; ``payload``
+        # (with the real kernel) stays behind for the coordinator's serial
+        # fallback.  Any export failure just keeps the pickle path.
+        telemetry["kernel_backend"] = getattr(kernel, "backend", "int")
+        telemetry["shm_attach_fallbacks"] = 0
+        snapshot_ref = None
+        pool_payload = payload
+        if shm_module.shm_available() and isinstance(kernel, WordsGraphKernel):
+            swept = shm_module.sweep_stale_segments()
+            if swept:
+                telemetry["shm_segments_swept"] = len(swept)
+            try:
+                snapshot_ref = shm_module.export_snapshot(kernel)
+            except Exception as error:  # noqa: BLE001 - pickle path always works
+                telemetry["shm_attach_fallbacks"] += 1
+                telemetry["shm_error"] = f"{type(error).__name__}: {error}"
+            else:
+                pool_payload = dataclass_replace(
+                    payload, kernel=None, snapshot=snapshot_ref
+                )
+                telemetry["shm_bytes"] = snapshot_ref.total_bytes
+        telemetry["shm"] = snapshot_ref is not None
         context = _fork_context()
         channel = context.Value("q", len(best)) if context is not None else None
         branch_counter = (
@@ -361,11 +387,12 @@ class ParallelMaxRFC(MaxRFC):
                     budget_stop = True
                     pending = []
                     break
+                results_before = len(results)
                 try:
                     failed, broke = self._run_batch(
-                        pending, payload, context, channel, branch_counter,
-                        pool_size, attempts, results, failures,
-                        on_result=persist,
+                        pending, pool_payload, context, channel,
+                        branch_counter, pool_size, attempts, results,
+                        failures, on_result=persist,
                     )
                 except OSError:
                     if pools_created == 0:
@@ -380,6 +407,18 @@ class ParallelMaxRFC(MaxRFC):
                 pools_created += 1
                 if broke:
                     pool_breaks += 1
+                    if (
+                        pool_payload.snapshot is not None
+                        and len(results) == results_before
+                    ):
+                        # The pool died with shared memory in play before a
+                        # single shard finished — an attach failure in the
+                        # initializer looks exactly like this (it cannot
+                        # carry a typed exception through BrokenProcessPool).
+                        # Re-ship by pickle so the retry round cannot hit
+                        # the same wall twice.
+                        pool_payload = payload
+                        telemetry["shm_attach_fallbacks"] += 1
                 next_round: list[Shard] = []
                 for shard in failed:
                     if attempts[shard.index] > self.parallel.max_shard_retries:
@@ -419,6 +458,10 @@ class ParallelMaxRFC(MaxRFC):
             # shared channel for the life of the process.
             if poller is not None:
                 poller.stop()
+            # The coordinator owns the segment: unlink as soon as no pool
+            # can still be attaching (workers that already attached keep
+            # their mapping until process exit — POSIX semantics).
+            shm_module.destroy_snapshot(snapshot_ref)
 
         aborted = False
         worker_seconds = 0.0
@@ -602,19 +645,37 @@ class ParallelMaxRFC(MaxRFC):
                 worker_module._PARENT_BRANCH_COUNTER = branch_counter
                 try:
                     futures = []
-                    for shard in shards:
+                    for position, shard in enumerate(shards):
                         attempts[shard.index] += 1
                         faults.maybe_fire(
                             "pool.submit",
                             shard=shard.index,
                             attempt=attempts[shard.index],
                         )
-                        futures.append(pool.submit(
-                            worker_module.run_shard, shard, attempts[shard.index]
-                        ))
+                        try:
+                            futures.append(pool.submit(
+                                worker_module.run_shard, shard,
+                                attempts[shard.index],
+                            ))
+                        except BrokenProcessPool:
+                            # A worker died during pool start-up (the pool
+                            # forks lazily, so an initializer crash can
+                            # surface *synchronously* on a later submit).
+                            # Everything not yet submitted fails this round
+                            # and retries like any other broken-pool loss.
+                            broke = True
+                            for missed in shards[position:]:
+                                failed.append(missed)
+                                failures[missed.index] = (
+                                    "BrokenProcessPool: a worker process "
+                                    "died before submit"
+                                )
+                            break
                 finally:
                     worker_module._PARENT_CHANNEL = None
                     worker_module._PARENT_BRANCH_COUNTER = None
+            # futures align with the submitted prefix of ``shards``; the
+            # unsubmitted tail is already in ``failed``.
             for shard, future in zip(shards, futures):
                 try:
                     results[shard.index] = future.result()

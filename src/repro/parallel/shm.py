@@ -1,0 +1,318 @@
+"""Zero-copy kernel snapshot shipping over ``multiprocessing.shared_memory``.
+
+The pool initializer used to pickle the whole compiled kernel into every
+worker — O(snapshot) bytes copied per worker per pool round.  A words-backend
+kernel (:class:`~repro.kernel.words.WordsGraphKernel`) keeps all of its bulk
+state in flat byte blobs, so the coordinator can instead publish **one**
+shared-memory segment:
+
+====================  =======================================================
+region                contents
+====================  =======================================================
+words buffer          adjacency + attribute rows, ``(n + a) * row_bytes``
+indptr                CSR offsets, ``(n + 1)`` uint64
+indices               CSR neighbour indices, ``m2`` uint64
+attr codes            one byte per vertex
+====================  =======================================================
+
+Workers attach by name and rebuild a kernel whose ``buffer``/``indptr``/
+``indices`` are memoryviews straight into the segment — per-worker ship cost
+becomes O(small metadata) regardless of graph size.  Only the cheap metadata
+(vertex ids, attribute values, labels, cached component masks) rides through
+the pickled :class:`SnapshotRef`.
+
+Lifecycle rules (the part that has to be exactly right):
+
+* The **coordinator owns the segment**: it unlinks in ``_run_pool``'s
+  ``finally`` and, as a net, an ``atexit`` hook unlinks anything still owned.
+* CPython's ``SharedMemory`` registers the segment with the
+  ``resource_tracker`` even on attach — harmless here, because pool workers
+  share the coordinator's tracker process (the fd is inherited under fork
+  and passed explicitly under spawn), so the worker's registration is a set
+  no-op on an already-registered name and worker exit never unlinks.
+* A SIGKILL'd coordinator can clean up nothing, so segment names embed the
+  owner pid (``repro-shm-<pid>-<token>``) and :func:`sweep_stale_segments`
+  — run before every export — unlinks any repro segment whose owner pid is
+  dead.  Sweeping by name keeps the sweep ``resource_tracker``-safe: no
+  ``SharedMemory`` object is ever constructed for a foreign segment.
+* Anything failing anywhere degrades to the pickle path; the executor
+  counts the downgrade in ``metadata["parallel"]["shm_attach_fallbacks"]``.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import re
+import secrets
+from array import array
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Optional
+
+from repro.kernel.backend import BACKEND_NUMPY, numpy_available
+from repro.kernel.words import NumpyGraphKernel, WordsGraphKernel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from multiprocessing.shared_memory import SharedMemory
+
+#: Name prefix of every segment this package creates; the stale-segment
+#: sweep only ever touches names matching this shape.
+SEGMENT_PREFIX = "repro-shm"
+
+#: Set ``REPRO_DISABLE_SHM=1`` to force the pickle ship path (benchmarks use
+#: it to measure both sides; operators can use it to rule shm out).
+DISABLE_ENV_VAR = "REPRO_DISABLE_SHM"
+
+_SEGMENT_NAME = re.compile(rf"^{SEGMENT_PREFIX}-(\d+)-[0-9a-f]+$")
+
+#: POSIX shared memory appears here on Linux; the sweep scans it directly.
+_SHM_DIR = "/dev/shm"
+
+#: Segments created (and not yet destroyed) by this process.
+_OWNED: dict[str, "SharedMemory"] = {}
+_ATEXIT_INSTALLED = False
+
+
+@dataclass(frozen=True)
+class SnapshotRef:
+    """Pickle-cheap handle a worker needs to attach one exported snapshot."""
+
+    name: str
+    backend: str
+    n: int
+    num_edges: int
+    num_attr_rows: int
+    num_indices: int
+    vertex_of: tuple
+    attribute_values: tuple[str, ...]
+    labels: dict[int, str]
+    caches: tuple = (None, None, None)
+    total_bytes: int = 0
+
+    @property
+    def row_bytes(self) -> int:
+        return ((self.n + 63) // 64) * 8
+
+    @property
+    def buffer_bytes(self) -> int:
+        return (self.n + self.num_attr_rows) * self.row_bytes
+
+    @property
+    def indptr_offset(self) -> int:
+        return self.buffer_bytes
+
+    @property
+    def indices_offset(self) -> int:
+        return self.indptr_offset + (self.n + 1) * 8
+
+    @property
+    def codes_offset(self) -> int:
+        return self.indices_offset + self.num_indices * 8
+
+
+def shm_available() -> bool:
+    """True when this interpreter can create shared-memory segments."""
+    if os.environ.get(DISABLE_ENV_VAR, "").strip().lower() in {"1", "true", "yes"}:
+        return False
+    try:
+        from multiprocessing import shared_memory  # noqa: F401
+    except ImportError:  # pragma: no cover - platform dependent
+        return False
+    return True
+
+
+def _pid_alive(pid: int) -> bool:
+    if pid <= 0:
+        return False
+    if pid == os.getpid():
+        return True
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:
+        # Pid exists but belongs to someone else (EPERM) or the probe is
+        # unsupported — either way, do not touch the segment.
+        return True
+    return True
+
+
+def sweep_stale_segments() -> list[str]:
+    """Unlink repro segments whose owner process is dead; return their names.
+
+    A coordinator killed with SIGKILL never reaches its ``finally``/atexit
+    cleanup, leaking the segment until reboot.  Every new export sweeps
+    first, so the leak is bounded by one coordinator lifetime.  The sweep
+    unlinks by filename — it never constructs a ``SharedMemory`` for a
+    foreign segment, so no ``resource_tracker`` registration can occur.
+    """
+    try:
+        entries = os.listdir(_SHM_DIR)
+    except OSError:  # pragma: no cover - non-Linux or masked /dev/shm
+        return []
+    swept: list[str] = []
+    for entry in entries:
+        match = _SEGMENT_NAME.match(entry)
+        if match is None or _pid_alive(int(match.group(1))):
+            continue
+        try:
+            os.unlink(os.path.join(_SHM_DIR, entry))
+        except OSError:  # pragma: no cover - raced by another sweeper
+            continue
+        swept.append(entry)
+    return swept
+
+
+def _flat_bytes(values) -> bytes:
+    if isinstance(values, array):
+        return values.tobytes()
+    if isinstance(values, memoryview):
+        return values.tobytes()
+    return array("Q", values).tobytes()
+
+
+def _install_atexit() -> None:
+    global _ATEXIT_INSTALLED
+    if _ATEXIT_INSTALLED:
+        return
+    _ATEXIT_INSTALLED = True
+
+    def _cleanup() -> None:  # pragma: no cover - interpreter shutdown
+        for name in list(_OWNED):
+            _destroy_by_name(name)
+
+    atexit.register(_cleanup)
+
+
+def _destroy_by_name(name: str) -> None:
+    segment = _OWNED.pop(name, None)
+    if segment is None:
+        return
+    try:
+        segment.close()
+    except OSError:  # pragma: no cover - already gone
+        pass
+    try:
+        segment.unlink()
+    except (FileNotFoundError, OSError):  # pragma: no cover - already gone
+        pass
+
+
+def export_snapshot(kernel: WordsGraphKernel) -> SnapshotRef:
+    """Publish ``kernel``'s flat state as one owned shared-memory segment.
+
+    The caller (the parallel coordinator) owns the returned segment and must
+    eventually call :func:`destroy_snapshot`; the atexit net only covers
+    abnormal-but-clean interpreter exits.
+    """
+    from multiprocessing.shared_memory import SharedMemory
+
+    if not isinstance(kernel, WordsGraphKernel):
+        raise TypeError(
+            f"only words-backend kernels export to shared memory, "
+            f"got backend {getattr(kernel, 'backend', '?')!r}"
+        )
+    if any(code > 0xFF for code in kernel.attr_codes):
+        raise ValueError("attribute code exceeds one byte")
+
+    buffer = kernel.buffer
+    if not isinstance(buffer, bytes):
+        buffer = bytes(buffer)
+    indptr_blob = _flat_bytes(kernel.indptr)
+    indices_blob = _flat_bytes(kernel.indices)
+    codes_blob = bytes(kernel.attr_codes)
+
+    ref = SnapshotRef(
+        name="",
+        backend=kernel.backend,
+        n=kernel.n,
+        num_edges=kernel.num_edges,
+        num_attr_rows=kernel.num_attr_rows,
+        num_indices=len(indices_blob) // 8,
+        vertex_of=kernel.vertex_of,
+        attribute_values=kernel.attribute_values,
+        labels=kernel.labels,
+        caches=(
+            kernel._degeneracy_order,
+            kernel._core_numbers,
+            kernel._component_masks,
+        ),
+    )
+    total = max(1, ref.codes_offset + kernel.n)
+
+    segment = None
+    for _ in range(8):
+        name = f"{SEGMENT_PREFIX}-{os.getpid()}-{secrets.token_hex(4)}"
+        try:
+            segment = SharedMemory(name=name, create=True, size=total)
+            break
+        except FileExistsError:  # pragma: no cover - 2^32 collision
+            continue
+    if segment is None:  # pragma: no cover - 8 collisions in a row
+        raise RuntimeError("could not allocate a unique shared-memory name")
+
+    view = segment.buf
+    view[: len(buffer)] = buffer
+    view[ref.indptr_offset:ref.indptr_offset + len(indptr_blob)] = indptr_blob
+    view[ref.indices_offset:ref.indices_offset + len(indices_blob)] = (
+        indices_blob
+    )
+    view[ref.codes_offset:ref.codes_offset + len(codes_blob)] = codes_blob
+
+    _OWNED[segment.name] = segment
+    _install_atexit()
+    return replace(ref, name=segment.name, total_bytes=total)
+
+
+def attach_snapshot(ref: SnapshotRef):
+    """Attach to an exported snapshot; returns ``(kernel, segment)``.
+
+    The rebuilt kernel's buffer, CSR arrays, and attribute codes are
+    memoryviews into the mapped segment — no bulk copy happens.  The caller
+    keeps ``segment`` alive for as long as the kernel is used and merely
+    closes it on exit; unlinking belongs to the exporting coordinator.
+    """
+    from multiprocessing.shared_memory import SharedMemory
+
+    segment = SharedMemory(name=ref.name)
+    # CPython registers even plain attachments with the resource tracker.
+    # That is safe here *because* pool workers (fork and spawn alike) share
+    # the coordinator's tracker process via an inherited fd, so the worker's
+    # registration is a set no-op on a name the coordinator already
+    # registered at create time — and must NOT be unregistered from the
+    # worker, or the coordinator's own unlink would double-unregister.
+    # Worker exit therefore never unlinks; the coordinator's
+    # ``destroy_snapshot`` performs the one unlink+unregister.
+
+    view = memoryview(segment.buf)
+    buffer = view[: ref.buffer_bytes]
+    indptr = view[ref.indptr_offset:ref.indices_offset].cast("Q")
+    indices = view[ref.indices_offset:ref.codes_offset].cast("Q")
+    attr_codes = tuple(view[ref.codes_offset:ref.codes_offset + ref.n])
+
+    cls = WordsGraphKernel
+    if ref.backend == BACKEND_NUMPY and numpy_available():
+        cls = NumpyGraphKernel
+    kernel = cls(
+        vertex_of=ref.vertex_of,
+        index_of={vertex: i for i, vertex in enumerate(ref.vertex_of)},
+        indptr=indptr,
+        indices=indices,
+        buffer=buffer,
+        attribute_values=ref.attribute_values,
+        attr_codes=attr_codes,
+        labels=ref.labels,
+        num_edges=ref.num_edges,
+    )
+    (
+        kernel._degeneracy_order,
+        kernel._core_numbers,
+        kernel._component_masks,
+    ) = ref.caches
+    return kernel, segment
+
+
+def destroy_snapshot(ref: Optional[SnapshotRef]) -> None:
+    """Unlink a segment created by this process (idempotent, never raises)."""
+    if ref is not None:
+        _destroy_by_name(ref.name)

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import sys
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.kernel.bitops import bits_list
 from repro.kernel.compile import GraphKernel
@@ -59,9 +59,14 @@ class WorkerPayload:
     bound to the original graph's attribute domain plus the resolved bound
     stack, so workers make exactly the same fairness decisions as the
     coordinator would — for every model, not just the binary ones.
+
+    When the coordinator ships the snapshot through shared memory instead
+    of pickling it, ``kernel`` is ``None`` and ``snapshot`` carries the
+    :class:`~repro.parallel.shm.SnapshotRef`; the initializer attaches and
+    swaps the rebuilt kernel in before any shard runs.
     """
 
-    kernel: GraphKernel
+    kernel: GraphKernel | None
     model: ActiveModel
     bound_depth: int
     ordering: OrderingStrategy
@@ -69,6 +74,7 @@ class WorkerPayload:
     branch_limit: int | None
     poll_interval: int
     seed_size: int
+    snapshot: object | None = None
 
 
 @dataclass
@@ -91,10 +97,24 @@ _STATE: dict = {}
 
 
 def _init_worker(payload: WorkerPayload) -> None:
-    """Pool initializer: cache the payload and adopt the inherited channels."""
+    """Pool initializer: cache the payload and adopt the inherited channels.
+
+    A shared-memory payload carries no kernel — attach the published
+    snapshot (zero-copy) and rebuild the payload around it.  An attach
+    failure raises out of the initializer, which breaks the pool; the
+    coordinator classifies that as an shm fallback and re-ships by pickle.
+    """
     faults.mark_worker_process()
     faults.maybe_fire("worker.init")
     _STATE.clear()
+    if payload.kernel is None and payload.snapshot is not None:
+        from repro.parallel import shm as shm_module
+
+        kernel, segment = shm_module.attach_snapshot(payload.snapshot)
+        payload = replace(payload, kernel=kernel)
+        # Keep the mapping alive for the worker's lifetime; process exit
+        # closes it.  Unlinking stays with the exporting coordinator.
+        _STATE["shm_segment"] = segment
     _STATE["payload"] = payload
     _STATE["channel"] = _PARENT_CHANNEL
     _STATE["branch_counter"] = _PARENT_BRANCH_COUNTER

@@ -1,0 +1,242 @@
+"""Kernel v2 backend machinery: selection precedence, words storage, bitops.
+
+The parity *matrix* (same results across backends × models × worker counts)
+lives in ``test_backend_parity_matrix.py``; this module pins the mechanics —
+how a backend gets chosen, how the words buffer is laid out, and the
+sparse-mask fast path in ``bitops``.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.graph.generators import erdos_renyi_graph
+from repro.kernel import (
+    BACKEND_INT,
+    BACKEND_NUMPY,
+    BACKEND_WORDS,
+    GraphKernel,
+    LazyWordRows,
+    NumpyGraphKernel,
+    WordsGraphKernel,
+    available_backends,
+    bits_list,
+    compile_kernel,
+    default_backend,
+    iter_bits,
+    mask_from_indices,
+    numpy_available,
+    resolve_backend,
+)
+from repro.kernel import backend as backend_mod
+from repro.kernel.bitops import _WIDE_MASK_BITS
+from repro.kernel.maskops import IntMaskOps, NumpyMaskOps, WordsMaskOps
+
+
+def _graph(seed: int = 3, n: int = 60):
+    return erdos_renyi_graph(n, 0.2, seed=seed)
+
+
+def _force_no_numpy(monkeypatch):
+    monkeypatch.setattr(backend_mod, "_numpy_module", None)
+    monkeypatch.setattr(backend_mod, "_numpy_checked", True)
+
+
+class TestBackendResolution:
+    def test_auto_default(self, monkeypatch):
+        monkeypatch.delenv(backend_mod.ENV_VAR, raising=False)
+        expected = BACKEND_NUMPY if numpy_available() else BACKEND_WORDS
+        assert default_backend() == expected
+        assert resolve_backend() == expected
+
+    def test_auto_default_without_numpy(self, monkeypatch):
+        monkeypatch.delenv(backend_mod.ENV_VAR, raising=False)
+        _force_no_numpy(monkeypatch)
+        assert default_backend() == BACKEND_WORDS
+        assert available_backends() == (BACKEND_INT, BACKEND_WORDS)
+
+    def test_env_var_beats_auto(self, monkeypatch):
+        monkeypatch.setenv(backend_mod.ENV_VAR, BACKEND_INT)
+        assert resolve_backend() == BACKEND_INT
+        monkeypatch.setenv(backend_mod.ENV_VAR, BACKEND_WORDS)
+        assert resolve_backend() == BACKEND_WORDS
+
+    def test_explicit_argument_beats_env_var(self, monkeypatch):
+        monkeypatch.setenv(backend_mod.ENV_VAR, BACKEND_WORDS)
+        assert resolve_backend(BACKEND_INT) == BACKEND_INT
+
+    def test_unknown_env_value_is_loud(self, monkeypatch):
+        monkeypatch.setenv(backend_mod.ENV_VAR, "turbo")
+        with pytest.raises(InvalidParameterError, match="turbo"):
+            resolve_backend()
+
+    def test_unknown_explicit_value_is_loud(self):
+        with pytest.raises(InvalidParameterError, match="turbo"):
+            resolve_backend("turbo")
+
+    def test_numpy_request_without_numpy_is_loud(self, monkeypatch):
+        _force_no_numpy(monkeypatch)
+        with pytest.raises(InvalidParameterError, match="numpy"):
+            resolve_backend(BACKEND_NUMPY)
+        monkeypatch.setenv(backend_mod.ENV_VAR, BACKEND_NUMPY)
+        with pytest.raises(InvalidParameterError, match="numpy"):
+            resolve_backend()
+
+    def test_env_var_drives_graph_compile(self, monkeypatch):
+        monkeypatch.setenv(backend_mod.ENV_VAR, BACKEND_WORDS)
+        kernel = _graph().compile()
+        assert kernel.backend == BACKEND_WORDS
+        assert isinstance(kernel, WordsGraphKernel)
+
+
+class TestCompileMemoization:
+    def test_per_backend_cache(self, monkeypatch):
+        monkeypatch.delenv(backend_mod.ENV_VAR, raising=False)
+        graph = _graph()
+        words_kernel = graph.compile(BACKEND_WORDS)
+        int_kernel = graph.compile(BACKEND_INT)
+        assert words_kernel is not int_kernel
+        # Repeated compiles between mutations are free, per backend.
+        assert graph.compile(BACKEND_WORDS) is words_kernel
+        assert graph.compile(BACKEND_INT) is int_kernel
+        assert graph.kernel_ready
+
+    def test_mutation_invalidates_every_backend(self):
+        graph = _graph()
+        words_kernel = graph.compile(BACKEND_WORDS)
+        int_kernel = graph.compile(BACKEND_INT)
+        graph.add_vertex("fresh", "a")
+        assert not graph.kernel_ready
+        assert graph.compile(BACKEND_WORDS) is not words_kernel
+        assert graph.compile(BACKEND_INT) is not int_kernel
+
+
+class TestWordsKernelStorage:
+    def test_class_per_backend(self):
+        graph = _graph()
+        assert type(compile_kernel(graph, BACKEND_INT)) is GraphKernel
+        assert type(compile_kernel(graph, BACKEND_WORDS)) is WordsGraphKernel
+        if numpy_available():
+            assert (
+                type(compile_kernel(graph, BACKEND_NUMPY)) is NumpyGraphKernel
+            )
+
+    def test_buffer_layout_matches_int_backend(self):
+        graph = _graph(seed=8)
+        int_kernel = compile_kernel(graph, BACKEND_INT)
+        words_kernel = compile_kernel(graph, BACKEND_WORDS)
+        row_bytes = words_kernel.row_bytes
+        assert words_kernel.words == (words_kernel.n + 63) // 64
+        assert len(words_kernel.buffer) == (
+            (words_kernel.n + words_kernel.num_attr_rows) * row_bytes
+        )
+        for index in range(int_kernel.n):
+            offset = index * row_bytes
+            row = int.from_bytes(
+                words_kernel.buffer[offset:offset + row_bytes], "little"
+            )
+            assert row == int_kernel.adj_bits[index]
+        assert tuple(words_kernel.attr_masks) == tuple(int_kernel.attr_masks)
+        assert tuple(words_kernel.indptr) == tuple(int_kernel.indptr)
+        assert tuple(words_kernel.indices) == tuple(int_kernel.indices)
+
+    def test_lazy_rows_cache_and_contract(self):
+        kernel = compile_kernel(_graph(), BACKEND_WORDS)
+        rows = kernel.adj_bits
+        assert isinstance(rows, LazyWordRows)
+        assert len(rows) == kernel.n
+        first = rows[2]
+        assert rows[2] is first          # cached, not re-materialised
+        assert rows[-1] == rows[kernel.n - 1]
+        assert list(rows) == [rows[i] for i in range(kernel.n)]
+        # Consumers receive the documented list from the CSR accessor.
+        assert isinstance(kernel.neighbors_csr(0), list)
+
+    def test_pickle_roundtrip_is_slim_and_exact(self):
+        kernel = compile_kernel(_graph(seed=5), BACKEND_WORDS)
+        kernel.component_masks()            # populate a lazy cache
+        state = kernel.__getstate__()
+        assert "index_of" not in state      # rebuilt on load, never shipped
+        assert isinstance(state["buffer"], bytes)
+        clone = pickle.loads(pickle.dumps(kernel))
+        assert type(clone) is WordsGraphKernel
+        assert clone.index_of == kernel.index_of
+        assert list(clone.adj_bits) == list(kernel.adj_bits)
+        assert clone._component_masks == kernel._component_masks
+
+    def test_ops_classes_match_backend(self):
+        graph = _graph()
+        assert isinstance(
+            compile_kernel(graph, BACKEND_INT).ops, IntMaskOps
+        )
+        words_ops = compile_kernel(graph, BACKEND_WORDS).ops
+        assert isinstance(words_ops, WordsMaskOps)
+        assert not isinstance(words_ops, NumpyMaskOps)
+        if numpy_available():
+            assert isinstance(
+                compile_kernel(graph, BACKEND_NUMPY).ops, NumpyMaskOps
+            )
+
+    def test_ops_agree_across_backends(self):
+        graph = _graph(seed=12, n=90)
+        kernels = [compile_kernel(graph, name) for name in available_backends()]
+        rng = random.Random(4)
+        indices = rng.sample(range(kernels[0].n), 25)
+        frontier = mask_from_indices(indices)
+        reference = kernels[0].ops
+        for kernel in kernels[1:]:
+            ops = kernel.ops
+            assert ops.make_mask(indices) == reference.make_mask(indices)
+            assert ops.union_rows(frontier) == reference.union_rows(frontier)
+            assert ops.attr_counts(frontier) == reference.attr_counts(frontier)
+
+
+class TestSparseBitops:
+    """The wide-mask fast path must agree exactly with the classic loop."""
+
+    def _reference(self, mask: int) -> list[int]:
+        positions = []
+        while mask:
+            low = mask & -mask
+            positions.append(low.bit_length() - 1)
+            mask ^= low
+        return positions
+
+    @pytest.mark.parametrize("universe", [100, 4_000, 200_000])
+    def test_random_masks(self, universe):
+        rng = random.Random(universe)
+        for density in (1, 3, 50, 500):
+            population = min(density, universe)
+            mask = mask_from_indices(
+                rng.sample(range(universe), population)
+            )
+            expected = self._reference(mask)
+            assert bits_list(mask) == expected
+            assert list(iter_bits(mask)) == expected
+
+    def test_cutoff_boundary(self):
+        # One bit on each side of the small/wide switch-over.
+        for position in (
+            _WIDE_MASK_BITS - 1,
+            _WIDE_MASK_BITS,
+            _WIDE_MASK_BITS + 1,
+        ):
+            mask = (1 << position) | 1
+            assert bits_list(mask) == [0, position]
+            assert list(iter_bits(mask)) == [0, position]
+
+    def test_empty_and_dense(self):
+        assert bits_list(0) == []
+        assert list(iter_bits(0)) == []
+        wide = (1 << (_WIDE_MASK_BITS * 3)) - 1
+        assert bits_list(wide) == list(range(_WIDE_MASK_BITS * 3))
+
+    def test_sparse_scan_skips_zero_words(self):
+        # A 3-bit mask over a 200k universe: the exact case from the issue.
+        mask = (1 << 199_999) | (1 << 64_001) | 1
+        assert bits_list(mask) == [0, 64_001, 199_999]
+        assert list(iter_bits(mask)) == [0, 64_001, 199_999]

@@ -1,0 +1,188 @@
+"""Shared-memory snapshot lifecycle: export, attach, sweep, crash fallback.
+
+The zero-copy ship path must never change answers and never leak segments:
+the coordinator owns exactly one unlink per snapshot, workers only ever map
+and close, dead coordinators' leftovers are swept by name before the next
+export, and any attach failure degrades to the pickle path while counting
+``shm_attach_fallbacks`` in the solve telemetry.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.api import FairCliqueQuery, solve
+from repro.graph.generators import community_graph
+from repro.kernel import BACKEND_WORDS, compile_kernel
+from repro.kernel.backend import ENV_VAR
+from repro.parallel import shm
+from repro.resilience.faults import FaultPlan, FaultSpec, fault_injection
+
+pytestmark = pytest.mark.skipif(
+    not os.path.isdir("/dev/shm"), reason="POSIX shared memory not mounted"
+)
+
+
+def _graph():
+    return community_graph(3, 16, intra_probability=0.6, inter_edges=0, seed=21)
+
+
+def _words_kernel():
+    return compile_kernel(_graph(), BACKEND_WORDS)
+
+
+def _repro_segments() -> set[str]:
+    return {
+        entry
+        for entry in os.listdir("/dev/shm")
+        if entry.startswith(shm.SEGMENT_PREFIX)
+    }
+
+
+def _query(workers=2) -> FairCliqueQuery:
+    return FairCliqueQuery(model="relative", k=2, delta=1, workers=workers)
+
+
+class TestExportAttachRoundtrip:
+    def test_attached_kernel_is_equal_and_zero_copy(self):
+        kernel = _words_kernel()
+        kernel.component_masks()  # exercise the cache ride-along
+        ref = shm.export_snapshot(kernel)
+        try:
+            assert ref.name.startswith(shm.SEGMENT_PREFIX)
+            assert ref.total_bytes > 0
+            clone, segment = shm.attach_snapshot(ref)
+            try:
+                assert type(clone) is type(kernel)
+                assert clone is not kernel
+                assert clone.index_of == kernel.index_of
+                assert list(clone.adj_bits) == list(kernel.adj_bits)
+                assert tuple(clone.attr_masks) == tuple(kernel.attr_masks)
+                assert tuple(clone.indptr) == tuple(kernel.indptr)
+                assert tuple(clone.indices) == tuple(kernel.indices)
+                assert clone.attr_codes == kernel.attr_codes
+                assert clone._component_masks == kernel._component_masks
+                assert clone.neighbors_csr(0) == kernel.neighbors_csr(0)
+                # Zero-copy: the clone's buffer is a view of the mapped
+                # segment, not a private copy — a write through the segment
+                # must be visible through the clone.
+                assert isinstance(clone.buffer, memoryview)
+                original = segment.buf[0]
+                segment.buf[0] = (original + 1) % 256
+                assert clone.buffer[0] == segment.buf[0]
+                segment.buf[0] = original
+            finally:
+                # A worker keeps kernel + segment alive together for its
+                # whole lifetime; closing requires releasing the kernel's
+                # views into the mapping first.
+                del clone
+                segment.close()
+        finally:
+            shm.destroy_snapshot(ref)
+
+    def test_non_words_kernel_refuses_export(self):
+        kernel = compile_kernel(_graph(), "int")
+        with pytest.raises(TypeError, match="words"):
+            shm.export_snapshot(kernel)
+
+    def test_attach_unknown_name_raises(self):
+        ref = shm.export_snapshot(_words_kernel())
+        shm.destroy_snapshot(ref)
+        with pytest.raises(FileNotFoundError):
+            shm.attach_snapshot(ref)
+
+    def test_destroy_is_idempotent_and_removes_the_file(self):
+        ref = shm.export_snapshot(_words_kernel())
+        assert ref.name in _repro_segments()
+        shm.destroy_snapshot(ref)
+        assert ref.name not in _repro_segments()
+        shm.destroy_snapshot(ref)  # second call must be a silent no-op
+        shm.destroy_snapshot(None)
+
+
+class TestStaleSegmentSweep:
+    def test_dead_owner_segment_is_swept(self):
+        # Fabricate the leftover of a SIGKILL'd coordinator: a segment file
+        # whose embedded owner pid cannot exist (pid_max caps below 2**22).
+        stale = f"{shm.SEGMENT_PREFIX}-{2**22 + 5}-abcd1234"
+        path = os.path.join("/dev/shm", stale)
+        with open(path, "wb") as handle:
+            handle.write(b"\x00" * 64)
+        try:
+            swept = shm.sweep_stale_segments()
+            assert stale in swept
+            assert not os.path.exists(path)
+        finally:
+            if os.path.exists(path):
+                os.unlink(path)
+
+    def test_live_owner_segment_survives(self):
+        ref = shm.export_snapshot(_words_kernel())
+        try:
+            assert ref.name not in shm.sweep_stale_segments()
+            assert ref.name in _repro_segments()
+        finally:
+            shm.destroy_snapshot(ref)
+
+    def test_foreign_names_are_never_touched(self):
+        path = "/dev/shm/repro-shm-unrelated"
+        with open(path, "wb") as handle:
+            handle.write(b"\x00")
+        try:
+            assert "repro-shm-unrelated" not in shm.sweep_stale_segments()
+            assert os.path.exists(path)
+        finally:
+            os.unlink(path)
+
+
+class TestParallelSolveOverShm:
+    def test_words_solve_ships_by_shm_and_cleans_up(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, BACKEND_WORDS)
+        graph = _graph()
+        serial = solve(graph, _query(workers=None))
+        before = _repro_segments()
+        report = solve(graph, _query(workers=2))
+        assert report.size == serial.size
+        parallel = report.metadata["parallel"]
+        assert parallel["shm"] is True
+        assert parallel["shm_bytes"] > 0
+        assert parallel["shm_attach_fallbacks"] == 0
+        assert parallel["kernel_backend"] == BACKEND_WORDS
+        assert _repro_segments() == before  # coordinator unlinked its segment
+
+    def test_int_backend_does_not_use_shm(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "int")
+        report = solve(_graph(), _query(workers=2))
+        parallel = report.metadata["parallel"]
+        assert parallel["shm"] is False
+        assert parallel["kernel_backend"] == "int"
+
+    def test_disable_env_forces_pickle_path(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, BACKEND_WORDS)
+        monkeypatch.setenv(shm.DISABLE_ENV_VAR, "1")
+        graph = _graph()
+        serial = solve(graph, _query(workers=None))
+        report = solve(graph, _query(workers=2))
+        assert report.size == serial.size
+        assert report.metadata["parallel"]["shm"] is False
+
+    def test_worker_crash_mid_attach_falls_back_to_pickle(self, monkeypatch):
+        """Kill workers inside the initializer — before the shm attach can
+        complete — and require exact parity plus a counted fallback."""
+        monkeypatch.setenv(ENV_VAR, BACKEND_WORDS)
+        graph = _graph()
+        serial = solve(graph, _query(workers=None))
+        plan = FaultPlan(specs=(FaultSpec(
+            point="worker.init", action="kill", times=2, scope="worker",
+        ),))
+        before = _repro_segments()
+        with fault_injection(plan):
+            report = solve(graph, _query(workers=2))
+        assert report.size == serial.size
+        assert report.optimal
+        parallel = report.metadata["parallel"]
+        assert parallel["pool_breaks"] >= 1
+        assert parallel["shm_attach_fallbacks"] >= 1
+        assert _repro_segments() == before  # crash path still unlinks
