@@ -51,6 +51,14 @@ Three suites share this driver:
   ``benchmarks/results/BENCH_durability.json``.  The gate asserts the
   durable path stays cheap: fsynced graph acks and batched result appends
   must not meaningfully slow the service down.
+* ``--suite incremental`` applies a small mutation batch to each cell's
+  graph and times both halves of the incremental story: ``patch_kernel``
+  against a recompile of the mutated graph (patched kernel asserted
+  field-identical), and a warm ``session.refresh()`` + re-solve against a
+  cold fresh-session solve (same optimum asserted).  Writes per-cell
+  wall-clocks and speedups to ``benchmarks/results/BENCH_incremental.json``;
+  ``--check`` additionally gates ``incremental_speedup`` at an absolute
+  x1.00 floor — the whole subsystem exists to beat the cold path.
 
 Every search cell asserts *result parity* (kernel vs dict: same clique and
 branch counters; serial vs parallel: same optimal size and a verified fair
@@ -75,6 +83,8 @@ Usage::
         --check benchmarks/results/BENCH_chaos_smoke_baseline.json
     PYTHONPATH=src python benchmarks/run_bench.py --suite durability --smoke \
         --check benchmarks/results/BENCH_durability_smoke_baseline.json
+    PYTHONPATH=src python benchmarks/run_bench.py --suite incremental --smoke \
+        --check benchmarks/results/BENCH_incremental_smoke_baseline.json
 
 ``--check`` compares the freshly measured median speedup (a same-machine
 ratio — kernel vs dict, or parallel vs serial — so the gate is
@@ -103,6 +113,7 @@ from repro.api import FairCliqueQuery, FairCliqueSession, query_grid, solve
 from repro.bounds.base import make_context
 from repro.bounds.stacks import get_stack
 from repro.graph.attributed_graph import AttributedGraph
+from repro.graph.components import connected_components
 from repro.graph.generators import (
     community_graph,
     erdos_renyi_graph,
@@ -110,6 +121,7 @@ from repro.graph.generators import (
     quasi_clique_blobs,
     uniform_random_graph,
 )
+from repro.incremental import patch_kernel
 from repro.kernel import available_backends, compile_kernel
 from repro.kernel.backend import BACKEND_INT, BACKEND_WORDS, ENV_VAR
 from repro.kernel.bitops import bits_list, mask_from_indices, mask_from_indices_wide
@@ -130,6 +142,7 @@ SERVICE_SCHEMA = "bench_service/v1"
 CHAOS_SCHEMA = "bench_chaos/v1"
 DURABILITY_SCHEMA = "bench_durability/v1"
 SHAREDMEM_SCHEMA = "bench_sharedmem/v1"
+INCREMENTAL_SCHEMA = "bench_incremental/v1"
 #: schema -> the medians key the --check gate compares.
 CHECK_KEYS = {
     SCHEMA: "search_speedup",
@@ -139,6 +152,7 @@ CHECK_KEYS = {
     CHAOS_SCHEMA: "chaos_speedup",
     DURABILITY_SCHEMA: "durability_speedup",
     SHAREDMEM_SCHEMA: "sharedmem_speedup",
+    INCREMENTAL_SCHEMA: "incremental_speedup",
 }
 #: The kernel suite additionally gates this medians key at an absolute floor:
 #: the words backend must not be slower than int on the scaling grid.
@@ -547,6 +561,195 @@ def run_durability(mode: str, repeats: int) -> dict:
     }
     return {
         "schema": DURABILITY_SCHEMA,
+        "mode": mode,
+        "repeats": repeats,
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cells": cells,
+        "medians": medians,
+    }
+
+
+def incremental_full_grid():
+    """(name, graph, k, delta, batch_ops) cells for the incremental suite.
+
+    Multi-component graphs with a reduction-heavy cold solve — exactly the
+    regime mutations hit in production, and exactly where a warm refresh
+    (patched kernel, untouched components spliced back in, previous optimum
+    as the opening incumbent) should beat paying the cold pipeline again.
+    ``batch_ops`` keeps the deltas *small*: a handful of ops per batch, the
+    shape of a write-traffic tick, not a bulk reload.
+    """
+    empty = erdos_renyi_graph(0, 0.0)
+    return [
+        ("blobs-8x80", quasi_clique_blobs(empty, num_blobs=8, blob_size=80,
+                                          edge_probability=0.45, seed=5),
+         2, 1, 4),
+        ("blobs-10x100", quasi_clique_blobs(empty, num_blobs=10, blob_size=100,
+                                            edge_probability=0.40, seed=7),
+         2, 1, 4),
+        ("blobs-6x150", quasi_clique_blobs(empty, num_blobs=6, blob_size=150,
+                                           edge_probability=0.35, seed=11),
+         2, 1, 6),
+        ("communities-20x100", community_graph(20, 100, intra_probability=0.35,
+                                               inter_edges=0, seed=8), 2, 1, 4),
+    ]
+
+
+def incremental_smoke_grid():
+    """A seconds-sized small-delta grid for the CI incremental perf gate."""
+    empty = erdos_renyi_graph(0, 0.0)
+    return [
+        ("blobs-4x60", quasi_clique_blobs(empty, num_blobs=4, blob_size=60,
+                                          edge_probability=0.5, seed=3),
+         2, 1, 4),
+        ("blobs-6x80", quasi_clique_blobs(empty, num_blobs=6, blob_size=80,
+                                          edge_probability=0.45, seed=5),
+         2, 1, 4),
+    ]
+
+
+def _kernel_fingerprint(kernel):
+    """Every observable field of a compiled kernel, as plain comparables."""
+    return (
+        kernel.n, kernel.num_edges, tuple(kernel.vertex_of),
+        tuple(kernel.indptr), tuple(kernel.indices), tuple(kernel.degrees),
+        kernel.attribute_values, tuple(kernel.attr_codes),
+        tuple(kernel.adj_bits[i] for i in range(kernel.n)),
+        tuple(kernel.attr_masks[c]
+              for c in range(len(kernel.attribute_values))),
+        tuple(kernel.degeneracy_order()),
+    )
+
+
+def _mutation_batch(graph, rng, batch_ops):
+    """One small batch confined to a single component — a localized write.
+
+    Edge churn plus a newcomer vertex, all inside one randomly chosen
+    component: the production shape the incremental path is built for
+    (most components never see the write and keep their survivors).
+    """
+    components = sorted(
+        (sorted(component, key=str)
+         for component in connected_components(graph)),
+        key=lambda members: (-len(members), str(members[0])),
+    )
+    target = components[rng.randrange(min(4, len(components)))]
+    member_set = set(target)
+    with graph.mutate() as g:
+        edges = sorted(
+            (e for e in g.edges() if e[0] in member_set and e[1] in member_set),
+            key=lambda e: (str(e[0]), str(e[1])),
+        )
+        for edge in rng.sample(edges, min(len(edges), max(1, batch_ops - 2))):
+            g.remove_edge(*edge)
+        newcomer = f"inc{rng.randrange(1_000_000)}"
+        g.add_vertex(newcomer, "a")
+        for other in rng.sample(target, min(len(target), 2)):
+            g.add_edge(newcomer, other)
+
+
+def bench_incremental(graph, k, delta, batch_ops, repeats):
+    """Patch-vs-recompile and warm-vs-cold re-solve medians for one cell.
+
+    Each repeat works on a fresh copy of the cell graph: solve once to warm
+    the session (untimed — both paths start from a solved steady state),
+    apply one small mutation batch, then time the two halves:
+
+    * ``patch_s`` vs ``recompile_s`` — ``patch_kernel(old, graph, delta)``
+      against ``compile_kernel`` of the mutated graph, the patched kernel
+      asserted field-identical to the recompile;
+    * ``warm_s`` vs ``cold_s`` — ``session.refresh()`` + re-solve on the
+      live session against constructing a fresh session and solving cold,
+      both asserted to land on the same optimal size.
+    """
+    query = FairCliqueQuery(model="relative", k=k, delta=delta)
+    samples = {"patch": [], "recompile": [], "warm": [], "cold": []}
+    sizes = {}
+    for repeat in range(repeats):
+        rng = random.Random(1000 + repeat)
+        working = graph.subgraph(list(graph.vertices()))
+        session = FairCliqueSession(working)
+        try:
+            session.solve(query)  # steady state: kernel, reductions, incumbent
+            old_kernel = compile_kernel(working)
+            base = working.version
+            _mutation_batch(working, rng, batch_ops)
+            delta_record = working.delta_since(base)
+
+            started = time.monotonic()
+            patched = patch_kernel(old_kernel, working, delta_record)
+            samples["patch"].append(time.monotonic() - started)
+            started = time.monotonic()
+            recompiled = compile_kernel(working)
+            samples["recompile"].append(time.monotonic() - started)
+            if _kernel_fingerprint(patched) != _kernel_fingerprint(recompiled):
+                raise AssertionError("patched kernel diverged from recompile")
+
+            started = time.monotonic()
+            session.refresh()
+            warm = session.solve(query)
+            samples["warm"].append(time.monotonic() - started)
+            started = time.monotonic()
+            with FairCliqueSession(working, warm_start=False) as cold_session:
+                cold = cold_session.solve(query)
+            samples["cold"].append(time.monotonic() - started)
+            if warm.size != cold.size or warm.optimal != cold.optimal:
+                raise AssertionError(
+                    f"warm/cold re-solve parity violated: "
+                    f"{warm.size}/{warm.optimal} != {cold.size}/{cold.optimal}"
+                )
+            sizes = {"before_ops": base, "clique_size": warm.size}
+            refresh_info = session.cache_info()
+        finally:
+            session.close()
+    return {
+        "patch_s": median_of(samples["patch"]),
+        "recompile_s": median_of(samples["recompile"]),
+        "patch_speedup": (median_of(samples["recompile"])
+                          / max(median_of(samples["patch"]), 1e-9)),
+        "warm_s": median_of(samples["warm"]),
+        "cold_s": median_of(samples["cold"]),
+        "speedup": (median_of(samples["cold"])
+                    / max(median_of(samples["warm"]), 1e-9)),
+        "clique_size": sizes["clique_size"],
+        "kernel_patches": refresh_info["kernel_patches"],
+        "reductions_reused": refresh_info["reductions_reused"],
+        "warm_start_hits": refresh_info["warm_start_hits"],
+    }
+
+
+def run_incremental(mode: str, repeats: int) -> dict:
+    grid = incremental_smoke_grid() if mode == "smoke" else incremental_full_grid()
+    cells = []
+    for name, graph, k, delta, batch_ops in grid:
+        print(f"[bench] {name}: n={graph.num_vertices} m={graph.num_edges} "
+              f"k={k} delta={delta} batch_ops={batch_ops}", flush=True)
+        cell = {
+            "name": name,
+            "n": graph.num_vertices,
+            "m": graph.num_edges,
+            "k": k,
+            "delta": delta,
+            "batch_ops": batch_ops,
+            **bench_incremental(graph, k, delta, batch_ops, repeats),
+        }
+        print(f"        patch {cell['patch_s'] * 1e3:.1f}ms vs recompile "
+              f"{cell['recompile_s'] * 1e3:.1f}ms x{cell['patch_speedup']:.1f}  "
+              f"warm {cell['warm_s']:.3f}s vs cold {cell['cold_s']:.3f}s "
+              f"x{cell['speedup']:.2f}", flush=True)
+        cells.append(cell)
+    medians = {
+        "patch_s": median_of([cell["patch_s"] for cell in cells]),
+        "recompile_s": median_of([cell["recompile_s"] for cell in cells]),
+        "patch_speedup": median_of([cell["patch_speedup"] for cell in cells]),
+        "warm_s": median_of([cell["warm_s"] for cell in cells]),
+        "cold_s": median_of([cell["cold_s"] for cell in cells]),
+        "incremental_speedup": median_of([cell["speedup"] for cell in cells]),
+    }
+    return {
+        "schema": INCREMENTAL_SCHEMA,
         "mode": mode,
         "repeats": repeats,
         "cpu_count": os.cpu_count(),
@@ -1348,6 +1551,13 @@ def check_against_baseline(report: dict, baseline_path: Path, tolerance: float) 
         print(f"[check] FAIL: {key} has regressed beyond the tolerance",
               file=sys.stderr)
         return 1
+    if report["schema"] == INCREMENTAL_SCHEMA and measured < 1.0:
+        # Absolute floor on top of the baseline-relative gate: a warm
+        # mutate→re-solve that loses to a cold recompile+solve means the
+        # incremental subsystem has stopped paying for itself.
+        print("[check] FAIL: warm mutate→re-solve is slower than the cold "
+              "path (floor x1.00)", file=sys.stderr)
+        return 1
     if report["schema"] == SCHEMA:
         # Absolute gate, not baseline-relative: the words backend must be
         # at least as fast as int (median over the scaling primitives) or
@@ -1367,15 +1577,18 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--suite",
                         choices=("kernel", "parallel", "session", "service",
-                                 "chaos", "durability", "sharedmem"),
+                                 "chaos", "durability", "sharedmem",
+                                 "incremental"),
                         default="kernel",
                         help="kernel-vs-dict hot paths + the backend scaling "
                              "axis, serial-vs-parallel search, cold-vs-warm "
                              "session caching, the HTTP service tier "
                              "(cold/warm/result-cached), the fault-hook "
                              "overhead check, the WAL-on-vs-off + "
-                             "warm-restart recovery suite, or the zero-copy "
-                             "snapshot-ship suite (attach vs pickle)")
+                             "warm-restart recovery suite, the zero-copy "
+                             "snapshot-ship suite (attach vs pickle), or the "
+                             "mutation suite (patch-vs-recompile and warm "
+                             "mutate→re-solve vs cold)")
     parser.add_argument("--smoke", action="store_true",
                         help="run the small CI grid instead of the full one")
     parser.add_argument("--repeats", type=int, default=3,
@@ -1426,6 +1639,10 @@ def main(argv=None) -> int:
         report = run_sharedmem(mode, max(1, args.repeats))
         default_name = ("BENCH_sharedmem_smoke.json" if args.smoke
                         else "BENCH_sharedmem.json")
+    elif args.suite == "incremental":
+        report = run_incremental(mode, max(1, args.repeats))
+        default_name = ("BENCH_incremental_smoke.json" if args.smoke
+                        else "BENCH_incremental.json")
     else:
         report = run(mode, max(1, args.repeats))
         default_name = ("BENCH_kernel_smoke.json" if args.smoke

@@ -21,7 +21,14 @@ Scenarios (any failure exits non-zero):
    identical query must *resume* — ``resumed: true``, ``shards_skipped >=
    1`` — and return exactly the from-scratch (serial) answer; success then
    discards the checkpoint.
-3. SIGINT drains the final server with exit code 0.
+3. **SIGKILL mid-mutation-batch**: after an upload and one acknowledged
+   mutation batch, a ``wal.append`` sleep fault stalls the *delta record*
+   of a second batch and the server is SIGKILLed inside the write.  The
+   restarted replay must land on exactly the pre-batch or the post-batch
+   graph — version, n, and m from one state or the other, never a torn
+   mix — because the delta is a single checksummed WAL record written
+   before the live graph mutates.
+4. SIGINT drains the final server with exit code 0.
 """
 
 from __future__ import annotations
@@ -60,6 +67,13 @@ UPLOAD_STALL_PLAN = FaultPlan(specs=(
 SLOW_SHARD_PLAN = FaultPlan(specs=(
     {"point": "shard.run", "action": "sleep", "delay": 1.5,
      "times": None, "scope": "worker"},
+), seed=7)
+
+#: Scenario 3: stall the second mutation batch's delta append (the graphs
+#: log holds the upload + the first batch's delta when it fires).
+MUTATION_STALL_PLAN = FaultPlan(specs=(
+    {"point": "wal.append", "action": "sleep", "delay": 30.0,
+     "when": {"log": "graphs", "records": 2}, "times": 1},
 ), seed=7)
 
 
@@ -245,9 +259,67 @@ def scenario_solve_crash() -> None:
         raise
 
 
+def scenario_mutation_crash() -> None:
+    """SIGKILL mid-mutation-batch: replay lands pre- or post-batch, not torn."""
+    data_dir = Path(tempfile.mkdtemp(prefix="repro-crash-mutate-"))
+    graph = chaos_graph()
+    edges = sorted(graph.edges(), key=lambda e: (str(e[0]), str(e[1])))
+    server, client = boot(data_dir, MUTATION_STALL_PLAN)
+    try:
+        wait_for_health(client)
+        client.upload_graph("g", graph)
+        first = client.mutate_graph("g", [["remove_edge", *edges[0]]])
+        check("first batch acked", first["applied"] == 1,
+              f"version={first['version']}")
+        pre = client.graph_info("g")
+
+        # The doomed batch stalls inside its delta's WAL append; fire it
+        # from a helper thread and SIGKILL the server mid-write.
+        def doomed_batch():
+            try:
+                client.mutate_graph("g", [
+                    ["remove_edge", *edges[1]],
+                    ["add_vertex", "crashed", "a"],
+                ])
+            except (OSError, ServiceError):
+                pass  # the server died under this request, as planned
+
+        mutator = threading.Thread(target=doomed_batch, daemon=True)
+        mutator.start()
+        time.sleep(1.5)  # let the request reach the stalled append
+        hard_kill(server)
+        mutator.join(timeout=10)
+        check("server SIGKILLed mid-batch", server.returncode != 0)
+    except BaseException:
+        dump_on_failure(server)
+        raise
+
+    server, client = boot(data_dir, plan=None)
+    try:
+        wait_for_health(client)
+        info = client.graph_info("g")
+        pre_state = (pre["version"], pre["n"], pre["m"])
+        # The doomed batch removed one edge and added one vertex.
+        post_state = (pre["version"] + 1, pre["n"] + 1, pre["m"] - 1)
+        replayed = (info["version"], info["n"], info["m"])
+        check("replay landed pre- or post-batch, never torn",
+              replayed in (pre_state, post_state),
+              f"replayed={replayed} pre={pre_state} post={post_state}")
+        answer = client.solve_raw("g", QUERY, tier="unlimited")
+        check("restarted server solves the mutated graph",
+              answer["report"]["optimal"],
+              f"size={len(answer['report']['clique'])}")
+        server.send_signal(signal.SIGINT)
+        check("mutation-crash drain", server.wait(timeout=30) == 0)
+    except BaseException:
+        dump_on_failure(server)
+        raise
+
+
 def main() -> int:
     scenario_upload_crash()
     scenario_solve_crash()
+    scenario_mutation_crash()
     print("[crash] crash/restart smoke passed")
     return 0
 

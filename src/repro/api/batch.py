@@ -73,6 +73,17 @@ class SolveContext:
             _deprecated_construction("SolveContext")
         self.graph = graph
         self._reductions: dict[tuple, tuple[PipelineResult, float]] = {}
+        #: Attribute domain of the graph at context creation — every cached
+        #: reduction was computed against it (the session pins the graph
+        #: version), and :meth:`refresh` needs the *pre-delta* domain to
+        #: decide how much of each cached pipeline run survives a mutation.
+        self._domain: tuple = graph.attribute_values()
+        #: Per-key provenance of the cached reductions: ``"cold"`` for a
+        #: from-scratch pipeline run, or the mode reported by
+        #: :func:`repro.incremental.refresh_reduction` after a refresh
+        #: (``"reused"`` / ``"partial"`` / ``"full"``).  Shared by reference
+        #: with stream views; read by ``session.explain``.
+        self._reduction_origin: dict[tuple, str] = {}
         #: Guards the check-then-insert of :meth:`reduced` (and the counter
         #: updates): a session's ``stream()`` runs its solve on a background
         #: thread sharing this cache, and two racing misses for the same key
@@ -123,6 +134,7 @@ class SolveContext:
             result = ReductionPipeline(key[1]).run(self.graph, k)
             elapsed = time.monotonic() - started
             self._reductions[key] = (result, elapsed)
+            self._reduction_origin[key] = "cold"
             self.telemetry["reduction_misses"] += 1
             return result, elapsed, False
 
@@ -138,6 +150,49 @@ class SolveContext:
         with self._cache_lock:
             entry = self._reductions.get(key)
         return None if entry is None else entry[0]
+
+    def reduction_origin(
+        self, k: int, stages: Sequence[str] | None = None
+    ) -> str | None:
+        """Provenance of the memoized reduction for ``(k, stages)``, or ``None``.
+
+        ``"cold"`` for a from-scratch run, ``"reused"``/``"partial"``/
+        ``"full"`` for entries rebuilt by :meth:`refresh` (how much of the
+        old artifact survived).
+        """
+        key = (k, tuple(stages or DEFAULT_STAGES))
+        with self._cache_lock:
+            return self._reduction_origin.get(key)
+
+    def refresh(self, delta) -> dict:
+        """Re-derive every cached reduction for the mutated graph.
+
+        ``delta`` is the composed :class:`~repro.incremental.GraphDelta`
+        from the version the cache was built at to ``graph.version``.  Each
+        cached ``(k, stages)`` entry is passed through
+        :func:`repro.incremental.refresh_reduction`: survivors of components
+        the delta never touched are spliced back in verbatim, only touched
+        components are re-peeled, and a full pipeline run is the fallback —
+        the refreshed artifacts are always content-identical to cold runs on
+        the mutated graph.  Returns a mode histogram for telemetry.
+        """
+        from repro.incremental.reduce import refresh_reduction
+
+        modes: dict[str, int] = {}
+        with self._cache_lock:
+            old_domain = self._domain
+            for key in list(self._reductions):
+                old_result, _ = self._reductions[key]
+                started = time.monotonic()
+                result, info = refresh_reduction(
+                    self.graph, delta, old_result, key[0], key[1], old_domain,
+                )
+                elapsed = time.monotonic() - started
+                self._reductions[key] = (result, elapsed)
+                self._reduction_origin[key] = info["mode"]
+                modes[info["mode"]] = modes.get(info["mode"], 0) + 1
+            self._domain = self.graph.attribute_values()
+        return modes
 
     @property
     def reduction_cache_size(self) -> int:

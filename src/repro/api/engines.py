@@ -178,6 +178,13 @@ def exact_engine(
         )
     else:
         solver = MaxRFC(config)
+    # Warm start: a refreshed session parks its previous (re-verified)
+    # optimum on the context view; the solver merges it with the heuristic
+    # seed so the search starts from the best lower bound available.
+    warm = getattr(context, "warm_incumbent", None)
+    if warm:
+        solver.initial_incumbent = warm
+        metadata["warm_start_size"] = len(warm)
     # Streaming tap: a session's stream() parks its incumbent hook on the
     # context; the solver publishes every improvement through it (serially
     # with the clique attached, via the shared channel size when sharded).

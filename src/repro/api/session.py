@@ -163,6 +163,18 @@ class QueryPlan:
     #: ``numpy`` — resolved against ``REPRO_KERNEL_BACKEND`` and numpy
     #: availability at explain time).
     kernel_backend: str = "int"
+    #: Provenance of the graph's current kernel snapshot: ``"compiled"``
+    #: (from scratch), ``"patched"`` (delta-spliced from a previous kernel),
+    #: or ``None`` when nothing is compiled for the resolved backend yet.
+    kernel_origin: str | None = None
+    #: Number of mutation batches folded into the kernel by patching
+    #: (0 for a from-scratch compile).
+    kernel_deltas: int = 0
+    #: Provenance of the cached reduction this query would reuse: ``"cold"``
+    #: for a from-scratch pipeline run, ``"reused"``/``"partial"``/``"full"``
+    #: for artifacts carried across a ``session.refresh()`` (how much was
+    #: recomputed), ``None`` when nothing is cached.
+    reduction_origin: str | None = None
 
     def as_dict(self) -> dict:
         """Flat plain-data view for JSON/table reporting."""
@@ -178,8 +190,11 @@ class QueryPlan:
             "bound_stack_substituted": self.bound_stack_substituted,
             "use_kernel": self.use_kernel,
             "kernel_backend": self.kernel_backend,
+            "kernel_origin": self.kernel_origin,
+            "kernel_deltas": self.kernel_deltas,
             "workers": self.workers,
             "reduction_cached": self.reduction_cached,
+            "reduction_origin": self.reduction_origin,
             "kernel_ready": self.kernel_ready,
             "shard_plan": self.shard_plan,
             "notes": list(self.notes),
@@ -217,8 +232,11 @@ class QueryPlan:
             ),
             use_kernel=payload["use_kernel"],
             kernel_backend=payload.get("kernel_backend", "int"),
+            kernel_origin=payload.get("kernel_origin"),
+            kernel_deltas=payload.get("kernel_deltas", 0),
             workers=payload["workers"],
             reduction_cached=payload.get("reduction_cached", False),
+            reduction_origin=payload.get("reduction_origin"),
             kernel_ready=payload.get("kernel_ready", False),
             shard_plan=(
                 None if payload.get("shard_plan") is None
@@ -248,7 +266,13 @@ class QueryPlan:
             f"engine     {self.engine}  ->  {self.algorithm}",
             f"model      {self.model} (admitted on this graph: {self.admits})",
             f"reduction  {' -> '.join(self.reduction_stages) if self.reduction_stages else '(none)'}"
-            + ("  [cached]" if self.reduction_cached else ""),
+            + (
+                "  [cached"
+                + (f": {self.reduction_origin}" if self.reduction_origin else "")
+                + "]"
+                if self.reduction_cached
+                else ""
+            ),
             f"bounds     {' + '.join(self.bound_stack) if self.bound_stack else '(none)'}",
             f"kernel     "
             + (
@@ -256,7 +280,15 @@ class QueryPlan:
                 if self.use_kernel
                 else "dict"
             )
-            + ("  [compiled]" if self.kernel_ready else ""),
+            + (
+                "  [compiled]"
+                if self.kernel_ready and self.kernel_origin != "patched"
+                else (
+                    f"  [patched +{self.kernel_deltas} delta(s)]"
+                    if self.kernel_ready
+                    else ""
+                )
+            ),
             f"workers    {self.workers}",
         ]
         if self.bound_stack_substituted is not None:
@@ -288,6 +320,8 @@ class _StreamView(SolveContext):
         # while a stream's background solve is in flight safe).
         self.graph = base.graph
         self._reductions = base._reductions
+        self._reduction_origin = base._reduction_origin
+        self._domain = base._domain
         self._cache_lock = base._cache_lock
         self._kernel_lock = base._kernel_lock
         self.telemetry = base.telemetry
@@ -332,6 +366,7 @@ class FairCliqueSession:
         *,
         registry: EngineRegistry | None = None,
         max_workers: int | None = None,
+        warm_start: bool = True,
     ) -> None:
         self.graph = graph
         self.graph_version = graph.version
@@ -339,6 +374,27 @@ class FairCliqueSession:
         self._custom_registry = registry is not None
         self._default_max_workers = max_workers
         self.context = SolveContext(graph, _internal=True)
+        #: Warm-start exact maximum solves with the last clique this session
+        #: found for the same ``(model, k, delta)`` — after :meth:`refresh`,
+        #: a still-valid previous optimum becomes the initial incumbent, so
+        #: the search only has to prove optimality (or beat it).  Disable for
+        #: strictly reproducible search counters across sessions.
+        self.warm_start = warm_start
+        #: ``(model, k, delta) -> frozenset`` — last exact maximum clique per
+        #: query family; validity is re-checked against the *current* graph
+        #: before every use, so stale entries are harmless.
+        self._warm: dict[tuple, frozenset] = {}
+        #: Lifetime counters of the incremental machinery (see refresh()).
+        self._refresh_stats: dict = {
+            "refreshes": 0,
+            "refreshes_cold": 0,
+            "deltas_applied": 0,
+            "ops_applied": 0,
+            "reductions_reused": 0,
+            "reductions_repeeled": 0,
+            "reductions_recomputed": 0,
+            "warm_start_hits": 0,
+        }
         self._executor: BatchExecutor | None = None
         #: Guards executor creation/teardown: a service tier drives one
         #: session from many worker threads, and two racing ``solve_many``
@@ -374,8 +430,81 @@ class FairCliqueSession:
             raise InvalidParameterError(
                 "the session's prepared graph was mutated; its cached "
                 "artifacts (and any pool workers) describe the pre-mutation "
-                "graph — open a new FairCliqueSession"
+                "graph — call session.refresh() to carry them forward, or "
+                "open a new FairCliqueSession"
             )
+
+    # ------------------------------------------------------------------ #
+    # Incremental refresh
+    # ------------------------------------------------------------------ #
+    def refresh(self) -> dict:
+        """Carry the session's cached artifacts across a graph mutation.
+
+        Instead of discarding a mutated graph's session (the cold path:
+        ``close()`` + reopen), ``refresh()`` consumes the graph's recorded
+        :class:`~repro.incremental.GraphDelta` chain and goes *warm*:
+
+        * the compiled kernel is **patched** for the delta (or recompiled
+          when the delta footprint is too large — ``graph.compile()`` owns
+          that heuristic);
+        * every memoized reduction artifact is re-derived component-scoped —
+          only delta-touched components are re-peeled, untouched components
+          keep their old survivors verbatim;
+        * the persistent worker pool is shut down (its workers hold the
+          pre-mutation snapshot) and will be rebuilt lazily on the next
+          pooled batch;
+        * previously found cliques are kept as warm-start incumbents,
+          re-validated against the mutated graph at solve time.
+
+        When the graph's delta journal no longer covers the span (history
+        dropped), the session falls back to a cold rebuild of its context —
+        equivalent to a fresh session, but in place.  Either way the session
+        is re-pinned to the current graph version and usable again.
+
+        Returns a plain-data report: ``mode`` (``"noop"`` | ``"warm"`` |
+        ``"cold"``), the delta op histogram, kernel provenance, and the
+        per-reduction refresh modes.
+        """
+        with self._lifecycle_lock:
+            if self._closed:
+                raise InvalidParameterError("this FairCliqueSession is closed")
+            if self._executor is not None and self.graph.version != self.graph_version:
+                # The pool workers hold the pre-mutation graph snapshot.
+                self._executor.close()
+                self._executor = None
+        delta = self.graph.delta_since(self.graph_version)
+        if delta is not None and delta.is_empty:
+            return {"mode": "noop", "version": self.graph_version}
+        stats = self._refresh_stats
+        stats["refreshes"] += 1
+        if delta is None:
+            # Journal history dropped: nothing to replay, rebuild in place.
+            stats["refreshes_cold"] += 1
+            self.context = SolveContext(self.graph, _internal=True)
+            self.graph_version = self.graph.version
+            return {"mode": "cold", "version": self.graph_version}
+        stats["deltas_applied"] += delta.batches
+        stats["ops_applied"] += len(delta.ops)
+        # Patch (or recompile — graph.compile() applies the footprint
+        # heuristic) the kernel snapshot before touching the reductions, so
+        # the component discovery the refresh needs rides the patched kernel.
+        if self.graph.num_vertices:
+            self.context.kernel()
+        kernel_provenance = self.graph.kernel_provenance()
+        modes = self.context.refresh(delta)
+        stats["reductions_reused"] += modes.get("reused", 0)
+        stats["reductions_repeeled"] += modes.get("partial", 0)
+        stats["reductions_recomputed"] += modes.get("full", 0)
+        self.graph_version = self.graph.version
+        return {
+            "mode": "warm",
+            "version": self.graph_version,
+            "delta": delta.counts(),
+            "ops": len(delta.ops),
+            "batches": delta.batches,
+            "kernel": kernel_provenance,
+            "reductions": modes,
+        }
 
     def _make_query(self, query, fields) -> FairCliqueQuery:
         if query is None:
@@ -392,14 +521,22 @@ class FairCliqueSession:
         ``reductions`` is the number of distinct ``(k, stages)`` pipeline
         runs held; ``reduction_hits``/``reduction_misses`` count how queries
         found them; ``pool_workers`` is the persistent executor's size (0
-        when none is running).
+        when none is running).  ``kernel_compiles``/``kernel_patches`` split
+        the graph's kernel builds into from-scratch compiles and delta
+        patches, and the ``refresh_*`` keys report the session's incremental
+        lifecycle (see :meth:`refresh`).
         """
-        return {
+        kernel_stats = self.graph.kernel_stats()
+        info = {
             "reductions": self.context.reduction_cache_size,
             "reduction_hits": self.context.telemetry["reduction_hits"],
             "reduction_misses": self.context.telemetry["reduction_misses"],
             "pool_workers": 0 if self._executor is None else self._executor.max_workers,
+            "kernel_compiles": kernel_stats["compiled"],
+            "kernel_patches": kernel_stats["patched"],
         }
+        info.update(self._refresh_stats)
+        return info
 
     # ------------------------------------------------------------------ #
     # Solving
@@ -421,10 +558,52 @@ class FairCliqueSession:
         query = self._make_query(query, fields)
         validate_task(query)
         context = self.context
-        if (deadline is not None and deadline.bounded) or checkpoint is not None:
+        warm = self._warm_incumbent(query)
+        if (
+            (deadline is not None and deadline.bounded)
+            or checkpoint is not None
+            or warm is not None
+        ):
             context = _StreamView(context, context.incumbent_hook,
                                   deadline=deadline, checkpoint=checkpoint)
-        return _dispatch_query(self.graph, query, context, self._registry)
+        if warm is not None:
+            # Rides a view, never the shared session context: the incumbent
+            # belongs to this one solve.
+            context.warm_incumbent = warm
+        report = _dispatch_query(self.graph, query, context, self._registry)
+        self._remember_clique(query, report)
+        return report
+
+    def _warm_incumbent(self, query: FairCliqueQuery) -> frozenset | None:
+        """A previously-found clique that is still a valid incumbent, or ``None``.
+
+        Only exact maximum solves warm-start, and only when the remembered
+        clique for ``(model, k, delta)`` verifies as a fair clique of the
+        *current* graph — any valid fair clique is a sound lower bound, so
+        the search keeps its exactness and merely starts ahead.
+        """
+        if not self.warm_start or query.task != "maximum" or query.engine != "exact":
+            return None
+        clique = self._warm.get((query.model, query.k, query.delta))
+        if not clique:
+            return None
+        graph = self.graph
+        if not all(graph.has_vertex(v) for v in clique):
+            return None
+        from repro.models import make_model
+
+        model = make_model(query.model, query.k, query.delta, graph)
+        if not model.admits(graph) or not model.verify(graph, clique):
+            return None
+        self._refresh_stats["warm_start_hits"] += 1
+        return clique
+
+    def _remember_clique(self, query: FairCliqueQuery, report: SolveReport) -> None:
+        """Record an exact maximum optimum for future warm starts."""
+        if query.task != "maximum" or query.engine != "exact":
+            return
+        if report.clique and report.optimal:
+            self._warm[(query.model, query.k, query.delta)] = report.clique
 
     def solve_many(
         self,
@@ -634,6 +813,9 @@ class FairCliqueSession:
         workers = query.workers or 1
         notes: list[str] = []
         kernel_backend = resolve_backend()
+        provenance = self.graph.kernel_provenance()
+        kernel_origin = None if provenance is None else provenance.get("origin")
+        kernel_deltas = 0 if provenance is None else provenance.get("deltas", 0)
 
         if query.task != "maximum":
             model = make_model(query.model, query.k, query.delta, self.graph)
@@ -661,6 +843,8 @@ class FairCliqueSession:
                 kernel_ready=self.graph.kernel_ready,
                 shard_plan=None,
                 kernel_backend=kernel_backend,
+                kernel_origin=kernel_origin,
+                kernel_deltas=kernel_deltas,
                 notes=tuple(notes),
             )
 
@@ -717,9 +901,16 @@ class FairCliqueSession:
                 use_kernel=config.use_kernel,
                 workers=workers,
                 reduction_cached=reduction_cached,
+                reduction_origin=(
+                    self.context.reduction_origin(query.k, stages)
+                    if config.use_reduction and stages
+                    else None
+                ),
                 kernel_ready=kernel_ready,
                 shard_plan=shard_plan,
                 kernel_backend=kernel_backend,
+                kernel_origin=kernel_origin,
+                kernel_deltas=kernel_deltas,
                 notes=tuple(notes),
             )
 
@@ -750,6 +941,8 @@ class FairCliqueSession:
             kernel_ready=self.graph.kernel_ready,
             shard_plan=None,
             kernel_backend=kernel_backend,
+            kernel_origin=kernel_origin,
+            kernel_deltas=kernel_deltas,
             notes=tuple(notes),
         )
 

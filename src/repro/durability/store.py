@@ -44,6 +44,9 @@ class RecoveryReport:
     """Everything a warm restart replayed out of a data directory."""
 
     graphs: "OrderedDict[str, dict]" = field(default_factory=OrderedDict)
+    #: Per-graph ordered delta chains (``graph.delta`` records since the
+    #: graph's base upload); the caller replays them on top of the base.
+    deltas: "OrderedDict[str, list]" = field(default_factory=OrderedDict)
     results: list = field(default_factory=list)
     checkpoints: int = 0
     stats: dict = field(default_factory=dict)
@@ -92,14 +95,21 @@ class DurableStateStore:
         self._graphs.clear()
         self._results.clear()
         for record in graph_report.records:
-            if record.get("type") != "graph.put":
-                continue
             data = record.get("data") or {}
             graph_id = data.get("id")
             if not isinstance(graph_id, str):
                 continue
-            self._graphs[graph_id] = data
-            self._graphs.move_to_end(graph_id)
+            record_type = record.get("type")
+            if record_type == "graph.put":
+                # A fresh upload resets the id's delta chain: the payload is
+                # the new base (compaction re-emits base + chain in one put).
+                self._graphs[graph_id] = data
+                self._graphs.move_to_end(graph_id)
+            elif record_type == "graph.delta":
+                entry = self._graphs.get(graph_id)
+                if entry is None:
+                    continue  # orphan delta (its base was dropped)
+                entry.setdefault("deltas", []).append(data.get("delta") or {})
         for record in result_report.records:
             if record.get("type") != "result.put":
                 continue
@@ -111,6 +121,11 @@ class DurableStateStore:
             graphs=OrderedDict(
                 (graph_id, data.get("graph", {}))
                 for graph_id, data in self._graphs.items()
+            ),
+            deltas=OrderedDict(
+                (graph_id, list(data.get("deltas", ())))
+                for graph_id, data in self._graphs.items()
+                if data.get("deltas")
             ),
             results=list(self._results.values()),
             checkpoints=self.checkpoints.count(),
@@ -139,6 +154,26 @@ class DurableStateStore:
         self.graphs_log.append("graph.put", data, sync=True)
         self._graphs[graph_id] = data
         self._graphs.move_to_end(graph_id)
+        self._maybe_compact(self.graphs_log, self._graph_entries)
+
+    def record_graph_delta(self, graph_id: str, delta_payload: dict) -> None:
+        """Durably record one mutation batch against a served graph.
+
+        Synced before returning, like :meth:`record_graph`: the mutation ack
+        implies a restart replays base + chain to the post-batch version.
+        Because the append is a single record, a crash mid-call leaves the
+        WAL either without the batch (replay lands pre-batch) or with it in
+        full (replay lands post-batch) — never a torn intermediate.  Deltas
+        for an id with no recorded base are dropped on recovery, so this
+        method refuses them up front.
+        """
+        entry = self._graphs.get(graph_id)
+        if entry is None:
+            raise KeyError(f"no recorded graph {graph_id!r} to apply a delta to")
+        self.graphs_log.append(
+            "graph.delta", {"id": graph_id, "delta": delta_payload}, sync=True
+        )
+        entry.setdefault("deltas", []).append(delta_payload)
         self._maybe_compact(self.graphs_log, self._graph_entries)
 
     def record_result(

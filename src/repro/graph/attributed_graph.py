@@ -16,6 +16,7 @@ studies of Section VI-C.
 from __future__ import annotations
 
 from collections.abc import Hashable, Iterable, Iterator, Mapping
+from contextlib import contextmanager
 from typing import Optional
 
 from repro.exceptions import (
@@ -24,6 +25,7 @@ from repro.exceptions import (
     GraphError,
     VertexNotFoundError,
 )
+from repro.incremental.delta import DeltaJournal, GraphDelta
 
 Vertex = Hashable
 Edge = tuple[Vertex, Vertex]
@@ -51,7 +53,20 @@ class AttributedGraph:
     [2]
     """
 
-    __slots__ = ("_adj", "_attr", "_labels", "_num_edges", "_version", "_kernel", "_kernel_version")
+    __slots__ = (
+        "_adj",
+        "_attr",
+        "_labels",
+        "_num_edges",
+        "_version",
+        "_kernel",
+        "_kernel_version",
+        "_kernel_base",
+        "_kernel_stats",
+        "_kernel_provenance",
+        "_journal",
+        "_batch",
+    )
 
     def __init__(
         self,
@@ -65,6 +80,11 @@ class AttributedGraph:
         self._version = 0
         self._kernel: dict = {}
         self._kernel_version = -1
+        self._kernel_base: Optional[tuple[int, dict]] = None
+        self._kernel_stats = {"compiled": 0, "patched": 0}
+        self._kernel_provenance: dict[str, dict] = {}
+        self._journal: Optional[DeltaJournal] = None
+        self._batch: Optional[list] = None
         if vertices is not None:
             for vertex, attribute in vertices:
                 self.add_vertex(vertex, attribute)
@@ -86,7 +106,7 @@ class AttributedGraph:
         self._attr[vertex] = attribute
         if label is not None:
             self._labels[vertex] = label
-        self._version += 1
+        self._mutated((("add_vertex", vertex, attribute, label),))
 
     def add_edge(self, u: Vertex, v: Vertex) -> None:
         """Add the undirected edge ``(u, v)``.
@@ -106,7 +126,7 @@ class AttributedGraph:
         self._adj[u].add(v)
         self._adj[v].add(u)
         self._num_edges += 1
-        self._version += 1
+        self._mutated((("add_edge", u, v),))
 
     def remove_edge(self, u: Vertex, v: Vertex) -> None:
         """Remove the undirected edge ``(u, v)``; raise if it does not exist."""
@@ -115,7 +135,7 @@ class AttributedGraph:
         self._adj[u].discard(v)
         self._adj[v].discard(u)
         self._num_edges -= 1
-        self._version += 1
+        self._mutated((("remove_edge", u, v),))
 
     def remove_vertex(self, vertex: Vertex) -> None:
         """Remove ``vertex`` and all its incident edges."""
@@ -127,13 +147,86 @@ class AttributedGraph:
         self._num_edges -= len(neighbors)
         del self._attr[vertex]
         self._labels.pop(vertex, None)
-        self._version += 1
+        # One delta covers the implicit incident-edge removals plus the
+        # vertex itself, so patch consumers see every touched endpoint.
+        ops = tuple(
+            ("remove_edge", vertex, other) for other in sorted(neighbors, key=str)
+        ) + (("remove_vertex", vertex),)
+        self._mutated(ops)
 
     def remove_vertices(self, vertices: Iterable[Vertex]) -> None:
         """Remove a batch of vertices (ignoring ones already absent)."""
         for vertex in vertices:
             if vertex in self._adj:
                 self.remove_vertex(vertex)
+
+    # ------------------------------------------------------------------ #
+    # Delta capture
+    # ------------------------------------------------------------------ #
+    def _mutated(self, ops: tuple) -> None:
+        """Register effective mutation ``ops``: one version bump per call,
+        deferred to batch exit inside :meth:`mutate`.
+
+        The delta journal is armed lazily (first :meth:`compile` or first
+        :meth:`mutate`) so bulk graph construction pays nothing for delta
+        capture — deltas only matter relative to a version somebody pinned.
+        """
+        batch = self._batch
+        if batch is not None:
+            batch.extend(ops)
+            return
+        base = self._version
+        self._version = base + 1
+        if self._journal is not None:
+            self._journal.record(GraphDelta(base, self._version, ops))
+
+    @contextmanager
+    def mutate(self):
+        """Batch context: N mutations inside it coalesce into ONE version bump.
+
+        ::
+
+            with graph.mutate() as g:
+                g.add_vertex("x", "a")
+                g.add_edge("x", "y")
+                g.remove_edge("u", "v")
+
+        The three mutations above bump :attr:`version` once and record a
+        single composed :class:`~repro.incremental.delta.GraphDelta`, so a
+        session refresh (or ``kernel.patch``) processes the whole batch as
+        one unit.  A batch with zero *effective* ops (e.g. only re-adding
+        existing edges) does not bump the version at all.  Nested ``mutate``
+        blocks join the outermost batch.  The delta is recorded on exit even
+        if the body raises, covering whatever was already applied.
+        """
+        if self._batch is not None:
+            yield self
+            return
+        if self._journal is None:
+            self._journal = DeltaJournal()
+        self._batch = []
+        try:
+            yield self
+        finally:
+            ops = self._batch
+            self._batch = None
+            if ops:
+                base = self._version
+                self._version = base + 1
+                self._journal.record(GraphDelta(base, self._version, tuple(ops)))
+
+    def delta_since(self, version: int) -> Optional[GraphDelta]:
+        """Composed :class:`GraphDelta` from ``version`` to the current version.
+
+        ``None`` means the journal cannot vouch for the span (capture was not
+        armed yet, or the bounded history was dropped) — take the cold path.
+        An empty delta is returned when ``version`` is already current.
+        """
+        if self._journal is None:
+            if version == self._version:
+                return GraphDelta(version, version, ops=(), batches=0)
+            return None
+        return self._journal.since(version, self._version)
 
     # ------------------------------------------------------------------ #
     # Queries
@@ -246,7 +339,8 @@ class AttributedGraph:
     # ------------------------------------------------------------------ #
     @property
     def version(self) -> int:
-        """Mutation counter; bumped by every vertex/edge add or removal.
+        """Mutation counter; bumped by every vertex/edge add or removal
+        (once per :meth:`mutate` batch, however many mutations it holds).
 
         Lets callers (and the :meth:`compile` cache) detect whether a
         previously compiled kernel still describes this graph.
@@ -271,12 +365,79 @@ class AttributedGraph:
 
         chosen = resolve_backend(backend)
         if self._kernel_version != self._version:
+            if self._kernel:
+                # Keep the stale snapshots around: with a journal delta that
+                # covers the gap they are patchable instead of garbage.
+                self._kernel_base = (self._kernel_version, self._kernel)
             self._kernel = {}
             self._kernel_version = self._version
+        if self._journal is None:
+            self._journal = DeltaJournal()
         kernel = self._kernel.get(chosen)
         if kernel is None:
-            kernel = self._kernel[chosen] = compile_kernel(self, chosen)
+            kernel = self._patched_kernel(chosen)
+            if kernel is None:
+                kernel = compile_kernel(self, chosen)
+                self._kernel_stats["compiled"] += 1
+                self._kernel_provenance[chosen] = {
+                    "origin": "compiled",
+                    "deltas": 0,
+                    "ops": 0,
+                    "base_version": self._version,
+                }
+            self._kernel[chosen] = kernel
         return kernel
+
+    def _patched_kernel(self, chosen: str):
+        """Patch the stale snapshot to the current version, or ``None``.
+
+        Requires (a) a stale kernel for the requested backend, (b) a
+        contiguous journal delta covering the version gap, and (c) the
+        patch-vs-recompile heuristic to favour patching: the delta must
+        touch at most half the graph (``2·|touched| <= n``).  Beyond that,
+        rebuilding every touched row costs as much as a fresh compile and
+        the remap bookkeeping is pure overhead.
+        """
+        base = self._kernel_base
+        if base is None:
+            return None
+        base_version, stale = base
+        old = stale.get(chosen)
+        if old is None:
+            return None
+        delta = self.delta_since(base_version)
+        if delta is None or delta.is_empty:
+            return None
+        touched = delta.touched_vertices()
+        if 2 * len(touched) > self.num_vertices:
+            return None
+        from repro.incremental.patch import patch_kernel
+
+        kernel = patch_kernel(old, self, delta)
+        self._kernel_stats["patched"] += 1
+        self._kernel_provenance[chosen] = {
+            "origin": "patched",
+            "deltas": delta.batches,
+            "ops": len(delta.ops),
+            "base_version": base_version,
+        }
+        return kernel
+
+    def kernel_stats(self) -> dict[str, int]:
+        """Counters of full compiles vs delta patches performed by this graph."""
+        return dict(self._kernel_stats)
+
+    def kernel_provenance(self, backend: Optional[str] = None) -> Optional[dict]:
+        """How the memoized snapshot for ``backend`` was produced.
+
+        ``{"origin": "compiled"|"patched", "deltas": <batches folded in>,
+        "ops": <mutation ops applied>, "base_version": <patch base>}`` —
+        or ``None`` when no snapshot has been built for that backend yet.
+        """
+        from repro.kernel.backend import resolve_backend
+
+        info = self._kernel_provenance.get(resolve_backend(backend))
+        return dict(info) if info is not None else None
 
     def freeze(self):
         """Alias of :meth:`compile` (reads better at call sites that never mutate)."""
@@ -342,6 +503,11 @@ class AttributedGraph:
         self._version = 0
         self._kernel = {}
         self._kernel_version = -1
+        self._kernel_base = None
+        self._kernel_stats = {"compiled": 0, "patched": 0}
+        self._kernel_provenance = {}
+        self._journal = None
+        self._batch = None
 
     def __contains__(self, vertex: Vertex) -> bool:
         return vertex in self._adj

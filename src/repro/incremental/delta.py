@@ -1,0 +1,287 @@
+"""Mutation deltas: the currency of the incremental subsystem.
+
+A :class:`GraphDelta` is an ordered record of the effective mutations applied
+to an :class:`~repro.graph.attributed_graph.AttributedGraph` between two
+version numbers.  The graph's mutation methods append one delta per version
+bump (see ``AttributedGraph.mutate()`` for batching N mutations into one),
+and a bounded :class:`DeltaJournal` keeps the recent chain so downstream
+consumers — ``kernel.patch``, ``FairCliqueSession.refresh``, the service's
+``POST /graphs/{id}/mutations`` endpoint and the durability WAL — can ask
+"what changed since version X?" and get either a composed delta or ``None``
+(history dropped → take the cold path).
+
+Deltas are *op logs*, not set differences: ``("add_edge", u, v)`` followed by
+``("remove_edge", u, v)`` composes to a two-op delta, not an empty one.
+Consumers that patch derived state read the final truth from the graph itself
+and use the delta only to learn *which vertices were touched*, which makes
+composition trivial (concatenation) and torn-state impossible.
+
+This module deliberately imports nothing from the graph/kernel layers so the
+graph substrate can import it without a cycle.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+#: Op tags — the full mutation alphabet of ``AttributedGraph``.
+OP_ADD_VERTEX = "add_vertex"
+OP_REMOVE_VERTEX = "remove_vertex"
+OP_ADD_EDGE = "add_edge"
+OP_REMOVE_EDGE = "remove_edge"
+
+_VALID_OPS = (OP_ADD_VERTEX, OP_REMOVE_VERTEX, OP_ADD_EDGE, OP_REMOVE_EDGE)
+
+#: Ops that only ever *remove* structure.  A deletion-only delta can never
+#: create a new fair clique, which is what lets the service promote cached
+#: ``maximum`` results across versions when the cached clique is untouched.
+_DELETION_OPS = (OP_REMOVE_VERTEX, OP_REMOVE_EDGE)
+
+
+@dataclass(frozen=True)
+class GraphDelta:
+    """The effective mutations between two graph versions.
+
+    Attributes
+    ----------
+    base_version / new_version:
+        The graph version the delta applies on top of, and the version the
+        graph reports after applying it.  A journal chain composes only when
+        consecutive deltas line up (``a.new_version == b.base_version``).
+    ops:
+        Ordered tuple of effective mutation ops:
+        ``("add_vertex", vertex, attribute, label)``,
+        ``("remove_vertex", vertex)``, ``("add_edge", u, v)``,
+        ``("remove_edge", u, v)``.  No-op mutations (re-adding an existing
+        edge) never appear.
+    batches:
+        Number of version bumps folded into this delta (1 for a single
+        mutation or one ``graph.mutate()`` batch; composition sums).
+    """
+
+    base_version: int
+    new_version: int
+    ops: tuple[tuple, ...] = ()
+    batches: int = 1
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def is_empty(self) -> bool:
+        """True when the delta carries no ops at all."""
+        return not self.ops
+
+    @property
+    def deletion_only(self) -> bool:
+        """True when every op removes structure (no adds, no attribute sets)."""
+        return bool(self.ops) and all(op[0] in _DELETION_OPS for op in self.ops)
+
+    @property
+    def touches_vertex_set(self) -> bool:
+        """True when any op adds or removes a vertex (or resets an attribute)."""
+        return any(op[0] in (OP_ADD_VERTEX, OP_REMOVE_VERTEX) for op in self.ops)
+
+    def touched_vertices(self) -> frozenset:
+        """Every vertex id that appears in any op (endpoints included).
+
+        This is the invalidation footprint: derived state attached to any
+        *untouched* vertex is provably unaffected by the delta.
+        """
+        touched = set()
+        for op in self.ops:
+            tag = op[0]
+            if tag == OP_ADD_VERTEX:
+                touched.add(op[1])
+            elif tag == OP_REMOVE_VERTEX:
+                touched.add(op[1])
+            else:  # add_edge / remove_edge
+                touched.add(op[1])
+                touched.add(op[2])
+        return frozenset(touched)
+
+    def removed_vertices(self) -> frozenset:
+        """Vertices removed by the delta (and not re-added afterwards)."""
+        removed = set()
+        for op in self.ops:
+            if op[0] == OP_REMOVE_VERTEX:
+                removed.add(op[1])
+            elif op[0] == OP_ADD_VERTEX:
+                removed.discard(op[1])
+        return frozenset(removed)
+
+    def removed_edges(self) -> frozenset:
+        """Edges removed by the delta (and not re-added afterwards), as frozensets."""
+        removed: set[frozenset] = set()
+        for op in self.ops:
+            if op[0] == OP_REMOVE_EDGE:
+                removed.add(frozenset((op[1], op[2])))
+            elif op[0] == OP_ADD_EDGE:
+                removed.discard(frozenset((op[1], op[2])))
+        return frozenset(removed)
+
+    def counts(self) -> dict[str, int]:
+        """Histogram of op tags, for telemetry and provenance reports."""
+        histogram: dict[str, int] = {}
+        for op in self.ops:
+            histogram[op[0]] = histogram.get(op[0], 0) + 1
+        return histogram
+
+    # ------------------------------------------------------------------ #
+    # Composition
+    # ------------------------------------------------------------------ #
+    def compose(self, later: "GraphDelta") -> "GraphDelta":
+        """Stack ``later`` on top of this delta (op concatenation).
+
+        Raises ``ValueError`` when the versions do not chain — composing
+        non-adjacent deltas would silently lose mutations.
+        """
+        if later.base_version != self.new_version:
+            raise ValueError(
+                f"cannot compose: delta ends at version {self.new_version}, "
+                f"next starts at {later.base_version}"
+            )
+        return GraphDelta(
+            base_version=self.base_version,
+            new_version=later.new_version,
+            ops=self.ops + later.ops,
+            batches=self.batches + later.batches,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Wire format (the service's mutation endpoint and the graph WAL)
+    # ------------------------------------------------------------------ #
+    def to_wire(self) -> dict:
+        """JSON-safe encoding: ``{"base_version", "new_version", "ops"}``."""
+        return {
+            "base_version": self.base_version,
+            "new_version": self.new_version,
+            "batches": self.batches,
+            "ops": [list(op) for op in self.ops],
+        }
+
+    @classmethod
+    def from_wire(cls, payload: dict) -> "GraphDelta":
+        """Decode :meth:`to_wire` output; raises ``ValueError`` on bad shapes."""
+        if not isinstance(payload, dict):
+            raise ValueError("delta payload must be an object")
+        ops = payload.get("ops", [])
+        if not isinstance(ops, list):
+            raise ValueError("delta 'ops' must be a list")
+        decoded = tuple(decode_op(op) for op in ops)
+        return cls(
+            base_version=int(payload.get("base_version", 0)),
+            new_version=int(payload.get("new_version", 0)),
+            ops=decoded,
+            batches=int(payload.get("batches", 1)),
+        )
+
+    def summary(self) -> str:
+        """One-line human-readable description."""
+        parts = ", ".join(f"{tag}={count}" for tag, count in sorted(self.counts().items()))
+        return (
+            f"GraphDelta(v{self.base_version}->v{self.new_version}, "
+            f"{len(self.ops)} op(s){': ' + parts if parts else ''})"
+        )
+
+
+def apply_ops(graph, ops) -> None:
+    """Apply decoded ops to ``graph`` in order (duck-typed, no graph import).
+
+    ``graph`` is anything with the ``AttributedGraph`` mutation surface
+    (``add_vertex`` / ``remove_vertex`` / ``add_edge`` / ``remove_edge``).
+    Invalid ops raise the graph's own exceptions — callers that need
+    all-or-nothing semantics replay on a scratch copy first (the service's
+    mutation endpoint does exactly that).
+    """
+    for op in ops:
+        tag = op[0]
+        if tag == OP_ADD_VERTEX:
+            graph.add_vertex(op[1], op[2], op[3])
+        elif tag == OP_REMOVE_VERTEX:
+            graph.remove_vertex(op[1])
+        elif tag == OP_ADD_EDGE:
+            graph.add_edge(op[1], op[2])
+        elif tag == OP_REMOVE_EDGE:
+            graph.remove_edge(op[1], op[2])
+        else:
+            raise ValueError(f"unknown mutation op {tag!r}")
+
+
+def decode_op(op) -> tuple:
+    """Validate and normalise one wire-format op into the internal tuple shape."""
+    if not isinstance(op, (list, tuple)) or not op:
+        raise ValueError(f"malformed mutation op: {op!r}")
+    tag = op[0]
+    if tag == OP_ADD_VERTEX:
+        if len(op) not in (3, 4):
+            raise ValueError(f"add_vertex op needs (vertex, attribute[, label]): {op!r}")
+        label = op[3] if len(op) == 4 else None
+        return (OP_ADD_VERTEX, op[1], op[2], label)
+    if tag == OP_REMOVE_VERTEX:
+        if len(op) != 2:
+            raise ValueError(f"remove_vertex op needs (vertex,): {op!r}")
+        return (OP_REMOVE_VERTEX, op[1])
+    if tag in (OP_ADD_EDGE, OP_REMOVE_EDGE):
+        if len(op) != 3:
+            raise ValueError(f"{tag} op needs (u, v): {op!r}")
+        return (tag, op[1], op[2])
+    raise ValueError(f"unknown mutation op {tag!r} (expected one of {_VALID_OPS})")
+
+
+@dataclass
+class DeltaJournal:
+    """A bounded chain of recent :class:`GraphDelta` records.
+
+    The journal never grows past ``limit`` deltas; once history is dropped,
+    :meth:`since` answers ``None`` and consumers fall back to a cold
+    recompile.  The bound keeps long-lived mutating graphs from accumulating
+    unbounded op logs — incremental reuse only ever needs the recent past.
+    """
+
+    limit: int = 64
+    _chain: deque = field(default_factory=deque, repr=False)
+
+    def __post_init__(self) -> None:
+        self._chain = deque(self._chain, maxlen=self.limit)
+
+    def record(self, delta: GraphDelta) -> None:
+        """Append one delta (drops the oldest when the bound is hit)."""
+        self._chain.append(delta)
+
+    def __len__(self) -> int:
+        return len(self._chain)
+
+    def clear(self) -> None:
+        self._chain.clear()
+
+    def since(self, version: int, current_version: int) -> GraphDelta | None:
+        """Composed delta from ``version`` up to ``current_version``.
+
+        Returns an empty delta when the versions are equal, and ``None``
+        when the journal no longer holds a contiguous chain covering the
+        requested span (history dropped, or ``version`` predates recording).
+        """
+        if version == current_version:
+            return GraphDelta(version, version, ops=(), batches=0)
+        if version > current_version:
+            return None
+        collected: list[GraphDelta] = []
+        for delta in reversed(self._chain):
+            if delta.new_version <= version:
+                break
+            collected.append(delta)
+        if not collected:
+            return None
+        collected.reverse()
+        if collected[0].base_version != version:
+            return None
+        if collected[-1].new_version != current_version:
+            return None
+        composed = collected[0]
+        for delta in collected[1:]:
+            if delta.base_version != composed.new_version:
+                return None
+            composed = composed.compose(delta)
+        return composed

@@ -267,6 +267,25 @@ class GraphKernel:
         return self._component_masks
 
     # ------------------------------------------------------------------ #
+    # Incremental patching
+    # ------------------------------------------------------------------ #
+    def patch(self, delta, graph: "AttributedGraph") -> "GraphKernel":
+        """Splice this snapshot to the mutated ``graph`` instead of recompiling.
+
+        ``delta`` is the :class:`~repro.incremental.delta.GraphDelta`
+        covering the mutations between the version this kernel was compiled
+        at and ``graph``'s current state; the result is a *new* kernel on
+        the same storage backend, observably identical to a fresh
+        ``compile_kernel(graph)`` (see :mod:`repro.incremental.patch`).
+        ``graph.compile()`` applies this automatically when its journal can
+        vouch for the gap — call it directly only when managing snapshots
+        by hand.
+        """
+        from repro.incremental.patch import patch_kernel
+
+        return patch_kernel(self, graph, delta)
+
+    # ------------------------------------------------------------------ #
     # Materialisation back to the mutable world
     # ------------------------------------------------------------------ #
     def materialize(

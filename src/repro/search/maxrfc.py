@@ -130,6 +130,14 @@ class MaxRFC:
         #: exactly like a budget expiry, keeping the incumbent.  This is how
         #: an abandoned streaming consumer stops its background solve.
         self.stop_event = None
+        #: Optional warm-start incumbent: a clique the *caller* guarantees is
+        #: a valid fair clique of the graph being solved (a session verifies
+        #: its remembered optimum against the mutated graph before setting
+        #: this).  Merged with the heuristic seed in :meth:`solve_model` —
+        #: the search starts from the larger of the two, so it only has to
+        #: beat (or re-prove) the previous answer.  Instance attribute, like
+        #: the hooks: deliberately not part of the picklable config.
+        self.initial_incumbent: frozenset | None = None
 
     def _notify_improve(self, size: int, clique: frozenset | None) -> None:
         if self.on_improve is not None:
@@ -218,6 +226,15 @@ class MaxRFC:
             stats.extra["heuristic_size"] = len(best)
             if best:
                 self._notify_improve(len(best), best)
+
+        warm = self.initial_incumbent
+        if warm and len(warm) > len(best):
+            # Soundness is the caller's contract (see __init__): the clique
+            # is fair on ``graph``, so it is a valid lower bound and the
+            # search stays exact.
+            best = frozenset(warm)
+            stats.extra["warm_start_size"] = len(best)
+            self._notify_improve(len(best), best)
 
         active = model.bind(domain, config.bound_stack)
         started = time.monotonic()

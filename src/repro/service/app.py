@@ -30,6 +30,7 @@ Endpoints (JSON in, JSON out; streams are NDJSON or SSE)::
     GET  /graphs             served graph ids
     GET  /graphs/{id}        one graph's size/attribute summary
     POST /graphs/{id}        upload a graph (wire.graph_to_wire shape)
+    POST /graphs/{id}/mutations  apply a mutation batch (one version bump)
     POST /solve              {"graph", "query", "tier"?} -> SolveReport
     POST /explain            {"graph", "query", "tier"?} -> QueryPlan
     POST /stream             incumbent events as NDJSON lines / SSE
@@ -70,12 +71,14 @@ from repro.service.http import (
 from repro.service.metrics import ServiceMetrics
 from repro.service.quotas import QuotaPolicy
 from repro.service.registry import SessionRegistry, UnknownGraphError
+from repro.incremental.delta import GraphDelta, apply_ops
 from repro.service.wire import (
     dumps,
     error_body,
     graph_from_wire,
     graph_to_wire,
     parse_json_body,
+    parse_mutations_request,
     parse_query_request,
 )
 
@@ -163,13 +166,34 @@ class FairCliqueService:
         instance.
         """
         report = self.durability.recover()
-        graphs = results = dropped = 0
+        graphs = results = dropped = deltas_replayed = 0
         for graph_id, payload in report.graphs.items():
             try:
                 graph = graph_from_wire(payload)
             except (HTTPError, ReproError):
                 dropped += 1
                 continue
+            # Replay the graph's mutation-batch chain on top of the base
+            # upload.  graph_from_wire is deterministic, so versions line up
+            # record by record; a chain break (corruption, or a replaced
+            # base) stops the replay at the last good version — the chain's
+            # prefix is still the exact state some past ack promised.
+            for delta_payload in report.deltas.get(graph_id, ()):
+                try:
+                    delta = GraphDelta.from_wire(delta_payload)
+                except ValueError:
+                    dropped += 1
+                    break
+                if delta.base_version != graph.version:
+                    dropped += 1
+                    break
+                try:
+                    with graph.mutate() as target:
+                        apply_ops(target, delta.ops)
+                except ReproError:
+                    dropped += 1
+                    break
+                deltas_replayed += 1
             self.registry.add_graph(graph_id, graph)
             graphs += 1
         for entry in report.results:
@@ -192,6 +216,7 @@ class FairCliqueService:
         return {
             "graphs_recovered": graphs,
             "results_restored": results,
+            "deltas_replayed": deltas_replayed,
             "entries_dropped": dropped,
             "checkpoints_found": report.checkpoints,
             **report.stats,
@@ -367,6 +392,14 @@ class FairCliqueService:
         if request.method == "POST":
             if len(segments) == 2 and segments[0] == "graphs":
                 return await self._handle_graph_upload(segments[1], request, writer)
+            if (
+                len(segments) == 3
+                and segments[0] == "graphs"
+                and segments[2] == "mutations"
+            ):
+                return await self._handle_graph_mutations(
+                    segments[1], request, writer
+                )
             if segments == ("solve",):
                 return await self._handle_solve(request, writer)
             if segments == ("explain",):
@@ -444,6 +477,77 @@ class FairCliqueService:
         self.add_graph(graph_id, graph, payload=payload)
         await send_response(writer, 200, dumps({
             "graph": graph_id, "n": graph.num_vertices, "m": graph.num_edges,
+        }))
+        return 200
+
+    async def _handle_graph_mutations(self, graph_id: str, request, writer) -> int:
+        """Apply one mutation batch to a served graph: one version bump.
+
+        All-or-nothing: the batch is first replayed on a scratch copy, so an
+        inapplicable op (removing a missing edge, adding an edge to an
+        unknown vertex) surfaces as 422 with the served graph untouched.
+        The *effective* delta (no-ops dropped) is WAL-logged and fsynced
+        before the live graph moves, mirroring :meth:`add_graph`: once the
+        ack goes out, a warm restart replays base + chain to exactly the
+        pre- or post-batch version, never a torn intermediate.
+
+        The result cache is delta-aware: a deletion-only batch that touches
+        neither the attribute domain nor a cached optimal clique *promotes*
+        that answer to the new version (deletions only shrink the feasible
+        set), instead of forcing a re-solve; everything else ages out via
+        the version-keyed cache.  The graph's session is refreshed in place
+        by the registry on the next query.
+        """
+        self._check_accepting()
+        ops = parse_mutations_request(request.body)
+        graph = self.registry.graph(graph_id)
+        faults.maybe_fire("service.mutate", graph=graph_id, ops=len(ops))
+        base_version = graph.version
+        # Dry-run on a copy; ReproError propagates as 422 before anything
+        # is logged or made visible.
+        trial = graph.subgraph(list(graph.vertices()))
+        trial_base = trial.version
+        with trial.mutate() as scratch:
+            apply_ops(scratch, ops)
+        trial_delta = trial.delta_since(trial_base)
+        effective = trial_delta.ops if trial_delta is not None else ()
+        if not effective:
+            await send_response(writer, 200, dumps({
+                "graph": graph_id, "version": graph.version,
+                "base_version": base_version, "applied": 0,
+                "requested": len(ops), "n": graph.num_vertices,
+                "m": graph.num_edges, "results_promoted": 0,
+            }))
+            return 200
+        delta = GraphDelta(base_version, base_version + 1, ops=effective)
+        if self.durability is not None:
+            self.durability.record_graph_delta(graph_id, delta.to_wire())
+        old_domain = graph.attribute_values()
+        with graph.mutate() as target:
+            apply_ops(target, effective)
+        promoted = 0
+        if delta.deletion_only and graph.attribute_values() == old_domain:
+            removed_vertices = delta.removed_vertices()
+            removed_edges = delta.removed_edges()
+
+            def survives(query: FairCliqueQuery, payload) -> bool:
+                if query.task != "maximum" or query.engine != "exact":
+                    return False
+                if not isinstance(payload, dict) or not payload.get("optimal"):
+                    return False
+                clique = set(payload.get("clique") or ())
+                if not clique or clique & removed_vertices:
+                    return False
+                return not any(edge <= clique for edge in removed_edges)
+
+            promoted = self.result_cache.promote(
+                graph_id, base_version, graph.version, survives
+            )
+        await send_response(writer, 200, dumps({
+            "graph": graph_id, "version": graph.version,
+            "base_version": base_version, "applied": len(effective),
+            "requested": len(ops), "n": graph.num_vertices,
+            "m": graph.num_edges, "results_promoted": promoted,
         }))
         return 200
 

@@ -43,6 +43,7 @@ class ResultCache:
         self.misses = 0
         self.evictions = 0
         self.invalidations = 0
+        self.promotions = 0
 
     @staticmethod
     def key(graph_id: str, graph_version: int, query: FairCliqueQuery) -> tuple:
@@ -73,6 +74,42 @@ class ResultCache:
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 self.evictions += 1
+
+    def promote(self, graph_id: str, old_version: int, new_version: int,
+                keep) -> int:
+        """Carry surviving answers across a mutation instead of losing them.
+
+        For every entry keyed ``(graph_id, old_version, query)`` where
+        ``keep(query, payload)`` is true, a copy is inserted under
+        ``new_version``; everything else is left to age out (the version in
+        the key already makes it unreachable).  The caller owns the proof
+        obligation: the service promotes only optimal exact ``maximum``
+        answers across deletion-only deltas that touch neither the cached
+        clique nor the attribute domain — deletions can only shrink the
+        feasible set, so an untouched optimum stays optimal.
+
+        Returns the number of entries promoted.
+        """
+        if old_version == new_version:
+            return 0
+        promoted = 0
+        with self._lock:
+            survivors = [
+                (key[2], payload)
+                for key, payload in self._entries.items()
+                if key[0] == graph_id and key[1] == old_version
+                and keep(key[2], payload)
+            ]
+            for query, payload in survivors:
+                key = self.key(graph_id, new_version, query)
+                self._entries[key] = payload
+                self._entries.move_to_end(key)
+                promoted += 1
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+            self.promotions += promoted
+        return promoted
 
     def invalidate(self, graph_id: str) -> int:
         """Drop every entry for ``graph_id``; returns how many were dropped.
@@ -109,5 +146,6 @@ class ResultCache:
                 "misses": self.misses,
                 "evictions": self.evictions,
                 "invalidations": self.invalidations,
+                "promotions": self.promotions,
                 "hit_rate": (self.hits / total) if total else 0.0,
             }

@@ -229,6 +229,23 @@ class ServiceClient:
         """Serve ``graph`` under ``graph_id`` on the remote service."""
         return self._request("POST", f"/graphs/{graph_id}", graph_to_wire(graph))
 
+    def mutate_graph(self, graph_id: str, ops: list) -> dict:
+        """Apply one mutation batch to a served graph (one version bump).
+
+        ``ops`` use the delta op alphabet: ``("add_vertex", v, attr[, label])``,
+        ``("remove_vertex", v)``, ``("add_edge", u, v)``,
+        ``("remove_edge", u, v)``.  The batch is all-or-nothing server-side.
+        Unlike queries, a mutation is not idempotent under the client's
+        replay-on-disconnect policy: if the connection dies after the server
+        applied the batch, the retry's dry-run rejects the already-applied
+        removals with 422 — callers seeing that should reconcile against
+        :meth:`graph_info` rather than assume failure.
+        """
+        return self._request(
+            "POST", f"/graphs/{graph_id}/mutations",
+            {"mutations": [list(op) for op in ops]},
+        )
+
     # ------------------------------------------------------------------ #
     # Queries
     # ------------------------------------------------------------------ #

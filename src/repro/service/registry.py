@@ -12,8 +12,10 @@ sessions** in least-recently-used order:
 * :meth:`session` returns the warm session for a graph id, opening (and
   possibly evicting) as needed;
 * an entry whose graph has **mutated since the session was opened** is
-  stale — its artifacts describe the pre-mutation graph — so it is closed
-  and transparently replaced by a fresh session;
+  stale — its artifacts describe the pre-mutation graph — so it is
+  ``refresh()``-ed in place (delta-patched kernel, component-scoped
+  reduction reuse, warm incumbents), falling back to close-and-replace
+  only when the refresh itself fails;
 * **eviction closes** the evicted session (shutting its batch pool down);
 * :meth:`close` is idempotent and closes everything.
 
@@ -53,6 +55,7 @@ class SessionRegistry:
             "sessions_opened": 0,
             "sessions_evicted": 0,
             "sessions_invalidated": 0,
+            "sessions_refreshed": 0,
         }
 
     # ------------------------------------------------------------------ #
@@ -117,13 +120,20 @@ class SessionRegistry:
                 )
             session = self._sessions.get(graph_id)
             if session is not None and session.graph_version != graph.version:
-                # Stale: the graph moved on.  Close outside the hot path is
-                # tempting, but closing under the lock keeps "no two live
-                # sessions for one id" an invariant.
-                del self._sessions[graph_id]
-                evicted.append(session)
-                self.telemetry["sessions_invalidated"] += 1
-                session = None
+                # Stale: the graph moved on.  First choice is refreshing the
+                # session in place — it patches the cached kernel and reuses
+                # untouched-component reduction survivors instead of paying a
+                # cold rebuild.  refresh() itself degrades to a cold context
+                # when the delta journal dropped history, so a failure here
+                # means the session object is unusable: close and replace.
+                try:
+                    session.refresh()
+                    self.telemetry["sessions_refreshed"] += 1
+                except Exception:  # noqa: BLE001 - fall back to a fresh session
+                    del self._sessions[graph_id]
+                    evicted.append(session)
+                    self.telemetry["sessions_invalidated"] += 1
+                    session = None
             if session is None:
                 while len(self._sessions) >= self.capacity:
                     _, oldest = self._sessions.popitem(last=False)

@@ -10,6 +10,8 @@ HTTP front-end speaks:
   ``{"error": ..., "status": ...}`` failures;
 * :func:`parse_query_request` — the ``{"graph": id, "query": {...},
   "tier": name}`` envelope every query endpoint accepts;
+* :func:`parse_mutations_request` — the ``{"mutations": [[op, ...], ...]}``
+  batch accepted by ``POST /graphs/{id}/mutations``;
 * :func:`graph_to_wire` / :func:`graph_from_wire` — an attributed graph as
   plain data, used by ``POST /graphs/{id}`` uploads and the example client.
 """
@@ -21,6 +23,7 @@ import json
 from repro.api.query import FairCliqueQuery
 from repro.exceptions import ReproError
 from repro.graph.attributed_graph import AttributedGraph
+from repro.incremental.delta import decode_op
 from repro.service.http import HTTPError
 
 
@@ -69,6 +72,24 @@ def parse_query_request(body: bytes) -> tuple[str, FairCliqueQuery, str | None, 
     except ReproError as error:
         raise HTTPError(422, f"invalid query: {error}") from None
     return graph_id, query, tier, payload
+
+
+def parse_mutations_request(body: bytes) -> list[tuple]:
+    """Parse a mutation batch: decoded ops in submission order.
+
+    The wire shape is ``{"mutations": [["add_edge", u, v], ...]}`` using the
+    op alphabet of :func:`repro.incremental.delta.decode_op`.  Structural
+    problems (not a list, unknown tag, wrong arity) map to 400; whether the
+    ops are *applicable* to the served graph is the handler's 422 concern.
+    """
+    payload = parse_json_body(body)
+    ops = payload.get("mutations")
+    if not isinstance(ops, list) or not ops:
+        raise HTTPError(400, 'request needs a non-empty "mutations" array')
+    try:
+        return [decode_op(op) for op in ops]
+    except ValueError as error:
+        raise HTTPError(400, f"invalid mutation: {error}") from None
 
 
 def graph_to_wire(graph: AttributedGraph) -> dict:

@@ -1,0 +1,222 @@
+"""Delta capture: op logs, batching, the journal, and the wire format.
+
+Pins the contract every downstream consumer (``kernel.patch``,
+``session.refresh``, the service mutation endpoint, the graph WAL) builds
+on: one :class:`GraphDelta` per version bump, ``graph.mutate()`` coalescing
+N mutations into ONE bump, composition by concatenation, and a lossless
+wire round trip whose ops :func:`apply_ops` replays exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import EdgeNotFoundError, VertexNotFoundError
+from repro.graph.attributed_graph import AttributedGraph
+from repro.graph.builders import paper_example_graph
+from repro.incremental import DeltaJournal, GraphDelta, apply_ops, decode_op
+
+
+def _armed(graph: AttributedGraph) -> AttributedGraph:
+    """Arm delta capture the way real consumers do: pin a version via compile."""
+    graph.compile()
+    return graph
+
+
+def _content(graph: AttributedGraph):
+    return (
+        {(v, graph.attribute(v), graph.label(v)) for v in graph.vertices()},
+        {frozenset((u, v)) for u, v in graph.edges()},
+    )
+
+
+def _two_triangles() -> AttributedGraph:
+    graph = AttributedGraph()
+    for vertex, attr in (("a1", "a"), ("a2", "b"), ("a3", "a"),
+                         ("b1", "a"), ("b2", "b"), ("b3", "b")):
+        graph.add_vertex(vertex, attr)
+    for u, v in (("a1", "a2"), ("a2", "a3"), ("a1", "a3"),
+                 ("b1", "b2"), ("b2", "b3"), ("b1", "b3")):
+        graph.add_edge(u, v)
+    return graph
+
+
+class TestCapture:
+    def test_each_mutation_bumps_once(self):
+        graph = _armed(_two_triangles())
+        base = graph.version
+        graph.remove_edge("a1", "a2")
+        graph.add_edge("a1", "a2")
+        assert graph.version == base + 2
+        delta = graph.delta_since(base)
+        assert delta.ops == (("remove_edge", "a1", "a2"), ("add_edge", "a1", "a2"))
+        assert delta.batches == 2
+
+    def test_noop_add_edge_records_nothing(self):
+        graph = _armed(_two_triangles())
+        base = graph.version
+        graph.add_edge("a1", "a2")  # already present
+        assert graph.version == base
+        assert graph.delta_since(base).is_empty
+
+    def test_remove_vertex_logs_incident_edges(self):
+        graph = _armed(_two_triangles())
+        base = graph.version
+        graph.remove_vertex("a2")
+        delta = graph.delta_since(base)
+        assert delta.ops[-1] == ("remove_vertex", "a2")
+        assert set(delta.ops[:-1]) == {
+            ("remove_edge", "a2", "a1"), ("remove_edge", "a2", "a3"),
+        }
+        # The invalidation footprint covers the neighbours whose rows changed.
+        assert delta.touched_vertices() == frozenset({"a1", "a2", "a3"})
+        assert delta.removed_vertices() == frozenset({"a2"})
+
+    def test_delta_since_without_capture_is_cold(self):
+        graph = _two_triangles()  # journal never armed
+        base = graph.version
+        graph.remove_edge("a1", "a2")
+        assert graph.delta_since(base) is None
+        # An unmutated span still answers (empty) even without a journal.
+        assert graph.delta_since(graph.version).is_empty
+
+    def test_journal_bound_drops_oldest_history(self):
+        graph = _armed(_two_triangles())
+        base = graph.version
+        for _ in range(DeltaJournal.limit + 3):
+            graph.remove_edge("a1", "a2")
+            graph.add_edge("a1", "a2")
+        assert graph.delta_since(base) is None
+        recent = graph.version - 4
+        delta = graph.delta_since(recent)
+        assert delta is not None and len(delta.ops) == 4
+
+
+class TestMutateBatch:
+    def test_batch_coalesces_to_one_bump(self):
+        graph = _two_triangles()
+        base = graph.version
+        with graph.mutate() as g:
+            g.add_vertex("c1", "a")
+            g.add_edge("c1", "a1")
+            g.remove_edge("b1", "b2")
+        assert graph.version == base + 1
+        delta = graph.delta_since(base)
+        assert delta.batches == 1
+        assert len(delta.ops) == 3
+
+    def test_empty_batch_does_not_bump(self):
+        graph = _two_triangles()
+        base = graph.version
+        with graph.mutate() as g:
+            g.add_edge("a1", "a2")  # no-op
+        assert graph.version == base
+        assert graph.delta_since(base).is_empty
+
+    def test_nested_batches_join_the_outer_one(self):
+        graph = _two_triangles()
+        base = graph.version
+        with graph.mutate() as g:
+            g.remove_edge("a1", "a2")
+            with g.mutate() as inner:
+                inner.remove_edge("a2", "a3")
+        assert graph.version == base + 1
+        assert len(graph.delta_since(base).ops) == 2
+
+    def test_raising_batch_records_what_was_applied(self):
+        graph = _two_triangles()
+        base = graph.version
+        with pytest.raises(EdgeNotFoundError):
+            with graph.mutate() as g:
+                g.remove_edge("a1", "a2")
+                g.remove_edge("a1", "b3")  # never existed
+        assert graph.version == base + 1
+        assert graph.delta_since(base).ops == (("remove_edge", "a1", "a2"),)
+
+
+class TestComposeAndWire:
+    def test_compose_concatenates_and_chains_versions(self):
+        first = GraphDelta(3, 4, ops=(("remove_edge", 1, 2),))
+        second = GraphDelta(4, 5, ops=(("add_edge", 1, 2),), batches=1)
+        composed = first.compose(second)
+        assert composed.base_version == 3 and composed.new_version == 5
+        assert composed.ops == (("remove_edge", 1, 2), ("add_edge", 1, 2))
+        assert composed.batches == 2
+
+    def test_compose_rejects_gaps(self):
+        first = GraphDelta(3, 4)
+        with pytest.raises(ValueError):
+            first.compose(GraphDelta(5, 6))
+
+    def test_wire_round_trip(self):
+        delta = GraphDelta(7, 8, ops=(
+            ("add_vertex", "x", "a", "the x"),
+            ("add_vertex", "y", "b", None),
+            ("add_edge", "x", "y"),
+            ("remove_edge", "x", "y"),
+            ("remove_vertex", "y"),
+        ), batches=1)
+        assert GraphDelta.from_wire(delta.to_wire()) == delta
+
+    @pytest.mark.parametrize("bad", [
+        "not-a-list", [], ["frobnicate", 1], ["add_vertex", "v"],
+        ["remove_vertex"], ["add_edge", 1], ["remove_edge", 1, 2, 3],
+    ])
+    def test_decode_op_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            decode_op(bad)
+
+    def test_apply_ops_replays_a_recorded_delta(self):
+        graph = _armed(paper_example_graph())
+        replica = paper_example_graph()
+        base = graph.version
+        with graph.mutate() as g:
+            g.remove_vertex(next(iter(g.vertices())))
+            g.add_vertex("new", "a", "the new one")
+            g.add_edge("new", next(iter(g.vertices())))
+        delta = graph.delta_since(base)
+        apply_ops(replica, delta.ops)
+        assert _content(replica) == _content(graph)
+
+    def test_apply_ops_surfaces_graph_errors(self):
+        graph = _two_triangles()
+        with pytest.raises(VertexNotFoundError):
+            apply_ops(graph, (("add_edge", "a1", "ghost"),))
+
+
+class TestVersionChurnRegression:
+    """The satellite fix: bulk edits cost ONE bump and ONE refresh, not N."""
+
+    def test_one_bump_per_n_edge_batch(self):
+        graph = _armed(paper_example_graph())
+        base = graph.version
+        edges = list(graph.edges())[:10]
+        with graph.mutate() as g:
+            for u, v in edges:
+                g.remove_edge(u, v)
+        assert graph.version == base + 1
+        delta = graph.delta_since(base)
+        assert delta.batches == 1 and len(delta.ops) == len(edges)
+
+    def test_one_session_refresh_per_batch(self):
+        from repro.api import FairCliqueQuery, FairCliqueSession
+
+        graph = paper_example_graph()
+        session = FairCliqueSession(graph, warm_start=False)
+        try:
+            query = FairCliqueQuery(model="relative", k=2, delta=1)
+            session.solve(query)
+            edges = list(graph.edges())[:8]
+            with graph.mutate() as g:
+                for u, v in edges:
+                    g.remove_edge(u, v)
+            info = session.refresh()
+            assert info["mode"] == "warm"
+            assert info["ops"] == len(edges) and info["batches"] == 1
+            counters = session.cache_info()
+            assert counters["refreshes"] == 1
+            assert counters["deltas_applied"] == 1
+            assert counters["ops_applied"] == len(edges)
+            session.solve(query)  # refreshed session answers again
+        finally:
+            session.close()

@@ -1,0 +1,236 @@
+"""Warm incremental sessions: refresh modes, provenance, warm starts.
+
+``session.refresh()`` must carry a live session across graph mutations —
+patching the cached kernel, re-running only the reduction work the delta
+can affect, and seeding the next solve with the re-verified previous
+optimum — while staying answer-identical to a cold session on the mutated
+graph.  ``explain()``/``cache_info()`` must say which of that happened.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import FairCliqueQuery, FairCliqueSession
+from repro.exceptions import InvalidParameterError
+from repro.graph.attributed_graph import AttributedGraph
+from repro.graph.builders import paper_example_graph
+from repro.incremental import refresh_reduction
+from repro.reduction.pipeline import DEFAULT_STAGES, ReductionPipeline
+
+QUERY = FairCliqueQuery(model="relative", k=3, delta=1)
+
+
+def _two_communities() -> AttributedGraph:
+    """Two disjoint dense blocks — the component-reuse happy path."""
+    graph = AttributedGraph()
+    for i in range(6):
+        graph.add_vertex(f"l{i}", "a" if i % 2 else "b")
+    for i in range(6):
+        graph.add_vertex(f"r{i}", "a" if i % 2 else "b")
+    for i in range(6):
+        for j in range(i + 1, 6):
+            graph.add_edge(f"l{i}", f"l{j}")
+            graph.add_edge(f"r{i}", f"r{j}")
+    return graph
+
+
+def _report_key(report):
+    return (
+        report.size,
+        sorted(report.clique, key=str),
+        report.optimal,
+        report.stats.branches_explored,
+        report.stats.pruned_by_incumbent,
+        report.stats.bound_evaluations,
+    )
+
+
+class TestRefreshModes:
+    def test_noop_refresh(self):
+        with FairCliqueSession(paper_example_graph()) as session:
+            session.solve(QUERY)
+            info = session.refresh()
+            assert info["mode"] == "noop"
+
+    def test_warm_refresh_is_answer_identical(self):
+        graph = paper_example_graph()
+        session = FairCliqueSession(graph, warm_start=False)
+        try:
+            session.solve(QUERY)
+            graph.remove_edge(*next(iter(graph.edges())))
+            info = session.refresh()
+            assert info["mode"] == "warm"
+            assert info["version"] == graph.version
+            warm = session.solve(QUERY)
+            with FairCliqueSession(graph, warm_start=False) as cold_session:
+                cold = cold_session.solve(QUERY)
+            assert _report_key(warm) == _report_key(cold)
+        finally:
+            session.close()
+
+    def test_cold_refresh_when_history_is_gone(self):
+        graph = paper_example_graph()
+        session = FairCliqueSession(graph)
+        try:
+            # Mutating before anything armed the journal leaves no delta
+            # chain covering the span -> refresh degrades to a cold context.
+            graph.remove_edge(*next(iter(graph.edges())))
+            info = session.refresh()
+            assert info["mode"] == "cold"
+            assert session.solve(QUERY).optimal
+            assert session.cache_info()["refreshes_cold"] == 1
+        finally:
+            session.close()
+
+    def test_stale_session_error_mentions_refresh(self):
+        graph = paper_example_graph()
+        with FairCliqueSession(graph) as session:
+            graph.remove_edge(*next(iter(graph.edges())))
+            with pytest.raises(InvalidParameterError, match="refresh"):
+                session.solve(QUERY)
+
+
+class TestProvenance:
+    def test_explain_reports_patched_kernel_and_reduction_origin(self):
+        graph = paper_example_graph()
+        session = FairCliqueSession(graph)
+        try:
+            session.solve(QUERY)
+            graph.remove_edge(*next(iter(graph.edges())))
+            session.refresh()
+            session.solve(QUERY)
+            plan = session.explain(QUERY)
+            assert plan.kernel_origin == "patched"
+            assert plan.kernel_deltas >= 1
+            assert plan.reduction_origin in ("full", "partial", "reused", "cold")
+            assert "[patched" in plan.summary()
+            round_tripped = type(plan).from_wire(plan.to_wire())
+            assert round_tripped.kernel_origin == plan.kernel_origin
+            assert round_tripped.kernel_deltas == plan.kernel_deltas
+            assert round_tripped.reduction_origin == plan.reduction_origin
+        finally:
+            session.close()
+
+    def test_cache_info_counts_patches_and_refreshes(self):
+        graph = paper_example_graph()
+        session = FairCliqueSession(graph)
+        try:
+            session.solve(QUERY)
+            graph.remove_edge(*next(iter(graph.edges())))
+            session.refresh()
+            info = session.cache_info()
+            assert info["kernel_patches"] >= 1
+            assert info["refreshes"] == 1
+            assert info["deltas_applied"] == 1
+        finally:
+            session.close()
+
+
+class TestWarmStart:
+    def test_previous_optimum_seeds_the_next_solve(self):
+        graph = paper_example_graph()
+        session = FairCliqueSession(graph)  # warm_start on by default
+        try:
+            first = session.solve(QUERY)
+            victim = next(
+                (u, v) for u, v in graph.edges()
+                if u not in first.clique or v not in first.clique
+            )
+            graph.remove_edge(*victim)
+            session.refresh()
+            second = session.solve(QUERY)
+            assert second.metadata.get("warm_start_size") == first.size
+            assert session.cache_info()["warm_start_hits"] == 1
+            with FairCliqueSession(graph, warm_start=False) as cold_session:
+                assert second.size == cold_session.solve(QUERY).size
+        finally:
+            session.close()
+
+    def test_invalidated_incumbent_is_not_used(self):
+        graph = paper_example_graph()
+        session = FairCliqueSession(graph)
+        try:
+            first = session.solve(QUERY)
+            clique = sorted(first.clique, key=str)
+            graph.remove_edge(clique[0], clique[1])  # break the old optimum
+            session.refresh()
+            second = session.solve(QUERY)
+            assert "warm_start_size" not in second.metadata
+            with FairCliqueSession(graph, warm_start=False) as cold_session:
+                assert second.size == cold_session.solve(QUERY).size
+        finally:
+            session.close()
+
+
+class TestRefreshReduction:
+    """Direct contract of the component-scoped reduction refresh."""
+
+    def _run(self, graph, k=2):
+        return ReductionPipeline(DEFAULT_STAGES).run(graph, k)
+
+    def test_untouched_component_is_reused(self):
+        graph = _two_communities()
+        old_domain = graph.attribute_values()
+        old = self._run(graph)
+        graph.compile()  # arm the journal
+        base = graph.version
+        with graph.mutate() as g:
+            g.remove_edge("l0", "l1")
+        delta = graph.delta_since(base)
+        result, info = refresh_reduction(
+            graph, delta, old, 2, DEFAULT_STAGES, old_domain
+        )
+        assert info["mode"] == "partial"
+        assert info["components_reused"] >= 1
+        oracle = self._run(graph)
+        assert set(result.graph.vertices()) == set(oracle.graph.vertices())
+        assert {frozenset(e) for e in result.graph.edges()} == \
+            {frozenset(e) for e in oracle.graph.edges()}
+
+    def test_domain_change_falls_back_to_full(self):
+        graph = _two_communities()
+        old_domain = graph.attribute_values()
+        old = self._run(graph)
+        graph.compile()
+        base = graph.version
+        with graph.mutate() as g:
+            for vertex in list(g.vertices()):
+                if g.attribute(vertex) == "b":
+                    g.add_vertex(vertex, "c")  # domain ("a","b") -> ("a","c")
+        delta = graph.delta_since(base)
+        result, info = refresh_reduction(
+            graph, delta, old, 2, DEFAULT_STAGES, old_domain
+        )
+        assert info["mode"] == "full"
+        oracle = self._run(graph)
+        assert set(result.graph.vertices()) == set(oracle.graph.vertices())
+
+    def test_unsupported_domain_stores_a_passthrough(self):
+        # A third value makes the binary-only stages refuse the graph; the
+        # refresh must not crash (the engine's admits gate hides the entry).
+        graph = _two_communities()
+        old_domain = graph.attribute_values()
+        old = self._run(graph)
+        graph.compile()
+        base = graph.version
+        with graph.mutate() as g:
+            g.add_vertex("l0", "c")
+        delta = graph.delta_since(base)
+        result, info = refresh_reduction(
+            graph, delta, old, 2, DEFAULT_STAGES, old_domain
+        )
+        assert info["mode"] == "full"
+        assert "refuse" in info["reason"]
+        assert set(result.graph.vertices()) == set(graph.vertices())
+
+    def test_empty_delta_reuses_everything(self):
+        graph = _two_communities()
+        old = self._run(graph)
+        graph.compile()
+        delta = graph.delta_since(graph.version)
+        result, info = refresh_reduction(
+            graph, delta, old, 2, DEFAULT_STAGES, graph.attribute_values()
+        )
+        assert info["mode"] == "reused"
+        assert result is old

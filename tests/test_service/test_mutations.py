@@ -1,0 +1,250 @@
+"""The mutation endpoint: atomic batches, delta-aware cache, durable chains.
+
+``POST /graphs/{id}/mutations`` must apply a batch all-or-nothing with ONE
+version bump, refresh the graph's warm session in place, promote cached
+optimal answers across deletion-only deltas that cannot have changed them,
+and WAL the delta so a warm restart replays base + chain to exactly the
+acked version.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import FairCliqueQuery, FairCliqueSession
+from repro.graph.builders import paper_example_graph
+from repro.service import (
+    FairCliqueService,
+    ServerHandle,
+    ServiceClient,
+    ServiceConfig,
+    ServiceError,
+)
+
+QUERY = FairCliqueQuery(model="relative", k=3, delta=1)
+
+
+@pytest.fixture()
+def served():
+    service = FairCliqueService(ServiceConfig(port=0))
+    service.add_graph("paper", paper_example_graph())
+    handle = ServerHandle.start(service)
+    client = ServiceClient(handle.address, retries=0)
+    try:
+        yield service, client
+    finally:
+        handle.stop()
+
+
+def _reference(graph):
+    with FairCliqueSession(graph, warm_start=False) as session:
+        return session.solve(QUERY)
+
+
+def _edge_outside(graph, clique):
+    return next(
+        (u, v) for u, v in graph.edges() if u not in clique or v not in clique
+    )
+
+
+class TestApply:
+    def test_batch_applies_with_one_version_bump(self, served):
+        _, client = served
+        before = client.graph_info("paper")
+        reply = client.mutate_graph("paper", [
+            ["add_vertex", "x1", "a"],
+            ["add_vertex", "x2", "b"],
+            ["add_edge", "x1", "x2"],
+        ])
+        assert reply["applied"] == 3 and reply["requested"] == 3
+        assert reply["version"] == before["version"] + 1
+        assert reply["n"] == before["n"] + 2
+        assert reply["m"] == before["m"] + 1
+        assert client.graph_info("paper")["version"] == reply["version"]
+
+    def test_solve_parity_after_mutations(self, served):
+        _, client = served
+        client.solve("paper", QUERY, tier="unlimited")
+        oracle = paper_example_graph()
+        victim = next(iter(oracle.edges()))
+        oracle.remove_edge(*victim)
+        oracle.add_vertex("zz", "a")
+        oracle.add_edge("zz", victim[0])
+        client.mutate_graph("paper", [
+            ["remove_edge", victim[0], victim[1]],
+            ["add_vertex", "zz", "a"],
+            ["add_edge", "zz", victim[0]],
+        ])
+        remote = client.solve("paper", QUERY, tier="unlimited")
+        local = _reference(oracle)
+        assert remote.size == local.size
+        assert sorted(remote.clique, key=str) == sorted(local.clique, key=str)
+
+    def test_session_is_refreshed_in_place(self, served):
+        service, client = served
+        client.solve("paper", QUERY, tier="unlimited")  # opens the session
+        graph = service.registry.graph("paper")
+        anchor = next(iter(graph.vertices()))
+        # Additive, so no cached result is promoted: the next solve is a
+        # genuine re-solve and must go through the (now stale) session.
+        client.mutate_graph(
+            "paper", [["add_vertex", "fresh", "a"], ["add_edge", "fresh", anchor]]
+        )
+        client.solve("paper", QUERY, tier="unlimited")
+        telemetry = service.registry.info()
+        assert telemetry["sessions_refreshed"] == 1
+        assert telemetry["sessions_invalidated"] == 0
+        assert telemetry["sessions_opened"] == 1
+
+    def test_noop_batch_keeps_the_version(self, served):
+        _, client = served
+        graph_before = client.graph_info("paper")
+        existing = next(iter(paper_example_graph().edges()))
+        reply = client.mutate_graph(
+            "paper", [["add_edge", existing[0], existing[1]]]
+        )
+        assert reply["applied"] == 0 and reply["requested"] == 1
+        assert reply["version"] == graph_before["version"]
+
+
+class TestRejection:
+    def test_inapplicable_batch_is_all_or_nothing(self, served):
+        _, client = served
+        before = client.graph_info("paper")
+        victim = next(iter(paper_example_graph().edges()))
+        with pytest.raises(ServiceError) as excinfo:
+            client.mutate_graph("paper", [
+                ["remove_edge", victim[0], victim[1]],  # valid alone
+                ["remove_edge", "ghost", "phantom"],    # poisons the batch
+            ])
+        assert excinfo.value.status == 422
+        after = client.graph_info("paper")
+        assert after == before  # nothing applied, no version bump
+
+    def test_malformed_ops_are_400(self, served):
+        _, client = served
+        for bad in ([["frobnicate", 1]], [["add_vertex", "v"]], [], "nope"):
+            with pytest.raises(ServiceError) as excinfo:
+                client._request(
+                    "POST", "/graphs/paper/mutations", {"mutations": bad}
+                )
+            assert excinfo.value.status == 400
+
+    def test_unknown_graph_is_404(self, served):
+        _, client = served
+        with pytest.raises(ServiceError) as excinfo:
+            client.mutate_graph("nope", [["remove_vertex", "x"]])
+        assert excinfo.value.status == 404
+
+
+class TestCachePromotion:
+    def test_deletion_outside_the_optimum_promotes(self, served):
+        service, client = served
+        first = client.solve("paper", QUERY, tier="unlimited")
+        victim = _edge_outside(service.registry.graph("paper"), first.clique)
+        reply = client.mutate_graph(
+            "paper", [["remove_edge", victim[0], victim[1]]]
+        )
+        assert reply["results_promoted"] == 1
+        envelope = client.solve_raw("paper", QUERY, tier="unlimited")
+        assert envelope["cached"] is True
+        assert len(envelope["report"]["clique"]) == first.size
+        assert service.result_cache.promotions == 1
+
+    def test_deletion_inside_the_optimum_does_not_promote(self, served):
+        service, client = served
+        first = client.solve("paper", QUERY, tier="unlimited")
+        members = sorted(first.clique, key=str)
+        reply = client.mutate_graph(
+            "paper", [["remove_edge", members[0], members[1]]]
+        )
+        assert reply["results_promoted"] == 0
+        envelope = client.solve_raw("paper", QUERY, tier="unlimited")
+        assert envelope["cached"] is False  # honest re-solve
+
+    def test_additive_batches_never_promote(self, served):
+        _, client = served
+        client.solve("paper", QUERY, tier="unlimited")
+        reply = client.mutate_graph("paper", [["add_vertex", "q", "a"]])
+        assert reply["results_promoted"] == 0
+
+    def test_domain_shrinking_deletion_does_not_promote(self, served):
+        service, client = served
+        client.solve("paper", QUERY, tier="unlimited")
+        graph = service.registry.graph("paper")
+        b_vertices = [v for v in graph.vertices() if graph.attribute(v) == "b"]
+        reply = client.mutate_graph(
+            "paper", [["remove_vertex", v] for v in b_vertices]
+        )
+        assert reply["results_promoted"] == 0
+
+
+class TestDurableChain:
+    def test_restart_replays_base_plus_deltas(self, tmp_path):
+        config = ServiceConfig(port=0, data_dir=str(tmp_path / "data"))
+        service = FairCliqueService(config)
+        handle = ServerHandle.start(service)
+        client = ServiceClient(handle.address, retries=0)
+        client.upload_graph("g", paper_example_graph())
+        victim = next(iter(paper_example_graph().edges()))
+        client.mutate_graph("g", [["remove_edge", victim[0], victim[1]]])
+        client.mutate_graph("g", [["add_vertex", "new", "a"],
+                                  ["add_edge", "new", victim[0]]])
+        final = client.graph_info("g")
+        solved = client.solve("g", QUERY, tier="unlimited")
+        handle.stop()
+
+        restarted = FairCliqueService(config)
+        handle = ServerHandle.start(restarted)
+        client2 = ServiceClient(handle.address, retries=0)
+        try:
+            assert restarted.recovery["deltas_replayed"] == 2
+            info = client2.graph_info("g")
+            assert info == final  # same version, n, m, attributes
+            envelope = client2.solve_raw("g", QUERY, tier="unlimited")
+            assert envelope["cached"] is True  # post-mutation result restored
+            assert len(envelope["report"]["clique"]) == solved.size
+        finally:
+            handle.stop()
+
+    def test_reupload_resets_the_chain(self, tmp_path):
+        config = ServiceConfig(port=0, data_dir=str(tmp_path / "data"))
+        service = FairCliqueService(config)
+        handle = ServerHandle.start(service)
+        client = ServiceClient(handle.address, retries=0)
+        client.upload_graph("g", paper_example_graph())
+        client.mutate_graph("g", [["add_vertex", "tmp", "a"]])
+        client.upload_graph("g", paper_example_graph())  # replacement
+        final = client.graph_info("g")
+        handle.stop()
+
+        restarted = FairCliqueService(config)
+        handle = ServerHandle.start(restarted)
+        try:
+            assert restarted.recovery["deltas_replayed"] == 0
+            client2 = ServiceClient(handle.address, retries=0)
+            assert client2.graph_info("g") == final
+        finally:
+            handle.stop()
+
+    def test_compaction_keeps_base_plus_chain(self, tmp_path):
+        config = ServiceConfig(
+            port=0, data_dir=str(tmp_path / "data"), wal_compact_every=4
+        )
+        service = FairCliqueService(config)
+        handle = ServerHandle.start(service)
+        client = ServiceClient(handle.address, retries=0)
+        client.upload_graph("g", paper_example_graph())
+        for index in range(6):  # crosses the compaction threshold
+            client.mutate_graph("g", [["add_vertex", f"c{index}", "a"]])
+        final = client.graph_info("g")
+        handle.stop()
+        assert service.durability.compactions >= 1
+
+        restarted = FairCliqueService(config)
+        handle = ServerHandle.start(restarted)
+        try:
+            client2 = ServiceClient(handle.address, retries=0)
+            assert client2.graph_info("g") == final
+        finally:
+            handle.stop()

@@ -1,8 +1,9 @@
 """Session registry lifecycle: LRU eviction, staleness, idempotent close.
 
 The satellite contract: eviction **closes** the evicted session (its batch
-pool included), a graph that mutated under a session invalidates it
-transparently, and ``close()`` is idempotent — plus thread-safety smoke for
+pool included), a graph that mutated under a session is refreshed in place
+(PR 10: warm delta refresh, invalidation only as the fallback), and
+``close()`` is idempotent — plus thread-safety smoke for
 the racy paths a worker-thread backend actually exercises.
 """
 
@@ -102,7 +103,7 @@ class TestLRUEviction:
 
 
 class TestStaleInvalidation:
-    def test_mutated_graph_invalidates_session(self):
+    def test_mutated_graph_refreshes_session_in_place(self):
         registry = SessionRegistry()
         graph = paper_example_graph()
         registry.add_graph("g", graph)
@@ -110,11 +111,12 @@ class TestStaleInvalidation:
         assert stale.solve(QUERY).size >= 1
         graph.add_vertex("zz", "a")         # mutate under the session
         fresh = registry.session("g")
-        assert fresh is not stale
-        assert stale._closed
+        assert fresh is stale               # warm refresh, not close-and-replace
+        assert not fresh._closed
         assert fresh.graph_version == graph.version
-        assert registry.telemetry["sessions_invalidated"] == 1
-        # The replacement actually answers (the stale one would have raised).
+        assert registry.telemetry["sessions_refreshed"] == 1
+        assert registry.telemetry["sessions_invalidated"] == 0
+        # The refreshed session actually answers on the mutated graph.
         assert fresh.solve(QUERY).size >= 1
 
     def test_unmutated_graph_reuses_session(self):
